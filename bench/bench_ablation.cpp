@@ -1,0 +1,182 @@
+// E10 — Ablations of the design choices DESIGN.md calls out.
+//
+//  (a) Coordinator count: nc ∈ {1, 3, 5} multicoordinated rounds under a
+//      coordinator crash — how much redundancy buys how much availability.
+//  (b) Round ladder under conflicts: always-multi vs multi-then-single vs
+//      the §4.5 shrinking ladder — collision convergence behaviour.
+//  (c) rnd-write reduction block size (§4.4): disk writes as the block
+//      grows, under forced round churn.
+
+#include <cstdio>
+#include <memory>
+
+#include "harness.hpp"
+#include "smr/kv.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace mcp;
+using bench::McPolicy;
+using bench::Shape;
+using cstruct::History;
+
+// --- (a) coordinator count vs availability -----------------------------------
+
+void coordinator_count_ablation() {
+  std::printf("\n(a) crash 1 coordinator before the proposal; per-round coordinator count\n");
+  std::printf("%26s %12s %12s %14s\n", "round width", "mean lat", "p99 lat", "stalled");
+  for (int nc : {1, 3, 5}) {
+    util::Histogram lat;
+    int stalled = 0;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+      Shape shape;
+      // Same pool of 5 coordinator processes; rounds use 1, 3 or 5 of them.
+      shape.coordinators = nc == 1 ? 3 : nc;  // nc=1: classic failover setup
+      shape.seed = seed;
+      shape.net.min_delay = 5;
+      shape.net.max_delay = 10;
+      auto c = bench::make_mc(shape, nc == 1 ? McPolicy::kSingle : McPolicy::kMulti);
+      c.proposers[0]->start_delay = 300;
+      c.sim->crash_at(290, c.coordinators[0]->id());
+      if (c.sim->run_until([&] { return c.learners[0]->learned(); }, 1'000'000)) {
+        lat.add(static_cast<double>(c.learners[0]->learned_at() - 300));
+      } else {
+        ++stalled;
+      }
+    }
+    const char* label = nc == 1 ? "1 (single-coordinated)" : nc == 3 ? "3 (quorum 2)" : "5 (quorum 3)";
+    std::printf("%26s %12.1f %12.1f %14d\n", label, lat.count() ? lat.mean() : -1.0,
+                lat.count() ? lat.percentile(0.99) : -1.0, stalled);
+  }
+  std::printf("    (width 1 pays failure detection + election + phase 1; wider rounds\n"
+              "    absorb the crash with no round change)\n");
+}
+
+// --- (b) ladder policies under a conflict-heavy burst ---------------------------
+
+struct LadderResult {
+  double makespan = 0;
+  double collisions = 0;
+  double rounds = 0;
+  int done = 0;
+};
+
+template <typename MakePolicy>
+LadderResult ladder_run(MakePolicy&& make_policy) {
+  LadderResult out;
+  constexpr std::size_t kCommands = 16;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::NetworkConfig net;
+    net.min_delay = 1;
+    net.max_delay = 25;
+    sim::Simulation s(seed, net);
+    std::vector<sim::NodeId> coords{0, 1, 2};
+    auto policy = make_policy(coords);
+    genpaxos::Config<History> config;
+    config.acceptors = {3, 4, 5, 6, 7};
+    config.learners = {8, 9};
+    config.proposers = {10, 11, 12};
+    config.policy = policy.get();
+    config.f = 2;
+    config.e = 1;
+    config.bottom = History(&bench::key_conflicts());
+    for (int i = 0; i < 3; ++i) s.make_process<genpaxos::GenCoordinator<History>>(config);
+    for (int i = 0; i < 5; ++i) s.make_process<genpaxos::GenAcceptor<History>>(config);
+    std::vector<genpaxos::GenLearner<History>*> learners;
+    for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<genpaxos::GenLearner<History>>(config));
+    std::vector<genpaxos::GenProposer<History>*> proposers;
+    for (int i = 0; i < 3; ++i) proposers.push_back(&s.make_process<genpaxos::GenProposer<History>>(config));
+    for (std::size_t i = 0; i < kCommands; ++i) {
+      s.at(static_cast<sim::Time>(3 * i), [&, i] {
+        proposers[i % 3]->propose(cstruct::make_write(i + 1, "hot", "v"));
+      });
+    }
+    const bool ok = s.run_until(
+        [&] {
+          for (const auto* l : learners) {
+            if (l->learned().size() < kCommands) return false;
+          }
+          return true;
+        },
+        30'000'000);
+    if (!ok) continue;
+    ++out.done;
+    out.makespan += static_cast<double>(s.now());
+    out.collisions += static_cast<double>(s.metrics().counter("gen.collisions_detected"));
+    out.rounds += static_cast<double>(s.metrics().counter("gen.rounds_started"));
+  }
+  if (out.done > 0) {
+    out.makespan /= out.done;
+    out.collisions /= out.done;
+    out.rounds /= out.done;
+  }
+  return out;
+}
+
+void ladder_ablation() {
+  std::printf("\n(b) conflict-heavy burst (16 conflicting cmds): round-ladder choice\n");
+  std::printf("%-28s %10s %12s %8s %6s\n", "ladder", "makespan", "collisions", "rounds",
+              "done");
+  const LadderResult always = ladder_run([](std::vector<sim::NodeId> c) {
+    return paxos::PatternPolicy::always_multi(std::move(c));
+  });
+  const LadderResult ladder = ladder_run([](std::vector<sim::NodeId> c) {
+    return paxos::PatternPolicy::multi_then_single(std::move(c));
+  });
+  const LadderResult shrinking = ladder_run([](std::vector<sim::NodeId> c) {
+    return std::make_unique<paxos::ShrinkingMultiPolicy>(std::move(c), 1);
+  });
+  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "always-multi", always.makespan,
+              always.collisions, always.rounds, always.done);
+  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "multi-then-single (§4.2)",
+              ladder.makespan, ladder.collisions, ladder.rounds, ladder.done);
+  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "shrinking ladder (§4.5)",
+              shrinking.makespan, shrinking.collisions, shrinking.rounds, shrinking.done);
+}
+
+// --- (c) rnd persistence block size (§4.4) --------------------------------------
+
+void rnd_block_ablation() {
+  std::printf("\n(c) rnd-write policy under collision-driven round churn (§4.4)\n");
+  std::printf("%-28s %16s\n", "rnd persistence", "acceptor writes");
+  auto run = [](bool reduce, std::int64_t block) {
+    Shape shape;
+    shape.proposers = 3;
+    shape.seed = 3;
+    shape.net.min_delay = 1;
+    shape.net.max_delay = 25;
+    auto c = bench::make_gen(shape, McPolicy::kMultiThenSingle, reduce);
+    c.config.rnd_block = block;
+    // Conflict-heavy burst: collision jumps churn through rounds, each of
+    // which is a rnd-join at every acceptor.
+    constexpr std::size_t kCmds = 24;
+    for (std::size_t i = 0; i < kCmds; ++i) {
+      c.sim->at(static_cast<sim::Time>(3 * i), [&, i] {
+        c.proposers[i % 3]->propose(cstruct::make_write(i + 1, "hot", "v"));
+      });
+    }
+    c.sim->run_until([&] { return c.all_learned(kCmds); }, 20'000'000);
+    std::printf("    [rounds churned: %lld]  ",
+                static_cast<long long>(c.sim->metrics().counter("gen.rounds_started") +
+                                       c.sim->metrics().counter("gen.collisions_detected")));
+    return bench::acceptor_disk_writes(c.sim->metrics());
+  };
+  std::printf("%-28s %16lld\n", "write-through",
+              static_cast<long long>(run(false, 1)));
+  std::printf("%-28s %16lld\n", "block = 4",
+              static_cast<long long>(run(true, 4)));
+  std::printf("%-28s %16lld\n", "block = 16",
+              static_cast<long long>(run(true, 16)));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10: ablations — coordinator count, round ladders, rnd persistence",
+                "design choices from §4.1/§4.2/§4.4/§4.5 of the paper");
+  coordinator_count_ablation();
+  ladder_ablation();
+  rnd_block_ablation();
+  return 0;
+}

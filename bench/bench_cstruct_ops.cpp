@@ -1,0 +1,136 @@
+// E9 — Microbenchmarks for the c-struct operations of §3.3.1 (DESIGN.md).
+//
+// Generalized Paxos spends its CPU in ⊓ / ⊔ / compatibility checks on
+// command histories; this google-benchmark binary measures their cost as a
+// function of history length and conflict relation, including the
+// literal-prefix fast path that dominates steady-state protocol traffic.
+
+#include <benchmark/benchmark.h>
+
+#include "cstruct/cset.hpp"
+#include "cstruct/history.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcp::cstruct;
+
+const KeyConflict kKey;
+const AlwaysConflict kAlways;
+const NeverConflict kNever;
+
+History random_history(const ConflictRelation* rel, std::size_t len, std::uint64_t seed,
+                       int keyspace) {
+  mcp::util::Rng rng(seed);
+  History h(rel);
+  for (std::size_t i = 0; i < len; ++i) {
+    h.append(make_write(i + 1, "k" + std::to_string(rng.uniform(0, keyspace - 1)), "v"));
+  }
+  return h;
+}
+
+void BM_HistoryAppend(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    History h(&kKey);
+    for (std::size_t i = 0; i < len; ++i) h.append(make_write(i + 1, "k", "v"));
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HistoryAppend)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MeetLiteralPrefix(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  History longer = random_history(&kKey, len, 1, 8);
+  History shorter = History::from_sequence(
+      &kKey, {longer.sequence().begin(), longer.sequence().begin() + static_cast<long>(len / 2)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longer.meet(shorter));
+  }
+}
+BENCHMARK(BM_MeetLiteralPrefix)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MeetDivergent(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  // Common prefix + diverging commuting tails: the expensive general case.
+  History a = random_history(&kKey, len, 1, 8);
+  History b = a;
+  for (std::size_t i = 0; i < len / 4; ++i) {
+    a.append(make_write(10000 + i, "ka" + std::to_string(i), "v"));
+    b.append(make_write(20000 + i, "kb" + std::to_string(i), "v"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.meet(b));
+  }
+}
+BENCHMARK(BM_MeetDivergent)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_JoinDivergent(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  History a = random_history(&kKey, len, 1, 8);
+  History b = a;
+  for (std::size_t i = 0; i < len / 4; ++i) {
+    a.append(make_write(10000 + i, "ka" + std::to_string(i), "v"));
+    b.append(make_write(20000 + i, "kb" + std::to_string(i), "v"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.join(b));
+  }
+}
+BENCHMARK(BM_JoinDivergent)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CompatibleDivergent(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  History a = random_history(&kKey, len, 1, 8);
+  History b = a;
+  for (std::size_t i = 0; i < len / 4; ++i) {
+    a.append(make_write(10000 + i, "ka" + std::to_string(i), "v"));
+    b.append(make_write(20000 + i, "kb" + std::to_string(i), "v"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compatible(b));
+  }
+}
+BENCHMARK(BM_CompatibleDivergent)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExtendsFastPath(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  History longer = random_history(&kKey, len, 1, 8);
+  History shorter = History::from_sequence(
+      &kKey, {longer.sequence().begin(), longer.sequence().begin() + static_cast<long>(len / 2)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longer.extends(shorter));
+  }
+}
+BENCHMARK(BM_ExtendsFastPath)->Arg(64)->Arg(1024);
+
+void BM_TotalOrderMeet(benchmark::State& state) {
+  // AlwaysConflict: histories degenerate to sequences; meet = longest
+  // common prefix.
+  const auto len = static_cast<std::size_t>(state.range(0));
+  History a = random_history(&kAlways, len, 1, 4);
+  History b = History::from_sequence(&kAlways, a.sequence());
+  b.append(make_write(99999, "k", "v"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.meet(b));
+  }
+}
+BENCHMARK(BM_TotalOrderMeet)->Arg(64)->Arg(256);
+
+void BM_CSetJoin(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  CSet a, b;
+  for (std::size_t i = 0; i < len; ++i) {
+    a.append(make_write(i, "k", "v"));
+    b.append(make_write(i + len / 2, "k", "v"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.join(b));
+  }
+}
+BENCHMARK(BM_CSetJoin)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

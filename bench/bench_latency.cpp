@@ -1,0 +1,132 @@
+// E1 — Latency in communication steps (DESIGN.md).
+//
+// Paper: Classic Paxos learns in 3 steps behind a leader (§2.1); Fast Paxos
+// in 2 steps without one (§2.2); multicoordinated rounds keep the 3-step
+// latency of classic rounds while removing the single coordinator (§3.1).
+// Phase 1 is executed "a priori" in all cases.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace mcp;
+using bench::Shape;
+
+constexpr sim::Time kProposeAt = 50;
+
+sim::Time classic_steps() {
+  Shape shape;
+  shape.liveness = false;
+  auto c = bench::make_classic(shape);
+  c.proposers[0]->start_delay = kProposeAt;
+  c.sim->run_to_completion();
+  return c.learners[0]->learned_at() - kProposeAt;
+}
+
+sim::Time fast_steps() {
+  Shape shape;
+  shape.liveness = false;
+  shape.coordinators = 1;
+  auto c = bench::make_fast(shape);
+  c.proposers[0]->start_delay = kProposeAt;
+  c.sim->run_to_completion();
+  return c.learners[0]->learned_at() - kProposeAt;
+}
+
+sim::Time mc_steps(bench::McPolicy kind) {
+  Shape shape;
+  shape.liveness = false;
+  auto c = bench::make_mc(shape, kind);
+  c.proposers[0]->start_delay = kProposeAt;
+  c.sim->run_to_completion();
+  return c.learners[0]->learned_at() - kProposeAt;
+}
+
+struct Realistic {
+  double mean;
+  double p99;
+};
+
+template <typename MakeAndRun>
+Realistic realistic(MakeAndRun&& run_once) {
+  util::Histogram h;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    h.add(static_cast<double>(run_once(seed)));
+  }
+  return Realistic{h.mean(), h.percentile(0.99)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1: communication steps to learn a command (phase 1 pre-executed)",
+                "Classic = 3, Fast = 2, Multicoordinated = 3 (same as classic)");
+
+  std::printf("%-34s %8s %16s %16s\n", "protocol", "steps", "acceptor quorum",
+              "coord quorum");
+  std::printf("%-34s %8lld %16s %16s\n", "Classic Paxos (standalone)",
+              static_cast<long long>(classic_steps()), "3 of 5 (n-F)", "1 (leader)");
+  std::printf("%-34s %8lld %16s %16s\n", "Fast Paxos (standalone)",
+              static_cast<long long>(fast_steps()), "4 of 5 (n-E)", "none");
+  std::printf("%-34s %8lld %16s %16s\n", "Multicoordinated Paxos",
+              static_cast<long long>(mc_steps(bench::McPolicy::kMulti)), "3 of 5 (n-F)",
+              "2 of 3");
+  std::printf("%-34s %8lld %16s %16s\n", "  engine, single-coord rounds",
+              static_cast<long long>(mc_steps(bench::McPolicy::kSingle)), "3 of 5",
+              "1 (leader)");
+  std::printf("%-34s %8lld %16s %16s\n", "  engine, fast rounds",
+              static_cast<long long>(mc_steps(bench::McPolicy::kFast)), "4 of 5", "none");
+
+  bench::banner("E1b: wall latency, jittery network (delay U[5,15], disk write = 5)",
+                "same ordering; multicoordinated pays max over a coordinator quorum");
+
+  auto classic_run = [](std::uint64_t seed) {
+    Shape shape;
+    shape.liveness = false;
+    shape.seed = seed;
+    shape.net.min_delay = 5;
+    shape.net.max_delay = 15;
+    shape.disk_latency = 5;
+    auto c = bench::make_classic(shape);
+    c.proposers[0]->start_delay = 200;
+    c.sim->run_to_completion();
+    return c.learners[0]->learned_at() - 200;
+  };
+  auto fast_run = [](std::uint64_t seed) {
+    Shape shape;
+    shape.liveness = false;
+    shape.coordinators = 1;
+    shape.seed = seed;
+    shape.net.min_delay = 5;
+    shape.net.max_delay = 15;
+    shape.disk_latency = 5;
+    auto c = bench::make_fast(shape);
+    c.proposers[0]->start_delay = 200;
+    c.sim->run_to_completion();
+    return c.learners[0]->learned_at() - 200;
+  };
+  auto mc_run = [](std::uint64_t seed) {
+    Shape shape;
+    shape.liveness = false;
+    shape.seed = seed;
+    shape.net.min_delay = 5;
+    shape.net.max_delay = 15;
+    shape.disk_latency = 5;
+    auto c = bench::make_mc(shape, bench::McPolicy::kMulti);
+    c.proposers[0]->start_delay = 200;
+    c.sim->run_to_completion();
+    return c.learners[0]->learned_at() - 200;
+  };
+
+  const auto rc = realistic(classic_run);
+  const auto rf = realistic(fast_run);
+  const auto rm = realistic(mc_run);
+  std::printf("%-34s %10s %10s\n", "protocol", "mean", "p99");
+  std::printf("%-34s %10.1f %10.1f\n", "Classic Paxos", rc.mean, rc.p99);
+  std::printf("%-34s %10.1f %10.1f\n", "Fast Paxos", rf.mean, rf.p99);
+  std::printf("%-34s %10.1f %10.1f\n", "Multicoordinated Paxos", rm.mean, rm.p99);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E4 — Load balance across coordinator and acceptor quorums (DESIGN.md).
+//
+// Paper (§4.1): with multiple coordinator/acceptor quorums, no process must
+// handle every command. With majority quorums each coordinator handles at
+// most 1/2 + 1/nc of the commands and each acceptor at most 1/2 + 1/n; fast
+// rounds force every member of a fast quorum — more than 3/4 of the
+// acceptors — to process each command.
+//
+// We run many single-command instances with proposer-side quorum selection
+// (§4.1's scheme: a random coordinator quorum with a piggybacked acceptor
+// quorum) and measure the realized per-process load fractions.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace mcp;
+using bench::McPolicy;
+using bench::Shape;
+
+struct Load {
+  double max_coord_fraction = 0;
+  double max_acceptor_fraction = 0;
+  int decided = 0;
+};
+
+Load measure(bool load_balance, int runs) {
+  std::map<int, std::int64_t> coord_cmds;     // coordinator index → commands seen
+  std::map<int, std::int64_t> acceptor_cmds;  // acceptor index → values accepted
+  int decided = 0;
+  for (int r = 0; r < runs; ++r) {
+    Shape shape;
+    shape.seed = static_cast<std::uint64_t>(r + 1);
+    shape.net.min_delay = 2;
+    shape.net.max_delay = 6;
+    auto c = bench::make_mc(shape, McPolicy::kMulti, load_balance);
+    const bool ok = c.sim->run_until([&] { return c.learners[0]->learned(); }, 500'000);
+    if (!ok) continue;
+    ++decided;
+    for (int i = 0; i < 3; ++i) {
+      const auto n = c.sim->metrics().counter(
+          "coord." + std::to_string(c.coordinators[static_cast<std::size_t>(i)]->id()) +
+          ".proposals");
+      if (n > 0) coord_cmds[i] += 1;  // this coordinator worked on the command
+    }
+    for (int i = 0; i < 5; ++i) {
+      const auto n = c.sim->metrics().counter(
+          "acceptor." + std::to_string(c.acceptors[static_cast<std::size_t>(i)]->id()) +
+          ".accepts");
+      if (n > 0) acceptor_cmds[i] += 1;
+    }
+  }
+  Load out;
+  out.decided = decided;
+  for (const auto& [i, n] : coord_cmds) {
+    out.max_coord_fraction =
+        std::max(out.max_coord_fraction, static_cast<double>(n) / decided);
+  }
+  for (const auto& [i, n] : acceptor_cmds) {
+    out.max_acceptor_fraction =
+        std::max(out.max_acceptor_fraction, static_cast<double>(n) / decided);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E4: fraction of commands processed by the busiest process",
+                "multicoord w/ load balancing: coordinator <= 1/2 + 1/nc (0.83 for "
+                "nc=3), acceptor <= 1/2 + 1/n (0.70 for n=5); fast rounds: every "
+                "acceptor of a fast quorum > 3/4");
+
+  constexpr int kRuns = 300;
+  const Load lb = measure(true, kRuns);
+  const Load bc = measure(false, kRuns);
+
+  std::printf("%-38s %14s %14s %8s\n", "configuration (nc=3, n=5)", "max coord",
+              "max acceptor", "runs");
+  std::printf("%-38s %13.2f%% %13.2f%% %8d\n", "multicoord + quorum selection (§4.1)",
+              100 * lb.max_coord_fraction, 100 * lb.max_acceptor_fraction, lb.decided);
+  std::printf("%-38s %13.2f%% %13.2f%% %8d\n", "multicoord, broadcast (no balancing)",
+              100 * bc.max_coord_fraction, 100 * bc.max_acceptor_fraction, bc.decided);
+  std::printf("%-38s %13.2f%% %13.2f%% %8s\n", "fast rounds (bound: quorum/n)",
+              100.0 * 0.0, 100.0 * 4.0 / 5.0, "n/a");
+
+  std::printf("\npaper bounds: coordinator 1/2+1/3 = 83.3%%, acceptor 1/2+1/5 = 70.0%%.\n");
+  std::printf("fast rounds have no coordinator load but every selected acceptor\n");
+  std::printf("quorum covers 4/5 = 80%% > 3/4 of the acceptors.\n");
+
+  const bool ok = lb.max_coord_fraction <= 0.84 && lb.max_acceptor_fraction <= 0.71 &&
+                  bc.max_coord_fraction > 0.95;
+  std::printf("\nwithin paper bounds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

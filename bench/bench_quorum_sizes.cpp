@@ -1,0 +1,51 @@
+// E2 — Quorum size requirements (DESIGN.md).
+//
+// Paper (§2.2 and abstract): if any minority may fail, classic quorums are
+// majorities; fast quorums must satisfy n > 2E + F, e.g. ⌈(2n+1)/3⌉ for
+// uniform quorums or ⌈(3n+1)/4⌉ when classic quorums stay majorities.
+// Multicoordinated rounds use classic (majority) quorums — the paper's
+// "only a majority of them must exchange messages".
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "paxos/quorum.hpp"
+
+int main() {
+  using mcp::paxos::QuorumSystem;
+  using mcp::sim::NodeId;
+
+  std::printf("E2: acceptor quorum sizes by protocol and cluster size\n");
+  std::printf("paper claim: classic/multicoord = majority; fast = ceil((3n+1)/4) with\n");
+  std::printf("majority classic quorums; uniform fast+classic = ceil((2n+1)/3)\n\n");
+  std::printf("%4s %10s %12s %14s %14s %16s\n", "n", "F (maj)", "classic q",
+              "fast q (n-E)", "ceil(3n+1)/4", "uniform ceil(2n+1)/3");
+
+  for (int n = 3; n <= 13; ++n) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    const auto qs = QuorumSystem::with_max_tolerance(ids);
+    const int paper_fast = (3 * n + 1 + 3) / 4;  // ⌈(3n+1)/4⌉
+    const int uniform = (2 * n + 1 + 2) / 3;     // ⌈(2n+1)/3⌉
+    std::printf("%4d %10d %12zu %14zu %14d %16d\n", n, qs.f(), qs.classic_quorum_size(),
+                qs.fast_quorum_size(), paper_fast, uniform);
+    if (!qs.meets_fast_requirement()) {
+      std::printf("  !! configuration violates n > 2E + F\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nprocesses that must synchronize per learned command:\n");
+  std::printf("%4s %26s %26s\n", "n", "multicoord (majority)", "fast (> 3/4 of n)");
+  for (int n = 3; n <= 13; n += 2) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    const auto qs = QuorumSystem::with_max_tolerance(ids);
+    std::printf("%4d %20zu (%4.0f%%) %20zu (%4.0f%%)\n", n, qs.classic_quorum_size(),
+                100.0 * static_cast<double>(qs.classic_quorum_size()) / n,
+                qs.fast_quorum_size(),
+                100.0 * static_cast<double>(qs.fast_quorum_size()) / n);
+  }
+  return 0;
+}

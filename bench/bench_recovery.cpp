@@ -1,0 +1,114 @@
+// E7 — Collision recovery cost in Fast Paxos (DESIGN.md).
+//
+// Paper (§2.2): after a collision at fast round i,
+//   - restarting a new round from phase 1 costs ~4 extra steps,
+//   - coordinated recovery (2b of round i reused as 1b of i+1) costs 2,
+//   - uncoordinated recovery (acceptors do it themselves) costs 1.
+//
+// We burst two conflicting proposals over a jittery network, keep only the
+// seeds where a collision actually happened, and report the end-to-end
+// decision latency per recovery mode (same seeds for all modes).
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "harness.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace mcp;
+using bench::Shape;
+
+struct RunResult {
+  bool collided = false;
+  bool decided = false;
+  sim::Time latency = 0;
+  std::int64_t extra_writes = 0;
+};
+
+RunResult run_once(fast::RecoveryMode mode, std::uint64_t seed) {
+  Shape shape;
+  shape.seed = seed;
+  shape.proposers = 2;
+  shape.coordinators = 1;
+  shape.net.min_delay = 1;
+  shape.net.max_delay = 20;
+  auto c = bench::make_fast(shape, mode);
+  RunResult out;
+  const bool ok = c.sim->run_until(
+      [&] {
+        for (const auto* l : c.learners) {
+          if (!l->learned()) return false;
+        }
+        return true;
+      },
+      5'000'000);
+  out.decided = ok;
+  out.collided = c.sim->metrics().counter("fast.collisions_detected") > 0;
+  if (ok) out.latency = c.learners[0]->learned_at();
+  out.extra_writes = bench::acceptor_disk_writes(c.sim->metrics());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E7: decision latency after a fast-round collision, by recovery mode",
+                "restart > coordinated (2 steps) > uncoordinated (1 step); all modes "
+                "pay acceptor disk writes for the discarded values");
+
+  // Find seeds where the coordinated-mode run collides; reuse them across
+  // modes so every mode faces the same contention.
+  std::vector<std::uint64_t> collided_seeds;
+  for (std::uint64_t seed = 1; seed <= 400 && collided_seeds.size() < 40; ++seed) {
+    if (run_once(fast::RecoveryMode::kCoordinated, seed).collided) {
+      collided_seeds.push_back(seed);
+    }
+  }
+  std::printf("collided runs found: %zu (of 400 candidate seeds)\n\n", collided_seeds.size());
+
+  std::printf("%-24s %12s %12s %12s %14s %8s\n", "recovery mode", "p50 lat",
+              "mean lat", "p99 lat", "writes/run", "decided");
+  for (auto mode : {fast::RecoveryMode::kRestart, fast::RecoveryMode::kCoordinated,
+                    fast::RecoveryMode::kUncoordinated}) {
+    util::Histogram lat;
+    double writes = 0;
+    int decided = 0;
+    for (std::uint64_t seed : collided_seeds) {
+      const RunResult r = run_once(mode, seed);
+      if (r.decided) {
+        ++decided;
+        lat.add(static_cast<double>(r.latency));
+        writes += static_cast<double>(r.extra_writes);
+      }
+    }
+    const char* name = mode == fast::RecoveryMode::kRestart        ? "restart"
+                       : mode == fast::RecoveryMode::kCoordinated ? "coordinated"
+                                                                   : "uncoordinated";
+    std::printf("%-24s %12.1f %12.1f %12.1f %14.1f %5d/%zu\n", name,
+                lat.percentile(0.5), lat.mean(), lat.percentile(0.99),
+                writes / decided, decided, collided_seeds.size());
+  }
+
+  std::printf("\nbaseline (no contention, same network): ");
+  util::Histogram base;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Shape shape;
+    shape.seed = seed + 1000;
+    shape.proposers = 1;
+    shape.coordinators = 1;
+    shape.net.min_delay = 1;
+    shape.net.max_delay = 20;
+    auto c = bench::make_fast(shape, fast::RecoveryMode::kCoordinated);
+    if (c.sim->run_until([&] { return c.learners[0]->learned(); }, 5'000'000)) {
+      base.add(static_cast<double>(c.learners[0]->learned_at()));
+    }
+  }
+  std::printf("p50 %.1f, mean %.1f\n", base.percentile(0.5), base.mean());
+  std::printf("\nuncoordinated recovery wins in the common case (p50) but its tail is\n"
+              "heavy: when acceptors re-collide repeatedly, progress falls back to the\n"
+              "leader's timeout-driven classic round (the liveness backstop of §4.3).\n");
+  return 0;
+}

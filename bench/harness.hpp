@@ -1,0 +1,273 @@
+#pragma once
+
+// Shared cluster builders and table helpers for the experiment benches
+// (E1–E8 of DESIGN.md). Each builder lays out ids densely in the order
+// coordinators, acceptors, learners, proposers and wires the corresponding
+// processes into a fresh Simulation.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classic/classic_paxos.hpp"
+#include "classic/multi_paxos.hpp"
+#include "fast/fast_paxos.hpp"
+#include "genpaxos/engine.hpp"
+#include "multicoord/mc_consensus.hpp"
+#include "sim/simulation.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::bench {
+
+struct Shape {
+  int proposers = 1;
+  int coordinators = 3;
+  int acceptors = 5;
+  int learners = 2;
+  std::uint64_t seed = 1;
+  sim::NetworkConfig net{};
+  bool liveness = true;
+  sim::Time disk_latency = 0;
+};
+
+// --- Classic Paxos ------------------------------------------------------------
+
+struct ClassicCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  classic::Config config;
+  std::vector<classic::Proposer*> proposers;
+  std::vector<classic::Coordinator*> coordinators;
+  std::vector<classic::Acceptor*> acceptors;
+  std::vector<classic::Learner*> learners;
+};
+
+inline ClassicCluster make_classic(const Shape& shape) {
+  ClassicCluster c;
+  c.sim = std::make_unique<sim::Simulation>(shape.seed, shape.net);
+  sim::NodeId next = 0;
+  for (int i = 0; i < shape.coordinators; ++i) c.config.coordinators.push_back(next++);
+  for (int i = 0; i < shape.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < shape.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < shape.proposers; ++i) c.config.proposers.push_back(next++);
+  c.config.f = (shape.acceptors - 1) / 2;
+  c.config.enable_liveness = shape.liveness;
+  c.config.disk_latency = shape.disk_latency;
+  for (int i = 0; i < shape.coordinators; ++i) {
+    c.coordinators.push_back(&c.sim->make_process<classic::Coordinator>(c.config));
+  }
+  for (int i = 0; i < shape.acceptors; ++i) {
+    c.acceptors.push_back(&c.sim->make_process<classic::Acceptor>(c.config));
+  }
+  for (int i = 0; i < shape.learners; ++i) {
+    c.learners.push_back(&c.sim->make_process<classic::Learner>(c.config));
+  }
+  for (int i = 0; i < shape.proposers; ++i) {
+    c.proposers.push_back(&c.sim->make_process<classic::Proposer>(
+        c.config, cstruct::make_write(static_cast<std::uint64_t>(100 + i), "k", "v")));
+  }
+  return c;
+}
+
+// --- Fast Paxos ----------------------------------------------------------------
+
+struct FastCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  fast::Config config;
+  std::vector<fast::Proposer*> proposers;
+  std::vector<fast::Coordinator*> coordinators;
+  std::vector<fast::Acceptor*> acceptors;
+  std::vector<fast::Learner*> learners;
+};
+
+inline FastCluster make_fast(const Shape& shape,
+                             fast::RecoveryMode recovery = fast::RecoveryMode::kCoordinated,
+                             int f = 1, int e = 1) {
+  FastCluster c;
+  c.sim = std::make_unique<sim::Simulation>(shape.seed, shape.net);
+  sim::NodeId next = 0;
+  for (int i = 0; i < shape.coordinators; ++i) c.config.coordinators.push_back(next++);
+  for (int i = 0; i < shape.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < shape.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < shape.proposers; ++i) c.config.proposers.push_back(next++);
+  c.config.f = f;
+  c.config.e = e;
+  c.config.recovery = recovery;
+  c.config.enable_liveness = shape.liveness;
+  c.config.disk_latency = shape.disk_latency;
+  for (int i = 0; i < shape.coordinators; ++i) {
+    c.coordinators.push_back(&c.sim->make_process<fast::Coordinator>(c.config));
+  }
+  for (int i = 0; i < shape.acceptors; ++i) {
+    c.acceptors.push_back(&c.sim->make_process<fast::Acceptor>(c.config));
+  }
+  for (int i = 0; i < shape.learners; ++i) {
+    c.learners.push_back(&c.sim->make_process<fast::Learner>(c.config));
+  }
+  for (int i = 0; i < shape.proposers; ++i) {
+    c.proposers.push_back(&c.sim->make_process<fast::Proposer>(
+        c.config, cstruct::make_write(static_cast<std::uint64_t>(100 + i), "k", "v")));
+  }
+  return c;
+}
+
+// --- Multicoordinated consensus ---------------------------------------------------
+
+enum class McPolicy { kSingle, kMulti, kMultiThenSingle, kFast };
+
+struct McCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  multicoord::Config config;
+  std::vector<multicoord::Proposer*> proposers;
+  std::vector<multicoord::Coordinator*> coordinators;
+  std::vector<multicoord::Acceptor*> acceptors;
+  std::vector<multicoord::Learner*> learners;
+};
+
+inline McCluster make_mc(const Shape& shape, McPolicy kind, bool load_balance = false) {
+  McCluster c;
+  c.sim = std::make_unique<sim::Simulation>(shape.seed, shape.net);
+  sim::NodeId next = 0;
+  std::vector<sim::NodeId> coords;
+  for (int i = 0; i < shape.coordinators; ++i) coords.push_back(next++);
+  for (int i = 0; i < shape.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < shape.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < shape.proposers; ++i) c.config.proposers.push_back(next++);
+  switch (kind) {
+    case McPolicy::kSingle:
+      c.policy = paxos::PatternPolicy::always_single(coords);
+      break;
+    case McPolicy::kMulti:
+      c.policy = paxos::PatternPolicy::always_multi(coords);
+      break;
+    case McPolicy::kMultiThenSingle:
+      c.policy = paxos::PatternPolicy::multi_then_single(coords);
+      break;
+    case McPolicy::kFast:
+      c.policy = paxos::PatternPolicy::fast_then_single(coords);
+      break;
+  }
+  c.config.policy = c.policy.get();
+  c.config.f = (shape.acceptors - 1) / 2;
+  c.config.e = std::max(0, (shape.acceptors - c.config.f - 1) / 2);
+  c.config.enable_liveness = shape.liveness;
+  c.config.load_balance = load_balance;
+  c.config.disk_latency = shape.disk_latency;
+  for (int i = 0; i < shape.coordinators; ++i) {
+    c.coordinators.push_back(&c.sim->make_process<multicoord::Coordinator>(c.config));
+  }
+  for (int i = 0; i < shape.acceptors; ++i) {
+    c.acceptors.push_back(&c.sim->make_process<multicoord::Acceptor>(c.config));
+  }
+  for (int i = 0; i < shape.learners; ++i) {
+    c.learners.push_back(&c.sim->make_process<multicoord::Learner>(c.config));
+  }
+  for (int i = 0; i < shape.proposers; ++i) {
+    c.proposers.push_back(&c.sim->make_process<multicoord::Proposer>(
+        c.config, cstruct::make_write(static_cast<std::uint64_t>(100 + i), "k", "v")));
+  }
+  return c;
+}
+
+// --- Generalized engine over command histories --------------------------------------
+
+struct GenCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  genpaxos::Config<cstruct::History> config;
+  std::vector<genpaxos::GenProposer<cstruct::History>*> proposers;
+  std::vector<genpaxos::GenCoordinator<cstruct::History>*> coordinators;
+  std::vector<genpaxos::GenAcceptor<cstruct::History>*> acceptors;
+  std::vector<genpaxos::GenLearner<cstruct::History>*> learners;
+
+  bool all_learned(std::size_t count) const {
+    for (const auto* l : learners) {
+      if (l->learned().size() < count) return false;
+    }
+    return true;
+  }
+};
+
+inline const cstruct::KeyConflict& key_conflicts() {
+  static const cstruct::KeyConflict kRel;
+  return kRel;
+}
+
+inline GenCluster make_gen(const Shape& shape, McPolicy kind,
+                           bool reduce_rnd_writes = true) {
+  GenCluster c;
+  c.sim = std::make_unique<sim::Simulation>(shape.seed, shape.net);
+  sim::NodeId next = 0;
+  std::vector<sim::NodeId> coords;
+  for (int i = 0; i < shape.coordinators; ++i) coords.push_back(next++);
+  for (int i = 0; i < shape.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < shape.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < shape.proposers; ++i) c.config.proposers.push_back(next++);
+  switch (kind) {
+    case McPolicy::kSingle:
+      c.policy = paxos::PatternPolicy::always_single(coords);
+      break;
+    case McPolicy::kMulti:
+      c.policy = paxos::PatternPolicy::always_multi(coords);
+      break;
+    case McPolicy::kMultiThenSingle:
+      c.policy = paxos::PatternPolicy::multi_then_single(coords);
+      break;
+    case McPolicy::kFast:
+      c.policy = paxos::PatternPolicy::fast_then_single(coords);
+      break;
+  }
+  c.config.policy = c.policy.get();
+  if (kind == McPolicy::kFast) {
+    c.config.f = std::max(1, (shape.acceptors - 1) / 4);
+    c.config.e = c.config.f;
+    if (shape.acceptors <= 2 * c.config.e + c.config.f) c.config.e = 0;
+  } else {
+    c.config.f = (shape.acceptors - 1) / 2;
+    c.config.e = std::max(0, (shape.acceptors - c.config.f - 1) / 2);
+  }
+  c.config.bottom = cstruct::History(&key_conflicts());
+  c.config.enable_liveness = shape.liveness;
+  c.config.reduce_rnd_writes = reduce_rnd_writes;
+  c.config.disk_latency = shape.disk_latency;
+  for (int i = 0; i < shape.coordinators; ++i) {
+    c.coordinators.push_back(
+        &c.sim->make_process<genpaxos::GenCoordinator<cstruct::History>>(c.config));
+  }
+  for (int i = 0; i < shape.acceptors; ++i) {
+    c.acceptors.push_back(
+        &c.sim->make_process<genpaxos::GenAcceptor<cstruct::History>>(c.config));
+  }
+  for (int i = 0; i < shape.learners; ++i) {
+    c.learners.push_back(
+        &c.sim->make_process<genpaxos::GenLearner<cstruct::History>>(c.config));
+  }
+  for (int i = 0; i < shape.proposers; ++i) {
+    c.proposers.push_back(
+        &c.sim->make_process<genpaxos::GenProposer<cstruct::History>>(c.config));
+  }
+  return c;
+}
+
+/// Sum of all per-acceptor ".disk_writes" counters.
+inline std::int64_t acceptor_disk_writes(const util::Metrics& m) {
+  std::int64_t total = 0;
+  for (const auto& [name, value] : m.counters_with_prefix("acceptor.")) {
+    if (name.size() >= 12 && name.compare(name.size() - 12, 12, ".disk_writes") == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+// --- table helpers ---------------------------------------------------------------------
+
+inline void banner(const std::string& title, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace mcp::bench

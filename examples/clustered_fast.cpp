@@ -1,0 +1,103 @@
+// The §4.5 "clustered systems" configuration: ranges of fast rounds with
+// single-coordinated recovery rounds interleaved.
+//
+// On a cluster network with little jitter, messages from different clients
+// tend to arrive everywhere in the same order ("spontaneous ordering"), so
+// fast rounds learn most commands in two steps even under some contention;
+// the occasional collision falls back to the next classic round. This demo
+// runs the same contended workload on a low-jitter and a high-jitter
+// network and reports how the fast path degrades.
+//
+//   $ ./clustered_fast
+
+#include <cstdio>
+#include <vector>
+
+#include "genpaxos/engine.hpp"
+
+namespace {
+
+using namespace mcp;
+namespace gp = mcp::genpaxos;
+using cstruct::History;
+
+struct Outcome {
+  double mean_latency = 0;
+  std::int64_t collisions = 0;
+  std::int64_t rounds = 0;
+  std::size_t learned = 0;
+};
+
+Outcome run(sim::Time max_delay) {
+  static const cstruct::KeyConflict kConflicts;
+  sim::NetworkConfig net;
+  net.min_delay = 5;
+  net.max_delay = max_delay;
+  sim::Simulation simulation(/*seed=*/21, net);
+
+  const std::vector<sim::NodeId> coordinators{0};
+  gp::Config<History> config;
+  config.acceptors = {1, 2, 3, 4, 5};
+  config.learners = {6};
+  config.proposers = {7, 8};
+  config.f = 1;  // fast quorums 4 of 5 (n > 2E + F with E = 1)
+  config.e = 1;
+  config.bottom = History(&kConflicts);
+  auto policy = paxos::PatternPolicy::clustered(coordinators, /*fast_range=*/6);
+  config.policy = policy.get();
+
+  simulation.make_process<gp::GenCoordinator<History>>(config);
+  for (int i = 0; i < 5; ++i) simulation.make_process<gp::GenAcceptor<History>>(config);
+  auto& learner = simulation.make_process<gp::GenLearner<History>>(config);
+  std::vector<gp::GenProposer<History>*> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(&simulation.make_process<gp::GenProposer<History>>(config));
+  }
+
+  // Two clients write the same hot key in simultaneous bursts: every pair
+  // conflicts, so ordering is carried entirely by message arrival order.
+  constexpr std::size_t kOps = 30;
+  std::map<std::uint64_t, sim::Time> proposed_at;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const sim::Time at = static_cast<sim::Time>(80 * (i / 2));  // pairs fire together
+    proposed_at[i + 1] = at;
+    simulation.at(at, [&, i] {
+      clients[i % 2]->propose(cstruct::make_write(i + 1, "hot", "v" + std::to_string(i)));
+    });
+  }
+
+  simulation.run_until([&] { return learner.learned().size() >= kOps; }, 10'000'000);
+
+  Outcome out;
+  out.learned = learner.learned().size();
+  out.collisions =
+      simulation.metrics().counter("gen.fast_collisions_detected") +
+      simulation.metrics().counter("gen.collisions_detected");
+  out.rounds = simulation.metrics().counter("gen.rounds_started");
+  double total = 0;
+  for (const auto& [id, t] : learner.learn_times()) {
+    total += static_cast<double>(t - proposed_at[id]);
+  }
+  out.mean_latency = total / static_cast<double>(kOps);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("clustered configuration (§4.5): 6 fast rounds per classic recovery round\n");
+  std::printf("30 conflicting commands from 2 clients; base hop latency 5\n\n");
+  std::printf("%-26s %10s %12s %8s %8s\n", "network", "mean lat", "collisions",
+              "rounds", "learned");
+  const Outcome calm = run(/*max_delay=*/5);    // deterministic ordering (LAN)
+  const Outcome noisy = run(/*max_delay=*/30);  // WAN-ish jitter
+  std::printf("%-26s %10.1f %12lld %8lld %8zu\n", "no jitter (delay = 5)", calm.mean_latency,
+              static_cast<long long>(calm.collisions), static_cast<long long>(calm.rounds),
+              calm.learned);
+  std::printf("%-26s %10.1f %12lld %8lld %8zu\n", "high jitter (U[5,30])",
+              noisy.mean_latency, static_cast<long long>(noisy.collisions),
+              static_cast<long long>(noisy.rounds), noisy.learned);
+  std::printf("\nwith spontaneous ordering the fast path absorbs conflicting traffic;\n");
+  std::printf("jitter breaks the ordering and the ladder leans on recovery rounds.\n");
+  return (calm.learned == 30 && noisy.learned == 30) ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Availability demo (§4.1): what happens when a coordinator crashes
+// mid-stream.
+//
+// Runs the same scenario twice:
+//   1. Classic (single-coordinated) rounds: the crash of *the* leader
+//      stalls the instance until suspicion + election + a new round's
+//      phase 1 complete.
+//   2. Multicoordinated rounds: the crash of one of three coordinators is
+//      absorbed by the surviving coordinator quorum — no round change, no
+//      extra latency.
+//
+//   $ ./coordinator_failover
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "multicoord/mc_consensus.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace mcp;
+namespace mc = mcp::multicoord;
+
+struct Outcome {
+  bool learned = false;
+  sim::Time learned_at = -1;
+  std::int64_t rounds = 0;
+};
+
+Outcome run(bool multicoordinated) {
+  sim::NetworkConfig net;
+  net.min_delay = 5;
+  net.max_delay = 10;
+  sim::Simulation simulation(/*seed=*/7, net);
+
+  const std::vector<sim::NodeId> coordinators{0, 1, 2};
+  mc::Config config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8};
+  config.proposers = {9};
+  config.f = 2;
+  config.e = 1;
+  std::unique_ptr<paxos::RoundPolicy> policy =
+      multicoordinated ? paxos::PatternPolicy::always_multi(coordinators)
+                       : paxos::PatternPolicy::always_single(coordinators);
+  config.policy = policy.get();
+  // Realistic liveness machinery: heartbeats every 50 ticks, suspicion
+  // after 175, round retry after 800.
+  config.enable_liveness = true;
+
+  for (int i = 0; i < 3; ++i) simulation.make_process<mc::Coordinator>(config);
+  for (int i = 0; i < 5; ++i) simulation.make_process<mc::Acceptor>(config);
+  auto& learner = simulation.make_process<mc::Learner>(config);
+  auto& proposer = simulation.make_process<mc::Proposer>(
+      config, cstruct::make_write(1, "k", "v"));
+  proposer.start_delay = 300;  // phase 1 is long done by then
+
+  // Crash coordinator 0 — the leader — just before the proposal arrives.
+  simulation.crash_at(290, 0);
+
+  simulation.run_until([&] { return learner.learned(); }, 1'000'000);
+  Outcome out;
+  out.learned = learner.learned();
+  out.learned_at = learner.learned_at();
+  out.rounds = simulation.metrics().counter("mc.rounds_started");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Outcome single = run(/*multicoordinated=*/false);
+  const Outcome multi = run(/*multicoordinated=*/true);
+
+  std::printf("scenario: leader crashes at t=290; command proposed at t=300\n\n");
+  std::printf("%-28s %12s %14s %8s\n", "round kind", "learned at", "cmd latency", "rounds");
+  std::printf("%-28s %12lld %14lld %8lld\n", "single-coordinated",
+              static_cast<long long>(single.learned_at),
+              static_cast<long long>(single.learned_at - 300),
+              static_cast<long long>(single.rounds));
+  std::printf("%-28s %12lld %14lld %8lld\n", "multicoordinated",
+              static_cast<long long>(multi.learned_at),
+              static_cast<long long>(multi.learned_at - 300),
+              static_cast<long long>(multi.rounds));
+  std::printf("\nthe single-coordinated run pays suspicion + election + new round;\n"
+              "the multicoordinated run is served by the surviving coordinator quorum.\n");
+  return (single.learned && multi.learned && multi.learned_at < single.learned_at) ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Generic Broadcast (§3.3): semantic ordering with command histories.
+//
+// Two learners may deliver commuting commands in different orders — that is
+// allowed, and it is exactly what lets Generalized/Multicoordinated Paxos
+// avoid collisions on commuting traffic. Conflicting commands, in contrast,
+// are delivered in the same relative order everywhere.
+//
+// The run proposes a mix of commuting (per-user keys) and conflicting
+// (shared key) commands from three clients concurrently, then prints each
+// learner's linearization and verifies pairwise compatibility.
+//
+//   $ ./generic_broadcast
+
+#include <cstdio>
+#include <vector>
+
+#include "genpaxos/engine.hpp"
+
+int main() {
+  using namespace mcp;
+  namespace gp = mcp::genpaxos;
+  using cstruct::History;
+
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 25;  // enough jitter to reorder concurrent messages
+  sim::Simulation simulation(/*seed=*/13, net);
+
+  const std::vector<sim::NodeId> coordinators{0, 1, 2};
+  static const cstruct::KeyConflict kConflicts;
+
+  gp::Config<History> config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8, 9};
+  config.proposers = {10, 11, 12};
+  config.f = 2;
+  config.e = 1;
+  config.bottom = History(&kConflicts);
+  auto policy = paxos::PatternPolicy::multi_then_single(coordinators);
+  config.policy = policy.get();
+
+  for (int i = 0; i < 3; ++i) simulation.make_process<gp::GenCoordinator<History>>(config);
+  for (int i = 0; i < 5; ++i) simulation.make_process<gp::GenAcceptor<History>>(config);
+  std::vector<gp::GenLearner<History>*> learners;
+  for (int i = 0; i < 2; ++i) {
+    learners.push_back(&simulation.make_process<gp::GenLearner<History>>(config));
+  }
+  std::vector<gp::GenProposer<History>*> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(&simulation.make_process<gp::GenProposer<History>>(config));
+  }
+
+  // 12 commands, all proposed within a 30-tick burst: ids 1..8 touch
+  // private keys (commute), ids 9..12 all write "shared" (conflict).
+  constexpr std::size_t kCount = 12;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    simulation.at(static_cast<sim::Time>(2 * i), [&, i] {
+      const std::uint64_t id = i + 1;
+      const std::string key = id <= 8 ? "user" + std::to_string(id) : "shared";
+      clients[i % 3]->propose(cstruct::make_write(id, key, "v"));
+    });
+  }
+
+  const bool done = simulation.run_until(
+      [&] {
+        for (const auto* l : learners) {
+          if (l->learned().size() < kCount) return false;
+        }
+        return true;
+      },
+      10'000'000);
+
+  std::printf("%zu commands, burst-proposed by 3 clients; collisions detected: %lld\n\n",
+              kCount,
+              static_cast<long long>(
+                  simulation.metrics().counter("gen.collisions_detected")));
+
+  for (const auto* l : learners) {
+    std::printf("learner %d delivers:", l->id());
+    for (const auto& c : l->learned().sequence()) {
+      std::printf(" %s#%llu", c.key == "shared" ? "*" : "",
+                  static_cast<unsigned long long>(c.id));
+    }
+    std::printf("\n");
+  }
+
+  const bool compatible = learners[0]->learned().compatible(learners[1]->learned());
+  std::printf("\nlinearizations may differ on commuting commands, but they are %s\n",
+              compatible ? "COMPATIBLE (same order for every conflicting pair *)"
+                         : "INCOMPATIBLE — bug!");
+
+  // Verify the conflicting suffix (*) is identically ordered in both.
+  std::vector<std::uint64_t> shared0, shared1;
+  for (const auto& c : learners[0]->learned().sequence()) {
+    if (c.key == "shared") shared0.push_back(c.id);
+  }
+  for (const auto& c : learners[1]->learned().sequence()) {
+    if (c.key == "shared") shared1.push_back(c.id);
+  }
+  std::printf("shared-key order, learner %d vs learner %d: %s\n", learners[0]->id(),
+              learners[1]->id(), shared0 == shared1 ? "identical" : "DIFFERENT — bug!");
+  return (done && compatible && shared0 == shared1) ? 0 : 1;
+}

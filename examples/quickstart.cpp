@@ -1,0 +1,69 @@
+// Quickstart: reach consensus on one value with Multicoordinated Paxos.
+//
+// Builds a cluster of 3 coordinators, 5 acceptors and 2 learners on the
+// discrete-event simulator, proposes one command, and shows that it is
+// learned in three communication steps — with *no* single coordinator on
+// the critical path: any majority of the coordinators suffices.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "multicoord/mc_consensus.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace mcp;
+  namespace mc = mcp::multicoord;
+
+  // Every network hop takes exactly 1 tick, so elapsed time == message steps.
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 1;
+  sim::Simulation simulation(/*seed=*/1, net);
+
+  // Ids are assigned densely in creation order; lay out the cluster first.
+  const std::vector<sim::NodeId> coordinators{0, 1, 2};
+  mc::Config config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8, 9};
+  config.proposers = {10};
+  config.f = 2;  // tolerate any 2 acceptor crashes (majority quorums)
+  config.e = 1;
+
+  // Every round is multicoordinated: any 2 of the 3 coordinators form a
+  // coordinator quorum (Assumption 3 of the paper).
+  auto policy = paxos::PatternPolicy::always_multi(coordinators);
+  config.policy = policy.get();
+  config.enable_liveness = false;  // clean run: no failures, no timeouts
+
+  for (int i = 0; i < 3; ++i) simulation.make_process<mc::Coordinator>(config);
+  for (int i = 0; i < 5; ++i) simulation.make_process<mc::Acceptor>(config);
+  std::vector<mc::Learner*> learners;
+  for (int i = 0; i < 2; ++i) {
+    learners.push_back(&simulation.make_process<mc::Learner>(config));
+  }
+  auto& proposer = simulation.make_process<mc::Proposer>(
+      config, cstruct::make_write(/*id=*/42, "greeting", "hello, paxos"));
+  proposer.start_delay = 10;  // let phase 1 run "a priori" first
+
+  simulation.run_to_completion();
+
+  std::printf("proposed at t=10\n");
+  for (const mc::Learner* l : learners) {
+    if (!l->learned()) {
+      std::printf("learner %d learned nothing!\n", l->id());
+      return 1;
+    }
+    std::printf("learner %d learned command #%llu (\"%s\" = \"%s\") at t=%lld "
+                "(%lld steps after the proposal)\n",
+                l->id(), static_cast<unsigned long long>(l->value()->id),
+                l->value()->key.c_str(), l->value()->value.c_str(),
+                static_cast<long long>(l->learned_at()),
+                static_cast<long long>(l->learned_at() - 10));
+  }
+  std::printf("rounds started: %lld (no round change was needed)\n",
+              static_cast<long long>(simulation.metrics().counter("mc.rounds_started")));
+  return 0;
+}

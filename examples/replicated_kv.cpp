@@ -1,0 +1,105 @@
+// Replicated key-value store on Multicoordinated Generalized Paxos.
+//
+// The paper's motivating application (§1): a fault-tolerant service whose
+// replicas apply the same commands in compatible orders. A *single*
+// Generalized Consensus instance carries the whole command stream; commands
+// on different keys commute and never need ordering, so they are learned
+// without collisions even when proposed concurrently.
+//
+//   $ ./replicated_kv
+
+#include <cstdio>
+#include <vector>
+
+#include "genpaxos/engine.hpp"
+#include "smr/replica.hpp"
+
+int main() {
+  using namespace mcp;
+  namespace gp = mcp::genpaxos;
+
+  sim::NetworkConfig net;
+  net.min_delay = 3;
+  net.max_delay = 12;
+  net.loss_probability = 0.02;  // a slightly lossy datacenter network
+  sim::Simulation simulation(/*seed=*/2026, net);
+
+  const std::vector<sim::NodeId> coordinators{0, 1, 2};
+  static const cstruct::KeyConflict kConflicts;  // reads commute, writes per key
+
+  gp::Config<cstruct::History> config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8, 9, 10};
+  config.proposers = {11, 12};
+  config.f = 2;
+  config.e = 1;
+  config.bottom = cstruct::History(&kConflicts);
+  auto policy = paxos::PatternPolicy::multi_then_single(coordinators);
+  config.policy = policy.get();
+
+  for (int i = 0; i < 3; ++i) simulation.make_process<gp::GenCoordinator<cstruct::History>>(config);
+  for (int i = 0; i < 5; ++i) simulation.make_process<gp::GenAcceptor<cstruct::History>>(config);
+  std::vector<gp::GenLearner<cstruct::History>*> learners;
+  for (int i = 0; i < 3; ++i) {
+    learners.push_back(&simulation.make_process<gp::GenLearner<cstruct::History>>(config));
+  }
+  std::vector<gp::GenProposer<cstruct::History>*> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(&simulation.make_process<gp::GenProposer<cstruct::History>>(config));
+  }
+  // One replica per learner, applying the learned history to a KV store.
+  std::vector<smr::Replica*> replicas;
+  for (auto* l : learners) {
+    replicas.push_back(&simulation.make_process<smr::Replica>(*l, /*poll_interval=*/20));
+  }
+
+  // Two clients interleave writes: some on private keys (commute), some on
+  // the shared "counter" key (conflict, must be ordered).
+  constexpr int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    simulation.at(10 * i, [&, i] {
+      const bool shared = i % 4 == 0;
+      const std::string key = shared ? "counter" : "user" + std::to_string(i);
+      clients[i % 2]->propose(
+          cstruct::make_write(static_cast<std::uint64_t>(i + 1), key, "v" + std::to_string(i)));
+    });
+  }
+
+  const bool done = simulation.run_until(
+      [&] {
+        for (const auto* l : learners) {
+          if (l->learned().size() < kOps) return false;
+        }
+        return true;
+      },
+      5'000'000);
+
+  for (auto* r : replicas) r->poll();
+
+  std::printf("learned %zu/%d commands in %lld ticks (%s)\n",
+              learners[0]->learned().size(), kOps,
+              static_cast<long long>(simulation.now()), done ? "complete" : "INCOMPLETE");
+  std::printf("collisions: %lld, rounds started: %lld\n",
+              static_cast<long long>(simulation.metrics().counter("gen.collisions_detected")),
+              static_cast<long long>(simulation.metrics().counter("gen.rounds_started")));
+
+  std::vector<const smr::Replica*> views(replicas.begin(), replicas.end());
+  std::printf("replicas converged: %s\n", smr::replicas_converged(views) ? "yes" : "NO");
+  std::printf("replica 0 applied %zu commands; counter key = \"%s\"\n",
+              replicas[0]->applied(),
+              replicas[0]->store().data().count("counter")
+                  ? replicas[0]->store().data().at("counter").c_str()
+                  : "(unset)");
+
+  // Show that learners may hold different-but-compatible linearizations.
+  std::printf("first 6 commands in each learner's linearization:\n");
+  for (const auto* l : learners) {
+    std::printf("  learner %d:", l->id());
+    const auto& seq = l->learned().sequence();
+    for (std::size_t i = 0; i < seq.size() && i < 6; ++i) {
+      std::printf(" #%llu", static_cast<unsigned long long>(seq[i].id));
+    }
+    std::printf(" ...\n");
+  }
+  return done && smr::replicas_converged(views) ? 0 : 1;
+}

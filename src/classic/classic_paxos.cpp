@@ -1,0 +1,262 @@
+#include "classic/classic_paxos.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::classic {
+
+using paxos::Ballot;
+
+// ---------------------------------------------------------------------------
+// Proposer
+
+Proposer::Proposer(const Config& config, Value value)
+    : config_(config), value_(std::move(value)) {}
+
+void Proposer::on_start() {
+  if (start_delay > 0) {
+    set_timer(start_delay, 0);
+  } else {
+    broadcast_proposal();
+  }
+}
+
+void Proposer::broadcast_proposal() {
+  multicast(config_.coordinators, msg::Propose{value_});
+  sim().metrics().incr("classic.proposals_sent");
+  if (config_.enable_liveness && !decided_) set_timer(config_.retry_interval, 0);
+}
+
+void Proposer::on_timer(int) {
+  if (!decided_) broadcast_proposal();
+}
+
+void Proposer::on_message(sim::NodeId, const std::any& m) {
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) {
+    decided_ = learned->v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+Coordinator::Coordinator(const Config& config)
+    : config_(config),
+      quorums_(config.quorum_system()),
+      fd_(*this, config.coordinators, config.fd) {}
+
+bool Coordinator::is_leader() const {
+  // Without liveness machinery the lowest-id coordinator leads statically.
+  if (!config_.enable_liveness) return id() == config_.coordinators.front();
+  return fd_.leader() == id();
+}
+
+void Coordinator::on_start() {
+  if (config_.enable_liveness) {
+    fd_.start();
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+  maybe_lead();
+}
+
+void Coordinator::on_recover() {
+  // Volatile round state is gone; a recovered coordinator simply behaves as
+  // a fresh one (§4.4: coordinators need no stable storage). Its new ballots
+  // carry the bumped incarnation so they are distinct from pre-crash ones.
+  crnd_ = Ballot::zero();
+  phase1_done_ = false;
+  sent2a_.reset();
+  promises_.clear();
+  must_pick_.reset();
+  proposals_.clear();
+  on_start();
+}
+
+void Coordinator::maybe_lead() {
+  if (decided_value_ || !is_leader()) return;
+  if (crnd_.is_zero()) new_round(1);
+}
+
+void Coordinator::start_round(std::int64_t count) { new_round(count); }
+
+void Coordinator::new_round(std::int64_t count) {
+  if (count <= crnd_.count) count = crnd_.count + 1;
+  crnd_ = Ballot{count, id(), incarnation(), paxos::RoundType::kSingleCoord};
+  phase1_done_ = false;
+  sent2a_.reset();
+  must_pick_.reset();
+  promises_.clear();
+  round_started_at_ = now();
+  sim().metrics().incr("classic.rounds_started");
+  multicast(config_.acceptors, msg::P1a{crnd_});
+}
+
+void Coordinator::on_timer(int token) {
+  if (fd_.handle_timer(token)) return;
+  if (token == kProgressToken) {
+    if (decided_value_) {
+      // Keep re-announcing the decision so learners that lost their 2b
+      // messages still converge (the paper's retransmit-last-message rule).
+      multicast(config_.learners, msg::Learned{*decided_value_});
+      multicast(config_.proposers, msg::Learned{*decided_value_});
+    } else if (is_leader()) {
+      const bool started = !crnd_.is_zero() && crnd_.coord == id();
+      const bool stuck = started && now() - round_started_at_ >= config_.progress_timeout;
+      if (!started || stuck) {
+        new_round(crnd_.count + 1);
+      } else if (sent2a_) {
+        multicast(config_.acceptors, msg::P2a{crnd_, *sent2a_});  // retransmit
+      }
+    }
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+}
+
+void Coordinator::on_message(sim::NodeId from, const std::any& m) {
+  if (fd_.handle_message(from, m)) {
+    maybe_lead();
+    return;
+  }
+  if (const auto* p = std::any_cast<msg::Propose>(&m)) {
+    proposals_.push_back(p->v);
+    try_phase2();
+    return;
+  }
+  if (const auto* p1b = std::any_cast<msg::P1b>(&m)) {
+    if (p1b->b != crnd_ || phase1_done_) return;
+    promises_[from] = paxos::SingleVoteReport<Value>{from, p1b->vrnd, p1b->vval};
+    if (promises_.size() >= quorums_.classic_quorum_size()) {
+      phase1_done_ = true;
+      std::vector<paxos::SingleVoteReport<Value>> reports;
+      reports.reserve(promises_.size());
+      for (const auto& [acc, report] : promises_) reports.push_back(report);
+      must_pick_ = paxos::pick_single_value(quorums_, reports);
+      try_phase2();
+    }
+    return;
+  }
+  if (const auto* nack = std::any_cast<msg::Nack>(&m)) {
+    if (nack->heard.count > crnd_.count && is_leader() && !decided_value_) {
+      new_round(nack->heard.count + 1);
+    }
+    return;
+  }
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) {
+    decided_value_ = learned->v;
+    return;
+  }
+}
+
+void Coordinator::try_phase2() {
+  if (!phase1_done_ || sent2a_) return;
+  if (must_pick_) {
+    send_2a(*must_pick_);
+  } else if (!proposals_.empty()) {
+    send_2a(proposals_.front());
+  }
+  // Otherwise: phase 1 completed "a priori" (§2.1.2); the 2a goes out as
+  // soon as the first proposal arrives.
+}
+
+void Coordinator::send_2a(const Value& v) {
+  sent2a_ = v;
+  sim().metrics().incr("classic.2a_sent");
+  multicast(config_.acceptors, msg::P2a{crnd_, v});
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+Acceptor::Acceptor(const Config& config) : config_(config) {
+  storage().set_write_latency(config.disk_latency);
+}
+
+void Acceptor::persist_vote() {
+  storage().write("vrnd", paxos::encode(vrnd_));
+  storage().write("vval", vval_ ? cstruct::encode(*vval_) : std::string{});
+  sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+}
+
+void Acceptor::on_recover() {
+  if (auto s = storage().read("rnd")) rnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vrnd")) vrnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vval"); s && !s->empty()) {
+    vval_ = cstruct::decode_command(*s);
+  }
+}
+
+void Acceptor::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* p1a = std::any_cast<msg::P1a>(&m)) {
+    if (p1a->b > rnd_) {
+      rnd_ = p1a->b;
+      const sim::Time lat = storage().write("rnd", paxos::encode(rnd_));
+      sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+      send_after_sync(from, msg::P1b{rnd_, vrnd_, vval_}, lat);
+    } else if (p1a->b == rnd_) {
+      send(from, msg::P1b{rnd_, vrnd_, vval_});  // duplicate 1a: re-promise
+    } else {
+      send(from, msg::Nack{rnd_});
+    }
+    return;
+  }
+  if (const auto* p2a = std::any_cast<msg::P2a>(&m)) {
+    if (p2a->b >= rnd_ && p2a->b > vrnd_) {
+      rnd_ = p2a->b;
+      vrnd_ = p2a->b;
+      vval_ = p2a->v;
+      storage().write("rnd", paxos::encode(rnd_));
+      persist_vote();
+      const sim::Time lat = storage().write_latency();
+      multicast_after_sync(config_.learners, msg::P2b{vrnd_, *vval_}, lat);
+    } else if (p2a->b == vrnd_ && vval_ && *vval_ == p2a->v) {
+      multicast(config_.learners, msg::P2b{vrnd_, *vval_});  // duplicate 2a
+    } else {
+      send(from, msg::Nack{rnd_});
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Learner
+
+Learner::Learner(const Config& config) : config_(config) {}
+
+void Learner::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* announced = std::any_cast<msg::Learned>(&m)) {
+    if (!learned_) {
+      learned_ = announced->v;
+      learned_at_ = now();
+    } else if (!(*learned_ == announced->v)) {
+      throw std::logic_error("classic: conflicting decisions (consistency violated)");
+    }
+    return;
+  }
+  const auto* p2b = std::any_cast<msg::P2b>(&m);
+  if (p2b == nullptr) return;
+  auto& round_votes = votes_[p2b->b];
+  round_votes[from] = p2b->v;
+  // All 2b values of one classic round carry the same value; validate this
+  // core invariant at runtime (cheap, and it catches engine bugs early).
+  for (const auto& [acc, v] : round_votes) {
+    if (!(v == p2b->v)) {
+      throw std::logic_error("classic: two values accepted in one round");
+    }
+  }
+  if (round_votes.size() >= config_.quorum_system().classic_quorum_size()) {
+    if (learned_) {
+      if (!(*learned_ == p2b->v)) {
+        throw std::logic_error("classic: conflicting decisions (consistency violated)");
+      }
+      return;
+    }
+    learned_ = p2b->v;
+    learned_at_ = now();
+    sim().metrics().incr("classic.decisions");
+    multicast(config_.proposers, msg::Learned{*learned_});
+    multicast(config_.coordinators, msg::Learned{*learned_});
+  }
+}
+
+}  // namespace mcp::classic

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/leader.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "sim/process.hpp"
+
+namespace mcp::classic {
+
+/// Classic Paxos (§2.1), one consensus instance, value type = Command.
+/// This is the leader-based three-step baseline the paper extends; it is
+/// implemented independently of the multicoordinated engine so the two can
+/// be tested against each other.
+using Value = cstruct::Command;
+
+namespace msg {
+struct Propose {
+  Value v;
+};
+struct P1a {
+  paxos::Ballot b;
+};
+struct P1b {
+  paxos::Ballot b;
+  paxos::Ballot vrnd;
+  std::optional<Value> vval;
+};
+struct P2a {
+  paxos::Ballot b;
+  Value v;
+};
+struct P2b {
+  paxos::Ballot b;
+  Value v;
+};
+/// Sent by an acceptor that rejected a message for a stale round (§4.3).
+struct Nack {
+  paxos::Ballot heard;
+};
+/// Learner → proposers/coordinators: a decision was reached.
+struct Learned {
+  Value v;
+};
+}  // namespace msg
+
+/// Shared static configuration of one Classic Paxos instance.
+struct Config {
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> coordinators;  ///< potential leaders, Ω group
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  int f = 0;  ///< acceptor quorum = n − f
+
+  sim::Time disk_latency = 0;  ///< cost of an acceptor's stable write
+
+  /// Liveness machinery (heartbeats, retransmissions, round retries). When
+  /// false the run relies on a reliable network and no crashes, and the
+  /// event queue drains on its own.
+  bool enable_liveness = true;
+  paxos::FailureDetector::Config fd;
+  sim::Time retry_interval = 400;     ///< proposer retransmission period
+  sim::Time progress_timeout = 600;   ///< leader: round considered stuck
+
+  paxos::QuorumSystem quorum_system() const {
+    return paxos::QuorumSystem(acceptors, f, f);
+  }
+};
+
+/// Proposer: sends its command to every coordinator and retransmits until
+/// some decision is announced.
+class Proposer final : public sim::Process {
+ public:
+  Proposer(const Config& config, Value value);
+
+  std::string role() const override { return "proposer"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+
+  bool decided() const { return decided_.has_value(); }
+  const std::optional<Value>& decision() const { return decided_; }
+
+  /// Delay before the first Propose is sent (lets tests measure the
+  /// steady-state path with phase 1 already executed "a priori").
+  sim::Time start_delay = 0;
+
+ private:
+  void broadcast_proposal();
+
+  const Config& config_;
+  Value value_;
+  std::optional<Value> decided_;
+};
+
+/// Coordinator: runs phases 1a/2a of its rounds when it believes itself the
+/// leader (Ω from the shared failure detector).
+class Coordinator final : public sim::Process {
+ public:
+  explicit Coordinator(const Config& config);
+
+  std::string role() const override { return "coordinator"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+  void on_recover() override;
+
+  const paxos::Ballot& current_round() const { return crnd_; }
+  /// Start round `count` immediately (tests / benches drive rounds manually
+  /// when liveness machinery is disabled).
+  void start_round(std::int64_t count);
+
+ private:
+  static constexpr int kProgressToken = 1;
+
+  bool is_leader() const;
+  void maybe_lead();
+  void new_round(std::int64_t count);
+  void try_phase2();
+  void send_2a(const Value& v);
+
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::FailureDetector fd_;
+
+  paxos::Ballot crnd_;           ///< highest round this coordinator started
+  bool phase1_done_ = false;
+  std::optional<Value> sent2a_;  ///< value sent in this round's 2a, if any
+  std::map<sim::NodeId, paxos::SingleVoteReport<Value>> promises_;
+  std::optional<Value> must_pick_;  ///< value forced by phase 1, if any
+  std::deque<Value> proposals_;
+  std::optional<Value> decided_value_;  ///< set once any learner announces
+  sim::Time round_started_at_ = 0;
+};
+
+/// Acceptor: persists rnd / vrnd / vval across crashes (its votes are the
+/// system's memory; see §4.4 on why acceptors must write to disk).
+class Acceptor final : public sim::Process {
+ public:
+  explicit Acceptor(const Config& config);
+
+  std::string role() const override { return "acceptor"; }
+  void on_start() override {}
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_recover() override;
+
+  const paxos::Ballot& rnd() const { return rnd_; }
+  const paxos::Ballot& vrnd() const { return vrnd_; }
+  const std::optional<Value>& vval() const { return vval_; }
+
+ private:
+  void persist_vote();
+
+  const Config& config_;
+  paxos::Ballot rnd_;
+  paxos::Ballot vrnd_;
+  std::optional<Value> vval_;
+};
+
+/// Learner: learns v once a quorum of acceptors voted v in one round, then
+/// announces the decision to proposers and coordinators.
+class Learner final : public sim::Process {
+ public:
+  explicit Learner(const Config& config);
+
+  std::string role() const override { return "learner"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+
+  bool learned() const { return learned_.has_value(); }
+  const std::optional<Value>& value() const { return learned_; }
+  sim::Time learned_at() const { return learned_at_; }
+
+ private:
+  const Config& config_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, Value>> votes_;
+  std::optional<Value> learned_;
+  sim::Time learned_at_ = -1;
+};
+
+}  // namespace mcp::classic

@@ -1,0 +1,284 @@
+#include "classic/multi_paxos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::classic {
+
+using cstruct::Command;
+using paxos::Ballot;
+
+// ---------------------------------------------------------------------------
+// MultiProposer
+
+void MultiProposer::propose(Command cmd) {
+  pending_.emplace(cmd.id, cmd);
+  multicast(config_.coordinators, mmsg::Propose{cmd});
+  if (config_.enable_liveness) set_timer(config_.retry_interval, 0);
+}
+
+void MultiProposer::on_timer(int) {
+  if (pending_.empty()) return;
+  for (const auto& [cid, cmd] : pending_) {
+    multicast(config_.coordinators, mmsg::Propose{cmd});
+  }
+  set_timer(config_.retry_interval, 0);
+}
+
+void MultiProposer::on_message(sim::NodeId, const std::any& m) {
+  if (const auto* learned = std::any_cast<mmsg::Learned>(&m)) {
+    if (pending_.erase(learned->v.id) > 0) ++decided_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiCoordinator
+
+MultiCoordinator::MultiCoordinator(const MultiConfig& config)
+    : config_(config),
+      quorums_(config.quorum_system()),
+      fd_(*this, config.coordinators, config.fd) {}
+
+bool MultiCoordinator::is_leader() const {
+  if (!config_.enable_liveness) return id() == config_.coordinators.front();
+  return fd_.leader() == id();
+}
+
+void MultiCoordinator::on_start() {
+  if (config_.enable_liveness) {
+    fd_.start();
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+  maybe_lead();
+}
+
+void MultiCoordinator::on_recover() {
+  crnd_ = Ballot::zero();
+  phase1_done_ = false;
+  promises_.clear();
+  backlog_.clear();
+  assigned_.clear();
+  in_flight_.clear();
+  next_instance_ = 0;
+  on_start();
+}
+
+void MultiCoordinator::maybe_lead() {
+  if (!is_leader()) return;
+  if (crnd_.is_zero() || crnd_.coord != id()) new_round();
+}
+
+void MultiCoordinator::new_round() {
+  crnd_ = Ballot{crnd_.count + 1, id(), incarnation(), paxos::RoundType::kSingleCoord};
+  phase1_done_ = false;
+  promises_.clear();
+  // Everything previously in flight must be re-proposed under the new round.
+  for (const auto& [inst, cmd] : in_flight_) backlog_.push_back(cmd);
+  in_flight_.clear();
+  assigned_.clear();
+  phase1_started_at_ = now();
+  sim().metrics().incr("multipaxos.rounds_started");
+  multicast(config_.acceptors, mmsg::P1a{crnd_, 0});
+}
+
+void MultiCoordinator::on_timer(int token) {
+  if (fd_.handle_timer(token)) return;
+  if (token == kProgressToken) {
+    if (is_leader()) {
+      if (!phase1_done_ && (crnd_.is_zero() || crnd_.coord != id() ||
+                            now() - phase1_started_at_ >= config_.progress_timeout)) {
+        new_round();
+      } else if (phase1_done_) {
+        // Retransmit everything still unlearned.
+        for (const auto& [inst, cmd] : in_flight_) {
+          multicast(config_.acceptors, mmsg::P2a{crnd_, inst, cmd});
+        }
+      }
+    }
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+}
+
+void MultiCoordinator::assign_and_send(const Command& cmd) {
+  if (assigned_.count(cmd.id) != 0) {
+    // Retransmission of a known command: resend its 2a.
+    const Instance inst = assigned_[cmd.id];
+    auto it = in_flight_.find(inst);
+    if (it != in_flight_.end()) {
+      multicast(config_.acceptors, mmsg::P2a{crnd_, inst, it->second});
+    }
+    return;
+  }
+  const Instance inst = next_instance_++;
+  assigned_[cmd.id] = inst;
+  in_flight_[inst] = cmd;
+  sim().metrics().incr("multipaxos.2a_sent");
+  multicast(config_.acceptors, mmsg::P2a{crnd_, inst, cmd});
+}
+
+void MultiCoordinator::on_message(sim::NodeId from, const std::any& m) {
+  if (fd_.handle_message(from, m)) {
+    maybe_lead();
+    return;
+  }
+  if (const auto* p = std::any_cast<mmsg::Propose>(&m)) {
+    if (!is_leader()) return;
+    if (phase1_done_) {
+      assign_and_send(p->cmd);
+    } else {
+      backlog_.push_back(p->cmd);
+    }
+    return;
+  }
+  if (const auto* p1b = std::any_cast<mmsg::P1b>(&m)) {
+    if (p1b->b != crnd_ || phase1_done_) return;
+    promises_[from] = p1b->votes;
+    if (promises_.size() < quorums_.classic_quorum_size()) return;
+    phase1_done_ = true;
+    // Per instance: gather reports and re-propose the forced value (or the
+    // reported one) under our round.
+    std::map<Instance, std::vector<paxos::SingleVoteReport<Command>>> by_instance;
+    for (const auto& [acc, votes] : promises_) {
+      for (const auto& v : votes) {
+        by_instance[v.instance].push_back(
+            paxos::SingleVoteReport<Command>{acc, v.vrnd, v.vval});
+      }
+    }
+    for (auto& [inst, reports] : by_instance) {
+      // Pad with "never voted" reports from promisers that had no vote for
+      // this instance, so the picking rule sees the whole quorum.
+      for (const auto& [acc, votes] : promises_) {
+        const bool has = std::any_of(reports.begin(), reports.end(),
+                                     [&, acc = acc](const auto& r) { return r.acceptor == acc; });
+        if (!has) {
+          reports.push_back(paxos::SingleVoteReport<Command>{acc, Ballot::zero(), std::nullopt});
+        }
+      }
+      auto forced = paxos::pick_single_value(quorums_, reports);
+      if (forced) {
+        in_flight_[inst] = *forced;
+        assigned_[forced->id] = inst;
+        next_instance_ = std::max(next_instance_, inst + 1);
+        multicast(config_.acceptors, mmsg::P2a{crnd_, inst, *forced});
+      }
+    }
+    // Drain proposals that arrived during phase 1.
+    for (const Command& cmd : backlog_) assign_and_send(cmd);
+    backlog_.clear();
+    return;
+  }
+  if (const auto* nack = std::any_cast<mmsg::Nack>(&m)) {
+    if (nack->heard.count > crnd_.count && is_leader()) new_round();
+    return;
+  }
+  if (const auto* learned = std::any_cast<mmsg::Learned>(&m)) {
+    in_flight_.erase(learned->instance);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiAcceptor
+
+MultiAcceptor::MultiAcceptor(const MultiConfig& config) : config_(config) {
+  storage().set_write_latency(config.disk_latency);
+}
+
+void MultiAcceptor::on_recover() {
+  if (auto s = storage().read("rnd")) rnd_ = paxos::decode_ballot(*s);
+  votes_.clear();
+  if (auto s = storage().read("votes.count")) {
+    const auto count = std::stoll(*s);
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::string prefix = "votes." + std::to_string(i);
+      auto inst = storage().read_int(prefix + ".instance");
+      auto vrnd = storage().read(prefix + ".vrnd");
+      auto vval = storage().read(prefix + ".vval");
+      if (inst && vrnd && vval) {
+        votes_[*inst] = Vote{paxos::decode_ballot(*vrnd), cstruct::decode_command(*vval)};
+      }
+    }
+  }
+}
+
+void MultiAcceptor::on_message(sim::NodeId from, const std::any& m) {
+  const std::string me = "acceptor." + std::to_string(id());
+  if (const auto* p1a = std::any_cast<mmsg::P1a>(&m)) {
+    if (p1a->b > rnd_) {
+      rnd_ = p1a->b;
+      const sim::Time lat = storage().write("rnd", paxos::encode(rnd_));
+      sim().metrics().incr(me + ".disk_writes");
+      mmsg::P1b reply{rnd_, {}};
+      for (const auto& [inst, vote] : votes_) {
+        if (inst >= p1a->from_instance) {
+          reply.votes.push_back(mmsg::InstanceVote{inst, vote.vrnd, vote.vval});
+        }
+      }
+      send_after_sync(from, reply, lat);
+    } else {
+      send(from, mmsg::Nack{rnd_});
+    }
+    return;
+  }
+  if (const auto* p2a = std::any_cast<mmsg::P2a>(&m)) {
+    auto it = votes_.find(p2a->instance);
+    const Ballot prev_vrnd = it == votes_.end() ? Ballot::zero() : it->second.vrnd;
+    if (p2a->b >= rnd_ && p2a->b > prev_vrnd) {
+      rnd_ = p2a->b;
+      votes_[p2a->instance] = Vote{p2a->b, p2a->v};
+      // Persist the vote (single logical disk write per accept; the index
+      // layout below is just the simulated encoding of a log record).
+      const std::size_t slot = votes_.size() - 1;
+      const std::string prefix = "votes." + std::to_string(slot);
+      storage().write(prefix + ".instance", std::to_string(p2a->instance));
+      storage().write(prefix + ".vrnd", paxos::encode(p2a->b));
+      const sim::Time lat = storage().write(prefix + ".vval", cstruct::encode(p2a->v));
+      storage().write_int("votes.count", static_cast<std::int64_t>(votes_.size()));
+      storage().write("rnd", paxos::encode(rnd_));
+      sim().metrics().incr(me + ".disk_writes");
+      multicast_after_sync(config_.learners, mmsg::P2b{p2a->b, p2a->instance, p2a->v}, lat);
+    } else if (p2a->b == prev_vrnd && it != votes_.end() && it->second.vval == p2a->v) {
+      multicast(config_.learners, mmsg::P2b{p2a->b, p2a->instance, p2a->v});
+    } else {
+      send(from, mmsg::Nack{rnd_});
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiLearner
+
+void MultiLearner::on_message(sim::NodeId from, const std::any& m) {
+  const auto* p2b = std::any_cast<mmsg::P2b>(&m);
+  if (p2b == nullptr) return;
+  if (log_.count(p2b->instance) != 0) return;  // already decided
+  // A value is chosen only when a quorum votes for it *in the same round*
+  // (votes from different rounds must never be combined).
+  auto& votes = votes_[p2b->instance][p2b->b];
+  votes[from] = p2b->v;
+  std::size_t agreeing = 0;
+  for (const auto& [acc, v] : votes) {
+    if (v == p2b->v) ++agreeing;
+  }
+  if (agreeing >= config_.quorum_system().classic_quorum_size()) {
+    log_[p2b->instance] = p2b->v;
+    decided_at_[p2b->instance] = now();
+    sim().metrics().incr("multipaxos.decisions");
+    multicast(config_.proposers, mmsg::Learned{p2b->instance, p2b->v});
+    multicast(config_.coordinators, mmsg::Learned{p2b->instance, p2b->v});
+  }
+}
+
+std::size_t MultiLearner::contiguous_prefix() const {
+  std::size_t n = 0;
+  for (const auto& [inst, cmd] : log_) {
+    if (inst != static_cast<Instance>(n)) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace mcp::classic

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/leader.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "sim/process.hpp"
+
+namespace mcp::classic {
+
+/// Multi-instance Classic Paxos (MultiPaxos): the state-machine-replication
+/// deployment of §1/§2.1, with the leader executing phase 1 "a priori" for
+/// every instance at once, so each command costs three communication steps
+/// (propose → 2a → 2b) in the steady state. Serves as the baseline SMR
+/// substrate that Generalized/Multicoordinated Paxos is compared against.
+using Instance = std::int64_t;
+
+namespace mmsg {
+struct Propose {
+  cstruct::Command cmd;
+};
+struct P1a {
+  paxos::Ballot b;
+  Instance from_instance;  ///< votes at or above this instance are reported
+};
+struct InstanceVote {
+  Instance instance;
+  paxos::Ballot vrnd;
+  cstruct::Command vval;
+};
+struct P1b {
+  paxos::Ballot b;
+  std::vector<InstanceVote> votes;
+};
+struct P2a {
+  paxos::Ballot b;
+  Instance instance;
+  cstruct::Command v;
+};
+struct P2b {
+  paxos::Ballot b;
+  Instance instance;
+  cstruct::Command v;
+};
+struct Nack {
+  paxos::Ballot heard;
+};
+struct Learned {
+  Instance instance;
+  cstruct::Command v;
+};
+}  // namespace mmsg
+
+struct MultiConfig {
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> coordinators;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  int f = 0;
+  sim::Time disk_latency = 0;
+  bool enable_liveness = true;
+  paxos::FailureDetector::Config fd;
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 600;
+
+  paxos::QuorumSystem quorum_system() const {
+    return paxos::QuorumSystem(acceptors, f, f);
+  }
+};
+
+/// Client-side: proposes a stream of commands, retransmitting each until it
+/// is learned.
+class MultiProposer final : public sim::Process {
+ public:
+  explicit MultiProposer(const MultiConfig& config) : config_(config) {}
+
+  std::string role() const override { return "proposer"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+
+  /// Submit a command now (callable from sim().at closures).
+  void propose(cstruct::Command cmd);
+
+  std::size_t decided_count() const { return decided_; }
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  const MultiConfig& config_;
+  std::map<std::uint64_t, cstruct::Command> pending_;
+  std::size_t decided_ = 0;
+};
+
+class MultiCoordinator final : public sim::Process {
+ public:
+  explicit MultiCoordinator(const MultiConfig& config);
+
+  std::string role() const override { return "coordinator"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+  void on_recover() override;
+
+  bool leading() const { return phase1_done_; }
+  const paxos::Ballot& round() const { return crnd_; }
+
+ private:
+  static constexpr int kProgressToken = 1;
+
+  bool is_leader() const;
+  void maybe_lead();
+  void new_round();
+  void assign_and_send(const cstruct::Command& cmd);
+
+  const MultiConfig& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::FailureDetector fd_;
+
+  paxos::Ballot crnd_;
+  bool phase1_done_ = false;
+  std::map<sim::NodeId, std::vector<mmsg::InstanceVote>> promises_;
+  std::deque<cstruct::Command> backlog_;       ///< proposals awaiting phase 1
+  std::map<std::uint64_t, Instance> assigned_; ///< command id → instance
+  std::map<Instance, cstruct::Command> in_flight_;
+  Instance next_instance_ = 0;
+  sim::Time phase1_started_at_ = 0;
+};
+
+class MultiAcceptor final : public sim::Process {
+ public:
+  explicit MultiAcceptor(const MultiConfig& config);
+
+  std::string role() const override { return "acceptor"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_recover() override;
+
+ private:
+  struct Vote {
+    paxos::Ballot vrnd;
+    cstruct::Command vval;
+  };
+
+  const MultiConfig& config_;
+  paxos::Ballot rnd_;
+  std::map<Instance, Vote> votes_;
+};
+
+/// Learns per-instance decisions and exposes the contiguous decided prefix
+/// (what a replica could apply).
+class MultiLearner final : public sim::Process {
+ public:
+  explicit MultiLearner(const MultiConfig& config) : config_(config) {}
+
+  std::string role() const override { return "learner"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+
+  const std::map<Instance, cstruct::Command>& log() const { return log_; }
+  /// Simulated time each instance was first decided (for latency benches).
+  const std::map<Instance, sim::Time>& decided_at() const { return decided_at_; }
+  /// Number of consecutive instances decided starting at 0.
+  std::size_t contiguous_prefix() const;
+  std::size_t decided_count() const { return log_.size(); }
+
+ private:
+  const MultiConfig& config_;
+  std::map<Instance, std::map<paxos::Ballot, std::map<sim::NodeId, cstruct::Command>>> votes_;
+  std::map<Instance, cstruct::Command> log_;
+  std::map<Instance, sim::Time> decided_at_;
+};
+
+}  // namespace mcp::classic

@@ -1,0 +1,75 @@
+#include "cstruct/command.hpp"
+
+#include <stdexcept>
+
+namespace mcp::cstruct {
+
+std::ostream& operator<<(std::ostream& os, const Command& c) {
+  os << (c.type == OpType::kRead ? "R" : "W") << "#" << c.id;
+  if (!c.key.empty()) os << "(" << c.key << ")";
+  return os;
+}
+
+Command make_write(std::uint64_t id, std::string key, std::string value, int proposer) {
+  return Command{id, proposer, OpType::kWrite, std::move(key), std::move(value)};
+}
+
+Command make_read(std::uint64_t id, std::string key, int proposer) {
+  return Command{id, proposer, OpType::kRead, std::move(key), {}};
+}
+
+namespace {
+
+void put_field(std::string& out, const std::string& field) {
+  out += std::to_string(field.size());
+  out += ':';
+  out += field;
+}
+
+std::string take_field(const std::string& s, std::size_t& pos) {
+  const std::size_t colon = s.find(':', pos);
+  if (colon == std::string::npos) throw std::invalid_argument("decode: missing length");
+  const std::size_t len = std::stoull(s.substr(pos, colon - pos));
+  if (colon + 1 + len > s.size()) throw std::invalid_argument("decode: truncated field");
+  std::string field = s.substr(colon + 1, len);
+  pos = colon + 1 + len;
+  return field;
+}
+
+}  // namespace
+
+std::string encode(const Command& c) {
+  std::string out;
+  put_field(out, std::to_string(c.id));
+  put_field(out, std::to_string(c.proposer));
+  put_field(out, std::string(1, c.type == OpType::kRead ? 'r' : 'w'));
+  put_field(out, c.key);
+  put_field(out, c.value);
+  return out;
+}
+
+Command decode_command(const std::string& s) {
+  std::size_t pos = 0;
+  Command c;
+  c.id = std::stoull(take_field(s, pos));
+  c.proposer = std::stoi(take_field(s, pos));
+  c.type = take_field(s, pos) == "r" ? OpType::kRead : OpType::kWrite;
+  c.key = take_field(s, pos);
+  c.value = take_field(s, pos);
+  return c;
+}
+
+std::string encode(const std::vector<Command>& cmds) {
+  std::string out;
+  for (const Command& c : cmds) put_field(out, encode(c));
+  return out;
+}
+
+std::vector<Command> decode_commands(const std::string& s) {
+  std::vector<Command> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) out.push_back(decode_command(take_field(s, pos)));
+  return out;
+}
+
+}  // namespace mcp::cstruct

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcp::cstruct {
+
+/// Operation class of a command; used by conflict relations (reads commute
+/// with reads on the same key, writes do not).
+enum class OpType { kRead, kWrite };
+
+/// A proposed command (element of the paper's set Cmd).
+///
+/// Identity is the unique `id`; the remaining fields carry the application
+/// payload (used by the KV state machine and by conflict relations).
+struct Command {
+  std::uint64_t id = 0;
+  int proposer = -1;
+  OpType type = OpType::kWrite;
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Command& a, const Command& b) { return a.id == b.id; }
+  friend bool operator!=(const Command& a, const Command& b) { return !(a == b); }
+  friend bool operator<(const Command& a, const Command& b) { return a.id < b.id; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Command& c);
+
+/// Convenience factories used by tests, examples and benches.
+Command make_write(std::uint64_t id, std::string key, std::string value,
+                   int proposer = -1);
+Command make_read(std::uint64_t id, std::string key, int proposer = -1);
+
+/// Stable-storage codec (length-prefixed fields; safe for arbitrary bytes
+/// in key/value).
+std::string encode(const Command& c);
+Command decode_command(const std::string& s);
+/// Codec for command sequences (used to persist histories and c-sets).
+std::string encode(const std::vector<Command>& cmds);
+std::vector<Command> decode_commands(const std::string& s);
+
+/// The conflict relation "≍" of the Generic Broadcast problem (§3.3):
+/// commands that conflict must be ordered the same way by all learners.
+class ConflictRelation {
+ public:
+  virtual ~ConflictRelation() = default;
+  virtual bool conflicts(const Command& a, const Command& b) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Every pair conflicts: command histories degenerate to totally ordered
+/// sequences (total order broadcast; consensus-per-slot semantics).
+class AlwaysConflict final : public ConflictRelation {
+ public:
+  bool conflicts(const Command&, const Command&) const override { return true; }
+  std::string name() const override { return "always"; }
+};
+
+/// No pair conflicts: command histories degenerate to command sets.
+class NeverConflict final : public ConflictRelation {
+ public:
+  bool conflicts(const Command&, const Command&) const override { return false; }
+  std::string name() const override { return "never"; }
+};
+
+/// The KV-store relation the paper motivates: operations on different keys
+/// commute, and reads on the same key commute with each other.
+class KeyConflict final : public ConflictRelation {
+ public:
+  bool conflicts(const Command& a, const Command& b) const override {
+    if (a.key != b.key) return false;
+    return a.type == OpType::kWrite || b.type == OpType::kWrite;
+  }
+  std::string name() const override { return "key"; }
+};
+
+}  // namespace mcp::cstruct
+
+template <>
+struct std::hash<mcp::cstruct::Command> {
+  std::size_t operator()(const mcp::cstruct::Command& c) const noexcept {
+    return std::hash<std::uint64_t>{}(c.id);
+  }
+};

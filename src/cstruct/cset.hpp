@@ -1,0 +1,64 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+
+#include "cstruct/command.hpp"
+
+namespace mcp::cstruct {
+
+/// The c-struct set where every pair of commands commutes: a c-struct is
+/// simply the set of appended commands. ⊓ is intersection, ⊔ is union, and
+/// every pair of c-structs is compatible — the degenerate "no collisions
+/// possible" end of the Generalized Consensus spectrum.
+class CSet {
+ public:
+  CSet() = default;
+
+  void append(const Command& c) { cmds_.emplace(c.id, c); }
+
+  bool contains(const Command& c) const { return cmds_.count(c.id) != 0; }
+
+  bool extends(const CSet& w) const {
+    return std::all_of(w.cmds_.begin(), w.cmds_.end(),
+                       [&](const auto& kv) { return cmds_.count(kv.first) != 0; });
+  }
+
+  bool compatible(const CSet&) const { return true; }
+
+  CSet meet(const CSet& w) const {
+    CSet out;
+    for (const auto& [id, c] : cmds_) {
+      if (w.cmds_.count(id) != 0) out.cmds_.emplace(id, c);
+    }
+    return out;
+  }
+
+  CSet join(const CSet& w) const {
+    CSet out = *this;
+    out.cmds_.insert(w.cmds_.begin(), w.cmds_.end());
+    return out;
+  }
+
+  std::size_t size() const { return cmds_.size(); }
+
+  /// Commands in id order (a valid linearization: all commands commute).
+  std::vector<Command> commands() const {
+    std::vector<Command> out;
+    out.reserve(cmds_.size());
+    for (const auto& [id, c] : cmds_) out.push_back(c);
+    return out;
+  }
+
+  friend bool operator==(const CSet& a, const CSet& b) {
+    if (a.cmds_.size() != b.cmds_.size()) return false;
+    return std::equal(a.cmds_.begin(), a.cmds_.end(), b.cmds_.begin(),
+                      [](const auto& x, const auto& y) { return x.first == y.first; });
+  }
+  friend bool operator!=(const CSet& a, const CSet& b) { return !(a == b); }
+
+ private:
+  std::map<std::uint64_t, Command> cmds_;
+};
+
+}  // namespace mcp::cstruct

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <concepts>
+#include <stdexcept>
+#include <vector>
+
+#include "cstruct/command.hpp"
+
+namespace mcp::cstruct {
+
+/// The c-struct interface of Generalized Consensus (§2.3.1). A model of this
+/// concept provides:
+///   append(C)        the • operator (in place)
+///   contains(C)      membership of a command
+///   extends(w)       w ⊑ *this  (the paper's "v extends w")
+///   compatible(w)    ∃ common upper bound
+///   meet(w)          greatest lower bound ⊓ (always exists, CS3)
+///   join(w)          least upper bound ⊔ (requires compatible, CS3)
+///   size()           number of commands contained
+///   operator==       c-struct equality (poset equality for histories)
+///
+/// Axioms CS0–CS4 are checked by property tests in tests/cstruct_axioms_test.
+template <typename CS>
+concept CStructT = std::copyable<CS> && requires(CS v, const CS c, const Command& cmd) {
+  { v.append(cmd) };
+  { c.contains(cmd) } -> std::convertible_to<bool>;
+  { c.extends(c) } -> std::convertible_to<bool>;
+  { c.compatible(c) } -> std::convertible_to<bool>;
+  { c.meet(c) } -> std::convertible_to<CS>;
+  { c.join(c) } -> std::convertible_to<CS>;
+  { c.size() } -> std::convertible_to<std::size_t>;
+  { c == c } -> std::convertible_to<bool>;
+};
+
+/// v • σ for a sequence σ of commands.
+template <CStructT CS>
+CS append_all(CS v, const std::vector<Command>& seq) {
+  for (const Command& c : seq) v.append(c);
+  return v;
+}
+
+/// ⊓ of a non-empty set of c-structs (folds pairwise, as in §3.3.1).
+template <CStructT CS>
+CS meet_all(const std::vector<CS>& set) {
+  if (set.empty()) throw std::invalid_argument("meet_all: empty set");
+  CS acc = set.front();
+  for (std::size_t i = 1; i < set.size(); ++i) acc = acc.meet(set[i]);
+  return acc;
+}
+
+/// ⊔ of a non-empty compatible set of c-structs.
+template <CStructT CS>
+CS join_all(const std::vector<CS>& set) {
+  if (set.empty()) throw std::invalid_argument("join_all: empty set");
+  CS acc = set.front();
+  for (std::size_t i = 1; i < set.size(); ++i) acc = acc.join(set[i]);
+  return acc;
+}
+
+/// Pairwise compatibility of a set (the paper's "compatible set").
+template <CStructT CS>
+bool all_compatible(const std::vector<CS>& set) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      if (!set[i].compatible(set[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcp::cstruct

@@ -1,0 +1,199 @@
+#include "cstruct/history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcp::cstruct {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t find_id(const std::vector<Command>& seq, std::uint64_t id) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i].id == id) return i;
+  }
+  return kNpos;
+}
+
+/// True when `shorter` is an elementwise prefix of `longer` (fast path: the
+/// common protocol case where one value literally grew out of the other).
+bool literal_prefix(const std::vector<Command>& shorter,
+                    const std::vector<Command>& longer) {
+  if (shorter.size() > longer.size()) return false;
+  for (std::size_t i = 0; i < shorter.size(); ++i) {
+    if (shorter[i].id != longer[i].id) return false;
+  }
+  return true;
+}
+
+/// Length of the longest shared elementwise prefix of two sequences.
+///
+/// The Prefix / AreCompatible / ⊔ recursions of §3.3.1 all consume equal
+/// heads unconditionally (the head is found at position 0 of the other
+/// sequence, before any conflicting command, with no pending ancestors), so
+/// each operator factors as  op(P ++ ta, P ++ tb) = P ++ op(ta, tb).
+/// Protocol traffic consists of values that recently diverged from a long
+/// common prefix, which this reduces from O(total²) to O(tail²).
+std::size_t common_prefix_len(const std::vector<Command>& a, const std::vector<Command>& b) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < limit && a[i].id == b[i].id) ++i;
+  return i;
+}
+
+}  // namespace
+
+bool History::conflicts(const Command& a, const Command& b) const {
+  if (a.id == b.id) return false;  // a command never conflicts with itself
+  if (!rel_) return true;          // no relation given: be conservative
+  return rel_->conflicts(a, b);
+}
+
+std::size_t History::index_of(const Command& c) const { return find_id(seq_, c.id); }
+
+void History::append(const Command& c) {
+  if (!contains(c)) seq_.push_back(c);
+}
+
+bool History::contains(const Command& c) const { return index_of(c) != kNpos; }
+
+bool History::compatible(const History& w) const {
+  if (literal_prefix(seq_, w.seq_) || literal_prefix(w.seq_, seq_)) return true;
+  // AreCompatible(H, I, A) of §3.3.1 on the diverging tails, iteratively.
+  // A collects commands of H that are missing from I (they would have to be
+  // appended *after* I's current contents, so any later H-command present
+  // in I must not conflict with them).
+  const std::size_t common = common_prefix_len(seq_, w.seq_);
+  std::vector<Command> h(seq_.begin() + static_cast<std::ptrdiff_t>(common), seq_.end());
+  std::vector<Command> i(w.seq_.begin() + static_cast<std::ptrdiff_t>(common), w.seq_.end());
+  std::vector<Command> ancestors;
+  std::size_t hpos = 0;
+  while (hpos < h.size() && !i.empty()) {
+    const Command& head = h[hpos];
+    std::size_t j_eq = kNpos;
+    std::size_t j_conf = kNpos;
+    for (std::size_t j = 0; j < i.size(); ++j) {
+      if (j_eq == kNpos && i[j].id == head.id) j_eq = j;
+      if (j_conf == kNpos && conflicts(head, i[j])) j_conf = j;
+      if (j_eq != kNpos && j_conf != kNpos) break;
+    }
+    if (j_conf != kNpos && (j_eq == kNpos || j_conf < j_eq)) {
+      // Some command of I conflicts with head and precedes head's position
+      // in I (or head is absent from I): the two orders cannot be merged.
+      return false;
+    }
+    if (j_eq != kNpos) {
+      for (const Command& f : ancestors) {
+        if (conflicts(head, f)) return false;
+      }
+      i.erase(i.begin() + static_cast<std::ptrdiff_t>(j_eq));
+      ++hpos;
+    } else {
+      ancestors.push_back(head);
+      ++hpos;
+    }
+  }
+  return true;
+}
+
+History History::meet(const History& w) const {
+  if (literal_prefix(seq_, w.seq_)) return *this;
+  if (literal_prefix(w.seq_, seq_)) return w;
+  // Factor out the shared prefix, then run Prefix(H, I) of §3.3.1 on the
+  // diverging tails, iteratively.
+  const std::size_t common = common_prefix_len(seq_, w.seq_);
+  History out(rel_ ? rel_ : w.rel_);
+  out.seq_.assign(seq_.begin(), seq_.begin() + static_cast<std::ptrdiff_t>(common));
+  std::vector<Command> h(seq_.begin() + static_cast<std::ptrdiff_t>(common), seq_.end());
+  std::vector<Command> i(w.seq_.begin() + static_cast<std::ptrdiff_t>(common), w.seq_.end());
+  while (!h.empty() && !i.empty()) {
+    const Command head = h.front();
+    const std::size_t j = find_id(i, head.id);
+    bool take = false;
+    if (j != kNpos) {
+      take = true;
+      for (std::size_t k = 0; k < j; ++k) {
+        if (conflicts(head, i[k])) {
+          take = false;
+          break;
+        }
+      }
+    }
+    if (take) {
+      out.seq_.push_back(head);
+      h.erase(h.begin());
+      i.erase(i.begin() + static_cast<std::ptrdiff_t>(j));
+    } else {
+      // Drop head and everything that (transitively) succeeds it in H: those
+      // commands are ordered after head and cannot be in the common prefix.
+      std::vector<Command> blocked{head};
+      std::vector<Command> rest;
+      for (std::size_t k = 1; k < h.size(); ++k) {
+        const bool succ = std::any_of(blocked.begin(), blocked.end(),
+                                      [&](const Command& b) { return conflicts(h[k], b); });
+        if (succ) {
+          blocked.push_back(h[k]);
+        } else {
+          rest.push_back(h[k]);
+        }
+      }
+      h = std::move(rest);
+    }
+  }
+  return out;
+}
+
+History History::join(const History& w) const {
+  if (literal_prefix(seq_, w.seq_)) return w;
+  if (literal_prefix(w.seq_, seq_)) return *this;
+  if (!compatible(w)) {
+    throw std::logic_error("History::join of incompatible histories");
+  }
+  // H ⊔ I of §3.3.1 on the diverging tails: walk H, consuming matching
+  // commands of I; the commands of I that remain are appended at the end in
+  // I's order.
+  const std::size_t common = common_prefix_len(seq_, w.seq_);
+  History out(rel_ ? rel_ : w.rel_);
+  out.seq_ = seq_;
+  std::vector<Command> i(w.seq_.begin() + static_cast<std::ptrdiff_t>(common), w.seq_.end());
+  for (std::size_t k = common; k < seq_.size(); ++k) {
+    const std::size_t j = find_id(i, seq_[k].id);
+    if (j != kNpos) i.erase(i.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  for (const Command& c : i) out.seq_.push_back(c);
+  return out;
+}
+
+bool History::extends(const History& w) const {
+  if (literal_prefix(w.seq_, seq_)) return true;
+  if (w.seq_.size() > seq_.size()) return false;
+  return meet(w) == w;
+}
+
+bool operator==(const History& a, const History& b) {
+  if (a.seq_.size() != b.seq_.size()) return false;
+  if (literal_prefix(a.seq_, b.seq_)) return true;
+  // Poset equality factors over a shared literal prefix as well: prefix
+  // pairs are identically ordered, and prefix-vs-tail pairs are
+  // positionally ordered the same way in both sequences. Only the tails
+  // need the quadratic conflicting-pair comparison.
+  const std::size_t common = common_prefix_len(a.seq_, b.seq_);
+  std::unordered_map<std::uint64_t, std::size_t> pos_b;
+  pos_b.reserve(b.seq_.size() - common);
+  for (std::size_t j = common; j < b.seq_.size(); ++j) pos_b[b.seq_[j].id] = j;
+  for (std::size_t x = common; x < a.seq_.size(); ++x) {
+    if (pos_b.find(a.seq_[x].id) == pos_b.end()) return false;
+  }
+  for (std::size_t x = common; x < a.seq_.size(); ++x) {
+    for (std::size_t y = x + 1; y < a.seq_.size(); ++y) {
+      if (!a.conflicts(a.seq_[x], a.seq_[y])) continue;
+      // a orders x before y; b must agree.
+      if (pos_b[a.seq_[x].id] > pos_b[a.seq_[y].id]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcp::cstruct

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "cstruct/command.hpp"
+
+namespace mcp::cstruct {
+
+/// Command history c-struct (§3.3.1 of the paper): a partially ordered set
+/// of commands, represented as one of its linearizations plus the external
+/// conflict relation. Two histories are equal when they contain the same
+/// commands and order every conflicting pair the same way.
+///
+/// The conflict relation is *not* owned; it is shared configuration whose
+/// lifetime must cover every history built from it (typically a constant
+/// owned by the protocol configuration).
+class History {
+ public:
+  History() = default;
+  explicit History(const ConflictRelation* rel) : rel_(rel) {}
+
+  /// Rebuild a history from a stored linearization (deserialization). The
+  /// sequence must already respect the conflict order, which holds for any
+  /// sequence produced by sequence().
+  static History from_sequence(const ConflictRelation* rel, std::vector<Command> seq) {
+    History h(rel);
+    h.seq_ = std::move(seq);
+    return h;
+  }
+
+  const ConflictRelation* relation() const { return rel_; }
+
+  /// The • operator: append C unless it is already contained.
+  void append(const Command& c);
+
+  bool contains(const Command& c) const;
+
+  /// w ⊑ *this, i.e. *this = w • σ for some command sequence σ.
+  bool extends(const History& w) const;
+
+  /// AreCompatible of §3.3.1: do the two histories admit a common upper
+  /// bound (no conflicting pair ordered differently, and no command of one
+  /// inserted "before" already-appended conflicting commands of the other)?
+  bool compatible(const History& w) const;
+
+  /// Greatest lower bound ⊓: the longest common prefix (Prefix operator of
+  /// §3.3.1, folded over both orders).
+  History meet(const History& w) const;
+
+  /// Least upper bound ⊔ (requires compatible(w); throws otherwise).
+  History join(const History& w) const;
+
+  std::size_t size() const { return seq_.size(); }
+  bool empty() const { return seq_.empty(); }
+
+  /// The stored linearization (consistent with the conflict partial order).
+  const std::vector<Command>& sequence() const { return seq_; }
+
+  /// Poset equality.
+  friend bool operator==(const History& a, const History& b);
+  friend bool operator!=(const History& a, const History& b) { return !(a == b); }
+
+ private:
+  bool conflicts(const Command& a, const Command& b) const;
+  /// Index of command with c's id, or npos.
+  std::size_t index_of(const Command& c) const;
+
+  const ConflictRelation* rel_ = nullptr;
+  std::vector<Command> seq_;
+};
+
+}  // namespace mcp::cstruct

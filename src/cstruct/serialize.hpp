@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "cstruct/cset.hpp"
+#include "cstruct/history.hpp"
+#include "cstruct/single_value.hpp"
+
+namespace mcp::cstruct {
+
+/// Stable-storage codecs for the c-struct implementations. Decoding needs a
+/// prototype (carrying e.g. the conflict relation of a History) so that the
+/// reconstructed value lives in the same c-struct set.
+
+inline std::string encode(const SingleValue& v) {
+  return v.is_bottom() ? std::string{} : encode(*v.value());
+}
+inline SingleValue decode(const SingleValue& /*prototype*/, const std::string& s) {
+  if (s.empty()) return SingleValue{};
+  return SingleValue{decode_command(s)};
+}
+
+inline std::string encode(const CSet& v) { return encode(v.commands()); }
+inline CSet decode(const CSet& /*prototype*/, const std::string& s) {
+  CSet out;
+  for (const Command& c : decode_commands(s)) out.append(c);
+  return out;
+}
+
+inline std::string encode(const History& v) { return encode(v.sequence()); }
+inline History decode(const History& prototype, const std::string& s) {
+  return History::from_sequence(prototype.relation(), decode_commands(s));
+}
+
+}  // namespace mcp::cstruct

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+
+#include "cstruct/command.hpp"
+
+namespace mcp::cstruct {
+
+/// The c-struct set that makes Generalized Consensus collapse to classical
+/// consensus (Lamport, "Generalized Consensus and Paxos" §4): a c-struct is
+/// either ⊥ or a single command, and appending to a non-⊥ c-struct is a
+/// no-op.
+class SingleValue {
+ public:
+  SingleValue() = default;
+  explicit SingleValue(Command c) : value_(std::move(c)) {}
+
+  bool is_bottom() const { return !value_.has_value(); }
+  const std::optional<Command>& value() const { return value_; }
+
+  void append(const Command& c) {
+    if (!value_) value_ = c;
+  }
+
+  bool contains(const Command& c) const { return value_ && *value_ == c; }
+
+  /// w ⊑ *this: everything extends ⊥; a decided value extends only itself.
+  bool extends(const SingleValue& w) const { return w.is_bottom() || *this == w; }
+
+  bool compatible(const SingleValue& w) const {
+    return is_bottom() || w.is_bottom() || *this == w;
+  }
+
+  SingleValue meet(const SingleValue& w) const {
+    return (*this == w) ? *this : SingleValue{};
+  }
+
+  SingleValue join(const SingleValue& w) const {
+    if (is_bottom()) return w;
+    if (w.is_bottom() || *this == w) return *this;
+    throw std::logic_error("SingleValue::join of incompatible values");
+  }
+
+  std::size_t size() const { return value_ ? 1 : 0; }
+
+  friend bool operator==(const SingleValue& a, const SingleValue& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const SingleValue& a, const SingleValue& b) { return !(a == b); }
+
+ private:
+  std::optional<Command> value_;
+};
+
+}  // namespace mcp::cstruct

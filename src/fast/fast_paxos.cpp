@@ -1,0 +1,388 @@
+#include "fast/fast_paxos.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::fast {
+
+using paxos::Ballot;
+
+// ---------------------------------------------------------------------------
+// Proposer
+
+Proposer::Proposer(const Config& config, Value value)
+    : config_(config), value_(std::move(value)) {}
+
+void Proposer::on_start() {
+  if (start_delay > 0) {
+    set_timer(start_delay, 0);
+  } else {
+    broadcast_proposal();
+  }
+}
+
+void Proposer::broadcast_proposal() {
+  // The defining move of Fast Paxos: proposals go to coordinators *and*
+  // acceptors so fast rounds can skip the coordinator hop.
+  multicast(config_.coordinators, msg::Propose{value_});
+  multicast(config_.acceptors, msg::Propose{value_});
+  sim().metrics().incr("fast.proposals_sent");
+  if (config_.enable_liveness && !decided_) set_timer(config_.retry_interval, 0);
+}
+
+void Proposer::on_timer(int) {
+  if (!decided_) broadcast_proposal();
+}
+
+void Proposer::on_message(sim::NodeId, const std::any& m) {
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) decided_ = learned->v;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+Coordinator::Coordinator(const Config& config)
+    : config_(config),
+      quorums_(config.quorum_system()),
+      fd_(*this, config.coordinators, config.fd) {
+  if (!quorums_.meets_fast_requirement()) {
+    throw std::invalid_argument("fast::Coordinator: n > 2E + F required (Assumption 2)");
+  }
+}
+
+bool Coordinator::is_leader() const {
+  if (!config_.enable_liveness) return id() == config_.coordinators.front();
+  return fd_.leader() == id();
+}
+
+void Coordinator::on_start() {
+  if (config_.enable_liveness) {
+    fd_.start();
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+  maybe_lead();
+}
+
+void Coordinator::on_recover() {
+  crnd_ = Ballot::zero();
+  phase1_done_ = false;
+  sent2a_ = false;
+  promises_.clear();
+  proposals_.clear();
+  votes_seen_.clear();
+  on_start();
+}
+
+void Coordinator::maybe_lead() {
+  if (decided_value_ || !is_leader()) return;
+  if (crnd_.is_zero()) new_round(1);
+}
+
+void Coordinator::new_round(std::int64_t count) {
+  if (count <= crnd_.count) count = crnd_.count + 1;
+  crnd_ = config_.ballot(count, id(), incarnation());
+  phase1_done_ = false;
+  sent2a_ = false;
+  promises_.clear();
+  round_started_at_ = now();
+  sim().metrics().incr("fast.rounds_started");
+  multicast(config_.acceptors, msg::P1a{crnd_});
+}
+
+void Coordinator::finish_phase1() {
+  phase1_done_ = true;
+  std::vector<paxos::SingleVoteReport<Value>> reports;
+  reports.reserve(promises_.size());
+  for (const auto& [acc, report] : promises_) reports.push_back(report);
+  const auto forced = paxos::pick_single_value(quorums_, reports);
+  if (forced) {
+    sent2a_ = true;
+    multicast(config_.acceptors, msg::P2a{crnd_, *forced});
+  } else if (crnd_.is_fast()) {
+    // Free to pick: delegate the choice to the proposers (value Any).
+    sent2a_ = true;
+    sim().metrics().incr("fast.any_sent");
+    multicast(config_.acceptors, msg::P2a{crnd_, std::nullopt});
+  } else if (!proposals_.empty()) {
+    sent2a_ = true;
+    multicast(config_.acceptors, msg::P2a{crnd_, proposals_.front()});
+  }
+  // Classic round with no proposal yet: the 2a goes out on first Propose.
+}
+
+void Coordinator::on_message(sim::NodeId from, const std::any& m) {
+  if (fd_.handle_message(from, m)) {
+    maybe_lead();
+    return;
+  }
+  if (const auto* p = std::any_cast<msg::Propose>(&m)) {
+    proposals_.push_back(p->v);
+    if (phase1_done_ && !sent2a_ && crnd_.is_classic()) {
+      sent2a_ = true;
+      multicast(config_.acceptors, msg::P2a{crnd_, proposals_.front()});
+    }
+    return;
+  }
+  if (const auto* p1b = std::any_cast<msg::P1b>(&m)) {
+    if (p1b->b != crnd_ || phase1_done_) return;
+    promises_[from] = paxos::SingleVoteReport<Value>{from, p1b->vrnd, p1b->vval};
+    if (promises_.size() >= quorums_.quorum_size(crnd_)) finish_phase1();
+    return;
+  }
+  if (const auto* p2b = std::any_cast<msg::P2b>(&m)) {
+    handle_2b(from, *p2b);
+    return;
+  }
+  if (const auto* nack = std::any_cast<msg::Nack>(&m)) {
+    if (nack->heard.count > crnd_.count && is_leader() && !decided_value_) {
+      new_round(nack->heard.count + 1);
+    }
+    return;
+  }
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) {
+    decided_value_ = learned->v;
+    return;
+  }
+}
+
+void Coordinator::handle_2b(sim::NodeId from, const msg::P2b& p2b) {
+  // Collision monitoring (§2.2): the coordinator watches 2b traffic of its
+  // fast round; two distinct values mean the round may be stuck.
+  auto& votes = votes_seen_[p2b.b];
+  votes[from] = p2b.v;
+  if (decided_value_ || p2b.b != crnd_ || !crnd_.is_fast()) return;
+  bool collision = false;
+  for (const auto& [acc, v] : votes) {
+    if (!(v == p2b.v)) {
+      collision = true;
+      break;
+    }
+  }
+  if (!collision) return;
+  sim().metrics().incr("fast.collisions_detected");
+  switch (config_.recovery) {
+    case RecoveryMode::kRestart:
+      // Start the next round from scratch (phase 1 and all): 4 extra steps.
+      new_round(crnd_.count + 1);
+      break;
+    case RecoveryMode::kCoordinated:
+      coordinated_recovery();
+      break;
+    case RecoveryMode::kUncoordinated:
+      break;  // acceptors resolve it among themselves
+  }
+}
+
+void Coordinator::coordinated_recovery() {
+  // Interpret round-i 2b messages as round-(i+1) 1b messages (§2.2). We
+  // need them from a classic quorum of the *next* round; i+1 is classic
+  // under the coordinated ladder, so quorum size is n − F.
+  const auto& votes = votes_seen_[crnd_];
+  if (votes.size() < quorums_.classic_quorum_size()) return;  // wait for more 2b
+  std::vector<paxos::SingleVoteReport<Value>> reports;
+  reports.reserve(votes.size());
+  for (const auto& [acc, v] : votes) {
+    reports.push_back(paxos::SingleVoteReport<Value>{acc, crnd_, v});
+  }
+  const auto forced = paxos::pick_single_value(quorums_, reports);
+  const Ballot next = config_.ballot(crnd_.count + 1, id(), incarnation());
+  crnd_ = next;
+  phase1_done_ = true;
+  sent2a_ = true;
+  round_started_at_ = now();
+  promises_.clear();
+  sim().metrics().incr("fast.coordinated_recoveries");
+  Value v = forced              ? *forced
+            : proposals_.empty() ? votes.begin()->second
+                                 : proposals_.front();
+  multicast(config_.acceptors, msg::P2a{crnd_, v});
+}
+
+void Coordinator::on_timer(int token) {
+  if (fd_.handle_timer(token)) return;
+  if (token == kProgressToken) {
+    if (decided_value_) {
+      multicast(config_.learners, msg::Learned{*decided_value_});
+      multicast(config_.proposers, msg::Learned{*decided_value_});
+    } else if (is_leader()) {
+      const bool started = !crnd_.is_zero() && crnd_.coord == id();
+      if (!started || now() - round_started_at_ >= config_.progress_timeout) {
+        new_round(crnd_.count + 1);
+      }
+    }
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+Acceptor::Acceptor(const Config& config)
+    : config_(config), quorums_(config.quorum_system()) {
+  storage().set_write_latency(config.disk_latency);
+}
+
+void Acceptor::on_recover() {
+  if (auto s = storage().read("rnd")) rnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vrnd")) vrnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vval"); s && !s->empty()) {
+    vval_ = cstruct::decode_command(*s);
+  }
+  any_armed_ = false;
+  pending_.clear();
+  peer_votes_.clear();
+}
+
+void Acceptor::accept(const Ballot& b, const Value& v) {
+  rnd_ = b;
+  vrnd_ = b;
+  vval_ = v;
+  storage().write("rnd", paxos::encode(rnd_));
+  storage().write("vrnd", paxos::encode(vrnd_));
+  const sim::Time lat = storage().write("vval", cstruct::encode(v));
+  sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+  const msg::P2b vote{b, v};
+  multicast_after_sync(config_.learners, vote, lat);
+  multicast_after_sync(config_.coordinators, vote, lat);
+  if (config_.recovery == RecoveryMode::kUncoordinated) {
+    // Peers need the 2b traffic to run the recovery locally.
+    multicast_after_sync(config_.acceptors, vote, lat);
+  }
+}
+
+void Acceptor::try_fast_accept() {
+  if (!any_armed_ || !rnd_.is_fast() || vrnd_ == rnd_ || pending_.empty()) return;
+  // One value per round: take the first proposal that reached us.
+  accept(rnd_, pending_.front());
+}
+
+void Acceptor::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* p = std::any_cast<msg::Propose>(&m)) {
+    const bool known = std::any_of(pending_.begin(), pending_.end(),
+                                   [&](const Value& v) { return v == p->v; });
+    if (!known) pending_.push_back(p->v);
+    try_fast_accept();
+    return;
+  }
+  if (const auto* p1a = std::any_cast<msg::P1a>(&m)) {
+    if (p1a->b > rnd_) {
+      rnd_ = p1a->b;
+      any_armed_ = false;
+      const sim::Time lat = storage().write("rnd", paxos::encode(rnd_));
+      sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+      send_after_sync(from, msg::P1b{rnd_, vrnd_, vval_}, lat);
+    } else if (p1a->b == rnd_) {
+      send(from, msg::P1b{rnd_, vrnd_, vval_});
+    } else {
+      send(from, msg::Nack{rnd_});
+    }
+    return;
+  }
+  if (const auto* p2a = std::any_cast<msg::P2a>(&m)) {
+    if (p2a->b < rnd_) {
+      send(from, msg::Nack{rnd_});
+      return;
+    }
+    if (p2a->v.has_value()) {
+      if (p2a->b > vrnd_) accept(p2a->b, *p2a->v);
+    } else {
+      // Any value: accept the first proposal to arrive (now or later).
+      rnd_ = p2a->b;
+      any_armed_ = true;
+      try_fast_accept();
+    }
+    return;
+  }
+  if (const auto* p2b = std::any_cast<msg::P2b>(&m)) {
+    if (config_.recovery != RecoveryMode::kUncoordinated) return;
+    auto& votes = peer_votes_[p2b->b];
+    votes[from] = p2b->v;
+    if (vrnd_ == p2b->b && vval_) votes[id()] = *vval_;  // count our own vote
+    uncoordinated_recovery(p2b->b);
+    return;
+  }
+}
+
+void Acceptor::uncoordinated_recovery(const Ballot& collided) {
+  if (!collided.is_fast() || collided != rnd_) return;
+  const auto& votes = peer_votes_[collided];
+  // Only act on an actual collision, once round-i 2b messages from an
+  // i-quorum are available to stand in for round-(i+1) 1b messages.
+  bool collision = false;
+  for (const auto& [a1, v1] : votes) {
+    for (const auto& [a2, v2] : votes) {
+      if (!(v1 == v2)) collision = true;
+    }
+  }
+  if (!collision || votes.size() < quorums_.quorum_size(collided)) return;
+
+  std::vector<paxos::SingleVoteReport<Value>> reports;
+  reports.reserve(votes.size());
+  for (const auto& [acc, v] : votes) {
+    reports.push_back(paxos::SingleVoteReport<Value>{acc, collided, v});
+  }
+  const auto forced = paxos::pick_single_value(quorums_, reports);
+  const Ballot next = config_.ballot(collided.count + 1, collided.coord, collided.coord_inc);
+  if (!next.is_fast()) return;  // uncoordinated recovery needs a fast successor
+  sim().metrics().incr("fast.uncoordinated_recoveries");
+  Value v;
+  if (forced) {
+    v = *forced;
+  } else if (!pending_.empty()) {
+    // §2.2: acceptors should apply a strategy that makes them likely to
+    // pick the same value. When nothing is forced, any *proposed* value is
+    // pickable; proposers broadcast to every acceptor, so the pending
+    // proposal set is (almost always) identical everywhere — the smallest
+    // command id in it is a convergent deterministic choice.
+    v = pending_.front();
+    for (const Value& cand : pending_) {
+      if (cand.id < v.id) v = cand;
+    }
+  } else {
+    v = votes.begin()->second;
+  }
+  accept(next, v);
+}
+
+// ---------------------------------------------------------------------------
+// Learner
+
+Learner::Learner(const Config& config)
+    : config_(config), quorums_(config.quorum_system()) {}
+
+void Learner::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* announced = std::any_cast<msg::Learned>(&m)) {
+    if (!learned_) {
+      learned_ = announced->v;
+      learned_at_ = now();
+    } else if (!(*learned_ == announced->v)) {
+      throw std::logic_error("fast: conflicting decisions (consistency violated)");
+    }
+    return;
+  }
+  const auto* p2b = std::any_cast<msg::P2b>(&m);
+  if (p2b == nullptr) return;
+  auto& votes = votes_[p2b->b];
+  votes[from] = p2b->v;
+  // Learned iff an i-quorum voted the *same* value in round i (fast rounds
+  // may legitimately contain several values; that is not an error here).
+  std::size_t agreeing = 0;
+  for (const auto& [acc, v] : votes) {
+    if (v == p2b->v) ++agreeing;
+  }
+  if (agreeing < quorums_.quorum_size(p2b->b)) return;
+  if (learned_) {
+    if (!(*learned_ == p2b->v)) {
+      throw std::logic_error("fast: conflicting decisions (consistency violated)");
+    }
+    return;
+  }
+  learned_ = p2b->v;
+  learned_at_ = now();
+  sim().metrics().incr("fast.decisions");
+  multicast(config_.proposers, msg::Learned{*learned_});
+  multicast(config_.coordinators, msg::Learned{*learned_});
+}
+
+}  // namespace mcp::fast

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/leader.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "sim/process.hpp"
+
+namespace mcp::fast {
+
+/// Fast Paxos (§2.2), one consensus instance. Proposers send commands
+/// directly to the acceptors; the coordinator opens a fast round with an
+/// "Any" 2a message. Collisions (acceptors of a fast quorum accepting
+/// different values) are resolved by one of the three mechanisms the paper
+/// describes, all of which cost acceptor disk writes — the contrast with
+/// multicoordinated rounds drawn in §4.2.
+using Value = cstruct::Command;
+
+/// §2.2: restart = new round from phase 1 (4 extra steps); coordinated =
+/// the next round's coordinator reuses round-i 2b messages as 1b (2 steps);
+/// uncoordinated = acceptors do the same locally and vote again in the next
+/// fast round (1 step, may collide again).
+enum class RecoveryMode { kRestart, kCoordinated, kUncoordinated };
+
+namespace msg {
+struct Propose {
+  Value v;
+};
+struct P1a {
+  paxos::Ballot b;
+};
+struct P1b {
+  paxos::Ballot b;
+  paxos::Ballot vrnd;
+  std::optional<Value> vval;
+};
+struct P2a {
+  paxos::Ballot b;
+  std::optional<Value> v;  ///< nullopt encodes the special value Any
+};
+struct P2b {
+  paxos::Ballot b;
+  Value v;
+};
+struct Nack {
+  paxos::Ballot heard;
+};
+struct Learned {
+  Value v;
+};
+}  // namespace msg
+
+struct Config {
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> coordinators;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  int f = 0;  ///< classic quorum = n − f
+  int e = 0;  ///< fast quorum = n − e; requires n > 2e + f
+
+  RecoveryMode recovery = RecoveryMode::kCoordinated;
+  sim::Time disk_latency = 0;
+  bool enable_liveness = true;
+  paxos::FailureDetector::Config fd;
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 800;
+
+  paxos::QuorumSystem quorum_system() const {
+    return paxos::QuorumSystem(acceptors, f, e);
+  }
+  /// Round type ladder (§4.5): with coordinated recovery every fast round
+  /// is followed by a classic one; restart/uncoordinated ladders stay fast
+  /// but interleave a single-coordinated round every 4 counts as the
+  /// liveness backstop §4.3 prescribes ("Multicoordinated Paxos can always
+  /// switch to a single-coordinated round to ensure progress").
+  paxos::RoundType type_of(std::int64_t count) const {
+    if (recovery == RecoveryMode::kCoordinated) {
+      return count % 2 == 0 ? paxos::RoundType::kSingleCoord : paxos::RoundType::kFast;
+    }
+    return count % 4 == 0 ? paxos::RoundType::kSingleCoord : paxos::RoundType::kFast;
+  }
+  paxos::Ballot ballot(std::int64_t count, sim::NodeId coord, int inc) const {
+    return paxos::Ballot{count, coord, inc, type_of(count)};
+  }
+};
+
+/// Proposer: sends its command to coordinators *and* acceptors (the fast
+/// path) and retransmits until a decision is announced.
+class Proposer final : public sim::Process {
+ public:
+  Proposer(const Config& config, Value value);
+
+  std::string role() const override { return "proposer"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+
+  bool decided() const { return decided_.has_value(); }
+  const std::optional<Value>& decision() const { return decided_; }
+
+  /// Delay before the first Propose is sent (lets tests measure the
+  /// steady-state path with phase 1 already executed "a priori").
+  sim::Time start_delay = 0;
+
+ private:
+  void broadcast_proposal();
+
+  const Config& config_;
+  Value value_;
+  std::optional<Value> decided_;
+};
+
+class Coordinator final : public sim::Process {
+ public:
+  explicit Coordinator(const Config& config);
+
+  std::string role() const override { return "coordinator"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+  void on_recover() override;
+
+  const paxos::Ballot& current_round() const { return crnd_; }
+
+ private:
+  static constexpr int kProgressToken = 1;
+
+  bool is_leader() const;
+  void maybe_lead();
+  void new_round(std::int64_t count);
+  void finish_phase1();
+  void handle_2b(sim::NodeId from, const msg::P2b& p2b);
+  void coordinated_recovery();
+
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::FailureDetector fd_;
+
+  paxos::Ballot crnd_;
+  bool phase1_done_ = false;
+  bool sent2a_ = false;
+  std::map<sim::NodeId, paxos::SingleVoteReport<Value>> promises_;
+  std::deque<Value> proposals_;
+  /// Round-i 2b votes observed (collision monitoring / coordinated
+  /// recovery input).
+  std::map<paxos::Ballot, std::map<sim::NodeId, Value>> votes_seen_;
+  std::optional<Value> decided_value_;  ///< set once any learner announces
+  sim::Time round_started_at_ = 0;
+};
+
+class Acceptor final : public sim::Process {
+ public:
+  explicit Acceptor(const Config& config);
+
+  std::string role() const override { return "acceptor"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_recover() override;
+
+  const paxos::Ballot& rnd() const { return rnd_; }
+  const paxos::Ballot& vrnd() const { return vrnd_; }
+  const std::optional<Value>& vval() const { return vval_; }
+
+ private:
+  void accept(const paxos::Ballot& b, const Value& v);
+  void try_fast_accept();
+  void uncoordinated_recovery(const paxos::Ballot& collided);
+
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::Ballot rnd_;
+  paxos::Ballot vrnd_;
+  std::optional<Value> vval_;
+  bool any_armed_ = false;  ///< current round is fast and its Any 2a arrived
+  std::deque<Value> pending_;  ///< proposals in arrival order
+  /// Peer 2b votes per round (only tracked under uncoordinated recovery).
+  std::map<paxos::Ballot, std::map<sim::NodeId, Value>> peer_votes_;
+};
+
+class Learner final : public sim::Process {
+ public:
+  explicit Learner(const Config& config);
+
+  std::string role() const override { return "learner"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+
+  bool learned() const { return learned_.has_value(); }
+  const std::optional<Value>& value() const { return learned_; }
+  sim::Time learned_at() const { return learned_at_; }
+
+ private:
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, Value>> votes_;
+  std::optional<Value> learned_;
+  sim::Time learned_at_ = -1;
+};
+
+}  // namespace mcp::fast

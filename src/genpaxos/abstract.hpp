@@ -1,0 +1,293 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cstruct/cstruct.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+
+namespace mcp::genpaxos {
+
+/// Executable version of **Abstract Multicoordinated Paxos** (Appendix A.2
+/// of the paper): the non-distributed state machine over
+///   propCmd   — set of proposed commands,
+///   maxTried  — per-balnum c-struct tried so far (none = ballot unstarted),
+///   bA        — the ballot array (per-acceptor current balnum + votes),
+///   learned   — per-learner c-struct,
+/// with the seven atomic actions Propose / JoinBallot / StartBallot /
+/// Suggest / ClassicVote / FastVote / AbstractLearn.
+///
+/// The predicates *chosen at*, *choosable at* and *safe at* (Definitions
+/// 2–5) are implemented literally, by quorum enumeration — exponential and
+/// only meant for the small universes of the exploration tests, where they
+/// serve as the ground-truth oracle against which the production
+/// `proved_safe` rule is checked (Proposition 2), and the three state
+/// invariants of Appendix A.2 are validated after every action.
+template <cstruct::CStructT CS>
+class AbstractMCPaxos {
+ public:
+  using Ballot = paxos::Ballot;
+  using Command = cstruct::Command;
+
+  struct Config {
+    paxos::QuorumSystem quorums;
+    std::vector<Ballot> balnums;  ///< the (finite) universe of rounds, ascending
+    CS bottom{};
+    int learners = 2;
+
+    std::vector<Ballot> balnums_with_zero() const {
+      std::vector<Ballot> out{Ballot::zero()};
+      out.insert(out.end(), balnums.begin(), balnums.end());
+      return out;
+    }
+  };
+
+  explicit AbstractMCPaxos(Config config) : config_(std::move(config)) {
+    for (std::size_t a = 0; a < config_.quorums.n(); ++a) {
+      acceptors_.push_back(AcceptorState{Ballot::zero(), {{Ballot::zero(), config_.bottom}}});
+    }
+    learned_.assign(static_cast<std::size_t>(config_.learners), config_.bottom);
+    max_tried_[Ballot::zero()] = config_.bottom;
+  }
+
+  // --- state access ---------------------------------------------------------
+
+  const std::set<Command>& prop_cmd() const { return prop_cmd_; }
+  const std::vector<CS>& learned() const { return learned_; }
+  std::optional<CS> max_tried(const Ballot& m) const {
+    auto it = max_tried_.find(m);
+    if (it == max_tried_.end()) return std::nullopt;
+    return it->second;
+  }
+  const Ballot& mbal(std::size_t acceptor) const { return acceptors_[acceptor].mbal; }
+  std::optional<CS> vote(std::size_t acceptor, const Ballot& m) const {
+    auto it = acceptors_[acceptor].votes.find(m);
+    if (it == acceptors_[acceptor].votes.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // --- Definitions 2–5 (ground-truth, by quorum enumeration) -----------------
+
+  /// Definition 3: v is chosen at m iff some m-quorum all voted extensions.
+  bool is_chosen_at(const CS& v, const Ballot& m) const {
+    const std::size_t q = quorum_size(m);
+    const auto quorums = paxos::combinations(acceptors_.size(), q);
+    return std::any_of(quorums.begin(), quorums.end(), [&](const auto& Q) {
+      return std::all_of(Q.begin(), Q.end(), [&](std::size_t a) {
+        const auto w = vote(a, m);
+        return w && w->extends(v);
+      });
+    });
+  }
+
+  /// Definition 4: v is choosable at m iff some m-quorum could still choose
+  /// it (only members that moved past m are constrained by their vote).
+  bool is_choosable_at(const CS& v, const Ballot& m) const {
+    const std::size_t q = quorum_size(m);
+    const auto quorums = paxos::combinations(acceptors_.size(), q);
+    return std::any_of(quorums.begin(), quorums.end(), [&](const auto& Q) {
+      return std::all_of(Q.begin(), Q.end(), [&](std::size_t a) {
+        if (!(m < acceptors_[a].mbal)) return true;  // unconstrained
+        const auto w = vote(a, m);
+        return w && w->extends(v);
+      });
+    });
+  }
+
+  /// Definition 5 restricted to candidate values we can enumerate: v is
+  /// *unsafe* at m iff some w choosable at some k < m is not a prefix of v.
+  /// The choosable w worth checking are the per-quorum glbs of constrained
+  /// votes (anything choosable is a prefix of one of those, or the quorum
+  /// is entirely unconstrained — in which case arbitrary values are
+  /// choosable and nothing is safe).
+  bool is_safe_at(const CS& v, const Ballot& m) const {
+    for (const Ballot& k : config_.balnums_with_zero()) {
+      if (!(k < m)) continue;
+      const std::size_t q = quorum_size(k);
+      for (const auto& Q : paxos::combinations(acceptors_.size(), q)) {
+        std::vector<CS> constrained;
+        bool dead_quorum = false;  // a constrained member without a vote
+        for (std::size_t a : Q) {
+          if (!(k < acceptors_[a].mbal)) continue;
+          const auto w = vote(a, k);
+          if (!w) {
+            dead_quorum = true;
+            break;
+          }
+          constrained.push_back(*w);
+        }
+        if (dead_quorum) continue;  // nothing choosable via this quorum
+        if (constrained.empty()) return false;  // arbitrary values choosable
+        // The maximal value choosable via Q is the glb of the constrained
+        // members' votes; v is safe w.r.t. Q iff it extends that bound
+        // (and thereby every choosable prefix of it).
+        const CS bound = cstruct::meet_all(constrained);
+        if (!v.extends(bound)) return false;
+      }
+    }
+    return true;
+  }
+
+  // --- the seven actions (return false when preconditions fail) ---------------
+
+  bool propose(const Command& c) {
+    if (prop_cmd_.count(c) != 0) return false;
+    prop_cmd_.insert(c);
+    return true;
+  }
+
+  bool join_ballot(std::size_t a, const Ballot& m) {
+    if (!(acceptors_[a].mbal < m)) return false;
+    acceptors_[a].mbal = m;
+    return true;
+  }
+
+  bool start_ballot(const Ballot& m, const CS& w) {
+    if (max_tried_.count(m) != 0) return false;
+    if (!is_safe_at(w, m)) return false;
+    if (!is_constructible_from_proposed(w)) return false;
+    max_tried_[m] = w;
+    return true;
+  }
+
+  bool suggest(const Ballot& m, const std::vector<Command>& sigma) {
+    auto it = max_tried_.find(m);
+    if (it == max_tried_.end()) return false;
+    for (const Command& c : sigma) {
+      if (prop_cmd_.count(c) == 0) return false;
+    }
+    it->second = cstruct::append_all(it->second, sigma);
+    return true;
+  }
+
+  bool classic_vote(std::size_t a, const Ballot& m, const CS& v) {
+    if (acceptors_[a].mbal > m) return false;
+    auto tried = max_tried_.find(m);
+    if (tried == max_tried_.end() || !tried->second.extends(v)) return false;
+    if (!is_safe_at(v, m)) return false;
+    const auto prev = vote(a, m);
+    if (prev && !v.extends(*prev)) return false;
+    acceptors_[a].mbal = m;
+    acceptors_[a].votes[m] = v;
+    return true;
+  }
+
+  bool fast_vote(std::size_t a, const Command& c) {
+    const Ballot m = acceptors_[a].mbal;
+    if (!m.is_fast() || prop_cmd_.count(c) == 0) return false;
+    auto prev = vote(a, m);
+    if (!prev) return false;
+    prev->append(c);
+    acceptors_[a].votes[m] = *prev;
+    return true;
+  }
+
+  bool abstract_learn(std::size_t l, const CS& v) {
+    if (!is_chosen(v)) return false;
+    // Proposition 1 guarantees chosen values are compatible with anything
+    // already learned; History::join throws otherwise, which the explorer
+    // surfaces as a hard failure.
+    learned_[l] = learned_[l].join(v);
+    return true;
+  }
+
+  /// ProvedSafe over a quorum that joined m, via the production rule — the
+  /// exploration asserts every returned pick is safe (Proposition 2).
+  std::vector<CS> proved_safe_for(const std::vector<std::size_t>& joined,
+                                  const Ballot& /*m*/) const {
+    std::vector<paxos::VoteReport<CS>> reports;
+    for (std::size_t a : joined) {
+      const auto& votes = acceptors_[a].votes;
+      // Highest-round vote of the acceptor (its vrnd / vval).
+      auto best = votes.rbegin();
+      reports.push_back(paxos::VoteReport<CS>{static_cast<sim::NodeId>(a), best->first,
+                                              best->second});
+    }
+    return paxos::proved_safe(config_.quorums, reports);
+  }
+
+  // --- the Appendix A.2 invariants ---------------------------------------------
+
+  /// Returns an explanation of the first violated invariant, or nullopt.
+  std::optional<std::string> check_invariants() const {
+    // maxTried invariant.
+    for (const auto& [m, tried] : max_tried_) {
+      if (m.is_zero()) continue;
+      if (!is_constructible_from_proposed(tried)) {
+        return "maxTried[" + m.str() + "] not constructible from proposals";
+      }
+      if (!is_safe_at(tried, m)) return "maxTried[" + m.str() + "] not safe";
+    }
+    // bA invariant.
+    for (std::size_t a = 0; a < acceptors_.size(); ++a) {
+      for (const auto& [m, v] : acceptors_[a].votes) {
+        if (m.is_zero()) continue;
+        if (!is_safe_at(v, m)) {
+          return "vote of acceptor " + std::to_string(a) + " at " + m.str() + " not safe";
+        }
+        if (m.is_classic()) {
+          auto tried = max_tried_.find(m);
+          if (tried == max_tried_.end() || !tried->second.extends(v)) {
+            return "classic vote at " + m.str() + " not a prefix of maxTried";
+          }
+        } else if (!is_constructible_from_proposed(v)) {
+          return "fast vote at " + m.str() + " contains unproposed commands";
+        }
+      }
+    }
+    // learned invariant + Generalized Consensus safety.
+    for (std::size_t l = 0; l < learned_.size(); ++l) {
+      if (!is_constructible_from_proposed(learned_[l])) {
+        return "learned[" + std::to_string(l) + "] contains unproposed commands";
+      }
+      for (std::size_t l2 = l + 1; l2 < learned_.size(); ++l2) {
+        if (!learned_[l].compatible(learned_[l2])) {
+          return "learned values of learners " + std::to_string(l) + " and " +
+                 std::to_string(l2) + " incompatible";
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool is_chosen(const CS& v) const {
+    const auto& balnums = config_.balnums_with_zero();
+    return std::any_of(balnums.begin(), balnums.end(),
+                       [&](const Ballot& m) { return is_chosen_at(v, m); });
+  }
+
+ private:
+  struct AcceptorState {
+    Ballot mbal;
+    std::map<Ballot, CS> votes;
+  };
+
+  std::size_t quorum_size(const Ballot& m) const { return config_.quorums.quorum_size(m); }
+
+  /// CS1 / Str(P): v was built by appends, so it lies in Str(propCmd) iff
+  /// every contained command was proposed.
+  bool is_constructible_from_proposed(const CS& v) const {
+    // Generic probe: a c-struct of size s must be coverable by s proposed
+    // commands; we check contains() for each proposed command and compare
+    // counts (sufficient for our duplicate-free command universes).
+    std::size_t covered = 0;
+    for (const Command& c : prop_cmd_) {
+      if (v.contains(c)) ++covered;
+    }
+    return covered == v.size();
+  }
+
+  Config config_;
+  std::set<Command> prop_cmd_;
+  std::map<Ballot, CS> max_tried_;
+  std::vector<AcceptorState> acceptors_;
+  std::vector<CS> learned_;
+};
+
+}  // namespace mcp::genpaxos

@@ -1,0 +1,27 @@
+#include "genpaxos/engine.hpp"
+
+// Explicit instantiations for the c-struct sets shipped with the library:
+//  - History      → Generic Broadcast (§3.3) and the KV-store SMR layer,
+//  - CSet         → the commute-everything degenerate case,
+//  - SingleValue  → classical consensus through the generalized engine.
+// Keeping them here gives every user a compiled engine without template
+// bloat in each translation unit.
+
+namespace mcp::genpaxos {
+
+template class GenProposer<cstruct::History>;
+template class GenCoordinator<cstruct::History>;
+template class GenAcceptor<cstruct::History>;
+template class GenLearner<cstruct::History>;
+
+template class GenProposer<cstruct::CSet>;
+template class GenCoordinator<cstruct::CSet>;
+template class GenAcceptor<cstruct::CSet>;
+template class GenLearner<cstruct::CSet>;
+
+template class GenProposer<cstruct::SingleValue>;
+template class GenCoordinator<cstruct::SingleValue>;
+template class GenAcceptor<cstruct::SingleValue>;
+template class GenLearner<cstruct::SingleValue>;
+
+}  // namespace mcp::genpaxos

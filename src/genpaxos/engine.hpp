@@ -1,0 +1,667 @@
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cstruct/cstruct.hpp"
+#include "cstruct/serialize.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/leader.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "paxos/round_config.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp::genpaxos {
+
+/// Multicoordinated Generalized Paxos (§3.2), the paper's primary
+/// contribution: a single never-ending instance of Generalized Consensus
+/// over an arbitrary c-struct set CS, with single-, multi-coordinated and
+/// fast rounds selected by a RoundPolicy.
+///
+/// Baselines drop out by configuration:
+///  - Generalized Paxos (§2.3)  = fast/single ladder, singleton
+///    coordinator quorums (policy fast_then_single).
+///  - Generic Broadcast (§3.3)  = CS = cstruct::History with a conflict
+///    relation.
+///  - Classical consensus       = CS = cstruct::SingleValue.
+///
+/// Practical-issues coverage: collision detection and recovery (§4.2,
+/// acceptors jump to the next round via spontaneous 1b), liveness machinery
+/// (§4.3, nacks + Ω + retransmission), and the disk-write reduction for
+/// rnd[a] (§4.4, block-persisted round counters, one extra write per
+/// recovery).
+
+using cstruct::Command;
+
+// --- messages -----------------------------------------------------------------
+
+template <cstruct::CStructT CS>
+struct Msg1a {
+  paxos::Ballot b;
+};
+template <cstruct::CStructT CS>
+struct Msg1b {
+  paxos::Ballot b;
+  paxos::Ballot vrnd;
+  CS vval;
+};
+/// 2a/2b carry whole c-structs that fan out to many destinations; the
+/// payload is shared immutable state so a multicast costs refcounts, not
+/// deep copies of the command history.
+template <cstruct::CStructT CS>
+struct Msg2a {
+  paxos::Ballot b;
+  std::shared_ptr<const CS> val;
+};
+template <cstruct::CStructT CS>
+struct Msg2b {
+  paxos::Ballot b;
+  std::shared_ptr<const CS> val;
+};
+struct MsgPropose {
+  Command c;
+};
+struct MsgNack {
+  paxos::Ballot heard;
+};
+/// Learner → proposer: your command is contained in the learned c-struct.
+struct MsgAck {
+  std::uint64_t command_id;
+};
+
+// --- configuration --------------------------------------------------------------
+
+template <cstruct::CStructT CS>
+struct Config {
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  const paxos::RoundPolicy* policy = nullptr;
+  int f = 0;
+  int e = 0;
+  /// Prototype ⊥ (carries the conflict relation for History c-structs).
+  CS bottom{};
+
+  sim::Time disk_latency = 0;
+  /// §4.2 collision handling by acceptors.
+  bool collision_recovery = true;
+  /// §4.4: keep rnd[a] volatile, persisting only round-count blocks.
+  bool reduce_rnd_writes = true;
+  std::int64_t rnd_block = 8;
+
+  bool enable_liveness = true;
+  paxos::FailureDetector::Config fd;
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 900;
+
+  paxos::QuorumSystem quorum_system() const {
+    return paxos::QuorumSystem(acceptors, f, e);
+  }
+};
+
+// --- proposer ---------------------------------------------------------------------
+
+/// Proposes a stream of commands; each is retransmitted until a learner
+/// acknowledges that it is contained in the learned c-struct.
+template <cstruct::CStructT CS>
+class GenProposer final : public sim::Process {
+ public:
+  explicit GenProposer(const Config<CS>& config) : config_(config) {}
+
+  std::string role() const override { return "proposer"; }
+
+  /// Submit a command (callable from Simulation::at closures).
+  void propose(Command c) {
+    c.proposer = id();
+    pending_.emplace(c.id, c);
+    send_proposal(c);
+    if (config_.enable_liveness && !retry_armed_) {
+      retry_armed_ = true;
+      set_timer(config_.retry_interval, 0);
+    }
+  }
+
+  void on_timer(int) override {
+    retry_armed_ = false;
+    if (pending_.empty()) return;
+    for (const auto& [cid, c] : pending_) send_proposal(c);
+    retry_armed_ = true;
+    set_timer(config_.retry_interval, 0);
+  }
+
+  void on_message(sim::NodeId, const std::any& m) override {
+    if (const auto* ack = std::any_cast<MsgAck>(&m)) {
+      if (pending_.erase(ack->command_id) > 0) ++delivered_;
+    }
+  }
+
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t delivered_count() const { return delivered_; }
+
+ private:
+  void send_proposal(const Command& c) {
+    multicast(config_.policy->all_coordinators(), MsgPropose{c});
+    multicast(config_.acceptors, MsgPropose{c});  // fast-round path
+    sim().metrics().incr("gen.proposals_sent");
+  }
+
+  const Config<CS>& config_;
+  std::map<std::uint64_t, Command> pending_;
+  std::size_t delivered_ = 0;
+  bool retry_armed_ = false;
+};
+
+// --- coordinator --------------------------------------------------------------------
+
+template <cstruct::CStructT CS>
+class GenCoordinator final : public sim::Process {
+ public:
+  explicit GenCoordinator(const Config<CS>& config)
+      : config_(config),
+        quorums_(config.quorum_system()),
+        fd_(*this, config.policy->all_coordinators(), config.fd) {}
+
+  std::string role() const override { return "coordinator"; }
+
+  void on_start() override {
+    if (config_.enable_liveness) {
+      fd_.start();
+      set_timer(config_.progress_timeout, kProgressToken);
+    }
+    maybe_lead();
+  }
+
+  void on_recover() override {
+    // §4.4: a coordinator keeps nothing on stable storage; after recovery
+    // it is a fresh identity (bumped incarnation in its ballots).
+    crnd_ = paxos::Ballot::zero();
+    cval_.reset();
+    promises_.clear();
+    proposals_.clear();
+    on_start();
+  }
+
+  const paxos::Ballot& crnd() const { return crnd_; }
+  const std::optional<CS>& cval() const { return cval_; }
+
+  void on_timer(int token) override {
+    if (fd_.handle_timer(token)) return;
+    if (token != kProgressToken) return;
+    if (is_leader()) {
+      if (crnd_.is_zero() ||
+          (!cval_ && now() - round_started_at_ >= config_.progress_timeout)) {
+        // No active round, or phase 1 stuck: move on.
+        start_round(crnd_.count + 1);
+      } else if (cval_) {
+        // Retransmit the latest 2a so lossy links cannot stall the round.
+        send_2a();
+      }
+    }
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+
+  void on_message(sim::NodeId from, const std::any& m) override {
+    if (fd_.handle_message(from, m)) {
+      maybe_lead();
+      return;
+    }
+    if (const auto* p = std::any_cast<MsgPropose>(&m)) {
+      handle_propose(p->c);
+      return;
+    }
+    if (const auto* p1b = std::any_cast<Msg1b<CS>>(&m)) {
+      handle_1b(from, *p1b);
+      return;
+    }
+    if (const auto* p2b = std::any_cast<Msg2b<CS>>(&m)) {
+      handle_2b(from, *p2b);
+      return;
+    }
+    if (const auto* nack = std::any_cast<MsgNack>(&m)) {
+      if (nack->heard.count > crnd_.count && is_leader()) {
+        start_round(nack->heard.count + 1);
+      }
+      return;
+    }
+  }
+
+ private:
+  static constexpr int kProgressToken = 1;
+
+  /// Fast-round collision detection (§4.3): acceptors accepting
+  /// incompatible c-structs can wedge the round; the leader notices from
+  /// the 2b traffic and starts the next (classic) round to resolve it.
+  void handle_2b(sim::NodeId from, const Msg2b<CS>& p2b) {
+    if (p2b.b != crnd_ || !crnd_.is_fast()) return;
+    auto it = fast_votes_.find(from);
+    if (it == fast_votes_.end()) {
+      fast_votes_.emplace(from, *p2b.val);
+    } else if (p2b.val->extends(it->second)) {
+      it->second = *p2b.val;
+    }
+    for (const auto& [a, v] : fast_votes_) {
+      if (!v.compatible(*p2b.val)) {
+        sim().metrics().incr("gen.fast_collisions_detected");
+        start_round(crnd_.count + 1);
+        return;
+      }
+    }
+  }
+
+  bool is_leader() const {
+    if (!config_.enable_liveness) return id() == config_.policy->all_coordinators().front();
+    return fd_.leader() == id();
+  }
+
+  void maybe_lead() {
+    if (crnd_.is_zero() && is_leader()) start_round(1);
+  }
+
+  void start_round(std::int64_t count) {
+    if (count <= crnd_.count) count = crnd_.count + 1;
+    join_round(config_.policy->make_ballot(count, id(), incarnation()));
+    sim().metrics().incr("gen.rounds_started");
+    multicast(config_.acceptors, Msg1a<CS>{crnd_});
+  }
+
+  void join_round(const paxos::Ballot& b) {
+    crnd_ = b;
+    cval_.reset();
+    promises_.clear();
+    fast_votes_.clear();
+    round_started_at_ = now();
+  }
+
+  void handle_propose(const Command& c) {
+    proposals_.emplace(c.id, c);
+    sim().metrics().incr("coord." + std::to_string(id()) + ".proposals");
+    if (!cval_ || !crnd_.is_classic()) return;
+    if (cval_->contains(c)) {
+      if (config_.enable_liveness) send_2a();  // retransmission for stragglers
+      return;
+    }
+    // Phase2aClassic: extend cval with the new command and forward it.
+    cval_->append(c);
+    send_2a();
+  }
+
+  void handle_1b(sim::NodeId from, const Msg1b<CS>& p1b) {
+    // 1b for a higher round we coordinate: join it (normal phase 1 answer
+    // or a §4.2 collision jump, which skips the explicit 1a).
+    if (p1b.b.count > crnd_.count && config_.policy->info(p1b.b).is_coord(id())) {
+      join_round(p1b.b);
+    }
+    if (p1b.b != crnd_ || cval_) return;
+    promises_[from] = paxos::VoteReport<CS>{from, p1b.vrnd, p1b.vval};
+    if (promises_.size() < quorums_.quorum_size(crnd_)) return;
+    phase2_start();
+  }
+
+  /// Phase2Start: pick a safe value, extend it with everything proposed so
+  /// far, and send the first 2a of the round.
+  void phase2_start() {
+    std::vector<paxos::VoteReport<CS>> reports;
+    reports.reserve(promises_.size());
+    for (const auto& [acc, r] : promises_) reports.push_back(r);
+    std::vector<CS> safe = paxos::proved_safe(quorums_, reports);
+    // Any element is pickable; keep the one with the most commands so the
+    // least work is redone.
+    CS picked = safe.front();
+    for (const CS& v : safe) {
+      if (v.size() > picked.size()) picked = v;
+    }
+    if (crnd_.is_classic()) {
+      // Commands are appended in id order: deterministic across the
+      // coordinators of a multicoordinated round, so identical proposal
+      // sets yield identical (collision-free) 2a values.
+      for (const auto& [cid, c] : proposals_) picked.append(c);
+    }
+    cval_ = picked;
+    sim().metrics().incr("gen.phase2_starts");
+    send_2a();
+  }
+
+  void send_2a() {
+    sim().metrics().incr("coord." + std::to_string(id()) + ".2a_sent");
+    multicast(config_.acceptors, Msg2a<CS>{crnd_, std::make_shared<const CS>(*cval_)});
+  }
+
+  const Config<CS>& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::FailureDetector fd_;
+
+  paxos::Ballot crnd_;
+  std::optional<CS> cval_;  ///< engaged once Phase2Start ran for crnd_
+  std::map<sim::NodeId, paxos::VoteReport<CS>> promises_;
+  std::map<std::uint64_t, Command> proposals_;
+  std::map<sim::NodeId, CS> fast_votes_;  ///< fast-round collision monitor
+  sim::Time round_started_at_ = 0;
+};
+
+// --- acceptor -----------------------------------------------------------------------
+
+template <cstruct::CStructT CS>
+class GenAcceptor final : public sim::Process {
+ public:
+  explicit GenAcceptor(const Config<CS>& config)
+      : config_(config),
+        quorums_(config.quorum_system()),
+        vval_(config.bottom) {
+    storage().set_write_latency(config.disk_latency);
+  }
+
+  std::string role() const override { return "acceptor"; }
+
+  const paxos::Ballot& rnd() const { return rnd_; }
+  const paxos::Ballot& vrnd() const { return vrnd_; }
+  const CS& vval() const { return vval_; }
+
+  void on_start() override {
+    if (config_.enable_liveness) set_timer(config_.retry_interval, kRetryToken);
+  }
+
+  void on_timer(int token) override {
+    if (token != kRetryToken) return;
+    // The paper's liveness rule: keep re-sending the last message. A lost
+    // 2b otherwise starves a learner forever once the value stops growing.
+    if (!vrnd_.is_zero()) {
+      multicast(config_.learners, Msg2b<CS>{vrnd_, std::make_shared<const CS>(vval_)});
+    }
+    set_timer(config_.retry_interval, kRetryToken);
+  }
+
+  void on_recover() override {
+    on_start();
+    // Votes are on disk (they are the system's memory); rnd is restored
+    // conservatively from its persisted block (§4.4): strictly above
+    // anything we may have promised before crashing.
+    if (auto s = storage().read("vrnd")) vrnd_ = paxos::decode_ballot(*s);
+    if (auto s = storage().read("vval")) vval_ = cstruct::decode(config_.bottom, *s);
+    if (config_.reduce_rnd_writes) {
+      const std::int64_t block = storage().read_int("rnd_block").value_or(0);
+      rnd_ = paxos::Ballot{(block + 1) * config_.rnd_block,
+                           std::numeric_limits<sim::NodeId>::max(),
+                           std::numeric_limits<int>::max(), paxos::RoundType::kSingleCoord};
+      persist_rnd_block(rnd_.count);  // the one extra write per recovery
+    } else if (auto s = storage().read("rnd")) {
+      rnd_ = paxos::decode_ballot(*s);
+    }
+    twoa_.clear();
+    collided_.clear();
+    pending_.clear();
+  }
+
+  void on_message(sim::NodeId from, const std::any& m) override {
+    if (const auto* p = std::any_cast<MsgPropose>(&m)) {
+      handle_propose(p->c);
+      return;
+    }
+    if (const auto* p1a = std::any_cast<Msg1a<CS>>(&m)) {
+      handle_1a(from, p1a->b);
+      return;
+    }
+    if (const auto* p2a = std::any_cast<Msg2a<CS>>(&m)) {
+      handle_2a(from, *p2a);
+      return;
+    }
+  }
+
+ private:
+  static constexpr int kRetryToken = 2;
+
+  std::string me() const { return "acceptor." + std::to_string(id()); }
+
+  /// Advance rnd (volatile) and persist it per the §4.4 block policy.
+  void join(const paxos::Ballot& b) {
+    if (b <= rnd_) return;
+    rnd_ = b;
+    if (config_.reduce_rnd_writes) {
+      persist_rnd_block(b.count);
+    } else {
+      storage().write("rnd", paxos::encode(rnd_));
+      sim().metrics().incr(me() + ".disk_writes");
+    }
+  }
+
+  void persist_rnd_block(std::int64_t count) {
+    const std::int64_t block = count / std::max<std::int64_t>(1, config_.rnd_block);
+    if (storage().read_int("rnd_block").value_or(-1) == block) return;  // volatile-only
+    storage().write_int("rnd_block", block);
+    sim().metrics().incr(me() + ".disk_writes");
+  }
+
+  /// Durable vote: the write every accepted value costs (§4.4).
+  sim::Time persist_vote() {
+    storage().write("vrnd", paxos::encode(vrnd_));
+    const sim::Time lat = storage().write("vval", cstruct::encode(vval_));
+    sim().metrics().incr(me() + ".disk_writes");
+    sim().metrics().incr(me() + ".accepts");
+    return lat;
+  }
+
+  void send_2b() {
+    const sim::Time lat = persist_vote();
+    const auto payload = std::make_shared<const CS>(vval_);
+    multicast_after_sync(config_.learners, Msg2b<CS>{vrnd_, payload}, lat);
+    if (vrnd_.is_fast()) {
+      // §4.3: the round's coordinators monitor fast-round 2b traffic to
+      // detect collisions and fall back to a classic round.
+      multicast_after_sync(config_.policy->info(vrnd_).coordinators,
+                           Msg2b<CS>{vrnd_, payload}, lat);
+    }
+  }
+
+  void handle_1a(sim::NodeId from, const paxos::Ballot& b) {
+    if (b > rnd_) {
+      join(b);
+      multicast_after_sync(config_.policy->info(b).coordinators,
+                           Msg1b<CS>{b, vrnd_, vval_}, storage().write_latency());
+    } else if (b == rnd_) {
+      multicast(config_.policy->info(b).coordinators, Msg1b<CS>{b, vrnd_, vval_});
+    } else {
+      send(from, MsgNack{rnd_});
+    }
+  }
+
+  void handle_propose(const Command& c) {
+    pending_.emplace(c.id, c);
+    drain_pending_fast();
+  }
+
+  /// Phase2bFast: while vrnd = rnd and the round is fast, every known
+  /// proposal can be appended (including ones that arrived before we joined
+  /// the round). Batches all outstanding proposals into one vote write.
+  void drain_pending_fast() {
+    if (!rnd_.is_fast() || vrnd_ != rnd_) return;
+    bool changed = false;
+    for (const auto& [cid, c] : pending_) {
+      if (!vval_.contains(c)) {
+        vval_.append(c);
+        changed = true;
+        sim().metrics().incr("gen.fast_accepts");
+      }
+    }
+    if (changed) send_2b();
+  }
+
+  void handle_2a(sim::NodeId from, const Msg2a<CS>& p2a) {
+    if (p2a.b < rnd_) {
+      send(from, MsgNack{rnd_});
+      return;
+    }
+    join(p2a.b);
+    auto& received = twoa_[p2a.b];
+    auto it = received.find(from);
+    if (it == received.end()) {
+      received.emplace(from, *p2a.val);
+    } else if (p2a.val->extends(it->second)) {
+      it->second = *p2a.val;  // coordinators only ever extend their cval
+    } else if (!it->second.extends(*p2a.val)) {
+      // Out-of-order delivery of diverging values from one coordinator can
+      // only happen across its recoveries; keep the newer one.
+      it->second = *p2a.val;
+    }
+    evaluate_2a(p2a.b);
+  }
+
+  /// Phase2bClassic (§3.2): accept the richest value supported by some
+  /// quorum of the round's coordinators, and run §4.2 collision detection.
+  void evaluate_2a(const paxos::Ballot& b) {
+    const paxos::RoundInfo info = config_.policy->info(b);
+    const auto& received = twoa_[b];
+    if (received.size() < info.coord_quorum_size) return;
+
+    // Collision detection first: any incompatible pair of forwarded values
+    // in a classic round can wedge it.
+    if (b.is_classic() && config_.collision_recovery && !collided_.count(b)) {
+      for (auto i1 = received.begin(); i1 != received.end(); ++i1) {
+        for (auto i2 = std::next(i1); i2 != received.end(); ++i2) {
+          if (!i1->second.compatible(i2->second)) {
+            collided_.insert(b);
+            collision_jump(b);
+            return;
+          }
+        }
+      }
+    }
+
+    // Candidate value: the join of the glbs over every coordinator quorum
+    // we have heard in full, restricted to those compatible with what we
+    // already accepted at this round.
+    std::vector<CS> vals;
+    vals.reserve(received.size());
+    for (const auto& [c, v] : received) vals.push_back(v);
+    std::optional<CS> u;
+    for (const auto& subset : paxos::combinations(vals.size(), info.coord_quorum_size)) {
+      std::vector<CS> quorum_vals;
+      quorum_vals.reserve(subset.size());
+      for (std::size_t idx : subset) quorum_vals.push_back(vals[idx]);
+      CS m = cstruct::meet_all(quorum_vals);
+      if (vrnd_ == b && !vval_.compatible(m)) continue;
+      if (u && !u->compatible(m)) continue;
+      u = u ? u->join(m) : m;
+    }
+    if (!u) return;
+
+    if (vrnd_ < b) {
+      vrnd_ = b;
+      vval_ = *u;
+      sim().metrics().incr("gen.classic_accepts");
+      send_2b();
+    } else if (vrnd_ == b && !vval_.extends(*u)) {
+      vval_ = vval_.join(*u);
+      sim().metrics().incr("gen.classic_accepts");
+      send_2b();
+    }
+    drain_pending_fast();  // fast rounds: absorb proposals seen before joining
+  }
+
+  void collision_jump(const paxos::Ballot& collided) {
+    sim().metrics().incr("gen.collisions_detected");
+    const paxos::Ballot next =
+        config_.policy->make_ballot(collided.count + 1, collided.coord, collided.coord_inc);
+    if (next <= rnd_) return;
+    join(next);
+    multicast(config_.policy->info(next).coordinators, Msg1b<CS>{next, vrnd_, vval_});
+  }
+
+  const Config<CS>& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::Ballot rnd_;
+  paxos::Ballot vrnd_;
+  CS vval_;
+  std::map<std::uint64_t, Command> pending_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, CS>> twoa_;
+  std::set<paxos::Ballot> collided_;
+};
+
+// --- learner -------------------------------------------------------------------------
+
+template <cstruct::CStructT CS>
+class GenLearner final : public sim::Process {
+ public:
+  explicit GenLearner(const Config<CS>& config)
+      : config_(config), quorums_(config.quorum_system()), learned_(config.bottom) {}
+
+  std::string role() const override { return "learner"; }
+
+  const CS& learned() const { return learned_; }
+  /// First simulated time each command id appeared in learned().
+  const std::map<std::uint64_t, sim::Time>& learn_times() const { return learn_times_; }
+
+  void on_message(sim::NodeId from, const std::any& m) override {
+    const auto* p2b = std::any_cast<Msg2b<CS>>(&m);
+    if (p2b == nullptr) return;
+    auto& votes = votes_[p2b->b];
+    auto it = votes.find(from);
+    if (it == votes.end()) {
+      votes.emplace(from, *p2b->val);
+    } else if (p2b->val->extends(it->second)) {
+      it->second = *p2b->val;
+    } else {
+      return;  // stale retransmission
+    }
+    const std::size_t q = quorums_.quorum_size(p2b->b);
+    if (votes.size() < q) return;
+
+    // Learn(l): anything accepted (as a prefix) by a whole quorum is
+    // chosen; fold the glb of every quorum into the learned c-struct.
+    std::vector<CS> vals;
+    vals.reserve(votes.size());
+    for (const auto& [a, v] : votes) vals.push_back(v);
+    for (const auto& subset : paxos::combinations(vals.size(), q)) {
+      std::vector<CS> quorum_vals;
+      quorum_vals.reserve(subset.size());
+      for (std::size_t idx : subset) quorum_vals.push_back(vals[idx]);
+      const CS chosen = cstruct::meet_all(quorum_vals);
+      if (!learned_.compatible(chosen)) {
+        // Would contradict Proposition 1; any occurrence is an engine bug.
+        throw std::logic_error("genpaxos: learned values incompatible (consistency violated)");
+      }
+      learned_ = learned_.join(chosen);
+    }
+    note_new_commands();
+  }
+
+ private:
+  void note_new_commands() {
+    const std::size_t n = learned_.size();
+    if (n == acked_.size()) return;
+    sim().metrics().incr("gen.commands_learned", static_cast<std::int64_t>(n - acked_.size()));
+    for_each_command(learned_, [&](const Command& c) {
+      if (acked_.insert(c.id).second) {
+        learn_times_[c.id] = now();
+        if (c.proposer >= 0) send(c.proposer, MsgAck{c.id});
+      }
+    });
+  }
+
+  template <typename F>
+  static void for_each_command(const cstruct::History& h, F&& f) {
+    for (const Command& c : h.sequence()) f(c);
+  }
+  template <typename F>
+  static void for_each_command(const cstruct::CSet& s, F&& f) {
+    for (const Command& c : s.commands()) f(c);
+  }
+  template <typename F>
+  static void for_each_command(const cstruct::SingleValue& v, F&& f) {
+    if (v.value()) f(*v.value());
+  }
+
+  const Config<CS>& config_;
+  paxos::QuorumSystem quorums_;
+  CS learned_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, CS>> votes_;
+  std::set<std::uint64_t> acked_;
+  std::map<std::uint64_t, sim::Time> learn_times_;
+};
+
+}  // namespace mcp::genpaxos

@@ -1,0 +1,407 @@
+#include "multicoord/mc_consensus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::multicoord {
+
+using paxos::Ballot;
+using paxos::RoundInfo;
+
+// ---------------------------------------------------------------------------
+// Proposer
+
+Proposer::Proposer(const Config& config, Value value)
+    : config_(config), value_(std::move(value)) {}
+
+void Proposer::on_start() {
+  if (start_delay > 0) {
+    set_timer(start_delay, 0);
+  } else {
+    broadcast_proposal();
+  }
+}
+
+void Proposer::broadcast_proposal() {
+  msg::Propose p{value_, {}};
+  const auto& coords = config_.policy->all_coordinators();
+  if (config_.load_balance) {
+    // §4.1: address one coordinator quorum and piggyback one acceptor
+    // quorum, both picked at random, instead of broadcasting. The other
+    // quorums remain usable if this one stalls (the retransmission path
+    // re-picks, so a single crash only costs a retry).
+    auto& rng = sim().rng();
+    const RoundInfo info = config_.policy->info(config_.policy->first_ballot(coords.front()));
+    const std::size_t cq = info.coord_quorum_size;
+    const auto qs = config_.quorum_system();
+    std::vector<sim::NodeId> coord_pick;
+    for (std::size_t idx : rng.sample_indices(info.coordinators.size(), cq)) {
+      coord_pick.push_back(info.coordinators[idx]);
+    }
+    for (std::size_t idx :
+         rng.sample_indices(config_.acceptors.size(), qs.classic_quorum_size())) {
+      p.target_acceptors.push_back(config_.acceptors[idx]);
+    }
+    multicast(coord_pick, p);
+  } else {
+    multicast(coords, p);
+    // Fast rounds need the proposal at the acceptors as well.
+    multicast(config_.acceptors, p);
+  }
+  sim().metrics().incr("mc.proposals_sent");
+  if (config_.enable_liveness && !decided_) set_timer(config_.retry_interval, 0);
+}
+
+void Proposer::on_timer(int) {
+  if (!decided_) broadcast_proposal();
+}
+
+void Proposer::on_message(sim::NodeId, const std::any& m) {
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) decided_ = learned->v;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+Coordinator::Coordinator(const Config& config)
+    : config_(config),
+      quorums_(config.quorum_system()),
+      fd_(*this, config.policy->all_coordinators(), config.fd) {}
+
+bool Coordinator::is_leader() const {
+  if (!config_.enable_liveness) return id() == config_.policy->all_coordinators().front();
+  return fd_.leader() == id();
+}
+
+void Coordinator::on_start() {
+  if (config_.enable_liveness) {
+    fd_.start();
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+  maybe_lead();
+}
+
+void Coordinator::on_recover() {
+  // §4.4: coordinators keep nothing on disk; a recovered one is a fresh
+  // process whose ballots carry the bumped incarnation.
+  crnd_ = Ballot::zero();
+  phase1_done_ = false;
+  cval_.reset();
+  sent_any_ = false;
+  promises_.clear();
+  proposals_.clear();
+  on_start();
+}
+
+void Coordinator::maybe_lead() {
+  if (decided_value_ || !is_leader()) return;
+  if (crnd_.is_zero()) start_round(1);
+}
+
+void Coordinator::start_round(std::int64_t count) {
+  if (count <= crnd_.count) count = crnd_.count + 1;
+  join_round(config_.policy->make_ballot(count, id(), incarnation()));
+  sim().metrics().incr("mc.rounds_started");
+  multicast(config_.acceptors, msg::P1a{crnd_});
+}
+
+void Coordinator::join_round(const Ballot& b) {
+  crnd_ = b;
+  phase1_done_ = false;
+  cval_.reset();
+  sent_any_ = false;
+  promises_.clear();
+  round_started_at_ = now();
+}
+
+void Coordinator::phase2_start() {
+  phase1_done_ = true;
+  std::vector<paxos::SingleVoteReport<Value>> reports;
+  reports.reserve(promises_.size());
+  for (const auto& [acc, report] : promises_) reports.push_back(report);
+  const auto forced = paxos::pick_single_value(quorums_, reports);
+  if (forced) {
+    send_2a(*forced);
+  } else if (crnd_.is_fast()) {
+    send_2a(std::nullopt);  // Any
+  } else if (!proposals_.empty()) {
+    send_2a(free_pick());
+  }
+  // Classic round, nothing proposed yet: 2a goes out on the next Propose.
+}
+
+Value Coordinator::free_pick() const {
+  // When phase 1 leaves the choice free, pick the lowest command id among
+  // the proposals seen so far. Coordinators of a multicoordinated round may
+  // still diverge (different proposal *sets*), which is the §4.2 collision;
+  // but as retransmissions spread the proposals, successive rounds converge
+  // instead of re-colliding forever.
+  const msg::Propose* best = &proposals_.front();
+  for (const auto& p : proposals_) {
+    if (p.v.id < best->v.id) best = &p;
+  }
+  return best->v;
+}
+
+void Coordinator::send_2a(const std::optional<Value>& v) {
+  const RoundInfo info = config_.policy->info(crnd_);
+  if (!info.is_coord(id())) return;
+  std::vector<sim::NodeId> targets = config_.acceptors;
+  if (v.has_value()) {
+    cval_ = v;
+    // §4.1: honour the proposer-selected acceptor quorum when present.
+    for (const auto& p : proposals_) {
+      if (p.v == *v && !p.target_acceptors.empty()) {
+        targets = p.target_acceptors;
+        break;
+      }
+    }
+  } else {
+    sent_any_ = true;
+  }
+  sim().metrics().incr("coord." + std::to_string(id()) + ".2a_sent");
+  multicast(targets, msg::P2a{crnd_, v});
+}
+
+void Coordinator::on_message(sim::NodeId from, const std::any& m) {
+  if (fd_.handle_message(from, m)) {
+    maybe_lead();
+    return;
+  }
+  if (const auto* p = std::any_cast<msg::Propose>(&m)) {
+    const bool known = std::any_of(proposals_.begin(), proposals_.end(),
+                                   [&](const msg::Propose& q) { return q.v == p->v; });
+    if (!known) proposals_.push_back(*p);
+    sim().metrics().incr("coord." + std::to_string(id()) + ".proposals");
+    if (phase1_done_ && crnd_.is_classic()) {
+      if (!cval_) {
+        send_2a(free_pick());
+      } else if (config_.enable_liveness) {
+        // Single-value consensus: this round is already committed to cval_;
+        // retransmit it so late acceptors still make progress.
+        send_2a(*cval_);
+      }
+    }
+    return;
+  }
+  if (const auto* p1b = std::any_cast<msg::P1b>(&m)) {
+    // 1b messages both answer our 1a and announce collision-triggered round
+    // jumps (§4.2): joining a higher round we coordinate is exactly the
+    // "coordinated recovery" path, with no extra 1a step.
+    if (p1b->b.count > crnd_.count && config_.policy->info(p1b->b).is_coord(id())) {
+      join_round(p1b->b);
+    }
+    if (p1b->b != crnd_ || phase1_done_) return;
+    promises_[from] = paxos::SingleVoteReport<Value>{from, p1b->vrnd, p1b->vval};
+    if (promises_.size() >= quorums_.quorum_size(crnd_)) phase2_start();
+    return;
+  }
+  if (const auto* nack = std::any_cast<msg::Nack>(&m)) {
+    if (nack->heard.count > crnd_.count && is_leader() && !decided_value_) {
+      start_round(nack->heard.count + 1);
+    }
+    return;
+  }
+  if (const auto* learned = std::any_cast<msg::Learned>(&m)) {
+    decided_value_ = learned->v;
+    return;
+  }
+}
+
+void Coordinator::on_timer(int token) {
+  if (fd_.handle_timer(token)) return;
+  if (token == kProgressToken) {
+    if (decided_value_) {
+      multicast(config_.learners, msg::Learned{*decided_value_});
+      multicast(config_.proposers, msg::Learned{*decided_value_});
+    } else if (is_leader()) {
+      const bool active = !crnd_.is_zero();
+      if (!active || now() - round_started_at_ >= config_.progress_timeout) {
+        start_round(crnd_.count + 1);
+      } else if (cval_) {
+        multicast(config_.acceptors, msg::P2a{crnd_, *cval_});  // retransmit
+      }
+    }
+    set_timer(config_.progress_timeout, kProgressToken);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+Acceptor::Acceptor(const Config& config)
+    : config_(config), quorums_(config.quorum_system()) {
+  storage().set_write_latency(config.disk_latency);
+}
+
+void Acceptor::on_recover() {
+  if (auto s = storage().read("rnd")) rnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vrnd")) vrnd_ = paxos::decode_ballot(*s);
+  if (auto s = storage().read("vval"); s && !s->empty()) {
+    vval_ = cstruct::decode_command(*s);
+  }
+  any_armed_ = false;
+  pending_.clear();
+  twoa_.clear();
+  collided_.clear();
+}
+
+void Acceptor::join(const Ballot& b) {
+  if (b <= rnd_) return;
+  rnd_ = b;
+  any_armed_ = false;
+  storage().write("rnd", paxos::encode(rnd_));
+  sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+}
+
+void Acceptor::accept(const Ballot& b, const Value& v) {
+  rnd_ = std::max(rnd_, b);
+  vrnd_ = b;
+  vval_ = v;
+  storage().write("rnd", paxos::encode(rnd_));
+  storage().write("vrnd", paxos::encode(vrnd_));
+  const sim::Time lat = storage().write("vval", cstruct::encode(v));
+  sim().metrics().incr("acceptor." + std::to_string(id()) + ".disk_writes");
+  sim().metrics().incr("acceptor." + std::to_string(id()) + ".accepts");
+  multicast_after_sync(config_.learners, msg::P2b{b, v}, lat);
+}
+
+void Acceptor::try_fast_accept() {
+  if (!any_armed_ || !rnd_.is_fast() || vrnd_ == rnd_ || pending_.empty()) return;
+  accept(rnd_, pending_.front());
+}
+
+void Acceptor::evaluate_2a(const Ballot& b) {
+  const RoundInfo info = config_.policy->info(b);
+  const auto& received = twoa_[b];
+
+  if (b.is_fast()) {
+    // Fast rounds have singleton coordinator quorums; a concrete value or
+    // Any from the round's coordinator suffices.
+    for (const auto& [coord, v] : received) {
+      if (v.has_value()) {
+        if (vrnd_ < b) accept(b, *v);
+      } else {
+        any_armed_ = true;
+        try_fast_accept();
+      }
+    }
+    return;
+  }
+
+  // Classic round: count identical values across the round's coordinators
+  // and detect collisions (§3.1 Phase2b, §4.2).
+  bool collision = false;
+  std::optional<Value> quorum_value;
+  for (const auto& [c1, v1] : received) {
+    if (!v1) continue;
+    std::size_t identical = 0;
+    for (const auto& [c2, v2] : received) {
+      if (v2 && *v1 == *v2) ++identical;
+      if (v2 && !(*v1 == *v2)) collision = true;
+    }
+    if (identical >= info.coord_quorum_size) quorum_value = *v1;
+  }
+  if (quorum_value && vrnd_ < b) {
+    accept(b, *quorum_value);
+    return;
+  }
+  if (quorum_value && vrnd_ == b && vval_ && *vval_ == *quorum_value) {
+    multicast(config_.learners, msg::P2b{b, *vval_});  // duplicate 2a: re-vote
+    return;
+  }
+  if (collision && config_.collision_recovery && !collided_[b]) {
+    collided_[b] = true;
+    collision_jump(b);
+  }
+}
+
+void Acceptor::collision_jump(const Ballot& collided) {
+  // §4.2: behave as if a 1a for the next round had arrived; the next
+  // round's coordinators receive our 1b and run Phase2Start directly
+  // (single-coordinated successors avoid an immediate re-collision).
+  sim().metrics().incr("mc.collisions_detected");
+  const Ballot next =
+      config_.policy->make_ballot(collided.count + 1, collided.coord, collided.coord_inc);
+  if (next <= rnd_) return;
+  join(next);
+  const RoundInfo info = config_.policy->info(next);
+  multicast(info.coordinators, msg::P1b{next, vrnd_, vval_});
+}
+
+void Acceptor::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* p = std::any_cast<msg::Propose>(&m)) {
+    const bool known = std::any_of(pending_.begin(), pending_.end(),
+                                   [&](const Value& v) { return v == p->v; });
+    if (!known) pending_.push_back(p->v);
+    try_fast_accept();
+    return;
+  }
+  if (const auto* p1a = std::any_cast<msg::P1a>(&m)) {
+    if (p1a->b > rnd_) {
+      join(p1a->b);
+      const RoundInfo info = config_.policy->info(p1a->b);
+      multicast_after_sync(info.coordinators, msg::P1b{rnd_, vrnd_, vval_},
+                           storage().write_latency());
+    } else if (p1a->b == rnd_) {
+      const RoundInfo info = config_.policy->info(p1a->b);
+      multicast(info.coordinators, msg::P1b{rnd_, vrnd_, vval_});
+    } else {
+      send(from, msg::Nack{rnd_});
+    }
+    return;
+  }
+  if (const auto* p2a = std::any_cast<msg::P2a>(&m)) {
+    if (p2a->b < rnd_) {
+      send(from, msg::Nack{rnd_});
+      return;
+    }
+    join(p2a->b);
+    twoa_[p2a->b][from] = p2a->v;
+    evaluate_2a(p2a->b);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Learner
+
+Learner::Learner(const Config& config)
+    : config_(config), quorums_(config.quorum_system()) {}
+
+void Learner::on_message(sim::NodeId from, const std::any& m) {
+  if (const auto* announced = std::any_cast<msg::Learned>(&m)) {
+    if (!learned_) {
+      learned_ = announced->v;
+      learned_at_ = now();
+    } else if (!(*learned_ == announced->v)) {
+      throw std::logic_error("multicoord: conflicting decisions (consistency violated)");
+    }
+    return;
+  }
+  const auto* p2b = std::any_cast<msg::P2b>(&m);
+  if (p2b == nullptr) return;
+  auto& votes = votes_[p2b->b];
+  votes[from] = p2b->v;
+  std::size_t agreeing = 0;
+  for (const auto& [acc, v] : votes) {
+    if (v == p2b->v) ++agreeing;
+  }
+  if (agreeing < quorums_.quorum_size(p2b->b)) return;
+  if (learned_) {
+    if (!(*learned_ == p2b->v)) {
+      throw std::logic_error("multicoord: conflicting decisions (consistency violated)");
+    }
+    return;
+  }
+  learned_ = p2b->v;
+  learned_at_ = now();
+  sim().metrics().incr("mc.decisions");
+  multicast(config_.proposers, msg::Learned{*learned_});
+  const auto& coords = config_.policy->all_coordinators();
+  multicast(coords, msg::Learned{*learned_});
+}
+
+}  // namespace mcp::multicoord

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/leader.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "paxos/round_config.hpp"
+#include "sim/process.hpp"
+
+namespace mcp::multicoord {
+
+/// Multicoordinated Paxos, consensus instance (§3.1). One engine covers the
+/// whole round spectrum via the RoundPolicy:
+///   - single-coordinated rounds  ≡ Classic Paxos,
+///   - fast rounds                ≡ Fast Paxos,
+///   - multicoordinated rounds    = the paper's contribution: acceptors
+///     accept a value only when an identical 2a arrives from a whole
+///     quorum of the round's coordinators.
+/// Collisions in multicoordinated rounds (coordinators forwarding different
+/// values) are detected by acceptors, which jump to the next round by
+/// spontaneously sending it a 1b message (§4.2) — costing two extra
+/// communication steps and, unlike fast-round collisions, no wasted
+/// acceptor disk write for a value that can never be learned.
+using Value = cstruct::Command;
+
+namespace msg {
+struct Propose {
+  Value v;
+  /// §4.1 load balancing: when non-empty, coordinators forward the command
+  /// only to these acceptors (a full acceptor quorum picked by the
+  /// proposer).
+  std::vector<sim::NodeId> target_acceptors;
+};
+struct P1a {
+  paxos::Ballot b;
+};
+struct P1b {
+  paxos::Ballot b;
+  paxos::Ballot vrnd;
+  std::optional<Value> vval;
+};
+struct P2a {
+  paxos::Ballot b;
+  std::optional<Value> v;  ///< nullopt encodes Any (fast rounds only)
+};
+struct P2b {
+  paxos::Ballot b;
+  Value v;
+};
+struct Nack {
+  paxos::Ballot heard;
+};
+struct Learned {
+  Value v;
+};
+}  // namespace msg
+
+struct Config {
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  const paxos::RoundPolicy* policy = nullptr;  ///< round structure (owns coordinator set)
+  int f = 0;
+  int e = 0;  ///< only used when the policy contains fast rounds
+
+  sim::Time disk_latency = 0;
+  /// §4.2: acceptors that observe incompatible 2a values for a classic
+  /// round jump to the next round spontaneously.
+  bool collision_recovery = true;
+  /// §4.1: proposers address a random coordinator quorum + acceptor quorum
+  /// per command instead of broadcasting.
+  bool load_balance = false;
+
+  bool enable_liveness = true;
+  paxos::FailureDetector::Config fd;
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 800;
+
+  paxos::QuorumSystem quorum_system() const {
+    return paxos::QuorumSystem(acceptors, f, e);
+  }
+};
+
+class Proposer final : public sim::Process {
+ public:
+  Proposer(const Config& config, Value value);
+
+  std::string role() const override { return "proposer"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+
+  bool decided() const { return decided_.has_value(); }
+  const std::optional<Value>& decision() const { return decided_; }
+
+  /// Delay before the first Propose is sent (lets tests measure the
+  /// steady-state path with phase 1 already executed "a priori").
+  sim::Time start_delay = 0;
+
+ private:
+  void broadcast_proposal();
+
+  const Config& config_;
+  Value value_;
+  std::optional<Value> decided_;
+};
+
+class Coordinator final : public sim::Process {
+ public:
+  explicit Coordinator(const Config& config);
+
+  std::string role() const override { return "coordinator"; }
+  void on_start() override;
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_timer(int token) override;
+  void on_recover() override;
+
+  const paxos::Ballot& current_round() const { return crnd_; }
+  bool sent_2a() const { return cval_.has_value(); }
+
+  /// Start a new round with at least this count (benches and tests drive
+  /// rounds explicitly when the liveness machinery is disabled).
+  void start_round(std::int64_t count);
+
+ private:
+  static constexpr int kProgressToken = 1;
+
+  bool is_leader() const;
+  void maybe_lead();
+  void join_round(const paxos::Ballot& b);
+  void phase2_start();
+  Value free_pick() const;
+  void send_2a(const std::optional<Value>& v);
+
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::FailureDetector fd_;
+
+  paxos::Ballot crnd_;
+  bool phase1_done_ = false;
+  std::optional<Value> cval_;  ///< value sent in this round's 2a (engaged once sent)
+  bool sent_any_ = false;
+  std::map<sim::NodeId, paxos::SingleVoteReport<Value>> promises_;
+  std::deque<msg::Propose> proposals_;
+  std::optional<Value> decided_value_;  ///< set once any learner announces
+  sim::Time round_started_at_ = 0;
+};
+
+class Acceptor final : public sim::Process {
+ public:
+  explicit Acceptor(const Config& config);
+
+  std::string role() const override { return "acceptor"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+  void on_recover() override;
+
+  const paxos::Ballot& rnd() const { return rnd_; }
+  const paxos::Ballot& vrnd() const { return vrnd_; }
+  const std::optional<Value>& vval() const { return vval_; }
+
+ private:
+  void join(const paxos::Ballot& b);
+  void accept(const paxos::Ballot& b, const Value& v);
+  void try_fast_accept();
+  void evaluate_2a(const paxos::Ballot& b);
+  void collision_jump(const paxos::Ballot& collided);
+
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  paxos::Ballot rnd_;
+  paxos::Ballot vrnd_;
+  std::optional<Value> vval_;
+  bool any_armed_ = false;
+  std::deque<Value> pending_;
+  /// 2a values received per round, per coordinator.
+  std::map<paxos::Ballot, std::map<sim::NodeId, std::optional<Value>>> twoa_;
+  /// Rounds whose collision we already reacted to.
+  std::map<paxos::Ballot, bool> collided_;
+};
+
+class Learner final : public sim::Process {
+ public:
+  explicit Learner(const Config& config);
+
+  std::string role() const override { return "learner"; }
+  void on_message(sim::NodeId from, const std::any& msg) override;
+
+  bool learned() const { return learned_.has_value(); }
+  const std::optional<Value>& value() const { return learned_; }
+  sim::Time learned_at() const { return learned_at_; }
+
+ private:
+  const Config& config_;
+  paxos::QuorumSystem quorums_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, Value>> votes_;
+  std::optional<Value> learned_;
+  sim::Time learned_at_ = -1;
+};
+
+}  // namespace mcp::multicoord

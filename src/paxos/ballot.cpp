@@ -1,0 +1,49 @@
+#include "paxos/ballot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcp::paxos {
+
+std::string to_string(RoundType t) {
+  switch (t) {
+    case RoundType::kSingleCoord:
+      return "single";
+    case RoundType::kMultiCoord:
+      return "multi";
+    case RoundType::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+std::string Ballot::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Ballot& b) {
+  os << "(" << b.count << "," << b.coord << "." << b.coord_inc << ","
+     << to_string(b.type) << ")";
+  return os;
+}
+
+std::string encode(const Ballot& b) {
+  std::ostringstream os;
+  os << b.count << " " << b.coord << " " << b.coord_inc << " "
+     << static_cast<int>(b.type);
+  return os.str();
+}
+
+Ballot decode_ballot(const std::string& s) {
+  std::istringstream is(s);
+  Ballot b;
+  int type = 0;
+  is >> b.count >> b.coord >> b.coord_inc >> type;
+  if (is.fail()) throw std::invalid_argument("decode_ballot: malformed '" + s + "'");
+  b.type = static_cast<RoundType>(type);
+  return b;
+}
+
+}  // namespace mcp::paxos

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mcp::paxos {
+
+/// Kind of a round (§3.1, §4.5). Single- and multi-coordinated rounds are
+/// both *classic* in the paper's terminology; fast rounds let proposers
+/// reach acceptors directly.
+enum class RoundType : std::uint8_t { kSingleCoord = 0, kMultiCoord = 1, kFast = 2 };
+
+inline bool is_classic(RoundType t) { return t != RoundType::kFast; }
+std::string to_string(RoundType t);
+
+/// A round (ballot) number, following §4.4: a record
+/// ⟨Count, Id, Incarnation, Type⟩ ordered lexicographically on the first
+/// three fields. `coord_inc` is the incarnation counter that lets a
+/// recovered coordinator assume a fresh identity without stable storage.
+/// The round type rides along for convenience (it is a function of Count in
+/// any fixed policy, so it never affects the order).
+struct Ballot {
+  std::int64_t count = 0;
+  sim::NodeId coord = -1;
+  int coord_inc = 0;
+  RoundType type = RoundType::kSingleCoord;
+
+  /// The paper's round 0: lower than every real round; every acceptor
+  /// implicitly accepts ⊥ at this round.
+  static Ballot zero() { return Ballot{}; }
+  bool is_zero() const { return count == 0; }
+
+  bool is_fast() const { return type == RoundType::kFast; }
+  bool is_classic() const { return !is_fast(); }
+
+  friend std::strong_ordering operator<=>(const Ballot& a, const Ballot& b) {
+    if (auto c = a.count <=> b.count; c != 0) return c;
+    if (auto c = a.coord <=> b.coord; c != 0) return c;
+    return a.coord_inc <=> b.coord_inc;
+  }
+  friend bool operator==(const Ballot& a, const Ballot& b) {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+
+  std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Ballot& b);
+
+/// Stable-storage codec (acceptors persist rnd / vrnd across crashes).
+std::string encode(const Ballot& b);
+Ballot decode_ballot(const std::string& s);
+
+}  // namespace mcp::paxos

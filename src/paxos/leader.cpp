@@ -1,0 +1,53 @@
+#include "paxos/leader.hpp"
+
+#include <algorithm>
+
+namespace mcp::paxos {
+
+FailureDetector::FailureDetector(sim::Process& owner, std::vector<sim::NodeId> group,
+                                 Config config)
+    : owner_(owner), group_(std::move(group)), config_(config) {
+  std::sort(group_.begin(), group_.end());
+}
+
+void FailureDetector::start() {
+  // Assume everyone alive at startup so the lowest id wins immediately and
+  // a freshly recovered member does not grab leadership by suspicion.
+  for (sim::NodeId id : group_) last_heard_[id] = owner_.now();
+  tick();
+}
+
+void FailureDetector::tick() {
+  for (sim::NodeId id : group_) {
+    if (id != owner_.id()) owner_.send(id, Heartbeat{});
+  }
+  owner_.set_timer(config_.interval, kTimerToken);
+}
+
+bool FailureDetector::handle_message(sim::NodeId from, const std::any& msg) {
+  if (std::any_cast<Heartbeat>(&msg) == nullptr) return false;
+  last_heard_[from] = owner_.now();
+  return true;
+}
+
+bool FailureDetector::handle_timer(int token) {
+  if (token != kTimerToken) return false;
+  tick();
+  return true;
+}
+
+bool FailureDetector::is_alive(sim::NodeId id) const {
+  if (id == owner_.id()) return true;
+  auto it = last_heard_.find(id);
+  if (it == last_heard_.end()) return false;
+  return owner_.now() - it->second <= config_.timeout;
+}
+
+sim::NodeId FailureDetector::leader() const {
+  for (sim::NodeId id : group_) {  // sorted ascending
+    if (is_alive(id)) return id;
+  }
+  return owner_.id();
+}
+
+}  // namespace mcp::paxos

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <any>
+#include <map>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::paxos {
+
+/// Heartbeat exchanged by the members of a failure-detection group.
+struct Heartbeat {};
+
+/// Unreliable failure detector + Ω leader oracle (§4.3 relies on one to
+/// avoid dueling round initiators). Members broadcast heartbeats every
+/// `interval`; a peer unheard-of for `timeout` is suspected; the leader is
+/// the lowest-id unsuspected member.
+///
+/// The detector is a component owned by a Process; the owner must forward
+/// messages and timer callbacks (handle_message / handle_timer return true
+/// when they consumed the event).
+class FailureDetector {
+ public:
+  struct Config {
+    sim::Time interval = 50;
+    sim::Time timeout = 175;
+  };
+
+  static constexpr int kTimerToken = -7001;
+
+  FailureDetector(sim::Process& owner, std::vector<sim::NodeId> group, Config config);
+
+  /// Begin heartbeating (call from on_start and again from on_recover).
+  void start();
+
+  bool handle_message(sim::NodeId from, const std::any& msg);
+  bool handle_timer(int token);
+
+  bool is_alive(sim::NodeId id) const;
+  /// Lowest-id member currently considered alive (the owner always counts).
+  sim::NodeId leader() const;
+  bool owner_is_leader() const { return leader() == owner_.id(); }
+
+  const std::vector<sim::NodeId>& group() const { return group_; }
+
+ private:
+  void tick();
+
+  sim::Process& owner_;
+  std::vector<sim::NodeId> group_;
+  Config config_;
+  std::map<sim::NodeId, sim::Time> last_heard_;
+};
+
+}  // namespace mcp::paxos

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "cstruct/cstruct.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/quorum.hpp"
+
+namespace mcp::paxos {
+
+/// One acceptor's phase "1b" report: the round at which it last accepted a
+/// value and that value.
+template <cstruct::CStructT CS>
+struct VoteReport {
+  sim::NodeId acceptor = sim::kNoNode;
+  Ballot vrnd;
+  CS vval;
+};
+
+/// ProvedSafe(Q, 1bMsg) — Definition 1 of the paper, for size-based quorum
+/// systems (the cardinality formulation of §3.3.2). `reports` holds one
+/// entry per acceptor of the phase-1 quorum Q.
+///
+/// Returns the non-empty set of c-structs that are pickable: no value
+/// outside an extension of a returned c-struct can have been (or can still
+/// be) chosen at any round below the one being started.
+///
+/// Case analysis:
+///  - Let k be the highest vrnd reported and `kacceptors` its reporters.
+///  - If no k-quorum R can have Q ∩ R ⊆ kacceptors (i.e. |kacceptors| is
+///    below the minimum realizable intersection), nothing was or can be
+///    chosen at k, and every reported value at k is pickable.
+///  - Otherwise Γ = { ⊓ vals(S) : S ⊆ kacceptors, |S| = threshold } collects
+///    a bound for every k-quorum; the Fast Quorum Requirement makes Γ
+///    compatible, and ⊔Γ is the unique safe pick.
+template <cstruct::CStructT CS>
+std::vector<CS> proved_safe(const QuorumSystem& qs, const std::vector<VoteReport<CS>>& reports) {
+  if (reports.empty()) throw std::invalid_argument("proved_safe: empty quorum");
+
+  const Ballot k = std::max_element(reports.begin(), reports.end(),
+                                    [](const auto& a, const auto& b) { return a.vrnd < b.vrnd; })
+                       ->vrnd;
+
+  std::vector<CS> kvals;
+  for (const auto& r : reports) {
+    if (r.vrnd == k) kvals.push_back(r.vval);
+  }
+
+  const std::size_t threshold = qs.proved_safe_threshold(reports.size(), k.is_fast());
+
+  if (kvals.size() < threshold) {
+    // QinterRAtk = {}: no k-quorum completed; any reported value at k works.
+    return kvals;
+  }
+
+  // Fast path covering every classic k (all k-votes equal by Assumption 3)
+  // and collision-free fast rounds.
+  const bool all_equal = std::all_of(kvals.begin(), kvals.end(),
+                                     [&](const CS& v) { return v == kvals.front(); });
+  if (all_equal) return {kvals.front()};
+
+  std::vector<CS> gamma;
+  for (const auto& subset : combinations(kvals.size(), threshold)) {
+    std::vector<CS> vals;
+    vals.reserve(subset.size());
+    for (std::size_t idx : subset) vals.push_back(kvals[idx]);
+    gamma.push_back(cstruct::meet_all(vals));
+  }
+  if (!cstruct::all_compatible(gamma)) {
+    // Reachable only if the quorum assumptions were violated.
+    throw std::logic_error("proved_safe: incompatible glb set (quorum requirement violated?)");
+  }
+  return {cstruct::join_all(gamma)};
+}
+
+/// The single-value selection rule of Classic/Fast Paxos (§2.1–2.2), shared
+/// by the Classic, Fast, and Multicoordinated consensus engines.
+///
+/// Returns the value that has been or might be chosen at a lower round, or
+/// nullopt when the coordinator is free to pick any proposed value.
+template <typename V>
+struct SingleVoteReport {
+  sim::NodeId acceptor = sim::kNoNode;
+  Ballot vrnd;              ///< zero() when the acceptor never accepted
+  std::optional<V> vval;    ///< engaged iff vrnd > zero
+};
+
+template <typename V>
+std::optional<V> pick_single_value(const QuorumSystem& qs,
+                                   const std::vector<SingleVoteReport<V>>& reports) {
+  if (reports.empty()) throw std::invalid_argument("pick_single_value: empty quorum");
+
+  const Ballot k = std::max_element(reports.begin(), reports.end(),
+                                    [](const auto& a, const auto& b) { return a.vrnd < b.vrnd; })
+                       ->vrnd;
+  if (k.is_zero()) return std::nullopt;  // nothing ever accepted below
+
+  std::vector<V> kvals;
+  for (const auto& r : reports) {
+    if (r.vrnd == k) {
+      if (!r.vval) throw std::logic_error("pick_single_value: vote without value");
+      kvals.push_back(*r.vval);
+    }
+  }
+
+  if (!k.is_fast()) {
+    // At most one value can be accepted at a classic round (a single 2a in
+    // single-coordinated rounds; intersecting coordinator quorums force a
+    // unique value in multicoordinated ones).
+    return kvals.front();
+  }
+
+  // Fast k: v might have been chosen iff enough of Q reported (k, v) that a
+  // fast k-quorum could be completed by the unheard acceptors (rule O4).
+  const std::size_t threshold = qs.proved_safe_threshold(reports.size(), /*k_fast=*/true);
+  std::optional<V> candidate;
+  for (const V& v : kvals) {
+    const auto votes = static_cast<std::size_t>(std::count(kvals.begin(), kvals.end(), v));
+    if (votes >= threshold) {
+      if (candidate && !(*candidate == v)) {
+        throw std::logic_error("pick_single_value: two choosable values (fast quorum requirement violated?)");
+      }
+      candidate = v;
+    }
+  }
+  return candidate;  // nullopt: collision at k, any proposal is pickable
+}
+
+}  // namespace mcp::paxos

@@ -1,0 +1,77 @@
+#include "paxos/quorum.hpp"
+
+#include <stdexcept>
+
+namespace mcp::paxos {
+
+QuorumSystem::QuorumSystem(std::vector<sim::NodeId> acceptors, int f, int e)
+    : acceptors_(std::move(acceptors)), f_(f), e_(e) {
+  if (acceptors_.empty()) throw std::invalid_argument("QuorumSystem: no acceptors");
+  if (f_ < 0 || e_ < 0) throw std::invalid_argument("QuorumSystem: negative tolerance");
+  if (e_ > f_) {
+    // Fast quorums must be at least as large as classic ones (E ≤ F);
+    // anything else would make fast rounds *more* tolerant than classic
+    // ones, which Assumption 2 forbids for n > 2E + F anyway.
+    throw std::invalid_argument("QuorumSystem: requires E <= F");
+  }
+  if (static_cast<std::size_t>(f_) >= acceptors_.size()) {
+    throw std::invalid_argument("QuorumSystem: F >= n");
+  }
+}
+
+QuorumSystem QuorumSystem::with_max_tolerance(std::vector<sim::NodeId> acceptors) {
+  const int n = static_cast<int>(acceptors.size());
+  const int f = (n - 1) / 2;          // majority classic quorums
+  const int e = std::max(0, (n - f - 1) / 2);  // largest E with n > 2E + F
+  return QuorumSystem(std::move(acceptors), f, e);
+}
+
+bool QuorumSystem::meets_classic_requirement() const {
+  return acceptors_.size() > 2 * static_cast<std::size_t>(f_);
+}
+
+bool QuorumSystem::meets_fast_requirement() const {
+  return meets_classic_requirement() &&
+         acceptors_.size() > 2 * static_cast<std::size_t>(e_) + static_cast<std::size_t>(f_);
+}
+
+std::size_t QuorumSystem::proved_safe_threshold(std::size_t q_size, bool k_fast) const {
+  const std::size_t fk = static_cast<std::size_t>(k_fast ? e_ : f_);
+  if (q_size <= fk) {
+    // Would mean a k-quorum can avoid Q entirely; forbidden by Assumptions
+    // 1–2 for any valid configuration, so reject misuse loudly.
+    throw std::logic_error("proved_safe_threshold: quorum too small for safety");
+  }
+  return q_size - fk;
+}
+
+std::vector<std::vector<std::size_t>> combinations(std::size_t n, std::size_t k) {
+  if (k > n) return {};
+  // Guard against accidental exponential blow-up; simulations use small n.
+  double est = 1.0;
+  for (std::size_t i = 0; i < k; ++i) est *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  if (est > 200000.0) throw std::invalid_argument("combinations: too many subsets");
+
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> cur(k);
+  // Iterative lexicographic enumeration.
+  for (std::size_t i = 0; i < k; ++i) cur[i] = i;
+  while (true) {
+    out.push_back(cur);
+    if (k == 0) break;
+    // Advance.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (cur[i] != i + n - k) {
+        ++cur[i];
+        for (std::size_t j = i + 1; j < k; ++j) cur[j] = cur[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcp::paxos

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "paxos/ballot.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::paxos {
+
+/// Size-based acceptor quorum system (§3.3): with n acceptors, any set of
+/// n−F acceptors is a classic quorum and any set of n−E acceptors is a fast
+/// quorum. Assumption 1 (classic intersection) requires n > 2F; Assumption 2
+/// (fast intersection) additionally requires n > 2E + F.
+class QuorumSystem {
+ public:
+  QuorumSystem(std::vector<sim::NodeId> acceptors, int f, int e);
+
+  /// Majority classic quorums (F = ⌊(n−1)/2⌋) with the largest fast-failure
+  /// tolerance E allowed by n > 2E + F.
+  static QuorumSystem with_max_tolerance(std::vector<sim::NodeId> acceptors);
+
+  const std::vector<sim::NodeId>& acceptors() const { return acceptors_; }
+  std::size_t n() const { return acceptors_.size(); }
+  int f() const { return f_; }
+  int e() const { return e_; }
+
+  std::size_t classic_quorum_size() const { return acceptors_.size() - static_cast<std::size_t>(f_); }
+  std::size_t fast_quorum_size() const { return acceptors_.size() - static_cast<std::size_t>(e_); }
+  std::size_t quorum_size(bool fast_round) const {
+    return fast_round ? fast_quorum_size() : classic_quorum_size();
+  }
+  std::size_t quorum_size(const Ballot& b) const { return quorum_size(b.is_fast()); }
+
+  /// Assumption 1: any two quorums (classic or fast) intersect.
+  bool meets_classic_requirement() const;
+  /// Assumption 2: a quorum intersects the intersection of any two fast
+  /// quorums (n > 2E + F, together with the classic requirement).
+  bool meets_fast_requirement() const;
+
+  /// Minimum realizable size of Q ∩ R where Q is a phase-1 quorum of size
+  /// `q_size` and R is a quorum of a round whose type is `k_fast` — the
+  /// cardinality the value-picking rule of §3.3.2 / Definition 1 enumerates.
+  /// (For k classic with |Q| = n−F this is the paper's n−2F.)
+  std::size_t proved_safe_threshold(std::size_t q_size, bool k_fast) const;
+
+ private:
+  std::vector<sim::NodeId> acceptors_;
+  int f_;
+  int e_;
+};
+
+/// All subsets of `items` of exactly `k` elements, in lexicographic index
+/// order. Used to enumerate the quorum intersections of Definition 1;
+/// intended for the small n of simulations (guarded against blow-up).
+std::vector<std::vector<std::size_t>> combinations(std::size_t n, std::size_t k);
+
+}  // namespace mcp::paxos

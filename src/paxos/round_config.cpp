@@ -1,0 +1,129 @@
+#include "paxos/round_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcp::paxos {
+
+PatternPolicy::PatternPolicy(std::vector<RoundType> pattern,
+                             std::vector<sim::NodeId> coordinators,
+                             std::size_t mc_quorum_size)
+    : pattern_(std::move(pattern)),
+      coordinators_(std::move(coordinators)),
+      mc_quorum_size_(mc_quorum_size) {
+  if (pattern_.empty()) throw std::invalid_argument("PatternPolicy: empty pattern");
+  if (coordinators_.empty()) throw std::invalid_argument("PatternPolicy: no coordinators");
+  if (mc_quorum_size_ == 0) mc_quorum_size_ = coordinators_.size() / 2 + 1;
+  if (2 * mc_quorum_size_ <= coordinators_.size()) {
+    // Assumption 3 (coordinator quorums of a classic round intersect).
+    throw std::invalid_argument("PatternPolicy: coordinator quorums would not intersect");
+  }
+}
+
+RoundType PatternPolicy::type_of(std::int64_t count) const {
+  if (count <= 0) return RoundType::kSingleCoord;  // round zero placeholder
+  return pattern_[static_cast<std::size_t>((count - 1) % static_cast<std::int64_t>(pattern_.size()))];
+}
+
+RoundInfo PatternPolicy::info(const Ballot& b) const {
+  RoundInfo info;
+  info.type = b.is_zero() ? RoundType::kSingleCoord : type_of(b.count);
+  switch (info.type) {
+    case RoundType::kMultiCoord:
+      info.coordinators = coordinators_;
+      info.coord_quorum_size = mc_quorum_size_;
+      break;
+    case RoundType::kSingleCoord:
+    case RoundType::kFast:
+      info.coordinators = {b.coord};
+      info.coord_quorum_size = 1;
+      break;
+  }
+  return info;
+}
+
+Ballot PatternPolicy::make_ballot(std::int64_t count, sim::NodeId initiator,
+                                  int incarnation) const {
+  if (count <= 0) throw std::invalid_argument("make_ballot: count must be positive");
+  return Ballot{count, initiator, incarnation, type_of(count)};
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::always_single(std::vector<sim::NodeId> coords) {
+  return std::make_unique<PatternPolicy>(std::vector<RoundType>{RoundType::kSingleCoord},
+                                         std::move(coords));
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::always_multi(std::vector<sim::NodeId> coords,
+                                                           std::size_t mc_quorum_size) {
+  return std::make_unique<PatternPolicy>(std::vector<RoundType>{RoundType::kMultiCoord},
+                                         std::move(coords), mc_quorum_size);
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::multi_then_single(std::vector<sim::NodeId> coords,
+                                                                std::size_t mc_quorum_size) {
+  return std::make_unique<PatternPolicy>(
+      std::vector<RoundType>{RoundType::kMultiCoord, RoundType::kSingleCoord},
+      std::move(coords), mc_quorum_size);
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::fast_then_single(std::vector<sim::NodeId> coords) {
+  return std::make_unique<PatternPolicy>(
+      std::vector<RoundType>{RoundType::kFast, RoundType::kSingleCoord}, std::move(coords));
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::always_fast(std::vector<sim::NodeId> coords) {
+  return std::make_unique<PatternPolicy>(std::vector<RoundType>{RoundType::kFast},
+                                         std::move(coords));
+}
+
+std::unique_ptr<PatternPolicy> PatternPolicy::clustered(std::vector<sim::NodeId> coords,
+                                                        std::size_t fast_range) {
+  if (fast_range == 0) throw std::invalid_argument("clustered: fast_range must be >= 1");
+  std::vector<RoundType> pattern(fast_range, RoundType::kFast);
+  pattern.push_back(RoundType::kSingleCoord);
+  return std::make_unique<PatternPolicy>(std::move(pattern), std::move(coords));
+}
+
+ShrinkingMultiPolicy::ShrinkingMultiPolicy(std::vector<sim::NodeId> coordinators,
+                                           int shrink_per_round)
+    : coordinators_(std::move(coordinators)), shrink_per_round_(shrink_per_round) {
+  if (coordinators_.empty()) {
+    throw std::invalid_argument("ShrinkingMultiPolicy: no coordinators");
+  }
+  if (shrink_per_round_ < 1) {
+    throw std::invalid_argument("ShrinkingMultiPolicy: shrink_per_round must be >= 1");
+  }
+}
+
+std::size_t ShrinkingMultiPolicy::width_of(std::int64_t count) const {
+  if (count <= 0) return coordinators_.size();
+  const std::int64_t shrunk = static_cast<std::int64_t>(coordinators_.size()) -
+                              (count - 1) * shrink_per_round_;
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, shrunk));
+}
+
+RoundInfo ShrinkingMultiPolicy::info(const Ballot& b) const {
+  RoundInfo info;
+  const std::size_t width = width_of(b.count);
+  if (width <= 1) {
+    info.type = RoundType::kSingleCoord;
+    info.coordinators = {b.coord};
+    info.coord_quorum_size = 1;
+    return info;
+  }
+  info.type = RoundType::kMultiCoord;
+  info.coordinators.assign(coordinators_.begin(),
+                           coordinators_.begin() + static_cast<std::ptrdiff_t>(width));
+  info.coord_quorum_size = width / 2 + 1;
+  return info;
+}
+
+Ballot ShrinkingMultiPolicy::make_ballot(std::int64_t count, sim::NodeId initiator,
+                                         int incarnation) const {
+  if (count <= 0) throw std::invalid_argument("make_ballot: count must be positive");
+  const RoundType type =
+      width_of(count) <= 1 ? RoundType::kSingleCoord : RoundType::kMultiCoord;
+  return Ballot{count, initiator, incarnation, type};
+}
+
+}  // namespace mcp::paxos

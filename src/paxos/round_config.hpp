@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "paxos/ballot.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::paxos {
+
+/// Static description of one round: its type, its coordinator set, and the
+/// size of its coordinator quorums (Assumption 3 holds whenever
+/// 2·coord_quorum_size > coordinators.size(); single-coordinated rounds use
+/// one coordinator with quorum size 1).
+struct RoundInfo {
+  RoundType type = RoundType::kSingleCoord;
+  std::vector<sim::NodeId> coordinators;
+  std::size_t coord_quorum_size = 1;
+
+  bool is_coord(sim::NodeId id) const {
+    for (sim::NodeId c : coordinators) {
+      if (c == id) return true;
+    }
+    return false;
+  }
+};
+
+/// Assigns a structure to the round number line (§4.5): which counts are
+/// fast, which are multicoordinated, who coordinates, and how ballots are
+/// minted. Deployments pick a policy per expected workload (the paper's
+/// "clustered" vs "conflict prone" scenarios).
+class RoundPolicy {
+ public:
+  virtual ~RoundPolicy() = default;
+
+  /// Round structure for a ballot (derived from its count / type fields).
+  virtual RoundInfo info(const Ballot& b) const = 0;
+
+  /// Mint the ballot with a given count for an initiating coordinator.
+  virtual Ballot make_ballot(std::int64_t count, sim::NodeId initiator,
+                             int incarnation) const = 0;
+
+  /// Every process that coordinates some round under this policy.
+  virtual const std::vector<sim::NodeId>& all_coordinators() const = 0;
+
+  Ballot first_ballot(sim::NodeId initiator, int incarnation = 0) const {
+    return make_ballot(1, initiator, incarnation);
+  }
+  Ballot next_ballot(const Ballot& cur, sim::NodeId initiator, int incarnation = 0) const {
+    return make_ballot(cur.count + 1, initiator, incarnation);
+  }
+};
+
+/// Round types repeat a fixed pattern over the count line:
+/// type(count) = pattern[(count − 1) mod pattern.size()].
+///
+///  - kSingleCoord round: coordinated by the ballot's initiator alone.
+///  - kMultiCoord round: coordinated by the full configured coordinator
+///    set; any `mc_quorum_size` of them form a coordinator quorum.
+///  - kFast round: the initiator is the (only) coordinator running phases
+///    1/2Start; proposers talk to acceptors directly afterwards.
+///
+/// Common instantiations (factories below):
+///  - always_single:          Classic Paxos round structure.
+///  - always_multi:           every round multicoordinated.
+///  - multi_then_single:      multicoordinated rounds, collisions recover
+///                            into a single-coordinated round (§4.2).
+///  - fast_then_single:       Fast Paxos with coordinated recovery (§4.5
+///                            "conflicts rare but persistent").
+///  - always_fast:            Fast Paxos with uncoordinated recovery (§4.5
+///                            "clustered systems").
+class PatternPolicy final : public RoundPolicy {
+ public:
+  PatternPolicy(std::vector<RoundType> pattern, std::vector<sim::NodeId> coordinators,
+                std::size_t mc_quorum_size = 0);  // 0 = majority of coordinators
+
+  RoundInfo info(const Ballot& b) const override;
+  Ballot make_ballot(std::int64_t count, sim::NodeId initiator, int incarnation) const override;
+  const std::vector<sim::NodeId>& all_coordinators() const override { return coordinators_; }
+
+  RoundType type_of(std::int64_t count) const;
+
+  static std::unique_ptr<PatternPolicy> always_single(std::vector<sim::NodeId> coords);
+  /// §4.5 "clustered systems": ranges of `fast_range` fast rounds followed
+  /// by one single-coordinated recovery round.
+  static std::unique_ptr<PatternPolicy> clustered(std::vector<sim::NodeId> coords,
+                                                  std::size_t fast_range);
+  static std::unique_ptr<PatternPolicy> always_multi(std::vector<sim::NodeId> coords,
+                                                     std::size_t mc_quorum_size = 0);
+  static std::unique_ptr<PatternPolicy> multi_then_single(std::vector<sim::NodeId> coords,
+                                                          std::size_t mc_quorum_size = 0);
+  static std::unique_ptr<PatternPolicy> fast_then_single(std::vector<sim::NodeId> coords);
+  static std::unique_ptr<PatternPolicy> always_fast(std::vector<sim::NodeId> coords);
+
+ private:
+  std::vector<RoundType> pattern_;
+  std::vector<sim::NodeId> coordinators_;
+  std::size_t mc_quorum_size_;
+};
+
+/// §4.5's gradual fallback: successive rounds use ever-smaller coordinator
+/// sets — "a series of multi-coordinated rounds with smaller quorums,
+/// minimizing the risk of collisions while still allowing for the benefits
+/// of multi-coordination". Round count k uses the first
+/// max(1, nc − (k−1)·shrink_per_round) configured coordinators with
+/// majority quorums; once a single coordinator remains the round is
+/// single-coordinated (owned by the ballot's initiator).
+class ShrinkingMultiPolicy final : public RoundPolicy {
+ public:
+  ShrinkingMultiPolicy(std::vector<sim::NodeId> coordinators, int shrink_per_round = 1);
+
+  RoundInfo info(const Ballot& b) const override;
+  Ballot make_ballot(std::int64_t count, sim::NodeId initiator, int incarnation) const override;
+  const std::vector<sim::NodeId>& all_coordinators() const override { return coordinators_; }
+
+  std::size_t width_of(std::int64_t count) const;
+
+ private:
+  std::vector<sim::NodeId> coordinators_;
+  int shrink_per_round_;
+};
+
+}  // namespace mcp::paxos

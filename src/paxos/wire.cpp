@@ -1,0 +1,80 @@
+#include "paxos/wire.hpp"
+
+namespace mcp::wire {
+
+void put_ballot(Writer& w, const paxos::Ballot& b) {
+  w.put_signed(b.count);
+  w.put_signed(b.coord);
+  w.put_signed(b.coord_inc);
+  w.put_u8(static_cast<std::uint8_t>(b.type));
+}
+
+paxos::Ballot get_ballot(Reader& r) {
+  paxos::Ballot b;
+  b.count = r.get_signed();
+  b.coord = static_cast<sim::NodeId>(r.get_signed());
+  b.coord_inc = static_cast<int>(r.get_signed());
+  b.type = static_cast<paxos::RoundType>(r.get_u8());
+  if (b.type != paxos::RoundType::kSingleCoord && b.type != paxos::RoundType::kMultiCoord &&
+      b.type != paxos::RoundType::kFast) {
+    throw std::invalid_argument("wire: bad round type");
+  }
+  return b;
+}
+
+void put_command(Writer& w, const cstruct::Command& c) {
+  w.put_varint(c.id);
+  w.put_signed(c.proposer);
+  w.put_u8(c.type == cstruct::OpType::kRead ? 0 : 1);
+  w.put_bytes(c.key);
+  w.put_bytes(c.value);
+}
+
+cstruct::Command get_command(Reader& r) {
+  cstruct::Command c;
+  c.id = r.get_varint();
+  c.proposer = static_cast<int>(r.get_signed());
+  c.type = r.get_u8() == 0 ? cstruct::OpType::kRead : cstruct::OpType::kWrite;
+  c.key = std::string(r.get_bytes());
+  c.value = std::string(r.get_bytes());
+  return c;
+}
+
+void put_commands(Writer& w, const std::vector<cstruct::Command>& cmds) {
+  w.put_varint(cmds.size());
+  for (const auto& c : cmds) put_command(w, c);
+}
+
+std::vector<cstruct::Command> get_commands(Reader& r) {
+  const std::uint64_t n = r.get_varint();
+  std::vector<cstruct::Command> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_command(r));
+  return out;
+}
+
+void put_cstruct(Writer& w, const cstruct::SingleValue& v) {
+  w.put_u8(v.is_bottom() ? 0 : 1);
+  if (!v.is_bottom()) put_command(w, *v.value());
+}
+
+void put_cstruct(Writer& w, const cstruct::CSet& v) { put_commands(w, v.commands()); }
+
+void put_cstruct(Writer& w, const cstruct::History& v) { put_commands(w, v.sequence()); }
+
+cstruct::SingleValue get_cstruct(Reader& r, const cstruct::SingleValue&) {
+  if (r.get_u8() == 0) return cstruct::SingleValue{};
+  return cstruct::SingleValue{get_command(r)};
+}
+
+cstruct::CSet get_cstruct(Reader& r, const cstruct::CSet&) {
+  cstruct::CSet out;
+  for (const auto& c : get_commands(r)) out.append(c);
+  return out;
+}
+
+cstruct::History get_cstruct(Reader& r, const cstruct::History& prototype) {
+  return cstruct::History::from_sequence(prototype.relation(), get_commands(r));
+}
+
+}  // namespace mcp::wire

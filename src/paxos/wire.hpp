@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cstruct/cset.hpp"
+#include "cstruct/history.hpp"
+#include "cstruct/single_value.hpp"
+#include "paxos/ballot.hpp"
+
+namespace mcp::wire {
+
+/// Binary wire format for the protocol messages: little-endian varints,
+/// length-prefixed bytes. The simulator passes messages in-memory, so the
+/// codec's role in this repository is (a) the stable-storage format's
+/// binary sibling, (b) message-size accounting for bandwidth analysis, and
+/// (c) the starting point for a real network transport.
+class Writer {
+ public:
+  void put_varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      buf_.push_back(static_cast<char>((value & 0x7F) | 0x80));
+      value >>= 7;
+    }
+    buf_.push_back(static_cast<char>(value));
+  }
+
+  /// ZigZag-encoded signed integer.
+  void put_signed(std::int64_t value) {
+    put_varint((static_cast<std::uint64_t>(value) << 1) ^
+               static_cast<std::uint64_t>(value >> 63));
+  }
+
+  void put_u8(std::uint8_t value) { buf_.push_back(static_cast<char>(value)); }
+
+  void put_bytes(std::string_view bytes) {
+    put_varint(bytes.size());
+    buf_.append(bytes);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint64_t get_varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) throw std::invalid_argument("wire: truncated varint");
+      const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) throw std::invalid_argument("wire: varint overflow");
+    }
+    return value;
+  }
+
+  std::int64_t get_signed() {
+    const std::uint64_t z = get_varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  std::uint8_t get_u8() {
+    if (pos_ >= data_.size()) throw std::invalid_argument("wire: truncated byte");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::string_view get_bytes() {
+    const std::uint64_t len = get_varint();
+    if (pos_ + len > data_.size()) throw std::invalid_argument("wire: truncated bytes");
+    std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- protocol data types -----------------------------------------------------
+
+void put_ballot(Writer& w, const paxos::Ballot& b);
+paxos::Ballot get_ballot(Reader& r);
+
+void put_command(Writer& w, const cstruct::Command& c);
+cstruct::Command get_command(Reader& r);
+
+void put_commands(Writer& w, const std::vector<cstruct::Command>& cmds);
+std::vector<cstruct::Command> get_commands(Reader& r);
+
+// C-struct payloads (decode needs the prototype, as in cstruct/serialize.hpp).
+void put_cstruct(Writer& w, const cstruct::SingleValue& v);
+void put_cstruct(Writer& w, const cstruct::CSet& v);
+void put_cstruct(Writer& w, const cstruct::History& v);
+cstruct::SingleValue get_cstruct(Reader& r, const cstruct::SingleValue& prototype);
+cstruct::CSet get_cstruct(Reader& r, const cstruct::CSet& prototype);
+cstruct::History get_cstruct(Reader& r, const cstruct::History& prototype);
+
+/// Encoded size of a value, for bandwidth accounting.
+template <typename T>
+std::size_t wire_size(const T& value) {
+  Writer w;
+  if constexpr (std::is_same_v<T, paxos::Ballot>) {
+    put_ballot(w, value);
+  } else if constexpr (std::is_same_v<T, cstruct::Command>) {
+    put_command(w, value);
+  } else {
+    put_cstruct(w, value);
+  }
+  return w.size();
+}
+
+}  // namespace mcp::wire

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcp::sim {
+
+void EventQueue::schedule(Time at, Action action) {
+  if (at < 0) throw std::invalid_argument("EventQueue::schedule: negative time");
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+Time EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().at;
+}
+
+void EventQueue::run_next(Time& now) {
+  if (heap_.empty()) throw std::logic_error("EventQueue::run_next on empty queue");
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and never reheapify the moved-from entry.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now = entry.at;
+  entry.action();
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+}  // namespace mcp::sim

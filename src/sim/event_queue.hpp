@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcp::sim {
+
+/// A time-ordered queue of closures. Events scheduled for the same instant
+/// fire in insertion order (stable), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(Time at, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  Time next_time() const;
+
+  /// Pop and run the earliest event, advancing `now` to its time.
+  /// Requires !empty().
+  void run_next(Time& now);
+
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mcp::sim

@@ -1,0 +1,39 @@
+#include "sim/network.hpp"
+
+namespace mcp::sim {
+
+void Network::isolate(NodeId node, const std::vector<NodeId>& peers) {
+  for (NodeId p : peers) {
+    if (p != node) cut_both(node, p);
+  }
+}
+
+void Network::heal(NodeId node, const std::vector<NodeId>& peers) {
+  for (NodeId p : peers) {
+    if (p != node) restore_both(node, p);
+  }
+}
+
+Time Network::one_delay(util::Rng& rng) const {
+  if (config_.min_delay >= config_.max_delay) return config_.min_delay;
+  return rng.uniform(config_.min_delay, config_.max_delay);
+}
+
+std::vector<Time> Network::plan_delivery(util::Rng& rng, NodeId from, NodeId to) {
+  std::vector<Time> copies;
+  if (link_cut(from, to)) return copies;
+  if (from == to && !config_.delay_self_messages) {
+    copies.push_back(0);  // local delivery: still asynchronous, but free
+    return copies;
+  }
+  if (!rng.chance(config_.loss_probability)) {
+    copies.push_back(one_delay(rng));
+  }
+  // At most one duplicate; enough to exercise at-least-once handling.
+  if (rng.chance(config_.duplication_probability)) {
+    copies.push_back(one_delay(rng));
+  }
+  return copies;
+}
+
+}  // namespace mcp::sim

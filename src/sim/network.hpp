@@ -1,0 +1,63 @@
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::sim {
+
+/// Message-delay and fault model of the simulated network.
+///
+/// The paper's model: messages may be lost or duplicated, never corrupted,
+/// and take unbounded time. We bound delays within a run (min/max uniform)
+/// because benches need finite executions; loss/duplication probabilities
+/// and explicit link cuts model the asynchrony-induced pathologies.
+struct NetworkConfig {
+  Time min_delay = 1;  ///< inclusive lower bound for one hop
+  Time max_delay = 1;  ///< inclusive upper bound for one hop
+  double loss_probability = 0.0;
+  double duplication_probability = 0.0;
+  /// Delivery to self is immediate-but-asynchronous (next event, delay 0)
+  /// unless this is set, in which case self messages use the normal delays.
+  bool delay_self_messages = false;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {}) : config_(config) {}
+
+  const NetworkConfig& config() const { return config_; }
+  void set_config(const NetworkConfig& config) { config_ = config; }
+
+  /// Cut / restore a directed link. Cut links silently drop messages,
+  /// modelling a partition (cut both directions for a symmetric one).
+  void cut_link(NodeId from, NodeId to) { cut_.insert({from, to}); }
+  void restore_link(NodeId from, NodeId to) { cut_.erase({from, to}); }
+  void cut_both(NodeId a, NodeId b) {
+    cut_link(a, b);
+    cut_link(b, a);
+  }
+  void restore_both(NodeId a, NodeId b) {
+    restore_link(a, b);
+    restore_link(b, a);
+  }
+  /// Isolate a node entirely from a set of peers.
+  void isolate(NodeId node, const std::vector<NodeId>& peers);
+  void heal(NodeId node, const std::vector<NodeId>& peers);
+  bool link_cut(NodeId from, NodeId to) const { return cut_.count({from, to}) != 0; }
+
+  /// Decide the fate of one message: the returned vector holds one delay per
+  /// copy that will be delivered (empty means the message is lost).
+  std::vector<Time> plan_delivery(util::Rng& rng, NodeId from, NodeId to);
+
+ private:
+  Time one_delay(util::Rng& rng) const;
+
+  NetworkConfig config_;
+  std::set<std::pair<NodeId, NodeId>> cut_;
+};
+
+}  // namespace mcp::sim

@@ -1,0 +1,44 @@
+#include "sim/process.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::sim {
+
+namespace {
+Simulation& require_sim(Simulation* sim) {
+  if (!sim) throw std::logic_error("Process used before being added to a Simulation");
+  return *sim;
+}
+}  // namespace
+
+void Process::send(NodeId to, std::any msg) {
+  require_sim(sim_).post_message(id_, to, std::move(msg));
+}
+
+void Process::multicast(const std::vector<NodeId>& to, const std::any& msg) {
+  Simulation& s = require_sim(sim_);
+  for (NodeId dst : to) s.post_message(id_, dst, msg);
+}
+
+void Process::send_after_sync(NodeId to, std::any msg, Time sync_latency) {
+  require_sim(sim_).post_message(id_, to, std::move(msg), sync_latency);
+}
+
+void Process::multicast_after_sync(const std::vector<NodeId>& to, const std::any& msg,
+                                   Time sync_latency) {
+  Simulation& s = require_sim(sim_);
+  for (NodeId dst : to) s.post_message(id_, dst, msg, sync_latency);
+}
+
+int Process::set_timer(Time delay, int token) {
+  return require_sim(sim_).post_timer(id_, delay, token);
+}
+
+void Process::cancel_timer(int handle) { require_sim(sim_).cancel_timer(handle); }
+
+Time Process::now() const { return require_sim(sim_).now(); }
+
+}  // namespace mcp::sim

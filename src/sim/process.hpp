@@ -1,0 +1,82 @@
+#pragma once
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "sim/storage.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::sim {
+
+class Simulation;
+
+/// One simulated process (proposer, coordinator, acceptor, learner, client,
+/// or any combination). Subclasses implement the message/timer handlers and
+/// use the protected helpers to interact with the world.
+///
+/// Crash-recovery semantics follow the paper: a crashed process handles no
+/// messages and fires no timers; volatile state (the C++ members) survives
+/// in this in-memory model, so `on_recover` implementations must explicitly
+/// reset anything the real process would have lost, reading back only what
+/// they persisted in `storage()`.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  NodeId id() const { return id_; }
+  bool crashed() const { return crashed_; }
+  /// How many times this process has crashed and recovered (the
+  /// "incarnation" counter of Section 4.4).
+  int incarnation() const { return incarnation_; }
+
+  /// Short role label used for metrics ("acceptor", "coord", ...).
+  virtual std::string role() const { return "process"; }
+
+  /// Called once when the simulation starts.
+  virtual void on_start() {}
+  /// Called for every delivered message.
+  virtual void on_message(NodeId from, const std::any& msg) = 0;
+  /// Called when a timer set via set_timer fires (token identifies it).
+  virtual void on_timer(int token) { (void)token; }
+  /// Called when the process recovers after a crash.
+  virtual void on_recover() {}
+
+  StableStorage& storage() { return storage_; }
+  const StableStorage& storage() const { return storage_; }
+
+  // Interaction helpers are public so that reusable components owned by a
+  // process (e.g. the failure detector) can drive them on its behalf.
+
+  /// Send a message; delivery is scheduled through the simulated network.
+  void send(NodeId to, std::any msg);
+  /// Send the same message to every node in `to`.
+  void multicast(const std::vector<NodeId>& to, const std::any& msg);
+  /// Durably write to stable storage, then send; the send is delayed by the
+  /// disk-write latency, modelling "write before ack".
+  void send_after_sync(NodeId to, std::any msg, Time sync_latency);
+  void multicast_after_sync(const std::vector<NodeId>& to, const std::any& msg,
+                            Time sync_latency);
+
+  /// Arrange for on_timer(token) after `delay`. Returns a handle usable
+  /// with cancel_timer. Timers are implicitly cancelled by a crash.
+  int set_timer(Time delay, int token);
+  void cancel_timer(int handle);
+
+  Time now() const;
+  Simulation& sim() { return *sim_; }
+  const Simulation& sim() const { return *sim_; }
+
+ private:
+  friend class Simulation;
+
+  Simulation* sim_ = nullptr;
+  NodeId id_ = kNoNode;
+  bool crashed_ = false;
+  int incarnation_ = 0;
+  /// Timers scheduled before this epoch are stale (cancelled or pre-crash).
+  int timer_epoch_ = 0;
+  StableStorage storage_;
+};
+
+}  // namespace mcp::sim

@@ -1,0 +1,147 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcp::sim {
+
+Simulation::Simulation(std::uint64_t seed, NetworkConfig net_config)
+    : network_(net_config), rng_(seed) {}
+
+NodeId Simulation::add_process(std::unique_ptr<Process> process) {
+  if (!process) throw std::invalid_argument("add_process: null process");
+  const NodeId id = static_cast<NodeId>(processes_.size());
+  process->sim_ = this;
+  process->id_ = id;
+  processes_.push_back(std::move(process));
+  return id;
+}
+
+std::vector<NodeId> Simulation::all_ids() const {
+  std::vector<NodeId> ids(processes_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+void Simulation::crash(NodeId id) {
+  Process& p = process(id);
+  if (p.crashed_) return;
+  p.crashed_ = true;
+  ++p.timer_epoch_;  // invalidates every outstanding timer
+  metrics_.incr("sim.crashes");
+}
+
+void Simulation::recover(NodeId id) {
+  Process& p = process(id);
+  if (!p.crashed_) return;
+  p.crashed_ = false;
+  ++p.incarnation_;
+  metrics_.incr("sim.recoveries");
+  p.on_recover();
+}
+
+void Simulation::crash_at(Time at_time, NodeId id) {
+  at(at_time, [this, id] { crash(id); });
+}
+
+void Simulation::recover_at(Time at_time, NodeId id) {
+  at(at_time, [this, id] { recover(id); });
+}
+
+void Simulation::at(Time when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("Simulation::at: time in the past");
+  queue_.schedule(when, std::move(action));
+}
+
+void Simulation::start_pending_processes() {
+  // Processes added after the run began get their on_start lazily; loop
+  // because on_start itself may add processes.
+  while (started_ < processes_.size()) {
+    Process& p = *processes_[started_++];
+    if (!p.crashed_) p.on_start();
+  }
+}
+
+Time Simulation::run_until(Time deadline) {
+  start_pending_processes();
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    queue_.run_next(now_);
+    ++events_processed_;
+    start_pending_processes();
+  }
+  if (queue_.empty()) return now_;
+  now_ = deadline;
+  return now_;
+}
+
+bool Simulation::run_until(const std::function<bool()>& done, Time deadline) {
+  start_pending_processes();
+  if (done()) return true;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    queue_.run_next(now_);
+    ++events_processed_;
+    start_pending_processes();
+    if (done()) return true;
+  }
+  return false;
+}
+
+void Simulation::run_to_completion() {
+  start_pending_processes();
+  while (!queue_.empty()) {
+    queue_.run_next(now_);
+    ++events_processed_;
+    start_pending_processes();
+  }
+}
+
+void Simulation::post_message(NodeId from, NodeId to, std::any msg, Time extra_delay) {
+  if (to < 0 || static_cast<std::size_t>(to) >= processes_.size()) {
+    throw std::out_of_range("post_message: unknown destination");
+  }
+  metrics_.incr("net.sent");
+  const std::vector<Time> copies = network_.plan_delivery(rng_, from, to);
+  if (copies.empty()) {
+    metrics_.incr("net.lost");
+    return;
+  }
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    if (i > 0) metrics_.incr("net.duplicated");
+    // Copy the payload per delivered copy; cheap for shared_ptr payloads.
+    std::any payload = msg;
+    queue_.schedule(now_ + extra_delay + copies[i],
+                    [this, from, to, payload = std::move(payload)] {
+                      deliver(from, to, payload);
+                    });
+  }
+}
+
+void Simulation::deliver(NodeId from, NodeId to, const std::any& msg) {
+  Process& p = process(to);
+  if (p.crashed_) {
+    metrics_.incr("net.dropped_at_crashed");
+    return;
+  }
+  metrics_.incr("net.delivered");
+  metrics_.incr("node." + std::to_string(to) + ".delivered");
+  p.on_message(from, msg);
+}
+
+int Simulation::post_timer(NodeId owner, Time delay, int token) {
+  if (delay < 0) throw std::invalid_argument("post_timer: negative delay");
+  const int handle = next_timer_handle_++;
+  const int epoch = process(owner).timer_epoch_;
+  queue_.schedule(now_ + delay, [this, owner, token, handle, epoch] {
+    if (cancelled_timers_.erase(handle) > 0) return;
+    Process& p = process(owner);
+    if (p.crashed_ || p.timer_epoch_ != epoch) return;  // stale
+    p.on_timer(token);
+  });
+  return handle;
+}
+
+void Simulation::cancel_timer(int handle) {
+  if (handle > 0) cancelled_timers_.insert(handle);
+}
+
+}  // namespace mcp::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::sim {
+
+/// The discrete-event simulation engine: owns processes, the network, the
+/// clock, randomness and metrics. Deterministic given (seed, config,
+/// process behaviour).
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed, NetworkConfig net_config = {});
+
+  /// Register a process; returns its id (dense, in registration order).
+  /// The simulation takes ownership.
+  NodeId add_process(std::unique_ptr<Process> process);
+
+  template <typename P, typename... Args>
+  P& make_process(Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    add_process(std::move(owned));
+    return ref;
+  }
+
+  Process& process(NodeId id) { return *processes_.at(static_cast<std::size_t>(id)); }
+  const Process& process(NodeId id) const {
+    return *processes_.at(static_cast<std::size_t>(id));
+  }
+  std::size_t process_count() const { return processes_.size(); }
+  std::vector<NodeId> all_ids() const;
+
+  Network& network() { return network_; }
+  util::Rng& rng() { return rng_; }
+  util::Metrics& metrics() { return metrics_; }
+  Time now() const { return now_; }
+
+  // --- fault injection -----------------------------------------------------
+  void crash(NodeId id);
+  void recover(NodeId id);
+  void crash_at(Time at, NodeId id);
+  void recover_at(Time at, NodeId id);
+
+  // --- execution -----------------------------------------------------------
+  /// Run an arbitrary closure at an absolute simulated time.
+  void at(Time when, std::function<void()> action);
+
+  /// Run until the queue drains or `deadline` passes. Returns the time the
+  /// run stopped.
+  Time run_until(Time deadline);
+
+  /// Run until `done()` holds (checked after every event) or the deadline
+  /// passes / queue drains. Returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& done, Time deadline);
+
+  /// Run until the queue is completely empty (use with protocols that stop
+  /// retransmitting once done, or with a bounded message budget).
+  void run_to_completion();
+
+  /// Events processed so far (proxy for work / message complexity).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // --- used by Process helpers ----------------------------------------------
+  void post_message(NodeId from, NodeId to, std::any msg, Time extra_delay = 0);
+  int post_timer(NodeId owner, Time delay, int token);
+  void cancel_timer(int handle);
+
+ private:
+  void start_pending_processes();
+  void deliver(NodeId from, NodeId to, const std::any& msg);
+
+  EventQueue queue_;
+  Network network_;
+  util::Rng rng_;
+  util::Metrics metrics_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::size_t started_ = 0;  // processes whose on_start already ran
+  Time now_ = 0;
+  std::uint64_t events_processed_ = 0;
+  int next_timer_handle_ = 1;
+  std::set<int> cancelled_timers_;
+};
+
+}  // namespace mcp::sim

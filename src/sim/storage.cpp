@@ -1,0 +1,29 @@
+#include "sim/storage.hpp"
+
+#include <utility>
+
+namespace mcp::sim {
+
+Time StableStorage::write(const std::string& key, std::string value) {
+  data_[key] = std::move(value);
+  ++write_count_;
+  return write_latency_;
+}
+
+Time StableStorage::write_int(const std::string& key, std::int64_t value) {
+  return write(key, std::to_string(value));
+}
+
+std::optional<std::string> StableStorage::read(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> StableStorage::read_int(const std::string& key) const {
+  auto s = read(key);
+  if (!s) return std::nullopt;
+  return std::stoll(*s);
+}
+
+}  // namespace mcp::sim

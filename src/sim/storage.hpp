@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mcp::sim {
+
+/// Per-process stable storage (the paper's "disk").
+///
+/// Contents survive crashes; the write counter is the quantity Section 4.4
+/// of the paper reasons about. A synchronous write costs `write_latency`
+/// simulated time, which protocol code must account for before sending any
+/// message that depends on the written state (see Process::send_after_sync).
+class StableStorage {
+ public:
+  explicit StableStorage(Time write_latency = 0) : write_latency_(write_latency) {}
+
+  /// Durably store `value` under `key`. Returns the latency of the write.
+  Time write(const std::string& key, std::string value);
+
+  /// Durably store an integer.
+  Time write_int(const std::string& key, std::int64_t value);
+
+  std::optional<std::string> read(const std::string& key) const;
+  std::optional<std::int64_t> read_int(const std::string& key) const;
+
+  std::int64_t write_count() const { return write_count_; }
+  Time write_latency() const { return write_latency_; }
+  void set_write_latency(Time latency) { write_latency_ = latency; }
+
+  /// Model catastrophic loss of the medium (used only by tests that check
+  /// the algorithm's assumptions; acceptors never lose their disks).
+  void wipe() { data_.clear(); }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::int64_t write_count_ = 0;
+  Time write_latency_ = 0;
+};
+
+}  // namespace mcp::sim

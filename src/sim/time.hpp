@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mcp::sim {
+
+/// Simulated time. The unit is abstract; benches that count communication
+/// steps configure every network hop to take exactly 1 tick and everything
+/// else 0, so elapsed time equals message depth. Latency-oriented benches
+/// interpret ticks as microseconds.
+using Time = std::int64_t;
+
+/// Identifier of a process inside one Simulation (dense, assigned in
+/// creation order).
+using NodeId = int;
+
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace mcp::sim

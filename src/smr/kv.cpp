@@ -1,0 +1,31 @@
+#include "smr/kv.hpp"
+
+namespace mcp::smr {
+
+KVStore::Result KVStore::apply(const cstruct::Command& c) {
+  ++applied_;
+  if (c.type == cstruct::OpType::kWrite) {
+    data_[c.key] = c.value;
+    return Result{true, c.value};
+  }
+  auto it = data_.find(c.key);
+  if (it == data_.end()) return Result{false, {}};
+  return Result{true, it->second};
+}
+
+Workload::Workload(Spec spec, util::Rng& rng) {
+  commands_.reserve(spec.commands);
+  for (std::size_t i = 0; i < spec.commands; ++i) {
+    const std::uint64_t id = spec.first_id + i;
+    const bool hot = rng.chance(spec.conflict_fraction);
+    const bool read = rng.chance(spec.read_fraction);
+    const std::string key = hot ? "hot" : "cold" + std::to_string(id);
+    if (read) {
+      commands_.push_back(cstruct::make_read(id, key));
+    } else {
+      commands_.push_back(cstruct::make_write(id, key, "v" + std::to_string(id)));
+    }
+  }
+}
+
+}  // namespace mcp::smr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::smr {
+
+/// Deterministic key-value state machine — the replicated service of the
+/// paper's state-machine-replication framing (§1). Writes set a key; reads
+/// return the current value (and do not change state, which is why they
+/// commute).
+class KVStore {
+ public:
+  struct Result {
+    bool found = false;
+    std::string value;
+  };
+
+  Result apply(const cstruct::Command& c);
+
+  std::size_t applied_count() const { return applied_; }
+  const std::map<std::string, std::string>& data() const { return data_; }
+
+  /// Two replicas that applied equivalent command histories end in the
+  /// same state; state equality is the replica-convergence check.
+  friend bool operator==(const KVStore& a, const KVStore& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const KVStore& a, const KVStore& b) { return !(a == b); }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::size_t applied_ = 0;
+};
+
+/// Synthetic client workload for the generic-broadcast experiments: a
+/// stream of reads/writes whose conflict profile is controlled by the key
+/// skew. `conflict_fraction` of the commands target a single hot key with
+/// writes (every pair of them conflicts); the rest touch per-command cold
+/// keys (never conflicting).
+class Workload {
+ public:
+  struct Spec {
+    std::size_t commands = 100;
+    double conflict_fraction = 0.1;
+    double read_fraction = 0.0;  ///< reads on the hot key still commute
+    std::uint64_t first_id = 1;
+  };
+
+  Workload(Spec spec, util::Rng& rng);
+
+  const std::vector<cstruct::Command>& commands() const { return commands_; }
+
+ private:
+  std::vector<cstruct::Command> commands_;
+};
+
+}  // namespace mcp::smr

@@ -1,0 +1,14 @@
+#include "smr/replica.hpp"
+
+namespace mcp::smr {
+
+bool replicas_converged(const std::vector<const Replica*>& replicas) {
+  if (replicas.empty()) return true;
+  const KVStore& first = replicas.front()->store();
+  for (const Replica* r : replicas) {
+    if (r->store() != first) return false;
+  }
+  return true;
+}
+
+}  // namespace mcp::smr

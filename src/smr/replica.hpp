@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "sim/process.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::smr {
+
+/// A service replica: applies the commands of a learner's command history
+/// to its local KVStore as they become learned. One Generalized Consensus
+/// instance drives the whole replica lifetime (the paper's point in §1:
+/// learners "augment their learned data structures", so no per-command
+/// consensus instances are needed).
+///
+/// The learned history only ever grows by extension, and our History ⊔
+/// keeps the previous linearization as a literal prefix, so applying the
+/// new suffix in order is a valid execution; replicas applying equivalent
+/// histories converge to the same state.
+class Replica final : public sim::Process {
+ public:
+  Replica(const genpaxos::GenLearner<cstruct::History>& learner, sim::Time poll_interval)
+      : learner_(learner), poll_interval_(poll_interval) {}
+
+  std::string role() const override { return "replica"; }
+
+  void on_start() override { set_timer(poll_interval_, 0); }
+
+  void on_timer(int) override {
+    poll();
+    set_timer(poll_interval_, 0);
+  }
+
+  void on_message(sim::NodeId, const std::any&) override {}
+
+  /// Apply any newly learned commands (also callable directly at the end
+  /// of a run to drain the tail).
+  void poll() {
+    const auto& seq = learner_.learned().sequence();
+    while (applied_ < seq.size()) {
+      store_.apply(seq[applied_]);
+      ++applied_;
+    }
+  }
+
+  const KVStore& store() const { return store_; }
+  std::size_t applied() const { return applied_; }
+
+ private:
+  const genpaxos::GenLearner<cstruct::History>& learner_;
+  sim::Time poll_interval_;
+  KVStore store_;
+  std::size_t applied_ = 0;
+};
+
+/// True when every replica reached the same final state (call poll() on
+/// each first).
+bool replicas_converged(const std::vector<const Replica*>& replicas);
+
+}  // namespace mcp::smr

@@ -1,0 +1,82 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcp::util {
+
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) throw std::logic_error("Histogram::min on empty histogram");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) throw std::logic_error("Histogram::max on empty histogram");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) throw std::logic_error("Histogram::mean on empty histogram");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Histogram::percentile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of [0,1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+std::int64_t Metrics::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t Metrics::counter_prefix_sum(const std::string& prefix) const {
+  std::int64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Metrics::counters_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+const Histogram& Metrics::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    throw std::out_of_range("no histogram named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mcp::util

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcp::util {
+
+/// Online summary of a stream of samples (latencies, sizes, ...).
+class Histogram {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// q in [0, 1]; nearest-rank percentile over the recorded samples.
+  double percentile(double q) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Named counters + histograms shared by a simulation run.
+///
+/// Counters use hierarchical dotted names ("acceptor.2.disk_writes") so
+/// benches can aggregate by prefix.
+class Metrics {
+ public:
+  void incr(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
+  std::int64_t counter(const std::string& name) const;
+  /// Sum of all counters whose name starts with `prefix`.
+  std::int64_t counter_prefix_sum(const std::string& prefix) const;
+  /// All counters with the given prefix, in name order.
+  std::vector<std::pair<std::string, std::int64_t>> counters_with_prefix(
+      const std::string& prefix) const;
+
+  void sample(const std::string& name, double value) { histograms_[name].add(value); }
+  const Histogram& histogram(const std::string& name) const;
+  bool has_histogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  const std::map<std::string, std::int64_t>& all_counters() const { return counters_; }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mcp::util

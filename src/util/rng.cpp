@@ -1,0 +1,28 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcp::util {
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  // Partial Fisher–Yates over an index vector; O(n) setup, fine for the
+  // small process counts used in simulations.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace mcp::util

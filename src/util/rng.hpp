@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mcp::util {
+
+/// Deterministic pseudo-random source used throughout the simulator.
+///
+/// Every run of a simulation is fully determined by the seed passed to its
+/// Rng, so any failure found by a randomized test can be replayed exactly.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Pick a uniformly random element index of a container of size n (n > 0).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Choose k distinct indices from [0, n) uniformly at random.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for sharding randomness).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mcp::util

@@ -1,0 +1,245 @@
+// Random exploration of Abstract Multicoordinated Paxos (Appendix A.2):
+// executes thousands of randomly chosen enabled actions on small universes
+// and validates after every step
+//   - the three Appendix A.2 state invariants (maxTried / bA / learned),
+//   - Proposition 2: every value returned by the production `proved_safe`
+//     rule is safe at the round being started per the literal Definition 5,
+//   - the Generalized Consensus safety properties.
+// This is small-scope model checking of the same object the paper proves
+// correct, with our production picking rule in the loop.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/abstract.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::genpaxos {
+namespace {
+
+using cstruct::Command;
+using cstruct::History;
+using cstruct::make_write;
+using paxos::Ballot;
+using paxos::RoundType;
+
+const cstruct::KeyConflict kKeyRel;
+
+using Spec = AbstractMCPaxos<History>;
+
+Spec::Config small_universe(int n_acceptors, int f, int e) {
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < n_acceptors; ++i) ids.push_back(i);
+  Spec::Config config{paxos::QuorumSystem(std::move(ids), f, e),
+                      {
+                          Ballot{1, 0, 0, RoundType::kMultiCoord},
+                          Ballot{2, 0, 0, RoundType::kFast},
+                          Ballot{3, 1, 0, RoundType::kSingleCoord},
+                          Ballot{4, 0, 0, RoundType::kFast},
+                      },
+                      History(&kKeyRel),
+                      2};
+  return config;
+}
+
+std::vector<Command> command_universe() {
+  return {make_write(1, "a", "v"), make_write(2, "a", "w"), make_write(3, "b", "v"),
+          make_write(4, "c", "v")};
+}
+
+/// One random exploration; returns via out-param the number of actions
+/// that executed (ASSERT_* requires a void-returning function).
+void explore(std::uint64_t seed, int steps, int n_acceptors, int f, int e,
+             int* executed_out) {
+  util::Rng rng(seed);
+  Spec spec(small_universe(n_acceptors, f, e));
+  const auto cmds = command_universe();
+  const auto balnums = small_universe(n_acceptors, f, e).balnums;
+  int executed = 0;
+
+  auto random_ballot = [&]() -> Ballot { return rng.pick(balnums); };
+  auto random_acceptor = [&]() -> std::size_t {
+    return rng.index(static_cast<std::size_t>(n_acceptors));
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    const int action = static_cast<int>(rng.uniform(0, 6));
+    bool did = false;
+    switch (action) {
+      case 0:  // Propose
+        did = spec.propose(rng.pick(cmds));
+        break;
+      case 1:  // JoinBallot
+        did = spec.join_ballot(random_acceptor(), random_ballot());
+        break;
+      case 2: {  // StartBallot via the production ProvedSafe rule (Prop. 2)
+        const Ballot m = random_ballot();
+        if (spec.max_tried(m).has_value()) break;
+        // Collect a quorum of acceptors that joined >= m.
+        std::vector<std::size_t> joined;
+        for (std::size_t a = 0; a < static_cast<std::size_t>(n_acceptors); ++a) {
+          if (!(spec.mbal(a) < m)) joined.push_back(a);
+        }
+        const paxos::QuorumSystem qs = small_universe(n_acceptors, f, e).quorums;
+        if (joined.size() < qs.quorum_size(m)) break;
+        joined.resize(qs.quorum_size(m));
+        const auto picks = spec.proved_safe_for(joined, m);
+        ASSERT_FALSE(picks.empty()) << "ProvedSafe returned nothing (Prop. 3 violated)";
+        for (const auto& w : picks) {
+          EXPECT_TRUE(spec.is_safe_at(w, m))
+              << "Proposition 2 violated: ProvedSafe pick not safe at " << m;
+        }
+        History w = rng.pick(picks);
+        if (rng.chance(0.5) && !spec.prop_cmd().empty()) {
+          // Extend with a proposed command before starting (w • σ).
+          auto it = spec.prop_cmd().begin();
+          std::advance(it, static_cast<long>(rng.index(spec.prop_cmd().size())));
+          w.append(*it);
+        }
+        did = spec.start_ballot(m, w);
+        break;
+      }
+      case 3: {  // Suggest
+        const Ballot m = random_ballot();
+        if (!spec.max_tried(m) || spec.prop_cmd().empty()) break;
+        auto it = spec.prop_cmd().begin();
+        std::advance(it, static_cast<long>(rng.index(spec.prop_cmd().size())));
+        did = spec.suggest(m, {*it});
+        break;
+      }
+      case 4: {  // ClassicVote for maxTried[m]
+        const Ballot m = random_ballot();
+        const auto tried = spec.max_tried(m);
+        if (!tried || m.is_fast()) break;
+        did = spec.classic_vote(random_acceptor(), m, *tried);
+        break;
+      }
+      case 5: {  // FastVote
+        if (spec.prop_cmd().empty()) break;
+        auto it = spec.prop_cmd().begin();
+        std::advance(it, static_cast<long>(rng.index(spec.prop_cmd().size())));
+        did = spec.fast_vote(random_acceptor(), *it);
+        break;
+      }
+      case 6: {  // AbstractLearn of a currently chosen per-round bound
+        const Ballot m = random_ballot();
+        // Use the spec's own chosen-at test on the glb of a random quorum.
+        std::vector<History> votes;
+        for (std::size_t a = 0; a < static_cast<std::size_t>(n_acceptors); ++a) {
+          if (auto v = spec.vote(a, m)) votes.push_back(*v);
+        }
+        if (votes.size() < 2) break;
+        const History candidate = votes[0].meet(votes[1]);
+        if (spec.is_chosen(candidate)) {
+          did = spec.abstract_learn(rng.index(2), candidate);
+        }
+        break;
+      }
+    }
+    if (!did) continue;
+    ++executed;
+    const auto violation = spec.check_invariants();
+    EXPECT_FALSE(violation.has_value())
+        << "after step " << step << ": " << *violation;
+    if (violation) break;
+  }
+  *executed_out = executed;
+}
+
+struct ExploreParam {
+  std::uint64_t seed;
+  int acceptors;
+  int f;
+  int e;
+};
+
+class AbstractExploration : public testing::TestWithParam<ExploreParam> {};
+
+TEST_P(AbstractExploration, InvariantsHoldOnRandomSchedules) {
+  const auto& p = GetParam();
+  int executed = 0;
+  explore(p.seed, 400, p.acceptors, p.f, p.e, &executed);
+  // The exploration must actually exercise the machine.
+  EXPECT_GT(executed, 50) << "exploration too shallow";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Universes, AbstractExploration,
+    testing::Values(ExploreParam{1, 3, 1, 0}, ExploreParam{2, 3, 1, 0},
+                    ExploreParam{3, 4, 1, 1}, ExploreParam{4, 4, 1, 1},
+                    ExploreParam{5, 5, 2, 1}, ExploreParam{6, 5, 2, 1},
+                    ExploreParam{7, 5, 1, 1}, ExploreParam{8, 4, 1, 0}),
+    [](const testing::TestParamInfo<ExploreParam>& info) {
+      return "n" + std::to_string(info.param.acceptors) + "f" +
+             std::to_string(info.param.f) + "e" + std::to_string(info.param.e) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// --- directed scenarios on the abstract machine --------------------------------
+
+TEST(AbstractSpec, ChosenAtRequiresFullQuorum) {
+  Spec spec(small_universe(3, 1, 0));
+  const Ballot m{1, 0, 0, RoundType::kMultiCoord};
+  spec.propose(make_write(1, "a", "v"));
+  History v(&kKeyRel);
+  v.append(make_write(1, "a", "v"));
+  // Nothing is safe at m until a quorum has joined it: Definition 4 makes
+  // every value choosable at round 0 while an all-unjoined 0-quorum exists.
+  EXPECT_FALSE(spec.start_ballot(m, History(&kKeyRel)));
+  ASSERT_TRUE(spec.join_ballot(0, m));
+  ASSERT_TRUE(spec.join_ballot(1, m));
+  ASSERT_TRUE(spec.start_ballot(m, History(&kKeyRel)));
+  ASSERT_TRUE(spec.suggest(m, {make_write(1, "a", "v")}));
+  ASSERT_TRUE(spec.classic_vote(0, m, v));
+  EXPECT_FALSE(spec.is_chosen_at(v, m));  // 1 of 3 voted; quorum is 2
+  ASSERT_TRUE(spec.classic_vote(1, m, v));
+  EXPECT_TRUE(spec.is_chosen_at(v, m));
+}
+
+TEST(AbstractSpec, ChoosableReflectsJoinedAcceptors) {
+  Spec spec(small_universe(3, 1, 0));
+  const Ballot m{1, 0, 0, RoundType::kMultiCoord};
+  const Ballot higher{3, 1, 0, RoundType::kSingleCoord};
+  History v(&kKeyRel);
+  v.append(make_write(1, "a", "v"));
+  // Nothing joined past m: everything is choosable at m.
+  EXPECT_TRUE(spec.is_choosable_at(v, m));
+  // All acceptors move past m without voting at it: nothing — not even ⊥ —
+  // remains choosable at m, while ⊥ stays choosable at round 0 (everyone
+  // voted ⊥ there by initialization).
+  for (std::size_t a = 0; a < 3; ++a) spec.join_ballot(a, higher);
+  EXPECT_FALSE(spec.is_choosable_at(v, m));
+  EXPECT_FALSE(spec.is_choosable_at(History(&kKeyRel), m));
+  EXPECT_TRUE(spec.is_choosable_at(History(&kKeyRel), Ballot::zero()));
+}
+
+TEST(AbstractSpec, SafeAtForcesChosenPrefix) {
+  Spec spec(small_universe(3, 1, 0));
+  const Ballot m{1, 0, 0, RoundType::kMultiCoord};
+  const Ballot next{3, 1, 0, RoundType::kSingleCoord};
+  spec.propose(make_write(1, "a", "v"));
+  spec.propose(make_write(2, "a", "w"));
+  History v(&kKeyRel);
+  v.append(make_write(1, "a", "v"));
+  ASSERT_TRUE(spec.join_ballot(0, m));
+  ASSERT_TRUE(spec.join_ballot(1, m));
+  ASSERT_TRUE(spec.start_ballot(m, v));
+  ASSERT_TRUE(spec.classic_vote(0, m, v));
+  ASSERT_TRUE(spec.classic_vote(1, m, v));  // v chosen at m
+  ASSERT_TRUE(spec.join_ballot(2, next));
+  ASSERT_TRUE(spec.join_ballot(1, next));
+  // A conflicting history that does not extend v is not safe at the next
+  // round; v itself is.
+  History other(&kKeyRel);
+  other.append(make_write(2, "a", "w"));
+  EXPECT_FALSE(spec.is_safe_at(other, next));
+  EXPECT_TRUE(spec.is_safe_at(v, next));
+  // And start_ballot refuses the unsafe value.
+  EXPECT_FALSE(spec.start_ballot(next, other));
+  EXPECT_TRUE(spec.start_ballot(next, v));
+}
+
+}  // namespace
+}  // namespace mcp::genpaxos

@@ -1,0 +1,251 @@
+// Property tests for the c-struct axioms CS0–CS4 (§2.3.1 of the paper),
+// exercised over randomized command universes and all three conflict
+// relations. These are the load-bearing invariants: Generalized Paxos'
+// safety proof leans on CS3 (existence of ⊓, and of ⊔ for compatible sets)
+// and CS4 (⊓ preserves common commands).
+
+#include <gtest/gtest.h>
+
+#include "cstruct/cset.hpp"
+#include "cstruct/cstruct.hpp"
+#include "cstruct/history.hpp"
+#include "cstruct/single_value.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::cstruct {
+namespace {
+
+const KeyConflict kKey;
+const AlwaysConflict kAlways;
+const NeverConflict kNever;
+
+struct AxiomParam {
+  const ConflictRelation* rel;
+  std::uint64_t seed;
+  int universe;  ///< number of distinct commands
+  int keys;      ///< key space (smaller = more conflicts)
+};
+
+std::string param_name(const testing::TestParamInfo<AxiomParam>& info) {
+  return info.param.rel->name() + "_s" + std::to_string(info.param.seed) + "_u" +
+         std::to_string(info.param.universe) + "_k" + std::to_string(info.param.keys);
+}
+
+class HistoryAxioms : public testing::TestWithParam<AxiomParam> {
+ protected:
+  Command random_command(util::Rng& rng) {
+    const auto id = static_cast<std::uint64_t>(rng.uniform(1, GetParam().universe));
+    const std::string key = "k" + std::to_string(rng.uniform(0, GetParam().keys - 1));
+    return rng.chance(0.5) ? make_write(id, key, "v") : make_read(id, key);
+  }
+
+  /// Builds a random history by appending commands (so it is always an
+  /// element of Str(Cmd) by construction — CS1).
+  History random_history(util::Rng& rng, int max_len) {
+    History h(GetParam().rel);
+    const int len = static_cast<int>(rng.uniform(0, max_len));
+    for (int i = 0; i < len; ++i) h.append(command_for(rng));
+    return h;
+  }
+
+  /// Commands must be globally consistent: one id ↔ one command.
+  Command command_for(util::Rng& rng) {
+    const Command c = random_command(rng);
+    auto [it, inserted] = universe_.try_emplace(c.id, c);
+    return it->second;
+  }
+
+  std::map<std::uint64_t, Command> universe_;
+};
+
+TEST_P(HistoryAxioms, CS0AppendStaysClosed) {
+  util::Rng rng(GetParam().seed);
+  for (int i = 0; i < 50; ++i) {
+    History h = random_history(rng, 12);
+    const Command c = command_for(rng);
+    History extended = h;
+    extended.append(c);
+    EXPECT_TRUE(extended.contains(c));
+    EXPECT_TRUE(extended.extends(h));
+  }
+}
+
+TEST_P(HistoryAxioms, CS2PartialOrder) {
+  util::Rng rng(GetParam().seed + 1);
+  for (int i = 0; i < 30; ++i) {
+    History u = random_history(rng, 10);
+    History v = random_history(rng, 10);
+    History w = random_history(rng, 10);
+    // Reflexivity.
+    EXPECT_TRUE(u.extends(u));
+    // Antisymmetry: u ⊒ v ∧ v ⊒ u ⇒ u = v.
+    if (u.extends(v) && v.extends(u)) {
+      EXPECT_EQ(u, v);
+    }
+    // Transitivity: u ⊒ v ∧ v ⊒ w ⇒ u ⊒ w.
+    if (u.extends(v) && v.extends(w)) {
+      EXPECT_TRUE(u.extends(w));
+    }
+  }
+}
+
+TEST_P(HistoryAxioms, CS3MeetIsGreatestLowerBound) {
+  util::Rng rng(GetParam().seed + 2);
+  for (int i = 0; i < 40; ++i) {
+    History v = random_history(rng, 10);
+    History w = random_history(rng, 10);
+    const History m = v.meet(w);
+    // Lower bound.
+    EXPECT_TRUE(v.extends(m)) << "meet not a prefix of v";
+    EXPECT_TRUE(w.extends(m)) << "meet not a prefix of w";
+    // Symmetry (as posets).
+    EXPECT_EQ(m, w.meet(v));
+    // Greatest: no single-command extension of m is still a lower bound.
+    for (const Command& c : v.sequence()) {
+      History m2 = m;
+      m2.append(c);
+      if (m2 == m) continue;
+      EXPECT_FALSE(v.extends(m2) && w.extends(m2))
+          << "meet is not maximal: can still add command " << c.id;
+    }
+  }
+}
+
+TEST_P(HistoryAxioms, CS3JoinIsLeastUpperBoundWhenCompatible) {
+  util::Rng rng(GetParam().seed + 3);
+  int compatible_pairs = 0;
+  for (int i = 0; i < 60; ++i) {
+    // Build compatible pairs by extending a common base with commuting-or-
+    // ordered suffixes, then check ⊔.
+    History base = random_history(rng, 6);
+    History v = base;
+    History w = base;
+    for (int j = 0; j < 4; ++j) {
+      const Command c = command_for(rng);
+      v.append(c);
+      if (rng.chance(0.5)) w.append(c);
+    }
+    if (!v.compatible(w)) continue;
+    ++compatible_pairs;
+    const History j = v.join(w);
+    EXPECT_TRUE(j.extends(v));
+    EXPECT_TRUE(j.extends(w));
+    // Least: the join contains exactly the union of the commands.
+    for (const Command& c : j.sequence()) {
+      EXPECT_TRUE(v.contains(c) || w.contains(c));
+    }
+    // Join is symmetric as a poset.
+    EXPECT_EQ(j, w.join(v));
+  }
+  EXPECT_GT(compatible_pairs, 10);
+}
+
+TEST_P(HistoryAxioms, CS3CompatibleTriple) {
+  // If {u, v, w} is compatible then u and v ⊔ w are compatible.
+  util::Rng rng(GetParam().seed + 4);
+  for (int i = 0; i < 40; ++i) {
+    History base = random_history(rng, 5);
+    History u = base, v = base, w = base;
+    for (int j = 0; j < 3; ++j) {
+      const Command c = command_for(rng);
+      if (rng.chance(0.6)) u.append(c);
+      if (rng.chance(0.6)) v.append(c);
+      if (rng.chance(0.6)) w.append(c);
+    }
+    if (!(u.compatible(v) && u.compatible(w) && v.compatible(w))) continue;
+    const History vw = v.join(w);
+    EXPECT_TRUE(u.compatible(vw))
+        << "CS3 violated: u compatible with v and w but not with v ⊔ w";
+  }
+}
+
+TEST_P(HistoryAxioms, CS4MeetPreservesCommonCommands) {
+  util::Rng rng(GetParam().seed + 5);
+  for (int i = 0; i < 60; ++i) {
+    History base = random_history(rng, 6);
+    History v = base, w = base;
+    const Command c = command_for(rng);
+    v.append(c);
+    w.append(c);
+    for (int j = 0; j < 3; ++j) {
+      const Command d = command_for(rng);
+      if (rng.chance(0.5)) v.append(d);
+      if (rng.chance(0.5)) w.append(d);
+    }
+    if (!v.compatible(w)) continue;
+    EXPECT_TRUE(v.meet(w).contains(c))
+        << "CS4 violated: common command dropped by ⊓";
+  }
+}
+
+TEST_P(HistoryAxioms, CompatibilityIsSymmetric) {
+  util::Rng rng(GetParam().seed + 6);
+  for (int i = 0; i < 80; ++i) {
+    History v = random_history(rng, 8);
+    History w = random_history(rng, 8);
+    EXPECT_EQ(v.compatible(w), w.compatible(v));
+  }
+}
+
+TEST_P(HistoryAxioms, MeetJoinIdempotent) {
+  util::Rng rng(GetParam().seed + 7);
+  for (int i = 0; i < 40; ++i) {
+    History v = random_history(rng, 8);
+    EXPECT_EQ(v.meet(v), v);
+    EXPECT_EQ(v.join(v), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistoryAxioms,
+    testing::Values(AxiomParam{&kKey, 1, 12, 3}, AxiomParam{&kKey, 2, 20, 2},
+                    AxiomParam{&kKey, 3, 8, 8}, AxiomParam{&kAlways, 4, 10, 2},
+                    AxiomParam{&kAlways, 5, 16, 1}, AxiomParam{&kNever, 6, 10, 2},
+                    AxiomParam{&kNever, 7, 16, 4}, AxiomParam{&kKey, 8, 30, 4},
+                    AxiomParam{&kKey, 9, 6, 1}, AxiomParam{&kAlways, 10, 25, 3}),
+    param_name);
+
+// --- The same lattice laws for the other two c-struct sets ------------------
+
+TEST(SingleValueAxioms, LatticeLaws) {
+  util::Rng rng(17);
+  std::vector<SingleValue> vals{SingleValue{}};
+  for (int i = 1; i <= 5; ++i) vals.push_back(SingleValue{make_write(static_cast<std::uint64_t>(i), "k", "v")});
+  for (const auto& v : vals) {
+    for (const auto& w : vals) {
+      EXPECT_EQ(v.compatible(w), w.compatible(v));
+      const SingleValue m = v.meet(w);
+      EXPECT_TRUE(v.extends(m));
+      EXPECT_TRUE(w.extends(m));
+      if (v.compatible(w)) {
+        const SingleValue j = v.join(w);
+        EXPECT_TRUE(j.extends(v));
+        EXPECT_TRUE(j.extends(w));
+      }
+    }
+  }
+}
+
+TEST(CSetAxioms, LatticeLaws) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    CSet v, w;
+    for (int i = 0; i < 8; ++i) {
+      const auto id = static_cast<std::uint64_t>(rng.uniform(1, 10));
+      if (rng.chance(0.5)) v.append(make_write(id, "k", "v"));
+      if (rng.chance(0.5)) w.append(make_write(id, "k", "v"));
+    }
+    EXPECT_TRUE(v.compatible(w));  // c-sets are always compatible
+    EXPECT_TRUE(v.extends(v.meet(w)));
+    EXPECT_TRUE(w.extends(v.meet(w)));
+    EXPECT_TRUE(v.join(w).extends(v));
+    EXPECT_TRUE(v.join(w).extends(w));
+    EXPECT_EQ(v.meet(w), w.meet(v));
+    EXPECT_EQ(v.join(w), w.join(v));
+    // Absorption: v ⊔ (v ⊓ w) = v.
+    EXPECT_EQ(v.join(v.meet(w)), v);
+  }
+}
+
+}  // namespace
+}  // namespace mcp::cstruct

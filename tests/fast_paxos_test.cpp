@@ -1,0 +1,242 @@
+// Integration tests for Fast Paxos (§2.2): 2-step fast path, collisions
+// under concurrent proposals, and all three recovery mechanisms.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fast/fast_paxos.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp::fast {
+namespace {
+
+using cstruct::make_write;
+using sim::NetworkConfig;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+struct Cluster {
+  std::unique_ptr<Simulation> sim;
+  Config config;
+  std::vector<Proposer*> proposers;
+  std::vector<Coordinator*> coordinators;
+  std::vector<Acceptor*> acceptors;
+  std::vector<Learner*> learners;
+};
+
+struct ClusterSpec {
+  int proposers = 1;
+  int coordinators = 1;
+  int acceptors = 5;
+  int learners = 2;
+  int f = 1;  // with n=5: classic quorum 4... use f=1,e=1 so both quorums = 4
+  int e = 1;
+  RecoveryMode recovery = RecoveryMode::kCoordinated;
+  std::uint64_t seed = 1;
+  NetworkConfig net{};
+  bool liveness = true;
+  Time disk_latency = 0;
+};
+
+Cluster build(const ClusterSpec& spec) {
+  Cluster c;
+  c.sim = std::make_unique<Simulation>(spec.seed, spec.net);
+  NodeId next = 0;
+  for (int i = 0; i < spec.coordinators; ++i) c.config.coordinators.push_back(next++);
+  for (int i = 0; i < spec.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < spec.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < spec.proposers; ++i) c.config.proposers.push_back(next++);
+  c.config.f = spec.f;
+  c.config.e = spec.e;
+  c.config.recovery = spec.recovery;
+  c.config.enable_liveness = spec.liveness;
+  c.config.disk_latency = spec.disk_latency;
+
+  for (int i = 0; i < spec.coordinators; ++i) {
+    c.coordinators.push_back(&c.sim->make_process<Coordinator>(c.config));
+  }
+  for (int i = 0; i < spec.acceptors; ++i) {
+    c.acceptors.push_back(&c.sim->make_process<Acceptor>(c.config));
+  }
+  for (int i = 0; i < spec.learners; ++i) {
+    c.learners.push_back(&c.sim->make_process<Learner>(c.config));
+  }
+  for (int i = 0; i < spec.proposers; ++i) {
+    c.proposers.push_back(&c.sim->make_process<Proposer>(
+        c.config, make_write(static_cast<std::uint64_t>(100 + i), "k",
+                             "v" + std::to_string(i))));
+  }
+  return c;
+}
+
+bool all_learned(const Cluster& c) {
+  for (const Learner* l : c.learners) {
+    if (!l->learned()) return false;
+  }
+  return true;
+}
+
+void expect_consistent(const Cluster& c) {
+  for (const Learner* l : c.learners) {
+    ASSERT_TRUE(l->learned());
+    EXPECT_EQ(l->value()->id, c.learners.front()->value()->id);
+  }
+}
+
+TEST(FastPaxos, RejectsInvalidQuorumConfig) {
+  ClusterSpec spec;
+  spec.f = 2;
+  spec.e = 2;  // 5 > 2·2+2 fails
+  EXPECT_THROW(build(spec), std::invalid_argument);
+}
+
+TEST(FastPaxos, DecidesWithoutContention) {
+  ClusterSpec spec;
+  spec.liveness = false;
+  Cluster c = build(spec);
+  c.sim->run_to_completion();
+  EXPECT_TRUE(all_learned(c));
+  expect_consistent(c);
+  EXPECT_EQ(c.learners[0]->value()->id, 100u);
+}
+
+TEST(FastPaxos, SteadyStateLatencyIsTwoSteps) {
+  // Phase 1 + Any message pre-executed: a proposal at t reaches the
+  // acceptors at t+1 and the learners at t+2 — the headline claim of §2.2.
+  ClusterSpec spec;
+  spec.liveness = false;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 1;
+  Cluster c = build(spec);
+  const Time kProposeAt = 10;
+  c.proposers[0]->start_delay = kProposeAt;
+  c.sim->run_to_completion();
+  ASSERT_TRUE(all_learned(c));
+  EXPECT_EQ(c.learners[0]->learned_at(), kProposeAt + 2);
+}
+
+TEST(FastPaxos, CollisionDetectedUnderSimultaneousProposals) {
+  // Two proposals racing over a jittery network split the acceptors'
+  // votes in some seeds; scan a few seeds and require that collisions do
+  // happen and are always resolved consistently.
+  int collided_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ClusterSpec spec;
+    spec.seed = seed;
+    spec.proposers = 2;
+    spec.net.min_delay = 1;
+    spec.net.max_delay = 30;
+    Cluster c = build(spec);
+    const bool ok = c.sim->run_until([&] { return all_learned(c); }, 2'000'000);
+    ASSERT_TRUE(ok) << "seed " << seed;
+    expect_consistent(c);
+    if (c.sim->metrics().counter("fast.collisions_detected") > 0) ++collided_runs;
+  }
+  EXPECT_GT(collided_runs, 0) << "collision machinery never exercised";
+}
+
+struct RecoveryParam {
+  RecoveryMode mode;
+  std::uint64_t seed;
+};
+
+class FastPaxosRecovery : public testing::TestWithParam<RecoveryParam> {};
+
+TEST_P(FastPaxosRecovery, ContentionResolvedConsistently) {
+  ClusterSpec spec;
+  spec.recovery = GetParam().mode;
+  spec.seed = GetParam().seed;
+  spec.proposers = 3;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 25;
+  Cluster c = build(spec);
+  const bool ok = c.sim->run_until([&] { return all_learned(c); }, 5'000'000);
+  ASSERT_TRUE(ok);
+  expect_consistent(c);
+  const auto id = c.learners[0]->value()->id;
+  EXPECT_GE(id, 100u);
+  EXPECT_LE(id, 102u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, FastPaxosRecovery,
+    testing::Values(RecoveryParam{RecoveryMode::kRestart, 1},
+                    RecoveryParam{RecoveryMode::kRestart, 2},
+                    RecoveryParam{RecoveryMode::kRestart, 3},
+                    RecoveryParam{RecoveryMode::kCoordinated, 4},
+                    RecoveryParam{RecoveryMode::kCoordinated, 5},
+                    RecoveryParam{RecoveryMode::kCoordinated, 6},
+                    RecoveryParam{RecoveryMode::kUncoordinated, 7},
+                    RecoveryParam{RecoveryMode::kUncoordinated, 8},
+                    RecoveryParam{RecoveryMode::kUncoordinated, 9}),
+    [](const testing::TestParamInfo<RecoveryParam>& info) {
+      const char* mode = info.param.mode == RecoveryMode::kRestart        ? "restart"
+                         : info.param.mode == RecoveryMode::kCoordinated ? "coordinated"
+                                                                          : "uncoordinated";
+      return std::string(mode) + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(FastPaxos, CollisionsCostAcceptorDiskWrites) {
+  // §4.2's key observation: every value accepted in a fast round is a disk
+  // write, even those discarded by a collision. Compare writes per decision
+  // in a contended run vs an uncontended one.
+  auto writes_per_decision = [](int proposers, std::uint64_t seed) {
+    ClusterSpec spec;
+    spec.seed = seed;
+    spec.proposers = proposers;
+    spec.net.min_delay = 1;
+    spec.net.max_delay = 30;
+    Cluster c = build(spec);
+    c.sim->run_until(
+        [&] {
+          for (const Learner* l : c.learners) {
+            if (!l->learned()) return false;
+          }
+          return true;
+        },
+        2'000'000);
+    return c.sim->metrics().counter_prefix_sum("acceptor.");
+  };
+  // Aggregate across seeds to smooth out schedule luck.
+  std::int64_t contended = 0, clean = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    contended += writes_per_decision(3, s);
+    clean += writes_per_decision(1, s + 100);
+  }
+  EXPECT_GT(contended, clean);
+}
+
+TEST(FastPaxos, LeaderlessFastPathSurvivesCoordinatorCrashAfterSetup) {
+  // Once the Any message is out, the coordinator is off the critical path:
+  // crashing it must not prevent the decision (contrast with Classic).
+  ClusterSpec spec;
+  spec.liveness = false;  // freeze round structure
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 1;
+  Cluster c = build(spec);
+  c.proposers[0]->start_delay = 10;
+  c.sim->crash_at(5, c.coordinators[0]->id());  // after phase 1 done (t≤4)
+  c.sim->run_to_completion();
+  ASSERT_TRUE(all_learned(c));
+  EXPECT_EQ(c.learners[0]->learned_at(), 12);
+}
+
+TEST(FastPaxos, AcceptorRecoveryRestoresVote) {
+  ClusterSpec spec;
+  spec.seed = 5;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 10;
+  Cluster c = build(spec);
+  Acceptor* victim = c.acceptors[0];
+  c.sim->crash_at(50, victim->id());
+  c.sim->recover_at(300, victim->id());
+  const bool ok = c.sim->run_until([&] { return all_learned(c); }, 2'000'000);
+  ASSERT_TRUE(ok);
+  expect_consistent(c);
+}
+
+}  // namespace
+}  // namespace mcp::fast

@@ -1,0 +1,184 @@
+// Differential fuzzing of the command-history operators (§3.3.1) against
+// independent reference oracles:
+//   - extends:    the logical characterization of W ⊑ H (set inclusion,
+//                 order agreement, and appended commands ordered after all
+//                 conflicting existing ones),
+//   - compatible: brute-force search for a common upper bound (A extended
+//                 by every permutation of B's extra commands),
+//   - meet:       maximality over every subset-induced common prefix.
+// Any divergence between History and these oracles is a bug in one of the
+// §3.3.1 recursions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::cstruct {
+namespace {
+
+const KeyConflict kKey;
+const AlwaysConflict kAlways;
+
+struct Oracle {
+  const ConflictRelation* rel;
+
+  bool conflicts(const Command& a, const Command& b) const {
+    return a.id != b.id && rel->conflicts(a, b);
+  }
+
+  /// Position of id in seq, or npos.
+  static std::size_t pos(const std::vector<Command>& seq, std::uint64_t id) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i].id == id) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// Reference ⊑: H extends W iff (1) W's commands ⊆ H's, (2) conflicting
+  /// pairs common to both keep their W-order in H, (3) every command of
+  /// H ∖ W follows all conflicting commands of W in H.
+  bool extends(const History& h, const History& w) const {
+    const auto& hs = h.sequence();
+    const auto& ws = w.sequence();
+    for (const Command& c : ws) {
+      if (pos(hs, c.id) == static_cast<std::size_t>(-1)) return false;
+    }
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      for (std::size_t j = i + 1; j < ws.size(); ++j) {
+        if (!conflicts(ws[i], ws[j])) continue;
+        if (pos(hs, ws[i].id) > pos(hs, ws[j].id)) return false;
+      }
+    }
+    for (const Command& c : hs) {
+      if (pos(ws, c.id) != static_cast<std::size_t>(-1)) continue;  // in W
+      for (const Command& wcmd : ws) {
+        if (conflicts(c, wcmd) && pos(hs, c.id) < pos(hs, wcmd.id)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Reference compatibility: some permutation of B ∖ A appended to A
+  /// yields a common upper bound (CS3 guarantees the lub lives in
+  /// Str(cmds(A) ∪ cmds(B)), so searching that set is complete).
+  bool compatible(const History& a, const History& b) const {
+    std::vector<Command> extra;
+    for (const Command& c : b.sequence()) {
+      if (!a.contains(c)) extra.push_back(c);
+    }
+    std::sort(extra.begin(), extra.end());
+    do {
+      History candidate = a;
+      for (const Command& c : extra) candidate.append(c);
+      if (extends(candidate, a) && extends(candidate, b)) return true;
+    } while (std::next_permutation(extra.begin(), extra.end()));
+    return false;
+  }
+};
+
+History random_history(util::Rng& rng, const ConflictRelation* rel, int max_len,
+                       int universe, int keys) {
+  History h(rel);
+  const int len = static_cast<int>(rng.uniform(0, max_len));
+  for (int i = 0; i < len; ++i) {
+    const auto id = static_cast<std::uint64_t>(rng.uniform(1, universe));
+    h.append(make_write(id, "k" + std::to_string(id % static_cast<std::uint64_t>(keys)), "v"));
+  }
+  return h;
+}
+
+struct FuzzParam {
+  const ConflictRelation* rel;
+  std::uint64_t seed;
+  int universe;
+  int keys;
+};
+
+class HistoryVsOracle : public testing::TestWithParam<FuzzParam> {};
+
+TEST_P(HistoryVsOracle, ExtendsMatchesLogicalCharacterization) {
+  const auto& p = GetParam();
+  util::Rng rng(p.seed);
+  Oracle oracle{p.rel};
+  int positives = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Mix free pairs with genuine extension pairs so both answers occur.
+    History w = random_history(rng, p.rel, 6, p.universe, p.keys);
+    History h = rng.chance(0.5) ? random_history(rng, p.rel, 8, p.universe, p.keys) : w;
+    if (rng.chance(0.6)) {
+      for (int i = 0; i < 3; ++i) {
+        const auto id = static_cast<std::uint64_t>(rng.uniform(1, p.universe));
+        h.append(make_write(id, "k" + std::to_string(id % static_cast<std::uint64_t>(p.keys)), "v"));
+      }
+    }
+    const bool expected = oracle.extends(h, w);
+    EXPECT_EQ(h.extends(w), expected)
+        << "extends mismatch (trial " << trial << ", |h|=" << h.size()
+        << ", |w|=" << w.size() << ")";
+    if (expected) ++positives;
+  }
+  EXPECT_GT(positives, 20) << "fuzz produced too few true extensions";
+}
+
+TEST_P(HistoryVsOracle, CompatibleMatchesBruteForce) {
+  const auto& p = GetParam();
+  util::Rng rng(p.seed + 1);
+  Oracle oracle{p.rel};
+  int compatible_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const History a = random_history(rng, p.rel, 5, p.universe, p.keys);
+    const History b = random_history(rng, p.rel, 5, p.universe, p.keys);
+    const bool expected = oracle.compatible(a, b);
+    EXPECT_EQ(a.compatible(b), expected)
+        << "compatible mismatch at trial " << trial;
+    if (expected) ++compatible_count;
+  }
+  EXPECT_GT(compatible_count, 10);
+}
+
+TEST_P(HistoryVsOracle, MeetIsMaximalOverSubsetPrefixes) {
+  const auto& p = GetParam();
+  util::Rng rng(p.seed + 2);
+  Oracle oracle{p.rel};
+  for (int trial = 0; trial < 80; ++trial) {
+    const History a = random_history(rng, p.rel, 5, p.universe, p.keys);
+    const History b = random_history(rng, p.rel, 5, p.universe, p.keys);
+    const History m = a.meet(b);
+    ASSERT_TRUE(oracle.extends(a, m));
+    ASSERT_TRUE(oracle.extends(b, m));
+    // Enumerate the common commands; every common prefix induced by any
+    // subset must itself be a prefix of the meet (greatestness).
+    std::vector<Command> common;
+    for (const Command& c : a.sequence()) {
+      if (b.contains(c)) common.push_back(c);
+    }
+    const std::size_t k = common.size();
+    ASSERT_LT(k, 12u);
+    for (std::size_t mask = 0; mask < (1u << k); ++mask) {
+      History candidate(p.rel);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) candidate.append(common[i]);
+      }
+      if (oracle.extends(a, candidate) && oracle.extends(b, candidate)) {
+        EXPECT_TRUE(oracle.extends(m, candidate))
+            << "meet not greatest: a lower bound is not its prefix";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, HistoryVsOracle,
+    testing::Values(FuzzParam{&kKey, 1, 8, 2}, FuzzParam{&kKey, 2, 6, 1},
+                    FuzzParam{&kKey, 3, 10, 4}, FuzzParam{&kAlways, 4, 8, 2},
+                    FuzzParam{&kAlways, 5, 6, 1}, FuzzParam{&kKey, 6, 12, 3}),
+    [](const testing::TestParamInfo<FuzzParam>& info) {
+      return info.param.rel->name() + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace mcp::cstruct

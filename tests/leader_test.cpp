@@ -1,0 +1,113 @@
+// Unit tests for the heartbeat failure detector / Ω leader oracle (§4.3's
+// liveness substrate).
+
+#include <gtest/gtest.h>
+
+#include "paxos/leader.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp::paxos {
+namespace {
+
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+/// Minimal process hosting just a failure detector.
+struct Member final : sim::Process {
+  std::unique_ptr<FailureDetector> fd;
+
+  void setup(std::vector<NodeId> group, FailureDetector::Config cfg) {
+    fd = std::make_unique<FailureDetector>(*this, std::move(group), cfg);
+  }
+  void on_start() override { fd->start(); }
+  void on_message(NodeId from, const std::any& m) override { fd->handle_message(from, m); }
+  void on_timer(int token) override { fd->handle_timer(token); }
+  void on_recover() override { fd->start(); }
+};
+
+struct Fixture {
+  Simulation sim{1};
+  std::vector<Member*> members;
+
+  explicit Fixture(int n, FailureDetector::Config cfg = {}) {
+    std::vector<NodeId> group;
+    for (int i = 0; i < n; ++i) group.push_back(i);
+    for (int i = 0; i < n; ++i) {
+      auto& m = sim.make_process<Member>();
+      m.setup(group, cfg);
+      members.push_back(&m);
+    }
+  }
+};
+
+TEST(FailureDetector, LowestIdLeadsWhenAllAlive) {
+  Fixture fx(3);
+  fx.sim.run_until(1000);
+  for (const Member* m : fx.members) {
+    EXPECT_EQ(m->fd->leader(), 0);
+    EXPECT_TRUE(m->fd->is_alive(0));
+    EXPECT_TRUE(m->fd->is_alive(2));
+  }
+}
+
+TEST(FailureDetector, CrashedLeaderIsSuspectedAndReplaced) {
+  Fixture fx(3);
+  fx.sim.run_until(500);
+  fx.sim.crash(0);
+  fx.sim.run_until(500 + 175 + 100);  // past the suspicion timeout
+  EXPECT_FALSE(fx.members[1]->fd->is_alive(0));
+  EXPECT_EQ(fx.members[1]->fd->leader(), 1);
+  EXPECT_EQ(fx.members[2]->fd->leader(), 1);
+}
+
+TEST(FailureDetector, RecoveredLeaderRegainsLeadership) {
+  Fixture fx(3);
+  fx.sim.run_until(500);
+  fx.sim.crash(0);
+  fx.sim.run_until(1000);
+  ASSERT_EQ(fx.members[1]->fd->leader(), 1);
+  fx.sim.recover(0);
+  fx.sim.run_until(2000);
+  EXPECT_EQ(fx.members[1]->fd->leader(), 0);
+  EXPECT_EQ(fx.members[2]->fd->leader(), 0);
+}
+
+TEST(FailureDetector, PartitionCausesMutualSuspicion) {
+  Fixture fx(2);
+  fx.sim.run_until(500);
+  fx.sim.network().cut_both(0, 1);
+  fx.sim.run_until(1000);
+  // Each side believes itself the lowest live member.
+  EXPECT_EQ(fx.members[0]->fd->leader(), 0);
+  EXPECT_EQ(fx.members[1]->fd->leader(), 1);
+  fx.sim.network().restore_both(0, 1);
+  fx.sim.run_until(1500);
+  EXPECT_EQ(fx.members[1]->fd->leader(), 0);
+}
+
+TEST(FailureDetector, SlowLinksWithGenerousTimeoutStayStable) {
+  sim::NetworkConfig net;
+  net.min_delay = 10;
+  net.max_delay = 40;  // < timeout (175) even with heartbeat interval 50
+  Simulation sim(3, net);
+  std::vector<NodeId> group{0, 1, 2};
+  std::vector<Member*> members;
+  for (int i = 0; i < 3; ++i) {
+    auto& m = sim.make_process<Member>();
+    m.setup(group, {});
+    members.push_back(&m);
+  }
+  sim.run_until(5000);
+  for (const Member* m : members) EXPECT_EQ(m->fd->leader(), 0);
+}
+
+TEST(FailureDetector, SelfIsAlwaysAlive) {
+  Fixture fx(1);
+  fx.sim.run_until(1000);
+  EXPECT_TRUE(fx.members[0]->fd->is_alive(0));
+  EXPECT_EQ(fx.members[0]->fd->leader(), 0);
+}
+
+}  // namespace
+}  // namespace mcp::paxos

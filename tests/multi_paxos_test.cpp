@@ -1,0 +1,218 @@
+// Integration tests for the MultiPaxos (log replication) baseline and the
+// KV state machine / workload substrate.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "classic/multi_paxos.hpp"
+#include "sim/simulation.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::classic {
+namespace {
+
+using cstruct::Command;
+using cstruct::make_read;
+using cstruct::make_write;
+using sim::NetworkConfig;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+struct Cluster {
+  std::unique_ptr<Simulation> sim;
+  MultiConfig config;
+  std::vector<MultiProposer*> proposers;
+  std::vector<MultiCoordinator*> coordinators;
+  std::vector<MultiAcceptor*> acceptors;
+  std::vector<MultiLearner*> learners;
+};
+
+struct ClusterSpec {
+  int proposers = 2;
+  int coordinators = 3;
+  int acceptors = 5;
+  int learners = 2;
+  std::uint64_t seed = 1;
+  NetworkConfig net{};
+};
+
+Cluster build(const ClusterSpec& spec) {
+  Cluster c;
+  c.sim = std::make_unique<Simulation>(spec.seed, spec.net);
+  NodeId next = 0;
+  for (int i = 0; i < spec.coordinators; ++i) c.config.coordinators.push_back(next++);
+  for (int i = 0; i < spec.acceptors; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < spec.learners; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < spec.proposers; ++i) c.config.proposers.push_back(next++);
+  c.config.f = (spec.acceptors - 1) / 2;
+  for (int i = 0; i < spec.coordinators; ++i) {
+    c.coordinators.push_back(&c.sim->make_process<MultiCoordinator>(c.config));
+  }
+  for (int i = 0; i < spec.acceptors; ++i) {
+    c.acceptors.push_back(&c.sim->make_process<MultiAcceptor>(c.config));
+  }
+  for (int i = 0; i < spec.learners; ++i) {
+    c.learners.push_back(&c.sim->make_process<MultiLearner>(c.config));
+  }
+  for (int i = 0; i < spec.proposers; ++i) {
+    c.proposers.push_back(&c.sim->make_process<MultiProposer>(c.config));
+  }
+  return c;
+}
+
+bool all_decided(const Cluster& c, std::size_t count) {
+  for (const auto* l : c.learners) {
+    if (l->decided_count() < count) return false;
+  }
+  return true;
+}
+
+void expect_same_logs(const Cluster& c) {
+  const auto& ref = c.learners.front()->log();
+  for (const auto* l : c.learners) {
+    for (const auto& [inst, cmd] : l->log()) {
+      auto it = ref.find(inst);
+      if (it != ref.end()) {
+        EXPECT_EQ(it->second.id, cmd.id) << "logs disagree at instance " << inst;
+      }
+    }
+  }
+}
+
+TEST(MultiPaxos, StreamDecidedInSubmissionOrderUnderOneLeader) {
+  ClusterSpec spec;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 1;
+  Cluster c = build(spec);
+  constexpr std::size_t kCount = 10;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    c.sim->at(static_cast<Time>(50 + 10 * i), [&, i] {
+      c.proposers[0]->propose(make_write(i + 1, "k", "v" + std::to_string(i)));
+    });
+  }
+  ASSERT_TRUE(c.sim->run_until([&] { return all_decided(c, kCount); }, 1'000'000));
+  expect_same_logs(c);
+  EXPECT_EQ(c.learners[0]->contiguous_prefix(), kCount);
+  // FIFO under a stable leader: instance order = submission order.
+  std::uint64_t expect_id = 1;
+  for (const auto& [inst, cmd] : c.learners[0]->log()) {
+    EXPECT_EQ(cmd.id, expect_id++);
+  }
+}
+
+TEST(MultiPaxos, PerCommandLatencyIsThreeSteps) {
+  ClusterSpec spec;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 1;
+  Cluster c = build(spec);
+  c.sim->at(100, [&] { c.proposers[0]->propose(make_write(1, "k", "v")); });
+  ASSERT_TRUE(c.sim->run_until([&] { return all_decided(c, 1); }, 1'000'000));
+  // Proposed at 100: propose → 2a → 2b = 3 hops.
+  EXPECT_EQ(c.sim->now(), 103);
+}
+
+TEST(MultiPaxos, LeaderFailoverMidStream) {
+  ClusterSpec spec;
+  spec.seed = 5;
+  spec.net.min_delay = 2;
+  spec.net.max_delay = 10;
+  Cluster c = build(spec);
+  constexpr std::size_t kCount = 8;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    c.sim->at(static_cast<Time>(30 + 40 * i), [&, i] {
+      c.proposers[i % 2]->propose(make_write(i + 1, "k", "v"));
+    });
+  }
+  c.sim->crash_at(120, c.coordinators[0]->id());  // leader dies mid-stream
+  ASSERT_TRUE(c.sim->run_until([&] { return all_decided(c, kCount); }, 5'000'000));
+  expect_same_logs(c);
+  EXPECT_EQ(c.learners[0]->decided_count(), kCount);
+}
+
+TEST(MultiPaxos, SurvivesMessageLoss) {
+  ClusterSpec spec;
+  spec.seed = 9;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 20;
+  spec.net.loss_probability = 0.15;
+  Cluster c = build(spec);
+  constexpr std::size_t kCount = 6;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    c.sim->at(static_cast<Time>(20 * i), [&, i] {
+      c.proposers[i % 2]->propose(make_write(i + 1, "k", "v"));
+    });
+  }
+  ASSERT_TRUE(c.sim->run_until([&] { return all_decided(c, kCount); }, 5'000'000));
+  expect_same_logs(c);
+}
+
+TEST(MultiPaxos, AcceptorRecoveryReplaysPersistedVotes) {
+  ClusterSpec spec;
+  spec.seed = 3;
+  spec.net.min_delay = 1;
+  spec.net.max_delay = 8;
+  Cluster c = build(spec);
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.sim->at(static_cast<Time>(20 * i), [&, i] {
+      c.proposers[0]->propose(make_write(i + 1, "k", "v"));
+    });
+  }
+  c.sim->crash_at(50, c.acceptors[0]->id());
+  c.sim->recover_at(500, c.acceptors[0]->id());
+  ASSERT_TRUE(c.sim->run_until([&] { return all_decided(c, 4); }, 5'000'000));
+  expect_same_logs(c);
+}
+
+}  // namespace
+}  // namespace mcp::classic
+
+namespace mcp::smr {
+namespace {
+
+using cstruct::make_read;
+using cstruct::make_write;
+
+TEST(KVStore, AppliesWritesAndReads) {
+  KVStore kv;
+  EXPECT_TRUE(kv.apply(make_write(1, "a", "x")).found);
+  EXPECT_EQ(kv.apply(make_read(2, "a")).value, "x");
+  EXPECT_FALSE(kv.apply(make_read(3, "missing")).found);
+  EXPECT_EQ(kv.applied_count(), 3u);
+}
+
+TEST(KVStore, StateEqualityIgnoresReadOrder) {
+  KVStore a, b;
+  a.apply(make_write(1, "k", "v"));
+  a.apply(make_read(2, "k"));
+  b.apply(make_read(2, "k"));
+  b.apply(make_write(1, "k", "v"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Workload, ConflictFractionShapesKeys) {
+  util::Rng rng(42);
+  Workload all_hot({200, 1.0, 0.0, 1}, rng);
+  for (const auto& c : all_hot.commands()) EXPECT_EQ(c.key, "hot");
+  Workload all_cold({200, 0.0, 0.0, 1000}, rng);
+  for (const auto& c : all_cold.commands()) EXPECT_NE(c.key, "hot");
+  Workload mixed({2000, 0.3, 0.0, 5000}, rng);
+  int hot = 0;
+  for (const auto& c : mixed.commands()) {
+    if (c.key == "hot") ++hot;
+  }
+  EXPECT_NEAR(hot / 2000.0, 0.3, 0.05);
+}
+
+TEST(Workload, IdsAreSequentialFromFirstId) {
+  util::Rng rng(7);
+  Workload w({10, 0.5, 0.5, 100}, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.commands()[i].id, 100 + i);
+  }
+}
+
+}  // namespace
+}  // namespace mcp::smr

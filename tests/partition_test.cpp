@@ -1,0 +1,200 @@
+// Network-partition tests: quorum availability and safety across splits and
+// healing, for both the consensus engine and the generalized engine. The
+// FLP-inspired ground rules: a side holding an acceptor quorum (and a live
+// coordinator quorum) may decide; the minority side must not; healing must
+// reconcile without ever contradicting a decision.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "genpaxos/engine.hpp"
+#include "multicoord/mc_consensus.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp {
+namespace {
+
+using cstruct::History;
+using cstruct::make_write;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+const cstruct::KeyConflict kKeyRel;
+
+struct McFixture {
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  multicoord::Config config;
+  std::vector<multicoord::Coordinator*> coordinators;
+  std::vector<multicoord::Acceptor*> acceptors;
+  std::vector<multicoord::Learner*> learners;
+  std::vector<multicoord::Proposer*> proposers;
+
+  explicit McFixture(std::uint64_t seed) {
+    sim::NetworkConfig net;
+    net.min_delay = 2;
+    net.max_delay = 8;
+    sim = std::make_unique<Simulation>(seed, net);
+    std::vector<NodeId> coords{0, 1, 2};
+    policy = paxos::PatternPolicy::multi_then_single(coords);
+    config.acceptors = {3, 4, 5, 6, 7};
+    config.learners = {8, 9};
+    config.proposers = {10, 11};
+    config.policy = policy.get();
+    config.f = 2;
+    config.e = 1;
+    for (int i = 0; i < 3; ++i) {
+      coordinators.push_back(&sim->make_process<multicoord::Coordinator>(config));
+    }
+    for (int i = 0; i < 5; ++i) {
+      acceptors.push_back(&sim->make_process<multicoord::Acceptor>(config));
+    }
+    for (int i = 0; i < 2; ++i) {
+      learners.push_back(&sim->make_process<multicoord::Learner>(config));
+    }
+    for (int i = 0; i < 2; ++i) {
+      proposers.push_back(&sim->make_process<multicoord::Proposer>(
+          config, make_write(static_cast<std::uint64_t>(100 + i), "k", "v")));
+    }
+  }
+
+  /// Cut every link between `island` and the rest of the world.
+  void isolate(const std::vector<NodeId>& island) {
+    for (NodeId a : island) {
+      for (NodeId b : sim->all_ids()) {
+        const bool b_inside =
+            std::find(island.begin(), island.end(), b) != island.end();
+        if (!b_inside) sim->network().cut_both(a, b);
+      }
+    }
+  }
+  void heal_all() {
+    for (NodeId a : sim->all_ids()) {
+      for (NodeId b : sim->all_ids()) sim->network().restore_both(a, b);
+    }
+  }
+};
+
+TEST(Partition, MinorityAcceptorIslandCannotDecide) {
+  McFixture fx(1);
+  // 3 of 5 acceptors (a quorum) are cut away from everything else — the
+  // remaining 2 cannot form a quorum, so nothing can be learned.
+  fx.sim->at(0, [&] { fx.isolate({3, 4, 5}); });
+  fx.sim->run_until(100'000);
+  EXPECT_FALSE(fx.learners[0]->learned());
+  EXPECT_FALSE(fx.learners[1]->learned());
+}
+
+TEST(Partition, MajoritySideDecidesDespiteIsolatedMinority) {
+  McFixture fx(2);
+  // Cut off one coordinator and two acceptors: the main side keeps a
+  // coordinator quorum (2 of 3) and an acceptor quorum (3 of 5).
+  fx.sim->at(0, [&] { fx.isolate({2, 6, 7}); });
+  const bool ok = fx.sim->run_until(
+      [&] { return fx.learners[0]->learned() && fx.learners[1]->learned(); }, 2'000'000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(fx.learners[0]->value()->id, fx.learners[1]->value()->id);
+}
+
+TEST(Partition, HealedMinorityLearnsTheSameDecision) {
+  McFixture fx(3);
+  fx.sim->at(0, [&] { fx.isolate({2, 6, 7}); });
+  ASSERT_TRUE(fx.sim->run_until([&] { return fx.learners[0]->learned(); }, 2'000'000));
+  const auto decided = fx.learners[0]->value()->id;
+  fx.sim->at(fx.sim->now() + 10, [&] { fx.heal_all(); });
+  // After healing, retransmissions bring the isolated acceptors back in
+  // sync and any new round must re-decide the same value.
+  fx.sim->at(fx.sim->now() + 50, [&] { fx.coordinators[0]->start_round(10); });
+  ASSERT_TRUE(fx.sim->run_until(
+      [&] {
+        return fx.learners[0]->learned() && fx.learners[1]->learned();
+      },
+      4'000'000));
+  EXPECT_EQ(fx.learners[0]->value()->id, decided);
+  EXPECT_EQ(fx.learners[1]->value()->id, decided);
+}
+
+TEST(Partition, FlappingLinkEventuallyDecides) {
+  McFixture fx(4);
+  // The link between the leader and the acceptors flaps several times.
+  for (int k = 0; k < 6; ++k) {
+    fx.sim->at(100 * k, [&] {
+      for (NodeId a : fx.config.acceptors) fx.sim->network().cut_both(0, a);
+    });
+    fx.sim->at(100 * k + 50, [&] {
+      for (NodeId a : fx.config.acceptors) fx.sim->network().restore_both(0, a);
+    });
+  }
+  const bool ok = fx.sim->run_until(
+      [&] { return fx.learners[0]->learned() && fx.learners[1]->learned(); }, 3'000'000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(fx.learners[0]->value()->id, fx.learners[1]->value()->id);
+}
+
+// --- generalized engine under partitions ------------------------------------------
+
+TEST(Partition, GeneralizedStreamSurvivesRollingPartitions) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::NetworkConfig net;
+    net.min_delay = 2;
+    net.max_delay = 10;
+    Simulation s(seed, net);
+    std::vector<NodeId> coords{0, 1, 2};
+    auto policy = paxos::PatternPolicy::multi_then_single(coords);
+    genpaxos::Config<History> config;
+    config.acceptors = {3, 4, 5, 6, 7};
+    config.learners = {8, 9};
+    config.proposers = {10, 11};
+    config.policy = policy.get();
+    config.f = 2;
+    config.e = 1;
+    config.bottom = History(&kKeyRel);
+    for (int i = 0; i < 3; ++i) s.make_process<genpaxos::GenCoordinator<History>>(config);
+    std::vector<genpaxos::GenAcceptor<History>*> acceptors;
+    for (int i = 0; i < 5; ++i) {
+      acceptors.push_back(&s.make_process<genpaxos::GenAcceptor<History>>(config));
+    }
+    std::vector<genpaxos::GenLearner<History>*> learners;
+    for (int i = 0; i < 2; ++i) {
+      learners.push_back(&s.make_process<genpaxos::GenLearner<History>>(config));
+    }
+    std::vector<genpaxos::GenProposer<History>*> proposers;
+    for (int i = 0; i < 2; ++i) {
+      proposers.push_back(&s.make_process<genpaxos::GenProposer<History>>(config));
+    }
+
+    constexpr std::size_t kCount = 10;
+    for (std::size_t i = 0; i < kCount; ++i) {
+      s.at(static_cast<Time>(120 * i), [&, i] {
+        proposers[i % 2]->propose(
+            make_write(i + 1, i % 2 ? "hot" : "k" + std::to_string(i), "v"));
+      });
+    }
+    // Rolling partitions: each acceptor is isolated for a 150-tick window.
+    for (int k = 0; k < 5; ++k) {
+      const NodeId victim = acceptors[static_cast<std::size_t>(k)]->id();
+      s.at(100 + 200 * k, [&s, victim] {
+        s.network().isolate(victim, s.all_ids());
+      });
+      s.at(100 + 200 * k + 150, [&s, victim] {
+        s.network().heal(victim, s.all_ids());
+      });
+    }
+    const bool ok = s.run_until(
+        [&] {
+          for (const auto* l : learners) {
+            if (l->learned().size() < kCount) return false;
+          }
+          return true;
+        },
+        30'000'000);
+    ASSERT_TRUE(ok) << "seed " << seed;
+    EXPECT_TRUE(learners[0]->learned().compatible(learners[1]->learned()));
+  }
+}
+
+}  // namespace
+}  // namespace mcp

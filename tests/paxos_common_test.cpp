@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "cstruct/history.hpp"
+#include "cstruct/single_value.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/proved_safe.hpp"
+#include "paxos/quorum.hpp"
+#include "paxos/round_config.hpp"
+
+namespace mcp::paxos {
+namespace {
+
+using cstruct::Command;
+using cstruct::History;
+using cstruct::KeyConflict;
+using cstruct::make_write;
+using cstruct::SingleValue;
+
+// --- Ballot ------------------------------------------------------------------
+
+TEST(Ballot, LexicographicOrder) {
+  const Ballot a{1, 0, 0, RoundType::kSingleCoord};
+  const Ballot b{1, 1, 0, RoundType::kSingleCoord};
+  const Ballot c{2, 0, 0, RoundType::kFast};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(Ballot::zero(), a);
+  EXPECT_EQ(a, (Ballot{1, 0, 0, RoundType::kMultiCoord}));  // type never orders
+}
+
+TEST(Ballot, IncarnationDistinguishesRecoveredCoordinator) {
+  const Ballot before{3, 2, 0, RoundType::kSingleCoord};
+  const Ballot after{3, 2, 1, RoundType::kSingleCoord};
+  EXPECT_LT(before, after);  // §4.4: recovered coordinator = fresh identity
+}
+
+TEST(Ballot, ZeroIsFloor) {
+  EXPECT_TRUE(Ballot::zero().is_zero());
+  EXPECT_FALSE((Ballot{1, 0, 0, RoundType::kFast}).is_zero());
+}
+
+TEST(Ballot, EncodeDecodeRoundTrip) {
+  const Ballot b{42, 3, 7, RoundType::kFast};
+  const Ballot back = decode_ballot(encode(b));
+  EXPECT_EQ(back, b);
+  EXPECT_EQ(back.type, RoundType::kFast);
+  EXPECT_THROW(decode_ballot("garbage"), std::invalid_argument);
+}
+
+// --- QuorumSystem -------------------------------------------------------------
+
+std::vector<sim::NodeId> ids(int n) {
+  std::vector<sim::NodeId> out;
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(QuorumSystem, ClassicAndFastSizes) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  EXPECT_EQ(qs.classic_quorum_size(), 3u);
+  EXPECT_EQ(qs.fast_quorum_size(), 4u);
+  EXPECT_TRUE(qs.meets_classic_requirement());
+  EXPECT_TRUE(qs.meets_fast_requirement());  // 5 > 2·1 + 2
+}
+
+TEST(QuorumSystem, FastRequirementRejected) {
+  const QuorumSystem qs(ids(5), 2, 2);  // 5 > 2·2+2 is false
+  EXPECT_TRUE(qs.meets_classic_requirement());
+  EXPECT_FALSE(qs.meets_fast_requirement());
+}
+
+TEST(QuorumSystem, PaperQuorumFormulas) {
+  // §2.2: with majority classic quorums, fast quorums need ⌈3n/4⌉-ish
+  // sizes; check the ceiling formula n − E with max E s.t. n > 2E + F.
+  for (int n = 3; n <= 13; ++n) {
+    const auto qs = QuorumSystem::with_max_tolerance(ids(n));
+    EXPECT_TRUE(qs.meets_fast_requirement()) << "n=" << n;
+    // Classic quorums are majorities.
+    EXPECT_EQ(qs.classic_quorum_size(), static_cast<std::size_t>(n / 2 + 1));
+    // Fast quorums must satisfy the Fast Learning Theorem bound: any two
+    // fast quorums + one classic quorum intersect.
+    EXPECT_GT(2 * qs.fast_quorum_size() + qs.classic_quorum_size(),
+              2 * static_cast<std::size_t>(n));
+  }
+}
+
+TEST(QuorumSystem, InvalidConfigsThrow) {
+  EXPECT_THROW(QuorumSystem(ids(0), 0, 0), std::invalid_argument);
+  EXPECT_THROW(QuorumSystem(ids(3), -1, 0), std::invalid_argument);
+  EXPECT_THROW(QuorumSystem(ids(3), 1, 2), std::invalid_argument);  // E > F
+  EXPECT_THROW(QuorumSystem(ids(3), 3, 0), std::invalid_argument);  // F >= n
+}
+
+TEST(QuorumSystem, ProvedSafeThreshold) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  // |Q| = n−F = 3; classic k: |Q|−F = 1 (the paper's n−2F).
+  EXPECT_EQ(qs.proved_safe_threshold(3, false), 1u);
+  // fast k: |Q|−E = 2 (n−F−E).
+  EXPECT_EQ(qs.proved_safe_threshold(3, true), 2u);
+  // A quorum small enough that a k-quorum could dodge it entirely is a
+  // configuration error.
+  EXPECT_THROW(qs.proved_safe_threshold(2, false), std::logic_error);
+}
+
+TEST(Combinations, EnumeratesAllSubsets) {
+  const auto subsets = combinations(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);  // C(5,3)
+  for (const auto& s : subsets) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_LT(s[0], s[1]);
+    EXPECT_LT(s[1], s[2]);
+  }
+  EXPECT_EQ(combinations(4, 0).size(), 1u);  // the empty subset
+  EXPECT_TRUE(combinations(3, 4).empty());
+}
+
+// --- RoundPolicy ---------------------------------------------------------------
+
+TEST(PatternPolicy, AlwaysSingleMatchesClassicPaxos) {
+  auto policy = PatternPolicy::always_single({10, 11, 12});
+  const Ballot b = policy->make_ballot(5, 11, 0);
+  EXPECT_EQ(b.type, RoundType::kSingleCoord);
+  const RoundInfo info = policy->info(b);
+  EXPECT_EQ(info.coordinators, (std::vector<sim::NodeId>{11}));
+  EXPECT_EQ(info.coord_quorum_size, 1u);
+}
+
+TEST(PatternPolicy, AlwaysMultiUsesMajorityCoordQuorums) {
+  auto policy = PatternPolicy::always_multi({10, 11, 12});
+  const Ballot b = policy->make_ballot(1, 10, 0);
+  EXPECT_EQ(b.type, RoundType::kMultiCoord);
+  const RoundInfo info = policy->info(b);
+  EXPECT_EQ(info.coordinators.size(), 3u);
+  EXPECT_EQ(info.coord_quorum_size, 2u);
+  EXPECT_TRUE(info.is_coord(11));
+  EXPECT_FALSE(info.is_coord(99));
+}
+
+TEST(PatternPolicy, MultiThenSingleLadder) {
+  auto policy = PatternPolicy::multi_then_single({10, 11, 12});
+  EXPECT_EQ(policy->type_of(1), RoundType::kMultiCoord);
+  EXPECT_EQ(policy->type_of(2), RoundType::kSingleCoord);
+  EXPECT_EQ(policy->type_of(3), RoundType::kMultiCoord);
+}
+
+TEST(PatternPolicy, FastLadders) {
+  auto coordinated = PatternPolicy::fast_then_single({10});
+  EXPECT_EQ(coordinated->type_of(1), RoundType::kFast);
+  EXPECT_EQ(coordinated->type_of(2), RoundType::kSingleCoord);
+  auto uncoordinated = PatternPolicy::always_fast({10});
+  EXPECT_EQ(uncoordinated->type_of(1), RoundType::kFast);
+  EXPECT_EQ(uncoordinated->type_of(2), RoundType::kFast);
+}
+
+TEST(PatternPolicy, RejectsNonIntersectingCoordQuorums) {
+  EXPECT_THROW(PatternPolicy({RoundType::kMultiCoord}, {1, 2, 3, 4}, 2),
+               std::invalid_argument);
+}
+
+// --- pick_single_value (Classic/Fast picking rule, §2.1–2.2) -------------------
+
+Command cmd(std::uint64_t id) { return make_write(id, "k", "v"); }
+
+TEST(PickSingleValue, FreeWhenNoVotes) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  std::vector<SingleVoteReport<Command>> reports;
+  for (int a = 0; a < 3; ++a) {
+    reports.push_back({a, Ballot::zero(), std::nullopt});
+  }
+  EXPECT_FALSE(pick_single_value(qs, reports).has_value());
+}
+
+TEST(PickSingleValue, ClassicVoteForces) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k{3, 0, 0, RoundType::kSingleCoord};
+  std::vector<SingleVoteReport<Command>> reports{
+      {0, k, cmd(7)},
+      {1, Ballot::zero(), std::nullopt},
+      {2, Ballot::zero(), std::nullopt},
+  };
+  const auto picked = pick_single_value(qs, reports);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 7u);
+}
+
+TEST(PickSingleValue, HighestRoundWins) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k1{1, 0, 0, RoundType::kSingleCoord};
+  const Ballot k2{2, 0, 0, RoundType::kSingleCoord};
+  std::vector<SingleVoteReport<Command>> reports{
+      {0, k1, cmd(1)},
+      {1, k2, cmd(2)},
+      {2, k1, cmd(1)},
+  };
+  const auto picked = pick_single_value(qs, reports);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 2u);
+}
+
+TEST(PickSingleValue, FastCase1NoValueChoosable) {
+  // §2.2 case 1: votes at fast k too scattered for any k-quorum — free.
+  const QuorumSystem qs(ids(5), 2, 1);  // |Q|=3, fast threshold = 2
+  const Ballot k{1, 0, 0, RoundType::kFast};
+  std::vector<SingleVoteReport<Command>> reports{
+      {0, k, cmd(1)},
+      {1, k, cmd(2)},
+      {2, k, cmd(3)},
+  };
+  EXPECT_FALSE(pick_single_value(qs, reports).has_value());
+}
+
+TEST(PickSingleValue, FastCase2OneValueChoosable) {
+  // §2.2 case 2: exactly one value v with enough support that some fast
+  // quorum might have chosen it — v is forced.
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k{1, 0, 0, RoundType::kFast};
+  std::vector<SingleVoteReport<Command>> reports{
+      {0, k, cmd(1)},
+      {1, k, cmd(1)},
+      {2, k, cmd(3)},
+  };
+  const auto picked = pick_single_value(qs, reports);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 1u);
+}
+
+TEST(PickSingleValue, FastCase3ImpossibleUnderAssumption2) {
+  // §2.2 case 3: two values each with a possible quorum would need
+  // |Q| ≥ 2·threshold; with a valid configuration the rule throws if fed
+  // such an (impossible) report set.
+  const QuorumSystem qs(ids(8), 3, 2);  // |Q|=5, fast threshold=3
+  const Ballot k{1, 0, 0, RoundType::kFast};
+  std::vector<SingleVoteReport<Command>> reports{
+      {0, k, cmd(1)}, {1, k, cmd(1)}, {2, k, cmd(1)},
+      {3, k, cmd(2)}, {4, k, cmd(2)},
+  };
+  const auto picked = pick_single_value(qs, reports);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 1u);  // only cmd(1) reaches the threshold
+}
+
+// --- proved_safe on c-structs (Definition 1 / §3.3.2) ---------------------------
+
+const KeyConflict kKeyRel;
+
+History hist(std::initializer_list<Command> cmds) {
+  History h(&kKeyRel);
+  for (const auto& c : cmds) h.append(c);
+  return h;
+}
+
+TEST(ProvedSafe, BottomEverywherePicksBottom) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  std::vector<VoteReport<History>> reports;
+  for (int a = 0; a < 3; ++a) reports.push_back({a, Ballot::zero(), History(&kKeyRel)});
+  const auto safe = proved_safe(qs, reports);
+  ASSERT_EQ(safe.size(), 1u);
+  EXPECT_TRUE(safe[0].empty());
+}
+
+TEST(ProvedSafe, QuorumIncompleteReturnsAllKVals) {
+  // |kacceptors| below the threshold: nothing chosen at k, any reported
+  // value at k is pickable.
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k{2, 0, 0, RoundType::kFast};  // fast threshold = 2
+  std::vector<VoteReport<History>> reports{
+      {0, k, hist({cmd(1)})},
+      {1, Ballot::zero(), History(&kKeyRel)},
+      {2, Ballot::zero(), History(&kKeyRel)},
+  };
+  const auto safe = proved_safe(qs, reports);
+  ASSERT_EQ(safe.size(), 1u);
+  EXPECT_TRUE(safe[0].contains(cmd(1)));
+}
+
+TEST(ProvedSafe, LubOfGlbsOnDivergentFastVotes) {
+  // Two acceptors extended a common prefix differently (commuting tails):
+  // the pick must extend the glb of every possible quorum intersection, so
+  // it equals the lub of those glbs and contains all three commands.
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k{2, 0, 0, RoundType::kFast};
+  const Command base = make_write(1, "x", "v");
+  const Command left = make_write(2, "a", "v");
+  const Command right = make_write(3, "b", "v");
+  std::vector<VoteReport<History>> reports{
+      {0, k, hist({base, left})},
+      {1, k, hist({base, right})},
+      {2, k, hist({base})},
+  };
+  const auto safe = proved_safe(qs, reports);
+  ASSERT_EQ(safe.size(), 1u);
+  // Threshold 2: the pairwise glbs are {base,left}⊓{base,right} = {base},
+  // {base,left}⊓{base} = {base}, ... lub = must contain base at least; and
+  // since the 2-subsets {0,1},{0,2},{1,2} all reduce to {base}, the safe
+  // value is exactly {base}.
+  EXPECT_TRUE(safe[0].contains(base));
+  EXPECT_EQ(safe[0].size(), 1u);
+}
+
+TEST(ProvedSafe, FullAgreementPicksTheValue) {
+  const QuorumSystem qs(ids(5), 2, 1);
+  const Ballot k{2, 0, 0, RoundType::kMultiCoord};
+  const auto v = hist({cmd(1), cmd(2)});
+  std::vector<VoteReport<History>> reports{{0, k, v}, {1, k, v}, {2, k, v}};
+  const auto safe = proved_safe(qs, reports);
+  ASSERT_EQ(safe.size(), 1u);
+  EXPECT_EQ(safe[0], v);
+}
+
+TEST(ProvedSafe, ClassicKeepsLongestChosenPrefix) {
+  // Classic k with majority quorums: threshold = |Q|−F = 1, so every
+  // reported value bounds a possible quorum; the pick is the lub of all
+  // their glbs.
+  const QuorumSystem qs(ids(3), 1, 1);
+  const Ballot k{2, 0, 0, RoundType::kMultiCoord};
+  const Command a = make_write(1, "x", "v");
+  const Command b = make_write(2, "y", "v");
+  std::vector<VoteReport<History>> reports{
+      {0, k, hist({a, b})},
+      {1, k, hist({a})},
+  };
+  const auto safe = proved_safe(qs, reports);
+  ASSERT_EQ(safe.size(), 1u);
+  EXPECT_TRUE(safe[0].contains(a));
+  EXPECT_TRUE(safe[0].contains(b));  // lub of {a,b} and {a}
+}
+
+TEST(ProvedSafe, EmptyQuorumRejected) {
+  const QuorumSystem qs(ids(3), 1, 1);
+  EXPECT_THROW(proved_safe(qs, std::vector<VoteReport<History>>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcp::paxos

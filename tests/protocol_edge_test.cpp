@@ -1,0 +1,207 @@
+// Directed edge-case tests across the protocol engines: the §4.4
+// sentinel-recovery nack path (a recovered acceptor forces rounds above its
+// persisted block), duplicate-heavy networks, and zero-size corner cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "classic/classic_paxos.hpp"
+#include "genpaxos/engine.hpp"
+#include "multicoord/mc_consensus.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp {
+namespace {
+
+using cstruct::History;
+using cstruct::make_write;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+const cstruct::KeyConflict kKeyRel;
+
+struct GenFixture {
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  genpaxos::Config<History> config;
+  std::vector<genpaxos::GenCoordinator<History>*> coordinators;
+  std::vector<genpaxos::GenAcceptor<History>*> acceptors;
+  std::vector<genpaxos::GenLearner<History>*> learners;
+  std::vector<genpaxos::GenProposer<History>*> proposers;
+
+  GenFixture(std::uint64_t seed, sim::NetworkConfig net, std::int64_t rnd_block = 8) {
+    sim = std::make_unique<Simulation>(seed, net);
+    std::vector<NodeId> coords{0, 1, 2};
+    policy = paxos::PatternPolicy::multi_then_single(coords);
+    config.acceptors = {3, 4, 5, 6, 7};
+    config.learners = {8, 9};
+    config.proposers = {10, 11};
+    config.policy = policy.get();
+    config.f = 2;
+    config.e = 1;
+    config.bottom = History(&kKeyRel);
+    config.rnd_block = rnd_block;
+    for (int i = 0; i < 3; ++i) {
+      coordinators.push_back(&sim->make_process<genpaxos::GenCoordinator<History>>(config));
+    }
+    for (int i = 0; i < 5; ++i) {
+      acceptors.push_back(&sim->make_process<genpaxos::GenAcceptor<History>>(config));
+    }
+    for (int i = 0; i < 2; ++i) {
+      learners.push_back(&sim->make_process<genpaxos::GenLearner<History>>(config));
+    }
+    for (int i = 0; i < 2; ++i) {
+      proposers.push_back(&sim->make_process<genpaxos::GenProposer<History>>(config));
+    }
+  }
+
+  bool all_learned(std::size_t n) const {
+    for (const auto* l : learners) {
+      if (l->learned().size() < n) return false;
+    }
+    return true;
+  }
+};
+
+TEST(ProtocolEdge, SentinelRecoveryForcesHigherRoundsViaNacks) {
+  // §4.4: with volatile rnd, a recovered acceptor restores rnd to the top
+  // of its persisted block — strictly above everything it promised. When a
+  // quorum depends on recovered acceptors, coordinators must learn the new
+  // floor through nacks and mint higher rounds.
+  sim::NetworkConfig net;
+  net.min_delay = 2;
+  net.max_delay = 8;
+  GenFixture fx(3, net, /*rnd_block=*/8);
+  fx.sim->at(0, [&] { fx.proposers[0]->propose(make_write(1, "a", "v")); });
+  ASSERT_TRUE(fx.sim->run_until([&] { return fx.all_learned(1); }, 1'000'000));
+
+  // Take down 3 of 5 acceptors (no quorum without them); after recovery
+  // every quorum contains at least one sentinel-rnd acceptor.
+  fx.sim->crash(fx.acceptors[0]->id());
+  fx.sim->crash(fx.acceptors[1]->id());
+  fx.sim->crash(fx.acceptors[2]->id());
+  fx.sim->at(fx.sim->now() + 100, [&] {
+    fx.sim->recover(fx.acceptors[0]->id());
+    fx.sim->recover(fx.acceptors[1]->id());
+    fx.sim->recover(fx.acceptors[2]->id());
+  });
+  fx.sim->at(fx.sim->now() + 150, [&] { fx.proposers[1]->propose(make_write(2, "b", "v")); });
+  ASSERT_TRUE(fx.sim->run_until([&] { return fx.all_learned(2); }, 5'000'000));
+
+  // The recovered acceptors' sentinel is the next block boundary; progress
+  // past it proves the nack path ran.
+  EXPECT_GE(fx.acceptors[0]->rnd().count, 8);
+  EXPECT_GE(fx.acceptors[0]->vrnd().count, 8);
+  EXPECT_TRUE(fx.learners[0]->learned().compatible(fx.learners[1]->learned()));
+}
+
+TEST(ProtocolEdge, FullDuplicationIsHarmless) {
+  // Every message delivered twice: dedup/idempotence must hold everywhere.
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 10;
+  net.duplication_probability = 1.0;
+  GenFixture fx(5, net);
+  for (std::size_t i = 0; i < 8; ++i) {
+    fx.sim->at(static_cast<Time>(10 * i), [&, i] {
+      fx.proposers[i % 2]->propose(make_write(i + 1, i % 2 ? "hot" : "k" + std::to_string(i), "v"));
+    });
+  }
+  ASSERT_TRUE(fx.sim->run_until([&] { return fx.all_learned(8); }, 10'000'000));
+  EXPECT_TRUE(fx.learners[0]->learned().compatible(fx.learners[1]->learned()));
+  EXPECT_EQ(fx.learners[0]->learned().size(), 8u);
+}
+
+TEST(ProtocolEdge, ClassicFullDuplicationDecidesOnce) {
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 10;
+  net.duplication_probability = 1.0;
+  Simulation s(9, net);
+  classic::Config config;
+  NodeId next = 0;
+  for (int i = 0; i < 3; ++i) config.coordinators.push_back(next++);
+  for (int i = 0; i < 5; ++i) config.acceptors.push_back(next++);
+  for (int i = 0; i < 2; ++i) config.learners.push_back(next++);
+  for (int i = 0; i < 2; ++i) config.proposers.push_back(next++);
+  config.f = 2;
+  std::vector<classic::Learner*> learners;
+  for (int i = 0; i < 3; ++i) s.make_process<classic::Coordinator>(config);
+  for (int i = 0; i < 5; ++i) s.make_process<classic::Acceptor>(config);
+  for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<classic::Learner>(config));
+  for (int i = 0; i < 2; ++i) {
+    s.make_process<classic::Proposer>(config,
+                                      make_write(static_cast<std::uint64_t>(100 + i), "k", "v"));
+  }
+  ASSERT_TRUE(s.run_until(
+      [&] { return learners[0]->learned() && learners[1]->learned(); }, 2'000'000));
+  EXPECT_EQ(learners[0]->value()->id, learners[1]->value()->id);
+  EXPECT_EQ(s.metrics().counter("classic.decisions"), 2);  // one per learner
+}
+
+TEST(ProtocolEdge, EmptyWorkloadStaysQuiet) {
+  // No proposals: the engine may run phase 1 but must learn nothing and
+  // write no votes beyond round joins.
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 5;
+  GenFixture fx(1, net);
+  fx.sim->run_until(5'000);
+  EXPECT_EQ(fx.learners[0]->learned().size(), 0u);
+  for (const auto* a : fx.acceptors) {
+    EXPECT_EQ(a->vval().size(), 0u);
+  }
+}
+
+TEST(ProtocolEdge, DuplicateProposalIsLearnedOnce) {
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 8;
+  GenFixture fx(2, net);
+  const auto cmd = make_write(7, "k", "v");
+  // The same command proposed by both proposers, several times.
+  for (int rep = 0; rep < 3; ++rep) {
+    fx.sim->at(10 * rep, [&] { fx.proposers[0]->propose(cmd); });
+    fx.sim->at(10 * rep + 5, [&] { fx.proposers[1]->propose(cmd); });
+  }
+  ASSERT_TRUE(fx.sim->run_until([&] { return fx.all_learned(1); }, 1'000'000));
+  fx.sim->run_until(fx.sim->now() + 2'000);
+  EXPECT_EQ(fx.learners[0]->learned().size(), 1u);  // contained exactly once
+}
+
+TEST(ProtocolEdge, McConsensusDuplicationAndLossMix) {
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 15;
+  net.duplication_probability = 0.4;
+  net.loss_probability = 0.15;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulation s(seed, net);
+    std::vector<NodeId> coords{0, 1, 2};
+    auto policy = paxos::PatternPolicy::multi_then_single(coords);
+    multicoord::Config config;
+    config.acceptors = {3, 4, 5, 6, 7};
+    config.learners = {8, 9};
+    config.proposers = {10, 11};
+    config.policy = policy.get();
+    config.f = 2;
+    config.e = 1;
+    std::vector<multicoord::Learner*> learners;
+    for (int i = 0; i < 3; ++i) s.make_process<multicoord::Coordinator>(config);
+    for (int i = 0; i < 5; ++i) s.make_process<multicoord::Acceptor>(config);
+    for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<multicoord::Learner>(config));
+    for (int i = 0; i < 2; ++i) {
+      s.make_process<multicoord::Proposer>(
+          config, make_write(static_cast<std::uint64_t>(100 + i), "k", "v"));
+    }
+    ASSERT_TRUE(s.run_until(
+        [&] { return learners[0]->learned() && learners[1]->learned(); }, 5'000'000))
+        << "seed " << seed;
+    EXPECT_EQ(learners[0]->value()->id, learners[1]->value()->id);
+  }
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,144 @@
+// Tests for the §4.5 round-structure policies: clustered fast ranges and
+// the gradually shrinking multicoordinated ladder, plus end-to-end runs of
+// the generalized engine under both.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "genpaxos/engine.hpp"
+#include "paxos/round_config.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::paxos {
+namespace {
+
+TEST(ClusteredPolicy, FastRangesWithSingleRecoveryRounds) {
+  auto policy = PatternPolicy::clustered({10, 11, 12}, 3);
+  EXPECT_EQ(policy->type_of(1), RoundType::kFast);
+  EXPECT_EQ(policy->type_of(2), RoundType::kFast);
+  EXPECT_EQ(policy->type_of(3), RoundType::kFast);
+  EXPECT_EQ(policy->type_of(4), RoundType::kSingleCoord);
+  EXPECT_EQ(policy->type_of(5), RoundType::kFast);
+  EXPECT_EQ(policy->type_of(8), RoundType::kSingleCoord);
+  EXPECT_THROW(PatternPolicy::clustered({10}, 0), std::invalid_argument);
+}
+
+TEST(ShrinkingMultiPolicy, WidthDecreasesToSingle) {
+  ShrinkingMultiPolicy policy({10, 11, 12, 13, 14}, 2);
+  EXPECT_EQ(policy.width_of(1), 5u);
+  EXPECT_EQ(policy.width_of(2), 3u);
+  EXPECT_EQ(policy.width_of(3), 1u);
+  EXPECT_EQ(policy.width_of(100), 1u);
+
+  const Ballot round1 = policy.make_ballot(1, 10, 0);
+  EXPECT_EQ(round1.type, RoundType::kMultiCoord);
+  const RoundInfo info1 = policy.info(round1);
+  EXPECT_EQ(info1.coordinators.size(), 5u);
+  EXPECT_EQ(info1.coord_quorum_size, 3u);
+
+  const Ballot round2 = policy.make_ballot(2, 11, 0);
+  const RoundInfo info2 = policy.info(round2);
+  EXPECT_EQ(info2.coordinators.size(), 3u);
+  EXPECT_EQ(info2.coord_quorum_size, 2u);
+
+  const Ballot round3 = policy.make_ballot(3, 11, 0);
+  EXPECT_EQ(round3.type, RoundType::kSingleCoord);
+  const RoundInfo info3 = policy.info(round3);
+  EXPECT_EQ(info3.coordinators, (std::vector<sim::NodeId>{11}));  // initiator owns it
+}
+
+TEST(ShrinkingMultiPolicy, QuorumsAlwaysIntersect) {
+  // Assumption 3 must hold at every width the ladder passes through.
+  ShrinkingMultiPolicy policy({0, 1, 2, 3, 4, 5, 6}, 1);
+  for (std::int64_t count = 1; count <= 8; ++count) {
+    const RoundInfo info = policy.info(policy.make_ballot(count, 0, 0));
+    EXPECT_GT(2 * info.coord_quorum_size, info.coordinators.size())
+        << "round " << count;
+  }
+}
+
+TEST(ShrinkingMultiPolicy, RejectsBadArguments) {
+  EXPECT_THROW(ShrinkingMultiPolicy({}, 1), std::invalid_argument);
+  EXPECT_THROW(ShrinkingMultiPolicy({0, 1}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcp::paxos
+
+namespace mcp::genpaxos {
+namespace {
+
+using cstruct::History;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+const cstruct::KeyConflict kKeyRel;
+
+template <typename MakePolicy>
+bool run_policy(MakePolicy&& make_policy, std::uint64_t seed, double conflict,
+                std::size_t commands, int f = 2, int e = 1) {
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 20;
+  Simulation s(seed, net);
+  std::vector<NodeId> coords{0, 1, 2};
+  auto policy = make_policy(coords);
+  Config<History> config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8, 9};
+  config.proposers = {10, 11};
+  config.policy = policy.get();
+  config.f = f;
+  config.e = e;
+  config.bottom = History(&kKeyRel);
+  for (int i = 0; i < 3; ++i) s.make_process<GenCoordinator<History>>(config);
+  for (int i = 0; i < 5; ++i) s.make_process<GenAcceptor<History>>(config);
+  std::vector<GenLearner<History>*> learners;
+  for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<GenLearner<History>>(config));
+  std::vector<GenProposer<History>*> proposers;
+  for (int i = 0; i < 2; ++i) proposers.push_back(&s.make_process<GenProposer<History>>(config));
+
+  util::Rng wl_rng(seed * 57);
+  smr::Workload workload({commands, conflict, 0.0, 1}, wl_rng);
+  for (std::size_t i = 0; i < workload.commands().size(); ++i) {
+    s.at(static_cast<Time>(5 * i), [&, i] {
+      proposers[i % 2]->propose(workload.commands()[i]);
+    });
+  }
+  return s.run_until(
+      [&] {
+        for (const auto* l : learners) {
+          if (l->learned().size() < commands) return false;
+        }
+        return true;
+      },
+      30'000'000);
+}
+
+class PolicyLiveness : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyLiveness, ClusteredPolicyConvergesUnderConflicts) {
+  EXPECT_TRUE(run_policy(
+      [](std::vector<NodeId> coords) {
+        return paxos::PatternPolicy::clustered(std::move(coords), 2);
+      },
+      GetParam(), 0.6, 12, /*f=*/1, /*e=*/1));
+}
+
+TEST_P(PolicyLiveness, ShrinkingPolicyConvergesUnderConflicts) {
+  EXPECT_TRUE(run_policy(
+      [](std::vector<NodeId> coords) {
+        return std::make_unique<paxos::ShrinkingMultiPolicy>(std::move(coords), 1);
+      },
+      GetParam(), 0.6, 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyLiveness, testing::Range<std::uint64_t>(1, 6),
+                         [](const testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mcp::genpaxos

@@ -1,0 +1,165 @@
+// Edge-case tests for the simulator substrate: self-message semantics,
+// post-sync sends, event ordering under re-entrant scheduling, metrics
+// plumbing, and process lifecycle corner cases.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace mcp::sim {
+namespace {
+
+struct Recorder final : Process {
+  std::vector<std::pair<Time, std::string>> events;
+  void on_message(NodeId, const std::any& m) override {
+    events.emplace_back(now(), std::any_cast<std::string>(m));
+  }
+};
+
+TEST(SimEdge, SelfMessageDeliveredSameInstantButAsync) {
+  Simulation s(1);
+  auto& p = s.make_process<Recorder>();
+  bool sent_after = false;
+  s.at(5, [&] {
+    p.send(p.id(), std::string("self"));
+    sent_after = true;  // runs before delivery (asynchrony preserved)
+  });
+  s.run_to_completion();
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_EQ(p.events[0].first, 5);
+  EXPECT_TRUE(sent_after);
+}
+
+TEST(SimEdge, DelaySelfMessagesFlag) {
+  NetworkConfig net;
+  net.min_delay = 10;
+  net.max_delay = 10;
+  net.delay_self_messages = true;
+  Simulation s(1, net);
+  auto& p = s.make_process<Recorder>();
+  s.at(0, [&] { p.send(p.id(), std::string("late self")); });
+  s.run_to_completion();
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_EQ(p.events[0].first, 10);
+}
+
+TEST(SimEdge, SendAfterSyncAddsLatency) {
+  NetworkConfig net;
+  net.min_delay = 3;
+  net.max_delay = 3;
+  Simulation s(1, net);
+  auto& a = s.make_process<Recorder>();
+  auto& b = s.make_process<Recorder>();
+  s.at(0, [&] { a.send_after_sync(b.id(), std::string("synced"), 20); });
+  s.run_to_completion();
+  ASSERT_EQ(b.events.size(), 1u);
+  EXPECT_EQ(b.events[0].first, 23);  // 20 disk + 3 network
+}
+
+TEST(SimEdge, EventsScheduledDuringRunAreHonored) {
+  Simulation s(1);
+  std::vector<int> order;
+  s.at(10, [&] {
+    order.push_back(1);
+    s.at(10, [&] { order.push_back(2); });  // same instant, scheduled inside
+    s.at(15, [&] { order.push_back(3); });
+  });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEdge, SchedulingInThePastThrows) {
+  Simulation s(1);
+  s.at(10, [&] {
+    EXPECT_THROW(s.at(5, [] {}), std::invalid_argument);
+  });
+  s.run_to_completion();
+}
+
+TEST(SimEdge, RecoverIsIdempotentAndCrashTwiceSafe) {
+  Simulation s(1);
+  auto& p = s.make_process<Recorder>();
+  s.crash(p.id());
+  s.crash(p.id());  // no-op
+  EXPECT_TRUE(p.crashed());
+  s.recover(p.id());
+  s.recover(p.id());  // no-op
+  EXPECT_FALSE(p.crashed());
+  EXPECT_EQ(p.incarnation(), 1);
+  EXPECT_EQ(s.metrics().counter("sim.crashes"), 1);
+  EXPECT_EQ(s.metrics().counter("sim.recoveries"), 1);
+}
+
+TEST(SimEdge, MessageToUnknownDestinationThrows) {
+  Simulation s(1);
+  auto& p = s.make_process<Recorder>();
+  s.at(0, [&] { EXPECT_THROW(p.send(99, std::string("x")), std::out_of_range); });
+  s.run_to_completion();
+}
+
+TEST(SimEdge, ProcessesAddedMidRunAreStarted) {
+  Simulation s(1);
+  auto& a = s.make_process<Recorder>();
+  Recorder* late = nullptr;
+  s.at(50, [&] { late = &s.make_process<Recorder>(); });
+  s.at(60, [&] { a.send(late->id(), std::string("hi")); });
+  s.run_to_completion();
+  ASSERT_NE(late, nullptr);
+  ASSERT_EQ(late->events.size(), 1u);
+}
+
+TEST(SimEdge, RunUntilDeadlineStopsClockAtDeadline) {
+  Simulation s(1);
+  auto& p = s.make_process<Recorder>();
+  s.at(100, [&] { p.send(p.id(), std::string("beyond")); });
+  const Time stopped = s.run_until(50);
+  EXPECT_EQ(stopped, 50);
+  EXPECT_TRUE(p.events.empty());
+  s.run_until(200);
+  EXPECT_EQ(p.events.size(), 1u);
+}
+
+TEST(SimEdge, PerNodeDeliveryCountersTrack) {
+  Simulation s(1);
+  auto& a = s.make_process<Recorder>();
+  auto& b = s.make_process<Recorder>();
+  s.at(0, [&] {
+    a.send(b.id(), std::string("1"));
+    a.send(b.id(), std::string("2"));
+    b.send(a.id(), std::string("3"));
+  });
+  s.run_to_completion();
+  EXPECT_EQ(s.metrics().counter("node." + std::to_string(b.id()) + ".delivered"), 2);
+  EXPECT_EQ(s.metrics().counter("node." + std::to_string(a.id()) + ".delivered"), 1);
+  EXPECT_EQ(s.metrics().counter("net.sent"), 3);
+  EXPECT_EQ(s.metrics().counter("net.delivered"), 3);
+}
+
+TEST(SimEdge, LossAndDupCountersConsistent) {
+  NetworkConfig net;
+  net.loss_probability = 0.5;
+  net.duplication_probability = 0.3;
+  Simulation s(7, net);
+  auto& a = s.make_process<Recorder>();
+  auto& b = s.make_process<Recorder>();
+  constexpr int kSends = 2000;
+  s.at(0, [&] {
+    for (int i = 0; i < kSends; ++i) a.send(b.id(), std::string("m"));
+  });
+  s.run_to_completion();
+  const auto lost = s.metrics().counter("net.lost");
+  const auto dup = s.metrics().counter("net.duplicated");
+  const auto delivered = s.metrics().counter("net.delivered");
+  EXPECT_EQ(delivered, kSends - lost + dup);
+  // "lost" counts messages with *no* delivered copy: P = 0.5 · (1 − 0.3);
+  // "duplicated" counts second copies next to a delivered primary:
+  // P = (1 − 0.5) · 0.3.
+  EXPECT_NEAR(static_cast<double>(lost) / kSends, 0.35, 0.04);
+  EXPECT_NEAR(static_cast<double>(dup) / kSends, 0.15, 0.04);
+}
+
+}  // namespace
+}  // namespace mcp::sim

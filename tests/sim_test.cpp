@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace mcp::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  Time now = 0;
+  while (!q.empty()) q.run_next(now);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(now, 30);
+}
+
+TEST(EventQueue, StableAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  Time now = 0;
+  while (!q.empty()) q.run_next(now);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1, [] {}), std::invalid_argument);
+}
+
+struct Echo final : Process {
+  std::vector<std::string> received;
+  NodeId peer = kNoNode;
+  bool reply = false;
+
+  void on_message(NodeId from, const std::any& msg) override {
+    received.push_back(std::any_cast<std::string>(msg));
+    if (reply) send(from, std::string("ack"));
+  }
+};
+
+TEST(Simulation, DeliversMessages) {
+  Simulation s(1);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  b.reply = true;
+  s.at(0, [&] { a.send(b.id(), std::string("hello")); });
+  s.run_to_completion();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0], "hello");
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0], "ack");
+}
+
+TEST(Simulation, UnitDelayMeansOneTickPerHop) {
+  NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 1;
+  Simulation s(1, net);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  b.reply = true;
+  s.at(0, [&] { a.send(b.id(), std::string("x")); });
+  s.run_to_completion();
+  EXPECT_EQ(s.now(), 2);  // one hop there, one hop back
+}
+
+TEST(Simulation, CrashedProcessReceivesNothing) {
+  Simulation s(1);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  s.at(0, [&] { s.crash(b.id()); });
+  s.at(1, [&] { a.send(b.id(), std::string("lost")); });
+  s.run_to_completion();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(s.metrics().counter("net.dropped_at_crashed"), 1);
+}
+
+struct TimerProc final : Process {
+  std::vector<int> fired;
+  int cancel_handle = 0;
+
+  void on_start() override {
+    set_timer(10, 1);
+    cancel_handle = set_timer(20, 2);
+    set_timer(30, 3);
+  }
+  void on_message(NodeId, const std::any&) override {}
+  void on_timer(int token) override {
+    fired.push_back(token);
+    if (token == 1) cancel_timer(cancel_handle);
+  }
+};
+
+TEST(Simulation, TimersFireAndCancel) {
+  Simulation s(1);
+  auto& p = s.make_process<TimerProc>();
+  s.run_to_completion();
+  EXPECT_EQ(p.fired, (std::vector<int>{1, 3}));  // 2 was cancelled
+}
+
+struct RecoverProc final : Process {
+  int recoveries = 0;
+  void on_message(NodeId, const std::any&) override {}
+  void on_timer(int) override { ADD_FAILURE() << "stale timer fired after crash"; }
+  void on_start() override { set_timer(100, 1); }
+  void on_recover() override { ++recoveries; }
+};
+
+TEST(Simulation, CrashCancelsTimersAndRecoverBumpsIncarnation) {
+  Simulation s(1);
+  auto& p = s.make_process<RecoverProc>();
+  s.crash_at(50, p.id());
+  s.recover_at(200, p.id());
+  s.run_until(1000);
+  EXPECT_EQ(p.recoveries, 1);
+  EXPECT_EQ(p.incarnation(), 1);
+  EXPECT_FALSE(p.crashed());
+}
+
+TEST(Simulation, MessageLossIsApplied) {
+  NetworkConfig net;
+  net.loss_probability = 1.0;
+  Simulation s(1, net);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  s.at(0, [&] { a.send(b.id(), std::string("gone")); });
+  s.run_to_completion();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(s.metrics().counter("net.lost"), 1);
+}
+
+TEST(Simulation, SelfMessagesAreNeverLost) {
+  NetworkConfig net;
+  net.loss_probability = 1.0;
+  Simulation s(1, net);
+  auto& a = s.make_process<Echo>();
+  s.at(0, [&] { a.send(a.id(), std::string("self")); });
+  s.run_to_completion();
+  ASSERT_EQ(a.received.size(), 1u);
+}
+
+TEST(Simulation, DuplicationDeliversTwice) {
+  NetworkConfig net;
+  net.duplication_probability = 1.0;
+  Simulation s(1, net);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  s.at(0, [&] { a.send(b.id(), std::string("twice")); });
+  s.run_to_completion();
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST(Simulation, CutLinkDropsDirectionally) {
+  Simulation s(1);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  s.network().cut_link(a.id(), b.id());
+  s.at(0, [&] { a.send(b.id(), std::string("blocked")); });
+  s.at(0, [&] { b.send(a.id(), std::string("open")); });
+  s.run_to_completion();
+  EXPECT_TRUE(b.received.empty());
+  ASSERT_EQ(a.received.size(), 1u);
+  s.network().restore_link(a.id(), b.id());
+  s.at(s.now(), [&] { a.send(b.id(), std::string("ok")); });
+  s.run_to_completion();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Simulation, RunUntilPredicate) {
+  Simulation s(1);
+  auto& a = s.make_process<Echo>();
+  auto& b = s.make_process<Echo>();
+  s.at(5, [&] { a.send(b.id(), std::string("one")); });
+  s.at(500, [&] { a.send(b.id(), std::string("two")); });
+  const bool ok = s.run_until([&] { return !b.received.empty(); }, 10000);
+  EXPECT_TRUE(ok);
+  EXPECT_LT(s.now(), 500);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    NetworkConfig net;
+    net.min_delay = 1;
+    net.max_delay = 50;
+    net.loss_probability = 0.1;
+    Simulation s(seed, net);
+    auto& a = s.make_process<Echo>();
+    auto& b = s.make_process<Echo>();
+    b.reply = true;
+    for (Time t = 0; t < 100; t += 10) {
+      s.at(t, [&, t] { a.send(b.id(), std::string("m") + std::to_string(t)); });
+    }
+    s.run_to_completion();
+    return std::make_pair(b.received, s.now());
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(StableStorage, SurvivesAndCounts) {
+  StableStorage st(25);
+  EXPECT_EQ(st.write("k", "v"), 25);
+  EXPECT_EQ(st.write_int("n", 42), 25);
+  EXPECT_EQ(st.write_count(), 2);
+  EXPECT_EQ(st.read("k"), "v");
+  EXPECT_EQ(st.read_int("n"), 42);
+  EXPECT_FALSE(st.read("missing").has_value());
+}
+
+}  // namespace
+}  // namespace mcp::sim

@@ -1,0 +1,86 @@
+// Scale sanity: a longer command stream through the generalized engine
+// with mixed conflicts, replicas attached and the safety auditor watching.
+// Guards against superlinear blow-ups in the c-struct hot paths (the
+// common-prefix factoring of §3.3.1's operators) as much as against
+// correctness regressions under sustained load.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "genpaxos/auditor.hpp"
+#include "genpaxos/engine.hpp"
+#include "smr/kv.hpp"
+#include "smr/replica.hpp"
+
+namespace mcp::genpaxos {
+namespace {
+
+using cstruct::History;
+using sim::NodeId;
+using sim::Simulation;
+using sim::Time;
+
+const cstruct::KeyConflict kKeyRel;
+
+TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
+  sim::NetworkConfig net;
+  net.min_delay = 2;
+  net.max_delay = 10;
+  net.loss_probability = 0.02;
+  Simulation s(31, net);
+
+  std::vector<NodeId> coords{0, 1, 2};
+  auto policy = paxos::PatternPolicy::multi_then_single(coords);
+  Config<History> config;
+  config.acceptors = {3, 4, 5, 6, 7};
+  config.learners = {8, 9, 10};  // 10 = auditor
+  config.proposers = {11, 12, 13};
+  config.policy = policy.get();
+  config.f = 2;
+  config.e = 1;
+  config.bottom = History(&kKeyRel);
+
+  for (int i = 0; i < 3; ++i) s.make_process<GenCoordinator<History>>(config);
+  for (int i = 0; i < 5; ++i) s.make_process<GenAcceptor<History>>(config);
+  std::vector<GenLearner<History>*> learners;
+  for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<GenLearner<History>>(config));
+  auto& auditor = s.make_process<SafetyAuditor<History>>(config);
+  std::vector<GenProposer<History>*> proposers;
+  for (int i = 0; i < 3; ++i) proposers.push_back(&s.make_process<GenProposer<History>>(config));
+  std::vector<smr::Replica*> replicas;
+  for (auto* l : learners) replicas.push_back(&s.make_process<smr::Replica>(*l, 25));
+
+  constexpr std::size_t kCount = 100;
+  util::Rng wl_rng(777);
+  smr::Workload workload({kCount, 0.15, 0.3, 1}, wl_rng);
+  for (std::size_t i = 0; i < workload.commands().size(); ++i) {
+    s.at(static_cast<Time>(8 * i), [&, i] {
+      proposers[i % 3]->propose(workload.commands()[i]);
+    });
+  }
+
+  const bool ok = s.run_until(
+      [&] {
+        for (const auto* l : learners) {
+          if (l->learned().size() < kCount) return false;
+        }
+        return true;
+      },
+      30'000'000);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(auditor.ok()) << auditor.violations().front();
+  EXPECT_TRUE(learners[0]->learned().compatible(learners[1]->learned()));
+  for (auto* r : replicas) r->poll();
+  std::vector<const smr::Replica*> views(replicas.begin(), replicas.end());
+  EXPECT_TRUE(smr::replicas_converged(views));
+  EXPECT_EQ(replicas[0]->applied(), kCount);
+  // Every proposer got all its commands acknowledged.
+  std::size_t delivered = 0;
+  s.run_until(s.now() + 5'000);  // drain acks
+  for (const auto* p : proposers) delivered += p->delivered_count();
+  EXPECT_EQ(delivered, kCount);
+}
+
+}  // namespace
+}  // namespace mcp::genpaxos

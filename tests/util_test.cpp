@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0, 1000000) != b.uniform(0, 1000000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SampleIndicesDistinctAndSorted) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = rng.sample_indices(10, 4);
+    ASSERT_EQ(s.size(), 4u);
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LT(s[i - 1], s[i]);
+      EXPECT_LT(s[i], 10u);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(3);
+  auto s = rng.sample_indices(5, 5);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleIndicesRejectsOverdraw) {
+  Rng rng(3);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialPositiveWithMeanNearTarget) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(10.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 10.0, 0.5);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+TEST(Histogram, EmptyThrows) {
+  Histogram h;
+  EXPECT_THROW(h.mean(), std::logic_error);
+  EXPECT_THROW(h.min(), std::logic_error);
+  EXPECT_THROW(h.percentile(0.5), std::logic_error);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(4.2);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+TEST(Metrics, CountersDefaultZeroAndAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.counter("x"), 0);
+  m.incr("x");
+  m.incr("x", 4);
+  EXPECT_EQ(m.counter("x"), 5);
+}
+
+TEST(Metrics, PrefixSum) {
+  Metrics m;
+  m.incr("acceptor.0.disk_writes", 3);
+  m.incr("acceptor.1.disk_writes", 2);
+  m.incr("acceptor.10.disk_writes", 1);
+  m.incr("coord.0.disk_writes", 99);
+  EXPECT_EQ(m.counter_prefix_sum("acceptor."), 6);
+  EXPECT_EQ(m.counters_with_prefix("acceptor.").size(), 3u);
+}
+
+TEST(Metrics, HistogramAccess) {
+  Metrics m;
+  m.sample("lat", 1.0);
+  m.sample("lat", 3.0);
+  EXPECT_DOUBLE_EQ(m.histogram("lat").mean(), 2.0);
+  EXPECT_THROW(m.histogram("nope"), std::out_of_range);
+  EXPECT_TRUE(m.has_histogram("lat"));
+  EXPECT_FALSE(m.has_histogram("nope"));
+}
+
+}  // namespace
+}  // namespace mcp::util
