@@ -23,9 +23,10 @@ using cstruct::History;
 
 // --- (a) coordinator count vs availability -----------------------------------
 
-void coordinator_count_ablation() {
-  std::printf("\n(a) crash 1 coordinator before the proposal; per-round coordinator count\n");
-  std::printf("%26s %12s %12s %14s\n", "round width", "mean lat", "p99 lat", "stalled");
+void coordinator_count_ablation(bench::Report& report) {
+  auto& t = report.table(
+      "(a) crash 1 coordinator before the proposal; per-round coordinator count",
+      {"round width", "mean lat", "p99 lat", "stalled"});
   for (int nc : {1, 3, 5}) {
     util::Histogram lat;
     int stalled = 0;
@@ -46,11 +47,12 @@ void coordinator_count_ablation() {
       }
     }
     const char* label = nc == 1 ? "1 (single-coordinated)" : nc == 3 ? "3 (quorum 2)" : "5 (quorum 3)";
-    std::printf("%26s %12.1f %12.1f %14d\n", label, lat.count() ? lat.mean() : -1.0,
-                lat.count() ? lat.percentile(0.99) : -1.0, stalled);
+    t.row({label, lat.count() ? lat.mean() : -1.0,
+           lat.count() ? lat.percentile(0.99) : -1.0, stalled});
   }
-  std::printf("    (width 1 pays failure detection + election + phase 1; wider rounds\n"
-              "    absorb the crash with no round change)\n");
+  report.note(
+      "(a) width 1 pays failure detection + election + phase 1; wider rounds absorb "
+      "the crash with no round change");
 }
 
 // --- (b) ladder policies under a conflict-heavy burst ---------------------------
@@ -114,10 +116,10 @@ LadderResult ladder_run(MakePolicy&& make_policy) {
   return out;
 }
 
-void ladder_ablation() {
-  std::printf("\n(b) conflict-heavy burst (16 conflicting cmds): round-ladder choice\n");
-  std::printf("%-28s %10s %12s %8s %6s\n", "ladder", "makespan", "collisions", "rounds",
-              "done");
+void ladder_ablation(bench::Report& report) {
+  auto& t = report.table(
+      "(b) conflict-heavy burst (16 conflicting cmds): round-ladder choice",
+      {"ladder", "makespan", "collisions", "rounds", "done", "of"});
   const LadderResult always = ladder_run([](std::vector<sim::NodeId> c) {
     return paxos::PatternPolicy::always_multi(std::move(c));
   });
@@ -127,20 +129,20 @@ void ladder_ablation() {
   const LadderResult shrinking = ladder_run([](std::vector<sim::NodeId> c) {
     return std::make_unique<paxos::ShrinkingMultiPolicy>(std::move(c), 1);
   });
-  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "always-multi", always.makespan,
-              always.collisions, always.rounds, always.done);
-  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "multi-then-single (§4.2)",
-              ladder.makespan, ladder.collisions, ladder.rounds, ladder.done);
-  std::printf("%-28s %10.0f %12.1f %8.1f %4d/10\n", "shrinking ladder (§4.5)",
-              shrinking.makespan, shrinking.collisions, shrinking.rounds, shrinking.done);
+  t.row({"always-multi", always.makespan, always.collisions, always.rounds,
+         always.done, 10});
+  t.row({"multi-then-single (§4.2)", ladder.makespan, ladder.collisions, ladder.rounds,
+         ladder.done, 10});
+  t.row({"shrinking ladder (§4.5)", shrinking.makespan, shrinking.collisions,
+         shrinking.rounds, shrinking.done, 10});
 }
 
 // --- (c) rnd persistence block size (§4.4) --------------------------------------
 
-void rnd_block_ablation() {
-  std::printf("\n(c) rnd-write policy under collision-driven round churn (§4.4)\n");
-  std::printf("%-28s %16s\n", "rnd persistence", "acceptor writes");
-  auto run = [](bool reduce, std::int64_t block) {
+void rnd_block_ablation(bench::Report& report) {
+  auto& t = report.table("(c) rnd-write policy under collision-driven round churn (§4.4)",
+                         {"rnd persistence", "acceptor writes", "rounds churned"});
+  auto run = [&t](bool reduce, std::int64_t block, const char* label) {
     Shape shape;
     shape.proposers = 3;
     shape.seed = 3;
@@ -157,26 +159,24 @@ void rnd_block_ablation() {
       });
     }
     c.sim->run_until([&] { return c.all_learned(kCmds); }, 20'000'000);
-    std::printf("    [rounds churned: %lld]  ",
-                static_cast<long long>(c.sim->metrics().counter("gen.rounds_started") +
-                                       c.sim->metrics().counter("gen.collisions_detected")));
-    return bench::acceptor_disk_writes(c.sim->metrics());
+    const std::int64_t churned = c.sim->metrics().counter("gen.rounds_started") +
+                                 c.sim->metrics().counter("gen.collisions_detected");
+    t.row({label, bench::acceptor_disk_writes(c.sim->metrics()), churned});
   };
-  std::printf("%-28s %16lld\n", "write-through",
-              static_cast<long long>(run(false, 1)));
-  std::printf("%-28s %16lld\n", "block = 4",
-              static_cast<long long>(run(true, 4)));
-  std::printf("%-28s %16lld\n", "block = 16",
-              static_cast<long long>(run(true, 16)));
+  run(false, 1, "write-through");
+  run(true, 4, "block = 4");
+  run(true, 16, "block = 16");
 }
 
 }  // namespace
 
-int main() {
-  bench::banner("E10: ablations — coordinator count, round ladders, rnd persistence",
-                "design choices from §4.1/§4.2/§4.4/§4.5 of the paper");
-  coordinator_count_ablation();
-  ladder_ablation();
-  rnd_block_ablation();
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv,
+                       "E10: ablations — coordinator count, round ladders, rnd persistence",
+                       "design choices from §4.1/§4.2/§4.4/§4.5 of the paper");
+  coordinator_count_ablation(report);
+  ladder_ablation(report);
+  rnd_block_ablation(report);
+  report.finish();
   return 0;
 }

@@ -53,28 +53,30 @@ Outcome run(McPolicy kind, bool crash_leader) {
   return Outcome{lat.mean(), lat.percentile(0.99), rounds / (kSeeds - failures), failures};
 }
 
-void row(const char* name, const Outcome& o) {
-  std::printf("%-34s %12.1f %12.1f %10.2f %6d\n", name, o.mean_latency, o.p99_latency,
-              o.mean_rounds, o.failures);
-}
-
 }  // namespace
 
-int main() {
-  bench::banner("E3: command latency when a coordinator crashes just before the proposal",
-                "single-coordinated rounds stall for detection+election+phase 1; "
-                "multicoordinated rounds are unaffected");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv,
+      "E3: command latency when a coordinator crashes just before the proposal",
+      "single-coordinated rounds stall for detection+election+phase 1; "
+      "multicoordinated rounds are unaffected");
 
-  std::printf("%-34s %12s %12s %10s %6s\n", "configuration", "mean lat", "p99 lat",
-              "rounds", "fail");
+  auto& t = report.table(
+      "latency under coordinator crash",
+      {"configuration", "mean lat", "p99 lat", "rounds", "fail"});
+  auto add = [&](const char* name, const Outcome& o) {
+    t.row({name, o.mean_latency, o.p99_latency, o.mean_rounds, o.failures});
+  };
+  add("single-coord, no crash", run(McPolicy::kSingle, false));
+  add("single-coord, leader crash", run(McPolicy::kSingle, true));
+  add("multicoord (3 coords), no crash", run(McPolicy::kMulti, false));
+  add("multicoord (3 coords), crash 1", run(McPolicy::kMulti, true));
 
-  row("single-coord, no crash", run(McPolicy::kSingle, false));
-  row("single-coord, leader crash", run(McPolicy::kSingle, true));
-  row("multicoord (3 coords), no crash", run(McPolicy::kMulti, false));
-  row("multicoord (3 coords), crash 1", run(McPolicy::kMulti, true));
-
-  std::printf("\nnote: the crash victim is coordinator 0 — the leader in both\n");
-  std::printf("configurations. multicoordinated rounds keep the same round number\n");
-  std::printf("(rounds = 1) because any majority of coordinators can still forward.\n");
+  report.note(
+      "the crash victim is coordinator 0 — the leader in both configurations. "
+      "multicoordinated rounds keep the same round number (rounds = 1) because any "
+      "majority of coordinators can still forward.");
+  report.finish();
   return 0;
 }

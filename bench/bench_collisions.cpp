@@ -8,7 +8,9 @@
 //
 // Workload: bursts of commands from 3 proposers over a jittery network on
 // the generalized engine (command histories, KV conflict relation), sweeping
-// the fraction of commands that target one hot key.
+// the fraction of commands that target one hot key. The wire codec also
+// gives bytes-on-the-wire per learned command: colliding fast rounds re-ship
+// whole c-structs, so bytes climb with the conflict fraction.
 
 #include <cstdio>
 
@@ -25,20 +27,26 @@ struct Row {
   double collisions = 0;       // per run
   double disk_writes = 0;      // acceptor disk writes per learned command
   double time_to_learn = 0;    // ticks until every learner has everything
+  double bytes_per_cmd = 0;    // wire bytes per learned command
   int incomplete = 0;
 };
 
+constexpr std::size_t kCommands = 30;
+
+bench::GenCluster make(McPolicy kind, std::uint64_t seed) {
+  Shape shape;
+  shape.seed = seed;
+  shape.proposers = 3;
+  shape.net.min_delay = 1;
+  shape.net.max_delay = 25;
+  return bench::make_gen(shape, kind);
+}
+
 Row sweep_point(McPolicy kind, double conflict, int seeds) {
   Row row;
-  constexpr std::size_t kCommands = 30;
   int done = 0;
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds); ++seed) {
-    Shape shape;
-    shape.seed = seed;
-    shape.proposers = 3;
-    shape.net.min_delay = 1;
-    shape.net.max_delay = 25;
-    auto c = bench::make_gen(shape, kind);
+    auto c = make(kind, seed);
     util::Rng wl_rng(seed * 991);
     smr::Workload workload({kCommands, conflict, 0.0, 1}, wl_rng);
     for (std::size_t i = 0; i < workload.commands().size(); ++i) {
@@ -59,35 +67,62 @@ Row sweep_point(McPolicy kind, double conflict, int seeds) {
     row.disk_writes +=
         static_cast<double>(bench::acceptor_disk_writes(c.sim->metrics())) / kCommands;
     row.time_to_learn += static_cast<double>(c.sim->now());
+    row.bytes_per_cmd +=
+        static_cast<double>(bench::net_bytes(c.sim->metrics())) / kCommands;
   }
   if (done > 0) {
     row.collisions /= done;
     row.disk_writes /= done;
     row.time_to_learn /= done;
+    row.bytes_per_cmd /= done;
   }
   return row;
 }
 
 }  // namespace
 
-int main() {
-  bench::banner("E5: collisions vs conflict fraction (30 cmds, 3 proposers, burst)",
-                "collisions grow with conflicts; fast collisions waste acceptor disk "
-                "writes, multicoordinated ones do not");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "E5: collisions vs conflict fraction (30 cmds, 3 proposers, burst)",
+      "collisions grow with conflicts; fast collisions waste acceptor disk writes, "
+      "multicoordinated ones do not");
 
   constexpr int kSeeds = 12;
-  std::printf("%-10s | %-34s | %-34s\n", "", "multicoordinated rounds",
-              "fast rounds (GenPaxos)");
-  std::printf("%-10s | %10s %11s %10s | %10s %11s %10s\n", "conflict", "collisions",
-              "writes/cmd", "ticks", "collisions", "writes/cmd", "ticks");
+  auto& mc_table = report.table(
+      "multicoordinated rounds",
+      {"conflict %", "collisions", "writes/cmd", "ticks", "bytes/cmd"});
+  auto& fast_table = report.table(
+      "fast rounds (GenPaxos)",
+      {"conflict %", "collisions", "writes/cmd", "ticks", "bytes/cmd"});
   for (double conflict : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     const Row mc = sweep_point(McPolicy::kMultiThenSingle, conflict, kSeeds);
     const Row fr = sweep_point(McPolicy::kFast, conflict, kSeeds);
-    std::printf("%9.0f%% | %10.1f %11.2f %10.0f | %10.1f %11.2f %10.0f\n",
-                100 * conflict, mc.collisions, mc.disk_writes, mc.time_to_learn,
-                fr.collisions, fr.disk_writes, fr.time_to_learn);
+    mc_table.row({100 * conflict, mc.collisions, mc.disk_writes, mc.time_to_learn,
+                  mc.bytes_per_cmd});
+    fast_table.row({100 * conflict, fr.collisions, fr.disk_writes, fr.time_to_learn,
+                    fr.bytes_per_cmd});
   }
-  std::printf("\n(collisions = detected per run; writes/cmd = acceptor disk writes per\n"
-              "learned command, including writes wasted on discarded fast values)\n");
+
+  // Per-message-type byte breakdown of one conflict-heavy run per policy.
+  for (const auto& [kind, name] :
+       {std::pair{McPolicy::kMultiThenSingle, "byte breakdown, multicoord, 100% conflict"},
+        std::pair{McPolicy::kFast, "byte breakdown, fast, 100% conflict"}}) {
+    auto c = make(kind, 1);
+    util::Rng wl_rng(991);
+    smr::Workload workload({kCommands, 1.0, 0.0, 1}, wl_rng);
+    for (std::size_t i = 0; i < workload.commands().size(); ++i) {
+      c.sim->at(static_cast<sim::Time>(4 * i), [&, i] {
+        c.proposers[i % c.proposers.size()]->propose(workload.commands()[i]);
+      });
+    }
+    c.sim->run_until([&] { return c.all_learned(kCommands); }, 20'000'000);
+    report.bytes_table(name, c.sim->metrics());
+  }
+
+  report.note(
+      "collisions = detected per run; writes/cmd = acceptor disk writes per learned "
+      "command, including writes wasted on discarded fast values; bytes/cmd = "
+      "serialized wire bytes (net.bytes_sent) per learned command");
+  report.finish();
   return 0;
 }

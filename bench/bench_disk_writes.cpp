@@ -18,7 +18,6 @@ using bench::Shape;
 
 struct Row {
   double writes_per_cmd = 0;
-  double writes_phase1 = 0;  // total writes attributable to round setup
   int runs = 0;
 };
 
@@ -51,39 +50,27 @@ Row gen_writes(McPolicy kind, bool reduce, double conflict) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E6: acceptor disk writes per learned command (n=5 acceptors)",
-                "one write per accepted value; coordinators write nothing; volatile "
-                "rnd (§4.4) removes the per-round-join write; collisions add wasted "
-                "writes only in fast rounds");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "E6: acceptor disk writes per learned command (n=5 acceptors)",
+      "one write per accepted value; coordinators write nothing; volatile rnd (§4.4) "
+      "removes the per-round-join write; collisions add wasted writes only in fast "
+      "rounds");
 
-  std::printf("%-44s %14s\n", "configuration (20 cmds, 2 proposers)", "writes/cmd");
-  {
-    const Row r = gen_writes(McPolicy::kMultiThenSingle, true, 0.0);
-    std::printf("%-44s %14.2f\n", "multicoord, volatile rnd (§4.4), no conflicts",
-                r.writes_per_cmd);
-  }
-  {
-    const Row r = gen_writes(McPolicy::kMultiThenSingle, false, 0.0);
-    std::printf("%-44s %14.2f\n", "multicoord, write-through rnd, no conflicts",
-                r.writes_per_cmd);
-  }
-  {
-    const Row r = gen_writes(McPolicy::kMultiThenSingle, true, 1.0);
-    std::printf("%-44s %14.2f\n", "multicoord, volatile rnd, all-conflicting",
-                r.writes_per_cmd);
-  }
-  {
-    const Row r = gen_writes(McPolicy::kFast, true, 0.0);
-    std::printf("%-44s %14.2f\n", "fast (GenPaxos), volatile rnd, no conflicts",
-                r.writes_per_cmd);
-  }
-  {
-    const Row r = gen_writes(McPolicy::kFast, true, 1.0);
-    std::printf("%-44s %14.2f\n", "fast (GenPaxos), volatile rnd, all-conflicting",
-                r.writes_per_cmd);
-  }
+  auto& t = report.table("writes per command (20 cmds, 2 proposers)",
+                         {"configuration", "writes/cmd"});
+  t.row({"multicoord, volatile rnd (§4.4), no conflicts",
+         gen_writes(McPolicy::kMultiThenSingle, true, 0.0).writes_per_cmd});
+  t.row({"multicoord, write-through rnd, no conflicts",
+         gen_writes(McPolicy::kMultiThenSingle, false, 0.0).writes_per_cmd});
+  t.row({"multicoord, volatile rnd, all-conflicting",
+         gen_writes(McPolicy::kMultiThenSingle, true, 1.0).writes_per_cmd});
+  t.row({"fast (GenPaxos), volatile rnd, no conflicts",
+         gen_writes(McPolicy::kFast, true, 0.0).writes_per_cmd});
+  t.row({"fast (GenPaxos), volatile rnd, all-conflicting",
+         gen_writes(McPolicy::kFast, true, 1.0).writes_per_cmd});
 
+  auto& checks = report.table("invariant checks", {"check", "value"});
   // Coordinators never write: assert it on a fresh run.
   {
     Shape shape;
@@ -95,8 +82,7 @@ int main() {
     for (const auto* coord : c.coordinators) {
       coord_writes += coord->storage().write_count();
     }
-    std::printf("%-44s %14lld\n", "coordinator stable writes (any config)",
-                static_cast<long long>(coord_writes));
+    checks.row({"coordinator stable writes (any config)", coord_writes});
   }
 
   // Recovery cost of the §4.4 scheme: exactly one extra write per recovery.
@@ -111,8 +97,8 @@ int main() {
     c.sim->at(c.sim->now() + 10, [&] { c.sim->recover(c.acceptors[0]->id()); });
     c.sim->run_until(c.sim->now() + 20);
     const auto after = c.acceptors[0]->storage().write_count();
-    std::printf("%-44s %14lld\n", "extra writes per acceptor recovery (§4.4)",
-                static_cast<long long>(after - before));
+    checks.row({"extra writes per acceptor recovery (§4.4)", after - before});
   }
+  report.finish();
   return 0;
 }

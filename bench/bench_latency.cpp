@@ -61,27 +61,22 @@ Realistic realistic(MakeAndRun&& run_once) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E1: communication steps to learn a command (phase 1 pre-executed)",
-                "Classic = 3, Fast = 2, Multicoordinated = 3 (same as classic)");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "E1: communication steps to learn a command (phase 1 pre-executed)",
+      "Classic = 3, Fast = 2, Multicoordinated = 3 (same as classic)");
 
-  std::printf("%-34s %8s %16s %16s\n", "protocol", "steps", "acceptor quorum",
-              "coord quorum");
-  std::printf("%-34s %8lld %16s %16s\n", "Classic Paxos (standalone)",
-              static_cast<long long>(classic_steps()), "3 of 5 (n-F)", "1 (leader)");
-  std::printf("%-34s %8lld %16s %16s\n", "Fast Paxos (standalone)",
-              static_cast<long long>(fast_steps()), "4 of 5 (n-E)", "none");
-  std::printf("%-34s %8lld %16s %16s\n", "Multicoordinated Paxos",
-              static_cast<long long>(mc_steps(bench::McPolicy::kMulti)), "3 of 5 (n-F)",
-              "2 of 3");
-  std::printf("%-34s %8lld %16s %16s\n", "  engine, single-coord rounds",
-              static_cast<long long>(mc_steps(bench::McPolicy::kSingle)), "3 of 5",
-              "1 (leader)");
-  std::printf("%-34s %8lld %16s %16s\n", "  engine, fast rounds",
-              static_cast<long long>(mc_steps(bench::McPolicy::kFast)), "4 of 5", "none");
-
-  bench::banner("E1b: wall latency, jittery network (delay U[5,15], disk write = 5)",
-                "same ordering; multicoordinated pays max over a coordinator quorum");
+  auto& steps = report.table(
+      "steps", {"protocol", "steps", "acceptor quorum", "coord quorum"});
+  steps.row({"Classic Paxos (standalone)", classic_steps(), "3 of 5 (n-F)",
+             "1 (leader)"});
+  steps.row({"Fast Paxos (standalone)", fast_steps(), "4 of 5 (n-E)", "none"});
+  steps.row({"Multicoordinated Paxos", mc_steps(bench::McPolicy::kMulti), "3 of 5 (n-F)",
+             "2 of 3"});
+  steps.row({"  engine, single-coord rounds", mc_steps(bench::McPolicy::kSingle),
+             "3 of 5", "1 (leader)"});
+  steps.row({"  engine, fast rounds", mc_steps(bench::McPolicy::kFast), "4 of 5",
+             "none"});
 
   auto classic_run = [](std::uint64_t seed) {
     Shape shape;
@@ -124,9 +119,13 @@ int main() {
   const auto rc = realistic(classic_run);
   const auto rf = realistic(fast_run);
   const auto rm = realistic(mc_run);
-  std::printf("%-34s %10s %10s\n", "protocol", "mean", "p99");
-  std::printf("%-34s %10.1f %10.1f\n", "Classic Paxos", rc.mean, rc.p99);
-  std::printf("%-34s %10.1f %10.1f\n", "Fast Paxos", rf.mean, rf.p99);
-  std::printf("%-34s %10.1f %10.1f\n", "Multicoordinated Paxos", rm.mean, rm.p99);
+  auto& wall = report.table(
+      "E1b: wall latency, jittery network (delay U[5,15], disk write = 5)",
+      {"protocol", "mean", "p99"});
+  wall.row({"Classic Paxos", rc.mean, rc.p99});
+  wall.row({"Fast Paxos", rf.mean, rf.p99});
+  wall.row({"Multicoordinated Paxos", rm.mean, rm.p99});
+  report.note("E1b: same ordering; multicoordinated pays max over a coordinator quorum");
+  report.finish();
   return 0;
 }

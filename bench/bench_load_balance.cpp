@@ -69,31 +69,33 @@ Load measure(bool load_balance, int runs) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E4: fraction of commands processed by the busiest process",
-                "multicoord w/ load balancing: coordinator <= 1/2 + 1/nc (0.83 for "
-                "nc=3), acceptor <= 1/2 + 1/n (0.70 for n=5); fast rounds: every "
-                "acceptor of a fast quorum > 3/4");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "E4: fraction of commands processed by the busiest process",
+      "multicoord w/ load balancing: coordinator <= 1/2 + 1/nc (0.83 for nc=3), "
+      "acceptor <= 1/2 + 1/n (0.70 for n=5); fast rounds: every acceptor of a fast "
+      "quorum > 3/4");
 
   constexpr int kRuns = 300;
   const Load lb = measure(true, kRuns);
   const Load bc = measure(false, kRuns);
 
-  std::printf("%-38s %14s %14s %8s\n", "configuration (nc=3, n=5)", "max coord",
-              "max acceptor", "runs");
-  std::printf("%-38s %13.2f%% %13.2f%% %8d\n", "multicoord + quorum selection (§4.1)",
-              100 * lb.max_coord_fraction, 100 * lb.max_acceptor_fraction, lb.decided);
-  std::printf("%-38s %13.2f%% %13.2f%% %8d\n", "multicoord, broadcast (no balancing)",
-              100 * bc.max_coord_fraction, 100 * bc.max_acceptor_fraction, bc.decided);
-  std::printf("%-38s %13.2f%% %13.2f%% %8s\n", "fast rounds (bound: quorum/n)",
-              100.0 * 0.0, 100.0 * 4.0 / 5.0, "n/a");
+  auto& t = report.table("busiest-process load (nc=3, n=5)",
+                         {"configuration", "max coord %", "max acceptor %", "runs"});
+  t.row({"multicoord + quorum selection (§4.1)", 100 * lb.max_coord_fraction,
+         100 * lb.max_acceptor_fraction, lb.decided});
+  t.row({"multicoord, broadcast (no balancing)", 100 * bc.max_coord_fraction,
+         100 * bc.max_acceptor_fraction, bc.decided});
+  t.row({"fast rounds (bound: quorum/n)", 0.0, 100.0 * 4.0 / 5.0, "n/a"});
 
-  std::printf("\npaper bounds: coordinator 1/2+1/3 = 83.3%%, acceptor 1/2+1/5 = 70.0%%.\n");
-  std::printf("fast rounds have no coordinator load but every selected acceptor\n");
-  std::printf("quorum covers 4/5 = 80%% > 3/4 of the acceptors.\n");
+  report.note(
+      "paper bounds: coordinator 1/2+1/3 = 83.3%, acceptor 1/2+1/5 = 70.0%. fast "
+      "rounds have no coordinator load but every selected acceptor quorum covers "
+      "4/5 = 80% > 3/4 of the acceptors.");
 
   const bool ok = lb.max_coord_fraction <= 0.84 && lb.max_acceptor_fraction <= 0.71 &&
                   bc.max_coord_fraction > 0.95;
-  std::printf("\nwithin paper bounds: %s\n", ok ? "yes" : "NO");
+  report.table("verdict", {"within paper bounds"}).row({ok ? "yes" : "NO"});
+  report.finish();
   return ok ? 0 : 1;
 }

@@ -5,47 +5,114 @@
 // uniform quorums or ⌈(3n+1)/4⌉ when classic quorums stay majorities.
 // Multicoordinated rounds use classic (majority) quorums — the paper's
 // "only a majority of them must exchange messages".
+//
+// The third table grounds the quorum sizes in traffic: with the wire codec
+// on (the default), every protocol message is serialized, so we can report
+// bytes-on-the-wire per learned command next to the quorum each protocol
+// needs.
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "harness.hpp"
 #include "paxos/quorum.hpp"
 
-int main() {
+namespace {
+
+using namespace mcp;
+
+struct WireCost {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::size_t commands = 0;
+};
+
+/// One single-command consensus run; returns message/byte totals.
+template <typename Cluster>
+WireCost measure(Cluster& c, sim::Time deadline) {
+  c.sim->run_until([&] { return c.learners[0]->learned(); }, deadline);
+  WireCost out;
+  out.messages = c.sim->metrics().counter("net.sent");
+  out.bytes = bench::net_bytes(c.sim->metrics());
+  out.commands = c.learners[0]->learned() ? 1 : 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using mcp::paxos::QuorumSystem;
   using mcp::sim::NodeId;
 
-  std::printf("E2: acceptor quorum sizes by protocol and cluster size\n");
-  std::printf("paper claim: classic/multicoord = majority; fast = ceil((3n+1)/4) with\n");
-  std::printf("majority classic quorums; uniform fast+classic = ceil((2n+1)/3)\n\n");
-  std::printf("%4s %10s %12s %14s %14s %16s\n", "n", "F (maj)", "classic q",
-              "fast q (n-E)", "ceil(3n+1)/4", "uniform ceil(2n+1)/3");
+  bench::Report report(
+      argc, argv, "E2: acceptor quorum sizes by protocol and cluster size",
+      "classic/multicoord = majority; fast = ceil((3n+1)/4) with majority classic "
+      "quorums; uniform fast+classic = ceil((2n+1)/3)");
 
+  auto& sizes = report.table(
+      "quorum sizes", {"n", "F (maj)", "classic q", "fast q (n-E)", "ceil(3n+1)/4",
+                       "uniform ceil(2n+1)/3"});
   for (int n = 3; n <= 13; ++n) {
     std::vector<NodeId> ids;
     for (int i = 0; i < n; ++i) ids.push_back(i);
     const auto qs = QuorumSystem::with_max_tolerance(ids);
     const int paper_fast = (3 * n + 1 + 3) / 4;  // ⌈(3n+1)/4⌉
     const int uniform = (2 * n + 1 + 2) / 3;     // ⌈(2n+1)/3⌉
-    std::printf("%4d %10d %12zu %14zu %14d %16d\n", n, qs.f(), qs.classic_quorum_size(),
-                qs.fast_quorum_size(), paper_fast, uniform);
+    sizes.row({n, qs.f(), qs.classic_quorum_size(), qs.fast_quorum_size(), paper_fast,
+               uniform});
     if (!qs.meets_fast_requirement()) {
-      std::printf("  !! configuration violates n > 2E + F\n");
+      std::fprintf(stderr, "!! configuration violates n > 2E + F at n=%d\n", n);
       return 1;
     }
   }
 
-  std::printf("\nprocesses that must synchronize per learned command:\n");
-  std::printf("%4s %26s %26s\n", "n", "multicoord (majority)", "fast (> 3/4 of n)");
+  auto& sync = report.table(
+      "processes that must synchronize per learned command",
+      {"n", "multicoord (majority)", "maj %", "fast (> 3/4 of n)", "fast %"});
   for (int n = 3; n <= 13; n += 2) {
     std::vector<NodeId> ids;
     for (int i = 0; i < n; ++i) ids.push_back(i);
     const auto qs = QuorumSystem::with_max_tolerance(ids);
-    std::printf("%4d %20zu (%4.0f%%) %20zu (%4.0f%%)\n", n, qs.classic_quorum_size(),
-                100.0 * static_cast<double>(qs.classic_quorum_size()) / n,
-                qs.fast_quorum_size(),
-                100.0 * static_cast<double>(qs.fast_quorum_size()) / n);
+    sync.row({n, qs.classic_quorum_size(),
+              100.0 * static_cast<double>(qs.classic_quorum_size()) / n,
+              qs.fast_quorum_size(),
+              100.0 * static_cast<double>(qs.fast_quorum_size()) / n});
   }
+
+  // Bytes on the wire for one learned command, n = 5 acceptors. Liveness
+  // off so retransmissions don't depend on how long the run idles.
+  auto& bytes = report.table("bytes on the wire per learned command (n=5, 1 cmd)",
+                             {"protocol", "messages", "bytes", "learned"});
+  bench::Shape shape;
+  shape.liveness = false;
+  {
+    auto c = bench::make_classic(shape);
+    const WireCost w = measure(c, 1'000'000);
+    bytes.row({"Classic Paxos", w.messages, w.bytes, static_cast<int>(w.commands)});
+  }
+  {
+    bench::Shape fshape = shape;
+    fshape.coordinators = 1;
+    auto c = bench::make_fast(fshape);
+    const WireCost w = measure(c, 1'000'000);
+    bytes.row({"Fast Paxos", w.messages, w.bytes, static_cast<int>(w.commands)});
+  }
+  {
+    auto c = bench::make_mc(shape, bench::McPolicy::kMulti);
+    const WireCost w = measure(c, 1'000'000);
+    bytes.row({"Multicoordinated Paxos", w.messages, w.bytes,
+               static_cast<int>(w.commands)});
+  }
+
+  // Per-message breakdown of one multicoordinated run, so the cost of each
+  // phase is visible by name.
+  {
+    auto c = bench::make_mc(shape, bench::McPolicy::kMulti);
+    c.sim->run_until([&] { return c.learners[0]->learned(); }, 1'000'000);
+    report.bytes_table("byte breakdown, multicoordinated run", c.sim->metrics());
+  }
+
+  report.finish();
   return 0;
 }

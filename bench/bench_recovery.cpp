@@ -54,10 +54,11 @@ RunResult run_once(fast::RecoveryMode mode, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E7: decision latency after a fast-round collision, by recovery mode",
-                "restart > coordinated (2 steps) > uncoordinated (1 step); all modes "
-                "pay acceptor disk writes for the discarded values");
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "E7: decision latency after a fast-round collision, by recovery mode",
+      "restart > coordinated (2 steps) > uncoordinated (1 step); all modes pay "
+      "acceptor disk writes for the discarded values");
 
   // Find seeds where the coordinated-mode run collides; reuse them across
   // modes so every mode faces the same contention.
@@ -67,10 +68,12 @@ int main() {
       collided_seeds.push_back(seed);
     }
   }
-  std::printf("collided runs found: %zu (of 400 candidate seeds)\n\n", collided_seeds.size());
+  report.note("collided runs found: " + std::to_string(collided_seeds.size()) +
+              " (of 400 candidate seeds)");
 
-  std::printf("%-24s %12s %12s %12s %14s %8s\n", "recovery mode", "p50 lat",
-              "mean lat", "p99 lat", "writes/run", "decided");
+  auto& t = report.table("latency by recovery mode",
+                         {"recovery mode", "p50 lat", "mean lat", "p99 lat",
+                          "writes/run", "decided", "of"});
   for (auto mode : {fast::RecoveryMode::kRestart, fast::RecoveryMode::kCoordinated,
                     fast::RecoveryMode::kUncoordinated}) {
     util::Histogram lat;
@@ -87,12 +90,10 @@ int main() {
     const char* name = mode == fast::RecoveryMode::kRestart        ? "restart"
                        : mode == fast::RecoveryMode::kCoordinated ? "coordinated"
                                                                    : "uncoordinated";
-    std::printf("%-24s %12.1f %12.1f %12.1f %14.1f %5d/%zu\n", name,
-                lat.percentile(0.5), lat.mean(), lat.percentile(0.99),
-                writes / decided, decided, collided_seeds.size());
+    t.row({name, lat.percentile(0.5), lat.mean(), lat.percentile(0.99),
+           writes / decided, decided, collided_seeds.size()});
   }
 
-  std::printf("\nbaseline (no contention, same network): ");
   util::Histogram base;
   for (std::uint64_t seed = 1; seed <= 40; ++seed) {
     Shape shape;
@@ -106,9 +107,12 @@ int main() {
       base.add(static_cast<double>(c.learners[0]->learned_at()));
     }
   }
-  std::printf("p50 %.1f, mean %.1f\n", base.percentile(0.5), base.mean());
-  std::printf("\nuncoordinated recovery wins in the common case (p50) but its tail is\n"
-              "heavy: when acceptors re-collide repeatedly, progress falls back to the\n"
-              "leader's timeout-driven classic round (the liveness backstop of §4.3).\n");
+  report.table("baseline (no contention, same network)", {"p50", "mean"})
+      .row({base.percentile(0.5), base.mean()});
+  report.note(
+      "uncoordinated recovery wins in the common case (p50) but its tail is heavy: "
+      "when acceptors re-collide repeatedly, progress falls back to the leader's "
+      "timeout-driven classic round (the liveness backstop of §4.3).");
+  report.finish();
   return 0;
 }

@@ -4,10 +4,22 @@
 // (E1–E8 of DESIGN.md). Each builder lays out ids densely in the order
 // coordinators, acceptors, learners, proposers and wires the corresponding
 // processes into a fresh Simulation.
+//
+// Output goes through Report/Table so every bench binary supports two
+// modes: the default human-readable aligned tables, and `--json` for
+// machine-readable results CI can archive and diff across commits
+// (bench_cstruct_ops is the google-benchmark binary and has
+// --benchmark_format=json instead).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "classic/classic_paxos.hpp"
@@ -261,6 +273,21 @@ inline std::int64_t acceptor_disk_writes(const util::Metrics& m) {
   return total;
 }
 
+/// Bytes put on the simulated wire, total and per message type (populated
+/// whenever NetworkConfig::encode_messages is on, the default).
+inline std::int64_t net_bytes(const util::Metrics& m) {
+  return m.counter("net.bytes_sent");
+}
+inline std::vector<std::pair<std::string, std::int64_t>> bytes_by_message(
+    const util::Metrics& m) {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  const std::string prefix = "net.bytes.";
+  for (auto& [name, bytes] : m.counters_with_prefix(prefix)) {
+    out.emplace_back(name.substr(prefix.size()), bytes);
+  }
+  return out;
+}
+
 // --- table helpers ---------------------------------------------------------------------
 
 inline void banner(const std::string& title, const std::string& claim) {
@@ -269,5 +296,195 @@ inline void banner(const std::string& title, const std::string& claim) {
   std::printf("paper claim: %s\n", claim.c_str());
   std::printf("================================================================\n");
 }
+
+/// One table cell: integer, double, or text. The dedicated constructors
+/// (rather than a std::variant) keep brace-initialized rows unambiguous
+/// for every integer width the benches use.
+struct Cell {
+  enum class Kind { kInt, kDouble, kText };
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Cell(T v) : kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  Cell(double v) : kind(Kind::kDouble), d(v) {}                     // NOLINT(runtime/explicit)
+  Cell(const char* v) : kind(Kind::kText), s(v) {}                  // NOLINT(runtime/explicit)
+  Cell(std::string v) : kind(Kind::kText), s(std::move(v)) {}      // NOLINT(runtime/explicit)
+
+  std::string text() const {
+    char buf[64];
+    switch (kind) {
+      case Kind::kInt:
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(i));
+        return buf;
+      case Kind::kDouble:
+        std::snprintf(buf, sizeof buf, "%.2f", d);
+        return buf;
+      case Kind::kText:
+        return s;
+    }
+    return {};
+  }
+
+  std::string json() const {
+    switch (kind) {
+      case Kind::kInt:
+        return text();
+      case Kind::kDouble: {
+        if (!std::isfinite(d)) return "null";  // NaN/inf have no JSON spelling
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", d);
+        return buf;
+      }
+      case Kind::kText: {
+        std::string out = "\"";
+        for (const char c : s) {
+          switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+              if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+              } else {
+                out += c;
+              }
+          }
+        }
+        return out + "\"";
+      }
+    }
+    return "null";
+  }
+};
+
+/// A named table of typed rows; rendered as aligned text or JSON by Report.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  Table& row(std::vector<Cell> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+
+  void print_text() const {
+    std::printf("\n-- %s --\n", name_.c_str());
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].text().size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        // Cells beyond the header column count get no padding (width 0).
+        const int w = c < width.size() ? static_cast<int>(width[c]) : 0;
+        // First column left-aligned (labels), the rest right-aligned.
+        std::printf(c == 0 ? "%-*s" : "  %*s", w, cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& r : rows_) {
+      std::vector<std::string> cells;
+      cells.reserve(r.size());
+      for (const Cell& cell : r) cells.push_back(cell.text());
+      print_row(cells);
+    }
+  }
+
+  std::string json() const {
+    std::string out = "{\"name\": " + Cell(name_).json() + ", \"columns\": [";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += Cell(columns_[c]).json();
+    }
+    out += "], \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += "[";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) out += ", ";
+        out += rows_[r][c].json();
+      }
+      out += "]";
+    }
+    return out + "]}";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Collects a bench's tables and notes, then prints them as banner+aligned
+/// tables (default) or one JSON document (`--json`). Construct it from
+/// main's argc/argv and call finish() last.
+class Report {
+ public:
+  Report(int argc, char** argv, std::string title, std::string claim)
+      : title_(std::move(title)), claim_(std::move(claim)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_ = true;
+    }
+  }
+
+  bool json() const { return json_; }
+
+  Table& table(std::string name, std::vector<std::string> columns) {
+    tables_.emplace_back(std::move(name), std::move(columns));
+    return tables_.back();
+  }
+
+  /// Free-form footnote (kept in the JSON document as a "notes" array).
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+
+  /// Append a per-message-type byte breakdown table for one run's metrics.
+  void bytes_table(const std::string& name, const util::Metrics& m) {
+    Table& t = table(name, {"message", "bytes"});
+    for (const auto& [msg, bytes] : bytes_by_message(m)) t.row({msg, bytes});
+    t.row({"total (net.bytes_sent)", net_bytes(m)});
+  }
+
+  void finish() const {
+    if (!json_) {
+      banner(title_, claim_);
+      for (const Table& t : tables_) t.print_text();
+      for (const std::string& n : notes_) std::printf("\n%s\n", n.c_str());
+      return;
+    }
+    std::string out = "{\"bench\": " + Cell(title_).json() +
+                      ", \"claim\": " + Cell(claim_).json() + ", \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += tables_[i].json();
+    }
+    out += "], \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Cell(notes_[i]).json();
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+  }
+
+ private:
+  std::string title_;
+  std::string claim_;
+  bool json_ = false;
+  std::deque<Table> tables_;  // deque: references from table() stay valid
+  std::vector<std::string> notes_;
+};
 
 }  // namespace mcp::bench

@@ -12,7 +12,9 @@ using paxos::Ballot;
 // Proposer
 
 Proposer::Proposer(const Config& config, Value value)
-    : config_(config), value_(std::move(value)) {}
+    : config_(config), value_(std::move(value)) {
+  msg::register_wire_messages(decoders());
+}
 
 void Proposer::on_start() {
   if (start_delay > 0) {
@@ -44,7 +46,9 @@ void Proposer::on_message(sim::NodeId, const std::any& m) {
 Coordinator::Coordinator(const Config& config)
     : config_(config),
       quorums_(config.quorum_system()),
-      fd_(*this, config.coordinators, config.fd) {}
+      fd_(*this, config.coordinators, config.fd) {
+  msg::register_wire_messages(decoders());
+}
 
 bool Coordinator::is_leader() const {
   // Without liveness machinery the lowest-id coordinator leads statically.
@@ -170,6 +174,7 @@ void Coordinator::send_2a(const Value& v) {
 
 Acceptor::Acceptor(const Config& config) : config_(config) {
   storage().set_write_latency(config.disk_latency);
+  msg::register_wire_messages(decoders());
 }
 
 void Acceptor::persist_vote() {
@@ -221,7 +226,9 @@ void Acceptor::on_message(sim::NodeId from, const std::any& m) {
 // ---------------------------------------------------------------------------
 // Learner
 
-Learner::Learner(const Config& config) : config_(config) {}
+Learner::Learner(const Config& config) : config_(config) {
+  msg::register_wire_messages(decoders());
+}
 
 void Learner::on_message(sim::NodeId from, const std::any& m) {
   if (const auto* announced = std::any_cast<msg::Learned>(&m)) {

@@ -10,6 +10,7 @@
 #include "paxos/leader.hpp"
 #include "paxos/proved_safe.hpp"
 #include "paxos/quorum.hpp"
+#include "paxos/wire.hpp"
 #include "sim/process.hpp"
 
 namespace mcp::classic {
@@ -23,31 +24,96 @@ using Value = cstruct::Command;
 namespace msg {
 struct Propose {
   Value v;
+
+  static constexpr std::uint32_t kTag = 16;
+  static constexpr const char* kName = "classic.propose";
+  void encode(wire::Writer& w) const { wire::put_command(w, v); }
+  static Propose decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
 struct P1a {
   paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = 17;
+  static constexpr const char* kName = "classic.1a";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static P1a decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct P1b {
   paxos::Ballot b;
   paxos::Ballot vrnd;
   std::optional<Value> vval;
+
+  static constexpr std::uint32_t kTag = 18;
+  static constexpr const char* kName = "classic.1b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_ballot(w, vrnd);
+    wire::put_opt_command(w, vval);
+  }
+  static P1b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_ballot(r), wire::get_opt_command(r)};
+  }
 };
 struct P2a {
   paxos::Ballot b;
   Value v;
+
+  static constexpr std::uint32_t kTag = 19;
+  static constexpr const char* kName = "classic.2a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_command(w, v);
+  }
+  static P2a decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_command(r)};
+  }
 };
 struct P2b {
   paxos::Ballot b;
   Value v;
+
+  static constexpr std::uint32_t kTag = 20;
+  static constexpr const char* kName = "classic.2b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_command(w, v);
+  }
+  static P2b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_command(r)};
+  }
 };
 /// Sent by an acceptor that rejected a message for a stale round (§4.3).
 struct Nack {
   paxos::Ballot heard;
+
+  static constexpr std::uint32_t kTag = 21;
+  static constexpr const char* kName = "classic.nack";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
+  static Nack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 /// Learner → proposers/coordinators: a decision was reached.
 struct Learned {
   Value v;
+
+  static constexpr std::uint32_t kTag = 22;
+  static constexpr const char* kName = "classic.learned";
+  void encode(wire::Writer& w) const { wire::put_command(w, v); }
+  static Learned decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
+
+/// Decoders for the full Classic Paxos message set (+ failure-detector
+/// heartbeats); every role registers all of them, so rerouted or
+/// retransmitted messages can never hit a process without a decoder.
+inline void register_wire_messages(wire::DecoderRegistry& reg) {
+  reg.add<paxos::Heartbeat>();
+  reg.add<Propose>();
+  reg.add<P1a>();
+  reg.add<P1b>();
+  reg.add<P2a>();
+  reg.add<P2b>();
+  reg.add<Nack>();
+  reg.add<Learned>();
+}
 }  // namespace msg
 
 /// Shared static configuration of one Classic Paxos instance.

@@ -39,7 +39,9 @@ void MultiProposer::on_message(sim::NodeId, const std::any& m) {
 MultiCoordinator::MultiCoordinator(const MultiConfig& config)
     : config_(config),
       quorums_(config.quorum_system()),
-      fd_(*this, config.coordinators, config.fd) {}
+      fd_(*this, config.coordinators, config.fd) {
+  mmsg::register_wire_messages(decoders());
+}
 
 bool MultiCoordinator::is_leader() const {
   if (!config_.enable_liveness) return id() == config_.coordinators.front();
@@ -184,6 +186,7 @@ void MultiCoordinator::on_message(sim::NodeId from, const std::any& m) {
 
 MultiAcceptor::MultiAcceptor(const MultiConfig& config) : config_(config) {
   storage().set_write_latency(config.disk_latency);
+  mmsg::register_wire_messages(decoders());
 }
 
 void MultiAcceptor::on_recover() {

@@ -10,6 +10,7 @@
 #include "paxos/leader.hpp"
 #include "paxos/proved_safe.hpp"
 #include "paxos/quorum.hpp"
+#include "paxos/wire.hpp"
 #include "sim/process.hpp"
 
 namespace mcp::classic {
@@ -24,10 +25,25 @@ using Instance = std::int64_t;
 namespace mmsg {
 struct Propose {
   cstruct::Command cmd;
+
+  static constexpr std::uint32_t kTag = 32;
+  static constexpr const char* kName = "multi.propose";
+  void encode(wire::Writer& w) const { wire::put_command(w, cmd); }
+  static Propose decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
 struct P1a {
   paxos::Ballot b;
   Instance from_instance;  ///< votes at or above this instance are reported
+
+  static constexpr std::uint32_t kTag = 33;
+  static constexpr const char* kName = "multi.1a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    w.put_signed(from_instance);
+  }
+  static P1a decode(wire::Reader& r) {
+    return {wire::get_ballot(r), r.get_signed()};
+  }
 };
 struct InstanceVote {
   Instance instance;
@@ -37,24 +53,99 @@ struct InstanceVote {
 struct P1b {
   paxos::Ballot b;
   std::vector<InstanceVote> votes;
+
+  static constexpr std::uint32_t kTag = 34;
+  static constexpr const char* kName = "multi.1b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    w.put_varint(votes.size());
+    for (const InstanceVote& v : votes) {
+      w.put_signed(v.instance);
+      wire::put_ballot(w, v.vrnd);
+      wire::put_command(w, v.vval);
+    }
+  }
+  static P1b decode(wire::Reader& r) {
+    P1b out;
+    out.b = wire::get_ballot(r);
+    const std::uint64_t n = wire::check_count(r, r.get_varint());
+    out.votes.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      InstanceVote v;
+      v.instance = r.get_signed();
+      v.vrnd = wire::get_ballot(r);
+      v.vval = wire::get_command(r);
+      out.votes.push_back(std::move(v));
+    }
+    return out;
+  }
 };
 struct P2a {
   paxos::Ballot b;
   Instance instance;
   cstruct::Command v;
+
+  static constexpr std::uint32_t kTag = 35;
+  static constexpr const char* kName = "multi.2a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    w.put_signed(instance);
+    wire::put_command(w, v);
+  }
+  static P2a decode(wire::Reader& r) {
+    return {wire::get_ballot(r), r.get_signed(), wire::get_command(r)};
+  }
 };
 struct P2b {
   paxos::Ballot b;
   Instance instance;
   cstruct::Command v;
+
+  static constexpr std::uint32_t kTag = 36;
+  static constexpr const char* kName = "multi.2b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    w.put_signed(instance);
+    wire::put_command(w, v);
+  }
+  static P2b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), r.get_signed(), wire::get_command(r)};
+  }
 };
 struct Nack {
   paxos::Ballot heard;
+
+  static constexpr std::uint32_t kTag = 37;
+  static constexpr const char* kName = "multi.nack";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
+  static Nack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct Learned {
   Instance instance;
   cstruct::Command v;
+
+  static constexpr std::uint32_t kTag = 38;
+  static constexpr const char* kName = "multi.learned";
+  void encode(wire::Writer& w) const {
+    w.put_signed(instance);
+    wire::put_command(w, v);
+  }
+  static Learned decode(wire::Reader& r) {
+    return {r.get_signed(), wire::get_command(r)};
+  }
 };
+
+/// Full MultiPaxos message set (+ heartbeats); registered by every role.
+inline void register_wire_messages(wire::DecoderRegistry& reg) {
+  reg.add<paxos::Heartbeat>();
+  reg.add<Propose>();
+  reg.add<P1a>();
+  reg.add<P1b>();
+  reg.add<P2a>();
+  reg.add<P2b>();
+  reg.add<Nack>();
+  reg.add<Learned>();
+}
 }  // namespace mmsg
 
 struct MultiConfig {
@@ -78,7 +169,9 @@ struct MultiConfig {
 /// is learned.
 class MultiProposer final : public sim::Process {
  public:
-  explicit MultiProposer(const MultiConfig& config) : config_(config) {}
+  explicit MultiProposer(const MultiConfig& config) : config_(config) {
+    mmsg::register_wire_messages(decoders());
+  }
 
   std::string role() const override { return "proposer"; }
   void on_message(sim::NodeId from, const std::any& msg) override;
@@ -154,7 +247,9 @@ class MultiAcceptor final : public sim::Process {
 /// (what a replica could apply).
 class MultiLearner final : public sim::Process {
  public:
-  explicit MultiLearner(const MultiConfig& config) : config_(config) {}
+  explicit MultiLearner(const MultiConfig& config) : config_(config) {
+    mmsg::register_wire_messages(decoders());
+  }
 
   std::string role() const override { return "learner"; }
   void on_message(sim::NodeId from, const std::any& msg) override;

@@ -12,7 +12,9 @@ using paxos::Ballot;
 // Proposer
 
 Proposer::Proposer(const Config& config, Value value)
-    : config_(config), value_(std::move(value)) {}
+    : config_(config), value_(std::move(value)) {
+  msg::register_wire_messages(decoders());
+}
 
 void Proposer::on_start() {
   if (start_delay > 0) {
@@ -46,6 +48,7 @@ Coordinator::Coordinator(const Config& config)
     : config_(config),
       quorums_(config.quorum_system()),
       fd_(*this, config.coordinators, config.fd) {
+  msg::register_wire_messages(decoders());
   if (!quorums_.meets_fast_requirement()) {
     throw std::invalid_argument("fast::Coordinator: n > 2E + F required (Assumption 2)");
   }
@@ -221,6 +224,7 @@ void Coordinator::on_timer(int token) {
 Acceptor::Acceptor(const Config& config)
     : config_(config), quorums_(config.quorum_system()) {
   storage().set_write_latency(config.disk_latency);
+  msg::register_wire_messages(decoders());
 }
 
 void Acceptor::on_recover() {
@@ -349,7 +353,9 @@ void Acceptor::uncoordinated_recovery(const Ballot& collided) {
 // Learner
 
 Learner::Learner(const Config& config)
-    : config_(config), quorums_(config.quorum_system()) {}
+    : config_(config), quorums_(config.quorum_system()) {
+  msg::register_wire_messages(decoders());
+}
 
 void Learner::on_message(sim::NodeId from, const std::any& m) {
   if (const auto* announced = std::any_cast<msg::Learned>(&m)) {

@@ -10,6 +10,7 @@
 #include "paxos/leader.hpp"
 #include "paxos/proved_safe.hpp"
 #include "paxos/quorum.hpp"
+#include "paxos/wire.hpp"
 #include "sim/process.hpp"
 
 namespace mcp::fast {
@@ -31,29 +32,92 @@ enum class RecoveryMode { kRestart, kCoordinated, kUncoordinated };
 namespace msg {
 struct Propose {
   Value v;
+
+  static constexpr std::uint32_t kTag = 48;
+  static constexpr const char* kName = "fast.propose";
+  void encode(wire::Writer& w) const { wire::put_command(w, v); }
+  static Propose decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
 struct P1a {
   paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = 49;
+  static constexpr const char* kName = "fast.1a";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static P1a decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct P1b {
   paxos::Ballot b;
   paxos::Ballot vrnd;
   std::optional<Value> vval;
+
+  static constexpr std::uint32_t kTag = 50;
+  static constexpr const char* kName = "fast.1b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_ballot(w, vrnd);
+    wire::put_opt_command(w, vval);
+  }
+  static P1b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_ballot(r), wire::get_opt_command(r)};
+  }
 };
 struct P2a {
   paxos::Ballot b;
   std::optional<Value> v;  ///< nullopt encodes the special value Any
+
+  static constexpr std::uint32_t kTag = 51;
+  static constexpr const char* kName = "fast.2a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_opt_command(w, v);
+  }
+  static P2a decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_opt_command(r)};
+  }
 };
 struct P2b {
   paxos::Ballot b;
   Value v;
+
+  static constexpr std::uint32_t kTag = 52;
+  static constexpr const char* kName = "fast.2b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_command(w, v);
+  }
+  static P2b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_command(r)};
+  }
 };
 struct Nack {
   paxos::Ballot heard;
+
+  static constexpr std::uint32_t kTag = 53;
+  static constexpr const char* kName = "fast.nack";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
+  static Nack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct Learned {
   Value v;
+
+  static constexpr std::uint32_t kTag = 54;
+  static constexpr const char* kName = "fast.learned";
+  void encode(wire::Writer& w) const { wire::put_command(w, v); }
+  static Learned decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
+
+/// Full Fast Paxos message set (+ heartbeats); registered by every role.
+inline void register_wire_messages(wire::DecoderRegistry& reg) {
+  reg.add<paxos::Heartbeat>();
+  reg.add<Propose>();
+  reg.add<P1a>();
+  reg.add<P1b>();
+  reg.add<P2a>();
+  reg.add<P2b>();
+  reg.add<Nack>();
+  reg.add<Learned>();
+}
 }  // namespace msg
 
 struct Config {

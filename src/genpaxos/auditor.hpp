@@ -33,7 +33,9 @@ template <cstruct::CStructT CS>
 class SafetyAuditor final : public sim::Process {
  public:
   explicit SafetyAuditor(const Config<CS>& config)
-      : config_(config), quorums_(config.quorum_system()) {}
+      : config_(config), quorums_(config.quorum_system()) {
+    register_wire_messages(decoders(), config.bottom);
+  }
 
   std::string role() const override { return "auditor"; }
 

@@ -15,6 +15,7 @@
 #include "paxos/proved_safe.hpp"
 #include "paxos/quorum.hpp"
 #include "paxos/round_config.hpp"
+#include "paxos/wire.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 
@@ -42,39 +43,122 @@ using cstruct::Command;
 
 // --- messages -----------------------------------------------------------------
 
+/// Wire tags for the c-struct-templated messages: one block of four per
+/// c-struct kind, so e.g. Msg2a<History> and Msg2a<CSet> decode distinctly
+/// while sharing the display name (byte counters aggregate per phase).
+template <cstruct::CStructT CS>
+constexpr std::uint32_t cs_msg_tag(std::uint32_t phase_index) {
+  return 96 + 4 * wire::CStructKind<CS>::kKind + phase_index;
+}
+
 template <cstruct::CStructT CS>
 struct Msg1a {
   paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = cs_msg_tag<CS>(0);
+  static constexpr const char* kName = "gen.1a";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static Msg1a decode(wire::Reader& r, const CS&) { return {wire::get_ballot(r)}; }
 };
 template <cstruct::CStructT CS>
 struct Msg1b {
   paxos::Ballot b;
   paxos::Ballot vrnd;
   CS vval;
+
+  static constexpr std::uint32_t kTag = cs_msg_tag<CS>(1);
+  static constexpr const char* kName = "gen.1b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_ballot(w, vrnd);
+    wire::put_cstruct(w, vval);
+  }
+  static Msg1b decode(wire::Reader& r, const CS& bottom) {
+    return {wire::get_ballot(r), wire::get_ballot(r), wire::get_cstruct(r, bottom)};
+  }
 };
 /// 2a/2b carry whole c-structs that fan out to many destinations; the
-/// payload is shared immutable state so a multicast costs refcounts, not
-/// deep copies of the command history.
+/// payload is shared immutable state so an in-memory multicast costs
+/// refcounts, not deep copies of the command history (on the wire the
+/// whole c-struct is serialized, which is exactly the cost the byte
+/// counters are meant to expose).
 template <cstruct::CStructT CS>
 struct Msg2a {
   paxos::Ballot b;
   std::shared_ptr<const CS> val;
+
+  static constexpr std::uint32_t kTag = cs_msg_tag<CS>(2);
+  static constexpr const char* kName = "gen.2a";
+  void encode(wire::Writer& w) const {
+    if (!val) throw std::logic_error("gen.2a: null payload");
+    wire::put_ballot(w, b);
+    wire::put_cstruct(w, *val);
+  }
+  static Msg2a decode(wire::Reader& r, const CS& bottom) {
+    Msg2a out;
+    out.b = wire::get_ballot(r);
+    out.val = std::make_shared<const CS>(wire::get_cstruct(r, bottom));
+    return out;
+  }
 };
 template <cstruct::CStructT CS>
 struct Msg2b {
   paxos::Ballot b;
   std::shared_ptr<const CS> val;
+
+  static constexpr std::uint32_t kTag = cs_msg_tag<CS>(3);
+  static constexpr const char* kName = "gen.2b";
+  void encode(wire::Writer& w) const {
+    if (!val) throw std::logic_error("gen.2b: null payload");
+    wire::put_ballot(w, b);
+    wire::put_cstruct(w, *val);
+  }
+  static Msg2b decode(wire::Reader& r, const CS& bottom) {
+    Msg2b out;
+    out.b = wire::get_ballot(r);
+    out.val = std::make_shared<const CS>(wire::get_cstruct(r, bottom));
+    return out;
+  }
 };
 struct MsgPropose {
   Command c;
+
+  static constexpr std::uint32_t kTag = 80;
+  static constexpr const char* kName = "gen.propose";
+  void encode(wire::Writer& w) const { wire::put_command(w, c); }
+  static MsgPropose decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
 struct MsgNack {
   paxos::Ballot heard;
+
+  static constexpr std::uint32_t kTag = 81;
+  static constexpr const char* kName = "gen.nack";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
+  static MsgNack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 /// Learner → proposer: your command is contained in the learned c-struct.
 struct MsgAck {
   std::uint64_t command_id;
+
+  static constexpr std::uint32_t kTag = 82;
+  static constexpr const char* kName = "gen.ack";
+  void encode(wire::Writer& w) const { w.put_varint(command_id); }
+  static MsgAck decode(wire::Reader& r) { return {r.get_varint()}; }
 };
+
+/// Full generalized-engine message set for one c-struct instantiation
+/// (+ heartbeats); registered by every role, including the auditor.
+template <cstruct::CStructT CS>
+void register_wire_messages(wire::DecoderRegistry& reg, const CS& bottom) {
+  reg.add<paxos::Heartbeat>();
+  reg.add<MsgPropose>();
+  reg.add<MsgNack>();
+  reg.add<MsgAck>();
+  reg.add<Msg1a<CS>>(bottom);
+  reg.add<Msg1b<CS>>(bottom);
+  reg.add<Msg2a<CS>>(bottom);
+  reg.add<Msg2b<CS>>(bottom);
+}
 
 // --- configuration --------------------------------------------------------------
 
@@ -113,7 +197,9 @@ struct Config {
 template <cstruct::CStructT CS>
 class GenProposer final : public sim::Process {
  public:
-  explicit GenProposer(const Config<CS>& config) : config_(config) {}
+  explicit GenProposer(const Config<CS>& config) : config_(config) {
+    register_wire_messages(decoders(), config.bottom);
+  }
 
   std::string role() const override { return "proposer"; }
 
@@ -166,7 +252,9 @@ class GenCoordinator final : public sim::Process {
   explicit GenCoordinator(const Config<CS>& config)
       : config_(config),
         quorums_(config.quorum_system()),
-        fd_(*this, config.policy->all_coordinators(), config.fd) {}
+        fd_(*this, config.policy->all_coordinators(), config.fd) {
+    register_wire_messages(decoders(), config.bottom);
+  }
 
   std::string role() const override { return "coordinator"; }
 
@@ -355,6 +443,7 @@ class GenAcceptor final : public sim::Process {
         quorums_(config.quorum_system()),
         vval_(config.bottom) {
     storage().set_write_latency(config.disk_latency);
+    register_wire_messages(decoders(), config.bottom);
   }
 
   std::string role() const override { return "acceptor"; }
@@ -588,7 +677,9 @@ template <cstruct::CStructT CS>
 class GenLearner final : public sim::Process {
  public:
   explicit GenLearner(const Config<CS>& config)
-      : config_(config), quorums_(config.quorum_system()), learned_(config.bottom) {}
+      : config_(config), quorums_(config.quorum_system()), learned_(config.bottom) {
+    register_wire_messages(decoders(), config.bottom);
+  }
 
   std::string role() const override { return "learner"; }
 

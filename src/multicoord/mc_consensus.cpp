@@ -14,7 +14,9 @@ using paxos::RoundInfo;
 // Proposer
 
 Proposer::Proposer(const Config& config, Value value)
-    : config_(config), value_(std::move(value)) {}
+    : config_(config), value_(std::move(value)) {
+  msg::register_wire_messages(decoders());
+}
 
 void Proposer::on_start() {
   if (start_delay > 0) {
@@ -68,7 +70,9 @@ void Proposer::on_message(sim::NodeId, const std::any& m) {
 Coordinator::Coordinator(const Config& config)
     : config_(config),
       quorums_(config.quorum_system()),
-      fd_(*this, config.policy->all_coordinators(), config.fd) {}
+      fd_(*this, config.policy->all_coordinators(), config.fd) {
+  msg::register_wire_messages(decoders());
+}
 
 bool Coordinator::is_leader() const {
   if (!config_.enable_liveness) return id() == config_.policy->all_coordinators().front();
@@ -234,6 +238,7 @@ void Coordinator::on_timer(int token) {
 Acceptor::Acceptor(const Config& config)
     : config_(config), quorums_(config.quorum_system()) {
   storage().set_write_latency(config.disk_latency);
+  msg::register_wire_messages(decoders());
 }
 
 void Acceptor::on_recover() {
@@ -369,7 +374,9 @@ void Acceptor::on_message(sim::NodeId from, const std::any& m) {
 // Learner
 
 Learner::Learner(const Config& config)
-    : config_(config), quorums_(config.quorum_system()) {}
+    : config_(config), quorums_(config.quorum_system()) {
+  msg::register_wire_messages(decoders());
+}
 
 void Learner::on_message(sim::NodeId from, const std::any& m) {
   if (const auto* announced = std::any_cast<msg::Learned>(&m)) {

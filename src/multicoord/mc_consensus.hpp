@@ -11,6 +11,7 @@
 #include "paxos/proved_safe.hpp"
 #include "paxos/quorum.hpp"
 #include "paxos/round_config.hpp"
+#include "paxos/wire.hpp"
 #include "sim/process.hpp"
 
 namespace mcp::multicoord {
@@ -36,29 +37,98 @@ struct Propose {
   /// only to these acceptors (a full acceptor quorum picked by the
   /// proposer).
   std::vector<sim::NodeId> target_acceptors;
+
+  static constexpr std::uint32_t kTag = 64;
+  static constexpr const char* kName = "mc.propose";
+  void encode(wire::Writer& w) const {
+    wire::put_command(w, v);
+    wire::put_node_ids(w, target_acceptors);
+  }
+  static Propose decode(wire::Reader& r) {
+    return {wire::get_command(r), wire::get_node_ids(r)};
+  }
 };
 struct P1a {
   paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = 65;
+  static constexpr const char* kName = "mc.1a";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static P1a decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct P1b {
   paxos::Ballot b;
   paxos::Ballot vrnd;
   std::optional<Value> vval;
+
+  static constexpr std::uint32_t kTag = 66;
+  static constexpr const char* kName = "mc.1b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_ballot(w, vrnd);
+    wire::put_opt_command(w, vval);
+  }
+  static P1b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_ballot(r), wire::get_opt_command(r)};
+  }
 };
 struct P2a {
   paxos::Ballot b;
   std::optional<Value> v;  ///< nullopt encodes Any (fast rounds only)
+
+  static constexpr std::uint32_t kTag = 67;
+  static constexpr const char* kName = "mc.2a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_opt_command(w, v);
+  }
+  static P2a decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_opt_command(r)};
+  }
 };
 struct P2b {
   paxos::Ballot b;
   Value v;
+
+  static constexpr std::uint32_t kTag = 68;
+  static constexpr const char* kName = "mc.2b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_command(w, v);
+  }
+  static P2b decode(wire::Reader& r) {
+    return {wire::get_ballot(r), wire::get_command(r)};
+  }
 };
 struct Nack {
   paxos::Ballot heard;
+
+  static constexpr std::uint32_t kTag = 69;
+  static constexpr const char* kName = "mc.nack";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
+  static Nack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct Learned {
   Value v;
+
+  static constexpr std::uint32_t kTag = 70;
+  static constexpr const char* kName = "mc.learned";
+  void encode(wire::Writer& w) const { wire::put_command(w, v); }
+  static Learned decode(wire::Reader& r) { return {wire::get_command(r)}; }
 };
+
+/// Full multicoordinated-consensus message set (+ heartbeats); registered
+/// by every role.
+inline void register_wire_messages(wire::DecoderRegistry& reg) {
+  reg.add<paxos::Heartbeat>();
+  reg.add<Propose>();
+  reg.add<P1a>();
+  reg.add<P1b>();
+  reg.add<P2a>();
+  reg.add<P2b>();
+  reg.add<Nack>();
+  reg.add<Learned>();
+}
 }  // namespace msg
 
 struct Config {

@@ -8,6 +8,10 @@ FailureDetector::FailureDetector(sim::Process& owner, std::vector<sim::NodeId> g
                                  Config config)
     : owner_(owner), group_(std::move(group)), config_(config) {
   std::sort(group_.begin(), group_.end());
+  // The detector is a self-contained component: any process that owns one
+  // can decode the heartbeats its peers send, without the owning protocol
+  // having to know about them.
+  owner_.decoders().add<Heartbeat>();
 }
 
 void FailureDetector::start() {

@@ -10,7 +10,12 @@
 namespace mcp::paxos {
 
 /// Heartbeat exchanged by the members of a failure-detection group.
-struct Heartbeat {};
+struct Heartbeat {
+  static constexpr std::uint32_t kTag = 1;
+  static constexpr const char* kName = "hb";
+  void encode(wire::Writer&) const {}
+  static Heartbeat decode(wire::Reader&) { return {}; }
+};
 
 /// Unreliable failure detector + Ω leader oracle (§4.3 relies on one to
 /// avoid dueling round initiators). Members broadcast heartbeats every

@@ -1,6 +1,119 @@
 #include "paxos/wire.hpp"
 
+#include <limits>
+
 namespace mcp::wire {
+
+namespace {
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::map<std::uint32_t, std::string>& name_table() {
+  static std::map<std::uint32_t, std::string> table;
+  return table;
+}
+
+}  // namespace
+
+std::string Envelope::encode() const {
+  Writer w;
+  w.put_varint(tag);
+  w.put_bytes(body);
+  return w.take();
+}
+
+Envelope Envelope::decode(std::string_view data) {
+  Reader r(data);
+  Envelope env;
+  const std::uint64_t tag = r.get_varint();
+  if (tag > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("wire: envelope tag out of range");
+  }
+  env.tag = static_cast<std::uint32_t>(tag);
+  env.body = std::string(r.get_bytes());
+  if (!r.at_end()) throw std::invalid_argument("wire: trailing bytes after envelope");
+  return env;
+}
+
+std::size_t Envelope::wire_size() const {
+  return varint_size(tag) + varint_size(body.size()) + body.size();
+}
+
+const std::string& message_name(std::uint32_t tag) {
+  static const std::string kUnknown = "unknown";
+  const auto& table = name_table();
+  auto it = table.find(tag);
+  return it == table.end() ? kUnknown : it->second;
+}
+
+void register_message_name(std::uint32_t tag, std::string_view name) {
+  auto [it, inserted] = name_table().emplace(tag, name);
+  if (!inserted && it->second != name) {
+    throw std::logic_error("wire: tag " + std::to_string(tag) + " bound to both '" +
+                           it->second + "' and '" + std::string(name) + "'");
+  }
+}
+
+std::any DecoderRegistry::decode(const Envelope& env) const {
+  auto it = decoders_.find(env.tag);
+  if (it == decoders_.end()) {
+    throw std::logic_error("wire: no decoder registered for message '" +
+                           message_name(env.tag) + "' (tag " + std::to_string(env.tag) +
+                           ")");
+  }
+  Reader r(env.body);
+  std::any decoded = it->second(r);
+  if (!r.at_end()) {
+    throw std::invalid_argument("wire: trailing bytes in '" + message_name(env.tag) +
+                                "' body");
+  }
+  return decoded;
+}
+
+void put_flag(Writer& w, bool flag) { w.put_u8(flag ? 1 : 0); }
+
+bool get_flag(Reader& r) {
+  const std::uint8_t byte = r.get_u8();
+  if (byte > 1) throw std::invalid_argument("wire: bad presence flag");
+  return byte == 1;
+}
+
+void put_opt_command(Writer& w, const std::optional<cstruct::Command>& c) {
+  put_flag(w, c.has_value());
+  if (c) put_command(w, *c);
+}
+
+std::optional<cstruct::Command> get_opt_command(Reader& r) {
+  if (!get_flag(r)) return std::nullopt;
+  return get_command(r);
+}
+
+void put_node_ids(Writer& w, const std::vector<sim::NodeId>& ids) {
+  w.put_varint(ids.size());
+  for (sim::NodeId id : ids) w.put_signed(id);
+}
+
+std::vector<sim::NodeId> get_node_ids(Reader& r) {
+  const std::uint64_t n = check_count(r, r.get_varint());
+  std::vector<sim::NodeId> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t id = r.get_signed();
+    if (id < std::numeric_limits<sim::NodeId>::min() ||
+        id > std::numeric_limits<sim::NodeId>::max()) {
+      throw std::invalid_argument("wire: node id out of range");
+    }
+    out.push_back(static_cast<sim::NodeId>(id));
+  }
+  return out;
+}
 
 void put_ballot(Writer& w, const paxos::Ballot& b) {
   w.put_signed(b.count);
@@ -46,7 +159,7 @@ void put_commands(Writer& w, const std::vector<cstruct::Command>& cmds) {
 }
 
 std::vector<cstruct::Command> get_commands(Reader& r) {
-  const std::uint64_t n = r.get_varint();
+  const std::uint64_t n = check_count(r, r.get_varint());
   std::vector<cstruct::Command> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_command(r));
@@ -54,7 +167,7 @@ std::vector<cstruct::Command> get_commands(Reader& r) {
 }
 
 void put_cstruct(Writer& w, const cstruct::SingleValue& v) {
-  w.put_u8(v.is_bottom() ? 0 : 1);
+  put_flag(w, !v.is_bottom());
   if (!v.is_bottom()) put_command(w, *v.value());
 }
 
@@ -63,7 +176,7 @@ void put_cstruct(Writer& w, const cstruct::CSet& v) { put_commands(w, v.commands
 void put_cstruct(Writer& w, const cstruct::History& v) { put_commands(w, v.sequence()); }
 
 cstruct::SingleValue get_cstruct(Reader& r, const cstruct::SingleValue&) {
-  if (r.get_u8() == 0) return cstruct::SingleValue{};
+  if (!get_flag(r)) return cstruct::SingleValue{};
   return cstruct::SingleValue{get_command(r)};
 }
 

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <any>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cstruct/cset.hpp"
@@ -14,10 +19,12 @@
 namespace mcp::wire {
 
 /// Binary wire format for the protocol messages: little-endian varints,
-/// length-prefixed bytes. The simulator passes messages in-memory, so the
-/// codec's role in this repository is (a) the stable-storage format's
-/// binary sibling, (b) message-size accounting for bandwidth analysis, and
-/// (c) the starting point for a real network transport.
+/// length-prefixed bytes. Every message the simulator carries is encoded
+/// through this codec into a typed Envelope at the Process::send boundary
+/// (unless NetworkConfig::encode_messages is off), so the codec is (a) the
+/// stable-storage format's binary sibling, (b) the source of the
+/// bytes-on-the-wire metrics, and (c) the starting point for a real
+/// network transport.
 class Writer {
  public:
   void put_varint(std::uint64_t value) {
@@ -79,9 +86,11 @@ class Reader {
 
   std::string_view get_bytes() {
     const std::uint64_t len = get_varint();
-    if (pos_ + len > data_.size()) throw std::invalid_argument("wire: truncated bytes");
+    // Compare against the remaining length: `pos_ + len` can wrap for
+    // adversarial varint lengths close to 2^64.
+    if (len > data_.size() - pos_) throw std::invalid_argument("wire: truncated bytes");
     std::string_view out = data_.substr(pos_, len);
-    pos_ += len;
+    pos_ += static_cast<std::size_t>(len);
     return out;
   }
 
@@ -91,6 +100,96 @@ class Reader {
  private:
   std::string_view data_;
   std::size_t pos_ = 0;
+};
+
+// --- typed envelopes ---------------------------------------------------------
+
+/// A message on the simulated wire: a numeric message-type tag plus the
+/// length-prefixed encoded body. What Process::send hands to the network
+/// when message encoding is on; a real transport would ship exactly these
+/// bytes.
+struct Envelope {
+  std::uint32_t tag = 0;
+  std::string body;
+
+  /// Serialized form: varint tag, then length-prefixed body.
+  std::string encode() const;
+  /// Inverse of encode(); throws std::invalid_argument on truncated or
+  /// trailing bytes.
+  static Envelope decode(std::string_view data);
+
+  /// Bytes this envelope occupies on the wire (== encode().size(), without
+  /// materializing the string).
+  std::size_t wire_size() const;
+};
+
+/// A self-encoding message: carries its own tag, display name, and
+/// encoder. Decoders are registered per process (they may need a c-struct
+/// prototype), so decode is not part of the concept.
+template <typename M>
+concept SelfEncoding = requires(const M& m, Writer& w) {
+  { M::kTag } -> std::convertible_to<std::uint32_t>;
+  { M::kName } -> std::convertible_to<std::string_view>;
+  m.encode(w);
+};
+
+/// Human-readable name for a message-type tag ("gen.2a", ...), used by the
+/// per-message-type byte counters. Unknown tags map to "unknown".
+const std::string& message_name(std::uint32_t tag);
+/// Record the tag → name mapping; throws std::logic_error if the tag is
+/// already bound to a different name (a tag collision between messages).
+void register_message_name(std::uint32_t tag, std::string_view name);
+
+/// Serialize a message into its envelope. Does NOT touch the name table —
+/// names are registered once per process via DecoderRegistry::add, not on
+/// the per-send hot path.
+template <SelfEncoding M>
+Envelope make_envelope(const M& msg) {
+  Writer w;
+  msg.encode(w);
+  return Envelope{M::kTag, w.take()};
+}
+
+/// Tag → decoder table of one process. Each protocol role registers the
+/// decoders for its full message set at construction; Simulation::deliver
+/// uses the destination's registry to turn an Envelope back into the typed
+/// message its on_message handler expects.
+class DecoderRegistry {
+ public:
+  using DecodeFn = std::function<std::any(Reader&)>;
+
+  /// Register a decoder under a message's tag (also records its name).
+  /// Re-registering the same tag overwrites, so a process owning several
+  /// components (e.g. a failure detector) can share message types.
+  void add(std::uint32_t tag, std::string_view name, DecodeFn fn) {
+    register_message_name(tag, name);
+    decoders_[tag] = std::move(fn);
+  }
+
+  /// Convenience for messages with `static M decode(Reader&)`.
+  template <typename M>
+  void add() {
+    add(M::kTag, M::kName, [](Reader& r) { return std::any(M::decode(r)); });
+  }
+
+  /// Convenience for messages with `static M decode(Reader&, const Proto&)`
+  /// (c-struct payloads need the ⊥ prototype).
+  template <typename M, typename Proto>
+  void add(Proto prototype) {
+    add(M::kTag, M::kName, [prototype = std::move(prototype)](Reader& r) {
+      return std::any(M::decode(r, prototype));
+    });
+  }
+
+  bool knows(std::uint32_t tag) const { return decoders_.count(tag) != 0; }
+
+  /// Decode an envelope body into the registered message type. Throws
+  /// std::invalid_argument on malformed bodies (including trailing bytes)
+  /// and std::logic_error if the tag has no registered decoder.
+  std::any decode(const Envelope& env) const;
+
+ private:
+  std::map<std::uint32_t, DecodeFn> decoders_;
 };
 
 // --- protocol data types -----------------------------------------------------
@@ -111,6 +210,43 @@ void put_cstruct(Writer& w, const cstruct::History& v);
 cstruct::SingleValue get_cstruct(Reader& r, const cstruct::SingleValue& prototype);
 cstruct::CSet get_cstruct(Reader& r, const cstruct::CSet& prototype);
 cstruct::History get_cstruct(Reader& r, const cstruct::History& prototype);
+
+/// Validated presence / boolean flag: any byte other than 0/1 is rejected
+/// so garbage input throws instead of silently decoding.
+void put_flag(Writer& w, bool flag);
+bool get_flag(Reader& r);
+
+/// Validate a decoded element count against the bytes actually left: every
+/// element costs at least one byte, so a count above `remaining()` is
+/// malformed. Rejecting it up front keeps adversarial counts from driving
+/// a huge vector reserve before the per-element reads would fail.
+inline std::uint64_t check_count(const Reader& r, std::uint64_t n) {
+  if (n > r.remaining()) throw std::invalid_argument("wire: element count exceeds input");
+  return n;
+}
+
+void put_opt_command(Writer& w, const std::optional<cstruct::Command>& c);
+std::optional<cstruct::Command> get_opt_command(Reader& r);
+
+void put_node_ids(Writer& w, const std::vector<sim::NodeId>& ids);
+std::vector<sim::NodeId> get_node_ids(Reader& r);
+
+/// Dense per-c-struct discriminator used to derive distinct wire tags for
+/// the c-struct-templated generalized-engine messages.
+template <typename CS>
+struct CStructKind;
+template <>
+struct CStructKind<cstruct::SingleValue> {
+  static constexpr std::uint32_t kKind = 0;
+};
+template <>
+struct CStructKind<cstruct::CSet> {
+  static constexpr std::uint32_t kKind = 1;
+};
+template <>
+struct CStructKind<cstruct::History> {
+  static constexpr std::uint32_t kKind = 2;
+};
 
 /// Encoded size of a value, for bandwidth accounting.
 template <typename T>

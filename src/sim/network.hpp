@@ -23,6 +23,11 @@ struct NetworkConfig {
   /// Delivery to self is immediate-but-asynchronous (next event, delay 0)
   /// unless this is set, in which case self messages use the normal delays.
   bool delay_self_messages = false;
+  /// Serialize protocol messages into wire::Envelope bytes at the
+  /// Process::send boundary (enables the net.bytes_* counters). Off is the
+  /// escape hatch for perf-sensitive soak runs; protocol outcomes are
+  /// identical either way for a fixed seed.
+  bool encode_messages = true;
 };
 
 class Network {

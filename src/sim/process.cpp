@@ -14,23 +14,12 @@ Simulation& require_sim(Simulation* sim) {
 }
 }  // namespace
 
-void Process::send(NodeId to, std::any msg) {
-  require_sim(sim_).post_message(id_, to, std::move(msg));
+bool Process::wire_encoding_on() const {
+  return require_sim(sim_).network().config().encode_messages;
 }
 
-void Process::multicast(const std::vector<NodeId>& to, const std::any& msg) {
-  Simulation& s = require_sim(sim_);
-  for (NodeId dst : to) s.post_message(id_, dst, msg);
-}
-
-void Process::send_after_sync(NodeId to, std::any msg, Time sync_latency) {
-  require_sim(sim_).post_message(id_, to, std::move(msg), sync_latency);
-}
-
-void Process::multicast_after_sync(const std::vector<NodeId>& to, const std::any& msg,
-                                   Time sync_latency) {
-  Simulation& s = require_sim(sim_);
-  for (NodeId dst : to) s.post_message(id_, dst, msg, sync_latency);
+void Process::post_payload(NodeId to, std::any payload, Time extra_delay) {
+  require_sim(sim_).post_message(id_, to, std::move(payload), extra_delay);
 }
 
 int Process::set_timer(Time delay, int token) {

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <any>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "paxos/wire.hpp"
 #include "sim/storage.hpp"
 #include "sim/time.hpp"
 
@@ -47,16 +50,45 @@ class Process {
 
   // Interaction helpers are public so that reusable components owned by a
   // process (e.g. the failure detector) can drive them on its behalf.
+  //
+  // Messages modelling self-encoding wire types (wire::SelfEncoding) are
+  // serialized into a wire::Envelope at this boundary, so the network
+  // carries bytes and the byte counters see every protocol message;
+  // anything else (ad-hoc test payloads) rides along as a plain std::any.
+  // NetworkConfig::encode_messages = false restores the in-memory
+  // hand-off for perf-sensitive runs.
 
   /// Send a message; delivery is scheduled through the simulated network.
-  void send(NodeId to, std::any msg);
-  /// Send the same message to every node in `to`.
-  void multicast(const std::vector<NodeId>& to, const std::any& msg);
+  template <typename M>
+  void send(NodeId to, M msg) {
+    post_payload(to, make_payload(std::move(msg)), 0);
+  }
+
+  /// Send the same message to every node in `to` (encoded once).
+  template <typename M>
+  void multicast(const std::vector<NodeId>& to, const M& msg) {
+    const std::any payload = make_payload(msg);
+    for (NodeId dst : to) post_payload(dst, payload, 0);
+  }
+
   /// Durably write to stable storage, then send; the send is delayed by the
   /// disk-write latency, modelling "write before ack".
-  void send_after_sync(NodeId to, std::any msg, Time sync_latency);
-  void multicast_after_sync(const std::vector<NodeId>& to, const std::any& msg,
-                            Time sync_latency);
+  template <typename M>
+  void send_after_sync(NodeId to, M msg, Time sync_latency) {
+    post_payload(to, make_payload(std::move(msg)), sync_latency);
+  }
+
+  template <typename M>
+  void multicast_after_sync(const std::vector<NodeId>& to, const M& msg,
+                            Time sync_latency) {
+    const std::any payload = make_payload(msg);
+    for (NodeId dst : to) post_payload(dst, payload, sync_latency);
+  }
+
+  /// Decoders for the message types this process understands; protocol
+  /// roles register their full message set at construction.
+  wire::DecoderRegistry& decoders() { return decoders_; }
+  const wire::DecoderRegistry& decoders() const { return decoders_; }
 
   /// Arrange for on_timer(token) after `delay`. Returns a handle usable
   /// with cancel_timer. Timers are implicitly cancelled by a crash.
@@ -70,6 +102,26 @@ class Process {
  private:
   friend class Simulation;
 
+  /// The encoding boundary: self-encoding messages become a
+  /// shared_ptr<const Envelope> (per-destination and per-duplicate
+  /// std::any copies inside the simulation are refcount bumps, not deep
+  /// copies of the body bytes); everything else rides as a plain std::any.
+  template <typename M>
+  std::any make_payload(M&& msg) {
+    if constexpr (wire::SelfEncoding<std::decay_t<M>>) {
+      if (wire_encoding_on()) {
+        return std::make_shared<const wire::Envelope>(wire::make_envelope(msg));
+      }
+    }
+    return std::any(std::forward<M>(msg));
+  }
+
+  /// True when messages must be serialized at this boundary (the owning
+  /// simulation's NetworkConfig::encode_messages).
+  bool wire_encoding_on() const;
+  /// Hand a ready payload (envelope or raw std::any) to the simulation.
+  void post_payload(NodeId to, std::any payload, Time extra_delay);
+
   Simulation* sim_ = nullptr;
   NodeId id_ = kNoNode;
   bool crashed_ = false;
@@ -77,6 +129,7 @@ class Process {
   /// Timers scheduled before this epoch are stale (cancelled or pre-crash).
   int timer_epoch_ = 0;
   StableStorage storage_;
+  wire::DecoderRegistry decoders_;
 };
 
 }  // namespace mcp::sim

@@ -100,6 +100,13 @@ void Simulation::post_message(NodeId from, NodeId to, std::any msg, Time extra_d
     throw std::out_of_range("post_message: unknown destination");
   }
   metrics_.incr("net.sent");
+  if (const auto* env = std::any_cast<std::shared_ptr<const wire::Envelope>>(&msg)) {
+    const auto bytes = static_cast<std::int64_t>((*env)->wire_size());
+    metrics_.incr("net.bytes_sent", bytes);
+    metrics_.incr("net.bytes." + wire::message_name((*env)->tag), bytes);
+    metrics_.incr("net." + std::to_string(from) + ".bytes_to." + std::to_string(to),
+                  bytes);
+  }
   const std::vector<Time> copies = network_.plan_delivery(rng_, from, to);
   if (copies.empty()) {
     metrics_.incr("net.lost");
@@ -124,6 +131,12 @@ void Simulation::deliver(NodeId from, NodeId to, const std::any& msg) {
   }
   metrics_.incr("net.delivered");
   metrics_.incr("node." + std::to_string(to) + ".delivered");
+  if (const auto* env = std::any_cast<std::shared_ptr<const wire::Envelope>>(&msg)) {
+    // Decode at the receiving edge with the destination's registry, so
+    // on_message keeps seeing the typed messages it pattern-matches on.
+    p.on_message(from, p.decoders().decode(**env));
+    return;
+  }
   p.on_message(from, msg);
 }
 

@@ -1,5 +1,7 @@
 #include "smr/kv.hpp"
 
+#include "util/strings.hpp"
+
 namespace mcp::smr {
 
 KVStore::Result KVStore::apply(const cstruct::Command& c) {
@@ -13,17 +15,19 @@ KVStore::Result KVStore::apply(const cstruct::Command& c) {
   return Result{true, it->second};
 }
 
+using util::concat;
+
 Workload::Workload(Spec spec, util::Rng& rng) {
   commands_.reserve(spec.commands);
   for (std::size_t i = 0; i < spec.commands; ++i) {
     const std::uint64_t id = spec.first_id + i;
     const bool hot = rng.chance(spec.conflict_fraction);
     const bool read = rng.chance(spec.read_fraction);
-    const std::string key = hot ? "hot" : "cold" + std::to_string(id);
+    const std::string key = hot ? "hot" : concat("cold", id);
     if (read) {
       commands_.push_back(cstruct::make_read(id, key));
     } else {
-      commands_.push_back(cstruct::make_write(id, key, "v" + std::to_string(id)));
+      commands_.push_back(cstruct::make_write(id, key, concat("v", id)));
     }
   }
 }

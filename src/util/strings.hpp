@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcp::util {
+
+/// "prefix" + std::to_string(n), spelled as append onto an lvalue: GCC
+/// 12/13 inline operator+(const char*, std::string&&) and emit -Wrestrict
+/// / -Wmaybe-uninitialized false positives from inside libstdc++ (GCC PR
+/// 105329). Use this wherever a literal-plus-number key is built in code
+/// that must stay clean under -Werror.
+inline std::string concat(const char* prefix, std::uint64_t n) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  return out;
+}
+
+}  // namespace mcp::util

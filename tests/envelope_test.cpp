@@ -1,0 +1,407 @@
+// Tests for the typed message-envelope layer: per-message round-trips for
+// every protocol message (over all three c-structs where templated),
+// decode robustness against truncation and garbage, byte accounting in the
+// simulator, and the guarantee that serializing the traffic does not
+// change protocol outcomes (encode_messages on/off determinism).
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classic/classic_paxos.hpp"
+#include "classic/multi_paxos.hpp"
+#include "fast/fast_paxos.hpp"
+#include "genpaxos/engine.hpp"
+#include "multicoord/mc_consensus.hpp"
+#include "paxos/wire.hpp"
+#include "util/rng.hpp"
+
+namespace mcp {
+namespace {
+
+using cstruct::CSet;
+using cstruct::History;
+using cstruct::KeyConflict;
+using cstruct::make_read;
+using cstruct::make_write;
+using cstruct::SingleValue;
+using paxos::Ballot;
+using paxos::RoundType;
+
+const KeyConflict kKeyRel;
+
+const Ballot kBallot{7, 2, 1, RoundType::kMultiCoord};
+const Ballot kFastBallot{9, 0, 0, RoundType::kFast};
+
+/// Encode → envelope bytes → envelope → registry decode; returns the typed
+/// message a receiving process would see.
+template <typename M>
+M round_trip(const wire::DecoderRegistry& reg, const M& m) {
+  const wire::Envelope env = wire::make_envelope(m);
+  const std::string bytes = env.encode();
+  EXPECT_EQ(env.wire_size(), bytes.size());
+  const wire::Envelope back = wire::Envelope::decode(bytes);
+  EXPECT_EQ(back.tag, M::kTag);
+  return std::any_cast<M>(reg.decode(back));
+}
+
+/// Every strict prefix of an encoded envelope must throw, and bit flips
+/// must either decode cleanly or throw std::invalid_argument — never crash
+/// or report success with a half-read body.
+template <typename M>
+void expect_robust_decode(const wire::DecoderRegistry& reg, const M& m) {
+  const std::string bytes = wire::make_envelope(m).encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(wire::Envelope::decode(bytes.substr(0, len)), std::invalid_argument)
+        << M::kName << " prefix of " << len << "/" << bytes.size();
+  }
+  // Body-level truncation (a transport that framed correctly but lost
+  // payload bytes): the registry must reject every strict prefix.
+  const wire::Envelope whole = wire::Envelope::decode(bytes);
+  for (std::size_t len = 0; len < whole.body.size(); ++len) {
+    wire::Envelope cut{whole.tag, whole.body.substr(0, len)};
+    EXPECT_THROW(reg.decode(cut), std::invalid_argument)
+        << M::kName << " body prefix of " << len << "/" << whole.body.size();
+  }
+  // Garbage bytes: flipping any byte to any of a few patterns must not UB.
+  for (std::size_t i = 0; i < whole.body.size(); ++i) {
+    for (const char flip : {'\x00', '\x01', '\x7f', '\x80', '\xff'}) {
+      wire::Envelope fuzzed = whole;
+      fuzzed.body[i] = flip;
+      try {
+        (void)reg.decode(fuzzed);
+      } catch (const std::invalid_argument&) {
+        // rejected — fine; anything else propagates and fails the test
+      }
+    }
+  }
+}
+
+cstruct::Command cmd(std::uint64_t id) {
+  return make_write(id, "key" + std::to_string(id), "value" + std::to_string(id),
+                    static_cast<int>(id % 3));
+}
+
+/// Command::operator== compares ids only (protocol identity); the codec
+/// must preserve every field.
+void expect_full_command(const cstruct::Command& got, const cstruct::Command& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.proposer, want.proposer);
+  EXPECT_EQ(got.type, want.type);
+  EXPECT_EQ(got.key, want.key);
+  EXPECT_EQ(got.value, want.value);
+}
+
+// --- per-message round trips -------------------------------------------------
+
+TEST(Envelope, ClassicMessagesRoundTrip) {
+  wire::DecoderRegistry reg;
+  classic::msg::register_wire_messages(reg);
+
+  expect_full_command(round_trip(reg, classic::msg::Propose{cmd(1)}).v, cmd(1));
+  EXPECT_EQ(round_trip(reg, classic::msg::P1a{kBallot}).b, kBallot);
+  const auto p1b = round_trip(reg, classic::msg::P1b{kBallot, Ballot::zero(), cmd(2)});
+  EXPECT_EQ(p1b.b, kBallot);
+  EXPECT_EQ(p1b.vrnd, Ballot::zero());
+  EXPECT_EQ(p1b.vval, cmd(2));
+  const auto empty1b = round_trip(reg, classic::msg::P1b{kBallot, Ballot::zero(), {}});
+  EXPECT_FALSE(empty1b.vval.has_value());
+  EXPECT_EQ(round_trip(reg, classic::msg::P2a{kBallot, cmd(3)}).v, cmd(3));
+  EXPECT_EQ(round_trip(reg, classic::msg::P2b{kBallot, cmd(4)}).b, kBallot);
+  EXPECT_EQ(round_trip(reg, classic::msg::Nack{kBallot}).heard, kBallot);
+  EXPECT_EQ(round_trip(reg, classic::msg::Learned{cmd(5)}).v, cmd(5));
+  (void)round_trip(reg, paxos::Heartbeat{});  // any_cast inside asserts the type
+}
+
+TEST(Envelope, MultiPaxosMessagesRoundTrip) {
+  wire::DecoderRegistry reg;
+  classic::mmsg::register_wire_messages(reg);
+
+  expect_full_command(round_trip(reg, classic::mmsg::Propose{cmd(1)}).cmd, cmd(1));
+  const auto p1a = round_trip(reg, classic::mmsg::P1a{kBallot, 42});
+  EXPECT_EQ(p1a.b, kBallot);
+  EXPECT_EQ(p1a.from_instance, 42);
+  classic::mmsg::P1b p1b{kBallot, {{3, kBallot, cmd(6)}, {4, Ballot::zero(), cmd(7)}}};
+  const auto back = round_trip(reg, p1b);
+  ASSERT_EQ(back.votes.size(), 2u);
+  EXPECT_EQ(back.votes[0].instance, 3);
+  EXPECT_EQ(back.votes[0].vrnd, kBallot);
+  EXPECT_EQ(back.votes[0].vval, cmd(6));
+  EXPECT_EQ(back.votes[1].instance, 4);
+  const auto p2a = round_trip(reg, classic::mmsg::P2a{kBallot, 9, cmd(8)});
+  EXPECT_EQ(p2a.instance, 9);
+  EXPECT_EQ(p2a.v, cmd(8));
+  EXPECT_EQ(round_trip(reg, classic::mmsg::P2b{kBallot, 10, cmd(9)}).instance, 10);
+  EXPECT_EQ(round_trip(reg, classic::mmsg::Nack{kBallot}).heard, kBallot);
+  const auto learned = round_trip(reg, classic::mmsg::Learned{11, cmd(10)});
+  EXPECT_EQ(learned.instance, 11);
+  EXPECT_EQ(learned.v, cmd(10));
+}
+
+TEST(Envelope, FastMessagesRoundTrip) {
+  wire::DecoderRegistry reg;
+  fast::msg::register_wire_messages(reg);
+
+  EXPECT_EQ(round_trip(reg, fast::msg::Propose{cmd(1)}).v, cmd(1));
+  EXPECT_EQ(round_trip(reg, fast::msg::P1a{kFastBallot}).b, kFastBallot);
+  EXPECT_EQ(round_trip(reg, fast::msg::P1b{kFastBallot, Ballot::zero(), cmd(2)}).vval,
+            cmd(2));
+  // The special value Any (nullopt) must survive the wire.
+  EXPECT_FALSE(round_trip(reg, fast::msg::P2a{kFastBallot, std::nullopt}).v.has_value());
+  EXPECT_EQ(round_trip(reg, fast::msg::P2a{kFastBallot, cmd(3)}).v, cmd(3));
+  EXPECT_EQ(round_trip(reg, fast::msg::P2b{kFastBallot, cmd(4)}).v, cmd(4));
+  EXPECT_EQ(round_trip(reg, fast::msg::Nack{kFastBallot}).heard, kFastBallot);
+  EXPECT_EQ(round_trip(reg, fast::msg::Learned{cmd(5)}).v, cmd(5));
+}
+
+TEST(Envelope, MulticoordMessagesRoundTrip) {
+  wire::DecoderRegistry reg;
+  multicoord::msg::register_wire_messages(reg);
+
+  multicoord::msg::Propose p{cmd(1), {3, 4, 6}};
+  const auto back = round_trip(reg, p);
+  expect_full_command(back.v, cmd(1));
+  EXPECT_EQ(back.target_acceptors, (std::vector<sim::NodeId>{3, 4, 6}));
+  EXPECT_TRUE(
+      round_trip(reg, multicoord::msg::Propose{cmd(2), {}}).target_acceptors.empty());
+  EXPECT_EQ(round_trip(reg, multicoord::msg::P1a{kBallot}).b, kBallot);
+  EXPECT_EQ(round_trip(reg, multicoord::msg::P1b{kBallot, Ballot::zero(), cmd(3)}).vval,
+            cmd(3));
+  EXPECT_FALSE(round_trip(reg, multicoord::msg::P2a{kBallot, std::nullopt}).v.has_value());
+  EXPECT_EQ(round_trip(reg, multicoord::msg::P2b{kBallot, cmd(4)}).v, cmd(4));
+  EXPECT_EQ(round_trip(reg, multicoord::msg::Nack{kBallot}).heard, kBallot);
+  EXPECT_EQ(round_trip(reg, multicoord::msg::Learned{cmd(5)}).v, cmd(5));
+}
+
+/// Builds a representative non-⊥ value of each c-struct type.
+SingleValue sample(const SingleValue&) { return SingleValue{cmd(1)}; }
+CSet sample(const CSet&) {
+  CSet s;
+  s.append(cmd(1));
+  s.append(cmd(2));
+  return s;
+}
+History sample(const History& bottom) {
+  History h(bottom.relation());
+  h.append(make_write(1, "a", "x"));
+  h.append(make_read(2, "a"));
+  h.append(make_write(3, "b", "y"));
+  return h;
+}
+
+template <typename CS>
+void gen_round_trip(const CS& bottom) {
+  wire::DecoderRegistry reg;
+  genpaxos::register_wire_messages(reg, bottom);
+
+  EXPECT_EQ(round_trip(reg, genpaxos::MsgPropose{cmd(1)}).c, cmd(1));
+  EXPECT_EQ(round_trip(reg, genpaxos::MsgNack{kBallot}).heard, kBallot);
+  EXPECT_EQ(round_trip(reg, genpaxos::MsgAck{99}).command_id, 99u);
+
+  EXPECT_EQ(round_trip(reg, genpaxos::Msg1a<CS>{kBallot}).b, kBallot);
+
+  const CS value = sample(bottom);
+  const auto p1b = round_trip(reg, genpaxos::Msg1b<CS>{kBallot, Ballot::zero(), value});
+  EXPECT_EQ(p1b.b, kBallot);
+  EXPECT_TRUE(p1b.vval == value);
+  const auto bottom1b =
+      round_trip(reg, genpaxos::Msg1b<CS>{kBallot, Ballot::zero(), bottom});
+  EXPECT_TRUE(bottom1b.vval == bottom);
+
+  const auto p2a = round_trip(
+      reg, genpaxos::Msg2a<CS>{kBallot, std::make_shared<const CS>(value)});
+  ASSERT_TRUE(p2a.val != nullptr);
+  EXPECT_TRUE(*p2a.val == value);
+  const auto p2b = round_trip(
+      reg, genpaxos::Msg2b<CS>{kFastBallot, std::make_shared<const CS>(value)});
+  EXPECT_EQ(p2b.b, kFastBallot);
+  EXPECT_TRUE(*p2b.val == value);
+
+  expect_robust_decode(reg, genpaxos::Msg1b<CS>{kBallot, Ballot::zero(), value});
+  expect_robust_decode(reg,
+                       genpaxos::Msg2a<CS>{kBallot, std::make_shared<const CS>(value)});
+}
+
+TEST(Envelope, GenMessagesRoundTripAllCStructs) {
+  gen_round_trip(SingleValue{});
+  gen_round_trip(CSet{});
+  gen_round_trip(History(&kKeyRel));
+}
+
+// --- decode robustness -------------------------------------------------------
+
+TEST(Envelope, TruncatedAndGarbageInputNeverSucceedsSilently) {
+  wire::DecoderRegistry reg;
+  classic::msg::register_wire_messages(reg);
+  expect_robust_decode(reg, classic::msg::Propose{cmd(1)});
+  expect_robust_decode(reg, classic::msg::P1b{kBallot, Ballot::zero(), cmd(2)});
+  expect_robust_decode(reg, classic::msg::P2a{kBallot, cmd(3)});
+
+  wire::DecoderRegistry mreg;
+  classic::mmsg::register_wire_messages(mreg);
+  expect_robust_decode(
+      mreg, classic::mmsg::P1b{kBallot, {{3, kBallot, cmd(6)}, {4, kBallot, cmd(7)}}});
+
+  wire::DecoderRegistry mcreg;
+  multicoord::msg::register_wire_messages(mcreg);
+  expect_robust_decode(mcreg, multicoord::msg::Propose{cmd(1), {3, 4, 6}});
+}
+
+TEST(Envelope, TrailingBytesRejected) {
+  const std::string bytes = wire::make_envelope(classic::msg::P1a{kBallot}).encode();
+  EXPECT_THROW(wire::Envelope::decode(bytes + "x"), std::invalid_argument);
+
+  // A body with valid content followed by junk must be rejected by the
+  // registry's full-consumption check.
+  wire::DecoderRegistry reg;
+  classic::msg::register_wire_messages(reg);
+  wire::Envelope env = wire::Envelope::decode(bytes);
+  env.body += '\x00';
+  EXPECT_THROW(reg.decode(env), std::invalid_argument);
+}
+
+TEST(Envelope, UnknownTagIsALogicError) {
+  wire::DecoderRegistry reg;
+  EXPECT_FALSE(reg.knows(classic::msg::P1a::kTag));
+  EXPECT_THROW(reg.decode(wire::make_envelope(classic::msg::P1a{kBallot})),
+               std::logic_error);
+}
+
+TEST(Envelope, TagCollisionDetected) {
+  // Two different names under one tag is a registration bug, not a decode
+  // error: it must fail loudly at registration time. (Register the real
+  // name first so this test is order-independent and never pollutes the
+  // global table with the bogus name.)
+  wire::register_message_name(classic::msg::P1a::kTag, classic::msg::P1a::kName);
+  EXPECT_THROW(wire::register_message_name(classic::msg::P1a::kTag, "some.other"),
+               std::logic_error);
+}
+
+// --- simulator integration ---------------------------------------------------
+
+struct GenCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  genpaxos::Config<History> config;
+  std::vector<genpaxos::GenProposer<History>*> proposers;
+  std::vector<genpaxos::GenLearner<History>*> learners;
+};
+
+GenCluster build_gen(std::uint64_t seed, bool encode_messages) {
+  GenCluster c;
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 9;
+  net.loss_probability = 0.02;
+  net.duplication_probability = 0.01;
+  net.encode_messages = encode_messages;
+  c.sim = std::make_unique<sim::Simulation>(seed, net);
+  sim::NodeId next = 0;
+  std::vector<sim::NodeId> coords;
+  for (int i = 0; i < 2; ++i) coords.push_back(next++);
+  for (int i = 0; i < 3; ++i) c.config.acceptors.push_back(next++);
+  for (int i = 0; i < 2; ++i) c.config.learners.push_back(next++);
+  for (int i = 0; i < 2; ++i) c.config.proposers.push_back(next++);
+  c.policy = paxos::PatternPolicy::multi_then_single(coords);
+  c.config.policy = c.policy.get();
+  c.config.f = 1;
+  c.config.e = 0;
+  c.config.bottom = History(&kKeyRel);
+  for (int i = 0; i < 2; ++i) {
+    c.sim->make_process<genpaxos::GenCoordinator<History>>(c.config);
+  }
+  for (int i = 0; i < 3; ++i) {
+    c.sim->make_process<genpaxos::GenAcceptor<History>>(c.config);
+  }
+  for (int i = 0; i < 2; ++i) {
+    c.learners.push_back(&c.sim->make_process<genpaxos::GenLearner<History>>(c.config));
+  }
+  for (int i = 0; i < 2; ++i) {
+    c.proposers.push_back(&c.sim->make_process<genpaxos::GenProposer<History>>(c.config));
+  }
+  return c;
+}
+
+constexpr std::size_t kCommands = 12;
+
+void drive(GenCluster& c) {
+  for (std::size_t i = 0; i < kCommands; ++i) {
+    c.sim->at(static_cast<sim::Time>(7 * i), [&c, i] {
+      c.proposers[i % c.proposers.size()]->propose(
+          make_write(i + 1, i % 3 == 0 ? "hot" : "k" + std::to_string(i), "v"));
+    });
+  }
+  const bool ok = c.sim->run_until(
+      [&c] {
+        for (const auto* l : c.learners) {
+          if (l->learned().size() < kCommands) return false;
+        }
+        return true;
+      },
+      5'000'000);
+  ASSERT_TRUE(ok);
+}
+
+TEST(Envelope, EncodingDoesNotChangeProtocolOutcomes) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    GenCluster encoded = build_gen(seed, true);
+    GenCluster raw = build_gen(seed, false);
+    drive(encoded);
+    drive(raw);
+    // Identical event order ⇒ identical clocks and event counts; identical
+    // outcomes ⇒ the same learned sequence at every learner.
+    EXPECT_EQ(encoded.sim->now(), raw.sim->now()) << "seed " << seed;
+    EXPECT_EQ(encoded.sim->events_processed(), raw.sim->events_processed())
+        << "seed " << seed;
+    for (std::size_t l = 0; l < encoded.learners.size(); ++l) {
+      const auto& a = encoded.learners[l]->learned().sequence();
+      const auto& b = raw.learners[l]->learned().sequence();
+      ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "seed " << seed << " pos " << i;
+      }
+    }
+    EXPECT_EQ(encoded.sim->metrics().counter("net.sent"),
+              raw.sim->metrics().counter("net.sent"))
+        << "seed " << seed;
+  }
+}
+
+TEST(Envelope, ByteCountersTrackEveryProtocolMessage) {
+  GenCluster c = build_gen(3, true);
+  drive(c);
+  const auto& m = c.sim->metrics();
+  const std::int64_t total = m.counter("net.bytes_sent");
+  EXPECT_GT(total, 0);
+
+  // Per-message-type counters must partition the total.
+  std::int64_t by_type = 0;
+  for (const auto& [name, bytes] : m.counters_with_prefix("net.bytes.")) {
+    EXPECT_GT(bytes, 0) << name;
+    by_type += bytes;
+  }
+  EXPECT_EQ(by_type, total);
+  // The protocol's heavy hitters must be visible by name.
+  EXPECT_GT(m.counter("net.bytes.gen.2b"), 0);
+  EXPECT_GT(m.counter("net.bytes.gen.propose"), 0);
+
+  // Per-link counters must partition the total as well.
+  std::int64_t by_link = 0;
+  for (sim::NodeId from : c.sim->all_ids()) {
+    by_link += m.counter_prefix_sum("net." + std::to_string(from) + ".bytes_to.");
+  }
+  EXPECT_EQ(by_link, total);
+}
+
+TEST(Envelope, EscapeHatchDisablesByteAccounting) {
+  GenCluster c = build_gen(3, false);
+  drive(c);
+  EXPECT_EQ(c.sim->metrics().counter("net.bytes_sent"), 0);
+  EXPECT_GT(c.sim->metrics().counter("net.sent"), 0);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -10,6 +10,7 @@
 
 #include "genpaxos/engine.hpp"
 #include "smr/replica.hpp"
+#include "util/strings.hpp"
 
 namespace mcp::genpaxos {
 namespace {
@@ -108,6 +109,10 @@ Cluster build(const ClusterSpec& spec) {
   return c;
 }
 
+// GCC 12/13 -Wrestrict false-positive workaround for the key-building
+// lambdas below (see util/strings.hpp).
+using util::concat;
+
 bool all_learned(const Cluster& c, std::size_t count) {
   for (const auto* l : c.learners) {
     if (l->learned().size() < count) return false;
@@ -145,7 +150,7 @@ TEST(GenPaxos, StreamOfCommutingCommandsInOneRound) {
     const Time at = static_cast<Time>(10 * i);
     c.sim->at(at, [&, i] {
       c.proposers[i % c.proposers.size()]->propose(
-          make_write(i + 1, "k" + std::to_string(i), "v"));
+          make_write(i + 1, concat("k", i), "v"));
     });
   }
   const bool ok = c.sim->run_until([&] { return all_learned(c, kCount); }, 5'000'000);
@@ -170,7 +175,7 @@ TEST(GenPaxos, ConflictingCommandsStillConvergeMultiCoord) {
     for (std::size_t i = 0; i < kCount; ++i) {
       c.sim->at(static_cast<Time>(3 * i), [&, i] {
         c.proposers[i % c.proposers.size()]->propose(
-            make_write(i + 1, "hot", "v" + std::to_string(i)));
+            make_write(i + 1, "hot", concat("v", i)));
       });
     }
     const bool ok = c.sim->run_until([&] { return all_learned(c, kCount); }, 10'000'000);
@@ -253,9 +258,9 @@ TEST(GenPaxos, ReplicasConvergeOnSameKVState) {
   for (std::size_t i = 0; i < kCount; ++i) {
     c.sim->at(static_cast<Time>(5 * i), [&, i] {
       // Mix of hot-key (conflicting) and cold-key (commuting) writes.
-      const std::string key = (i % 3 == 0) ? "hot" : "k" + std::to_string(i);
+      const std::string key = (i % 3 == 0) ? "hot" : concat("k", i);
       c.proposers[i % c.proposers.size()]->propose(
-          make_write(i + 1, key, "v" + std::to_string(i)));
+          make_write(i + 1, key, concat("v", i)));
     });
   }
   const bool ok = c.sim->run_until([&] { return all_learned(c, kCount); }, 10'000'000);
@@ -325,7 +330,7 @@ TEST(GenPaxos, NontrivialityOnlyProposedCommandsLearned) {
   for (std::size_t i = 1; i <= 10; ++i) {
     proposed.insert(i);
     c.sim->at(static_cast<Time>(10 * i), [&, i] {
-      c.proposers[i % 2]->propose(make_write(i, "k" + std::to_string(i % 4), "v"));
+      c.proposers[i % 2]->propose(make_write(i, concat("k", i % 4), "v"));
     });
   }
   ASSERT_TRUE(c.sim->run_until([&] { return all_learned(c, 10); }, 5'000'000));
@@ -431,7 +436,8 @@ TEST_P(GenPaxosChurn, SurvivesProcessChurn) {
   constexpr std::size_t kCount = 10;
   for (std::size_t i = 0; i < kCount; ++i) {
     c.sim->at(static_cast<Time>(100 * i), [&, i] {
-      c.proposers[i % 2]->propose(make_write(i + 1, i % 2 ? "hot" : "k" + std::to_string(i), "v"));
+      c.proposers[i % 2]->propose(
+          make_write(i + 1, i % 2 ? std::string("hot") : concat("k", i), "v"));
     });
   }
   c.sim->crash_at(150, c.coordinators[1]->id());

@@ -28,6 +28,10 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
   net.min_delay = 2;
   net.max_delay = 10;
   net.loss_probability = 0.02;
+  // Perf-sensitive run: skip the wire codec (the escape hatch). Outcomes
+  // are identical either way — tests/envelope_test.cpp asserts it — this
+  // soak just doesn't need the serialization work on every 2a/2b.
+  net.encode_messages = false;
   Simulation s(31, net);
 
   std::vector<NodeId> coords{0, 1, 2};

@@ -58,6 +58,44 @@ TEST(Wire, TruncatedInputThrows) {
   EXPECT_THROW(r2.get_u8(), std::invalid_argument);
 }
 
+TEST(Wire, AdversarialLengthCannotWrapPastEnd) {
+  // Regression: get_bytes used to compare `pos_ + len > size`, which wraps
+  // for huge varint lengths and would read far out of bounds.
+  for (const std::uint64_t evil : {~std::uint64_t{0}, ~std::uint64_t{0} - 1,
+                                   std::uint64_t{1} << 63}) {
+    Writer w;
+    w.put_varint(evil);
+    w.put_bytes("short");
+    Reader r(w.data());
+    // Consume the length-prefix as if it prefixed a byte string: the read
+    // must throw, never index past the buffer.
+    Reader evil_reader(w.data());
+    EXPECT_THROW(evil_reader.get_bytes(), std::invalid_argument);
+    (void)r;
+  }
+  // A length that exactly wraps pos_ + len to a small value.
+  Writer w;
+  w.put_varint(~0ull);  // len = 2^64 - 1; with pos_ > 0 the old sum wrapped
+  const std::string data = "x" + w.take();
+  Reader r(data);
+  (void)r.get_u8();  // pos_ = 1; old check: 1 + (2^64-1) == 0 → "fits"
+  EXPECT_THROW(r.get_bytes(), std::invalid_argument);
+}
+
+TEST(Wire, AdversarialElementCountRejectedBeforeAllocation) {
+  // A tiny message claiming 2^61 elements must be rejected up front
+  // (std::invalid_argument), not via a multi-GB vector reserve.
+  Writer w;
+  w.put_varint(std::uint64_t{1} << 61);
+  Reader r(w.data());
+  EXPECT_THROW(get_commands(r), std::invalid_argument);
+
+  Writer w2;
+  w2.put_varint(std::uint64_t{1} << 61);
+  Reader r2(w2.data());
+  EXPECT_THROW(get_node_ids(r2), std::invalid_argument);
+}
+
 TEST(Wire, BallotRoundTrip) {
   for (const Ballot& b :
        {Ballot::zero(), Ballot{7, 2, 1, RoundType::kFast},
