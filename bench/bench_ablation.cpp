@@ -6,6 +6,8 @@
 //      the §4.5 shrinking ladder — collision convergence behaviour.
 //  (c) rnd-write reduction block size (§4.4): disk writes as the block
 //      grows, under forced round churn.
+//  (d) delta-encoded 2a/2b: wire bytes with the history re-shipped whole
+//      (the paper's §3.3 caveat) vs shipped as suffixes, under loss.
 
 #include <cstdio>
 #include <memory>
@@ -137,6 +139,43 @@ void ladder_ablation(bench::Report& report) {
          shrinking.rounds, shrinking.done, 10});
 }
 
+// --- (d) delta-encoded 2a/2b (§3.3 large-c-struct caveat) -----------------------
+
+void delta_ablation(bench::Report& report) {
+  auto& t = report.table(
+      "(d) delta-encoded 2a/2b: wire cost of the growing history (40 cmds, 15% conflict)",
+      {"2a/2b encoding", "bytes total", "gen.2a bytes", "gen.2b bytes", "resyncs",
+       "makespan"});
+  for (const bool deltas : {false, true}) {
+    Shape shape;
+    shape.proposers = 3;
+    shape.seed = 5;
+    shape.net.min_delay = 2;
+    shape.net.max_delay = 12;
+    shape.net.loss_probability = 0.02;  // exercise the resync fallback
+    shape.delta_messages = deltas;
+    auto c = bench::make_gen(shape, McPolicy::kMultiThenSingle);
+    constexpr std::size_t kCmds = 40;
+    util::Rng wl_rng(555);
+    smr::Workload workload({kCmds, 0.15, 0.2, 1}, wl_rng);
+    for (std::size_t i = 0; i < workload.commands().size(); ++i) {
+      c.sim->at(static_cast<sim::Time>(6 * i), [&, i] {
+        c.proposers[i % 3]->propose(workload.commands()[i]);
+      });
+    }
+    c.sim->run_until([&] { return c.all_learned(kCmds); }, 20'000'000);
+    const auto& m = c.sim->metrics();
+    t.row({deltas ? "deltas" : "full c-structs", bench::net_bytes(m),
+           m.counter("net.bytes.gen.2a"), m.counter("net.bytes.gen.2b"),
+           m.counter("gen.2a_resyncs") + m.counter("gen.2b_resyncs"),
+           static_cast<double>(c.sim->now())});
+  }
+  report.note(
+      "(d) with deltas each 2a/2b ships only the suffix since the sender's previous "
+      "message; lost deltas surface as resyncs (a full-value re-send to the "
+      "requester)");
+}
+
 // --- (c) rnd persistence block size (§4.4) --------------------------------------
 
 void rnd_block_ablation(bench::Report& report) {
@@ -177,6 +216,7 @@ int main(int argc, char** argv) {
   coordinator_count_ablation(report);
   ladder_ablation(report);
   rnd_block_ablation(report);
+  delta_ablation(report);
   report.finish();
   return 0;
 }

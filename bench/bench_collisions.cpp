@@ -33,12 +33,13 @@ struct Row {
 
 constexpr std::size_t kCommands = 30;
 
-bench::GenCluster make(McPolicy kind, std::uint64_t seed) {
+bench::GenCluster make(McPolicy kind, std::uint64_t seed, bool deltas = true) {
   Shape shape;
   shape.seed = seed;
   shape.proposers = 3;
   shape.net.min_delay = 1;
   shape.net.max_delay = 25;
+  shape.delta_messages = deltas;
   return bench::make_gen(shape, kind);
 }
 
@@ -101,6 +102,42 @@ int main(int argc, char** argv) {
                   mc.bytes_per_cmd});
     fast_table.row({100 * conflict, fr.collisions, fr.disk_writes, fr.time_to_learn,
                     fr.bytes_per_cmd});
+  }
+
+  // Delta-encoded 2a/2b before/after under the collision-heavy workload:
+  // colliding rounds restart the delta chains (every new round opens with a
+  // full 2a), so this is the adversarial case for the encoding.
+  auto& dt = report.table("delta-encoded 2a/2b ablation, 100% conflict",
+                          {"policy", "2a/2b encoding", "bytes/cmd", "gen.2a bytes"});
+  for (const auto& [kind, label] : {std::pair{McPolicy::kMultiThenSingle, "multicoord"},
+                                    std::pair{McPolicy::kFast, "fast"}}) {
+    for (const bool deltas : {false, true}) {
+      double bytes_per_cmd = 0;
+      double bytes_2a = 0;
+      int done = 0;
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto c = make(kind, seed, deltas);
+        util::Rng wl_rng(seed * 991);
+        smr::Workload workload({kCommands, 1.0, 0.0, 1}, wl_rng);
+        for (std::size_t i = 0; i < workload.commands().size(); ++i) {
+          c.sim->at(static_cast<sim::Time>(4 * i), [&, i] {
+            c.proposers[i % c.proposers.size()]->propose(workload.commands()[i]);
+          });
+        }
+        if (!c.sim->run_until([&] { return c.all_learned(kCommands); }, 20'000'000)) {
+          continue;
+        }
+        ++done;
+        bytes_per_cmd +=
+            static_cast<double>(bench::net_bytes(c.sim->metrics())) / kCommands;
+        bytes_2a += static_cast<double>(c.sim->metrics().counter("net.bytes.gen.2a"));
+      }
+      if (done > 0) {
+        bytes_per_cmd /= done;
+        bytes_2a /= done;
+      }
+      dt.row({label, deltas ? "deltas" : "full c-structs", bytes_per_cmd, bytes_2a});
+    }
   }
 
   // Per-message-type byte breakdown of one conflict-heavy run per policy.

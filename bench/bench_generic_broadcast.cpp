@@ -30,10 +30,13 @@ struct Row {
   double makespan = 0;
   double collisions = 0;
   double bytes_per_cmd = 0;
+  double bytes_2a = 0;  // net.bytes.gen.2a, mean per run
+  double bytes_2b = 0;  // net.bytes.gen.2b, mean per run
   int runs = 0;
 };
 
-Row gen_run(McPolicy kind, double conflict, bench::Report* breakdown_into = nullptr,
+Row gen_run(McPolicy kind, double conflict, bool deltas = true,
+            bench::Report* breakdown_into = nullptr,
             const char* breakdown_name = nullptr) {
   Row row;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -42,6 +45,7 @@ Row gen_run(McPolicy kind, double conflict, bench::Report* breakdown_into = null
     shape.proposers = 3;
     shape.net.min_delay = 2;
     shape.net.max_delay = 12;
+    shape.delta_messages = deltas;
     auto c = bench::make_gen(shape, kind);
     util::Rng wl_rng(seed * 271);
     smr::Workload workload({kCommands, conflict, 0.2, 1}, wl_rng);
@@ -66,6 +70,8 @@ Row gen_run(McPolicy kind, double conflict, bench::Report* breakdown_into = null
                             c.sim->metrics().counter("gen.fast_collisions_detected"));
     row.bytes_per_cmd +=
         static_cast<double>(bench::net_bytes(c.sim->metrics())) / kCommands;
+    row.bytes_2a += static_cast<double>(c.sim->metrics().counter("net.bytes.gen.2a"));
+    row.bytes_2b += static_cast<double>(c.sim->metrics().counter("net.bytes.gen.2b"));
     if (breakdown_into && seed == 1) {
       breakdown_into->bytes_table(breakdown_name, c.sim->metrics());
     }
@@ -75,6 +81,8 @@ Row gen_run(McPolicy kind, double conflict, bench::Report* breakdown_into = null
     row.makespan /= row.runs;
     row.collisions /= row.runs;
     row.bytes_per_cmd /= row.runs;
+    row.bytes_2a /= row.runs;
+    row.bytes_2b /= row.runs;
   }
   return row;
 }
@@ -149,12 +157,14 @@ int main(int argc, char** argv) {
   auto& t = report.table("latency and wire cost by conflict fraction",
                          {"system", "conflict %", "mean lat", "makespan", "collisions",
                           "bytes/cmd"});
+  std::map<double, Row> mc_rows;  // reused by the delta-ablation table below
   for (double conflict : {0.0, 0.25, 0.5, 1.0}) {
     // Archive one representative breakdown (the 25% point, seed 1).
     const bool snap = conflict == 0.25;
-    const Row mc = gen_run(McPolicy::kMultiThenSingle, conflict,
+    const Row mc = gen_run(McPolicy::kMultiThenSingle, conflict, true,
                            snap ? &report : nullptr,
                            "byte breakdown, MC GenPaxos, 25% conflict, seed 1");
+    mc_rows.emplace(conflict, mc);
     t.row({"MC Generalized Paxos (maj quorums)", 100 * conflict, mc.mean_latency,
            mc.makespan, mc.collisions, mc.bytes_per_cmd});
   }
@@ -167,10 +177,27 @@ int main(int argc, char** argv) {
   t.row({"MultiPaxos (total order baseline)", "any", mp.mean_latency, mp.makespan,
          "n/a", mp.bytes_per_cmd});
 
+  // Before/after for the delta-encoded 2a/2b: same policy and seeds, deltas
+  // off (whole c-structs in every 2a/2b, the paper's §3.3 caveat) vs on.
+  auto& dt = report.table(
+      "delta-encoded 2a/2b ablation — MC GenPaxos, full vs delta",
+      {"2a/2b encoding", "conflict %", "bytes/cmd", "gen.2a bytes", "gen.2b bytes",
+       "mean lat"});
+  for (double conflict : {0.0, 0.25}) {
+    const Row full = gen_run(McPolicy::kMultiThenSingle, conflict, false);
+    const Row& delta = mc_rows.at(conflict);  // same runs as the main table
+    dt.row({"full c-structs", 100 * conflict, full.bytes_per_cmd, full.bytes_2a,
+            full.bytes_2b, full.mean_latency});
+    dt.row({"deltas", 100 * conflict, delta.bytes_per_cmd, delta.bytes_2a,
+            delta.bytes_2b, delta.mean_latency});
+  }
+
   report.note(
-      "bytes/cmd = net.bytes_sent / commands; the generalized engine re-ships the "
-      "whole growing history in 2a/2b (the paper's large-c-struct caveat), while "
-      "MultiPaxos ships one command per instance");
+      "bytes/cmd = net.bytes_sent / commands; with deltas off the generalized "
+      "engine re-ships the whole growing history in 2a/2b (the paper's "
+      "large-c-struct caveat), while MultiPaxos ships one command per instance; "
+      "with deltas on (the default) 2a/2b carry only the suffix since the last "
+      "acknowledged prefix, falling back to full values on resync");
   report.finish();
   return 0;
 }

@@ -41,6 +41,9 @@ struct Shape {
   sim::NetworkConfig net{};
   bool liveness = true;
   sim::Time disk_latency = 0;
+  /// Generalized engine only: delta-encoded 2a/2b (off = re-ship whole
+  /// c-structs, the pre-delta behaviour, for before/after comparisons).
+  bool delta_messages = true;
 };
 
 // --- Classic Paxos ------------------------------------------------------------
@@ -242,6 +245,7 @@ inline GenCluster make_gen(const Shape& shape, McPolicy kind,
   c.config.bottom = cstruct::History(&key_conflicts());
   c.config.enable_liveness = shape.liveness;
   c.config.reduce_rnd_writes = reduce_rnd_writes;
+  c.config.delta_messages = shape.delta_messages;
   c.config.disk_latency = shape.disk_latency;
   for (int i = 0; i < shape.coordinators; ++i) {
     c.coordinators.push_back(

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the archived bench JSON documents.
+
+Compares two outputs of a `bench/harness.hpp` Report (e.g. the previous CI
+run's `bench_generic_broadcast --json` artifact vs the current build's) and
+fails when a lower-is-better column — bytes, latency, makespan, ticks —
+regresses beyond a threshold.
+
+Usage:
+    compare_bench.py PREV.json NEW.json [--threshold 0.30] [--min-abs 16]
+
+Exit codes: 0 = no regression (or no baseline to compare against, which is
+reported but not fatal so the very first run passes), 1 = regression found,
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+# Column names (lowercased, substring match) whose values are lower-is-better
+# and stable across machines: wire bytes and simulated-clock durations.
+REGRESSION_COLUMNS = ("bytes", "lat", "makespan", "ticks", "writes")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def index_rows(rows):
+    """Identify rows by their text cells (the label columns). Numeric cells
+    are excluded on purpose: they are either measured outputs (comparing a
+    row only when its measurements are unchanged would defeat the gate) or
+    sweep parameters, whose enumeration order is fixed in the bench source —
+    so rows sharing the same labels are paired by order of appearance."""
+    out = {}
+    occurrences = {}
+    for row in rows:
+        labels = tuple(c for c in row if isinstance(c, str))
+        n = occurrences.get(labels, 0)
+        occurrences[labels] = n + 1
+        out[labels + (f"#{n}",) if n else labels] = row
+    return out
+
+
+def compare(prev, new, threshold, min_abs):
+    regressions = []
+    checked = 0
+    skipped = []
+    prev_tables = {t["name"]: t for t in prev.get("tables", [])}
+    for table in new.get("tables", []):
+        base = prev_tables.get(table["name"])
+        if base is None:
+            continue  # new table: nothing to compare against
+        columns = table.get("columns", [])
+        if base.get("columns", []) != columns:
+            # The bench changed shape; positional comparison would pair
+            # unrelated cells. Skip and report rather than guess.
+            skipped.append(table["name"])
+            continue
+        watched = {
+            i for i, name in enumerate(columns)
+            if any(tag in name.lower() for tag in REGRESSION_COLUMNS)
+        }
+        if not watched:
+            continue
+        base_rows = index_rows(base.get("rows", []))
+        for key, row in index_rows(table.get("rows", [])).items():
+            base_row = base_rows.get(key)
+            if base_row is None:
+                continue  # new or relabelled row
+            for i in sorted(watched):
+                if i >= len(row) or i >= len(base_row):
+                    continue
+                old_v, new_v = base_row[i], row[i]
+                if not isinstance(old_v, (int, float)) or not isinstance(new_v, (int, float)):
+                    continue
+                if isinstance(old_v, bool) or isinstance(new_v, bool):
+                    continue
+                checked += 1
+                # Relative gate with an absolute floor so that noise on tiny
+                # values (a 3-tick latency moving to 4) cannot fail the build.
+                if new_v > old_v * (1 + threshold) and new_v - old_v > min_abs:
+                    regressions.append(
+                        f"  {table['name']} | {' / '.join(key) or '(row)'} | "
+                        f"{columns[i]}: {old_v:g} -> {new_v:g} "
+                        f"(+{100 * (new_v - old_v) / old_v if old_v else float('inf'):.1f}%)"
+                    )
+    return checked, regressions, skipped
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prev")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed relative growth before failing (default 0.30)")
+    parser.add_argument("--min-abs", type=float, default=16.0,
+                        help="ignore absolute growth at or below this (default 16)")
+    args = parser.parse_args()
+
+    try:
+        prev = load(args.prev)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: no usable baseline ({e}); skipping the gate")
+        return 0
+    try:
+        new = load(args.new)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: cannot read the new results: {e}")
+        return 2
+
+    checked, regressions, skipped = compare(prev, new, args.threshold, args.min_abs)
+    print(f"compare_bench: checked {checked} byte/latency cells "
+          f"(threshold +{100 * args.threshold:.0f}%, floor {args.min_abs:g})")
+    for name in skipped:
+        print(f"compare_bench: table '{name}' changed columns; skipped")
+    if regressions:
+        print("regressions found:")
+        print("\n".join(regressions))
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

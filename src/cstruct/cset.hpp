@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <vector>
 
 #include "cstruct/command.hpp"
 
@@ -41,6 +43,21 @@ class CSet {
   }
 
   std::size_t size() const { return cmds_.size(); }
+
+  /// Delta codec: the commands missing from base (in id order), or nullopt
+  /// when *this does not extend base.
+  std::optional<std::vector<Command>> suffix_after(const CSet& base) const {
+    if (!extends(base)) return std::nullopt;
+    std::vector<Command> out;
+    out.reserve(cmds_.size() - base.cmds_.size());
+    for (const auto& [id, c] : cmds_) {
+      if (base.cmds_.count(id) == 0) out.push_back(c);
+    }
+    return out;
+  }
+  void apply_suffix(const std::vector<Command>& suffix) {
+    for (const Command& c : suffix) append(c);
+  }
 
   /// Commands in id order (a valid linearization: all commands commute).
   std::vector<Command> commands() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <concepts>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -18,10 +19,17 @@ namespace mcp::cstruct {
 ///   join(w)          least upper bound ⊔ (requires compatible, CS3)
 ///   size()           number of commands contained
 ///   operator==       c-struct equality (poset equality for histories)
+///   suffix_after(w)  some σ with w • σ = *this, nullopt unless extends(w)
+///   apply_suffix(σ)  v • σ in place (inverse of suffix_after)
+///
+/// The suffix pair is the delta codec behind the engine's delta-encoded
+/// 2a/2b messages: a sender ships σ instead of the whole c-struct and the
+/// receiver reconstructs the value from the base it already holds.
 ///
 /// Axioms CS0–CS4 are checked by property tests in tests/cstruct_axioms_test.
 template <typename CS>
-concept CStructT = std::copyable<CS> && requires(CS v, const CS c, const Command& cmd) {
+concept CStructT = std::copyable<CS> && requires(CS v, const CS c, const Command& cmd,
+                                                 const std::vector<Command>& seq) {
   { v.append(cmd) };
   { c.contains(cmd) } -> std::convertible_to<bool>;
   { c.extends(c) } -> std::convertible_to<bool>;
@@ -30,6 +38,8 @@ concept CStructT = std::copyable<CS> && requires(CS v, const CS c, const Command
   { c.join(c) } -> std::convertible_to<CS>;
   { c.size() } -> std::convertible_to<std::size_t>;
   { c == c } -> std::convertible_to<bool>;
+  { c.suffix_after(c) } -> std::convertible_to<std::optional<std::vector<Command>>>;
+  { v.apply_suffix(seq) };
 };
 
 /// v • σ for a sequence σ of commands.

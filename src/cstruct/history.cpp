@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace mcp::cstruct {
 
@@ -164,6 +165,33 @@ History History::join(const History& w) const {
   }
   for (const Command& c : i) out.seq_.push_back(c);
   return out;
+}
+
+std::optional<std::vector<Command>> History::suffix_after(const History& base) const {
+  if (!extends(base)) return std::nullopt;
+  // Fast path: the base is a literal prefix of our linearization (the
+  // common protocol case — the value literally grew out of the base).
+  if (literal_prefix(base.seq_, seq_)) {
+    return std::vector<Command>(seq_.begin() + static_cast<std::ptrdiff_t>(base.seq_.size()),
+                                seq_.end());
+  }
+  // General case: our linearization interleaves commuting commands with the
+  // base's. Since *this = base • σ, the commands of σ are exactly those
+  // missing from base, and our linearization restricted to them is a valid
+  // ordering of σ (conflicting pairs keep their poset order).
+  std::unordered_set<std::uint64_t> in_base;
+  in_base.reserve(base.seq_.size());
+  for (const Command& c : base.seq_) in_base.insert(c.id);
+  std::vector<Command> out;
+  out.reserve(seq_.size() - base.seq_.size());
+  for (const Command& c : seq_) {
+    if (in_base.count(c.id) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+void History::apply_suffix(const std::vector<Command>& suffix) {
+  for (const Command& c : suffix) append(c);
 }
 
 bool History::extends(const History& w) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "cstruct/command.hpp"
@@ -49,6 +50,15 @@ class History {
 
   /// Least upper bound ⊔ (requires compatible(w); throws otherwise).
   History join(const History& w) const;
+
+  /// Delta codec: the command sequence σ with base • σ ≡ *this, or nullopt
+  /// when *this does not extend base (no such σ exists). σ is this
+  /// history's linearization restricted to commands absent from base, so
+  /// apply_suffix on base — or on anything poset-equal to base —
+  /// reconstructs a history poset-equal to *this.
+  std::optional<std::vector<Command>> suffix_after(const History& base) const;
+  /// v • σ in place (appends each command, skipping ones already present).
+  void apply_suffix(const std::vector<Command>& suffix);
 
   std::size_t size() const { return seq_.size(); }
   bool empty() const { return seq_.empty(); }

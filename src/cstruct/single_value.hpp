@@ -1,6 +1,8 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <vector>
 
 #include "cstruct/command.hpp"
 
@@ -42,6 +44,17 @@ class SingleValue {
   }
 
   std::size_t size() const { return value_ ? 1 : 0; }
+
+  /// Delta codec: empty when equal, the single command when base is ⊥ and
+  /// *this is decided, nullopt when *this does not extend base.
+  std::optional<std::vector<Command>> suffix_after(const SingleValue& base) const {
+    if (!extends(base)) return std::nullopt;
+    if (value_ && base.is_bottom()) return std::vector<Command>{*value_};
+    return std::vector<Command>{};
+  }
+  void apply_suffix(const std::vector<Command>& suffix) {
+    for (const Command& c : suffix) append(c);
+  }
 
   friend bool operator==(const SingleValue& a, const SingleValue& b) {
     return a.value_ == b.value_;

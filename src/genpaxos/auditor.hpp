@@ -40,6 +40,32 @@ class SafetyAuditor final : public sim::Process {
   std::string role() const override { return "auditor"; }
 
   void on_message(sim::NodeId from, const std::any& m) override {
+    if (const auto* d2b = std::any_cast<Msg2bDelta>(&m)) {
+      // Delta 2b: reconstruct from the last vote recorded for this
+      // acceptor at this round (the same base a real learner holds); on a
+      // chain gap, resync like a learner would.
+      const CS* base = nullptr;
+      if (const auto bit = ballot_array_.find(d2b->b); bit != ballot_array_.end()) {
+        if (const auto it = bit->second.find(from); it != bit->second.end()) {
+          base = &it->second;
+        }
+      }
+      const std::size_t cached = base != nullptr ? base->size() : 0;
+      switch (delta_fit(base != nullptr ? &cached : nullptr, d2b->delta.base_size)) {
+        case DeltaFit::kStaleDuplicate:
+          return;
+        case DeltaFit::kResync:
+          sim().metrics().incr("gen.2b_resync_requests");
+          send(from, MsgResync2b{d2b->b});
+          return;
+        case DeltaFit::kApply:
+          break;
+      }
+      CS next = *base;
+      next.apply_suffix(d2b->delta.suffix);
+      record(from, d2b->b, next);
+      return;
+    }
     const auto* p2b = std::any_cast<Msg2b<CS>>(&m);
     if (p2b == nullptr) return;
     record(from, p2b->b, *p2b->val);

@@ -77,26 +77,34 @@ struct Msg1b {
     return {wire::get_ballot(r), wire::get_ballot(r), wire::get_cstruct(r, bottom)};
   }
 };
-/// 2a/2b carry whole c-structs that fan out to many destinations; the
-/// payload is shared immutable state so an in-memory multicast costs
-/// refcounts, not deep copies of the command history (on the wire the
-/// whole c-struct is serialized, which is exactly the cost the byte
-/// counters are meant to expose).
+/// Full-value 2a/2b carry whole c-structs that fan out to many
+/// destinations; the payload is shared immutable state so an in-memory
+/// multicast costs refcounts, not deep copies of the command history (on
+/// the wire the whole c-struct is serialized, which is exactly the cost
+/// the byte counters are meant to expose). They are the fallback of the
+/// delta-encoded variants below: the first 2a/2b of a chain, and every
+/// resync after a receiver reports a stale base, ship the full value.
 template <cstruct::CStructT CS>
 struct Msg2a {
   paxos::Ballot b;
   std::shared_ptr<const CS> val;
+  /// Sender's incarnation: within one incarnation a coordinator's cval only
+  /// grows, so receivers use this to order the diverging values a recovered
+  /// coordinator can produce at the same round (arrival order cannot).
+  int inc = 0;
 
   static constexpr std::uint32_t kTag = cs_msg_tag<CS>(2);
   static constexpr const char* kName = "gen.2a";
   void encode(wire::Writer& w) const {
     if (!val) throw std::logic_error("gen.2a: null payload");
     wire::put_ballot(w, b);
+    w.put_signed(inc);
     wire::put_cstruct(w, *val);
   }
   static Msg2a decode(wire::Reader& r, const CS& bottom) {
     Msg2a out;
     out.b = wire::get_ballot(r);
+    out.inc = static_cast<int>(r.get_signed());
     out.val = std::make_shared<const CS>(wire::get_cstruct(r, bottom));
     return out;
   }
@@ -119,6 +127,92 @@ struct Msg2b {
     out.val = std::make_shared<const CS>(wire::get_cstruct(r, bottom));
     return out;
   }
+};
+
+/// Delta-encoded 2a (the fix for the paper's §3.3 large-c-struct caveat):
+/// instead of re-shipping the whole c-struct, carry only the suffix
+/// relative to the value this sender previously shipped at the same round.
+/// `delta.base_size` names the base by its command count — values a sender
+/// ships within one incarnation of a round form an extension chain, so the
+/// size identifies the base uniquely and a mismatch means the receiver's
+/// cached base is stale (it answers with a resync request and the sender
+/// falls back to a full 2a). The payload is command ids, not c-structs, so
+/// one message type serves all three c-struct sets; kName matches Msg2a so
+/// the byte counters aggregate all 2a traffic under net.bytes.gen.2a.
+struct Msg2aDelta {
+  paxos::Ballot b;
+  int inc = 0;  ///< sender incarnation, as in Msg2a
+  wire::Delta delta;
+
+  static constexpr std::uint32_t kTag = 84;
+  static constexpr const char* kName = "gen.2a";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    w.put_signed(inc);
+    wire::put_delta(w, delta);
+  }
+  static Msg2aDelta decode(wire::Reader& r) {
+    Msg2aDelta out;
+    out.b = wire::get_ballot(r);
+    out.inc = static_cast<int>(r.get_signed());
+    out.delta = wire::get_delta(r);
+    return out;
+  }
+};
+/// Delta-encoded 2b, acceptor → learners (and the round's coordinators in
+/// fast rounds). No incarnation: an acceptor persists its vote before every
+/// send, so its per-round 2b values form an extension chain even across
+/// its own crashes.
+struct Msg2bDelta {
+  paxos::Ballot b;
+  wire::Delta delta;
+
+  static constexpr std::uint32_t kTag = 85;
+  static constexpr const char* kName = "gen.2b";
+  void encode(wire::Writer& w) const {
+    wire::put_ballot(w, b);
+    wire::put_delta(w, delta);
+  }
+  static Msg2bDelta decode(wire::Reader& r) {
+    Msg2bDelta out;
+    out.b = wire::get_ballot(r);
+    out.delta = wire::get_delta(r);
+    return out;
+  }
+};
+/// How an incoming delta relates to the receiver's cached base — the one
+/// chain rule every delta receiver (acceptor, learner, fast-round
+/// coordinator, auditor) applies. Values a sender ships within one round
+/// (and, for 2a, one incarnation) form an extension chain, so sizes order
+/// them: a smaller claimed base means the delta's target is already folded
+/// into the cache (drop it), an equal size means the cache IS the base
+/// (apply), and anything else — including no cache at all — means the
+/// chain has a gap and only a full value can repair it (resync).
+enum class DeltaFit { kApply, kStaleDuplicate, kResync };
+inline DeltaFit delta_fit(const std::size_t* cached_size, std::uint64_t claimed_base) {
+  if (cached_size == nullptr) return DeltaFit::kResync;
+  if (*cached_size > claimed_base) return DeltaFit::kStaleDuplicate;
+  return *cached_size == claimed_base ? DeltaFit::kApply : DeltaFit::kResync;
+}
+
+/// Receiver → 2a sender: my cached base for your deltas at round b is
+/// missing or stale; re-send the full value.
+struct MsgResync2a {
+  paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = 86;
+  static constexpr const char* kName = "gen.resync2a";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static MsgResync2a decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
+};
+/// Receiver → 2b sender (an acceptor): same, for the 2b chain.
+struct MsgResync2b {
+  paxos::Ballot b;
+
+  static constexpr std::uint32_t kTag = 87;
+  static constexpr const char* kName = "gen.resync2b";
+  void encode(wire::Writer& w) const { wire::put_ballot(w, b); }
+  static MsgResync2b decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
 struct MsgPropose {
   Command c;
@@ -158,6 +252,10 @@ void register_wire_messages(wire::DecoderRegistry& reg, const CS& bottom) {
   reg.add<Msg1b<CS>>(bottom);
   reg.add<Msg2a<CS>>(bottom);
   reg.add<Msg2b<CS>>(bottom);
+  reg.add<Msg2aDelta>();
+  reg.add<Msg2bDelta>();
+  reg.add<MsgResync2a>();
+  reg.add<MsgResync2b>();
 }
 
 // --- configuration --------------------------------------------------------------
@@ -174,6 +272,11 @@ struct Config {
   CS bottom{};
 
   sim::Time disk_latency = 0;
+  /// Send 2a/2b as deltas relative to the last value shipped for the same
+  /// round, falling back to full values on first contact, round change, or
+  /// when a receiver reports a stale base. Off re-ships whole c-structs
+  /// in every 2a/2b (the paper's §3.3 caveat), for ablation.
+  bool delta_messages = true;
   /// §4.2 collision handling by acceptors.
   bool collision_recovery = true;
   /// §4.4: keep rnd[a] volatile, persisting only round-count blocks.
@@ -271,6 +374,7 @@ class GenCoordinator final : public sim::Process {
     // it is a fresh identity (bumped incarnation in its ballots).
     crnd_ = paxos::Ballot::zero();
     cval_.reset();
+    last_2a_.reset();
     promises_.clear();
     proposals_.clear();
     on_start();
@@ -309,7 +413,20 @@ class GenCoordinator final : public sim::Process {
       return;
     }
     if (const auto* p2b = std::any_cast<Msg2b<CS>>(&m)) {
-      handle_2b(from, *p2b);
+      handle_2b(from, p2b->b, *p2b->val);
+      return;
+    }
+    if (const auto* d2b = std::any_cast<Msg2bDelta>(&m)) {
+      handle_2b_delta(from, *d2b);
+      return;
+    }
+    if (const auto* rs = std::any_cast<MsgResync2a>(&m)) {
+      // An acceptor lost track of our 2a chain (first contact after its
+      // recovery, or a lost delta): re-send the full value, off-chain.
+      if (rs->b == crnd_ && cval_) {
+        sim().metrics().incr("gen.2a_resyncs");
+        send(from, Msg2a<CS>{crnd_, std::make_shared<const CS>(*cval_), incarnation()});
+      }
       return;
     }
     if (const auto* nack = std::any_cast<MsgNack>(&m)) {
@@ -326,21 +443,42 @@ class GenCoordinator final : public sim::Process {
   /// Fast-round collision detection (§4.3): acceptors accepting
   /// incompatible c-structs can wedge the round; the leader notices from
   /// the 2b traffic and starts the next (classic) round to resolve it.
-  void handle_2b(sim::NodeId from, const Msg2b<CS>& p2b) {
-    if (p2b.b != crnd_ || !crnd_.is_fast()) return;
+  void handle_2b(sim::NodeId from, const paxos::Ballot& b, const CS& val) {
+    if (b != crnd_ || !crnd_.is_fast()) return;
     auto it = fast_votes_.find(from);
     if (it == fast_votes_.end()) {
-      fast_votes_.emplace(from, *p2b.val);
-    } else if (p2b.val->extends(it->second)) {
-      it->second = *p2b.val;
+      fast_votes_.emplace(from, val);
+    } else if (val.extends(it->second)) {
+      it->second = val;
     }
     for (const auto& [a, v] : fast_votes_) {
-      if (!v.compatible(*p2b.val)) {
+      if (!v.compatible(val)) {
         sim().metrics().incr("gen.fast_collisions_detected");
         start_round(crnd_.count + 1);
         return;
       }
     }
+  }
+
+  void handle_2b_delta(sim::NodeId from, const Msg2bDelta& d) {
+    if (d.b != crnd_ || !crnd_.is_fast()) return;
+    const auto it = fast_votes_.find(from);
+    const std::size_t cached = it != fast_votes_.end() ? it->second.size() : 0;
+    switch (delta_fit(it != fast_votes_.end() ? &cached : nullptr, d.delta.base_size)) {
+      case DeltaFit::kStaleDuplicate:
+        return;
+      case DeltaFit::kResync:
+        // Monitoring gap (we joined the fast round after this acceptor's
+        // first 2b, or a delta was lost): ask for the full vote.
+        sim().metrics().incr("gen.2b_resync_requests");
+        send(from, MsgResync2b{d.b});
+        return;
+      case DeltaFit::kApply:
+        break;
+    }
+    CS next = it->second;
+    next.apply_suffix(d.delta.suffix);
+    handle_2b(from, d.b, next);
   }
 
   bool is_leader() const {
@@ -362,6 +500,7 @@ class GenCoordinator final : public sim::Process {
   void join_round(const paxos::Ballot& b) {
     crnd_ = b;
     cval_.reset();
+    last_2a_.reset();
     promises_.clear();
     fast_votes_.clear();
     round_started_at_ = now();
@@ -416,9 +555,25 @@ class GenCoordinator final : public sim::Process {
     send_2a();
   }
 
+  /// Ship cval to the acceptors: as the suffix since the round's previous
+  /// 2a when possible (cval only grows within a round, so retransmissions
+  /// become empty deltas), as the full value on the first 2a of a round.
   void send_2a() {
     sim().metrics().incr("coord." + std::to_string(id()) + ".2a_sent");
-    multicast(config_.acceptors, Msg2a<CS>{crnd_, std::make_shared<const CS>(*cval_)});
+    if (config_.delta_messages && last_2a_) {
+      if (auto suffix = cval_->suffix_after(*last_2a_)) {
+        sim().metrics().incr("gen.2a_delta_sent");
+        multicast(config_.acceptors,
+                  Msg2aDelta{crnd_, incarnation(),
+                             wire::Delta{last_2a_->size(), std::move(*suffix)}});
+        last_2a_ = *cval_;
+        return;
+      }
+    }
+    sim().metrics().incr("gen.2a_full_sent");
+    multicast(config_.acceptors,
+              Msg2a<CS>{crnd_, std::make_shared<const CS>(*cval_), incarnation()});
+    last_2a_ = *cval_;
   }
 
   const Config<CS>& config_;
@@ -426,7 +581,8 @@ class GenCoordinator final : public sim::Process {
   paxos::FailureDetector fd_;
 
   paxos::Ballot crnd_;
-  std::optional<CS> cval_;  ///< engaged once Phase2Start ran for crnd_
+  std::optional<CS> cval_;   ///< engaged once Phase2Start ran for crnd_
+  std::optional<CS> last_2a_;  ///< value carried by the round's latest 2a multicast
   std::map<sim::NodeId, paxos::VoteReport<CS>> promises_;
   std::map<std::uint64_t, Command> proposals_;
   std::map<sim::NodeId, CS> fast_votes_;  ///< fast-round collision monitor
@@ -451,6 +607,10 @@ class GenAcceptor final : public sim::Process {
   const paxos::Ballot& rnd() const { return rnd_; }
   const paxos::Ballot& vrnd() const { return vrnd_; }
   const CS& vval() const { return vval_; }
+  /// Per-ballot bookkeeping entries currently held (2a tracking and
+  /// collision flags). Stays O(1) over a run because join() prunes every
+  /// round below rnd_; grows without bound if that pruning regresses.
+  std::size_t tracked_round_states() const { return twoa_.size() + collided_.size(); }
 
   void on_start() override {
     if (config_.enable_liveness) set_timer(config_.retry_interval, kRetryToken);
@@ -460,9 +620,9 @@ class GenAcceptor final : public sim::Process {
     if (token != kRetryToken) return;
     // The paper's liveness rule: keep re-sending the last message. A lost
     // 2b otherwise starves a learner forever once the value stops growing.
-    if (!vrnd_.is_zero()) {
-      multicast(config_.learners, Msg2b<CS>{vrnd_, std::make_shared<const CS>(vval_)});
-    }
+    // With deltas on this is an empty delta; a learner that missed a
+    // previous 2b answers with a resync request and gets the full value.
+    if (!vrnd_.is_zero()) transmit_2b(/*to_fast_coords=*/false, 0);
     set_timer(config_.retry_interval, kRetryToken);
   }
 
@@ -485,6 +645,10 @@ class GenAcceptor final : public sim::Process {
     twoa_.clear();
     collided_.clear();
     pending_.clear();
+    // The 2b chain cache is volatile: the next 2b after recovery goes out
+    // full. (The persisted vval is an extension of everything ever sent,
+    // so receivers could follow a delta — but only a cached base proves it.)
+    last_2b_.reset();
   }
 
   void on_message(sim::NodeId from, const std::any& m) override {
@@ -500,10 +664,30 @@ class GenAcceptor final : public sim::Process {
       handle_2a(from, *p2a);
       return;
     }
+    if (const auto* d2a = std::any_cast<Msg2aDelta>(&m)) {
+      handle_2a_delta(from, *d2a);
+      return;
+    }
+    if (std::any_cast<MsgResync2b>(&m) != nullptr) {
+      // A learner (or fast-round coordinator) lost track of our 2b chain:
+      // re-send the full vote, off-chain, to the requester only.
+      if (!vrnd_.is_zero()) {
+        sim().metrics().incr("gen.2b_resyncs");
+        send(from, Msg2b<CS>{vrnd_, std::make_shared<const CS>(vval_)});
+      }
+      return;
+    }
   }
 
  private:
   static constexpr int kRetryToken = 2;
+
+  /// Last 2a received per (round, coordinator): the protocol state behind
+  /// Phase2bClassic and the base of the coordinator's delta chain.
+  struct TwoA {
+    int inc = 0;  ///< sender incarnation that produced val
+    CS val;
+  };
 
   std::string me() const { return "acceptor." + std::to_string(id()); }
 
@@ -511,6 +695,11 @@ class GenAcceptor final : public sim::Process {
   void join(const paxos::Ballot& b) {
     if (b <= rnd_) return;
     rnd_ = b;
+    // Stale-round state: 2a bookkeeping and collision flags for rounds
+    // below rnd_ can never be read again (handle_2a nacks such rounds), so
+    // drop them — otherwise the per-ballot maps grow for the whole run.
+    twoa_.erase(twoa_.begin(), twoa_.lower_bound(rnd_));
+    collided_.erase(collided_.begin(), collided_.lower_bound(rnd_));
     if (config_.reduce_rnd_writes) {
       persist_rnd_block(b.count);
     } else {
@@ -535,16 +724,40 @@ class GenAcceptor final : public sim::Process {
     return lat;
   }
 
-  void send_2b() {
-    const sim::Time lat = persist_vote();
+  /// Ship the current vote to the learners (and, in fast rounds, the
+  /// round's coordinators, which monitor 2b traffic for collisions — §4.3)
+  /// as the suffix since the last 2b of this round when possible (vval
+  /// only grows within a round), full otherwise. The message is built once
+  /// for all audiences: the suffix computation is O(history) and the full
+  /// payload is shared immutable state, so a fast-round fan-out costs
+  /// refcounts, not extra passes. Does not advance the chain cache —
+  /// send_2b does, once per new value, so retransmissions reuse the base.
+  void transmit_2b(bool to_fast_coords, sim::Time lat) {
+    if (config_.delta_messages && last_2b_ && last_2b_rnd_ == vrnd_) {
+      if (auto suffix = vval_.suffix_after(*last_2b_)) {
+        sim().metrics().incr("gen.2b_delta_sent");
+        const Msg2bDelta d{vrnd_, wire::Delta{last_2b_->size(), std::move(*suffix)}};
+        multicast_after_sync(config_.learners, d, lat);
+        if (to_fast_coords) {
+          multicast_after_sync(config_.policy->info(vrnd_).coordinators, d, lat);
+        }
+        return;
+      }
+    }
+    sim().metrics().incr("gen.2b_full_sent");
     const auto payload = std::make_shared<const CS>(vval_);
     multicast_after_sync(config_.learners, Msg2b<CS>{vrnd_, payload}, lat);
-    if (vrnd_.is_fast()) {
-      // §4.3: the round's coordinators monitor fast-round 2b traffic to
-      // detect collisions and fall back to a classic round.
+    if (to_fast_coords) {
       multicast_after_sync(config_.policy->info(vrnd_).coordinators,
                            Msg2b<CS>{vrnd_, payload}, lat);
     }
+  }
+
+  void send_2b() {
+    const sim::Time lat = persist_vote();
+    transmit_2b(vrnd_.is_fast(), lat);
+    last_2b_ = vval_;
+    last_2b_rnd_ = vrnd_;
   }
 
   void handle_1a(sim::NodeId from, const paxos::Ballot& b) {
@@ -585,19 +798,69 @@ class GenAcceptor final : public sim::Process {
       send(from, MsgNack{rnd_});
       return;
     }
-    join(p2a.b);
-    auto& received = twoa_[p2a.b];
+    accept_2a(from, p2a.b, p2a.inc, *p2a.val);
+  }
+
+  void handle_2a_delta(sim::NodeId from, const Msg2aDelta& d) {
+    if (d.b < rnd_) {
+      send(from, MsgNack{rnd_});
+      return;
+    }
+    const auto bit = twoa_.find(d.b);
+    const TwoA* base = nullptr;
+    if (bit != twoa_.end()) {
+      const auto it = bit->second.find(from);
+      if (it != bit->second.end()) base = &it->second;
+    }
+    // The 2a chain is additionally keyed by the sender's incarnation: a
+    // delta from an older incarnation is a pre-recovery straggler (drop),
+    // one from a newer incarnation has no base here yet (resync).
+    if (base != nullptr && d.inc < base->inc) return;
+    const std::size_t cached = base != nullptr ? base->val.size() : 0;
+    const bool same_inc = base != nullptr && d.inc == base->inc;
+    switch (delta_fit(same_inc ? &cached : nullptr, d.delta.base_size)) {
+      case DeltaFit::kStaleDuplicate:
+        return;
+      case DeltaFit::kResync:
+        sim().metrics().incr("gen.2a_resync_requests");
+        send(from, MsgResync2a{d.b});
+        return;
+      case DeltaFit::kApply:
+        break;
+    }
+    CS next = base->val;
+    next.apply_suffix(d.delta.suffix);
+    accept_2a(from, d.b, d.inc, std::move(next));
+  }
+
+  void accept_2a(sim::NodeId from, const paxos::Ballot& b, int inc, CS val) {
+    join(b);
+    auto& received = twoa_[b];
     auto it = received.find(from);
     if (it == received.end()) {
-      received.emplace(from, *p2a.val);
-    } else if (p2a.val->extends(it->second)) {
-      it->second = *p2a.val;  // coordinators only ever extend their cval
-    } else if (!it->second.extends(*p2a.val)) {
-      // Out-of-order delivery of diverging values from one coordinator can
-      // only happen across its recoveries; keep the newer one.
-      it->second = *p2a.val;
+      received.emplace(from, TwoA{inc, std::move(val)});
+    } else if (inc < it->second.inc) {
+      return;  // straggler from before the coordinator's crash: ignore
+    } else {
+      const bool diverged =
+          !val.extends(it->second.val) && !it->second.val.extends(val);
+      if (diverged) {
+        // Neither value extends the other: the coordinator diverged across
+        // a recovery (same incarnation cannot — cval only grows). Counted
+        // so runs exercising this path are observable.
+        sim().metrics().incr("gen.2a_divergence");
+      }
+      if (inc > it->second.inc || val.extends(it->second.val)) {
+        // A newer incarnation always wins; within one, keep the extension.
+        it->second = TwoA{inc, std::move(val)};
+      } else if (diverged) {
+        // Same incarnation yet diverged — not a correct coordinator; keep
+        // the newer arrival, as before, so the run stays live.
+        it->second = TwoA{inc, std::move(val)};
+      }
+      // else: stale retransmission (stored already extends val) — keep.
     }
-    evaluate_2a(p2a.b);
+    evaluate_2a(b);
   }
 
   /// Phase2bClassic (§3.2): accept the richest value supported by some
@@ -612,7 +875,7 @@ class GenAcceptor final : public sim::Process {
     if (b.is_classic() && config_.collision_recovery && !collided_.count(b)) {
       for (auto i1 = received.begin(); i1 != received.end(); ++i1) {
         for (auto i2 = std::next(i1); i2 != received.end(); ++i2) {
-          if (!i1->second.compatible(i2->second)) {
+          if (!i1->second.val.compatible(i2->second.val)) {
             collided_.insert(b);
             collision_jump(b);
             return;
@@ -626,7 +889,7 @@ class GenAcceptor final : public sim::Process {
     // already accepted at this round.
     std::vector<CS> vals;
     vals.reserve(received.size());
-    for (const auto& [c, v] : received) vals.push_back(v);
+    for (const auto& [c, v] : received) vals.push_back(v.val);
     std::optional<CS> u;
     for (const auto& subset : paxos::combinations(vals.size(), info.coord_quorum_size)) {
       std::vector<CS> quorum_vals;
@@ -666,8 +929,10 @@ class GenAcceptor final : public sim::Process {
   paxos::Ballot rnd_;
   paxos::Ballot vrnd_;
   CS vval_;
+  std::optional<CS> last_2b_;   ///< value carried by the latest send_2b
+  paxos::Ballot last_2b_rnd_;   ///< round last_2b_ was sent at
   std::map<std::uint64_t, Command> pending_;
-  std::map<paxos::Ballot, std::map<sim::NodeId, CS>> twoa_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, TwoA>> twoa_;
   std::set<paxos::Ballot> collided_;
 };
 
@@ -686,20 +951,58 @@ class GenLearner final : public sim::Process {
   const CS& learned() const { return learned_; }
   /// First simulated time each command id appeared in learned().
   const std::map<std::uint64_t, sim::Time>& learn_times() const { return learn_times_; }
+  /// Rounds with vote state currently tracked; bounded over a run because
+  /// ingest_2b prunes every round below the latest quorum-complete one.
+  std::size_t tracked_vote_rounds() const { return votes_.size(); }
 
   void on_message(sim::NodeId from, const std::any& m) override {
+    if (const auto* d2b = std::any_cast<Msg2bDelta>(&m)) {
+      handle_2b_delta(from, *d2b);
+      return;
+    }
     const auto* p2b = std::any_cast<Msg2b<CS>>(&m);
     if (p2b == nullptr) return;
-    auto& votes = votes_[p2b->b];
+    ingest_2b(from, p2b->b, *p2b->val);
+  }
+
+ private:
+  /// Apply a delta 2b to the cached vote it extends; if we never saw the
+  /// base (first contact or a lost delta), ask the acceptor for the full
+  /// vote instead.
+  void handle_2b_delta(sim::NodeId from, const Msg2bDelta& d) {
+    const CS* base = nullptr;
+    if (const auto bit = votes_.find(d.b); bit != votes_.end()) {
+      if (const auto it = bit->second.find(from); it != bit->second.end()) {
+        base = &it->second;
+      }
+    }
+    const std::size_t cached = base != nullptr ? base->size() : 0;
+    switch (delta_fit(base != nullptr ? &cached : nullptr, d.delta.base_size)) {
+      case DeltaFit::kStaleDuplicate:
+        return;
+      case DeltaFit::kResync:
+        sim().metrics().incr("gen.2b_resync_requests");
+        send(from, MsgResync2b{d.b});
+        return;
+      case DeltaFit::kApply:
+        break;
+    }
+    CS next = *base;
+    next.apply_suffix(d.delta.suffix);
+    ingest_2b(from, d.b, std::move(next));
+  }
+
+  void ingest_2b(sim::NodeId from, const paxos::Ballot& b, CS val) {
+    auto& votes = votes_[b];
     auto it = votes.find(from);
     if (it == votes.end()) {
-      votes.emplace(from, *p2b->val);
-    } else if (p2b->val->extends(it->second)) {
-      it->second = *p2b->val;
+      votes.emplace(from, std::move(val));
+    } else if (val.extends(it->second)) {
+      it->second = std::move(val);
     } else {
       return;  // stale retransmission
     }
-    const std::size_t q = quorums_.quorum_size(p2b->b);
+    const std::size_t q = quorums_.quorum_size(b);
     if (votes.size() < q) return;
 
     // Learn(l): anything accepted (as a prefix) by a whole quorum is
@@ -719,9 +1022,15 @@ class GenLearner final : public sim::Process {
       learned_ = learned_.join(chosen);
     }
     note_new_commands();
+    // Stale-round state: once a whole b-quorum voted at b, anything chosen
+    // at a lower round is subsumed by the fold above (values accepted at b
+    // are safe, i.e. extend everything choosable below — Definition 5), so
+    // the per-ballot vote maps below b are dead state. Dropping them also
+    // drops the delta bases of stragglers still voting at old rounds; a
+    // late delta 2b from one triggers a resync, not a wrong apply.
+    votes_.erase(votes_.begin(), votes_.find(b));
   }
 
- private:
   void note_new_commands() {
     const std::size_t n = learned_.size();
     if (n == acked_.size()) return;

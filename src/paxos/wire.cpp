@@ -166,6 +166,18 @@ std::vector<cstruct::Command> get_commands(Reader& r) {
   return out;
 }
 
+void put_delta(Writer& w, const Delta& d) {
+  w.put_varint(d.base_size);
+  put_commands(w, d.suffix);
+}
+
+Delta get_delta(Reader& r) {
+  Delta d;
+  d.base_size = r.get_varint();
+  d.suffix = get_commands(r);
+  return d;
+}
+
 void put_cstruct(Writer& w, const cstruct::SingleValue& v) {
   put_flag(w, !v.is_bottom());
   if (!v.is_bottom()) put_command(w, *v.value());

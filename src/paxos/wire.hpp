@@ -228,6 +228,17 @@ inline std::uint64_t check_count(const Reader& r, std::uint64_t n) {
 void put_opt_command(Writer& w, const std::optional<cstruct::Command>& c);
 std::optional<cstruct::Command> get_opt_command(Reader& r);
 
+/// A c-struct delta on the wire: the size of the base value the suffix
+/// extends (so the receiver can detect that its cached base is stale) plus
+/// the command suffix itself. Used by the delta-encoded 2a/2b variants of
+/// the generalized engine.
+struct Delta {
+  std::uint64_t base_size = 0;
+  std::vector<cstruct::Command> suffix;
+};
+void put_delta(Writer& w, const Delta& d);
+Delta get_delta(Reader& r);
+
 void put_node_ids(Writer& w, const std::vector<sim::NodeId>& ids);
 std::vector<sim::NodeId> get_node_ids(Reader& r);
 

@@ -363,6 +363,73 @@ TEST(GenPaxos, StabilityLearnedOnlyGrows) {
   }
 }
 
+// --- diverging 2a values across a coordinator recovery --------------------------
+
+namespace divergence {
+
+std::shared_ptr<const History> hot(std::uint64_t id, const char* v) {
+  History h(&kKeyRel);
+  h.append(make_write(id, "hot", v));
+  return std::make_shared<const History>(std::move(h));
+}
+
+}  // namespace divergence
+
+TEST(GenPaxos, Stale2aAfterCoordinatorRecoveryCannotShadowNewerValue) {
+  // Regression for the handle_2a diverging-value path: a pre-crash 2a
+  // delivered out of order *after* the recovered coordinator's new 2a used
+  // to overwrite the newer value (last arrival won), fabricating a
+  // collision between the stale value and the other coordinators' 2as.
+  // Incarnation ordering in the message resolves it. Messages are injected
+  // directly (the simulation is never run), so delivery order is exact.
+  ClusterSpec spec;
+  spec.policy = PolicyKind::kMulti;
+  spec.liveness = false;
+  Cluster c = build(spec);
+  GenAcceptor<History>* acc = c.acceptors[0];
+  const NodeId coord0 = c.coordinators[0]->id();
+  const NodeId coord1 = c.coordinators[1]->id();
+  const paxos::Ballot b = c.policy->make_ballot(1, coord0, 0);
+
+  // The recovered coordinator's 2a (incarnation 1) arrives first...
+  acc->on_message(coord0, std::any(Msg2a<History>{b, divergence::hot(2, "new"), 1}));
+  // ...then its conflicting pre-crash 2a (incarnation 0) straggles in: it
+  // must be discarded, not stored.
+  acc->on_message(coord0, std::any(Msg2a<History>{b, divergence::hot(1, "old"), 0}));
+  // A second coordinator forwards the post-recovery value: a coordinator
+  // quorum (2 of 3) now supports it, so the acceptor accepts it.
+  acc->on_message(coord1, std::any(Msg2a<History>{b, divergence::hot(2, "new"), 0}));
+
+  EXPECT_EQ(acc->vrnd(), b);
+  EXPECT_TRUE(acc->vval().contains(make_write(2, "hot", "new")));
+  // No collision was fabricated from the stale value.
+  EXPECT_EQ(c.sim->metrics().counter("gen.collisions_detected"), 0);
+}
+
+TEST(GenPaxos, DivergenceAcrossRecoveryIsCountedAndNewIncarnationWins) {
+  // The other delivery order: pre-crash 2a first, then the diverging
+  // post-recovery 2a. The overwrite is legitimate (newer incarnation wins)
+  // and must bump the gen.2a_divergence metric so it is observable.
+  ClusterSpec spec;
+  spec.policy = PolicyKind::kMulti;
+  spec.liveness = false;
+  Cluster c = build(spec);
+  GenAcceptor<History>* acc = c.acceptors[0];
+  const NodeId coord0 = c.coordinators[0]->id();
+  const NodeId coord1 = c.coordinators[1]->id();
+  const paxos::Ballot b = c.policy->make_ballot(1, coord0, 0);
+
+  acc->on_message(coord0, std::any(Msg2a<History>{b, divergence::hot(1, "old"), 0}));
+  EXPECT_EQ(c.sim->metrics().counter("gen.2a_divergence"), 0);
+  acc->on_message(coord0, std::any(Msg2a<History>{b, divergence::hot(2, "new"), 1}));
+  EXPECT_EQ(c.sim->metrics().counter("gen.2a_divergence"), 1);
+  acc->on_message(coord1, std::any(Msg2a<History>{b, divergence::hot(2, "new"), 0}));
+
+  EXPECT_EQ(acc->vrnd(), b);
+  EXPECT_TRUE(acc->vval().contains(make_write(2, "hot", "new")));
+  EXPECT_EQ(c.sim->metrics().counter("gen.collisions_detected"), 0);
+}
+
 // --- randomized safety/liveness sweeps over policies, loss and conflicts -------
 
 struct SweepParam {

@@ -46,7 +46,8 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
   config.bottom = History(&kKeyRel);
 
   for (int i = 0; i < 3; ++i) s.make_process<GenCoordinator<History>>(config);
-  for (int i = 0; i < 5; ++i) s.make_process<GenAcceptor<History>>(config);
+  std::vector<GenAcceptor<History>*> acceptors;
+  for (int i = 0; i < 5; ++i) acceptors.push_back(&s.make_process<GenAcceptor<History>>(config));
   std::vector<GenLearner<History>*> learners;
   for (int i = 0; i < 2; ++i) learners.push_back(&s.make_process<GenLearner<History>>(config));
   auto& auditor = s.make_process<SafetyAuditor<History>>(config);
@@ -63,6 +64,12 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
       proposers[i % 3]->propose(workload.commands()[i]);
     });
   }
+  // Mid-stream acceptor crash/recovery: the §4.4 conservative rnd restore
+  // puts the recovered acceptor above the current round, so its nacks force
+  // the leader into fresh rounds — churn that must not leave stale
+  // per-ballot state behind (asserted below).
+  s.crash_at(250, acceptors[0]->id());
+  s.recover_at(450, acceptors[0]->id());
 
   const bool ok = s.run_until(
       [&] {
@@ -84,6 +91,23 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
   s.run_until(s.now() + 5'000);  // drain acks
   for (const auto* p : proposers) delivered += p->delivered_count();
   EXPECT_EQ(delivered, kCount);
+  // Stale-round bookkeeping must not accumulate over a long run: joining a
+  // higher round prunes the per-ballot 2a/collision maps, so after the
+  // whole stream each acceptor tracks at most the current round's 2a state
+  // plus its collision flag.
+  const std::int64_t rounds = s.metrics().counter("gen.rounds_started") +
+                              s.metrics().counter("gen.collisions_detected");
+  EXPECT_GT(rounds, 1) << "round churn never exercised the pruning path";
+  for (const auto* a : acceptors) {
+    EXPECT_LE(a->tracked_round_states(), 2u)
+        << "acceptor " << a->id() << " retains stale per-ballot state";
+  }
+  // Learners prune symmetrically: every quorum-complete round drops the
+  // vote maps below it.
+  for (const auto* l : learners) {
+    EXPECT_LE(l->tracked_vote_rounds(), 2u)
+        << "learner " << l->id() << " retains stale per-ballot votes";
+  }
 }
 
 }  // namespace
