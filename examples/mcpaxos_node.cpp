@@ -1,0 +1,328 @@
+// A live Multicoordinated Paxos node: one protocol process — the same
+// classes the simulator runs — hosted by runtime::Node over a TCP
+// transport, configured from a cluster file.
+//
+// Cluster file format (one line per node, '#' comments):
+//
+//   node <id> <host> <port> <role>     # role: coordinator|acceptor|learner|proposer
+//
+// Run one process per node of the cluster, e.g. for examples/cluster6.txt:
+//
+//   $ ./mcpaxos_node --id 0 --config cluster.txt            # coordinator
+//   $ ./mcpaxos_node --id 1 --config cluster.txt            # acceptor ...
+//   $ ./mcpaxos_node --id 5 --config cluster.txt --commands 10
+//
+// A proposer with --commands proposes that many writes sequentially and
+// reports acks; learners print their learned history on exit. --run-ms
+// bounds the node's lifetime (default 10 000).
+//
+// Flags: --policy single|multi|fast picks the round structure (single- vs
+// multicoordinated vs fast rounds over the file's coordinators); --cstruct
+// history|cset|single picks the c-struct set CS; --tick-us maps protocol
+// ticks to real time.
+//
+// No terminals to spare? `--demo [thread|tcp]` runs a whole loopback
+// cluster (1 coordinator / 3 acceptors / 1 learner / 1 proposer) of real
+// concurrent nodes inside this one process and prints the learned history
+// and byte counters.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cstruct/cset.hpp"
+#include "cstruct/history.hpp"
+#include "cstruct/single_value.hpp"
+#include "genpaxos/engine.hpp"
+#include "runtime/gen_cluster.hpp"
+#include "runtime/node.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace {
+
+using namespace mcp;
+
+struct Member {
+  sim::NodeId id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  std::string role;
+};
+
+struct Options {
+  sim::NodeId id = -1;
+  std::string config_path;
+  std::string policy = "single";
+  std::string cstruct = "history";
+  int commands = 0;
+  long run_ms = 10'000;
+  long tick_us = 1000;
+  std::string demo;  // empty = distributed mode
+};
+
+std::vector<Member> parse_cluster(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open cluster file: " + path);
+  std::vector<Member> members;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+    if (kind != "node") throw std::runtime_error("bad cluster line: " + line);
+    Member m;
+    int port = 0;
+    if (!(ls >> m.id >> m.host >> port >> m.role) || port <= 0 || port > 65535) {
+      throw std::runtime_error("bad cluster line: " + line);
+    }
+    m.port = static_cast<std::uint16_t>(port);
+    members.push_back(std::move(m));
+  }
+  if (members.empty()) throw std::runtime_error("empty cluster file: " + path);
+  return members;
+}
+
+std::unique_ptr<paxos::RoundPolicy> make_policy(const std::string& name,
+                                                std::vector<sim::NodeId> coords) {
+  if (name == "single") return paxos::PatternPolicy::always_single(std::move(coords));
+  if (name == "multi") return paxos::PatternPolicy::multi_then_single(std::move(coords));
+  if (name == "fast") return paxos::PatternPolicy::fast_then_single(std::move(coords));
+  throw std::runtime_error("unknown --policy " + name + " (single|multi|fast)");
+}
+
+cstruct::Command command(std::uint64_t id) {
+  const std::string key = (id % 2 == 0) ? "shared" : "user" + std::to_string(id);
+  return cstruct::make_write(id, key, "v" + std::to_string(id));
+}
+
+void print_metrics(runtime::Node& node) {
+  node.call([&] {
+    std::printf("-- metrics --\n");
+    for (const auto& [name, value] : node.metrics().all_counters()) {
+      if (name.rfind("net.", 0) == 0) {
+        std::printf("  %-28s %lld\n", name.c_str(), static_cast<long long>(value));
+      }
+    }
+  });
+}
+
+template <cstruct::CStructT CS>
+int run_node(const Options& opt, const std::vector<Member>& members, CS bottom) {
+  namespace gp = genpaxos;
+
+  genpaxos::Config<CS> config;
+  std::vector<sim::NodeId> coords;
+  const Member* self = nullptr;
+  for (const Member& m : members) {
+    if (m.role == "coordinator") {
+      coords.push_back(m.id);
+    } else if (m.role == "acceptor") {
+      config.acceptors.push_back(m.id);
+    } else if (m.role == "learner") {
+      config.learners.push_back(m.id);
+    } else if (m.role == "proposer") {
+      config.proposers.push_back(m.id);
+    } else {
+      throw std::runtime_error("unknown role " + m.role);
+    }
+    if (m.id == opt.id) self = &m;
+  }
+  if (self == nullptr) {
+    throw std::runtime_error("--id " + std::to_string(opt.id) +
+                             " not present in the cluster file");
+  }
+  auto policy = make_policy(opt.policy, coords);
+  config.policy = policy.get();
+  // Quorum sizing mirrors bench/harness.hpp: fast rounds need n > 2e + f,
+  // so they trade crash tolerance (f) for collision tolerance (e); with
+  // e = 0 a single slow acceptor would stall every fast round.
+  const int n = static_cast<int>(config.acceptors.size());
+  if (opt.policy == "fast") {
+    config.f = std::max(1, (n - 1) / 4);
+    config.e = config.f;
+    if (n <= 2 * config.e + config.f) config.e = 0;
+  } else {
+    config.f = (n - 1) / 2;
+    config.e = std::max(0, (n - config.f - 1) / 2);
+  }
+  config.bottom = bottom;
+
+  transport::TcpConfig tcp;
+  tcp.self = opt.id;
+  tcp.listen_host = self->host;
+  tcp.listen_port = self->port;
+  for (const Member& m : members) {
+    if (m.id != opt.id) tcp.peers[m.id] = {m.host, m.port};
+  }
+  transport::TcpTransport transport(tcp);
+
+  runtime::NodeOptions node_options;
+  node_options.id = opt.id;
+  node_options.tick = std::chrono::microseconds(opt.tick_us);
+  runtime::Node node(node_options, transport);
+
+  gp::GenProposer<CS>* proposer = nullptr;
+  gp::GenLearner<CS>* learner = nullptr;
+  if (self->role == "coordinator") {
+    node.make_process<gp::GenCoordinator<CS>>(config);
+  } else if (self->role == "acceptor") {
+    node.make_process<gp::GenAcceptor<CS>>(config);
+  } else if (self->role == "learner") {
+    learner = &node.make_process<gp::GenLearner<CS>>(config);
+  } else {
+    proposer = &node.make_process<gp::GenProposer<CS>>(config);
+  }
+
+  std::printf("node %d (%s) on %s:%u — policy %s, c-struct %s\n", opt.id,
+              self->role.c_str(), self->host.c_str(), unsigned{self->port},
+              opt.policy.c_str(), opt.cstruct.c_str());
+  node.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opt.run_ms);
+  if (proposer != nullptr && opt.commands > 0) {
+    for (int i = 1; i <= opt.commands; ++i) {
+      node.call([&] { proposer->propose(command(static_cast<std::uint64_t>(i))); });
+      while (node.call([&] { return proposer->delivered_count(); }) <
+                 static_cast<std::size_t>(i) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const std::size_t acked = node.call([&] { return proposer->delivered_count(); });
+      if (acked < static_cast<std::size_t>(i)) {
+        std::printf("  command %d NOT acknowledged before the --run-ms deadline "
+                    "(%zu/%d acked)\n",
+                    i, acked, opt.commands);
+        break;
+      }
+      std::printf("  command %d acked (%zu/%d)\n", i, acked, opt.commands);
+    }
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (learner != nullptr) {
+    const std::size_t n = node.call([&] { return learner->learned().size(); });
+    std::printf("learned c-struct holds %zu commands\n", n);
+  }
+  print_metrics(node);
+  node.stop();
+  return 0;
+}
+
+int run_demo(const Options& opt) {
+  if (opt.demo != "thread" && opt.demo != "tcp") {
+    throw std::runtime_error("unknown --demo backend " + opt.demo +
+                             " (thread|tcp)");
+  }
+  const runtime::Backend backend = opt.demo == "thread"
+                                       ? runtime::Backend::kThread
+                                       : runtime::Backend::kTcp;
+  runtime::GenShape shape;
+  runtime::ClusterOptions options;
+  options.backend = backend;
+  options.tick = std::chrono::microseconds(opt.tick_us);
+  const int count = opt.commands > 0 ? opt.commands : 12;
+
+  std::printf("loopback demo over the %s backend: 1 coordinator, 3 acceptors, "
+              "1 learner, 1 proposer, %d commands\n",
+              runtime::backend_name(backend), count);
+  runtime::GenHistoryCluster cluster(shape, options);
+  cluster.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opt.run_ms);
+  for (int i = 1; i <= count; ++i) {
+    cluster.propose(0, command(static_cast<std::uint64_t>(i)));
+    while (cluster.delivered_count(0) < static_cast<std::size_t>(i)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::printf("deadline hit before command %d was acknowledged\n", i);
+        cluster.stop();
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::printf("learner delivers:");
+  const cstruct::History learned = cluster.learned(0);
+  for (const auto& c : learned.sequence()) {
+    std::printf(" %s#%llu", c.key == "shared" ? "*" : "",
+                static_cast<unsigned long long>(c.id));
+  }
+  std::printf("\n(* = conflicting shared-key writes, totally ordered)\n");
+  std::printf("bytes on the wire: %lld (net.bytes_sent, summed over nodes)\n",
+              static_cast<long long>(cluster.cluster().counter_sum("net.bytes_sent")));
+  cluster.stop();
+  return 0;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--id") {
+      opt.id = std::stoi(value());
+    } else if (arg == "--config") {
+      opt.config_path = value();
+    } else if (arg == "--policy") {
+      opt.policy = value();
+    } else if (arg == "--cstruct") {
+      opt.cstruct = value();
+    } else if (arg == "--commands") {
+      opt.commands = std::stoi(value());
+    } else if (arg == "--run-ms") {
+      opt.run_ms = std::stol(value());
+    } else if (arg == "--tick-us") {
+      opt.tick_us = std::stol(value());
+    } else if (arg == "--demo") {
+      opt.demo = (i + 1 < argc && argv[i + 1][0] != '-') ? value() : "thread";
+    } else {
+      throw std::runtime_error("unknown flag " + arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    if (!opt.demo.empty()) return run_demo(opt);
+    if (opt.id < 0 || opt.config_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: mcpaxos_node --id N --config FILE [--policy "
+                   "single|multi|fast] [--cstruct history|cset|single] "
+                   "[--commands N] [--run-ms M] [--tick-us U]\n"
+                   "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
+      return 2;
+    }
+    const std::vector<Member> members = parse_cluster(opt.config_path);
+    if (opt.cstruct == "history") {
+      static const cstruct::KeyConflict kConflicts;
+      return run_node(opt, members, cstruct::History(&kConflicts));
+    }
+    if (opt.cstruct == "cset") return run_node(opt, members, cstruct::CSet());
+    if (opt.cstruct == "single") return run_node(opt, members, cstruct::SingleValue());
+    throw std::runtime_error("unknown --cstruct " + opt.cstruct +
+                             " (history|cset|single)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcpaxos_node: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,87 @@
+#include "runtime/cluster.hpp"
+
+#include <stdexcept>
+
+namespace mcp::runtime {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kThread:
+      return "thread";
+    case Backend::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+LoopbackCluster::LoopbackCluster(ClusterOptions options) : options_(options) {
+  if (options_.node_count == 0) {
+    throw std::invalid_argument("LoopbackCluster: node_count must be > 0");
+  }
+  const auto n = static_cast<sim::NodeId>(options_.node_count);
+
+  std::vector<transport::Transport*> transports;
+  transports.reserve(options_.node_count);
+  if (options_.backend == Backend::kThread) {
+    hub_ = std::make_unique<transport::ThreadHub>();
+    for (sim::NodeId id = 0; id < n; ++id) {
+      transports.push_back(&hub_->endpoint(id));
+    }
+  } else {
+    // Bind every listener first (ephemeral ports), then hand each node the
+    // full peer table — nobody dials before start().
+    for (sim::NodeId id = 0; id < n; ++id) {
+      transport::TcpConfig config;
+      config.self = id;
+      config.listen_host = options_.host;
+      auto t = std::make_unique<transport::TcpTransport>(config);
+      t->bind_and_listen();
+      tcp_.push_back(std::move(t));
+    }
+    for (sim::NodeId id = 0; id < n; ++id) {
+      for (sim::NodeId peer = 0; peer < n; ++peer) {
+        if (peer == id) continue;
+        tcp_[static_cast<std::size_t>(id)]->set_peer(
+            peer, {options_.host, tcp_[static_cast<std::size_t>(peer)]->listen_port()});
+      }
+      transports.push_back(tcp_[static_cast<std::size_t>(id)].get());
+    }
+  }
+
+  nodes_.reserve(options_.node_count);
+  for (sim::NodeId id = 0; id < n; ++id) {
+    NodeOptions node_options;
+    node_options.id = id;
+    node_options.tick = options_.tick;
+    node_options.rng_seed = options_.seed + static_cast<std::uint64_t>(id);
+    nodes_.push_back(std::make_unique<Node>(
+        node_options, *transports[static_cast<std::size_t>(id)]));
+  }
+}
+
+LoopbackCluster::~LoopbackCluster() { stop(); }
+
+void LoopbackCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& node : nodes_) node->start();
+}
+
+void LoopbackCluster::stop() {
+  // Node::stop tears down its own transport; hub/tcp destructors are then
+  // no-ops. Stop every loop before the transports so no node blocks on a
+  // peer that is already gone.
+  for (auto& node : nodes_) node->stop();
+  if (hub_) hub_->stop_all();
+  for (auto& t : tcp_) t->stop();
+}
+
+std::int64_t LoopbackCluster::counter_sum(const std::string& name) {
+  std::int64_t total = 0;
+  for (auto& node : nodes_) {
+    total += node->call([&]() { return node->metrics().counter(name); });
+  }
+  return total;
+}
+
+}  // namespace mcp::runtime

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/node.hpp"
+#include "transport/tcp_transport.hpp"
+#include "transport/thread_transport.hpp"
+
+namespace mcp::runtime {
+
+/// Which carrier a LoopbackCluster wires its nodes with.
+enum class Backend { kThread, kTcp };
+
+const char* backend_name(Backend backend);
+
+struct ClusterOptions {
+  Backend backend = Backend::kThread;
+  std::size_t node_count = 0;
+  /// Real duration of one protocol tick on every node (see NodeOptions).
+  std::chrono::microseconds tick{1000};
+  std::uint64_t seed = 1;
+  /// TCP backend: all nodes listen on this host with ephemeral ports.
+  std::string host = "127.0.0.1";
+};
+
+/// N runtime::Nodes with ids 0..N-1, wired all-to-all over one machine:
+/// either endpoints of a ThreadHub, or TcpTransports on loopback ephemeral
+/// ports with the peer table exchanged before anyone dials. The driver the
+/// cluster tests, bench_transport, and the mcpaxos_node --demo mode share.
+///
+/// Usage: construct, make_process<Role>(id, ...) for every id, start(),
+/// drive via node(id).call(...), stop().
+class LoopbackCluster {
+ public:
+  explicit LoopbackCluster(ClusterOptions options);
+  ~LoopbackCluster();
+
+  LoopbackCluster(const LoopbackCluster&) = delete;
+  LoopbackCluster& operator=(const LoopbackCluster&) = delete;
+
+  Node& node(sim::NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  template <typename P, typename... Args>
+  P& make_process(sim::NodeId id, Args&&... args) {
+    return node(id).make_process<P>(std::forward<Args>(args)...);
+  }
+
+  /// Start every node (every node must have a process attached).
+  void start();
+  /// Stop every node, then the transports. Idempotent.
+  void stop();
+
+  /// Sum of one counter across every node's metrics.
+  std::int64_t counter_sum(const std::string& name);
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  ClusterOptions options_;
+  std::unique_ptr<transport::ThreadHub> hub_;                       // kThread
+  std::vector<std::unique_ptr<transport::TcpTransport>> tcp_;      // kTcp
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace mcp::runtime

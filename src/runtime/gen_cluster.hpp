@@ -1,0 +1,130 @@
+#pragma once
+
+// Loopback cluster of generalized-engine (genpaxos) processes over command
+// histories: the runtime twin of bench/harness.hpp's make_gen, shared by
+// the cluster tests, bench_transport, and mcpaxos_node --demo. Ids are laid
+// out densely in the order coordinators, acceptors, learners, proposers —
+// the same convention the sim builders use, so a simulator run with the
+// same shape sees identical process ids and an identical message flow.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "paxos/round_config.hpp"
+#include "runtime/cluster.hpp"
+
+namespace mcp::runtime {
+
+struct GenShape {
+  int coordinators = 1;
+  int acceptors = 3;
+  int learners = 1;
+  int proposers = 1;
+  int f = 1;
+  int e = 0;
+  /// Liveness pacing in ticks (see NodeOptions::tick for the real duration
+  /// of one tick). Defaults match genpaxos::Config.
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 900;
+  bool delta_messages = true;
+};
+
+/// A started-on-demand generalized-engine cluster. Owns the round policy
+/// and config (processes keep references to both), the conflict relation,
+/// and the LoopbackCluster hosting one process per id.
+class GenHistoryCluster {
+ public:
+  using History = cstruct::History;
+
+  GenHistoryCluster(const GenShape& shape, ClusterOptions options)
+      : shape_(shape) {
+    sim::NodeId next = 0;
+    std::vector<sim::NodeId> coords;
+    for (int i = 0; i < shape.coordinators; ++i) coords.push_back(next++);
+    for (int i = 0; i < shape.acceptors; ++i) config_.acceptors.push_back(next++);
+    for (int i = 0; i < shape.learners; ++i) config_.learners.push_back(next++);
+    for (int i = 0; i < shape.proposers; ++i) config_.proposers.push_back(next++);
+    policy_ = shape.coordinators > 1
+                  ? paxos::PatternPolicy::multi_then_single(coords)
+                  : paxos::PatternPolicy::always_single(coords);
+    config_.policy = policy_.get();
+    config_.f = shape.f;
+    config_.e = shape.e;
+    config_.bottom = History(&conflicts_);
+    config_.retry_interval = shape.retry_interval;
+    config_.progress_timeout = shape.progress_timeout;
+    config_.delta_messages = shape.delta_messages;
+
+    options.node_count = static_cast<std::size_t>(next);
+    cluster_ = std::make_unique<LoopbackCluster>(options);
+    sim::NodeId id = 0;
+    for (int i = 0; i < shape.coordinators; ++i) {
+      coordinators_.push_back(
+          &cluster_->make_process<genpaxos::GenCoordinator<History>>(id++, config_));
+    }
+    for (int i = 0; i < shape.acceptors; ++i) {
+      acceptors_.push_back(
+          &cluster_->make_process<genpaxos::GenAcceptor<History>>(id++, config_));
+    }
+    for (int i = 0; i < shape.learners; ++i) {
+      learners_.push_back(
+          &cluster_->make_process<genpaxos::GenLearner<History>>(id++, config_));
+    }
+    for (int i = 0; i < shape.proposers; ++i) {
+      proposers_.push_back(
+          &cluster_->make_process<genpaxos::GenProposer<History>>(id++, config_));
+    }
+  }
+
+  LoopbackCluster& cluster() { return *cluster_; }
+  const genpaxos::Config<History>& config() const { return config_; }
+  const GenShape& shape() const { return shape_; }
+
+  Node& node_of(const sim::Process& p) { return cluster_->node(p.id()); }
+
+  genpaxos::GenProposer<History>& proposer(int i = 0) { return *proposers_.at(i); }
+  genpaxos::GenLearner<History>& learner(int i = 0) { return *learners_.at(i); }
+  genpaxos::GenCoordinator<History>& coordinator(int i = 0) {
+    return *coordinators_.at(i);
+  }
+  genpaxos::GenAcceptor<History>& acceptor(int i = 0) { return *acceptors_.at(i); }
+
+  void start() { cluster_->start(); }
+  void stop() { cluster_->stop(); }
+
+  /// Propose on proposer `i` from any thread (runs on its node's loop).
+  void propose(int i, cstruct::Command c) {
+    auto* p = proposers_.at(i);
+    node_of(*p).call([&] { p->propose(std::move(c)); });
+  }
+
+  /// Commands a proposer has had acknowledged (thread-safe snapshot).
+  std::size_t delivered_count(int i = 0) {
+    auto* p = proposers_.at(i);
+    return node_of(*p).call([&] { return p->delivered_count(); });
+  }
+
+  /// Snapshot of a learner's learned history (thread-safe copy).
+  History learned(int i = 0) {
+    auto* l = learners_.at(i);
+    return node_of(*l).call([&] { return l->learned(); });
+  }
+
+ private:
+  GenShape shape_;
+  cstruct::KeyConflict conflicts_;
+  std::unique_ptr<paxos::RoundPolicy> policy_;
+  genpaxos::Config<History> config_;
+  // Declared after config_/policy_: nodes (and their processes, which hold
+  // references into both) must be destroyed first.
+  std::unique_ptr<LoopbackCluster> cluster_;
+  std::vector<genpaxos::GenCoordinator<History>*> coordinators_;
+  std::vector<genpaxos::GenAcceptor<History>*> acceptors_;
+  std::vector<genpaxos::GenLearner<History>*> learners_;
+  std::vector<genpaxos::GenProposer<History>*> proposers_;
+};
+
+}  // namespace mcp::runtime

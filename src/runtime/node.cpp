@@ -1,0 +1,195 @@
+#include "runtime/node.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "paxos/wire.hpp"
+
+namespace mcp::runtime {
+
+Node::Node(NodeOptions options, transport::Transport& transport)
+    : options_(options),
+      transport_(transport),
+      rng_(options.rng_seed),
+      started_at_(std::chrono::steady_clock::now()) {}
+
+Node::~Node() { stop(); }
+
+void Node::adopt(std::unique_ptr<sim::Process> process) {
+  if (process_) throw std::logic_error("runtime::Node hosts exactly one process");
+  if (!process) throw std::invalid_argument("runtime::Node: null process");
+  bind(*process, this, options_.id);
+  process_ = std::move(process);
+}
+
+sim::Time Node::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - started_at_;
+  return static_cast<sim::Time>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed) /
+      options_.tick);
+}
+
+void Node::start() {
+  if (running_ || !process_) return;
+  started_at_ = std::chrono::steady_clock::now();
+  {
+    // Queued before the transport can deliver anything, so on_start is
+    // always the first handler to run — as under the simulator.
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+    dead_ = false;
+    mailbox_.emplace_back([this] { process_->on_start(); });
+  }
+  transport_.start([this](transport::PeerId from, std::string frame) {
+    // Transport receive thread: enqueue only; the loop thread decodes and
+    // dispatches, keeping the process single-threaded.
+    post([this, from, frame = std::move(frame)] { deliver(from, frame); });
+  });
+  running_ = true;
+  loop_ = std::thread([this] { run_loop(); });
+  loop_id_ = loop_.get_id();
+}
+
+void Node::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+  loop_id_ = std::thread::id{};
+  // Only after the join: a call() that saw running_ == true must have its
+  // task executed by the loop or by the drains below, never run inline
+  // concurrently with a still-live loop.
+  running_ = false;
+
+  // The loop may have exited with queued tasks (including call() bodies
+  // whose futures a driver thread is waiting on). Everything is effectively
+  // single-threaded from here — the loop is dead and transport receive
+  // threads only enqueue — so drain inline, silence the transport, mark the
+  // mailbox dead (late posts are dropped, late call()s run inline), and
+  // drain once more for stragglers enqueued in between.
+  auto drain = [this] {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (mailbox_.empty()) return;
+        task = std::move(mailbox_.front());
+        mailbox_.pop_front();
+      }
+      task();
+    }
+  };
+  drain();
+  transport_.stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_ = true;
+  }
+  drain();
+}
+
+bool Node::try_post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return false;
+    mailbox_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Node::post(std::function<void()> fn) { try_post(std::move(fn)); }
+
+void Node::run_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    while (!mailbox_.empty()) {
+      auto task = std::move(mailbox_.front());
+      mailbox_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+    }
+    if (stopping_) return;
+
+    lock.unlock();
+    wheel_.fire_due(now());
+    const auto next = wheel_.next_deadline();
+    lock.lock();
+    if (stopping_) return;
+    if (!mailbox_.empty()) continue;
+
+    if (next) {
+      // Sleep until the earliest timer's real-clock deadline (or mail).
+      const auto deadline = started_at_ + *next * options_.tick;
+      cv_.wait_until(lock, deadline,
+                     [this] { return stopping_ || !mailbox_.empty(); });
+    } else {
+      cv_.wait(lock, [this] { return stopping_ || !mailbox_.empty(); });
+    }
+  }
+}
+
+void Node::post_message(sim::NodeId /*from*/, sim::NodeId to, std::any payload,
+                        sim::Time extra_delay) {
+  const auto* env_ptr =
+      std::any_cast<std::shared_ptr<const wire::Envelope>>(&payload);
+  if (env_ptr == nullptr) {
+    // encode_messages() is always on, so every SelfEncoding message arrives
+    // here as an envelope; anything else cannot leave a live node.
+    throw std::logic_error("runtime: message type has no wire encoding");
+  }
+  metrics_.incr("net.sent");
+  const auto bytes = static_cast<std::int64_t>((*env_ptr)->wire_size());
+  metrics_.incr("net.bytes_sent", bytes);
+  metrics_.incr("net.bytes." + wire::message_name((*env_ptr)->tag), bytes);
+  if (extra_delay > 0) {
+    // Disk-latency modelling (send_after_sync): a live node's storage is
+    // in-memory, so configs normally use 0; honour nonzero anyway.
+    wheel_.schedule(now() + extra_delay,
+                    [this, to, env = *env_ptr] { ship(to, env); });
+    return;
+  }
+  ship(to, *env_ptr);
+}
+
+void Node::ship(sim::NodeId to, const std::shared_ptr<const wire::Envelope>& env) {
+  std::string frame = env->encode();
+  if (to == options_.id) {
+    // Self-sends skip the transport but still take the decode path, so the
+    // process sees exactly what a remote peer would have seen.
+    post([this, frame = std::move(frame)] { deliver(options_.id, frame); });
+    return;
+  }
+  if (!transport_.send(to, frame)) metrics_.incr("net.lost");
+}
+
+void Node::deliver(transport::PeerId from, const std::string& frame) {
+  std::any msg;
+  try {
+    const wire::Envelope env = wire::Envelope::decode(frame);
+    msg = process_->decoders().decode(env);
+  } catch (const std::exception&) {
+    // Malformed body or unknown tag: a garbage frame must not kill a live
+    // node. (Exceptions from on_message itself — engine invariants — are
+    // outside this try and still propagate.)
+    metrics_.incr("net.decode_errors");
+    return;
+  }
+  metrics_.incr("net.delivered");
+  process_->on_message(from, msg);
+}
+
+int Node::post_timer(sim::NodeId /*owner*/, sim::Time delay, int token) {
+  if (delay < 0) throw std::invalid_argument("post_timer: negative delay");
+  return wheel_.schedule(now() + delay,
+                         [this, token] { process_->on_timer(token); });
+}
+
+void Node::cancel_timer(int handle) { wheel_.cancel(handle); }
+
+}  // namespace mcp::runtime

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/timer_wheel.hpp"
+#include "sim/host.hpp"
+#include "sim/process.hpp"
+#include "transport/transport.hpp"
+
+namespace mcp::runtime {
+
+struct NodeOptions {
+  /// Cluster-wide id of the hosted process (its Process::id() and the
+  /// PeerId other nodes address it by).
+  sim::NodeId id = 0;
+  /// Real duration of one sim::Time tick. Protocol configs are written in
+  /// ticks (retry_interval = 400, ...); the default maps a tick to 1 ms,
+  /// so those configs mean the same thing they meant in latency benches.
+  std::chrono::microseconds tick{1000};
+  std::uint64_t rng_seed = 1;
+};
+
+/// A live host for one protocol process: the runtime counterpart of
+/// sim::Simulation (the other sim::Host implementation).
+///
+/// The node owns a single-threaded event loop. Every handler of the hosted
+/// process — on_start, on_message, on_timer — runs on that loop thread, so
+/// protocol code keeps the single-threaded world view it was written for;
+/// concurrency lives in the transport, whose receive threads only enqueue
+/// into the node's mailbox.
+///
+///  - Process::send serializes into a wire::Envelope (encoding is always
+///    on under a real transport) and the node ships Envelope::encode() as
+///    one transport frame. Byte counters use the same names the simulator
+///    uses (net.bytes_sent, net.bytes.<msg>, ...).
+///  - Incoming frames decode through the process's own
+///    wire::DecoderRegistry — unchanged from the simulator — so
+///    on_message still sees typed messages.
+///  - Timers map onto a TimerWheel driven by std::chrono::steady_clock,
+///    preserving the simulator's ordering and cancellation contract.
+class Node final : public sim::Host {
+ public:
+  Node(NodeOptions options, transport::Transport& transport);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Construct and adopt the hosted process (exactly one per node).
+  template <typename P, typename... Args>
+  P& make_process(Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    adopt(std::move(owned));
+    return ref;
+  }
+
+  sim::Process& process() { return *process_; }
+
+  /// Start the transport and the loop thread; runs the process's
+  /// on_start() as the first loop task.
+  void start();
+  /// Drain no further work and join the loop thread, then stop the
+  /// transport. Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Run a closure on the loop thread (asynchronously). The only correct
+  /// way for outside threads to poke the process (e.g. propose a command).
+  /// After shutdown completes the closure is silently dropped.
+  void post(std::function<void()> fn);
+
+  /// Run a closure on the loop thread and wait for its result — the safe
+  /// way to read process state from a test or driver thread. Runs inline
+  /// when called from the loop thread itself (no self-deadlock) or when
+  /// the loop is not running (construction/shutdown: single-threaded
+  /// then). A call() racing stop() either executes during stop()'s drain
+  /// or falls back to inline — it never hangs on a dropped task.
+  template <typename F>
+  auto call(F&& fn) -> std::invoke_result_t<F> {
+    using R = std::invoke_result_t<F>;
+    if (std::this_thread::get_id() == loop_id_.load()) return fn();
+    if (!running_) return fn();
+    std::promise<R> done;
+    auto future = done.get_future();
+    const bool posted = try_post([&] {
+      if constexpr (std::is_void_v<R>) {
+        fn();
+        done.set_value();
+      } else {
+        done.set_value(fn());
+      }
+    });
+    if (!posted) return fn();  // raced shutdown past the final drain
+    return future.get();
+  }
+
+  const NodeOptions& options() const { return options_; }
+
+  // --- sim::Host ------------------------------------------------------------
+  sim::Time now() const override;
+  util::Metrics& metrics() override { return metrics_; }
+  util::Rng& rng() override { return rng_; }
+  bool encode_messages() const override { return true; }
+  void post_message(sim::NodeId from, sim::NodeId to, std::any payload,
+                    sim::Time extra_delay) override;
+  int post_timer(sim::NodeId owner, sim::Time delay, int token) override;
+  void cancel_timer(int handle) override;
+
+ private:
+  void adopt(std::unique_ptr<sim::Process> process);
+  /// Enqueue unless shutdown already passed its final drain (then false:
+  /// nothing would ever run the task).
+  bool try_post(std::function<void()> fn);
+  void run_loop();
+  /// Ship an encoded envelope now (loop thread only).
+  void ship(sim::NodeId to, const std::shared_ptr<const wire::Envelope>& env);
+  /// Decode and dispatch one received frame (loop thread only).
+  void deliver(transport::PeerId from, const std::string& frame);
+
+  NodeOptions options_;
+  transport::Transport& transport_;
+  util::Metrics metrics_;
+  util::Rng rng_;
+  std::unique_ptr<sim::Process> process_;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  TimerWheel wheel_;  // loop thread only
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> mailbox_;
+  bool stopping_ = false;   // guarded by mu_: loop must exit
+  bool dead_ = false;       // guarded by mu_: final drain passed, drop posts
+  std::atomic<bool> running_{false};
+  std::atomic<std::thread::id> loop_id_{};
+  std::mutex stop_mu_;  // serializes stop() callers
+  std::thread loop_;
+};
+
+}  // namespace mcp::runtime

@@ -1,0 +1,36 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <utility>
+
+namespace mcp::runtime {
+
+int TimerWheel::schedule(sim::Time at, std::function<void()> action) {
+  const int handle = next_handle_++;
+  heap_.push(Entry{at, next_seq_++, handle, std::move(action)});
+  return handle;
+}
+
+void TimerWheel::cancel(int handle) {
+  if (handle > 0 && handle < next_handle_) cancelled_.insert(handle);
+}
+
+std::optional<sim::Time> TimerWheel::next_deadline() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().at;
+}
+
+std::size_t TimerWheel::fire_due(sim::Time now) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().at <= now) {
+    // Pop before running: the action may schedule re-entrantly (same
+    // const_cast pattern as sim::EventQueue::run_next).
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (cancelled_.erase(entry.handle) > 0) continue;
+    entry.action();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace mcp::runtime

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcp::runtime {
+
+/// Deadline-ordered timer queue for a live node, reproducing the
+/// simulator's timer contract (sim::EventQueue + Simulation::post_timer)
+/// against a real clock that the owner samples and passes in:
+///
+///  - entries due at the same tick fire in scheduling order (stable);
+///  - cancel() wins over firing even at the deadline instant itself, and
+///    cancelling from inside an earlier action of the same tick still
+///    suppresses the later one;
+///  - an action scheduling a new entry with a deadline <= now fires it in
+///    the same fire_due() drain (the simulator's run loop does the same);
+///  - cancelling an already-fired or unknown handle is a no-op.
+///
+/// Single-threaded by design: the owning runtime::Node only touches it
+/// from its loop thread, exactly as the Simulation owns its EventQueue.
+class TimerWheel {
+ public:
+  /// Arrange for `action` to run once `now` reaches `at`. Returns a
+  /// positive cancellation handle (unique per wheel).
+  int schedule(sim::Time at, std::function<void()> action);
+
+  /// Suppress a scheduled action. No-op for fired/unknown handles.
+  void cancel(int handle);
+
+  /// Earliest pending deadline (may belong to a cancelled entry, which
+  /// yields at worst one spurious wakeup), or nullopt when idle.
+  std::optional<sim::Time> next_deadline() const;
+
+  /// Run every entry with deadline <= now, in (deadline, scheduling order);
+  /// returns how many actions ran. Re-entrant scheduling/cancelling from
+  /// inside actions is safe.
+  std::size_t fire_due(sim::Time now);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    sim::Time at;
+    std::uint64_t seq;
+    int handle;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::set<int> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  int next_handle_ = 1;
+};
+
+}  // namespace mcp::runtime

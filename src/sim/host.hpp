@@ -1,0 +1,62 @@
+#pragma once
+
+#include <any>
+
+#include "sim/time.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::sim {
+
+class Process;
+
+/// The world a Process runs in. Protocol code only ever talks to this
+/// interface (via the Process helpers), so the same Process subclasses run
+/// under two hosts:
+///
+///  - sim::Simulation — the discrete-event simulator: virtual time, a
+///    modelled network with loss/duplication/partitions, deterministic
+///    randomness.
+///  - runtime::Node — one live process: real-clock timers and a
+///    transport::Transport carrying wire::Envelope frames between actual
+///    threads or TCP sockets.
+///
+/// The contract mirrors what Simulation always provided; see each method's
+/// comment for the parts host implementations must preserve.
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Current time in ticks. Simulated hosts advance this per event; real
+  /// hosts map a fixed wall-clock duration onto one tick.
+  virtual Time now() const = 0;
+
+  virtual util::Metrics& metrics() = 0;
+  virtual util::Rng& rng() = 0;
+
+  /// Whether Process::send must serialize self-encoding messages into
+  /// wire::Envelope payloads. Real transports can only carry bytes, so
+  /// every non-simulated host returns true.
+  virtual bool encode_messages() const = 0;
+
+  /// Ship a payload (a shared_ptr<const wire::Envelope>, or an arbitrary
+  /// std::any under a non-encoding simulated host) to process `to`,
+  /// delayed by at least `extra_delay` ticks (disk-write modelling).
+  virtual void post_message(NodeId from, NodeId to, std::any payload,
+                            Time extra_delay) = 0;
+
+  /// Arrange for owner's on_timer(token) after `delay` ticks; returns a
+  /// cancellation handle. Two timers due at the same instant fire in the
+  /// order they were scheduled; cancellation wins over firing even when
+  /// the cancel happens at the deadline instant itself.
+  virtual int post_timer(NodeId owner, Time delay, int token) = 0;
+  virtual void cancel_timer(int handle) = 0;
+
+ protected:
+  /// Adopt a process: set its host pointer and identity. Hosts call this
+  /// exactly once per process, before any handler runs (defined in
+  /// process.cpp, where Process is complete).
+  static void bind(Process& process, Host* host, NodeId id);
+};
+
+}  // namespace mcp::sim

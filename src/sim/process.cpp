@@ -3,31 +3,36 @@
 #include <stdexcept>
 #include <utility>
 
-#include "sim/simulation.hpp"
+#include "sim/host.hpp"
 
 namespace mcp::sim {
 
 namespace {
-Simulation& require_sim(Simulation* sim) {
-  if (!sim) throw std::logic_error("Process used before being added to a Simulation");
-  return *sim;
+Host& require_host(Host* host) {
+  if (!host) throw std::logic_error("Process used before being added to a host");
+  return *host;
 }
 }  // namespace
 
+void Host::bind(Process& process, Host* host, NodeId id) {
+  process.host_ = host;
+  process.id_ = id;
+}
+
 bool Process::wire_encoding_on() const {
-  return require_sim(sim_).network().config().encode_messages;
+  return require_host(host_).encode_messages();
 }
 
 void Process::post_payload(NodeId to, std::any payload, Time extra_delay) {
-  require_sim(sim_).post_message(id_, to, std::move(payload), extra_delay);
+  require_host(host_).post_message(id_, to, std::move(payload), extra_delay);
 }
 
 int Process::set_timer(Time delay, int token) {
-  return require_sim(sim_).post_timer(id_, delay, token);
+  return require_host(host_).post_timer(id_, delay, token);
 }
 
-void Process::cancel_timer(int handle) { require_sim(sim_).cancel_timer(handle); }
+void Process::cancel_timer(int handle) { require_host(host_).cancel_timer(handle); }
 
-Time Process::now() const { return require_sim(sim_).now(); }
+Time Process::now() const { return require_host(host_).now(); }
 
 }  // namespace mcp::sim

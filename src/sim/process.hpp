@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "paxos/wire.hpp"
+#include "sim/host.hpp"
 #include "sim/storage.hpp"
 #include "sim/time.hpp"
 
@@ -14,9 +15,11 @@ namespace mcp::sim {
 
 class Simulation;
 
-/// One simulated process (proposer, coordinator, acceptor, learner, client,
+/// One protocol process (proposer, coordinator, acceptor, learner, client,
 /// or any combination). Subclasses implement the message/timer handlers and
-/// use the protected helpers to interact with the world.
+/// use the protected helpers to interact with the world — which is either
+/// the discrete-event Simulation or a live runtime::Node; protocol code
+/// cannot tell the difference (see sim::Host).
 ///
 /// Crash-recovery semantics follow the paper: a crashed process handles no
 /// messages and fires no timers; volatile state (the C++ members) survives
@@ -96,11 +99,15 @@ class Process {
   void cancel_timer(int handle);
 
   Time now() const;
-  Simulation& sim() { return *sim_; }
-  const Simulation& sim() const { return *sim_; }
+  /// The hosting world. Named for the common case (protocol code says
+  /// `sim().metrics()`); under a live runtime::Node the same calls hit the
+  /// node's metrics/rng instead.
+  Host& sim() { return *host_; }
+  const Host& sim() const { return *host_; }
 
  private:
-  friend class Simulation;
+  friend class Host;        // Host::bind adopts the process
+  friend class Simulation;  // crash/recovery bookkeeping (sim-only concepts)
 
   /// The encoding boundary: self-encoding messages become a
   /// shared_ptr<const Envelope> (per-destination and per-duplicate
@@ -116,13 +123,13 @@ class Process {
     return std::any(std::forward<M>(msg));
   }
 
-  /// True when messages must be serialized at this boundary (the owning
-  /// simulation's NetworkConfig::encode_messages).
+  /// True when messages must be serialized at this boundary (the host's
+  /// encode_messages policy; always true under a real transport).
   bool wire_encoding_on() const;
-  /// Hand a ready payload (envelope or raw std::any) to the simulation.
+  /// Hand a ready payload (envelope or raw std::any) to the host.
   void post_payload(NodeId to, std::any payload, Time extra_delay);
 
-  Simulation* sim_ = nullptr;
+  Host* host_ = nullptr;
   NodeId id_ = kNoNode;
   bool crashed_ = false;
   int incarnation_ = 0;

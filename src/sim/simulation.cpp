@@ -11,8 +11,7 @@ Simulation::Simulation(std::uint64_t seed, NetworkConfig net_config)
 NodeId Simulation::add_process(std::unique_ptr<Process> process) {
   if (!process) throw std::invalid_argument("add_process: null process");
   const NodeId id = static_cast<NodeId>(processes_.size());
-  process->sim_ = this;
-  process->id_ = id;
+  bind(*process, this, id);
   processes_.push_back(std::move(process));
   return id;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/host.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
@@ -17,8 +18,9 @@ namespace mcp::sim {
 
 /// The discrete-event simulation engine: owns processes, the network, the
 /// clock, randomness and metrics. Deterministic given (seed, config,
-/// process behaviour).
-class Simulation {
+/// process behaviour). One of the two Host implementations — the other is
+/// runtime::Node, which runs a single process over a real transport.
+class Simulation final : public Host {
  public:
   explicit Simulation(std::uint64_t seed, NetworkConfig net_config = {});
 
@@ -42,9 +44,10 @@ class Simulation {
   std::vector<NodeId> all_ids() const;
 
   Network& network() { return network_; }
-  util::Rng& rng() { return rng_; }
-  util::Metrics& metrics() { return metrics_; }
-  Time now() const { return now_; }
+  util::Rng& rng() override { return rng_; }
+  util::Metrics& metrics() override { return metrics_; }
+  Time now() const override { return now_; }
+  bool encode_messages() const override { return network_.config().encode_messages; }
 
   // --- fault injection -----------------------------------------------------
   void crash(NodeId id);
@@ -71,10 +74,13 @@ class Simulation {
   /// Events processed so far (proxy for work / message complexity).
   std::uint64_t events_processed() const { return events_processed_; }
 
-  // --- used by Process helpers ----------------------------------------------
-  void post_message(NodeId from, NodeId to, std::any msg, Time extra_delay = 0);
-  int post_timer(NodeId owner, Time delay, int token);
-  void cancel_timer(int handle);
+  // --- used by Process helpers (the Host contract) ---------------------------
+  void post_message(NodeId from, NodeId to, std::any msg, Time extra_delay) override;
+  void post_message(NodeId from, NodeId to, std::any msg) {
+    post_message(from, to, std::move(msg), 0);
+  }
+  int post_timer(NodeId owner, Time delay, int token) override;
+  void cancel_timer(int handle) override;
 
  private:
   void start_pending_processes();

@@ -1,0 +1,74 @@
+#include "transport/frame.hpp"
+
+#include <cstdint>
+
+namespace mcp::transport {
+
+namespace {
+/// 64-bit values always fit in 10 varint bytes; an unterminated run this
+/// long can only be garbage, not a torn prefix.
+constexpr int kMaxVarintBytes = 10;
+}  // namespace
+
+std::string frame(std::string_view payload) {
+  std::string out;
+  std::uint64_t len = payload.size();
+  while (len >= 0x80) {
+    out.push_back(static_cast<char>((len & 0x7F) | 0x80));
+    len >>= 7;
+  }
+  out.push_back(static_cast<char>(len));
+  out.append(payload);
+  return out;
+}
+
+std::optional<std::string> FrameBuffer::next() {
+  if (poisoned_) throw FramingError("frame: stream already failed");
+
+  // Parse the length prefix without committing pos_: the prefix itself may
+  // be torn, in which case we must re-parse from the same spot next time.
+  std::uint64_t len = 0;
+  int shift = 0;
+  std::size_t p = pos_;
+  while (true) {
+    if (p - pos_ >= static_cast<std::size_t>(kMaxVarintBytes)) {
+      poisoned_ = true;
+      throw FramingError("frame: length prefix is not a varint");
+    }
+    if (p >= buf_.size()) return std::nullopt;  // torn prefix: wait for more
+    const auto byte = static_cast<std::uint8_t>(buf_[p++]);
+    if (shift == 63 && byte > 1) {
+      // The 10th byte contributes only bit 63: any higher payload bit
+      // would be shifted out silently, turning a corrupt prefix into a
+      // small bogus length that desyncs framing. Tear down instead.
+      poisoned_ = true;
+      throw FramingError("frame: length prefix overflows 64 bits");
+    }
+    len |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) {
+      poisoned_ = true;
+      throw FramingError("frame: length prefix overflows 64 bits");
+    }
+  }
+  // Validate the claimed length before any allocation sized by it.
+  if (len > max_frame_) {
+    poisoned_ = true;
+    throw FramingError("frame: length " + std::to_string(len) +
+                       " exceeds max_frame " + std::to_string(max_frame_));
+  }
+  if (len > buf_.size() - p) return std::nullopt;  // torn payload
+
+  std::string payload = buf_.substr(p, static_cast<std::size_t>(len));
+  pos_ = p + static_cast<std::size_t>(len);
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not accrete every frame it ever carried.
+  if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace mcp::transport

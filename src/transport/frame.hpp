@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mcp::transport {
+
+/// A framing-protocol violation by the remote end: an unparseable or
+/// oversized length prefix. Streams raising it must be torn down — the
+/// byte stream has no recoverable resynchronization point.
+class FramingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Frame one payload for a byte stream: a varint length prefix (the same
+/// encoding as wire::Writer::put_bytes) followed by the payload bytes.
+/// Transports ship wire::Envelope::encode() outputs as payloads, so what a
+/// socket carries is exactly the bytes the simulator's byte counters
+/// account for, plus this prefix.
+std::string frame(std::string_view payload);
+
+/// Incremental decoder for a stream of length-prefixed frames.
+///
+/// Feed whatever the stream produced — a frame may arrive torn across any
+/// number of reads, and one read may contain many frames — then pop
+/// complete frames with next(). Robustness rules, all enforced *before*
+/// any payload-sized allocation happens:
+///
+///  - a length prefix that does not terminate within 10 bytes (garbage
+///    0x80.. runs) or that overflows 64 bits throws FramingError;
+///  - a length above `max_frame` throws FramingError, so an adversarial
+///    prefix claiming 2^60 bytes cannot drive a huge reserve;
+///  - anything else is just an incomplete frame: next() returns nullopt
+///    until the remaining bytes arrive.
+class FrameBuffer {
+ public:
+  static constexpr std::size_t kDefaultMaxFrame = 16u << 20;  // 16 MiB
+
+  explicit FrameBuffer(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  /// Append raw stream bytes (never throws; validation happens in next()).
+  void feed(std::string_view bytes) { buf_.append(bytes); }
+
+  /// Pop the next complete frame's payload, or nullopt if the buffered
+  /// bytes end mid-prefix or mid-payload. Throws FramingError per the
+  /// class rules; after a throw the buffer is poisoned and every further
+  /// next() rethrows (the stream must be closed).
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  std::size_t max_frame() const { return max_frame_; }
+
+ private:
+  std::size_t max_frame_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace mcp::transport

@@ -1,0 +1,347 @@
+#include "transport/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mcp::transport {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64u << 10;
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// write()-until-done with MSG_NOSIGNAL (a dead peer must surface as an
+/// error return, not SIGPIPE). Returns false on any unrecoverable error,
+/// including the socket's SO_SNDTIMEO expiring on a wedged peer.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Minimal-varint parse of a handshake payload; nullopt on garbage.
+std::optional<std::uint64_t> parse_varint(std::string_view bytes) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const auto byte = static_cast<std::uint8_t>(bytes[i]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return i + 1 == bytes.size() ? std::optional<std::uint64_t>(value)
+                                   : std::nullopt;  // trailing bytes
+    }
+    shift += 7;
+    if (shift >= 64) return std::nullopt;
+  }
+  return std::nullopt;  // unterminated
+}
+
+/// connect() bounded by `timeout`: non-blocking connect raced against
+/// poll(POLLOUT), then back to blocking mode. Returns false on any
+/// failure (the caller closes the fd).
+bool connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::chrono::milliseconds timeout) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc <= 0) return false;  // timeout or poll error
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return false;
+    }
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;  // restore blocking mode
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpConfig config) : config_(std::move(config)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+std::string TcpTransport::handshake_frame(PeerId self) {
+  std::string payload;
+  auto value = static_cast<std::uint64_t>(self);
+  while (value >= 0x80) {
+    payload.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  payload.push_back(static_cast<char>(value));
+  return frame(payload);
+}
+
+std::uint16_t TcpTransport::bind_and_listen() {
+  if (listen_fd_ >= 0) return bound_port_;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.listen_port);
+  if (::inet_pton(AF_INET, config_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp: bad listen host " + config_.listen_host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("tcp: bind/listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  return bound_port_;
+}
+
+void TcpTransport::set_peer(PeerId id, TcpPeer peer) {
+  config_.peers[id] = std::move(peer);
+  // The address changed: drop the cached connection and its dial backoff
+  // so the next send dials the new address immediately.
+  std::shared_ptr<OutConn> conn;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    const auto it = out_.find(id);
+    if (it == out_.end()) return;
+    conn = it->second;
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->fd >= 0) ::close(conn->fd);
+  conn->fd = -1;
+  conn->next_dial = {};
+}
+
+void TcpTransport::start(FrameHandler handler) {
+  bind_and_listen();
+  handler_ = std::move(handler);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpTransport::reap_finished_readers() {
+  // Splice finished entries out under the lock, join them outside it (a
+  // finishing reader's last step takes mu_; joining while holding it
+  // would deadlock).
+  std::list<std::unique_ptr<InConn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = in_.begin(); it != in_.end();) {
+      if ((*it)->done) {
+        finished.push_back(std::move(*it));
+        it = in_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load()) {
+    reap_finished_readers();
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EBADF || errno == EINVAL) return;  // listen socket gone
+      // Transient resource exhaustion (EMFILE, ENFILE, ENOMEM, ...):
+      // inbound connectivity must survive it, so back off and retry
+      // instead of silently ending all future accepts.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    set_nodelay(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_unique<InConn>();
+    InConn* raw = conn.get();
+    raw->fd = fd;
+    in_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      reader_loop(raw->fd);
+      // Mark-then-close under mu_: stop() only shuts down fds of entries
+      // not yet done, so a recycled fd number can never be hit.
+      std::lock_guard<std::mutex> l(mu_);
+      ::close(raw->fd);
+      raw->done = true;
+    });
+  }
+}
+
+void TcpTransport::reader_loop(int fd) {
+  FrameBuffer frames(config_.max_frame);
+  PeerId peer = sim::kNoNode;
+  char chunk[kReadChunk];
+  while (!stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // torn connection (or shutdown() from stop())
+    }
+    frames.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    try {
+      while (auto payload = frames.next()) {
+        if (peer == sim::kNoNode) {
+          // First frame is the dialer's handshake: its PeerId as a varint.
+          const auto id = parse_varint(*payload);
+          if (!id) return;  // malformed handshake: drop the connection
+          peer = static_cast<PeerId>(*id);
+          continue;
+        }
+        handler_(peer, std::move(*payload));
+      }
+    } catch (const FramingError&) {
+      // Garbage or oversized length prefix: the stream has no recovery
+      // point. Close it; the dialer re-establishes on its next send.
+      return;
+    }
+  }
+}
+
+int TcpTransport::dial(PeerId to) {
+  const auto it = config_.peers.find(to);
+  if (it == config_.peers.end()) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second.port);
+  if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1 ||
+      !connect_with_timeout(fd, addr, config_.dial_timeout)) {
+    ::close(fd);
+    return -1;
+  }
+  // Bound writes too: a peer that accepts but never drains would
+  // otherwise block send_all indefinitely.
+  timeval tv{};
+  const auto timeout = 4 * config_.dial_timeout;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  if (!send_all(fd, handshake_frame(config_.self))) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+bool TcpTransport::send(PeerId to, std::string_view payload) {
+  if (stopping_.load()) return false;
+  std::shared_ptr<OutConn> conn;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    auto& slot = out_[to];
+    if (!slot) slot = std::make_shared<OutConn>();
+    conn = slot;
+  }
+  // Per-peer lock only: all I/O below can block (bounded), but only for
+  // senders talking to this same peer.
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (stopping_.load()) return false;
+  if (conn->fd < 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < conn->next_dial) return false;  // recent failure: drop fast
+    conn->fd = dial(to);
+    if (conn->fd < 0) {
+      // Peer down: frame lost, retransmission heals. Gate the next dial so
+      // a dead peer costs one bounded attempt per backoff window.
+      conn->next_dial = now + config_.dial_backoff;
+      return false;
+    }
+  }
+  if (!send_all(conn->fd, frame(payload))) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    // A wedged peer (accepts, never drains) fails here after SO_SNDTIMEO;
+    // without the backoff each retransmission would immediately re-dial
+    // and stall for the full timeout again, re-wedging the caller's loop
+    // every cycle instead of once per backoff window.
+    conn->next_dial = std::chrono::steady_clock::now() + config_.dial_backoff;
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::close_all_connections() {
+  std::vector<std::shared_ptr<OutConn>> outs;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    for (auto& [peer, conn] : out_) outs.push_back(conn);
+    out_.clear();
+  }
+  for (auto& conn : outs) {
+    // Waits for any in-flight send to that peer (bounded by SO_SNDTIMEO).
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  // Wake blocked readers; they close their own fds on exit.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& conn : in_) {
+    if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void TcpTransport::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
+  close_all_connections();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone, so in_ gains no new entries; join whatever
+  // readers remain (finished ones included — reap just joins + erases).
+  reap_finished_readers();
+  std::list<std::unique_ptr<InConn>> rest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rest.swap(in_);
+  }
+  for (auto& conn : rest) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  // Closed only after the accept thread died: closing earlier would let a
+  // concurrent dial() recycle the fd number while accept() still held it.
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace mcp::transport

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/frame.hpp"
+#include "transport/transport.hpp"
+
+namespace mcp::transport {
+
+/// Where a peer listens.
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpConfig {
+  PeerId self = 0;
+  std::string listen_host = "127.0.0.1";
+  /// 0 = ephemeral; bind_and_listen() reports the bound port so loopback
+  /// clusters can exchange peer tables before anyone dials.
+  std::uint16_t listen_port = 0;
+  std::map<PeerId, TcpPeer> peers;
+  std::size_t max_frame = FrameBuffer::kDefaultMaxFrame;
+  /// Upper bound on how long one send() may block: dials use a
+  /// non-blocking connect raced against this, writes a SO_SNDTIMEO of
+  /// 4x it. A dead peer costs at most this per dial attempt, and at most
+  /// one attempt per `dial_backoff` (failed dials gate re-dialing), so a
+  /// caller's event loop is slowed, never wedged.
+  std::chrono::milliseconds dial_timeout{250};
+  std::chrono::milliseconds dial_backoff{1000};
+};
+
+/// TCP socket transport with length-prefixed framing.
+///
+/// Topology: two unidirectional streams per peer pair. Outbound frames go
+/// over a lazily-dialed connection that opens with a handshake frame
+/// announcing the dialer's PeerId; inbound connections are accepted on the
+/// listen socket, their handshake read, and then drained by a dedicated
+/// reader thread feeding a FrameBuffer — so torn frames and partial reads
+/// reassemble, and a stream violating the framing rules (garbage or
+/// oversized prefix) is closed without crashing the node.
+///
+/// Loss semantics: a failed dial or write drops the frame and the cached
+/// connection; the next send re-dials. Protocol retransmission recovers —
+/// the same contract the simulated lossy network already imposes.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Bind + listen on the configured address; returns the actual port
+  /// (useful with listen_port = 0). Idempotent; start() calls it if the
+  /// caller did not.
+  std::uint16_t bind_and_listen();
+
+  /// Add or replace a peer's address (before start()).
+  void set_peer(PeerId id, TcpPeer peer);
+
+  void start(FrameHandler handler) override;
+  bool send(PeerId to, std::string_view payload) override;
+  void stop() override;
+  std::string name() const override { return "tcp"; }
+
+  std::uint16_t listen_port() const { return bound_port_; }
+
+  /// The handshake frame a dialer writes first: frame(varint(self)).
+  /// Exposed so tests can speak the protocol over a raw socket.
+  static std::string handshake_frame(PeerId self);
+
+ private:
+  /// One outbound connection's state. Per-peer locking: a peer whose dial
+  /// or write blocks (bounded by dial_timeout / SO_SNDTIMEO) delays only
+  /// sends to that peer, never the whole transport.
+  struct OutConn {
+    std::mutex mu;
+    int fd = -1;
+    /// Failed dials gate re-dialing until this instant (backoff), so a
+    /// down peer costs one bounded dial per backoff window, not per send.
+    std::chrono::steady_clock::time_point next_dial{};
+  };
+  /// One accepted connection: its reader thread reaps itself by setting
+  /// `done` (under mu_) after closing the fd; the accept loop joins and
+  /// erases finished entries, so long-lived nodes with flappy peers do not
+  /// accumulate dead threads.
+  struct InConn {
+    int fd = -1;
+    bool done = false;  // guarded by mu_
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void reap_finished_readers();
+  void reader_loop(int fd);
+  /// Dial `to` (bounded by dial_timeout) and shake hands; -1 on failure.
+  int dial(PeerId to);
+  void close_all_connections();
+
+  TcpConfig config_;
+  std::atomic<bool> stopping_{false};
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  FrameHandler handler_;
+
+  std::mutex out_mu_;  // guards the map shape only, never held across I/O
+  std::map<PeerId, std::shared_ptr<OutConn>> out_;
+  std::mutex mu_;  // guards in_ bookkeeping
+  std::list<std::unique_ptr<InConn>> in_;
+  std::thread accept_thread_;
+};
+
+}  // namespace mcp::transport

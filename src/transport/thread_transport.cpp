@@ -1,0 +1,87 @@
+#include "transport/thread_transport.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace mcp::transport {
+
+Transport& ThreadHub::endpoint(PeerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = endpoints_[id];
+  if (!slot) slot = std::make_unique<Endpoint>(*this, id, max_queue_);
+  return *slot;
+}
+
+ThreadHub::Endpoint* ThreadHub::find(PeerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void ThreadHub::stop_all() {
+  // Collect first: Endpoint::stop joins a thread that may be delivering a
+  // frame whose handler sends (re-entering find() and this mutex).
+  std::vector<Endpoint*> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(endpoints_.size());
+    for (auto& [id, ep] : endpoints_) all.push_back(ep.get());
+  }
+  for (Endpoint* ep : all) ep->stop();
+}
+
+void ThreadHub::Endpoint::start(FrameHandler handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) return;
+    handler_ = std::move(handler);
+    started_ = true;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+bool ThreadHub::Endpoint::send(PeerId to, std::string_view payload) {
+  Endpoint* dst = hub_.find(to);
+  if (dst == nullptr) return false;
+  return dst->enqueue(self_, std::string(payload));
+}
+
+bool ThreadHub::Endpoint::enqueue(PeerId from, std::string payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (mailbox_.size() >= max_queue_) return false;  // overflow: drop
+    mailbox_.emplace_back(from, std::move(payload));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadHub::Endpoint::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !mailbox_.empty(); });
+    if (stopping_) return;
+    auto [from, payload] = std::move(mailbox_.front());
+    mailbox_.pop_front();
+    // Deliver unlocked: the handler may send (lock other mailboxes) or be
+    // slow; senders must be able to keep enqueueing meanwhile.
+    lock.unlock();
+    handler_(from, std::move(payload));
+    lock.lock();
+  }
+}
+
+void ThreadHub::Endpoint::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Serialize concurrent stop() calls around the join; run() never takes
+  // join_mu_, so this cannot deadlock with a draining delivery.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace mcp::transport

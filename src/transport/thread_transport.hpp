@@ -1,0 +1,82 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "transport/transport.hpp"
+
+namespace mcp::transport {
+
+/// In-process transport: every cluster member is an endpoint of one hub,
+/// and a send is a locked push onto the destination's mailbox, drained by
+/// that endpoint's dedicated delivery thread. The cheapest way to run a
+/// whole cluster of real (concurrent) nodes in one process — used by the
+/// loopback-cluster tests and as the socket-free baseline in
+/// bench_transport.
+///
+/// Delivery is per-endpoint FIFO and lossless until a mailbox overflows
+/// (`max_queue` frames, then the oldest behaviour a real NIC has: drop).
+class ThreadHub {
+ public:
+  explicit ThreadHub(std::size_t max_queue = 1u << 16) : max_queue_(max_queue) {}
+  ~ThreadHub() { stop_all(); }
+
+  ThreadHub(const ThreadHub&) = delete;
+  ThreadHub& operator=(const ThreadHub&) = delete;
+
+  /// The endpoint for peer `id` (created on first use). References stay
+  /// valid for the hub's lifetime.
+  Transport& endpoint(PeerId id);
+
+  /// Stop every endpoint (idempotent; also run by the destructor).
+  void stop_all();
+
+ private:
+  class Endpoint;
+
+  Endpoint* find(PeerId id);
+
+  std::size_t max_queue_;
+  std::mutex mu_;
+  std::map<PeerId, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+class ThreadHub::Endpoint final : public Transport {
+ public:
+  Endpoint(ThreadHub& hub, PeerId self, std::size_t max_queue)
+      : hub_(hub), self_(self), max_queue_(max_queue) {}
+  ~Endpoint() override { stop(); }
+
+  void start(FrameHandler handler) override;
+  bool send(PeerId to, std::string_view payload) override;
+  void stop() override;
+  std::string name() const override { return "thread"; }
+
+ private:
+  friend class ThreadHub;
+
+  /// A peer's send lands here (any thread).
+  bool enqueue(PeerId from, std::string payload);
+  void run();
+
+  ThreadHub& hub_;
+  PeerId self_;
+  std::size_t max_queue_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<PeerId, std::string>> mailbox_;
+  FrameHandler handler_;  // set under mu_ by start()
+  bool started_ = false;
+  bool stopping_ = false;
+  std::mutex join_mu_;  // serializes stop() callers around the join
+  std::thread thread_;
+};
+
+}  // namespace mcp::transport

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mcp::transport {
+
+/// Cluster-wide process identifier; the same id space the protocol
+/// processes use (sim::NodeId), so a runtime::Node can hand Process::send
+/// destinations straight to its transport.
+using PeerId = sim::NodeId;
+
+/// A point-to-point frame carrier for one cluster member.
+///
+/// Semantics are deliberately those of the paper's network model (and the
+/// simulator's): frames may be lost (a dead peer, a torn connection, a
+/// full queue) and — across reconnects — duplicated or reordered relative
+/// to frames on other connections; they are never corrupted, because a
+/// stream that fails framing validation is torn down, not repaired. The
+/// protocol layer already tolerates all of this via retransmission.
+///
+/// Thread contract: send() may be called from any thread after start();
+/// the receive handler is invoked on transport-owned threads and must not
+/// block for long (runtime::Node's handler only enqueues into its
+/// mailbox). stop() joins every transport thread; the handler is never
+/// invoked after stop() returns.
+class Transport {
+ public:
+  /// Receive callback: a complete frame payload from a connected peer.
+  using FrameHandler = std::function<void(PeerId from, std::string frame)>;
+
+  virtual ~Transport() = default;
+
+  /// Begin delivering frames to `handler`. Called exactly once.
+  virtual void start(FrameHandler handler) = 0;
+
+  /// Ship one frame, fire-and-forget. Returns false when the frame was
+  /// dropped immediately (unknown/unreachable peer, transport stopped);
+  /// true means handed to the carrier, not that the peer received it.
+  virtual bool send(PeerId to, std::string_view payload) = 0;
+
+  /// Tear down connections and join all transport threads.
+  virtual void stop() = 0;
+
+  /// Backend label for metrics/bench rows ("thread", "tcp").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mcp::transport

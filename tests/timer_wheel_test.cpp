@@ -1,0 +1,217 @@
+// The runtime timer wheel must reproduce the simulator's timer contract
+// (sim::EventQueue ordering + Simulation::post_timer cancellation): same-
+// deadline timers fire in scheduling order, cancellation wins even at the
+// deadline instant (including cancels issued by an earlier action of the
+// same instant), and actions scheduling work due "now" run in the same
+// drain. One fixed scenario runs against both implementations and the
+// firing logs must match exactly; a real-clock Node run checks the wheel
+// against actual time.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/node.hpp"
+#include "runtime/timer_wheel.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+#include "transport/thread_transport.hpp"
+
+namespace mcp {
+namespace {
+
+using runtime::TimerWheel;
+
+/// (fire time, token) log both harnesses produce.
+using Log = std::vector<std::pair<sim::Time, int>>;
+
+/// The fixed scenario, expressed against any timer service exposing
+/// set(delay, token) -> handle and cancel(handle), with `now` and a log
+/// provided by the harness. Tokens: A=1, B=2, C=3, D=4, E=5, F=6, G=7.
+///
+///  t=0: set A@+5, B@+5, C@+3, D@+3; cancel D immediately.
+///  t=3: C fires; its action cancels B (due t=5!) and sets E@+0 — E must
+///       still fire at t=3, in the same drain, after C.
+///       E's action sets F@+2 (due t=5).
+///  t=5: A fires first (oldest), then F; B stays cancelled. A's action
+///       sets G@+0, which joins the t=5 drain after F (scheduling order).
+///
+/// Expected log: (3,C) (3,E) (5,A) (5,F) (5,G).
+template <typename SetFn, typename CancelFn>
+void run_scenario_setup(SetFn set, CancelFn cancel, int* handle_b) {
+  set(5, 1);                  // A
+  *handle_b = set(5, 2);      // B
+  set(3, 3);                  // C
+  const int d = set(3, 4);    // D
+  cancel(d);
+}
+
+Log expected_log() {
+  return Log{{3, 3}, {3, 5}, {5, 1}, {5, 6}, {5, 7}};
+}
+
+// --- harness 1: the simulator -------------------------------------------------
+
+class ScenarioProcess final : public sim::Process {
+ public:
+  explicit ScenarioProcess(Log* log) : log_(log) {}
+
+  void on_start() override {
+    run_scenario_setup([this](sim::Time d, int t) { return set_timer(d, t); },
+                       [this](int h) { cancel_timer(h); }, &handle_b_);
+  }
+
+  void on_message(sim::NodeId, const std::any&) override {}
+
+  void on_timer(int token) override {
+    log_->emplace_back(now(), token);
+    switch (token) {
+      case 3:  // C: cancel B (same-instant rule is t=5, cross-instant here),
+               // then schedule E due immediately.
+        cancel_timer(handle_b_);
+        set_timer(0, 5);
+        break;
+      case 5:  // E: schedule F two ticks out.
+        set_timer(2, 6);
+        break;
+      case 1:  // A: schedule G due immediately — joins the current drain.
+        set_timer(0, 7);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  Log* log_;
+  int handle_b_ = 0;
+};
+
+TEST(TimerContractTest, SimulatorBaselineLog) {
+  Log log;
+  sim::Simulation s(/*seed=*/1);
+  s.make_process<ScenarioProcess>(&log);
+  s.run_until(100);
+  EXPECT_EQ(log, expected_log());
+}
+
+// --- harness 2: the wheel, driven with synthetic time -------------------------
+
+TEST(TimerContractTest, WheelMatchesSimulatorLog) {
+  Log log;
+  TimerWheel wheel;
+  sim::Time now = 0;
+  int handle_b = 0;
+
+  // The wheel's schedule() takes absolute deadlines and raw actions; wrap
+  // it into the scenario's set(delay, token) shape with the same token
+  // behaviours as ScenarioProcess::on_timer.
+  std::function<int(sim::Time, int)> set = [&](sim::Time delay, int token) {
+    return wheel.schedule(now + delay, [&, token] {
+      log.emplace_back(now, token);
+      switch (token) {
+        case 3:
+          wheel.cancel(handle_b);
+          set(0, 5);
+          break;
+        case 5:
+          set(2, 6);
+          break;
+        case 1:
+          set(0, 7);
+          break;
+        default:
+          break;
+      }
+    });
+  };
+  run_scenario_setup([&](sim::Time d, int t) { return set(d, t); },
+                     [&](int h) { wheel.cancel(h); }, &handle_b);
+
+  // Drive the clock tick by tick, as the node loop does with real time.
+  for (now = 0; now <= 10; ++now) wheel.fire_due(now);
+  EXPECT_EQ(log, expected_log());
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, SameInstantCancelFromEarlierAction) {
+  // Two timers due at the same instant; the first one's action cancels the
+  // second — it must not fire, exactly like Simulation::cancel_timer.
+  TimerWheel wheel;
+  Log log;
+  int second = 0;
+  wheel.schedule(5, [&] {
+    log.emplace_back(5, 1);
+    wheel.cancel(second);
+  });
+  second = wheel.schedule(5, [&] { log.emplace_back(5, 2); });
+  wheel.fire_due(5);
+  EXPECT_EQ(log, (Log{{5, 1}}));
+}
+
+TEST(TimerWheelTest, CancelFiredOrUnknownHandleIsNoop) {
+  TimerWheel wheel;
+  int fired = 0;
+  const int h = wheel.schedule(1, [&] { ++fired; });
+  wheel.fire_due(1);
+  EXPECT_EQ(fired, 1);
+  wheel.cancel(h);      // already fired
+  wheel.cancel(12345);  // never existed
+  wheel.cancel(-3);     // nonsense
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, NextDeadlineTracksEarliest) {
+  TimerWheel wheel;
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  wheel.schedule(9, [] {});
+  wheel.schedule(4, [] {});
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), 4);
+  wheel.fire_due(4);
+  EXPECT_EQ(*wheel.next_deadline(), 9);
+}
+
+// --- harness 3: a live Node against the real clock ----------------------------
+
+class RealClockProbe final : public sim::Process {
+ public:
+  void on_start() override {
+    // Out-of-order scheduling, one cancellation; expect 1, 2, 3 by time.
+    set_timer(30, 3);
+    set_timer(10, 1);
+    const int doomed = set_timer(15, 9);
+    set_timer(20, 2);
+    cancel_timer(doomed);
+  }
+  void on_message(sim::NodeId, const std::any&) override {}
+  void on_timer(int token) override { fired.push_back(token); }
+
+  std::vector<int> fired;
+};
+
+TEST(TimerContractTest, RealClockNodeFiresInOrder) {
+  transport::ThreadHub hub;
+  runtime::NodeOptions options;
+  options.id = 0;
+  options.tick = std::chrono::microseconds(500);  // 30 ticks = 15 ms
+  runtime::Node node(options, hub.endpoint(0));
+  auto& probe = node.make_process<RealClockProbe>();
+  node.start();
+  // Wait (generously — sanitized CI is slow) for all three to fire.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (node.call([&] { return probe.fired.size(); }) >= 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  node.stop();
+  EXPECT_EQ(probe.fired, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,450 @@
+// Transport-layer tests: the incremental frame decoder's robustness
+// (torn frames, partial reads, garbage and oversized length prefixes —
+// the stream-level mirror of the wire::Reader::get_bytes hardening), the
+// in-process thread transport under concurrent senders, and the TCP
+// transport end to end, including deliberately fragmented writes from a
+// raw socket and a framing-violation teardown.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/frame.hpp"
+#include "transport/tcp_transport.hpp"
+#include "transport/thread_transport.hpp"
+
+namespace mcp::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- FrameBuffer -------------------------------------------------------------
+
+TEST(FrameBufferTest, RoundTripsSingleFrame) {
+  FrameBuffer buf;
+  buf.feed(frame("hello"));
+  const auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_FALSE(buf.next().has_value());
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(FrameBufferTest, RoundTripsEmptyFrame) {
+  FrameBuffer buf;
+  buf.feed(frame(""));
+  const auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "");
+}
+
+TEST(FrameBufferTest, ManyFramesInOneFeed) {
+  FrameBuffer buf;
+  std::string stream;
+  for (int i = 0; i < 100; ++i) stream += frame("payload-" + std::to_string(i));
+  buf.feed(stream);
+  for (int i = 0; i < 100; ++i) {
+    const auto got = buf.next();
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(*got, "payload-" + std::to_string(i));
+  }
+  EXPECT_FALSE(buf.next().has_value());
+}
+
+TEST(FrameBufferTest, TornFrameReassemblesByteByByte) {
+  // A frame with a multi-byte length prefix (payload > 127 bytes), fed one
+  // byte at a time: next() must stay empty until the very last byte.
+  const std::string payload(300, 'x');
+  const std::string encoded = frame(payload);
+  ASSERT_GT(encoded.size(), payload.size() + 1);  // 2-byte varint prefix
+  FrameBuffer buf;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    buf.feed(std::string_view(&encoded[i], 1));
+    EXPECT_FALSE(buf.next().has_value()) << "complete after byte " << i;
+  }
+  buf.feed(std::string_view(&encoded[encoded.size() - 1], 1));
+  const auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(FrameBufferTest, PartialReadAcrossFrameBoundary) {
+  // Two frames, split mid-way through the second's payload.
+  const std::string stream = frame("first") + frame("second");
+  FrameBuffer buf;
+  buf.feed(stream.substr(0, stream.size() - 3));
+  auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "first");
+  EXPECT_FALSE(buf.next().has_value());  // second is torn
+  buf.feed(stream.substr(stream.size() - 3));
+  got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "second");
+}
+
+TEST(FrameBufferTest, GarbagePrefixRejected) {
+  // 0x80 continuation bytes forever: not a varint. Must throw, and keep
+  // throwing (the stream has no resync point).
+  FrameBuffer buf;
+  buf.feed(std::string(11, '\x80'));
+  EXPECT_THROW(buf.next(), FramingError);
+  EXPECT_THROW(buf.next(), FramingError);
+}
+
+TEST(FrameBufferTest, OversizedLengthRejectedBeforeAllocation) {
+  // A valid varint claiming 2^40 bytes. With a small max_frame the claim
+  // is rejected while only the handful of prefix bytes are buffered —
+  // i.e. before any allocation sized by the claim could happen.
+  FrameBuffer buf(/*max_frame=*/1024);
+  std::string prefix;
+  std::uint64_t len = 1ull << 40;
+  while (len >= 0x80) {
+    prefix.push_back(static_cast<char>((len & 0x7F) | 0x80));
+    len >>= 7;
+  }
+  prefix.push_back(static_cast<char>(len));
+  buf.feed(prefix);
+  const std::size_t buffered_before = buf.buffered();
+  EXPECT_LE(buffered_before, 16u);
+  EXPECT_THROW(buf.next(), FramingError);
+}
+
+TEST(FrameBufferTest, MaxFrameBoundary) {
+  FrameBuffer buf(/*max_frame=*/8);
+  buf.feed(frame("12345678"));  // exactly max: fine
+  const auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "12345678");
+  FrameBuffer buf2(/*max_frame=*/8);
+  buf2.feed(frame("123456789"));  // one over: rejected
+  EXPECT_THROW(buf2.next(), FramingError);
+}
+
+TEST(FrameBufferTest, TenBytePrefixOverflowRejectedNotTruncated) {
+  // A 10-byte prefix whose final byte carries bits above bit 63 used to
+  // truncate silently (e.g. to length 0), desyncing framing; it must be a
+  // FramingError instead.
+  FrameBuffer buf;
+  buf.feed(std::string(9, '\x80') + '\x7e');
+  EXPECT_THROW(buf.next(), FramingError);
+
+  // Bit 63 alone is a *valid* 10-byte varint (length 2^63) — it dies on
+  // the max_frame check, not on truncation.
+  FrameBuffer buf2;
+  buf2.feed(std::string(9, '\x80') + '\x01');
+  EXPECT_THROW(buf2.next(), FramingError);
+}
+
+TEST(FrameBufferTest, NonMinimalLengthPrefixAccepted) {
+  // "\x80\x00" is a 2-byte encoding of length 0: wasteful but
+  // unambiguous, so it frames an empty payload rather than erroring
+  // (matching wire::Reader's varint semantics).
+  FrameBuffer buf;
+  buf.feed(std::string("\x80\x00", 2) + frame("next"));
+  auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "");
+  got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "next");
+}
+
+TEST(FrameBufferTest, TornPrefixThenCompletion) {
+  // The length prefix itself arrives torn across feeds.
+  const std::string payload(300, 'y');
+  const std::string encoded = frame(payload);
+  FrameBuffer buf;
+  buf.feed(encoded.substr(0, 1));  // half the 2-byte varint
+  EXPECT_FALSE(buf.next().has_value());
+  buf.feed(encoded.substr(1));
+  const auto got = buf.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+// --- receivers ---------------------------------------------------------------
+
+/// Collects delivered frames; wait_for blocks until `n` arrived (or fails
+/// the test on timeout).
+class Sink {
+ public:
+  void operator()(PeerId from, std::string payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    received_.emplace_back(from, std::move(payload));
+    cv_.notify_all();
+  }
+
+  Transport::FrameHandler handler() {
+    return [this](PeerId from, std::string payload) {
+      (*this)(from, std::move(payload));
+    };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::milliseconds timeout = 10s) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return received_.size() >= n; });
+  }
+
+  std::vector<std::pair<PeerId, std::string>> snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<PeerId, std::string>> received_;
+};
+
+// --- ThreadHub ---------------------------------------------------------------
+
+TEST(ThreadTransportTest, DeliversBetweenEndpoints) {
+  ThreadHub hub;
+  Transport& a = hub.endpoint(0);
+  Transport& b = hub.endpoint(1);
+  Sink sink_a, sink_b;
+  a.start(sink_a.handler());
+  b.start(sink_b.handler());
+  EXPECT_TRUE(a.send(1, "ping"));
+  EXPECT_TRUE(b.send(0, "pong"));
+  ASSERT_TRUE(sink_b.wait_for(1));
+  ASSERT_TRUE(sink_a.wait_for(1));
+  EXPECT_EQ(sink_b.snapshot()[0], (std::pair<PeerId, std::string>{0, "ping"}));
+  EXPECT_EQ(sink_a.snapshot()[0], (std::pair<PeerId, std::string>{1, "pong"}));
+  hub.stop_all();
+}
+
+TEST(ThreadTransportTest, SendToUnknownPeerDropped) {
+  ThreadHub hub;
+  Transport& a = hub.endpoint(0);
+  Sink sink;
+  a.start(sink.handler());
+  EXPECT_FALSE(a.send(42, "void"));
+  hub.stop_all();
+}
+
+TEST(ThreadTransportTest, ConcurrentSendersLoseNothing) {
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 250;
+  ThreadHub hub;
+  Transport& rx = hub.endpoint(0);
+  for (PeerId id = 1; id <= kSenders; ++id) hub.endpoint(id);
+  Sink sink;
+  rx.start(sink.handler());
+
+  std::vector<std::thread> threads;
+  for (PeerId id = 1; id <= kSenders; ++id) {
+    threads.emplace_back([&hub, id] {
+      Transport& ep = hub.endpoint(id);
+      for (int i = 0; i < kPerSender; ++i) {
+        ASSERT_TRUE(ep.send(0, std::to_string(id) + ":" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(sink.wait_for(kSenders * kPerSender));
+  // Per-sender FIFO and intact payloads.
+  std::map<PeerId, int> next;
+  for (const auto& [from, payload] : sink.snapshot()) {
+    EXPECT_EQ(payload, std::to_string(from) + ":" + std::to_string(next[from]));
+    ++next[from];
+  }
+  for (PeerId id = 1; id <= kSenders; ++id) EXPECT_EQ(next[id], kPerSender);
+  hub.stop_all();
+}
+
+TEST(ThreadTransportTest, StoppedEndpointDropsSends) {
+  ThreadHub hub;
+  Transport& a = hub.endpoint(0);
+  Transport& b = hub.endpoint(1);
+  Sink sink;
+  b.start(sink.handler());
+  b.stop();
+  EXPECT_FALSE(a.send(1, "after-stop"));
+}
+
+// --- TcpTransport ------------------------------------------------------------
+
+TcpConfig loopback_config(PeerId self) {
+  TcpConfig config;
+  config.self = self;
+  return config;
+}
+
+TEST(TcpTransportTest, DeliversBothDirections) {
+  TcpTransport a(loopback_config(0)), b(loopback_config(1));
+  const auto port_a = a.bind_and_listen();
+  const auto port_b = b.bind_and_listen();
+  a.set_peer(1, {"127.0.0.1", port_b});
+  b.set_peer(0, {"127.0.0.1", port_a});
+  Sink sink_a, sink_b;
+  a.start(sink_a.handler());
+  b.start(sink_b.handler());
+
+  EXPECT_TRUE(a.send(1, "ping"));
+  ASSERT_TRUE(sink_b.wait_for(1));
+  EXPECT_TRUE(b.send(0, "pong"));
+  ASSERT_TRUE(sink_a.wait_for(1));
+  EXPECT_EQ(sink_b.snapshot()[0], (std::pair<PeerId, std::string>{0, "ping"}));
+  EXPECT_EQ(sink_a.snapshot()[0], (std::pair<PeerId, std::string>{1, "pong"}));
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpTransportTest, LargeFrameSurvivesPartialReads) {
+  // 1 MiB payload: far above the 64 KiB read chunk, so reassembly from
+  // partial reads is exercised for real.
+  TcpTransport a(loopback_config(0)), b(loopback_config(1));
+  b.set_peer(0, {"127.0.0.1", a.bind_and_listen()});
+  b.bind_and_listen();
+  Sink sink;
+  a.start(sink.handler());
+  b.start([](PeerId, std::string) {});
+
+  std::string big(1u << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 31);
+  EXPECT_TRUE(b.send(0, big));
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.snapshot()[0].second, big);
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpTransportTest, SendToDownPeerDropsAndRecovers) {
+  TcpTransport a(loopback_config(0));
+  a.bind_and_listen();
+  // Point at a (very likely) closed port: the dial fails, the frame drops.
+  a.set_peer(1, {"127.0.0.1", 1});
+  Sink sink;
+  a.start(sink.handler());
+  EXPECT_FALSE(a.send(1, "lost"));
+
+  // Bring a real peer up at a fresh address and repoint: next send heals.
+  TcpTransport b(loopback_config(1));
+  const auto port_b = b.bind_and_listen();
+  Sink sink_b;
+  b.start(sink_b.handler());
+  a.set_peer(1, {"127.0.0.1", port_b});
+  EXPECT_TRUE(a.send(1, "found"));
+  ASSERT_TRUE(sink_b.wait_for(1));
+  EXPECT_EQ(sink_b.snapshot()[0].second, "found");
+  a.stop();
+  b.stop();
+}
+
+/// Dial `port` with a plain blocking socket (test-side raw writer).
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void raw_write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(TcpTransportTest, TornWritesFromRawSocketReassemble) {
+  TcpTransport rx(loopback_config(0));
+  const auto port = rx.bind_and_listen();
+  Sink sink;
+  rx.start(sink.handler());
+
+  const int fd = raw_connect(port);
+  const std::string stream =
+      TcpTransport::handshake_frame(7) + frame("alpha") + frame("beta");
+  // Dribble the whole stream a byte at a time; TCP_NODELAY-free raw socket
+  // plus 1-byte writes forces the reader through every torn-frame path.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    raw_write_all(fd, std::string_view(&stream[i], 1));
+  }
+  ASSERT_TRUE(sink.wait_for(2));
+  const auto got = sink.snapshot();
+  EXPECT_EQ(got[0], (std::pair<PeerId, std::string>{7, "alpha"}));
+  EXPECT_EQ(got[1], (std::pair<PeerId, std::string>{7, "beta"}));
+  ::close(fd);
+  rx.stop();
+}
+
+TEST(TcpTransportTest, OversizedPrefixTearsDownStreamOnly) {
+  TcpConfig config = loopback_config(0);
+  config.max_frame = 1024;
+  TcpTransport rx(config);
+  const auto port = rx.bind_and_listen();
+  Sink sink;
+  rx.start(sink.handler());
+
+  // Connection 1: handshake, one good frame, then a prefix claiming 2^40
+  // bytes. The good frame arrives; the stream then dies without crashing
+  // the transport, and nothing after the violation is delivered.
+  const int bad = raw_connect(port);
+  std::string huge_prefix;
+  std::uint64_t len = 1ull << 40;
+  while (len >= 0x80) {
+    huge_prefix.push_back(static_cast<char>((len & 0x7F) | 0x80));
+    len >>= 7;
+  }
+  huge_prefix.push_back(static_cast<char>(len));
+  raw_write_all(bad, TcpTransport::handshake_frame(3) + frame("good") + huge_prefix +
+                         std::string(64, 'z'));
+  ASSERT_TRUE(sink.wait_for(1));
+
+  // Connection 2 still works fine afterwards.
+  const int ok = raw_connect(port);
+  raw_write_all(ok, TcpTransport::handshake_frame(4) + frame("still-alive"));
+  ASSERT_TRUE(sink.wait_for(2));
+  const auto got = sink.snapshot();
+  EXPECT_EQ(got[0], (std::pair<PeerId, std::string>{3, "good"}));
+  EXPECT_EQ(got[1], (std::pair<PeerId, std::string>{4, "still-alive"}));
+  ::close(bad);
+  ::close(ok);
+  rx.stop();
+}
+
+TEST(TcpTransportTest, GarbageHandshakeDropsConnection) {
+  TcpTransport rx(loopback_config(0));
+  const auto port = rx.bind_and_listen();
+  Sink sink;
+  rx.start(sink.handler());
+
+  // A "handshake" whose payload is not a varint: connection dropped, no
+  // delivery, no crash; a proper peer still gets through.
+  const int bad = raw_connect(port);
+  raw_write_all(bad, frame("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff") + frame("x"));
+  const int ok = raw_connect(port);
+  raw_write_all(ok, TcpTransport::handshake_frame(9) + frame("legit"));
+  ASSERT_TRUE(sink.wait_for(1));
+  const auto got = sink.snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::pair<PeerId, std::string>{9, "legit"}));
+  ::close(bad);
+  ::close(ok);
+  rx.stop();
+}
+
+}  // namespace
+}  // namespace mcp::transport
