@@ -1,0 +1,172 @@
+// Command-line client for a live mcpaxos KV cluster: talks the service
+// wire protocol (varint-framed wire::Envelopes, no peer handshake) to the
+// `server` nodes of a cluster file over TCP, through the synchronous
+// service::Client library — sessions, retransmission and leader redirect
+// included.
+//
+// Against examples/cluster_kv.txt (start each node in its own terminal
+// first — the servers with their file role, e.g.
+// `mcpaxos_node --id 4 --config examples/cluster_kv.txt`):
+//
+//   $ ./mcpaxos_kv_client --config examples/cluster_kv.txt put greeting hello
+//   $ ./mcpaxos_kv_client --config examples/cluster_kv.txt get greeting
+//   $ ./mcpaxos_kv_client --config examples/cluster_kv.txt --ops 500
+//
+// `put K V` / `get K` run one operation; `--ops N` runs a closed loop of N
+// random reads/writes and reports throughput and latency percentiles.
+// --client-id fixes the session identity (default: random), --timeout-ms
+// the per-attempt reply timeout.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster_file.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+using namespace mcp;
+
+struct Options {
+  std::string config_path;
+  std::uint64_t client_id = 0;
+  long timeout_ms = 250;
+  long ops = 0;
+  double read_fraction = 0.3;
+  std::vector<std::string> command;  // put K V | get K
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      opt.config_path = value();
+    } else if (arg == "--client-id") {
+      opt.client_id = std::stoull(value());
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = std::stol(value());
+    } else if (arg == "--ops") {
+      opt.ops = std::stol(value());
+    } else if (arg == "--read-fraction") {
+      opt.read_fraction = std::stod(value());
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("unknown flag " + arg);
+    } else {
+      opt.command.push_back(arg);
+    }
+  }
+  return opt;
+}
+
+service::Client make_client(const Options& opt) {
+  const auto members = runtime::parse_cluster_file(opt.config_path);
+  const auto servers = runtime::members_with_role(members, "server");
+  runtime::require_dialable_ports(servers);
+  std::map<sim::NodeId, service::ServerAddr> addrs;
+  std::vector<sim::NodeId> ids;
+  for (const auto& m : servers) {
+    addrs[m.id] = {m.host, m.port};
+    ids.push_back(m.id);
+  }
+  if (ids.empty()) {
+    throw std::runtime_error("no 'server' nodes in " + opt.config_path);
+  }
+  service::Client::Options copt;
+  copt.client_id = opt.client_id;
+  copt.servers = ids;
+  copt.attempt_timeout = std::chrono::milliseconds(opt.timeout_ms);
+  return service::Client(
+      std::make_unique<service::TcpClientChannel>(std::move(addrs)), copt);
+}
+
+int run_closed_loop(service::Client& client, const Options& opt) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(opt.ops));
+  // Deterministic mixed workload over a small key space (so ops conflict
+  // and get ordered) seeded by the session id.
+  std::uint64_t x = client.client_id() | 1;
+  const auto started = clock::now();
+  long done = 0;
+  for (long i = 0; i < opt.ops; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::string key = "k" + std::to_string(x % 16);
+    const bool read = (x >> 8) % 1000 < static_cast<std::uint64_t>(opt.read_fraction * 1000);
+    const auto t0 = clock::now();
+    const service::Client::Result r =
+        read ? client.get(key) : client.put(key, "v" + std::to_string(i));
+    if (!r.ok) {
+      std::fprintf(stderr, "op %ld failed (no reply within the attempt budget)\n", i);
+      break;
+    }
+    ++done;
+    lat_us.push_back(std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+  }
+  const double wall_s = std::chrono::duration<double>(clock::now() - started).count();
+  if (done == 0) return 1;
+  std::sort(lat_us.begin(), lat_us.end());
+  auto pct = [&](double p) {
+    return lat_us[std::min(lat_us.size() - 1,
+                           static_cast<std::size_t>(p * static_cast<double>(lat_us.size())))];
+  };
+  std::printf("%ld ops in %.2f s — %.0f ops/s; latency p50 %.0f us, p99 %.0f us; "
+              "%llu retries, %llu redirects\n",
+              done, wall_s, static_cast<double>(done) / wall_s, pct(0.50), pct(0.99),
+              static_cast<unsigned long long>(client.retries()),
+              static_cast<unsigned long long>(client.redirects_followed()));
+  return done == opt.ops ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    const bool one_shot =
+        (opt.command.size() == 3 && opt.command[0] == "put") ||
+        (opt.command.size() == 2 && opt.command[0] == "get");
+    if (opt.config_path.empty() || (opt.ops <= 0 && !one_shot)) {
+      std::fprintf(stderr,
+                   "usage: mcpaxos_kv_client --config FILE [--client-id N] "
+                   "[--timeout-ms M] put KEY VALUE\n"
+                   "   or: mcpaxos_kv_client --config FILE get KEY\n"
+                   "   or: mcpaxos_kv_client --config FILE --ops N "
+                   "[--read-fraction F]\n");
+      return 2;
+    }
+    service::Client client = make_client(opt);
+    if (opt.ops > 0) return run_closed_loop(client, opt);
+    if (opt.command[0] == "put") {
+      const auto r = client.put(opt.command[1], opt.command[2]);
+      std::printf("%s\n", r.ok ? "OK" : "FAILED (no reply)");
+      return r.ok ? 0 : 1;
+    }
+    const auto r = client.get(opt.command[1]);
+    if (!r.ok) {
+      std::printf("FAILED (no reply)\n");
+      return 1;
+    }
+    if (!r.found) {
+      std::printf("(unset)\n");
+      return 0;
+    }
+    std::printf("%s\n", r.value.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcpaxos_kv_client: %s\n", e.what());
+    return 2;
+  }
+}

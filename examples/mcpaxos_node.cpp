@@ -4,7 +4,8 @@
 //
 // Cluster file format (one line per node, '#' comments):
 //
-//   node <id> <host> <port> <role>     # role: coordinator|acceptor|learner|proposer
+//   node <id> <host> <port> <role>
+//   # role: coordinator|acceptor|learner|proposer|server
 //
 // Run one process per node of the cluster, e.g. for examples/cluster6.txt:
 //
@@ -16,10 +17,18 @@
 // reports acks; learners print their learned history on exit. --run-ms
 // bounds the node's lifetime (default 10 000).
 //
+// A node whose cluster-file role is `server` hosts the KV service
+// frontend instead of a bare role: it accepts mcpaxos_kv_client
+// connections, batches client commands into consensus (--batch-size /
+// --batch-delay), dedups session retries, and applies the learned history
+// to its replica. `--serve` merely asserts the role (serving is driven by
+// the file, because every node must derive the same membership lists from
+// it). See examples/cluster_kv.txt.
+//
 // Flags: --policy single|multi|fast picks the round structure (single- vs
 // multicoordinated vs fast rounds over the file's coordinators); --cstruct
-// history|cset|single picks the c-struct set CS; --tick-us maps protocol
-// ticks to real time.
+// history|cset|single picks the c-struct set CS (server nodes require
+// history); --tick-us maps protocol ticks to real time.
 //
 // No terminals to spare? `--demo [thread|tcp]` runs a whole loopback
 // cluster (1 coordinator / 3 acceptors / 1 learner / 1 proposer) of real
@@ -31,10 +40,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,20 +50,16 @@
 #include "cstruct/history.hpp"
 #include "cstruct/single_value.hpp"
 #include "genpaxos/engine.hpp"
+#include "runtime/cluster_file.hpp"
 #include "runtime/gen_cluster.hpp"
 #include "runtime/node.hpp"
+#include "service/frontend.hpp"
 #include "transport/tcp_transport.hpp"
 
 namespace {
 
 using namespace mcp;
-
-struct Member {
-  sim::NodeId id = 0;
-  std::string host;
-  std::uint16_t port = 0;
-  std::string role;
-};
+using runtime::ClusterMember;
 
 struct Options {
   sim::NodeId id = -1;
@@ -66,32 +69,11 @@ struct Options {
   int commands = 0;
   long run_ms = 10'000;
   long tick_us = 1000;
+  bool serve = false;
+  long batch_size = 16;
+  long batch_delay = 2;
   std::string demo;  // empty = distributed mode
 };
-
-std::vector<Member> parse_cluster(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open cluster file: " + path);
-  std::vector<Member> members;
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::string kind;
-    if (!(ls >> kind)) continue;  // blank
-    if (kind != "node") throw std::runtime_error("bad cluster line: " + line);
-    Member m;
-    int port = 0;
-    if (!(ls >> m.id >> m.host >> port >> m.role) || port <= 0 || port > 65535) {
-      throw std::runtime_error("bad cluster line: " + line);
-    }
-    m.port = static_cast<std::uint16_t>(port);
-    members.push_back(std::move(m));
-  }
-  if (members.empty()) throw std::runtime_error("empty cluster file: " + path);
-  return members;
-}
 
 std::unique_ptr<paxos::RoundPolicy> make_policy(const std::string& name,
                                                 std::vector<sim::NodeId> coords) {
@@ -118,24 +100,21 @@ void print_metrics(runtime::Node& node) {
 }
 
 template <cstruct::CStructT CS>
-int run_node(const Options& opt, const std::vector<Member>& members, CS bottom) {
+int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS bottom) {
   namespace gp = genpaxos;
 
+  // Every node must derive the same membership lists from the same file
+  // (a `server` is a proposer *and* a learner), so the mapping lives in
+  // runtime::roles_of, shared with the service tests and the kv client.
+  runtime::require_dialable_ports(members);
+  const runtime::ClusterRoles roles = runtime::roles_of(members);
   genpaxos::Config<CS> config;
-  std::vector<sim::NodeId> coords;
-  const Member* self = nullptr;
-  for (const Member& m : members) {
-    if (m.role == "coordinator") {
-      coords.push_back(m.id);
-    } else if (m.role == "acceptor") {
-      config.acceptors.push_back(m.id);
-    } else if (m.role == "learner") {
-      config.learners.push_back(m.id);
-    } else if (m.role == "proposer") {
-      config.proposers.push_back(m.id);
-    } else {
-      throw std::runtime_error("unknown role " + m.role);
-    }
+  const std::vector<sim::NodeId>& coords = roles.coordinators;
+  config.acceptors = roles.acceptors;
+  config.learners = roles.learners;
+  config.proposers = roles.proposers;
+  const ClusterMember* self = nullptr;
+  for (const ClusterMember& m : members) {
     if (m.id == opt.id) self = &m;
   }
   if (self == nullptr) {
@@ -158,11 +137,21 @@ int run_node(const Options& opt, const std::vector<Member>& members, CS bottom) 
   }
   config.bottom = bottom;
 
+  const bool serve = opt.serve || self->role == "server";
+  if (serve && self->role != "server") {
+    throw std::runtime_error(
+        "--serve requires this node's cluster-file role to be 'server' "
+        "(all nodes must agree on the learner/proposer lists)");
+  }
+  if (serve && !std::is_same_v<CS, cstruct::History>) {
+    throw std::runtime_error("--serve requires --cstruct history");
+  }
+
   transport::TcpConfig tcp;
   tcp.self = opt.id;
   tcp.listen_host = self->host;
   tcp.listen_port = self->port;
-  for (const Member& m : members) {
+  for (const ClusterMember& m : members) {
     if (m.id != opt.id) tcp.peers[m.id] = {m.host, m.port};
   }
   transport::TcpTransport transport(tcp);
@@ -174,19 +163,28 @@ int run_node(const Options& opt, const std::vector<Member>& members, CS bottom) 
 
   gp::GenProposer<CS>* proposer = nullptr;
   gp::GenLearner<CS>* learner = nullptr;
+  service::Frontend* frontend = nullptr;
   if (self->role == "coordinator") {
     node.make_process<gp::GenCoordinator<CS>>(config);
   } else if (self->role == "acceptor") {
     node.make_process<gp::GenAcceptor<CS>>(config);
   } else if (self->role == "learner") {
     learner = &node.make_process<gp::GenLearner<CS>>(config);
+  } else if (self->role == "server") {
+    if constexpr (std::is_same_v<CS, cstruct::History>) {
+      service::Frontend::Options fopt;
+      fopt.batch_size = static_cast<std::size_t>(std::max(1L, opt.batch_size));
+      fopt.batch_delay = opt.batch_delay;
+      frontend = &node.make_process<service::Frontend>(config, fopt);
+    }
   } else {
     proposer = &node.make_process<gp::GenProposer<CS>>(config);
   }
 
-  std::printf("node %d (%s) on %s:%u — policy %s, c-struct %s\n", opt.id,
+  std::printf("node %d (%s) on %s:%u — policy %s, c-struct %s%s\n", opt.id,
               self->role.c_str(), self->host.c_str(), unsigned{self->port},
-              opt.policy.c_str(), opt.cstruct.c_str());
+              opt.policy.c_str(), opt.cstruct.c_str(),
+              frontend != nullptr ? ", serving KV clients" : "");
   node.start();
 
   const auto deadline =
@@ -216,6 +214,19 @@ int run_node(const Options& opt, const std::vector<Member>& members, CS bottom) 
   if (learner != nullptr) {
     const std::size_t n = node.call([&] { return learner->learned().size(); });
     std::printf("learned c-struct holds %zu commands\n", n);
+  }
+  if (frontend != nullptr) {
+    node.call([&] {
+      std::printf(
+          "served %llu requests from %zu sessions — %llu replies, %llu "
+          "duplicates dropped, %llu batches, %zu commands applied, %zu keys\n",
+          static_cast<unsigned long long>(frontend->requests_received()),
+          frontend->session_count(),
+          static_cast<unsigned long long>(frontend->replies_sent()),
+          static_cast<unsigned long long>(frontend->duplicates_dropped()),
+          static_cast<unsigned long long>(frontend->batches_flushed()),
+          frontend->applied(), frontend->store().data().size());
+    });
   }
   print_metrics(node);
   node.stop();
@@ -289,6 +300,12 @@ Options parse_args(int argc, char** argv) {
       opt.run_ms = std::stol(value());
     } else if (arg == "--tick-us") {
       opt.tick_us = std::stol(value());
+    } else if (arg == "--serve") {
+      opt.serve = true;
+    } else if (arg == "--batch-size") {
+      opt.batch_size = std::stol(value());
+    } else if (arg == "--batch-delay") {
+      opt.batch_delay = std::stol(value());
     } else if (arg == "--demo") {
       opt.demo = (i + 1 < argc && argv[i + 1][0] != '-') ? value() : "thread";
     } else {
@@ -309,10 +326,12 @@ int main(int argc, char** argv) {
                    "usage: mcpaxos_node --id N --config FILE [--policy "
                    "single|multi|fast] [--cstruct history|cset|single] "
                    "[--commands N] [--run-ms M] [--tick-us U]\n"
+                   "       [--serve] [--batch-size N] [--batch-delay TICKS]\n"
                    "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
       return 2;
     }
-    const std::vector<Member> members = parse_cluster(opt.config_path);
+    const std::vector<ClusterMember> members =
+        runtime::parse_cluster_file(opt.config_path);
     if (opt.cstruct == "history") {
       static const cstruct::KeyConflict kConflicts;
       return run_node(opt, members, cstruct::History(&kConflicts));

@@ -6,6 +6,13 @@
 // on different keys commute and never need ordering, so they are learned
 // without collisions even when proposed concurrently.
 //
+// This is the simulated end of the story — replicas are driven by the
+// learner's learned-suffix notification, so a command is applied (and its
+// read result produced) the instant it is learned, with no poll interval in
+// the path. The *live* end is the service layer: `mcpaxos_node --serve`
+// hosts the same Replica class inside a frontend over real TCP, and
+// `mcpaxos_kv_client` talks to it (see examples/README.md).
+//
 //   $ ./replicated_kv
 
 #include <cstdio>
@@ -47,21 +54,41 @@ int main() {
   for (int i = 0; i < 2; ++i) {
     clients.push_back(&simulation.make_process<gp::GenProposer<cstruct::History>>(config));
   }
-  // One replica per learner, applying the learned history to a KV store.
+  // One replica per learner, applying the learned history to a KV store the
+  // moment it grows (no poll timer — the learner notifies its replica).
   std::vector<smr::Replica*> replicas;
   for (auto* l : learners) {
-    replicas.push_back(&simulation.make_process<smr::Replica>(*l, /*poll_interval=*/20));
+    replicas.push_back(&simulation.make_process<smr::Replica>(*l));
   }
+  // Replica 8's apply stream doubles as the service view: every read's
+  // Result is the value observed at the command's place in the learned
+  // linearization — exactly what a service frontend would answer its
+  // client. Collect and print them instead of discarding.
+  struct ReadResult {
+    cstruct::Command command;
+    smr::KVStore::Result result;
+  };
+  std::vector<ReadResult> reads;
+  replicas[0]->set_apply_listener(
+      [&](const cstruct::Command& c, const smr::KVStore::Result& r) {
+        if (c.type == cstruct::OpType::kRead) reads.push_back({c, r});
+      });
 
-  // Two clients interleave writes: some on private keys (commute), some on
-  // the shared "counter" key (conflict, must be ordered).
+  // Two clients interleave commands: private-key writes (commute), shared
+  // "counter" writes (conflict, must be ordered), and reads of the counter
+  // (conflict with its writes, so each read is ordered against them and
+  // observes a well-defined value).
   constexpr int kOps = 40;
   for (int i = 0; i < kOps; ++i) {
     simulation.at(10 * i, [&, i] {
+      const auto id = static_cast<std::uint64_t>(i + 1);
+      if (i % 8 == 2) {
+        clients[i % 2]->propose(cstruct::make_read(id, "counter"));
+        return;
+      }
       const bool shared = i % 4 == 0;
       const std::string key = shared ? "counter" : "user" + std::to_string(i);
-      clients[i % 2]->propose(
-          cstruct::make_write(static_cast<std::uint64_t>(i + 1), key, "v" + std::to_string(i)));
+      clients[i % 2]->propose(cstruct::make_write(id, key, "v" + std::to_string(i)));
     });
   }
 
@@ -74,8 +101,6 @@ int main() {
       },
       5'000'000);
 
-  for (auto* r : replicas) r->poll();
-
   std::printf("learned %zu/%d commands in %lld ticks (%s)\n",
               learners[0]->learned().size(), kOps,
               static_cast<long long>(simulation.now()), done ? "complete" : "INCOMPLETE");
@@ -83,10 +108,22 @@ int main() {
               static_cast<long long>(simulation.metrics().counter("gen.collisions_detected")),
               static_cast<long long>(simulation.metrics().counter("gen.rounds_started")));
 
+  std::printf("reads of \"counter\", in replica 8's apply order:\n");
+  for (const ReadResult& r : reads) {
+    std::printf("  #%-3llu -> %s\n", static_cast<unsigned long long>(r.command.id),
+                r.result.found ? ("\"" + r.result.value + "\"").c_str() : "(unset)");
+  }
+
+  // Convergence is the whole claim: every replica applied an equivalent
+  // history, so every store is equal. Check it explicitly and loudly.
   std::vector<const smr::Replica*> views(replicas.begin(), replicas.end());
-  std::printf("replicas converged: %s\n", smr::replicas_converged(views) ? "yes" : "NO");
-  std::printf("replica 0 applied %zu commands; counter key = \"%s\"\n",
-              replicas[0]->applied(),
+  const bool converged = smr::replicas_converged(views);
+  std::printf("replicas converged: %s", converged ? "yes" : "NO");
+  for (const auto* r : replicas) {
+    std::printf("  [replica %d: %zu applied, %zu keys]", r->id(), r->applied(),
+                r->store().data().size());
+  }
+  std::printf("\nfinal counter key = \"%s\"\n",
               replicas[0]->store().data().count("counter")
                   ? replicas[0]->store().data().at("counter").c_str()
                   : "(unset)");
@@ -101,5 +138,5 @@ int main() {
     }
     std::printf(" ...\n");
   }
-  return done && smr::replicas_converged(views) ? 0 : 1;
+  return done && converged ? 0 : 1;
 }

@@ -12,16 +12,19 @@ namespace mcp::genpaxos {
 template class GenProposer<cstruct::History>;
 template class GenCoordinator<cstruct::History>;
 template class GenAcceptor<cstruct::History>;
+template class LearnerCore<cstruct::History>;
 template class GenLearner<cstruct::History>;
 
 template class GenProposer<cstruct::CSet>;
 template class GenCoordinator<cstruct::CSet>;
 template class GenAcceptor<cstruct::CSet>;
+template class LearnerCore<cstruct::CSet>;
 template class GenLearner<cstruct::CSet>;
 
 template class GenProposer<cstruct::SingleValue>;
 template class GenCoordinator<cstruct::SingleValue>;
 template class GenAcceptor<cstruct::SingleValue>;
+template class LearnerCore<cstruct::SingleValue>;
 template class GenLearner<cstruct::SingleValue>;
 
 }  // namespace mcp::genpaxos

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -230,6 +231,20 @@ struct MsgNack {
   void encode(wire::Writer& w) const { wire::put_ballot(w, heard); }
   static MsgNack decode(wire::Reader& r) { return {wire::get_ballot(r)}; }
 };
+/// A whole flush window of proposals in one message (the batching lever of
+/// the service layer): a classic-round coordinator appends every contained
+/// command and answers with a *single* 2a, and a fast-round acceptor folds
+/// the group into one vote write — amortizing the per-command 2a/2b cost
+/// that MsgPropose pays. Semantics per command are identical to sending
+/// the same commands as individual MsgPropose back to back.
+struct MsgProposeBatch {
+  std::vector<Command> commands;
+
+  static constexpr std::uint32_t kTag = 88;
+  static constexpr const char* kName = "gen.propose_batch";
+  void encode(wire::Writer& w) const { wire::put_commands(w, commands); }
+  static MsgProposeBatch decode(wire::Reader& r) { return {wire::get_commands(r)}; }
+};
 /// Learner → proposer: your command is contained in the learned c-struct.
 struct MsgAck {
   std::uint64_t command_id;
@@ -246,6 +261,7 @@ template <cstruct::CStructT CS>
 void register_wire_messages(wire::DecoderRegistry& reg, const CS& bottom) {
   reg.add<paxos::Heartbeat>();
   reg.add<MsgPropose>();
+  reg.add<MsgProposeBatch>();
   reg.add<MsgNack>();
   reg.add<MsgAck>();
   reg.add<Msg1a<CS>>(bottom);
@@ -408,6 +424,10 @@ class GenCoordinator final : public sim::Process {
       handle_propose(p->c);
       return;
     }
+    if (const auto* batch = std::any_cast<MsgProposeBatch>(&m)) {
+      handle_propose_batch(batch->commands);
+      return;
+    }
     if (const auto* p1b = std::any_cast<Msg1b<CS>>(&m)) {
       handle_1b(from, *p1b);
       return;
@@ -519,6 +539,26 @@ class GenCoordinator final : public sim::Process {
     send_2a();
   }
 
+  /// Batched Phase2aClassic: one 2a for the whole group, so a flush window
+  /// of N service commands costs one delta message instead of N.
+  void handle_propose_batch(const std::vector<Command>& cs) {
+    bool appended = false;
+    for (const Command& c : cs) {
+      proposals_.emplace(c.id, c);
+      if (cval_ && crnd_.is_classic() && !cval_->contains(c)) {
+        cval_->append(c);
+        appended = true;
+      }
+    }
+    sim().metrics().incr("coord." + std::to_string(id()) + ".proposals",
+                         static_cast<std::int64_t>(cs.size()));
+    if (!cval_ || !crnd_.is_classic()) return;
+    // All already contained: a whole-batch retransmission from a frontend
+    // that missed its replies; re-send the (empty-delta) 2a as for a single
+    // contained MsgPropose.
+    if (appended || config_.enable_liveness) send_2a();
+  }
+
   void handle_1b(sim::NodeId from, const Msg1b<CS>& p1b) {
     // 1b for a higher round we coordinate: join it (normal phase 1 answer
     // or a §4.2 collision jump, which skips the explicit 1a).
@@ -611,6 +651,10 @@ class GenAcceptor final : public sim::Process {
   /// collision flags). Stays O(1) over a run because join() prunes every
   /// round below rnd_; grows without bound if that pruning regresses.
   std::size_t tracked_round_states() const { return twoa_.size() + collided_.size(); }
+  /// Fast-path proposals awaiting a fast round; pruned of accepted
+  /// commands on the retry timer, so a long-running classic-round service
+  /// cluster holds only in-flight proposals here.
+  std::size_t pending_proposals() const { return pending_.size(); }
 
   void on_start() override {
     if (config_.enable_liveness) set_timer(config_.retry_interval, kRetryToken);
@@ -623,6 +667,15 @@ class GenAcceptor final : public sim::Process {
     // With deltas on this is an empty delta; a learner that missed a
     // previous 2b answers with a resync request and gets the full value.
     if (!vrnd_.is_zero()) transmit_2b(/*to_fast_coords=*/false, 0);
+    // Bound pending_: a proposal folded into the accepted value can never
+    // be appended again (drain_pending_fast skips contained commands), so
+    // under a service workload — every proposal multicast to acceptors for
+    // the fast path, rounds mostly classic — the map would otherwise grow
+    // for the cluster's whole lifetime. Amortized here, off the accept hot
+    // path.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      it = vval_.contains(it->second) ? pending_.erase(it) : std::next(it);
+    }
     set_timer(config_.retry_interval, kRetryToken);
   }
 
@@ -654,6 +707,13 @@ class GenAcceptor final : public sim::Process {
   void on_message(sim::NodeId from, const std::any& m) override {
     if (const auto* p = std::any_cast<MsgPropose>(&m)) {
       handle_propose(p->c);
+      return;
+    }
+    if (const auto* batch = std::any_cast<MsgProposeBatch>(&m)) {
+      // Fast-round path of the batch: every command lands in pending_ and
+      // the whole group is absorbed by one vote write / one 2b.
+      for (const Command& c : batch->commands) pending_.emplace(c.id, c);
+      drain_pending_fast();
       return;
     }
     if (const auto* p1a = std::any_cast<Msg1a<CS>>(&m)) {
@@ -938,15 +998,26 @@ class GenAcceptor final : public sim::Process {
 
 // --- learner -------------------------------------------------------------------------
 
+/// The learner role as a host-agnostic component: everything GenLearner
+/// does — vote folding, delta/resync handling, ack bookkeeping — driven
+/// through the public helpers of the process that owns it. Exists so a
+/// process combining roles (the service frontend is a proposer, a learner
+/// and a replica in one node) reuses the identical learning logic the
+/// standalone GenLearner runs, the same way paxos::FailureDetector is
+/// embedded rather than hosted.
+///
+/// Listeners registered with add_listener fire synchronously whenever
+/// learned() grows — the notification that replaced smr::Replica's timer
+/// polling, so apply latency is no longer quantized by a poll interval.
 template <cstruct::CStructT CS>
-class GenLearner final : public sim::Process {
+class LearnerCore {
  public:
-  explicit GenLearner(const Config<CS>& config)
-      : config_(config), quorums_(config.quorum_system()), learned_(config.bottom) {
-    register_wire_messages(decoders(), config.bottom);
-  }
-
-  std::string role() const override { return "learner"; }
+  LearnerCore(sim::Process& self, const Config<CS>& config)
+      : self_(self),
+        config_(config),
+        quorums_(config.quorum_system()),
+        acceptor_ids_(config.acceptors.begin(), config.acceptors.end()),
+        learned_(config.bottom) {}
 
   const CS& learned() const { return learned_; }
   /// First simulated time each command id appeared in learned().
@@ -955,14 +1026,31 @@ class GenLearner final : public sim::Process {
   /// ingest_2b prunes every round below the latest quorum-complete one.
   std::size_t tracked_vote_rounds() const { return votes_.size(); }
 
-  void on_message(sim::NodeId from, const std::any& m) override {
+  /// Invoked (synchronously, possibly several times per message) right
+  /// after learned() grew. Read learned() for the new state.
+  void add_listener(std::function<void()> listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Consume a learner message; false when `m` is not one (the owning
+  /// process handles it instead). Votes are only accepted from configured
+  /// acceptors: ingest_2b counts *distinct senders* toward quorums, so
+  /// without this check any connection that can reach the process — on a
+  /// live node, a handshake-less client connection with a synthetic id —
+  /// could forge quorum members and make the learner "learn" a value no
+  /// real quorum accepted.
+  bool handle_message(sim::NodeId from, const std::any& m) {
     if (const auto* d2b = std::any_cast<Msg2bDelta>(&m)) {
+      if (!is_acceptor(from)) return true;  // consumed, not counted
       handle_2b_delta(from, *d2b);
-      return;
+      return true;
     }
-    const auto* p2b = std::any_cast<Msg2b<CS>>(&m);
-    if (p2b == nullptr) return;
-    ingest_2b(from, p2b->b, *p2b->val);
+    if (const auto* p2b = std::any_cast<Msg2b<CS>>(&m)) {
+      if (!is_acceptor(from)) return true;
+      ingest_2b(from, p2b->b, *p2b->val);
+      return true;
+    }
+    return false;
   }
 
  private:
@@ -981,8 +1069,8 @@ class GenLearner final : public sim::Process {
       case DeltaFit::kStaleDuplicate:
         return;
       case DeltaFit::kResync:
-        sim().metrics().incr("gen.2b_resync_requests");
-        send(from, MsgResync2b{d.b});
+        self_.sim().metrics().incr("gen.2b_resync_requests");
+        self_.send(from, MsgResync2b{d.b});
         return;
       case DeltaFit::kApply:
         break;
@@ -1034,13 +1122,15 @@ class GenLearner final : public sim::Process {
   void note_new_commands() {
     const std::size_t n = learned_.size();
     if (n == acked_.size()) return;
-    sim().metrics().incr("gen.commands_learned", static_cast<std::int64_t>(n - acked_.size()));
+    self_.sim().metrics().incr("gen.commands_learned",
+                               static_cast<std::int64_t>(n - acked_.size()));
     for_each_command(learned_, [&](const Command& c) {
       if (acked_.insert(c.id).second) {
-        learn_times_[c.id] = now();
-        if (c.proposer >= 0) send(c.proposer, MsgAck{c.id});
+        learn_times_[c.id] = self_.now();
+        if (c.proposer >= 0) self_.send(c.proposer, MsgAck{c.id});
       }
     });
+    for (const auto& listener : listeners_) listener();
   }
 
   template <typename F>
@@ -1056,12 +1146,48 @@ class GenLearner final : public sim::Process {
     if (v.value()) f(*v.value());
   }
 
+  bool is_acceptor(sim::NodeId from) const {
+    if (acceptor_ids_.count(from) != 0) return true;
+    self_.sim().metrics().incr("gen.2b_from_non_acceptor");
+    return false;
+  }
+
+  sim::Process& self_;
   const Config<CS>& config_;
   paxos::QuorumSystem quorums_;
+  std::set<sim::NodeId> acceptor_ids_;
   CS learned_;
   std::map<paxos::Ballot, std::map<sim::NodeId, CS>> votes_;
   std::set<std::uint64_t> acked_;
   std::map<std::uint64_t, sim::Time> learn_times_;
+  std::vector<std::function<void()>> listeners_;
+};
+
+/// The standalone learner process: a LearnerCore and nothing else.
+template <cstruct::CStructT CS>
+class GenLearner final : public sim::Process {
+ public:
+  explicit GenLearner(const Config<CS>& config) : core_(*this, config) {
+    register_wire_messages(decoders(), config.bottom);
+  }
+
+  std::string role() const override { return "learner"; }
+
+  LearnerCore<CS>& core() { return core_; }
+  const LearnerCore<CS>& core() const { return core_; }
+
+  const CS& learned() const { return core_.learned(); }
+  const std::map<std::uint64_t, sim::Time>& learn_times() const {
+    return core_.learn_times();
+  }
+  std::size_t tracked_vote_rounds() const { return core_.tracked_vote_rounds(); }
+
+  void on_message(sim::NodeId from, const std::any& m) override {
+    core_.handle_message(from, m);
+  }
+
+ private:
+  LearnerCore<CS> core_;
 };
 
 }  // namespace mcp::genpaxos

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -172,6 +173,22 @@ class DecoderRegistry {
     add(M::kTag, M::kName, [](Reader& r) { return std::any(M::decode(r)); });
   }
 
+  /// Like add(), additionally marking the tag as accepted from *client*
+  /// connections. Live hosts drop every other tag arriving on a client
+  /// connection before dispatch: client connections carry synthetic
+  /// sender ids, so letting them inject protocol messages (1b/2b/2a...)
+  /// would fabricate quorum members at whatever role the node runs.
+  template <typename M>
+  void add_client() {
+    add<M>();
+    client_tags_.insert(M::kTag);
+  }
+
+  /// Whether a tag may arrive on a client connection.
+  bool allowed_from_clients(std::uint32_t tag) const {
+    return client_tags_.count(tag) != 0;
+  }
+
   /// Convenience for messages with `static M decode(Reader&, const Proto&)`
   /// (c-struct payloads need the ⊥ prototype).
   template <typename M, typename Proto>
@@ -190,6 +207,7 @@ class DecoderRegistry {
 
  private:
   std::map<std::uint32_t, DecodeFn> decoders_;
+  std::set<std::uint32_t> client_tags_;
 };
 
 // --- protocol data types -----------------------------------------------------

@@ -60,6 +60,15 @@ class LoopbackCluster {
 
   const ClusterOptions& options() const { return options_; }
 
+  /// The hub carrying a kThread cluster (nullptr under kTcp). Service
+  /// clients join it as extra endpoints with ids outside the node range.
+  transport::ThreadHub* hub() { return hub_.get(); }
+  /// A kTcp node's transport (nullptr under kThread) — exposes the
+  /// ephemeral listen port service clients dial.
+  transport::TcpTransport* tcp_transport(sim::NodeId id) {
+    return tcp_.empty() ? nullptr : tcp_.at(static_cast<std::size_t>(id)).get();
+  }
+
  private:
   ClusterOptions options_;
   std::unique_ptr<transport::ThreadHub> hub_;                       // kThread

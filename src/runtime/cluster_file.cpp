@@ -1,0 +1,104 @@
+#include "runtime/cluster_file.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcp::runtime {
+
+namespace {
+
+bool known_role(const std::string& role) {
+  return role == "coordinator" || role == "acceptor" || role == "learner" ||
+         role == "proposer" || role == "server";
+}
+
+}  // namespace
+
+std::vector<ClusterMember> parse_cluster_text(const std::string& text,
+                                              const std::string& origin) {
+  std::istringstream in(text);
+  std::vector<ClusterMember> members;
+  std::set<sim::NodeId> seen;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+    if (kind != "node") {
+      throw std::runtime_error(origin + ": bad cluster line: " + line);
+    }
+    ClusterMember m;
+    int port = 0;
+    if (!(ls >> m.id >> m.host >> port >> m.role) || port < 0 || port > 65535) {
+      throw std::runtime_error(origin + ": bad cluster line: " + line);
+    }
+    if (!known_role(m.role)) {
+      throw std::runtime_error(origin + ": unknown role '" + m.role +
+                               "' (coordinator|acceptor|learner|proposer|server)");
+    }
+    if (!seen.insert(m.id).second) {
+      throw std::runtime_error(origin + ": duplicate node id " +
+                               std::to_string(m.id));
+    }
+    m.port = static_cast<std::uint16_t>(port);
+    members.push_back(std::move(m));
+  }
+  if (members.empty()) {
+    throw std::runtime_error(origin + ": empty cluster file");
+  }
+  return members;
+}
+
+std::vector<ClusterMember> parse_cluster_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open cluster file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_cluster_text(text.str(), path);
+}
+
+std::vector<ClusterMember> members_with_role(const std::vector<ClusterMember>& members,
+                                             const std::string& role) {
+  std::vector<ClusterMember> out;
+  for (const ClusterMember& m : members) {
+    if (m.role == role) out.push_back(m);
+  }
+  return out;
+}
+
+ClusterRoles roles_of(const std::vector<ClusterMember>& members) {
+  ClusterRoles roles;
+  for (const ClusterMember& m : members) {
+    if (m.role == "coordinator") {
+      roles.coordinators.push_back(m.id);
+    } else if (m.role == "acceptor") {
+      roles.acceptors.push_back(m.id);
+    } else if (m.role == "learner") {
+      roles.learners.push_back(m.id);
+    } else if (m.role == "proposer") {
+      roles.proposers.push_back(m.id);
+    } else {  // "server" (parse rejects anything else)
+      roles.servers.push_back(m.id);
+      roles.learners.push_back(m.id);
+      roles.proposers.push_back(m.id);
+    }
+  }
+  return roles;
+}
+
+void require_dialable_ports(const std::vector<ClusterMember>& members) {
+  for (const ClusterMember& m : members) {
+    if (m.port == 0) {
+      throw std::runtime_error("node " + std::to_string(m.id) +
+                               " has port 0 — a real deployment needs every "
+                               "port dialable (0 is the in-process tests' "
+                               "ephemeral placeholder)");
+    }
+  }
+}
+
+}  // namespace mcp::runtime

@@ -1,0 +1,60 @@
+#pragma once
+
+// Cluster membership files: the configuration a live deployment shares
+// across its nodes (examples/mcpaxos_node, the kv client, and the service
+// acceptance tests all parse the same format).
+//
+//   node <id> <host> <port> <role>   # '#' starts a comment
+//
+// Roles: coordinator | acceptor | learner | proposer | server. A `server`
+// node hosts a service::Frontend — it is simultaneously a proposer and a
+// learner, so builders must place its id in both lists.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcp::runtime {
+
+struct ClusterMember {
+  sim::NodeId id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  std::string role;
+};
+
+/// Parse cluster-file text. Throws std::runtime_error on malformed lines,
+/// unknown roles, duplicate ids, or an empty membership.
+std::vector<ClusterMember> parse_cluster_text(const std::string& text,
+                                              const std::string& origin = "<text>");
+
+/// Parse a cluster file from disk (same validation).
+std::vector<ClusterMember> parse_cluster_file(const std::string& path);
+
+/// The members with the given role.
+std::vector<ClusterMember> members_with_role(const std::vector<ClusterMember>& members,
+                                             const std::string& role);
+
+/// Role-derived id lists — the ONE place the role → protocol-membership
+/// mapping lives, because every node of a live cluster must compute the
+/// same learner/proposer sets from the same file: a `server` id appears
+/// in `servers` AND in both `learners` and `proposers` (a frontend is
+/// simultaneously a proposer and a learner).
+struct ClusterRoles {
+  std::vector<sim::NodeId> coordinators;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> learners;
+  std::vector<sim::NodeId> proposers;
+  std::vector<sim::NodeId> servers;
+};
+ClusterRoles roles_of(const std::vector<ClusterMember>& members);
+
+/// Throw std::runtime_error unless every member has a dialable (nonzero)
+/// port. CLI entry points call this; port 0 is a placeholder only the
+/// in-process tests may use (they bind ephemerally and patch the peer
+/// tables afterwards).
+void require_dialable_ports(const std::vector<ClusterMember>& members);
+
+}  // namespace mcp::runtime

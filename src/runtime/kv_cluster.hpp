@@ -1,0 +1,133 @@
+#pragma once
+
+// Loopback KV *service* cluster: coordinators + acceptors + frontends over
+// live runtime::Nodes (thread or TCP backend), the serving twin of
+// GenHistoryCluster. Ids are laid out coordinators, acceptors, servers;
+// every server id appears in both Config::learners (the acceptors' 2b
+// fan-out) and Config::proposers. Shared by the service tests, bench_kv
+// (E12), and anything else that needs a live cluster answering
+// service::Client traffic in one process.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "paxos/round_config.hpp"
+#include "runtime/cluster.hpp"
+#include "service/client.hpp"
+#include "service/frontend.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::runtime {
+
+struct KvShape {
+  int coordinators = 1;
+  int acceptors = 3;
+  int servers = 2;
+  int f = 1;
+  int e = 0;
+  /// Liveness pacing in ticks (see NodeOptions::tick).
+  sim::Time retry_interval = 400;
+  sim::Time progress_timeout = 900;
+  bool delta_messages = true;
+  service::Frontend::Options frontend;
+};
+
+class KvServiceCluster {
+ public:
+  using History = cstruct::History;
+
+  KvServiceCluster(const KvShape& shape, ClusterOptions options) : shape_(shape) {
+    sim::NodeId next = 0;
+    std::vector<sim::NodeId> coords;
+    for (int i = 0; i < shape.coordinators; ++i) coords.push_back(next++);
+    for (int i = 0; i < shape.acceptors; ++i) config_.acceptors.push_back(next++);
+    for (int i = 0; i < shape.servers; ++i) {
+      server_ids_.push_back(next);
+      config_.learners.push_back(next);
+      config_.proposers.push_back(next);
+      ++next;
+    }
+    policy_ = shape.coordinators > 1
+                  ? paxos::PatternPolicy::multi_then_single(coords)
+                  : paxos::PatternPolicy::always_single(coords);
+    config_.policy = policy_.get();
+    config_.f = shape.f;
+    config_.e = shape.e;
+    config_.bottom = History(&conflicts_);
+    config_.retry_interval = shape.retry_interval;
+    config_.progress_timeout = shape.progress_timeout;
+    config_.delta_messages = shape.delta_messages;
+
+    options.node_count = static_cast<std::size_t>(next);
+    cluster_ = std::make_unique<LoopbackCluster>(options);
+    sim::NodeId id = 0;
+    for (int i = 0; i < shape.coordinators; ++i) {
+      cluster_->make_process<genpaxos::GenCoordinator<History>>(id++, config_);
+    }
+    for (int i = 0; i < shape.acceptors; ++i) {
+      cluster_->make_process<genpaxos::GenAcceptor<History>>(id++, config_);
+    }
+    for (int i = 0; i < shape.servers; ++i) {
+      frontends_.push_back(
+          &cluster_->make_process<service::Frontend>(id++, config_, shape.frontend));
+    }
+  }
+
+  LoopbackCluster& cluster() { return *cluster_; }
+  const genpaxos::Config<History>& config() const { return config_; }
+  const KvShape& shape() const { return shape_; }
+  const std::vector<sim::NodeId>& server_ids() const { return server_ids_; }
+
+  service::Frontend& frontend(int i = 0) { return *frontends_.at(i); }
+  Node& server_node(int i = 0) { return cluster_->node(server_ids_.at(i)); }
+
+  void start() { cluster_->start(); }
+  void stop() { cluster_->stop(); }
+
+  /// A client channel matching the cluster's backend: a fresh ThreadHub
+  /// endpoint (thread; `client_id` must be unique per client and outside
+  /// the node id range — use client_endpoint_id()) or a TCP channel with
+  /// every server's loopback address (tcp; `client_id` unused).
+  std::unique_ptr<service::ClientChannel> make_channel(sim::NodeId client_id) {
+    if (auto* hub = cluster_->hub()) {
+      return std::make_unique<service::HubClientChannel>(*hub, client_id);
+    }
+    std::map<sim::NodeId, service::ServerAddr> servers;
+    for (const sim::NodeId id : server_ids_) {
+      auto* tcp = cluster_->tcp_transport(id);
+      servers[id] = {cluster_->options().host, tcp->listen_port()};
+    }
+    return std::make_unique<service::TcpClientChannel>(std::move(servers));
+  }
+
+  /// A hub endpoint id guaranteed clear of the cluster's node ids.
+  sim::NodeId client_endpoint_id(int i) const {
+    return static_cast<sim::NodeId>(1000 + i);
+  }
+
+  /// Thread-safe snapshots off the node loops.
+  smr::KVStore store_snapshot(int i) {
+    auto* f = frontends_.at(i);
+    return server_node(i).call([&] { return f->store(); });
+  }
+  History learned_snapshot(int i) {
+    auto* f = frontends_.at(i);
+    return server_node(i).call([&] { return f->learned(); });
+  }
+
+ private:
+  KvShape shape_;
+  cstruct::KeyConflict conflicts_;
+  std::unique_ptr<paxos::RoundPolicy> policy_;
+  genpaxos::Config<History> config_;
+  std::vector<sim::NodeId> server_ids_;
+  // Declared after config_/policy_: nodes (whose processes reference both)
+  // must be destroyed first.
+  std::unique_ptr<LoopbackCluster> cluster_;
+  std::vector<service::Frontend*> frontends_;
+};
+
+}  // namespace mcp::runtime

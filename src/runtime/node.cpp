@@ -4,6 +4,7 @@
 #include <string>
 
 #include "paxos/wire.hpp"
+#include "transport/tcp_transport.hpp"
 
 namespace mcp::runtime {
 
@@ -172,6 +173,16 @@ void Node::deliver(transport::PeerId from, const std::string& frame) {
   std::any msg;
   try {
     const wire::Envelope env = wire::Envelope::decode(frame);
+    if (transport::TcpTransport::is_client_conn(from) &&
+        !process_->decoders().allowed_from_clients(env.tag)) {
+      // A client connection (synthetic sender id) may only deliver the
+      // tags explicitly marked for clients. Anything else is an injection
+      // attempt: protocol handlers count distinct sender ids toward
+      // quorums, so an unchecked connection could forge 1b/2b quorum
+      // members at whatever role this node runs.
+      metrics_.incr("net.client_rejected");
+      return;
+    }
     msg = process_->decoders().decode(env);
   } catch (const std::exception&) {
     // Malformed body or unknown tag: a garbage frame must not kill a live

@@ -1,0 +1,236 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <random>
+#include <utility>
+
+#include "transport/socket_util.hpp"
+
+namespace mcp::service {
+
+// --- TcpClientChannel --------------------------------------------------------
+
+TcpClientChannel::TcpClientChannel(std::map<sim::NodeId, ServerAddr> servers,
+                                   std::chrono::milliseconds dial_timeout)
+    : servers_(std::move(servers)), dial_timeout_(dial_timeout) {}
+
+TcpClientChannel::~TcpClientChannel() { close(); }
+
+bool TcpClientChannel::connect(sim::NodeId server) {
+  close();
+  const auto it = servers_.find(server);
+  if (it == servers_.end()) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second.port);
+  if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1 ||
+      !transport::connect_with_timeout(fd, addr, dial_timeout_)) {
+    ::close(fd);
+    return false;
+  }
+  transport::set_nodelay(fd);
+  // Writes share the dial budget: SO_SNDTIMEO bounds each blocking send,
+  // the send_all deadline bounds their sum — a server that accepts but
+  // never drains cannot hold an op past it (attempt_timeout only covers
+  // the recv side).
+  transport::set_send_timeout(fd, dial_timeout_);
+  fd_ = fd;
+  frames_ = transport::FrameBuffer(frames_.max_frame());
+  return true;
+}
+
+bool TcpClientChannel::send(std::string_view payload) {
+  if (fd_ < 0) return false;
+  if (!transport::send_all(fd_, transport::frame(payload),
+                           std::chrono::steady_clock::now() + 4 * dial_timeout_)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> TcpClientChannel::recv(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  char chunk[16 << 10];
+  while (true) {
+    try {
+      if (auto payload = frames_.next()) return payload;
+    } catch (const transport::FramingError&) {
+      close();  // stream unrecoverable; the next op reconnects
+      return std::nullopt;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return std::nullopt;  // timeout or poll error
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0 || (n < 0 && errno != EINTR)) {
+      close();  // server went away; caller reconnects and retries
+      return std::nullopt;
+    }
+    if (n > 0) frames_.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+void TcpClientChannel::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+// --- HubClientChannel --------------------------------------------------------
+
+HubClientChannel::HubClientChannel(transport::ThreadHub& hub, sim::NodeId self)
+    : endpoint_(hub.endpoint(self)) {
+  endpoint_.start([this](transport::PeerId, std::string payload) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      replies_.push_back(std::move(payload));
+    }
+    cv_.notify_one();
+  });
+}
+
+HubClientChannel::~HubClientChannel() { close(); }
+
+bool HubClientChannel::connect(sim::NodeId server) {
+  server_ = server;
+  return true;
+}
+
+bool HubClientChannel::send(std::string_view payload) {
+  if (server_ == sim::kNoNode) return false;
+  return endpoint_.send(server_, payload);
+}
+
+std::optional<std::string> HubClientChannel::recv(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !replies_.empty(); })) {
+    return std::nullopt;
+  }
+  std::string payload = std::move(replies_.front());
+  replies_.pop_front();
+  return payload;
+}
+
+void HubClientChannel::close() { endpoint_.stop(); }
+
+// --- Client ------------------------------------------------------------------
+
+Client::Client(std::unique_ptr<ClientChannel> channel, Options options)
+    : channel_(std::move(channel)), options_(std::move(options)) {
+  if (options_.client_id == 0) {
+    std::random_device rd;
+    options_.client_id =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+    if (options_.client_id == 0) options_.client_id = 1;
+  }
+  // Seqs start above any previous process's: a reused --client-id would
+  // otherwise restart at 1 and collide with the server session's cached
+  // positions — a new op at the cached seq would be answered from the old
+  // run's reply and its write silently never proposed. Wall-clock
+  // nanoseconds as the base: a later invocation starts above an earlier
+  // one's reach unless the earlier one sustained over one op per
+  // nanosecond of gap (impossible), and even back-to-back scripted
+  // invocations are far more than a nanosecond apart. (A wall clock
+  // stepped backwards between invocations can re-collide; dedup within
+  // one process never relies on the clock.)
+  seq_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Client::Result Client::put(std::string key, std::string value) {
+  return call(cstruct::OpType::kWrite, std::move(key), std::move(value));
+}
+
+Client::Result Client::get(std::string key) {
+  return call(cstruct::OpType::kRead, std::move(key), std::string());
+}
+
+void Client::rotate_server() {
+  if (options_.servers.empty()) return;
+  server_index_ = (server_index_ + 1) % options_.servers.size();
+  connected_ = false;
+}
+
+Client::Result Client::call(cstruct::OpType op, std::string key, std::string value) {
+  if (options_.servers.empty()) return {};
+  MsgClientRequest req;
+  req.client_id = options_.client_id;
+  req.seq = ++seq_;
+  req.op = op;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  const std::string payload = wire::make_envelope(req).encode();
+
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (!connected_) {
+      connected_ = channel_->connect(options_.servers[server_index_]);
+      if (!connected_) {
+        rotate_server();
+        continue;
+      }
+    }
+    if (!channel_->send(payload)) {
+      rotate_server();
+      continue;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.attempt_timeout;
+    while (true) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) break;  // attempt over: retransmit
+      auto frame = channel_->recv(remaining);
+      if (!frame) break;
+      MsgClientReply reply;
+      try {
+        const wire::Envelope env = wire::Envelope::decode(*frame);
+        if (env.tag != MsgClientReply::kTag) continue;
+        wire::Reader r(env.body);
+        reply = MsgClientReply::decode(r);
+      } catch (const std::exception&) {
+        continue;  // not a (well-formed) reply; keep listening
+      }
+      if (reply.client_id != options_.client_id || reply.seq != seq_) {
+        continue;  // late reply to an earlier attempt/op
+      }
+      if (reply.status == ReplyStatus::kRedirect) {
+        ++redirects_;
+        const auto it = std::find(options_.servers.begin(), options_.servers.end(),
+                                  reply.redirect);
+        if (it != options_.servers.end()) {
+          server_index_ =
+              static_cast<std::size_t>(it - options_.servers.begin());
+          connected_ = false;
+        } else {
+          rotate_server();
+        }
+        break;  // resend to the new server (costs an attempt)
+      }
+      Result result;
+      result.ok = true;
+      result.found = reply.found;
+      result.value = reply.value;
+      return result;
+    }
+  }
+  return {};
+}
+
+}  // namespace mcp::service

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cstruct/command.hpp"
+#include "service/messages.hpp"
+#include "transport/frame.hpp"
+#include "transport/thread_transport.hpp"
+
+namespace mcp::service {
+
+/// One client's connection substrate: ships wire::Envelope payloads to the
+/// currently connected server and hands back reply payloads. Channels are
+/// deliberately dumb — retry, dedup and redirect logic live in Client, so
+/// a test channel can sit in between and inject loss or duplication.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// (Re)connect to `server`; false when the server is unknown/unreachable.
+  virtual bool connect(sim::NodeId server) = 0;
+  /// Ship one payload to the connected server (framing is the channel's
+  /// business). False = connection is broken; caller reconnects.
+  virtual bool send(std::string_view payload) = 0;
+  /// Next reply payload, or nullopt when `timeout` passes first.
+  virtual std::optional<std::string> recv(std::chrono::milliseconds timeout) = 0;
+  virtual void close() = 0;
+};
+
+/// Where a server listens (TCP channel).
+struct ServerAddr {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Client connection over a real TCP socket: varint-framed envelopes, no
+/// peer handshake — the transport recognizes the connection as a client by
+/// exactly that absence (see TcpTransport). One socket at a time; connect()
+/// to another server drops the old one.
+class TcpClientChannel final : public ClientChannel {
+ public:
+  explicit TcpClientChannel(std::map<sim::NodeId, ServerAddr> servers,
+                            std::chrono::milliseconds dial_timeout =
+                                std::chrono::milliseconds(250));
+  ~TcpClientChannel() override;
+
+  TcpClientChannel(const TcpClientChannel&) = delete;
+  TcpClientChannel& operator=(const TcpClientChannel&) = delete;
+
+  bool connect(sim::NodeId server) override;
+  bool send(std::string_view payload) override;
+  std::optional<std::string> recv(std::chrono::milliseconds timeout) override;
+  void close() override;
+
+ private:
+  std::map<sim::NodeId, ServerAddr> servers_;
+  std::chrono::milliseconds dial_timeout_;
+  int fd_ = -1;
+  transport::FrameBuffer frames_;
+};
+
+/// Client connection over an in-process ThreadHub: the client occupies a
+/// hub endpoint of its own (its id must not collide with any cluster
+/// node's), so frontend replies to that id land in this channel's queue.
+class HubClientChannel final : public ClientChannel {
+ public:
+  HubClientChannel(transport::ThreadHub& hub, sim::NodeId self);
+  ~HubClientChannel() override;
+
+  bool connect(sim::NodeId server) override;
+  bool send(std::string_view payload) override;
+  std::optional<std::string> recv(std::chrono::milliseconds timeout) override;
+  void close() override;
+
+ private:
+  transport::Transport& endpoint_;
+  sim::NodeId server_ = sim::kNoNode;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> replies_;
+};
+
+/// Synchronous KV client: put/get with session-sequenced requests,
+/// timeout-driven retransmission and redirect handling. One outstanding
+/// operation at a time (the session dedup contract assumes it); not
+/// thread-safe — give each client thread its own Client.
+class Client {
+ public:
+  struct Options {
+    /// Session identity; 0 picks a random one. Stable across reconnects.
+    std::uint64_t client_id = 0;
+    /// Servers to try, in rotation order (ids the channel understands).
+    std::vector<sim::NodeId> servers;
+    /// How long one attempt waits for a reply before retransmitting.
+    std::chrono::milliseconds attempt_timeout{250};
+    /// Attempts (first send included) before an op fails.
+    int max_attempts = 40;
+  };
+
+  struct Result {
+    bool ok = false;     ///< a reply arrived within the attempt budget
+    bool found = false;  ///< reads: key existed; writes: always true
+    std::string value;
+  };
+
+  Client(std::unique_ptr<ClientChannel> channel, Options options);
+
+  Result put(std::string key, std::string value);
+  Result get(std::string key);
+
+  std::uint64_t client_id() const { return options_.client_id; }
+  std::uint64_t seq() const { return seq_; }
+  /// Retransmissions beyond each op's first send.
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t redirects_followed() const { return redirects_; }
+
+ private:
+  Result call(cstruct::OpType op, std::string key, std::string value);
+  void rotate_server();
+
+  std::unique_ptr<ClientChannel> channel_;
+  Options options_;
+  std::size_t server_index_ = 0;
+  bool connected_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t redirects_ = 0;
+};
+
+}  // namespace mcp::service

@@ -1,0 +1,215 @@
+#include "service/frontend.hpp"
+
+#include <utility>
+
+namespace mcp::service {
+
+Frontend::Frontend(const genpaxos::Config<cstruct::History>& config)
+    : Frontend(config, Options()) {}
+
+Frontend::Frontend(const genpaxos::Config<cstruct::History>& config, Options options)
+    : config_(config), options_(options), core_(*this, config), replica_(core_) {
+  genpaxos::register_wire_messages(decoders(), config.bottom);
+  register_client_messages(decoders());
+  replica_.set_apply_listener(
+      [this](const cstruct::Command& c, const smr::KVStore::Result& r) {
+        on_applied(c, r);
+      });
+}
+
+void Frontend::on_message(sim::NodeId from, const std::any& m) {
+  // The learner half first: 2b/2b-delta traffic feeds the core, which
+  // applies through the replica and — via on_applied — answers clients.
+  if (core_.handle_message(from, m)) return;
+  if (const auto* req = std::any_cast<MsgClientRequest>(&m)) {
+    handle_request(from, *req);
+    return;
+  }
+  // MsgAck and friends: the session table, not acks, tracks completion.
+}
+
+void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
+  ++requests_received_;
+  sim().metrics().incr("svc.requests");
+  if (options_.redirect_to != sim::kNoNode) {
+    MsgClientReply reply;
+    reply.client_id = req.client_id;
+    reply.seq = req.seq;
+    reply.status = ReplyStatus::kRedirect;
+    reply.redirect = options_.redirect_to;
+    send(from, reply);
+    sim().metrics().incr("svc.redirects");
+    return;
+  }
+
+  Session& session = touch_session(req.client_id);
+  if (req.seq != 0 && req.seq == session.completed_seq) {
+    // Retry of the last completed op: its reply was lost. Answer from the
+    // cache — the command must not reach consensus a second time.
+    ++duplicates_dropped_;
+    sim().metrics().incr("svc.duplicates");
+    send(from, session.last_reply);
+    ++replies_sent_;
+    return;
+  }
+  if (req.seq < session.completed_seq) {
+    // Older than anything we still cache: the client has since accepted
+    // replies for later ops, so it cannot be waiting on this one.
+    ++duplicates_dropped_;
+    sim().metrics().incr("svc.duplicates");
+    return;
+  }
+  if (const auto it = session.inflight.find(req.seq); it != session.inflight.end()) {
+    // Retry of an op already proposed and not yet applied: keep consensus
+    // untouched, but refresh the reply route — the client may have
+    // reconnected on a new connection.
+    ++duplicates_dropped_;
+    sim().metrics().incr("svc.duplicates");
+    if (const auto p = pending_.find(it->second); p != pending_.end()) {
+      p->second.conn = from;
+    }
+    return;
+  }
+
+  Pending pending;
+  pending.client_id = req.client_id;
+  pending.seq = req.seq;
+  pending.conn = from;
+  pending.command.id = session_command_id(req.client_id, req.seq);
+  // Replies flow through the session table, not learner MsgAck traffic.
+  pending.command.proposer = sim::kNoNode;
+  pending.command.type = req.op;
+  pending.command.key = req.key;
+  pending.command.value = req.value;
+
+  if (core_.learned().contains(pending.command)) {
+    // The command is already chosen — a retry after failover or a redirect
+    // landed here while another frontend proposed it (the deterministic
+    // command id made the two proposals one). The apply-time result is
+    // gone, so serve from the current store: the client has accepted no
+    // reply for this op yet, so "applied now" is a valid completion.
+    smr::KVStore::Result result{true, pending.command.value};
+    if (req.op == cstruct::OpType::kRead) {
+      const auto& data = replica_.store().data();
+      const auto it = data.find(req.key);
+      result.found = it != data.end();
+      result.value = result.found ? it->second : std::string();
+    }
+    complete(std::move(pending), result);
+    return;
+  }
+
+  session.inflight.emplace(req.seq, pending.command.id);
+  batch_.push_back(pending.command.id);
+  pending_.emplace(pending.command.id, std::move(pending));
+
+  if (batch_.size() >= options_.batch_size || options_.batch_delay <= 0) {
+    flush();
+  } else if (flush_timer_ < 0) {
+    flush_timer_ = set_timer(options_.batch_delay, kFlushToken);
+  }
+}
+
+Frontend::Session& Frontend::touch_session(std::uint64_t client_id) {
+  Session& session = sessions_[client_id];
+  session.last_touched = ++session_clock_;
+  if (sessions_.size() > options_.max_sessions) {
+    // Evict the least-recently-used idle session (never one with ops in
+    // flight — pending_ routes replies through it). One eviction per
+    // insertion keeps the map at the cap with O(n) scan cost only on the
+    // requests that grow it.
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->first == client_id || !it->second.inflight.empty()) continue;
+      if (victim == sessions_.end() ||
+          it->second.last_touched < victim->second.last_touched) {
+        victim = it;
+      }
+    }
+    if (victim != sessions_.end()) {
+      sessions_.erase(victim);
+      sim().metrics().incr("svc.sessions_evicted");
+    }
+  }
+  return sessions_[client_id];
+}
+
+void Frontend::on_timer(int token) {
+  if (token == kFlushToken) {
+    flush_timer_ = -1;
+    flush();
+    return;
+  }
+  if (token != kRetryToken) return;
+  retry_armed_ = false;
+  if (pending_.empty()) return;
+  // Liveness: re-propose everything not yet learned, as one batch. The
+  // coordinator treats a fully-contained batch as a retransmission request.
+  std::vector<cstruct::Command> cmds;
+  cmds.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) cmds.push_back(p.command);
+  propose_batch(cmds);
+  sim().metrics().incr("svc.retries");
+  retry_armed_ = true;
+  set_timer(options_.retry_interval, kRetryToken);
+}
+
+void Frontend::flush() {
+  if (flush_timer_ >= 0) {
+    cancel_timer(flush_timer_);
+    flush_timer_ = -1;
+  }
+  if (batch_.empty()) return;
+  std::vector<cstruct::Command> cmds;
+  cmds.reserve(batch_.size());
+  for (const std::uint64_t id : batch_) {
+    if (const auto it = pending_.find(id); it != pending_.end()) {
+      cmds.push_back(it->second.command);
+    }
+  }
+  batch_.clear();
+  if (cmds.empty()) return;
+  propose_batch(cmds);
+  ++batches_flushed_;
+  sim().metrics().incr("svc.batches");
+  sim().metrics().incr("svc.batched_commands", static_cast<std::int64_t>(cmds.size()));
+  if (!retry_armed_) {
+    retry_armed_ = true;
+    set_timer(options_.retry_interval, kRetryToken);
+  }
+}
+
+void Frontend::propose_batch(const std::vector<cstruct::Command>& cmds) {
+  const genpaxos::MsgProposeBatch batch{cmds};
+  multicast(config_.policy->all_coordinators(), batch);
+  multicast(config_.acceptors, batch);  // fast-round path
+}
+
+void Frontend::on_applied(const cstruct::Command& c, const smr::KVStore::Result& result) {
+  const auto it = pending_.find(c.id);
+  if (it == pending_.end()) return;  // another frontend's client, or internal
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  complete(std::move(pending), result);
+}
+
+void Frontend::complete(Pending pending, const smr::KVStore::Result& result) {
+  Session& session = sessions_[pending.client_id];
+  session.inflight.erase(pending.seq);
+
+  MsgClientReply reply;
+  reply.client_id = pending.client_id;
+  reply.seq = pending.seq;
+  reply.status = ReplyStatus::kOk;
+  reply.found = result.found;
+  reply.value = result.value;
+  if (pending.seq > session.completed_seq) {
+    session.completed_seq = pending.seq;
+    session.last_reply = reply;
+  }
+  send(pending.conn, reply);
+  ++replies_sent_;
+  sim().metrics().incr("svc.replies");
+}
+
+}  // namespace mcp::service

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "service/messages.hpp"
+#include "sim/process.hpp"
+#include "smr/replica.hpp"
+
+namespace mcp::service {
+
+/// The serving process of a KV cluster: one node that is simultaneously a
+/// proposer (it turns client requests into consensus commands), a learner
+/// (an embedded genpaxos::LearnerCore receives the acceptors' 2b stream —
+/// the frontend's id must be in Config::learners), and a replica (an
+/// embedded smr::Replica applies the learned history and produces each
+/// command's state-machine result). Client traffic arrives as
+/// MsgClientRequest on dedicated client connections; the reply goes out
+/// the moment the replica applies the command, carrying the read result
+/// observed at the command's place in the learned linearization.
+///
+/// Sessions give at-most-once semantics on retry: requests are dedup'd by
+/// (client id, seq) — an in-flight duplicate only refreshes the reply
+/// route, a completed duplicate is answered from the cached reply, and the
+/// consensus command id is a deterministic function of the pair
+/// (session_command_id) so even a retry that lands on a *different*
+/// frontend cannot double-apply.
+///
+/// Batching: requests accumulate for at most `batch_delay` ticks (or until
+/// `batch_size` of them are pending) and are proposed as one
+/// MsgProposeBatch, which a classic-round coordinator folds into a single
+/// delta 2a — the flush window amortizes the per-command 2a/2b cost.
+class Frontend final : public sim::Process {
+ public:
+  struct Options {
+    /// Flush the pending batch once it holds this many commands...
+    std::size_t batch_size = 16;
+    /// ...or once the oldest pending command is this many ticks old.
+    /// 0 proposes every request immediately (batching off).
+    sim::Time batch_delay = 2;
+    /// Re-propose commands not yet learned (lossy links, coordinator
+    /// changeover) at this pace — the same liveness rule GenProposer uses.
+    sim::Time retry_interval = 400;
+    /// Standby mode: bounce every client to this server instead of
+    /// serving. Exercises the client's redirect handling.
+    sim::NodeId redirect_to = sim::kNoNode;
+    /// Upper bound on retained sessions; the least-recently-used session
+    /// with nothing in flight is evicted past it, so a long-lived server
+    /// holds O(max_sessions) state however many one-shot clients it
+    /// serves. Safe: a retry from an evicted session proposes the same
+    /// deterministic command id, which the learned c-struct already
+    /// contains, so it completes from the store instead of re-applying.
+    std::size_t max_sessions = 4096;
+  };
+
+  // Two overloads instead of `Options options = {}`: a default argument
+  // here may not use Options' member initializers (they are only usable
+  // once the enclosing class is complete).
+  explicit Frontend(const genpaxos::Config<cstruct::History>& config);
+  Frontend(const genpaxos::Config<cstruct::History>& config, Options options);
+
+  std::string role() const override { return "server"; }
+
+  void on_timer(int token) override;
+  void on_message(sim::NodeId from, const std::any& m) override;
+
+  // --- state inspection (run on the hosting node's loop) ---------------------
+  const smr::KVStore& store() const { return replica_.store(); }
+  const cstruct::History& learned() const { return core_.learned(); }
+  std::size_t applied() const { return replica_.applied(); }
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::uint64_t requests_received() const { return requests_received_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t batches_flushed() const { return batches_flushed_; }
+  std::uint64_t replies_sent() const { return replies_sent_; }
+
+ private:
+  static constexpr int kFlushToken = 10;
+  static constexpr int kRetryToken = 11;
+
+  /// One client command between arrival and application.
+  struct Pending {
+    std::uint64_t client_id = 0;
+    std::uint64_t seq = 0;
+    sim::NodeId conn = sim::kNoNode;  ///< where the reply goes (latest route)
+    cstruct::Command command;
+  };
+
+  /// Per-client dedup state. `completed_seq` is the highest seq already
+  /// applied and replied to; its reply is cached so a retry whose reply was
+  /// lost is answered without touching consensus. Lower seqs need no
+  /// cache: the synchronous client never retries an op after it accepted a
+  /// reply for a later one.
+  struct Session {
+    std::uint64_t completed_seq = 0;  // seqs are nonzero; 0 = none completed
+    MsgClientReply last_reply;
+    std::map<std::uint64_t, std::uint64_t> inflight;  // seq -> command id
+    std::uint64_t last_touched = 0;  ///< LRU stamp for eviction
+  };
+
+  void handle_request(sim::NodeId from, const MsgClientRequest& req);
+  Session& touch_session(std::uint64_t client_id);
+  void flush();
+  void propose_batch(const std::vector<cstruct::Command>& cmds);
+  void on_applied(const cstruct::Command& c, const smr::KVStore::Result& result);
+  void complete(Pending pending, const smr::KVStore::Result& result);
+
+  const genpaxos::Config<cstruct::History>& config_;
+  Options options_;
+  genpaxos::LearnerCore<cstruct::History> core_;
+  smr::Replica replica_;  // embedded, never hosted: driven purely by core_
+
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t session_clock_ = 0;  // advances per request, stamps LRU
+  std::map<std::uint64_t, Pending> pending_;  // command id -> op
+  std::vector<std::uint64_t> batch_;          // command ids awaiting flush
+  int flush_timer_ = -1;                      // -1 = not armed
+  bool retry_armed_ = false;
+
+  std::uint64_t requests_received_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t batches_flushed_ = 0;
+  std::uint64_t replies_sent_ = 0;
+};
+
+}  // namespace mcp::service

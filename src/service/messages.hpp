@@ -1,0 +1,123 @@
+#pragma once
+
+// Client-facing wire protocol of the KV service layer. Client connections
+// carry the same varint framing and wire::Envelope encoding the peer
+// protocol uses, but a disjoint message set: a request names a session
+// position (client id + per-client sequence number) and an operation; the
+// reply echoes the position so a client can match retransmitted requests to
+// late replies. See docs/ARCHITECTURE.md §5 for the session rules.
+
+#include <cstdint>
+#include <string>
+
+#include "cstruct/command.hpp"
+#include "paxos/wire.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::service {
+
+/// One client operation. `client_id` identifies the session (chosen by the
+/// client, stable across reconnects and server failover); `seq` strictly
+/// increases per operation (service::Client starts each process above any
+/// earlier process's reach, so a reused client id cannot collide with the
+/// server's cached positions), and a retransmission reuses the seq of the
+/// operation it retries — that pair is the at-most-once dedup key.
+struct MsgClientRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  cstruct::OpType op = cstruct::OpType::kWrite;
+  std::string key;
+  std::string value;
+
+  static constexpr std::uint32_t kTag = 120;
+  static constexpr const char* kName = "svc.request";
+  void encode(wire::Writer& w) const {
+    w.put_varint(client_id);
+    w.put_varint(seq);
+    w.put_u8(op == cstruct::OpType::kWrite ? 1 : 0);
+    w.put_bytes(key);
+    w.put_bytes(value);
+  }
+  static MsgClientRequest decode(wire::Reader& r) {
+    MsgClientRequest out;
+    out.client_id = r.get_varint();
+    out.seq = r.get_varint();
+    const std::uint8_t op = r.get_u8();
+    if (op > 1) throw std::invalid_argument("svc.request: bad op byte");
+    out.op = op == 1 ? cstruct::OpType::kWrite : cstruct::OpType::kRead;
+    out.key = std::string(r.get_bytes());
+    out.value = std::string(r.get_bytes());
+    return out;
+  }
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,        ///< operation applied; found/value carry the read result
+  kRedirect = 1,  ///< not serving; retry against `redirect`
+};
+
+struct MsgClientReply {
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  /// Read results (kOk): whether the key existed and its value at the point
+  /// the command was applied. Writes report found=true and the stored value.
+  bool found = false;
+  std::string value;
+  /// kRedirect: the server the client should talk to instead.
+  sim::NodeId redirect = sim::kNoNode;
+
+  static constexpr std::uint32_t kTag = 121;
+  static constexpr const char* kName = "svc.reply";
+  void encode(wire::Writer& w) const {
+    w.put_varint(client_id);
+    w.put_varint(seq);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    wire::put_flag(w, found);
+    w.put_bytes(value);
+    w.put_signed(redirect);
+  }
+  static MsgClientReply decode(wire::Reader& r) {
+    MsgClientReply out;
+    out.client_id = r.get_varint();
+    out.seq = r.get_varint();
+    const std::uint8_t status = r.get_u8();
+    if (status > 1) throw std::invalid_argument("svc.reply: bad status byte");
+    out.status = static_cast<ReplyStatus>(status);
+    out.found = wire::get_flag(r);
+    out.value = std::string(r.get_bytes());
+    out.redirect = static_cast<sim::NodeId>(r.get_signed());
+    return out;
+  }
+};
+
+/// Both directions of the client protocol; servers register it next to the
+/// peer message set, clients alone (they only ever decode replies, but
+/// registering the pair also names both byte counters). Requests are
+/// marked client-allowed: on a live node they are the ONLY tag a client
+/// connection may deliver — everything else (1b/2b/2a...) is dropped
+/// before dispatch, because a synthetic connection id counted as a quorum
+/// member would let any connecting socket forge protocol state.
+inline void register_client_messages(wire::DecoderRegistry& reg) {
+  reg.add_client<MsgClientRequest>();
+  reg.add<MsgClientReply>();
+}
+
+/// The consensus command id of a session position. Deterministic in
+/// (client_id, seq) so a retry that reaches a *different* frontend (after
+/// failover or a redirect) proposes the same command id, and the c-struct's
+/// set semantics — append() is a no-op on a contained command — make the
+/// second proposal harmless: at-most-once holds across servers without
+/// shared session state. splitmix64 over the pair keeps accidental
+/// collisions with other sessions' ids at birthday-bound improbability.
+inline std::uint64_t session_command_id(std::uint64_t client_id, std::uint64_t seq) {
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  };
+  return mix(mix(client_id) ^ seq);
+}
+
+}  // namespace mcp::service

@@ -1,0 +1,121 @@
+#pragma once
+
+// Closed-loop KV client for the simulator: the discrete-event twin of
+// service::Client. One outstanding operation at a time, retransmitted on a
+// timer until its reply arrives (the frontend's session dedup absorbs the
+// duplicates), redirects followed. Used by the sim rows of bench_kv (E12)
+// and by the deterministic service tests, where the simulated network's
+// loss/duplication injection exercises exactly the retry paths a lossy
+// datacenter would.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/messages.hpp"
+#include "sim/process.hpp"
+#include "util/strings.hpp"
+
+namespace mcp::service {
+
+class SimClient final : public sim::Process {
+ public:
+  struct Options {
+    std::uint64_t client_id = 1;
+    sim::NodeId server = 0;      ///< frontend to talk to
+    std::size_t ops = 10;
+    double read_fraction = 0.25;
+    /// Keys cycle through `keys` slots under this prefix, so different
+    /// clients writing the same prefix conflict and get ordered.
+    std::string key_prefix = "k";
+    std::size_t keys = 8;
+    sim::Time retry_interval = 300;
+  };
+
+  explicit SimClient(Options options) : options_(options) {
+    register_client_messages(decoders());
+  }
+
+  std::string role() const override { return "client"; }
+
+  void on_start() override {
+    if (options_.ops > 0) send_current();
+  }
+
+  void on_timer(int token) override {
+    if (token != kRetryToken || done()) return;
+    ++retries_;
+    send_current();
+  }
+
+  void on_message(sim::NodeId, const std::any& m) override {
+    const auto* reply = std::any_cast<MsgClientReply>(&m);
+    if (reply == nullptr || done()) return;
+    if (reply->client_id != options_.client_id || reply->seq != seq_) return;
+    if (reply->status == ReplyStatus::kRedirect) {
+      options_.server = reply->redirect;
+      ++redirects_;
+      send_current();  // same seq, new server
+      return;
+    }
+    cancel_retry();
+    latencies_.push_back(now() - sent_at_);
+    ++completed_;
+    if (!done()) send_current();
+  }
+
+  bool done() const { return completed_ >= options_.ops; }
+  std::size_t completed() const { return completed_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t redirects() const { return redirects_; }
+  /// Per-op request→reply times, in ticks.
+  const std::vector<sim::Time>& latencies() const { return latencies_; }
+
+ private:
+  static constexpr int kRetryToken = 20;
+
+  void send_current() {
+    if (seq_ != completed_ + 1) {
+      // First send of the next op (retries keep the current seq).
+      seq_ = completed_ + 1;
+      sent_at_ = now();
+    }
+    MsgClientRequest req;
+    req.client_id = options_.client_id;
+    req.seq = seq_;
+    const std::uint64_t n = seq_ - 1;
+    // Derived from (client, seq), NOT rolled from the RNG: a
+    // retransmission must carry the op it retries — re-rolling could turn
+    // a lost write into a read under the same session position, and the
+    // frontend would dedup the late write against the committed read.
+    const bool read =
+        options_.read_fraction > 0 &&
+        static_cast<double>(session_command_id(options_.client_id, seq_) % 1000) <
+            options_.read_fraction * 1000.0;
+    req.op = read ? cstruct::OpType::kRead : cstruct::OpType::kWrite;
+    req.key = options_.key_prefix;
+    req.key += std::to_string(n % options_.keys);
+    req.value = util::concat("v", options_.client_id);
+    req.value += '.';
+    req.value += std::to_string(n);
+    send(options_.server, req);
+    cancel_retry();
+    retry_timer_ = set_timer(options_.retry_interval, kRetryToken);
+  }
+
+  void cancel_retry() {
+    if (retry_timer_ >= 0) cancel_timer(retry_timer_);
+    retry_timer_ = -1;
+  }
+
+  Options options_;
+  std::uint64_t seq_ = 0;  ///< seq of the op in flight (completed_ + 1)
+  sim::Time sent_at_ = 0;
+  int retry_timer_ = -1;
+  std::size_t completed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t redirects_ = 0;
+  std::vector<sim::Time> latencies_;
+};
+
+}  // namespace mcp::service

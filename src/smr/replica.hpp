@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cstruct/history.hpp"
@@ -19,29 +20,59 @@ namespace mcp::smr {
 /// keeps the previous linearization as a literal prefix, so applying the
 /// new suffix in order is a valid execution; replicas applying equivalent
 /// histories converge to the same state.
+///
+/// Application is notification-driven: the replica subscribes to the
+/// LearnerCore's learned-growth listener at construction and applies the
+/// new suffix the instant it is learned — no poll timer, so apply (and
+/// client reply) latency is not quantized by a poll interval. The same
+/// class serves both hosts: under the simulator it is registered as a
+/// process of its own next to a GenLearner; inside a live runtime::Node it
+/// is embedded by the service frontend, which owns the LearnerCore (the
+/// replica never uses host facilities, so it needs no binding of its own).
 class Replica final : public sim::Process {
  public:
-  Replica(const genpaxos::GenLearner<cstruct::History>& learner, sim::Time poll_interval)
-      : learner_(learner), poll_interval_(poll_interval) {}
+  /// Observer of every applied command and its state-machine result (the
+  /// service frontend uses it to answer the client whose command this was).
+  using ApplyListener =
+      std::function<void(const cstruct::Command&, const KVStore::Result&)>;
+
+  explicit Replica(genpaxos::LearnerCore<cstruct::History>& learner)
+      : learner_(learner) {
+    // Gated on crashed(): the notification arrives through the *learner's*
+    // message handling, which the simulator's crash injection does not
+    // stop — a crashed replica must not keep mutating its store the way
+    // the old (crash-cancelled) poll timer never would have.
+    learner_.add_listener([this] {
+      if (!crashed()) poll();
+    });
+  }
+  explicit Replica(genpaxos::GenLearner<cstruct::History>& learner)
+      : Replica(learner.core()) {}
 
   std::string role() const override { return "replica"; }
 
-  void on_start() override { set_timer(poll_interval_, 0); }
-
-  void on_timer(int) override {
-    poll();
-    set_timer(poll_interval_, 0);
-  }
-
   void on_message(sim::NodeId, const std::any&) override {}
 
-  /// Apply any newly learned commands (also callable directly at the end
-  /// of a run to drain the tail).
+  /// Catch up on everything learned while crashed. (The in-memory store
+  /// survives the crash, as all volatile state does under the simulator's
+  /// model; a real restart would rebuild it by replaying the learned
+  /// history from the start, ending in this same state.)
+  void on_recover() override { poll(); }
+
+  void set_apply_listener(ApplyListener listener) {
+    apply_listener_ = std::move(listener);
+  }
+
+  /// Apply any learned-but-unapplied commands. The learner notification
+  /// already calls this on every growth; it stays public as an idempotent
+  /// drain for callers holding only the replica.
   void poll() {
     const auto& seq = learner_.learned().sequence();
     while (applied_ < seq.size()) {
-      store_.apply(seq[applied_]);
+      const cstruct::Command& c = seq[applied_];
+      const KVStore::Result result = store_.apply(c);
       ++applied_;
+      if (apply_listener_) apply_listener_(c, result);
     }
   }
 
@@ -49,10 +80,10 @@ class Replica final : public sim::Process {
   std::size_t applied() const { return applied_; }
 
  private:
-  const genpaxos::GenLearner<cstruct::History>& learner_;
-  sim::Time poll_interval_;
+  genpaxos::LearnerCore<cstruct::History>& learner_;
   KVStore store_;
   std::size_t applied_ = 0;
+  ApplyListener apply_listener_;
 };
 
 /// True when every replica reached the same final state (call poll() on

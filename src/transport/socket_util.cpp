@@ -1,0 +1,61 @@
+#include "transport/socket_util.hpp"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace mcp::transport {
+
+bool connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::chrono::milliseconds timeout) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc <= 0) return false;  // timeout or poll error
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return false;
+    }
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;  // restore blocking mode
+}
+
+bool send_all(int fd, std::string_view bytes,
+              std::chrono::steady_clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+    if (off < bytes.size() && std::chrono::steady_clock::now() >= deadline) {
+      return false;  // partial progress cannot extend the budget forever
+    }
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void set_send_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace mcp::transport

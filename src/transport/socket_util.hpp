@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared low-level socket helpers for the TCP transport and the service
+// client channel — one copy, so the bounded-connect and bounded-write
+// semantics cannot drift between the two.
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <string_view>
+
+namespace mcp::transport {
+
+/// connect() bounded by `timeout`: non-blocking connect raced against
+/// poll(POLLOUT), then back to blocking mode. Returns false on any
+/// failure (the caller closes the fd).
+bool connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::chrono::milliseconds timeout);
+
+/// write()-until-done with MSG_NOSIGNAL (a dead peer must surface as an
+/// error return, not SIGPIPE), bounded by `deadline` across the WHOLE
+/// write. The deadline matters even with SO_SNDTIMEO set: the socket
+/// timeout only bounds a zero-progress send(), so a receiver draining a
+/// byte per timeout window would otherwise hold the caller indefinitely.
+/// Returns false on error or deadline (the connection should be dropped —
+/// a partial frame is unrecoverable for the receiver's framing anyway).
+bool send_all(int fd, std::string_view bytes,
+              std::chrono::steady_clock::time_point deadline);
+
+void set_nodelay(int fd);
+/// SO_SNDTIMEO: bounds each individual blocking send() in send_all.
+void set_send_timeout(int fd, std::chrono::milliseconds timeout);
+
+}  // namespace mcp::transport

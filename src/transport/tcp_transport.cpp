@@ -1,10 +1,7 @@
 #include "transport/tcp_transport.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,33 +11,13 @@
 #include <thread>
 #include <utility>
 
+#include "transport/socket_util.hpp"
+
 namespace mcp::transport {
 
 namespace {
 
 constexpr std::size_t kReadChunk = 64u << 10;
-
-void set_nodelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-}
-
-/// write()-until-done with MSG_NOSIGNAL (a dead peer must surface as an
-/// error return, not SIGPIPE). Returns false on any unrecoverable error,
-/// including the socket's SO_SNDTIMEO expiring on a wedged peer.
-bool send_all(int fd, std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 /// Minimal-varint parse of a handshake payload; nullopt on garbage.
 std::optional<std::uint64_t> parse_varint(std::string_view bytes) {
@@ -57,28 +34,6 @@ std::optional<std::uint64_t> parse_varint(std::string_view bytes) {
     if (shift >= 64) return std::nullopt;
   }
   return std::nullopt;  // unterminated
-}
-
-/// connect() bounded by `timeout`: non-blocking connect raced against
-/// poll(POLLOUT), then back to blocking mode. Returns false on any
-/// failure (the caller closes the fd).
-bool connect_with_timeout(int fd, const sockaddr_in& addr,
-                          std::chrono::milliseconds timeout) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
-  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  if (rc != 0) {
-    if (errno != EINPROGRESS) return false;
-    pollfd pfd{fd, POLLOUT, 0};
-    rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-    if (rc <= 0) return false;  // timeout or poll error
-    int err = 0;
-    socklen_t len = sizeof err;
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
-      return false;
-    }
-  }
-  return ::fcntl(fd, F_SETFL, flags) == 0;  // restore blocking mode
 }
 
 }  // namespace
@@ -186,6 +141,10 @@ void TcpTransport::accept_loop() {
       continue;
     }
     set_nodelay(fd);
+    // Bound reply writes the same way outbound peer writes are bounded: a
+    // client that stops draining its socket costs the replying node at
+    // most the write budget per send, never a wedged loop.
+    set_send_timeout(fd, 4 * config_.dial_timeout);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load()) {
       ::close(fd);
@@ -196,9 +155,28 @@ void TcpTransport::accept_loop() {
     raw->fd = fd;
     in_.push_back(std::move(conn));
     raw->thread = std::thread([this, raw] {
-      reader_loop(raw->fd);
+      reader_loop(raw);
       // Mark-then-close under mu_: stop() only shuts down fds of entries
-      // not yet done, so a recycled fd number can never be hit.
+      // not yet done, so a recycled fd number can never be hit. A client
+      // connection is unpublished (done + erased from clients_) *before*
+      // its fd closes, and the close happens under the ClientConn mutex —
+      // a sender that already holds the shared_ptr serializes on that
+      // mutex and then sees fd = -1 instead of a recycled descriptor.
+      std::shared_ptr<ClientConn> client;
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        client = raw->client;
+        if (client) {
+          clients_.erase(raw->client_id);
+          raw->done = true;
+        }
+      }
+      if (client) {
+        std::lock_guard<std::mutex> write_lock(client->mu);
+        ::close(client->fd);
+        client->fd = -1;
+        return;
+      }
       std::lock_guard<std::mutex> l(mu_);
       ::close(raw->fd);
       raw->done = true;
@@ -206,9 +184,22 @@ void TcpTransport::accept_loop() {
   }
 }
 
-void TcpTransport::reader_loop(int fd) {
+PeerId TcpTransport::adopt_client_conn(InConn* conn) {
+  auto client = std::make_shared<ClientConn>();
+  client->fd = conn->fd;
+  std::lock_guard<std::mutex> lock(mu_);
+  const PeerId id = next_client_id_--;
+  conn->client = client;
+  conn->client_id = id;
+  clients_.emplace(id, std::move(client));
+  return id;
+}
+
+void TcpTransport::reader_loop(InConn* conn) {
+  const int fd = conn->fd;
   FrameBuffer frames(config_.max_frame);
   PeerId peer = sim::kNoNode;
+  bool first_frame = true;
   char chunk[kReadChunk];
   while (!stopping_.load()) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
@@ -220,12 +211,20 @@ void TcpTransport::reader_loop(int fd) {
     frames.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
     try {
       while (auto payload = frames.next()) {
-        if (peer == sim::kNoNode) {
-          // First frame is the dialer's handshake: its PeerId as a varint.
+        if (first_frame) {
+          first_frame = false;
+          // A peer opens with a handshake frame: its PeerId as a single
+          // varint. Anything else marks a client connection — no
+          // handshake, the stream goes straight into envelopes delivered
+          // under a synthetic connection id (and answered over this same
+          // socket).
           const auto id = parse_varint(*payload);
-          if (!id) return;  // malformed handshake: drop the connection
-          peer = static_cast<PeerId>(*id);
-          continue;
+          if (id) {
+            peer = static_cast<PeerId>(*id);
+            continue;
+          }
+          peer = adopt_client_conn(conn);
+          // fall through: the first frame is already client data
         }
         handler_(peer, std::move(*payload));
       }
@@ -252,12 +251,8 @@ int TcpTransport::dial(PeerId to) {
   }
   // Bound writes too: a peer that accepts but never drains would
   // otherwise block send_all indefinitely.
-  timeval tv{};
-  const auto timeout = 4 * config_.dial_timeout;
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-  if (!send_all(fd, handshake_frame(config_.self))) {
+  set_send_timeout(fd, 4 * config_.dial_timeout);
+  if (!send_all(fd, handshake_frame(config_.self), write_deadline())) {
     ::close(fd);
     return -1;
   }
@@ -265,8 +260,29 @@ int TcpTransport::dial(PeerId to) {
   return fd;
 }
 
+bool TcpTransport::send_to_client(PeerId to, std::string_view payload) {
+  std::shared_ptr<ClientConn> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = clients_.find(to);
+    if (it == clients_.end()) return false;  // connection already gone
+    client = it->second;
+  }
+  std::lock_guard<std::mutex> lock(client->mu);
+  if (client->fd < 0) return false;
+  if (!send_all(client->fd, frame(payload), write_deadline())) {
+    // Broken or wedged client: drop the reply (the client's retry path
+    // re-asks) and let the reader thread notice the dead stream and tear
+    // the connection down.
+    ::shutdown(client->fd, SHUT_RDWR);
+    return false;
+  }
+  return true;
+}
+
 bool TcpTransport::send(PeerId to, std::string_view payload) {
   if (stopping_.load()) return false;
+  if (is_client_conn(to)) return send_to_client(to, payload);
   std::shared_ptr<OutConn> conn;
   {
     std::lock_guard<std::mutex> lock(out_mu_);
@@ -289,7 +305,7 @@ bool TcpTransport::send(PeerId to, std::string_view payload) {
       return false;
     }
   }
-  if (!send_all(conn->fd, frame(payload))) {
+  if (!send_all(conn->fd, frame(payload), write_deadline())) {
     ::close(conn->fd);
     conn->fd = -1;
     // A wedged peer (accepts, never drains) fails here after SO_SNDTIMEO;

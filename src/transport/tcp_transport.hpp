@@ -49,11 +49,25 @@ struct TcpConfig {
 /// reassemble, and a stream violating the framing rules (garbage or
 /// oversized prefix) is closed without crashing the node.
 ///
+/// Client connections: an accepted stream whose first frame is *not* a
+/// pure-varint peer handshake is a service client — it skips the handshake
+/// entirely and just starts sending envelopes. The connection is assigned
+/// a synthetic PeerId (kFirstClientConn counting down; disjoint from every
+/// real node id) under which its frames are delivered, and send() to that
+/// id answers over the same socket, duplex. The id dies with the
+/// connection: a reconnecting client is a new synthetic peer, and the
+/// service layer's sessions — not the transport — carry its identity.
+///
 /// Loss semantics: a failed dial or write drops the frame and the cached
 /// connection; the next send re-dials. Protocol retransmission recovers —
 /// the same contract the simulated lossy network already imposes.
 class TcpTransport final : public Transport {
  public:
+  /// Synthetic ids handed to client connections, counting down from here
+  /// (kNoNode is -1; real peers are >= 0).
+  static constexpr PeerId kFirstClientConn = -2;
+  static constexpr bool is_client_conn(PeerId id) { return id <= kFirstClientConn; }
+
   explicit TcpTransport(TcpConfig config);
   ~TcpTransport() override;
 
@@ -90,6 +104,14 @@ class TcpTransport final : public Transport {
     /// down peer costs one bounded dial per backoff window, not per send.
     std::chrono::steady_clock::time_point next_dial{};
   };
+  /// Write half of a client connection, shared between the clients_ map
+  /// (senders) and the owning InConn (whose reader closes the fd on exit,
+  /// under `mu` so it never yanks the socket from under a mid-write
+  /// reply).
+  struct ClientConn {
+    std::mutex mu;
+    int fd = -1;
+  };
   /// One accepted connection: its reader thread reaps itself by setting
   /// `done` (under mu_) after closing the fd; the accept loop joins and
   /// erases finished entries, so long-lived nodes with flappy peers do not
@@ -97,12 +119,26 @@ class TcpTransport final : public Transport {
   struct InConn {
     int fd = -1;
     bool done = false;  // guarded by mu_
+    /// Engaged by the reader when the stream turns out to be a client
+    /// connection (no peer handshake); null for peer streams.
+    std::shared_ptr<ClientConn> client;  // set under mu_
+    PeerId client_id = sim::kNoNode;     // guarded by mu_
     std::thread thread;
   };
 
+  /// Budget for one whole frame write: SO_SNDTIMEO bounds each blocking
+  /// send() call, this bounds their sum — a receiver draining a byte per
+  /// timeout window cannot hold a sender past it.
+  std::chrono::steady_clock::time_point write_deadline() const {
+    return std::chrono::steady_clock::now() + 4 * config_.dial_timeout;
+  }
+
   void accept_loop();
   void reap_finished_readers();
-  void reader_loop(int fd);
+  void reader_loop(InConn* conn);
+  /// Register `conn` as a client connection; returns its synthetic id.
+  PeerId adopt_client_conn(InConn* conn);
+  bool send_to_client(PeerId to, std::string_view payload);
   /// Dial `to` (bounded by dial_timeout) and shake hands; -1 on failure.
   int dial(PeerId to);
   void close_all_connections();
@@ -115,8 +151,10 @@ class TcpTransport final : public Transport {
 
   std::mutex out_mu_;  // guards the map shape only, never held across I/O
   std::map<PeerId, std::shared_ptr<OutConn>> out_;
-  std::mutex mu_;  // guards in_ bookkeeping
+  std::mutex mu_;  // guards in_/clients_ bookkeeping
   std::list<std::unique_ptr<InConn>> in_;
+  std::map<PeerId, std::shared_ptr<ClientConn>> clients_;
+  PeerId next_client_id_ = kFirstClientConn;
   std::thread accept_thread_;
 };
 

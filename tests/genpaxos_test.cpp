@@ -103,7 +103,7 @@ Cluster build(const ClusterSpec& spec) {
   }
   if (spec.with_replicas) {
     for (int i = 0; i < spec.learners; ++i) {
-      c.replicas.push_back(&c.sim->make_process<smr::Replica>(*c.learners[i], 25));
+      c.replicas.push_back(&c.sim->make_process<smr::Replica>(*c.learners[i]));
     }
   }
   return c;

@@ -1,0 +1,670 @@
+// The service-layer suites: client protocol codec, session semantics
+// (at-most-once under duplicated requests and lost replies), batching, and
+// the acceptance test — a 3-acceptor live TCP cluster started from a
+// cluster file serving >= 1000 client operations through service::Client
+// with induced retries, every replica converging to the same KVStore.
+//
+// Suite naming: KvService* suites run real threads/sockets and are picked
+// up by the ThreadSanitizer CI job next to the transport/runtime suites;
+// the KvAcceptance scale test stays out of that job (see its comment).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "genpaxos/engine.hpp"
+#include "runtime/cluster_file.hpp"
+#include "runtime/kv_cluster.hpp"
+#include "runtime/node.hpp"
+#include "service/client.hpp"
+#include "service/frontend.hpp"
+#include "service/messages.hpp"
+#include "service/sim_client.hpp"
+#include "sim/simulation.hpp"
+#include "transport/frame.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace mcp {
+namespace {
+
+using runtime::Backend;
+
+// --- wire codec ---------------------------------------------------------------
+
+TEST(ServiceMessages, RequestRoundTrip) {
+  service::MsgClientRequest req;
+  req.client_id = 0xDEADBEEFCAFEull;
+  req.seq = 42;
+  req.op = cstruct::OpType::kRead;
+  req.key = std::string("key\0with-nul", 12);
+  req.value = "";
+  const wire::Envelope env = wire::make_envelope(req);
+  wire::Reader r(env.body);
+  const auto back = service::MsgClientRequest::decode(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(back.client_id, req.client_id);
+  EXPECT_EQ(back.seq, req.seq);
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.key, req.key);
+  EXPECT_EQ(back.value, req.value);
+}
+
+TEST(ServiceMessages, ReplyRoundTripAndValidation) {
+  service::MsgClientReply reply;
+  reply.client_id = 7;
+  reply.seq = 9;
+  reply.status = service::ReplyStatus::kRedirect;
+  reply.found = true;
+  reply.value = "v";
+  reply.redirect = 12;
+  const wire::Envelope env = wire::make_envelope(reply);
+  wire::Reader r(env.body);
+  const auto back = service::MsgClientReply::decode(r);
+  EXPECT_EQ(back.status, service::ReplyStatus::kRedirect);
+  EXPECT_EQ(back.redirect, 12);
+  EXPECT_TRUE(back.found);
+
+  // A status byte outside the enum is malformed, not silently accepted.
+  wire::Writer w;
+  w.put_varint(1);
+  w.put_varint(1);
+  w.put_u8(9);
+  wire::put_flag(w, false);
+  w.put_bytes("");
+  w.put_signed(-1);
+  wire::Reader bad(w.data());
+  EXPECT_THROW(service::MsgClientReply::decode(bad), std::invalid_argument);
+}
+
+TEST(ServiceMessages, SessionCommandIdIsDeterministicAndSpread) {
+  EXPECT_EQ(service::session_command_id(10, 1), service::session_command_id(10, 1));
+  EXPECT_NE(service::session_command_id(10, 1), service::session_command_id(10, 2));
+  EXPECT_NE(service::session_command_id(10, 1), service::session_command_id(11, 1));
+}
+
+TEST(ClusterFile, ParsesRolesAndRejectsGarbage) {
+  const auto members = runtime::parse_cluster_text(
+      "# comment\n"
+      "node 0 127.0.0.1 1900 coordinator\n"
+      "node 1 127.0.0.1 1901 acceptor\n"
+      "node 2 127.0.0.1 0 server  # ephemeral placeholder\n");
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[2].role, "server");
+  EXPECT_EQ(runtime::members_with_role(members, "server").size(), 1u);
+
+  // The shared role derivation: a server id lands in servers AND in both
+  // the learner and proposer lists.
+  const runtime::ClusterRoles roles = runtime::roles_of(members);
+  EXPECT_EQ(roles.coordinators, std::vector<sim::NodeId>{0});
+  EXPECT_EQ(roles.acceptors, std::vector<sim::NodeId>{1});
+  EXPECT_EQ(roles.servers, std::vector<sim::NodeId>{2});
+  EXPECT_EQ(roles.learners, std::vector<sim::NodeId>{2});
+  EXPECT_EQ(roles.proposers, std::vector<sim::NodeId>{2});
+
+  // Port 0 parses (the in-process tests patch ephemeral ports) but the
+  // CLI entry points must refuse to dial it.
+  EXPECT_THROW(runtime::require_dialable_ports(members), std::runtime_error);
+  EXPECT_NO_THROW(runtime::require_dialable_ports(
+      runtime::members_with_role(members, "coordinator")));
+
+  EXPECT_THROW(runtime::parse_cluster_text(""), std::runtime_error);
+  EXPECT_THROW(runtime::parse_cluster_text("peer 0 h 1 acceptor\n"), std::runtime_error);
+  EXPECT_THROW(runtime::parse_cluster_text("node 0 h 1 warlock\n"), std::runtime_error);
+  EXPECT_THROW(runtime::parse_cluster_text("node 0 h 1 acceptor\nnode 0 h 2 learner\n"),
+               std::runtime_error);
+}
+
+// --- simulated service --------------------------------------------------------
+
+struct SimService {
+  static const cstruct::KeyConflict kConflicts;
+  sim::Simulation sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  genpaxos::Config<cstruct::History> config;
+  std::vector<service::Frontend*> frontends;
+
+  SimService(std::uint64_t seed, sim::NetworkConfig net, int servers,
+             service::Frontend::Options fopt = {},
+             service::Frontend::Options fopt1 = {})
+      : sim(seed, net) {
+    const std::vector<sim::NodeId> coords{0};
+    config.acceptors = {1, 2, 3};
+    for (int i = 0; i < servers; ++i) {
+      config.learners.push_back(4 + i);
+      config.proposers.push_back(4 + i);
+    }
+    config.f = 1;
+    config.bottom = cstruct::History(&kConflicts);
+    policy = paxos::PatternPolicy::always_single(coords);
+    config.policy = policy.get();
+    sim.make_process<genpaxos::GenCoordinator<cstruct::History>>(config);
+    for (int i = 0; i < 3; ++i) {
+      sim.make_process<genpaxos::GenAcceptor<cstruct::History>>(config);
+    }
+    for (int i = 0; i < servers; ++i) {
+      frontends.push_back(&sim.make_process<service::Frontend>(
+          config, i == 0 ? fopt : fopt1));
+    }
+  }
+};
+
+const cstruct::KeyConflict SimService::kConflicts{};
+
+TEST(ServiceSessionSim, LossyNetworkAppliesExactlyOnce) {
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 5;
+  net.loss_probability = 0.05;       // injected loss: client retries fire
+  net.duplication_probability = 0.02;  // and the network duplicates requests
+  service::Frontend::Options fopt;
+  fopt.batch_size = 4;
+  fopt.batch_delay = 3;
+  SimService s(/*seed=*/7, net, /*servers=*/2, fopt, fopt);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kOps = 25;
+  std::vector<service::SimClient*> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    service::SimClient::Options copt;
+    copt.client_id = 100 + i;
+    copt.server = (i % 2) ? 5 : 4;
+    copt.ops = kOps;
+    clients.push_back(&s.sim.make_process<service::SimClient>(copt));
+  }
+  const std::size_t total = kClients * kOps;
+  const bool done = s.sim.run_until(
+      [&] {
+        for (const auto* c : clients) {
+          if (!c->done()) return false;
+        }
+        for (const auto* f : s.frontends) {
+          if (f->applied() < total) return false;
+        }
+        return true;
+      },
+      5'000'000);
+  ASSERT_TRUE(done);
+
+  // Exactly-once: every op is exactly one command in the learned c-struct,
+  // despite retries and network duplication...
+  std::uint64_t retries = 0;
+  for (const auto* c : clients) retries += c->retries();
+  EXPECT_GT(retries, 0u) << "loss injection produced no retries; weak test";
+  for (const auto* f : s.frontends) {
+    EXPECT_EQ(f->learned().size(), total);
+    EXPECT_EQ(f->applied(), total);
+  }
+  // ...and the replicas converge to the same store.
+  EXPECT_EQ(s.frontends[0]->store(), s.frontends[1]->store());
+  const std::uint64_t dups = s.frontends[0]->duplicates_dropped() +
+                             s.frontends[1]->duplicates_dropped();
+  EXPECT_GT(dups, 0u) << "no duplicate request ever reached a frontend";
+}
+
+TEST(ServiceSessionSim, StandbyRedirectsClientsToServingFrontend) {
+  sim::NetworkConfig net;
+  service::Frontend::Options standby;
+  standby.redirect_to = 5;  // frontend 4 bounces everyone to 5
+  SimService s(/*seed=*/3, net, /*servers=*/2, standby);
+
+  service::SimClient::Options copt;
+  copt.client_id = 77;
+  copt.server = 4;  // starts at the standby
+  copt.ops = 5;
+  auto& client = s.sim.make_process<service::SimClient>(copt);
+  const bool done = s.sim.run_until(
+      [&] { return client.done() && s.frontends[1]->applied() >= 5; }, 1'000'000);
+  ASSERT_TRUE(done);
+  EXPECT_GE(client.redirects(), 1u);
+  EXPECT_EQ(s.frontends[1]->learned().size(), 5u);
+  EXPECT_EQ(s.frontends[0]->store(), s.frontends[1]->store());
+}
+
+/// A process that spams forged acceptor votes at a learner/frontend: the
+/// live-cluster shape of this is a handshake-less client connection (or a
+/// peer lying in its handshake) injecting Msg2b — LearnerCore must only
+/// count votes from configured acceptors.
+struct ForgedVoter final : public sim::Process {
+  sim::NodeId target;
+  cstruct::History payload;
+
+  ForgedVoter(sim::NodeId target, cstruct::History payload)
+      : target(target), payload(std::move(payload)) {
+    genpaxos::register_wire_messages(decoders(), cstruct::History(payload.relation()));
+  }
+  std::string role() const override { return "rogue"; }
+  void on_start() override {
+    // A classic-ballot vote for a value nobody proposed, repeated so it
+    // would pair with any real acceptor's vote if it were counted.
+    const paxos::Ballot b(1, 0, 0, paxos::RoundType::kSingleCoord);
+    for (int i = 0; i < 4; ++i) {
+      send(target, genpaxos::Msg2b<cstruct::History>{
+                       b, std::make_shared<const cstruct::History>(payload)});
+    }
+  }
+  void on_message(sim::NodeId, const std::any&) override {}
+};
+
+TEST(ServiceSessionSim, ForgedVotesFromNonAcceptorsAreNotCounted) {
+  sim::NetworkConfig net;
+  SimService s(/*seed=*/5, net, /*servers=*/1);
+
+  cstruct::History forged(&SimService::kConflicts);
+  forged.append(cstruct::make_write(999999, "stolen", "gotcha"));
+  s.sim.make_process<ForgedVoter>(/*target=*/4, forged);
+
+  service::SimClient::Options copt;
+  copt.client_id = 50;
+  copt.server = 4;
+  copt.ops = 5;
+  copt.read_fraction = 0;
+  auto& client = s.sim.make_process<service::SimClient>(copt);
+  ASSERT_TRUE(s.sim.run_until(
+      [&] { return client.done() && s.frontends[0]->applied() >= 5; }, 1'000'000));
+
+  // The forged command never enters the learned structure or the store,
+  // and the rejection is observable.
+  EXPECT_EQ(s.frontends[0]->learned().size(), 5u);
+  EXPECT_EQ(s.frontends[0]->store().data().count("stolen"), 0u);
+  EXPECT_GT(s.sim.metrics().counter("gen.2b_from_non_acceptor"), 0);
+}
+
+TEST(ServiceSessionSim, BatchingGroupsConcurrentCommands) {
+  sim::NetworkConfig net;
+  net.min_delay = 2;
+  net.max_delay = 4;
+  service::Frontend::Options fopt;
+  fopt.batch_size = 64;   // flush on the window, not the size cap
+  fopt.batch_delay = 10;
+  SimService s(/*seed=*/11, net, /*servers=*/1, fopt);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kOps = 10;
+  std::vector<service::SimClient*> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    service::SimClient::Options copt;
+    copt.client_id = 200 + i;
+    copt.server = 4;
+    copt.ops = kOps;
+    clients.push_back(&s.sim.make_process<service::SimClient>(copt));
+  }
+  const bool done = s.sim.run_until(
+      [&] { return s.frontends[0]->applied() >= kClients * kOps; }, 5'000'000);
+  ASSERT_TRUE(done);
+  const auto& f = *s.frontends[0];
+  EXPECT_EQ(f.learned().size(), kClients * kOps);
+  // Concurrent clients share flush windows: far fewer batches than ops.
+  EXPECT_LT(f.batches_flushed(), kClients * kOps / 2)
+      << "batching never grouped concurrent commands";
+}
+
+// --- loss/duplication-injecting channel for the live backends -----------------
+
+/// Wraps a real channel and misbehaves on purpose: every request is sent
+/// twice (duplicate injection) and every `drop_nth`-th reply is swallowed
+/// (forcing the client's timeout retransmission — the "induced retries").
+class LossyChannel final : public service::ClientChannel {
+ public:
+  LossyChannel(std::unique_ptr<service::ClientChannel> inner, int drop_nth)
+      : inner_(std::move(inner)), drop_nth_(drop_nth) {}
+
+  bool connect(sim::NodeId server) override { return inner_->connect(server); }
+  bool send(std::string_view payload) override {
+    const bool first = inner_->send(payload);
+    inner_->send(payload);  // the duplicate the session layer must absorb
+    ++sends_;
+    return first;
+  }
+  std::optional<std::string> recv(std::chrono::milliseconds timeout) override {
+    auto reply = inner_->recv(timeout);
+    if (reply && drop_nth_ > 0 && ++replies_ % drop_nth_ == 0) {
+      ++dropped_;
+      return std::nullopt;  // swallowed: the client will retransmit
+    }
+    return reply;
+  }
+  void close() override { inner_->close(); }
+
+  int dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<service::ClientChannel> inner_;
+  int drop_nth_;
+  int sends_ = 0;
+  int replies_ = 0;
+  int dropped_ = 0;
+};
+
+/// Satellite check: duplicate MsgClientRequest retries (same client id +
+/// seq) under injected loss apply exactly once and the retried op's reply
+/// matches the original outcome.
+void run_duplicate_retry_dedup(Backend backend) {
+  runtime::KvShape shape;
+  shape.frontend.batch_size = 8;
+  shape.frontend.batch_delay = 2;
+  runtime::ClusterOptions options;
+  options.backend = backend;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+  cluster.start();
+
+  constexpr int kOps = 24;
+  auto* lossy = new LossyChannel(cluster.make_channel(cluster.client_endpoint_id(0)),
+                                 /*drop_nth=*/4);
+  service::Client::Options copt;
+  copt.client_id = 0xABCDEF;
+  copt.servers = cluster.server_ids();
+  copt.attempt_timeout = std::chrono::milliseconds(400);
+  service::Client client(std::unique_ptr<service::ClientChannel>(lossy), copt);
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "dup" + std::to_string(i);
+    const auto put = client.put(key, "v" + std::to_string(i));
+    ASSERT_TRUE(put.ok) << "put " << i << " got no reply";
+    const auto got = client.get(key);
+    ASSERT_TRUE(got.ok);
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "v" + std::to_string(i)) << "retried op diverged";
+  }
+  EXPECT_GT(lossy->dropped(), 0) << "no replies dropped; retries not induced";
+  EXPECT_GT(client.retries(), 0u);
+
+  // Exactly-once application: 2 ops per iteration, each one command in the
+  // learned structure and one application per replica, duplicates dropped
+  // at the sessions (every request was sent at least twice). The client
+  // only proves ONE frontend replied per op; the other converges via 2b
+  // retransmission, so give it the retry window before asserting.
+  const std::size_t total = 2 * kOps;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t dups = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto& f = cluster.frontend(i);
+    auto& node = cluster.server_node(i);
+    while (node.call([&] { return f.applied(); }) < total &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(node.call([&] { return f.learned().size(); }), total);
+    EXPECT_EQ(node.call([&] { return f.applied(); }), total);
+    dups += node.call([&] { return f.duplicates_dropped(); });
+  }
+  EXPECT_GT(dups, 0u);
+  EXPECT_EQ(cluster.store_snapshot(0), cluster.store_snapshot(1));
+  cluster.stop();
+}
+
+TEST(KvServiceThread, DuplicateRetriesApplyExactlyOnce) {
+  run_duplicate_retry_dedup(Backend::kThread);
+}
+
+TEST(KvServiceTcp, DuplicateRetriesApplyExactlyOnce) {
+  run_duplicate_retry_dedup(Backend::kTcp);
+}
+
+TEST(KvServiceThread, ConcurrentClientsConvergeAndBatch) {
+  runtime::KvShape shape;
+  shape.frontend.batch_size = 32;
+  shape.frontend.batch_delay = 5;
+  runtime::ClusterOptions options;
+  options.backend = Backend::kThread;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+  cluster.start();
+
+  constexpr int kClients = 4;
+  constexpr int kOps = 30;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      service::Client::Options copt;
+      copt.client_id = static_cast<std::uint64_t>(900 + t);
+      copt.servers = cluster.server_ids();
+      copt.attempt_timeout = std::chrono::milliseconds(500);
+      service::Client client(cluster.make_channel(cluster.client_endpoint_id(t)), copt);
+      for (int i = 0; i < kOps; ++i) {
+        const auto r =
+            client.put("c" + std::to_string(t) + "-" + std::to_string(i), "x");
+        if (r.ok) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kOps);
+
+  // All replicas drained (the learner keeps retransmitting; wait briefly).
+  const std::size_t total = static_cast<std::size_t>(kClients) * kOps;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int i = 0; i < 2; ++i) {
+    auto& f = cluster.frontend(i);
+    auto& node = cluster.server_node(i);
+    while (node.call([&] { return f.applied(); }) < total &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(node.call([&] { return f.applied(); }), total);
+  }
+  EXPECT_EQ(cluster.store_snapshot(0), cluster.store_snapshot(1));
+
+  // Batching grouped concurrent commands: fewer flushes than commands.
+  std::uint64_t batches = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto& f = cluster.frontend(i);
+    batches += cluster.server_node(i).call([&] { return f.batches_flushed(); });
+  }
+  EXPECT_LT(batches, total);
+  cluster.stop();
+}
+
+/// Live counterpart of the forged-vote sim test, at the dispatch altitude:
+/// a handshake-less TCP connection may deliver client-allowed tags only —
+/// a protocol message (here a 1a that would advance the acceptor's round)
+/// is dropped by runtime::Node before it reaches the process.
+TEST(KvServiceTcp, ClientConnectionsCannotInjectProtocolMessages) {
+  static const cstruct::KeyConflict conflicts;
+  genpaxos::Config<cstruct::History> config;
+  config.acceptors = {0};
+  auto policy = paxos::PatternPolicy::always_single({1});
+  config.policy = policy.get();
+  config.f = 0;
+  config.bottom = cstruct::History(&conflicts);
+
+  transport::TcpConfig tcp_config;
+  tcp_config.self = 0;
+  transport::TcpTransport transport(tcp_config);
+  const auto port = transport.bind_and_listen();
+  runtime::NodeOptions node_options;
+  node_options.id = 0;
+  node_options.tick = std::chrono::microseconds(200);
+  runtime::Node node(node_options, transport);
+  auto& acceptor =
+      node.make_process<genpaxos::GenAcceptor<cstruct::History>>(config);
+  node.start();
+
+  // Raw connection, no handshake, carrying a forged 1a for round 5.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const genpaxos::Msg1a<cstruct::History> forged{policy->make_ballot(5, 1, 0)};
+  const std::string payload = wire::make_envelope(forged).encode();
+  const std::string framed = transport::frame(payload);
+  ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+            static_cast<ssize_t>(framed.size()));
+
+  // The rejection is observable; the acceptor never saw the 1a.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (node.call([&] { return node.metrics().counter("net.client_rejected"); }) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(node.call([&] { return node.metrics().counter("net.client_rejected"); }), 1);
+  EXPECT_TRUE(node.call([&] { return acceptor.rnd().is_zero(); }))
+      << "forged 1a reached the acceptor through a client connection";
+
+  ::close(fd);
+  node.stop();
+}
+
+// --- the acceptance test ------------------------------------------------------
+
+/// One in-process live node built the way mcpaxos_node builds one from a
+/// cluster file: a TcpTransport per member (ephemeral ports patched into
+/// every peer table) hosting the member's role process.
+struct FileClusterNode {
+  std::unique_ptr<transport::TcpTransport> transport;
+  std::unique_ptr<runtime::Node> node;
+  service::Frontend* frontend = nullptr;
+};
+
+// Suite name deliberately outside the TSan job's KvService regex: this is
+// the *scale* acceptance criterion (1000 ops, timeout-driven retries), and
+// under TSan's ~15x slowdown the 400 ms attempt timeouts turn into retry
+// storms that run for tens of minutes. The concurrency shapes it uses are
+// exactly the ones the KvService suites above run under TSan.
+TEST(KvAcceptance, ClusterFileThousandOpsOverTcp) {
+  // The cluster file of the acceptance criterion: 1 coordinator, 3
+  // acceptors, 2 servers. Port 0 = ephemeral, patched after binding.
+  const std::string cluster_text =
+      "# acceptance cluster\n"
+      "node 0 127.0.0.1 0 coordinator\n"
+      "node 1 127.0.0.1 0 acceptor\n"
+      "node 2 127.0.0.1 0 acceptor\n"
+      "node 3 127.0.0.1 0 acceptor\n"
+      "node 4 127.0.0.1 0 server\n"
+      "node 5 127.0.0.1 0 server\n";
+  const auto members = runtime::parse_cluster_text(cluster_text, "acceptance");
+
+  // The same role → membership derivation mcpaxos_node ships (servers in
+  // both learners and proposers), from the same shared helper.
+  static const cstruct::KeyConflict conflicts;
+  const runtime::ClusterRoles roles = runtime::roles_of(members);
+  const std::vector<sim::NodeId>& servers = roles.servers;
+  genpaxos::Config<cstruct::History> config;
+  config.acceptors = roles.acceptors;
+  config.learners = roles.learners;
+  config.proposers = roles.proposers;
+  auto policy = paxos::PatternPolicy::always_single(roles.coordinators);
+  config.policy = policy.get();
+  config.f = 1;
+  config.bottom = cstruct::History(&conflicts);
+
+  // Bind every listener, then hand everyone the patched peer table.
+  std::vector<FileClusterNode> nodes(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    transport::TcpConfig tcp;
+    tcp.self = members[i].id;
+    tcp.listen_host = members[i].host;
+    tcp.listen_port = members[i].port;  // 0: ephemeral
+    nodes[i].transport = std::make_unique<transport::TcpTransport>(tcp);
+    nodes[i].transport->bind_and_listen();
+  }
+  std::map<sim::NodeId, service::ServerAddr> server_addrs;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (i == j) continue;
+      nodes[i].transport->set_peer(
+          members[j].id, {members[j].host, nodes[j].transport->listen_port()});
+    }
+    runtime::NodeOptions node_options;
+    node_options.id = members[i].id;
+    node_options.tick = std::chrono::microseconds(200);
+    nodes[i].node =
+        std::make_unique<runtime::Node>(node_options, *nodes[i].transport);
+    if (members[i].role == "coordinator") {
+      nodes[i].node->make_process<genpaxos::GenCoordinator<cstruct::History>>(config);
+    } else if (members[i].role == "acceptor") {
+      nodes[i].node->make_process<genpaxos::GenAcceptor<cstruct::History>>(config);
+    } else {
+      service::Frontend::Options fopt;
+      fopt.batch_size = 32;
+      fopt.batch_delay = 3;
+      nodes[i].frontend =
+          &nodes[i].node->make_process<service::Frontend>(config, fopt);
+      server_addrs[members[i].id] = {members[i].host,
+                                     nodes[i].transport->listen_port()};
+    }
+  }
+  for (auto& n : nodes) n.node->start();
+
+  // >= 1000 operations from 4 concurrent sessions, every request sent in
+  // duplicate and every 8th reply dropped (induced retries) — split across
+  // both servers.
+  constexpr int kClients = 4;
+  constexpr int kOps = 250;
+  std::atomic<int> ok{0};
+  std::atomic<int> dropped{0};
+  std::vector<std::thread> client_threads;
+  for (int t = 0; t < kClients; ++t) {
+    client_threads.emplace_back([&, t] {
+      auto* lossy = new LossyChannel(
+          std::make_unique<service::TcpClientChannel>(server_addrs),
+          /*drop_nth=*/8);
+      service::Client::Options copt;
+      copt.client_id = static_cast<std::uint64_t>(5000 + t);
+      copt.servers = {servers[static_cast<std::size_t>(t) % servers.size()],
+                      servers[(static_cast<std::size_t>(t) + 1) % servers.size()]};
+      copt.attempt_timeout = std::chrono::milliseconds(400);
+      copt.max_attempts = 50;
+      service::Client client(std::unique_ptr<service::ClientChannel>(lossy), copt);
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "c" + std::to_string(t) + "-" + std::to_string(i);
+        const bool read = i % 5 == 4;
+        const auto r = read ? client.get("c" + std::to_string(t) + "-" +
+                                         std::to_string(i - 1))
+                            : client.put(key, "v" + std::to_string(i));
+        if (r.ok) ok.fetch_add(1);
+        if (read && r.ok) {
+          EXPECT_TRUE(r.found);
+          EXPECT_EQ(r.value, "v" + std::to_string(i - 1));
+        }
+      }
+      dropped.fetch_add(lossy->dropped());
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kOps);
+  EXPECT_GE(ok.load(), 1000);
+  EXPECT_GT(dropped.load(), 0) << "no induced retries";
+
+  // Every op is exactly one command; both replicas converge.
+  const std::size_t total = static_cast<std::size_t>(kClients) * kOps;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (auto& n : nodes) {
+    if (n.frontend == nullptr) continue;
+    while (n.node->call([&] { return n.frontend->applied(); }) < total &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(n.node->call([&] { return n.frontend->learned().size(); }), total);
+    EXPECT_EQ(n.node->call([&] { return n.frontend->applied(); }), total);
+    EXPECT_GT(n.node->call([&] { return n.frontend->duplicates_dropped(); }), 0u);
+  }
+  const auto store4 =
+      nodes[4].node->call([&] { return nodes[4].frontend->store(); });
+  const auto store5 =
+      nodes[5].node->call([&] { return nodes[5].frontend->store(); });
+  EXPECT_EQ(store4, store5);
+  EXPECT_EQ(store4.applied_count(), total);
+
+  for (auto& n : nodes) n.node->stop();
+}
+
+}  // namespace
+}  // namespace mcp

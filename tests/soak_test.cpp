@@ -54,7 +54,7 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
   std::vector<GenProposer<History>*> proposers;
   for (int i = 0; i < 3; ++i) proposers.push_back(&s.make_process<GenProposer<History>>(config));
   std::vector<smr::Replica*> replicas;
-  for (auto* l : learners) replicas.push_back(&s.make_process<smr::Replica>(*l, 25));
+  for (auto* l : learners) replicas.push_back(&s.make_process<smr::Replica>(*l));
 
   constexpr std::size_t kCount = 100;
   util::Rng wl_rng(777);
@@ -101,6 +101,11 @@ TEST(Soak, HundredCommandStreamWithReplicasAndAuditor) {
   for (const auto* a : acceptors) {
     EXPECT_LE(a->tracked_round_states(), 2u)
         << "acceptor " << a->id() << " retains stale per-ballot state";
+    // The fast-path proposal buffer prunes accepted commands on the retry
+    // timer; after the whole stream settles it must not hold the run's
+    // command count (a long-lived service cluster would otherwise leak).
+    EXPECT_LT(a->pending_proposals(), kCount / 2)
+        << "acceptor " << a->id() << " accumulates accepted proposals";
   }
   // Learners prune symmetrically: every quorum-complete round drops the
   // vote maps below it.

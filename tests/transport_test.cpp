@@ -425,23 +425,63 @@ TEST(TcpTransportTest, OversizedPrefixTearsDownStreamOnly) {
   rx.stop();
 }
 
-TEST(TcpTransportTest, GarbageHandshakeDropsConnection) {
+TEST(TcpTransportTest, NoHandshakeStreamBecomesClientConnection) {
   TcpTransport rx(loopback_config(0));
   const auto port = rx.bind_and_listen();
   Sink sink;
   rx.start(sink.handler());
 
-  // A "handshake" whose payload is not a varint: connection dropped, no
-  // delivery, no crash; a proper peer still gets through.
-  const int bad = raw_connect(port);
-  raw_write_all(bad, frame("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff") + frame("x"));
+  // A first frame that is not a pure-varint handshake marks a *client*
+  // connection: both its frames (the first one included) are delivered
+  // under a synthetic id from the client range, and send() to that id
+  // answers over the same socket. A proper peer coexists untouched.
+  const int client = raw_connect(port);
+  raw_write_all(client, frame("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff") + frame("x"));
   const int ok = raw_connect(port);
   raw_write_all(ok, TcpTransport::handshake_frame(9) + frame("legit"));
-  ASSERT_TRUE(sink.wait_for(1));
+  ASSERT_TRUE(sink.wait_for(3));
   const auto got = sink.snapshot();
-  ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0], (std::pair<PeerId, std::string>{9, "legit"}));
-  ::close(bad);
+  ASSERT_EQ(got.size(), 3u);
+  PeerId conn_id = sim::kNoNode;
+  bool saw_legit = false;
+  for (const auto& [from, payload] : got) {
+    if (payload == "legit") {
+      EXPECT_EQ(from, 9);
+      saw_legit = true;
+    } else {
+      EXPECT_TRUE(TcpTransport::is_client_conn(from));
+      conn_id = from;
+    }
+  }
+  EXPECT_TRUE(saw_legit);
+  ASSERT_TRUE(TcpTransport::is_client_conn(conn_id));
+
+  // Reply path: a frame sent to the synthetic id arrives on the raw socket.
+  ASSERT_TRUE(rx.send(conn_id, "pong"));
+  std::string buf;
+  char chunk[64];
+  const std::string want = frame("pong");
+  while (buf.size() < want.size()) {
+    const ssize_t n = ::recv(client, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0);
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(buf, want);
+
+  // The connection dies with the socket: once the reader notices the EOF
+  // and unpublishes the synthetic id, a late reply reports false. Asserted
+  // BEFORE stop() — afterwards send() short-circuits on stopping_ and the
+  // check would pass vacuously.
+  ::close(client);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool late_send_ok = true;
+  while (std::chrono::steady_clock::now() < deadline) {
+    late_send_ok = rx.send(conn_id, "late");
+    if (!late_send_ok) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(late_send_ok) << "client teardown never unpublished the connection";
+
   ::close(ok);
   rx.stop();
 }
