@@ -1,0 +1,161 @@
+// E4/E10 live — the chaos acceptance run: real client traffic through a
+// live cluster (thread or TCP backend) while a scripted nemesis kills,
+// restarts, partitions, slows and drops; every node persists to a
+// FileStorage data dir, so each restart exercises the §4.4 recovery path
+// (snapshot + WAL-suffix replay, incarnation bump) on a real process
+// boundary.
+//
+// The gate columns are the invariants, not the clocks: lost.writes and
+// dup.writes are 0 in every correct run regardless of scheduling noise, so
+// CI pins them at 0 via compare_bench.py while the wall-clock columns
+// (elapsed.ms, converge.ms, recover.ms) stay informational.
+//
+//   $ ./bench_chaos [--scenario smoke|<path>] [--backend thread|tcp]
+//                   [--data-dir DIR] [--seed N] [--json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/kv_chaos_cluster.hpp"
+#include "chaos/nemesis.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/workload.hpp"
+#include "harness.hpp"
+
+#ifndef MCPAXOS_SCENARIO_DIR
+#define MCPAXOS_SCENARIO_DIR "tests/scenarios"
+#endif
+
+namespace {
+
+using namespace mcp;
+
+std::string resolve_scenario(const std::string& arg) {
+  if (arg.find('/') != std::string::npos ||
+      (arg.size() > 6 && arg.rfind(".chaos") == arg.size() - 6)) {
+    return arg;  // already a path
+  }
+  return std::string(MCPAXOS_SCENARIO_DIR) + "/" + arg + ".chaos";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_arg = "smoke";
+  std::string backend_arg = "thread";
+  std::string data_dir;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--scenario") scenario_arg = next();
+    else if (a == "--backend") backend_arg = next();
+    else if (a == "--data-dir") data_dir = next();
+    else if (a == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    // --json is consumed by bench::Report.
+  }
+
+  if (data_dir.empty()) {
+    char tmpl[] = "/tmp/mcpaxos-chaos.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::perror("mkdtemp");
+      return 2;
+    }
+    data_dir = tmpl;
+  }
+
+  chaos::ChaosKvOptions copt;
+  copt.backend = backend_arg == "tcp" ? runtime::Backend::kTcp
+                                      : runtime::Backend::kThread;
+  copt.shape.coordinators = 2;  // multicoordinated: the mode under test
+  copt.shape.acceptors = 3;
+  copt.shape.servers = 2;
+  copt.shape.f = 1;
+  copt.shape.e = 1;
+  copt.data_root = data_dir;
+  copt.seed = seed;
+  copt.snapshot_every = 64;
+
+  const chaos::Scenario scenario =
+      chaos::parse_scenario_file(resolve_scenario(scenario_arg));
+
+  chaos::ChaosKvCluster cluster(copt);
+  cluster.start();
+  chaos::Nemesis nemesis(chaos::compile(scenario, cluster.roles(), seed),
+                         cluster.hooks());
+
+  chaos::WorkloadOptions wopt;
+  wopt.clients = 4;
+  wopt.ops_per_client = 30;
+  // Stretch the traffic across the whole schedule so the faults actually
+  // hit in-flight operations.
+  wopt.op_delay =
+      std::chrono::milliseconds(scenario.duration_ms / wopt.ops_per_client);
+  const chaos::WorkloadReport run =
+      chaos::run_chaos_workload(cluster, nemesis, wopt);
+
+  // E10-live: per-node recovery accounting while the cluster is still up.
+  std::int64_t replayed_max = 0;
+  std::int64_t snapshots_loaded = 0;
+  int incarnation_max = 0;
+  const chaos::RoleTable roles = cluster.roles();
+  std::vector<sim::NodeId> all = roles.coordinators;
+  all.insert(all.end(), roles.acceptors.begin(), roles.acceptors.end());
+  all.insert(all.end(), roles.servers.begin(), roles.servers.end());
+  for (const sim::NodeId id : all) {
+    const auto [replayed, loaded] = cluster.recovery_stats(id);
+    if (replayed > replayed_max) replayed_max = replayed;
+    if (loaded) ++snapshots_loaded;
+    const int inc = cluster.incarnation(id);
+    if (inc > incarnation_max) incarnation_max = inc;
+  }
+  const std::int64_t dropped = cluster.faults().dropped();
+  cluster.stop();
+
+  bench::Report report(
+      argc, argv, "E4/E10 live: chaos schedule over a real cluster",
+      "Acked writes survive kills/partitions exactly once; a restart over "
+      "the same data dir replays a bounded snapshot+suffix and rejoins.");
+
+  report.table("chaos." + scenario.name + " (" + backend_arg + ")",
+               {"metric", "value"})
+      .row({"ops", run.ops})
+      .row({"acked", run.acked})
+      .row({"failed", run.failed})
+      .row({"client.retries", run.retries})
+      .row({"frames.dropped", dropped})
+      .row({"stale.reads", run.stale_reads})
+      .row({"elapsed.ms", run.makespan_ms})
+      .row({"converge.ms", run.convergence_ms});
+
+  // The deterministic gate: these are 0 in every correct run.
+  report.table("chaos.invariants (" + backend_arg + ")",
+               {"scenario", "lost.writes", "dup.writes", "converged"})
+      .row({scenario.name, run.lost_writes, run.dup_applies,
+            run.converged ? 1 : 0});
+
+  report.table("recovery (live)", {"metric", "value"})
+      .row({"kills", cluster.kill_count()})
+      .row({"restarts", cluster.restart_count()})
+      .row({"recover.ms.max", cluster.max_restart_ms()})
+      .row({"replayed.records.max", replayed_max})
+      .row({"snapshot.cadence", copt.snapshot_every})
+      .row({"snapshots.loaded", snapshots_loaded})
+      .row({"incarnation.max", incarnation_max});
+
+  report.finish();
+
+  const bool ok =
+      run.converged && run.lost_writes == 0 && run.dup_applies == 0;
+  if (!ok) std::fprintf(stderr, "chaos run FAILED acceptance\n");
+  return ok ? 0 : 1;
+}

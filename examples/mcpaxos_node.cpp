@@ -28,7 +28,9 @@
 // Flags: --policy single|multi|fast picks the round structure (single- vs
 // multicoordinated vs fast rounds over the file's coordinators); --cstruct
 // history|cset|single picks the c-struct set CS (server nodes require
-// history); --tick-us maps protocol ticks to real time.
+// history); --tick-us maps protocol ticks to real time; --data-dir makes
+// the node durable (fsync'd WAL + snapshots) so a restart over the same
+// directory recovers instead of starting fresh.
 //
 // No terminals to spare? `--demo [thread|tcp]` runs a whole loopback
 // cluster (1 coordinator / 3 acceptors / 1 learner / 1 proposer) of real
@@ -72,6 +74,11 @@ struct Options {
   bool serve = false;
   long batch_size = 16;
   long batch_delay = 2;
+  /// Non-empty = durable mode: the node persists its stable storage to an
+  /// fsync'd WAL + snapshots under this directory (storage::FileStorage)
+  /// and, when the directory already holds state, restarts through the
+  /// §4.4 recovery path (replay, incarnation bump, on_recover).
+  std::string data_dir;
   std::string demo;  // empty = distributed mode
 };
 
@@ -159,6 +166,7 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
   runtime::NodeOptions node_options;
   node_options.id = opt.id;
   node_options.tick = std::chrono::microseconds(opt.tick_us);
+  node_options.data_dir = opt.data_dir;
   runtime::Node node(node_options, transport);
 
   gp::GenProposer<CS>* proposer = nullptr;
@@ -306,6 +314,8 @@ Options parse_args(int argc, char** argv) {
       opt.batch_size = std::stol(value());
     } else if (arg == "--batch-delay") {
       opt.batch_delay = std::stol(value());
+    } else if (arg == "--data-dir") {
+      opt.data_dir = value();
     } else if (arg == "--demo") {
       opt.demo = (i + 1 < argc && argv[i + 1][0] != '-') ? value() : "thread";
     } else {
@@ -326,7 +336,8 @@ int main(int argc, char** argv) {
                    "usage: mcpaxos_node --id N --config FILE [--policy "
                    "single|multi|fast] [--cstruct history|cset|single] "
                    "[--commands N] [--run-ms M] [--tick-us U]\n"
-                   "       [--serve] [--batch-size N] [--batch-delay TICKS]\n"
+                   "       [--serve] [--batch-size N] [--batch-delay TICKS] "
+                   "[--data-dir DIR]\n"
                    "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
       return 2;
     }

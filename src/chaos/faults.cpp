@@ -1,0 +1,172 @@
+#include "chaos/faults.hpp"
+
+#include <utility>
+
+namespace mcp::chaos {
+
+// --- LinkFaults ---------------------------------------------------------------
+
+void LinkFaults::partition(sim::NodeId a, sim::NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cut_.insert(link(a, b));
+}
+
+void LinkFaults::drop(sim::NodeId a, sim::NodeId b, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lossy_[link(a, b)] = p;
+}
+
+void LinkFaults::heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cut_.clear();
+  lossy_.clear();
+}
+
+void LinkFaults::slow(sim::NodeId node, sim::Time delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_[node] = delay_ms;
+}
+
+void LinkFaults::fast(sim::NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_.erase(node);
+}
+
+bool LinkFaults::should_drop(sim::NodeId from, sim::NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_.count(link(from, to)) != 0) {
+    ++dropped_;
+    return true;
+  }
+  if (const auto it = lossy_.find(link(from, to)); it != lossy_.end()) {
+    if (rng_.chance(it->second)) {
+      ++dropped_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::chrono::milliseconds LinkFaults::delay(sim::NodeId from, sim::NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::Time ms = 0;
+  if (const auto it = slow_.find(from); it != slow_.end()) ms = it->second;
+  if (const auto it = slow_.find(to); it != slow_.end() && it->second > ms) {
+    ms = it->second;
+  }
+  return std::chrono::milliseconds(ms);
+}
+
+std::int64_t LinkFaults::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+// --- DelayPump ----------------------------------------------------------------
+
+DelayPump::DelayPump() : thread_([this] { run(); }) {}
+
+DelayPump::~DelayPump() { stop(); }
+
+void DelayPump::enqueue(std::chrono::steady_clock::time_point due,
+                        std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.emplace(due, std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void DelayPump::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    while (!queue_.empty()) queue_.pop();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DelayPump::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.top().first;
+    if (std::chrono::steady_clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    auto fn = std::move(const_cast<Entry&>(queue_.top()).second);
+    queue_.pop();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+// --- FaultyTransport ----------------------------------------------------------
+
+void FaultyTransport::start(FrameHandler handler) {
+  transport::Transport* inner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    inner = inner_;
+  }
+  inner->start(std::move(handler));
+}
+
+bool FaultyTransport::send(transport::PeerId to, std::string_view payload) {
+  if (faults_.should_drop(self_, to)) {
+    // The frame was "handed to the carrier" and lost on the wire: success
+    // from the sender's point of view, as with any lossy transport.
+    return true;
+  }
+  const auto delay = faults_.delay(self_, to);
+  if (delay.count() > 0) {
+    pump_.enqueue(std::chrono::steady_clock::now() + delay,
+                  [weak = weak_from_this(), to, frame = std::string(payload)] {
+                    if (const auto self = weak.lock()) {
+                      self->send_delayed(to, frame);
+                    }
+                  });
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  return inner_->send(to, payload);
+}
+
+void FaultyTransport::send_delayed(transport::PeerId to, const std::string& payload) {
+  // Serialized with stop() on mu_: either we see stopped_ and drop, or we
+  // finish the send before stop() can return (and the inner transport be
+  // destroyed).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  inner_->send(to, payload);
+}
+
+void FaultyTransport::stop() {
+  transport::Transport* inner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    inner = inner_;
+  }
+  // Inner stop outside mu_: a TCP transport's stop joins reader threads
+  // whose handlers may be mid-send through this wrapper.
+  inner->stop();
+}
+
+std::string FaultyTransport::name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "chaos(" + inner_->name() + ")";
+}
+
+}  // namespace mcp::chaos

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transport/transport.hpp"
+#include "util/rng.hpp"
+
+namespace mcp::chaos {
+
+/// The cluster-wide fault table the nemesis mutates and every
+/// FaultyTransport consults on each send. Partitions and drop rules are
+/// symmetric (stored on the unordered pair); slow rules are per node and
+/// delay all of that node's links. Thread-safe: nemesis and transport
+/// threads race on it by design.
+class LinkFaults {
+ public:
+  explicit LinkFaults(std::uint64_t seed = 1) : rng_(seed) {}
+
+  void partition(sim::NodeId a, sim::NodeId b);
+  void drop(sim::NodeId a, sim::NodeId b, double p);
+  /// Remove every partition and drop rule (slow rules stay — the DSL's
+  /// `fast` removes those).
+  void heal();
+  void slow(sim::NodeId node, sim::Time delay_ms);
+  void fast(sim::NodeId node);
+
+  /// Should this frame be lost? (Cut link, or a lossy link's coin toss.)
+  bool should_drop(sim::NodeId from, sim::NodeId to);
+  /// Added one-way latency for this link (max of both endpoints' slow
+  /// rules; zero when neither is slowed).
+  std::chrono::milliseconds delay(sim::NodeId from, sim::NodeId to) const;
+
+  std::int64_t dropped() const;
+
+ private:
+  static std::pair<sim::NodeId, sim::NodeId> link(sim::NodeId a, sim::NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  mutable std::mutex mu_;
+  std::set<std::pair<sim::NodeId, sim::NodeId>> cut_;
+  std::map<std::pair<sim::NodeId, sim::NodeId>, double> lossy_;
+  std::map<sim::NodeId, sim::Time> slow_;
+  util::Rng rng_;
+  std::int64_t dropped_ = 0;
+};
+
+/// One background thread delivering delayed closures at their deadlines —
+/// the "wire time" of slowed links. Tasks hold weak references to their
+/// transports (see FaultyTransport::send), so a task outliving its node's
+/// kill is a safe no-op.
+class DelayPump {
+ public:
+  DelayPump();
+  ~DelayPump();
+
+  DelayPump(const DelayPump&) = delete;
+  DelayPump& operator=(const DelayPump&) = delete;
+
+  void enqueue(std::chrono::steady_clock::time_point due,
+               std::function<void()> fn);
+  /// Discard queued tasks and join the thread. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  using Entry = std::pair<std::chrono::steady_clock::time_point,
+                          std::function<void()>>;
+  struct Later {
+    bool operator()(const Entry& x, const Entry& y) const {
+      return x.first > y.first;
+    }
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// A transport wrapper that subjects every outbound frame to the shared
+/// fault table: partitioned/lossy links drop (claiming success, exactly
+/// like a lossy wire), slowed links route through the DelayPump. Inbound
+/// frames pass through untouched — both directions of a cut are enforced
+/// because each sender checks its own outbound half.
+///
+/// Lifetime: managed by shared_ptr (the chaos cluster's), because delayed
+/// sends capture weak_ptrs — a frame in flight when its sender is killed
+/// dissolves instead of dereferencing a dead transport. stop() is
+/// serialized with delayed delivery on mu_, so after stop() returns no
+/// task can touch the inner transport again and the caller may destroy it.
+class FaultyTransport final : public transport::Transport,
+                              public std::enable_shared_from_this<FaultyTransport> {
+ public:
+  FaultyTransport(transport::Transport& inner, LinkFaults& faults,
+                  DelayPump& pump, sim::NodeId self)
+      : inner_(&inner), faults_(faults), pump_(pump), self_(self) {}
+
+  void start(FrameHandler handler) override;
+  bool send(transport::PeerId to, std::string_view payload) override;
+  void stop() override;
+  std::string name() const override;
+
+ private:
+  void send_delayed(transport::PeerId to, const std::string& payload);
+
+  mutable std::mutex mu_;
+  transport::Transport* inner_;  // guarded by mu_ after start
+  LinkFaults& faults_;
+  DelayPump& pump_;
+  sim::NodeId self_;
+  bool stopped_ = false;
+};
+
+}  // namespace mcp::chaos

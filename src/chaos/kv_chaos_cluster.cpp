@@ -1,0 +1,287 @@
+#include "chaos/kv_chaos_cluster.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "storage/file_storage.hpp"
+
+namespace mcp::chaos {
+
+ChaosKvCluster::ChaosKvCluster(ChaosKvOptions options)
+    : options_(std::move(options)), faults_(options_.seed) {
+  if (options_.data_root.empty()) {
+    throw std::invalid_argument("ChaosKvCluster: data_root is required");
+  }
+  if (::mkdir(options_.data_root.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("ChaosKvCluster: mkdir " + options_.data_root + ": " +
+                             std::strerror(errno));
+  }
+
+  const runtime::KvShape& shape = options_.shape;
+  sim::NodeId next = 0;
+  for (int i = 0; i < shape.coordinators; ++i) coordinator_ids_.push_back(next++);
+  for (int i = 0; i < shape.acceptors; ++i) config_.acceptors.push_back(next++);
+  for (int i = 0; i < shape.servers; ++i) {
+    server_ids_.push_back(next);
+    config_.learners.push_back(next);
+    config_.proposers.push_back(next);
+    ++next;
+  }
+  policy_ = shape.coordinators > 1
+                ? paxos::PatternPolicy::multi_then_single(coordinator_ids_)
+                : paxos::PatternPolicy::always_single(coordinator_ids_);
+  config_.policy = policy_.get();
+  config_.f = shape.f;
+  config_.e = shape.e;
+  config_.bottom = History(&conflicts_);
+  config_.retry_interval = shape.retry_interval;
+  config_.progress_timeout = shape.progress_timeout;
+  config_.delta_messages = shape.delta_messages;
+
+  members_.resize(static_cast<std::size_t>(next));
+  for (sim::NodeId id = 0; id < next; ++id) {
+    Member& m = member(id);
+    if (id < static_cast<sim::NodeId>(coordinator_ids_.size())) {
+      m.role = "coordinator";
+    } else if (id < next - static_cast<sim::NodeId>(server_ids_.size())) {
+      m.role = "acceptor";
+    } else {
+      m.role = "server";
+    }
+    m.data_dir = options_.data_root + "/node" + std::to_string(id);
+  }
+
+  if (options_.backend == runtime::Backend::kThread) {
+    hub_ = std::make_unique<transport::ThreadHub>();
+  } else {
+    // Bind every listener up front on ephemeral ports; the port a member
+    // gets here is its address for the cluster's whole life — a restarted
+    // member rebinds the same port (SO_REUSEADDR) so peers' tables and
+    // their dial-retry loops keep working across the kill.
+    for (sim::NodeId id = 0; id < next; ++id) {
+      transport::TcpConfig tc;
+      tc.self = id;
+      tc.listen_host = options_.host;
+      auto t = std::make_unique<transport::TcpTransport>(tc);
+      member(id).port = t->bind_and_listen();
+      member(id).tcp = std::move(t);
+    }
+    for (sim::NodeId id = 0; id < next; ++id) {
+      for (sim::NodeId peer = 0; peer < next; ++peer) {
+        if (peer == id) continue;
+        member(id).tcp->set_peer(peer, {options_.host, member(peer).port});
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (sim::NodeId id = 0; id < next; ++id) build_member(id);
+}
+
+ChaosKvCluster::~ChaosKvCluster() { stop(); }
+
+transport::Transport& ChaosKvCluster::make_inner_transport(sim::NodeId id) {
+  if (hub_) {
+    // restart_endpoint also serves the first build: no prior endpoint
+    // means it simply creates a fresh one.
+    return hub_->restart_endpoint(id);
+  }
+  Member& m = member(id);
+  if (!m.tcp) {
+    transport::TcpConfig tc;
+    tc.self = id;
+    tc.listen_host = options_.host;
+    tc.listen_port = m.port;  // the address peers still dial
+    for (sim::NodeId peer = 0; peer < static_cast<sim::NodeId>(members_.size());
+         ++peer) {
+      if (peer == id) continue;
+      tc.peers[peer] = {options_.host, member(peer).port};
+    }
+    m.tcp = std::make_unique<transport::TcpTransport>(tc);
+    m.tcp->bind_and_listen();
+  }
+  return *m.tcp;
+}
+
+void ChaosKvCluster::build_member(sim::NodeId id) {
+  Member& m = member(id);
+  transport::Transport& inner = make_inner_transport(id);
+  m.faulty = std::make_shared<FaultyTransport>(inner, faults_, pump_, id);
+
+  runtime::NodeOptions no;
+  no.id = id;
+  no.tick = options_.tick;
+  no.rng_seed = options_.seed + static_cast<std::uint64_t>(id);
+  no.data_dir = m.data_dir;
+  no.snapshot_every = options_.snapshot_every;
+  m.node = std::make_unique<runtime::Node>(no, *m.faulty);
+
+  if (m.role == "coordinator") {
+    m.node->make_process<genpaxos::GenCoordinator<History>>(config_);
+  } else if (m.role == "acceptor") {
+    m.node->make_process<genpaxos::GenAcceptor<History>>(config_);
+  } else {
+    m.frontend =
+        &m.node->make_process<service::Frontend>(config_, options_.shape.frontend);
+  }
+}
+
+void ChaosKvCluster::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  for (Member& m : members_) {
+    if (m.node) m.node->start();
+  }
+}
+
+void ChaosKvCluster::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Member& m : members_) {
+    if (m.node) m.node->stop();
+  }
+  pump_.stop();
+  if (hub_) hub_->stop_all();
+  for (Member& m : members_) {
+    if (m.tcp) m.tcp->stop();
+  }
+}
+
+void ChaosKvCluster::kill(sim::NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(id);
+  if (!m.node) return;
+  m.node->stop();  // joins the loop; FaultyTransport (and inner) stop too
+  m.node.reset();
+  m.frontend = nullptr;
+  m.faulty.reset();
+  m.tcp.reset();  // kTcp: release the port so the restart can rebind it
+  ++kills_;
+}
+
+void ChaosKvCluster::restart(sim::NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(id);
+  if (m.node) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  build_member(id);
+  if (started_) m.node->start();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (ms > max_restart_ms_) max_restart_ms_ = ms;
+  ++restarts_;
+}
+
+void ChaosKvCluster::revive_all() {
+  for (sim::NodeId id = 0; id < static_cast<sim::NodeId>(members_.size()); ++id) {
+    if (!alive(id)) restart(id);
+  }
+}
+
+Nemesis::Hooks ChaosKvCluster::hooks() {
+  Nemesis::Hooks h;
+  h.kill = [this](sim::NodeId id) { kill(id); };
+  h.restart = [this](sim::NodeId id) { restart(id); };
+  h.partition = [this](sim::NodeId a, sim::NodeId b) { faults_.partition(a, b); };
+  h.heal = [this] { faults_.heal(); };
+  h.slow = [this](sim::NodeId id, sim::Time ms) { faults_.slow(id, ms); };
+  h.fast = [this](sim::NodeId id) { faults_.fast(id); };
+  h.drop = [this](sim::NodeId a, sim::NodeId b, double p) { faults_.drop(a, b, p); };
+  return h;
+}
+
+RoleTable ChaosKvCluster::roles() const {
+  RoleTable roles;
+  roles.coordinators = coordinator_ids_;
+  roles.acceptors = config_.acceptors;
+  roles.servers = server_ids_;
+  return roles;
+}
+
+std::unique_ptr<service::ClientChannel> ChaosKvCluster::make_channel(
+    sim::NodeId client_id) {
+  if (hub_) {
+    return std::make_unique<service::HubClientChannel>(*hub_, client_id);
+  }
+  std::map<sim::NodeId, service::ServerAddr> servers;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const sim::NodeId id : server_ids_) {
+    servers[id] = {options_.host, member(id).port};
+  }
+  return std::make_unique<service::TcpClientChannel>(std::move(servers));
+}
+
+bool ChaosKvCluster::alive(sim::NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return member(id).node != nullptr;
+}
+
+smr::KVStore ChaosKvCluster::store_snapshot(sim::NodeId server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(server_id);
+  if (!m.node || !m.frontend) {
+    throw std::logic_error("store_snapshot: server is not alive");
+  }
+  service::Frontend* f = m.frontend;
+  return m.node->call([f] { return f->store(); });
+}
+
+ChaosKvCluster::History ChaosKvCluster::learned_snapshot(sim::NodeId server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(server_id);
+  if (!m.node || !m.frontend) {
+    throw std::logic_error("learned_snapshot: server is not alive");
+  }
+  service::Frontend* f = m.frontend;
+  return m.node->call([f] { return f->learned(); });
+}
+
+std::size_t ChaosKvCluster::applied_count(sim::NodeId server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(server_id);
+  if (!m.node || !m.frontend) return 0;
+  service::Frontend* f = m.frontend;
+  return m.node->call([f] { return f->applied(); });
+}
+
+int ChaosKvCluster::incarnation(sim::NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(id);
+  if (!m.node) return -1;
+  runtime::Node* node = m.node.get();
+  return node->call([node] { return node->process().incarnation(); });
+}
+
+std::pair<std::int64_t, bool> ChaosKvCluster::recovery_stats(sim::NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(id);
+  if (!m.node) return {0, false};
+  runtime::Node* node = m.node.get();
+  return node->call([node]() -> std::pair<std::int64_t, bool> {
+    const auto* fs =
+        dynamic_cast<const storage::FileStorage*>(&node->process().storage());
+    if (fs == nullptr) return {0, false};
+    return {fs->replayed_records(), fs->loaded_snapshot()};
+  });
+}
+
+std::int64_t ChaosKvCluster::kill_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kills_;
+}
+
+std::int64_t ChaosKvCluster::restart_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+double ChaosKvCluster::max_restart_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_restart_ms_;
+}
+
+}  // namespace mcp::chaos

@@ -1,0 +1,149 @@
+#pragma once
+
+// A restartable live KV service cluster — the chaos twin of
+// runtime::KvServiceCluster. Same id layout (coordinators, acceptors,
+// servers; every server in both learners and proposers), same processes,
+// but: every node's transport is wrapped in a chaos::FaultyTransport
+// consulting one shared LinkFaults table, every node persists to its own
+// FileStorage data dir, and members can be killed and restarted
+// individually — the restart reopening the same data dir, so the §4.4
+// recovery path (WAL+snapshot replay, incarnation bump, on_recover) runs
+// on a real process boundary instead of the simulator's.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chaos/faults.hpp"
+#include "chaos/nemesis.hpp"
+#include "chaos/scenario.hpp"
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "paxos/round_config.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/kv_cluster.hpp"
+#include "service/client.hpp"
+#include "service/frontend.hpp"
+#include "smr/kv.hpp"
+
+namespace mcp::chaos {
+
+struct ChaosKvOptions {
+  runtime::Backend backend = runtime::Backend::kThread;
+  runtime::KvShape shape;
+  /// Required: every node persists under <data_root>/node<id>/ (created).
+  std::string data_root;
+  std::chrono::microseconds tick{1000};
+  std::uint64_t seed = 1;
+  /// FileStorage snapshot cadence — small by default so even short chaos
+  /// runs cross a snapshot boundary and recovery replays snapshot+suffix.
+  std::int64_t snapshot_every = 64;
+  std::string host = "127.0.0.1";
+};
+
+class ChaosKvCluster {
+ public:
+  using History = cstruct::History;
+
+  explicit ChaosKvCluster(ChaosKvOptions options);
+  ~ChaosKvCluster();
+
+  ChaosKvCluster(const ChaosKvCluster&) = delete;
+  ChaosKvCluster& operator=(const ChaosKvCluster&) = delete;
+
+  void start();
+  void stop();
+
+  // --- nemesis surface -------------------------------------------------------
+  /// Stop the node's loop and destroy it + its transport (the live
+  /// equivalent of SIGKILL: no flush, no goodbye — only what FileStorage
+  /// already fsync'd survives). No-op on an already-dead node.
+  void kill(sim::NodeId id);
+  /// Rebuild transport + node over the same data dir and start it: the
+  /// FileStorage recovery path, incarnation bump included. No-op if alive.
+  void restart(sim::NodeId id);
+  /// Restart every dead member (harnesses call this after a schedule so
+  /// convergence is always possible even for scenarios that end killed).
+  void revive_all();
+
+  /// Hooks bound to this cluster (kill/restart) and its fault table
+  /// (partition/heal/slow/fast/drop) — plug into a Nemesis.
+  Nemesis::Hooks hooks();
+  /// The role table scenarios compile against.
+  RoleTable roles() const;
+  LinkFaults& faults() { return faults_; }
+
+  // --- client plumbing (mirrors KvServiceCluster) ----------------------------
+  std::unique_ptr<service::ClientChannel> make_channel(sim::NodeId client_id);
+  sim::NodeId client_endpoint_id(int i) const {
+    return static_cast<sim::NodeId>(1000 + i);
+  }
+  const std::vector<sim::NodeId>& server_ids() const { return server_ids_; }
+  const std::vector<sim::NodeId>& acceptor_ids() const { return config_.acceptors; }
+
+  // --- inspection ------------------------------------------------------------
+  bool alive(sim::NodeId id) const;
+  /// These run on the target node's loop; id must name a live server.
+  smr::KVStore store_snapshot(sim::NodeId server_id);
+  History learned_snapshot(sim::NodeId server_id);
+  std::size_t applied_count(sim::NodeId server_id);
+  /// Process::incarnation() of a live member.
+  int incarnation(sim::NodeId id);
+  /// FileStorage replay accounting of a live member (0s if somehow not
+  /// file-backed): {replayed_records, loaded_snapshot}.
+  std::pair<std::int64_t, bool> recovery_stats(sim::NodeId id);
+
+  std::int64_t kill_count() const;
+  std::int64_t restart_count() const;
+  /// Wall-clock duration of the slowest restart() so far (transport
+  /// rebuild + WAL/snapshot replay + recovery bookkeeping) — the bounded
+  /// recovery time E10-live reports.
+  double max_restart_ms() const;
+
+  const ChaosKvOptions& options() const { return options_; }
+  const genpaxos::Config<History>& config() const { return config_; }
+
+ private:
+  struct Member {
+    std::string role;  // "coordinator" | "acceptor" | "server"
+    std::string data_dir;
+    std::uint16_t port = 0;  // kTcp: fixed after the initial bind
+    std::unique_ptr<transport::TcpTransport> tcp;
+    std::shared_ptr<FaultyTransport> faulty;
+    std::unique_ptr<runtime::Node> node;
+    service::Frontend* frontend = nullptr;
+  };
+
+  /// Build transport + node + process for `id` (mu_ held by caller).
+  void build_member(sim::NodeId id);
+  transport::Transport& make_inner_transport(sim::NodeId id);
+  Member& member(sim::NodeId id) { return members_.at(static_cast<std::size_t>(id)); }
+  const Member& member(sim::NodeId id) const {
+    return members_.at(static_cast<std::size_t>(id));
+  }
+
+  ChaosKvOptions options_;
+  cstruct::KeyConflict conflicts_;
+  std::unique_ptr<paxos::RoundPolicy> policy_;
+  genpaxos::Config<History> config_;
+  std::vector<sim::NodeId> coordinator_ids_;
+  std::vector<sim::NodeId> server_ids_;
+
+  LinkFaults faults_;
+  DelayPump pump_;
+  std::unique_ptr<transport::ThreadHub> hub_;  // kThread
+
+  /// Serializes kill/restart/stop/inspection against each other (the
+  /// nemesis thread races the harness thread on the member table).
+  mutable std::mutex mu_;
+  std::vector<Member> members_;
+  bool started_ = false;
+  std::int64_t kills_ = 0;
+  std::int64_t restarts_ = 0;
+  double max_restart_ms_ = 0;
+};
+
+}  // namespace mcp::chaos

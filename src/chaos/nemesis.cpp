@@ -1,0 +1,64 @@
+#include "chaos/nemesis.hpp"
+
+#include <chrono>
+
+namespace mcp::chaos {
+
+void Nemesis::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Action& action : schedule_) {
+    std::this_thread::sleep_until(t0 + std::chrono::milliseconds(action.at_ms));
+    dispatch(action);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      executed_.push_back(action);
+    }
+  }
+}
+
+void Nemesis::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Nemesis::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Nemesis::dispatch(const Action& action) {
+  switch (action.kind) {
+    case ActionKind::kKill:
+      if (hooks_.kill) hooks_.kill(action.a);
+      return;
+    case ActionKind::kRestart:
+      if (hooks_.restart) hooks_.restart(action.a);
+      return;
+    case ActionKind::kPartition:
+      if (hooks_.partition) hooks_.partition(action.a, action.b);
+      return;
+    case ActionKind::kHeal:
+      if (hooks_.heal) hooks_.heal();
+      return;
+    case ActionKind::kSlow:
+      if (hooks_.slow) hooks_.slow(action.a, action.delay_ms);
+      return;
+    case ActionKind::kFast:
+      if (hooks_.fast) hooks_.fast(action.a);
+      return;
+    case ActionKind::kDrop:
+      if (hooks_.drop) hooks_.drop(action.a, action.b, action.p);
+      return;
+  }
+}
+
+std::string Nemesis::executed_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_string(executed_);
+}
+
+std::size_t Nemesis::executed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_.size();
+}
+
+}  // namespace mcp::chaos

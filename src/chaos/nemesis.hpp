@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+
+namespace mcp::chaos {
+
+/// Executes a compiled chaos schedule against a live cluster in real time.
+///
+/// The schedule is fully precomputed (see chaos::compile) — the nemesis
+/// adds no randomness of its own, so the same scenario + seed always
+/// performs the same actions in the same order at the same offsets, and
+/// the only nondeterminism in a chaos run is the cluster's. Hooks are how
+/// the actions reach the cluster driver; every executed action is appended
+/// to a log the harness can print or compare.
+class Nemesis {
+ public:
+  struct Hooks {
+    std::function<void(sim::NodeId)> kill;
+    std::function<void(sim::NodeId)> restart;
+    std::function<void(sim::NodeId, sim::NodeId)> partition;
+    std::function<void()> heal;
+    std::function<void(sim::NodeId, sim::Time)> slow;
+    std::function<void(sim::NodeId)> fast;
+    std::function<void(sim::NodeId, sim::NodeId, double)> drop;
+  };
+
+  Nemesis(std::vector<Action> schedule, Hooks hooks)
+      : schedule_(std::move(schedule)), hooks_(std::move(hooks)) {}
+  ~Nemesis() { join(); }
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Run the whole schedule on the calling thread (sleeping between
+  /// actions), then return.
+  void run();
+  /// Run on a background thread; join() waits for the end of the schedule.
+  void start();
+  void join();
+
+  const std::vector<Action>& schedule() const { return schedule_; }
+  /// One line per executed action, in execution order — identical to
+  /// schedule_string(schedule()) once the run finished, which is exactly
+  /// what the determinism test checks across runs.
+  std::string executed_log() const;
+  std::size_t executed_count() const;
+
+ private:
+  void dispatch(const Action& action);
+
+  std::vector<Action> schedule_;
+  Hooks hooks_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::vector<Action> executed_;
+};
+
+}  // namespace mcp::chaos

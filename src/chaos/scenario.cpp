@@ -1,0 +1,234 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mcp::chaos {
+
+const char* action_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kKill: return "kill";
+    case ActionKind::kRestart: return "restart";
+    case ActionKind::kPartition: return "partition";
+    case ActionKind::kHeal: return "heal";
+    case ActionKind::kSlow: return "slow";
+    case ActionKind::kFast: return "fast";
+    case ActionKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& origin, int lineno,
+                           const std::string& why) {
+  throw std::runtime_error("scenario " + origin + ":" + std::to_string(lineno) +
+                           ": " + why);
+}
+
+bool parse_kind(const std::string& word, ActionKind* out) {
+  if (word == "kill") *out = ActionKind::kKill;
+  else if (word == "restart") *out = ActionKind::kRestart;
+  else if (word == "partition") *out = ActionKind::kPartition;
+  else if (word == "heal") *out = ActionKind::kHeal;
+  else if (word == "slow") *out = ActionKind::kSlow;
+  else if (word == "fast") *out = ActionKind::kFast;
+  else if (word == "drop") *out = ActionKind::kDrop;
+  else return false;
+  return true;
+}
+
+/// How many targets (and which trailing numeric argument) each verb takes.
+struct Arity {
+  int targets = 0;
+  bool has_delay = false;
+  bool has_prob = false;
+};
+
+Arity arity_of(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kKill:
+    case ActionKind::kRestart:
+    case ActionKind::kFast:
+      return {1, false, false};
+    case ActionKind::kPartition:
+      return {2, false, false};
+    case ActionKind::kHeal:
+      return {0, false, false};
+    case ActionKind::kSlow:
+      return {1, true, false};
+    case ActionKind::kDrop:
+      return {2, false, true};
+  }
+  return {};
+}
+
+}  // namespace
+
+Scenario parse_scenario_text(const std::string& text, const std::string& origin) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;  // blank/comment line
+
+    if (word == "name") {
+      if (!(words >> scenario.name)) bad_line(origin, lineno, "name needs a value");
+      continue;
+    }
+    if (word == "duration-ms") {
+      if (!(words >> scenario.duration_ms) || scenario.duration_ms < 0) {
+        bad_line(origin, lineno, "duration-ms needs a non-negative integer");
+      }
+      continue;
+    }
+    if (word != "at") bad_line(origin, lineno, "unknown directive '" + word + "'");
+
+    ScenarioEvent ev;
+    if (!(words >> ev.at_ms) || ev.at_ms < 0) {
+      bad_line(origin, lineno, "'at' needs a non-negative millisecond offset");
+    }
+    std::string verb;
+    if (!(words >> verb) || !parse_kind(verb, &ev.kind)) {
+      bad_line(origin, lineno, "unknown action '" + verb + "'");
+    }
+    const Arity arity = arity_of(ev.kind);
+    if (arity.targets >= 1 && !(words >> ev.target_a)) {
+      bad_line(origin, lineno, verb + " needs a target");
+    }
+    if (arity.targets >= 2 && !(words >> ev.target_b)) {
+      bad_line(origin, lineno, verb + " needs two targets");
+    }
+    if (arity.has_delay && (!(words >> ev.delay_ms) || ev.delay_ms < 0)) {
+      bad_line(origin, lineno, verb + " needs a delay in ms");
+    }
+    if (arity.has_prob && (!(words >> ev.p) || ev.p < 0 || ev.p > 1)) {
+      bad_line(origin, lineno, verb + " needs a probability in [0,1]");
+    }
+    std::string extra;
+    if (words >> extra) bad_line(origin, lineno, "trailing junk '" + extra + "'");
+    scenario.events.push_back(std::move(ev));
+  }
+  if (scenario.name.empty()) {
+    throw std::runtime_error("scenario " + origin + ": missing 'name'");
+  }
+  if (scenario.duration_ms <= 0) {
+    throw std::runtime_error("scenario " + origin + ": missing 'duration-ms'");
+  }
+  for (const ScenarioEvent& ev : scenario.events) {
+    if (ev.at_ms > scenario.duration_ms) {
+      throw std::runtime_error("scenario " + origin +
+                               ": event past duration-ms");
+    }
+  }
+  return scenario;
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("scenario: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str(), path);
+}
+
+namespace {
+
+sim::NodeId resolve(const std::string& target, const RoleTable& roles,
+                    util::Rng& rng) {
+  auto from_role = [&](const std::string& role,
+                       const std::vector<sim::NodeId>& ids,
+                       const std::string& index_str) -> sim::NodeId {
+    std::size_t index = 0;
+    try {
+      index = static_cast<std::size_t>(std::stoul(index_str));
+    } catch (const std::exception&) {
+      throw std::runtime_error("scenario: bad index in target '" + target + "'");
+    }
+    if (index >= ids.size()) {
+      throw std::runtime_error("scenario: target '" + target + "' out of range (" +
+                               role + " has " + std::to_string(ids.size()) +
+                               " members)");
+    }
+    return ids[index];
+  };
+
+  if (target.rfind("any-", 0) == 0) {
+    const std::string role = target.substr(4);
+    const std::vector<sim::NodeId>* ids = nullptr;
+    if (role == "coordinator") ids = &roles.coordinators;
+    else if (role == "acceptor") ids = &roles.acceptors;
+    else if (role == "server") ids = &roles.servers;
+    if (ids == nullptr || ids->empty()) {
+      throw std::runtime_error("scenario: no members for target '" + target + "'");
+    }
+    return rng.pick(*ids);
+  }
+  const auto dot = target.find('.');
+  if (dot == std::string::npos) {
+    throw std::runtime_error("scenario: malformed target '" + target + "'");
+  }
+  const std::string role = target.substr(0, dot);
+  const std::string index = target.substr(dot + 1);
+  if (role == "coordinator") return from_role(role, roles.coordinators, index);
+  if (role == "acceptor") return from_role(role, roles.acceptors, index);
+  if (role == "server") return from_role(role, roles.servers, index);
+  if (role == "node") {
+    try {
+      return static_cast<sim::NodeId>(std::stoi(index));
+    } catch (const std::exception&) {
+      throw std::runtime_error("scenario: bad node id in '" + target + "'");
+    }
+  }
+  throw std::runtime_error("scenario: unknown role in target '" + target + "'");
+}
+
+}  // namespace
+
+std::vector<Action> compile(const Scenario& scenario, const RoleTable& roles,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Action> schedule;
+  schedule.reserve(scenario.events.size());
+  for (const ScenarioEvent& ev : scenario.events) {
+    Action a;
+    a.at_ms = ev.at_ms;
+    a.kind = ev.kind;
+    a.p = ev.p;
+    a.delay_ms = ev.delay_ms;
+    // Resolve in file order, unconditionally: the rng consumption pattern
+    // depends only on the file, so one seed → one schedule.
+    if (!ev.target_a.empty()) a.a = resolve(ev.target_a, roles, rng);
+    if (!ev.target_b.empty()) a.b = resolve(ev.target_b, roles, rng);
+    schedule.push_back(a);
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Action& x, const Action& y) { return x.at_ms < y.at_ms; });
+  return schedule;
+}
+
+std::string schedule_string(const std::vector<Action>& schedule) {
+  std::ostringstream out;
+  for (const Action& a : schedule) {
+    out << "t=" << a.at_ms << " " << action_name(a.kind);
+    if (a.a != sim::kNoNode) out << " node=" << a.a;
+    if (a.b != sim::kNoNode) out << " peer=" << a.b;
+    if (a.kind == ActionKind::kSlow) out << " delay=" << a.delay_ms;
+    if (a.kind == ActionKind::kDrop) out << " p=" << a.p;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcp::chaos

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcp::chaos {
+
+/// What one scheduled fault does to the live cluster. The vocabulary is
+/// the depfast EPaxos harness's (disconnect / unreliable / slow) plus the
+/// process-level crash/restart this repo's recovery story needs.
+enum class ActionKind {
+  kKill,       ///< stop the target node's process (SIGKILL equivalent)
+  kRestart,    ///< bring it back with the same data dir (recovery path)
+  kPartition,  ///< cut the link between two nodes, both directions
+  kHeal,       ///< remove every partition and drop rule
+  kSlow,       ///< add fixed delay to all of the target's outbound links
+  kFast,       ///< remove the target's delay
+  kDrop,       ///< make the link between two nodes lossy (probability p)
+};
+
+const char* action_name(ActionKind kind);
+
+/// One fully resolved schedule entry: `at` milliseconds after the nemesis
+/// starts, apply `kind` to node `a` (and `b` for the link actions).
+struct Action {
+  sim::Time at_ms = 0;
+  ActionKind kind = ActionKind::kHeal;
+  sim::NodeId a = sim::kNoNode;
+  sim::NodeId b = sim::kNoNode;
+  double p = 0;             ///< kDrop: per-frame loss probability
+  sim::Time delay_ms = 0;   ///< kSlow: added one-way link delay
+};
+
+/// One parsed-but-unresolved scenario line: targets are still symbolic
+/// ("acceptor.0", "any-acceptor", "server.1") so the same file drives any
+/// cluster shape; compile() resolves them against a concrete role table.
+struct ScenarioEvent {
+  sim::Time at_ms = 0;
+  ActionKind kind = ActionKind::kHeal;
+  std::string target_a;
+  std::string target_b;
+  double p = 0;
+  sim::Time delay_ms = 0;
+};
+
+/// A chaos scenario file (tests/scenarios/*.chaos):
+///
+///   # comment
+///   name  crash-acceptor
+///   duration-ms  4000
+///   at 500  kill     acceptor.0
+///   at 1500 restart  acceptor.0
+///   at 800  partition acceptor.1 server.0
+///   at 1200 heal
+///   at 600  slow     any-acceptor 25
+///   at 900  fast     any-acceptor
+///   at 300  drop     coordinator.0 acceptor.2 0.3
+///
+/// Targets: `<role>.<index>` (coordinator | acceptor | server, index into
+/// that role's id list), `node.<id>` (a raw cluster id), or `any-<role>`
+/// (one seeded-random member of the role, resolved at compile time so the
+/// schedule — not the run — carries all the randomness).
+struct Scenario {
+  std::string name;
+  sim::Time duration_ms = 0;
+  std::vector<ScenarioEvent> events;
+};
+
+/// Parse scenario text; throws std::runtime_error on malformed lines.
+Scenario parse_scenario_text(const std::string& text,
+                             const std::string& origin = "<text>");
+Scenario parse_scenario_file(const std::string& path);
+
+/// The concrete cluster a scenario compiles against.
+struct RoleTable {
+  std::vector<sim::NodeId> coordinators;
+  std::vector<sim::NodeId> acceptors;
+  std::vector<sim::NodeId> servers;
+};
+
+/// Resolve every symbolic target into node ids and sort by time (stable:
+/// same-instant events keep file order). All `any-*` picks draw from one
+/// Rng(seed), so scenario + seed fully determine the schedule — the
+/// determinism the nemesis tests assert by comparing schedule_string()s.
+/// Throws std::runtime_error on unknown targets or out-of-range indices.
+std::vector<Action> compile(const Scenario& scenario, const RoleTable& roles,
+                            std::uint64_t seed);
+
+/// Canonical one-line-per-action rendering ("t=500 kill node=3"), the
+/// comparable log the determinism test and the JSON reports use.
+std::string schedule_string(const std::vector<Action>& schedule);
+
+}  // namespace mcp::chaos

@@ -1,0 +1,170 @@
+#include "chaos/workload.hpp"
+
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace mcp::chaos {
+namespace {
+
+struct ClientOutcome {
+  std::int64_t ops = 0;
+  std::int64_t acked = 0;
+  std::int64_t failed = 0;
+  std::int64_t retries = 0;
+  std::int64_t stale_reads = 0;
+  /// (key, value) pairs the cluster acknowledged — the writes that must
+  /// survive whatever the nemesis did.
+  std::vector<std::pair<std::string, std::string>> acked_writes;
+};
+
+ClientOutcome run_client(ChaosKvCluster& cluster, int index,
+                         const WorkloadOptions& options) {
+  service::Client::Options co;
+  co.client_id = 0x1000 + static_cast<std::uint64_t>(index);
+  co.servers = cluster.server_ids();
+  co.attempt_timeout = options.attempt_timeout;
+  co.max_attempts = options.max_attempts;
+  service::Client client(
+      cluster.make_channel(cluster.client_endpoint_id(index)), co);
+
+  ClientOutcome out;
+  for (int j = 0; j < options.ops_per_client; ++j) {
+    if (j > 0 && options.op_delay.count() > 0) {
+      std::this_thread::sleep_for(options.op_delay);
+    }
+    const std::string key =
+        "c" + std::to_string(index) + ".k" + std::to_string(j);
+    const std::string value =
+        "v" + std::to_string(index) + "." + std::to_string(j);
+    ++out.ops;
+    const auto put = client.put(key, value);
+    if (put.ok) {
+      ++out.acked;
+      out.acked_writes.emplace_back(key, value);
+    } else {
+      ++out.failed;
+    }
+
+    if (options.read_every > 0 && (j + 1) % options.read_every == 0 &&
+        !out.acked_writes.empty()) {
+      // Read back this client's most recent acked write. The read
+      // conflicts with that write, so every correct linearization orders
+      // it after — the reply must carry the written value.
+      const auto& [rkey, rvalue] = out.acked_writes.back();
+      ++out.ops;
+      const auto got = client.get(rkey);
+      if (!got.ok) {
+        ++out.failed;
+      } else {
+        ++out.acked;
+        if (!got.found || got.value != rvalue) ++out.stale_reads;
+      }
+    }
+  }
+  out.retries = static_cast<std::int64_t>(client.retries());
+  return out;
+}
+
+}  // namespace
+
+WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
+                                  WorkloadOptions options) {
+  WorkloadReport report;
+
+  const auto traffic_t0 = std::chrono::steady_clock::now();
+  nemesis.start();
+
+  std::vector<ClientOutcome> outcomes(
+      static_cast<std::size_t>(options.clients));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(outcomes.size());
+    for (int i = 0; i < options.clients; ++i) {
+      threads.emplace_back([&cluster, &options, &outcomes, i] {
+        outcomes[static_cast<std::size_t>(i)] =
+            run_client(cluster, i, options);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  report.makespan_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - traffic_t0)
+                           .count();
+  nemesis.join();
+
+  std::vector<std::pair<std::string, std::string>> acked_writes;
+  for (const ClientOutcome& out : outcomes) {
+    report.ops += out.ops;
+    report.acked += out.acked;
+    report.failed += out.failed;
+    report.retries += out.retries;
+    report.stale_reads += out.stale_reads;
+    acked_writes.insert(acked_writes.end(), out.acked_writes.begin(),
+                        out.acked_writes.end());
+  }
+
+  // Settle: undo whatever link faults are still in force and bring every
+  // killed member back (through its FileStorage recovery path), then wait
+  // for the replicas to agree on a state containing all acked writes.
+  cluster.faults().heal();
+  cluster.revive_all();
+
+  const auto settle_t0 = std::chrono::steady_clock::now();
+  const auto deadline = settle_t0 + options.converge_timeout;
+  const auto& servers = cluster.server_ids();
+  while (true) {
+    std::vector<smr::KVStore> stores;
+    stores.reserve(servers.size());
+    for (const sim::NodeId id : servers) stores.push_back(cluster.store_snapshot(id));
+
+    bool equal = true;
+    for (std::size_t i = 1; i < stores.size(); ++i) {
+      if (stores[i] != stores[0]) {
+        equal = false;
+        break;
+      }
+    }
+    std::int64_t lost = 0;
+    if (equal) {
+      for (const auto& [key, value] : acked_writes) {
+        const auto it = stores[0].data().find(key);
+        if (it == stores[0].data().end() || it->second != value) ++lost;
+      }
+    }
+    if (equal && lost == 0) {
+      report.converged = true;
+      report.lost_writes = 0;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      report.converged = false;
+      report.lost_writes = lost;
+      break;
+    }
+    std::this_thread::sleep_for(options.converge_poll);
+  }
+  report.convergence_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - settle_t0)
+                              .count();
+
+  // Exactly-once: no learned history may carry a command id twice, and no
+  // replica may have applied more commands than its history holds.
+  for (const sim::NodeId id : servers) {
+    const auto history = cluster.learned_snapshot(id);
+    std::unordered_set<std::uint64_t> ids;
+    ids.reserve(history.size());
+    for (const auto& c : history.sequence()) {
+      if (!ids.insert(c.id).second) ++report.dup_applies;
+    }
+    const auto applied = static_cast<std::int64_t>(cluster.applied_count(id));
+    const auto learned = static_cast<std::int64_t>(history.size());
+    if (applied > learned) report.dup_applies += applied - learned;
+    if (learned > report.learned) report.learned = learned;
+  }
+  return report;
+}
+
+}  // namespace mcp::chaos

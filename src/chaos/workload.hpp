@@ -1,0 +1,62 @@
+#pragma once
+
+// The acceptance harness of the chaos layer: bench_kv-style client traffic
+// pushed through a ChaosKvCluster while a Nemesis executes its schedule,
+// followed by heal + revive_all and the E4 checks — every acknowledged
+// write present on every replica, no command learned twice, all replica
+// stores equal. Ops that exhausted their attempt budget mid-chaos are
+// counted as failed and excluded from the lost-write accounting (their
+// outcome is ambiguous by definition); everything the cluster acked must
+// survive.
+
+#include <chrono>
+#include <cstdint>
+
+#include "chaos/kv_chaos_cluster.hpp"
+#include "chaos/nemesis.hpp"
+
+namespace mcp::chaos {
+
+struct WorkloadOptions {
+  int clients = 4;
+  int ops_per_client = 40;
+  /// Every Nth op per client is a read of a key that client already wrote
+  /// (and got acked); 0 disables reads. Reads conflict with the writes
+  /// they follow, so a correct run returns the written value — anything
+  /// else counts as a stale read.
+  int read_every = 5;
+  /// Pause between a client's ops. Pick ~scenario duration / ops_per_client
+  /// so the traffic actually overlaps the whole schedule — an unpaced
+  /// workload on a fast backend finishes before the first fault fires.
+  std::chrono::milliseconds op_delay{0};
+  std::chrono::milliseconds attempt_timeout{250};
+  int max_attempts = 60;
+  /// Budget for the post-chaos convergence wait (heal + revive first).
+  std::chrono::milliseconds converge_timeout{20000};
+  std::chrono::milliseconds converge_poll{50};
+};
+
+struct WorkloadReport {
+  // --- traffic ---------------------------------------------------------------
+  std::int64_t ops = 0;
+  std::int64_t acked = 0;
+  std::int64_t failed = 0;
+  std::int64_t retries = 0;      ///< client retransmissions beyond first sends
+  std::int64_t stale_reads = 0;  ///< acked reads that missed an earlier acked write
+  double makespan_ms = 0;        ///< traffic start → all clients done
+
+  // --- acceptance ------------------------------------------------------------
+  bool converged = false;      ///< stores equal + every acked write present
+  double convergence_ms = 0;   ///< heal/revive → converged
+  std::int64_t lost_writes = 0;  ///< acked writes absent or wrong in final state
+  std::int64_t dup_applies = 0;  ///< duplicate ids in learned sequences, plus
+                                 ///< applied-beyond-learned excess per server
+  std::int64_t learned = 0;      ///< learned-history size once converged
+};
+
+/// Runs the schedule and the traffic concurrently, then settles and checks.
+/// The cluster must already be started.
+WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
+                                  WorkloadOptions options = {});
+
+}  // namespace mcp::chaos

@@ -4,9 +4,15 @@
 #include <string>
 
 #include "paxos/wire.hpp"
+#include "storage/file_storage.hpp"
 #include "transport/tcp_transport.hpp"
 
 namespace mcp::runtime {
+
+/// Reserved storage key: the node-level crash counter (Process::
+/// incarnation). Written by the host, not protocol code, so it shares the
+/// medium but not the namespace of vrnd/vval/rnd_block.
+static constexpr const char* kIncarnationKey = "node.incarnation";
 
 Node::Node(NodeOptions options, transport::Transport& transport)
     : options_(options),
@@ -20,6 +26,34 @@ void Node::adopt(std::unique_ptr<sim::Process> process) {
   if (process_) throw std::logic_error("runtime::Node hosts exactly one process");
   if (!process) throw std::invalid_argument("runtime::Node: null process");
   bind(*process, this, options_.id);
+  if (!options_.data_dir.empty()) {
+    storage::FileStorageOptions fo;
+    fo.snapshot_every = options_.snapshot_every;
+    auto fs = std::make_unique<storage::FileStorage>(options_.data_dir, fo);
+    recovered_ = fs->recovered();
+    attach_storage(*process, std::move(fs));
+    // The real medium pays its latency synchronously inside write(), so
+    // the modelled post-write send delay must be zero — otherwise every
+    // write-before-reply path (send_after_sync) would pay the disk twice.
+    process->storage().set_write_latency(0);
+    if (recovered_) {
+      // §4.4 recovery protocol, host half: a restarted process acts under
+      // a strictly higher incarnation, persisted before any handler runs
+      // so a crash during recovery still bumps again.
+      const auto prev = process->storage().read_int(kIncarnationKey).value_or(0);
+      const int inc = static_cast<int>(prev) + 1;
+      process->storage().write_int(kIncarnationKey, inc);
+      set_incarnation(*process, inc);
+      metrics_.incr("node.recoveries");
+    } else {
+      // First start on this directory: stamp incarnation 0 so the dir is
+      // never empty. Without this, a process whose role persists nothing
+      // of its own (e.g. a service frontend) would look freshly born on
+      // every restart — no incarnation bump, no on_recover — instead of
+      // recovering.
+      process->storage().write_int(kIncarnationKey, 0);
+    }
+  }
   process_ = std::move(process);
 }
 
@@ -34,12 +68,20 @@ void Node::start() {
   if (running_ || !process_) return;
   started_at_ = std::chrono::steady_clock::now();
   {
-    // Queued before the transport can deliver anything, so on_start is
+    // Queued before the transport can deliver anything, so on_start (or,
+    // on a restart with durable state, on_recover — whose implementations
+    // read back what they persisted and then run their on_start logic) is
     // always the first handler to run — as under the simulator.
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
     dead_ = false;
-    mailbox_.emplace_back([this] { process_->on_start(); });
+    mailbox_.emplace_back([this] {
+      if (recovered_) {
+        process_->on_recover();
+      } else {
+        process_->on_start();
+      }
+    });
   }
   transport_.start([this](transport::PeerId from, std::string frame) {
     // Transport receive thread: enqueue only; the loop thread decodes and
@@ -150,7 +192,11 @@ void Node::post_message(sim::NodeId /*from*/, sim::NodeId to, std::any payload,
   metrics_.incr("net.bytes." + wire::message_name((*env_ptr)->tag), bytes);
   if (extra_delay > 0) {
     // Disk-latency modelling (send_after_sync): a live node's storage is
-    // in-memory, so configs normally use 0; honour nonzero anyway.
+    // either in-memory (latency 0 in sane configs) or a FileStorage that
+    // fsyncs inside write() and reports write_latency 0 — so this branch
+    // only runs for configs that deliberately model extra disk time.
+    // Either way the write itself completed before the send was posted:
+    // the write-before-reply invariant never depends on this delay.
     wheel_.schedule(now() + extra_delay,
                     [this, to, env = *env_ptr] { ship(to, env); });
     return;

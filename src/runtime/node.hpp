@@ -28,6 +28,16 @@ struct NodeOptions {
   /// so those configs mean the same thing they meant in latency benches.
   std::chrono::microseconds tick{1000};
   std::uint64_t rng_seed = 1;
+  /// Durable state: empty keeps the default in-memory StableStorage (state
+  /// dies with the process, the pre-PR-6 behaviour); otherwise the hosted
+  /// process's storage is a storage::FileStorage rooted here, and a node
+  /// reopening a non-empty directory runs the recovery protocol — bump and
+  /// persist the incarnation counter, then on_recover() instead of
+  /// on_start() as the first loop task.
+  std::string data_dir;
+  /// FileStorage snapshot cadence (records between snapshots); only read
+  /// when data_dir is set.
+  std::int64_t snapshot_every = 256;
 };
 
 /// A live host for one protocol process: the runtime counterpart of
@@ -68,8 +78,13 @@ class Node final : public sim::Host {
   sim::Process& process() { return *process_; }
 
   /// Start the transport and the loop thread; runs the process's
-  /// on_start() as the first loop task.
+  /// on_start() — or on_recover(), when a data_dir held prior state — as
+  /// the first loop task.
   void start();
+
+  /// True when adoption found prior durable state in options().data_dir
+  /// (this run is a restart, not a first boot).
+  bool recovered() const { return recovered_; }
   /// Drain no further work and join the loop thread, then stop the
   /// transport. Idempotent.
   void stop();
@@ -130,6 +145,7 @@ class Node final : public sim::Host {
 
   NodeOptions options_;
   transport::Transport& transport_;
+  bool recovered_ = false;
   util::Metrics metrics_;
   util::Rng rng_;
   std::unique_ptr<sim::Process> process_;

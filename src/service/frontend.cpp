@@ -17,6 +17,17 @@ Frontend::Frontend(const genpaxos::Config<cstruct::History>& config, Options opt
       });
 }
 
+void Frontend::on_recover() {
+  sessions_.clear();
+  pending_.clear();
+  batch_.clear();
+  flush_timer_ = -1;   // crash cancelled the host-side timer already
+  retry_armed_ = false;
+  // Drain anything the (embedded, never-crashed-separately) replica has
+  // not applied yet; on a real restart both are empty and this is a no-op.
+  replica_.poll();
+}
+
 void Frontend::on_message(sim::NodeId from, const std::any& m) {
   // The learner half first: 2b/2b-delta traffic feeds the core, which
   // applies through the replica and — via on_applied — answers clients.

@@ -66,6 +66,19 @@ class Frontend final : public sim::Process {
 
   void on_timer(int token) override;
   void on_message(sim::NodeId from, const std::any& m) override;
+  /// A restarted frontend keeps nothing durable of its own: it drops all
+  /// volatile session/batch state (under the simulator, where members
+  /// survive the crash, this makes the object look freshly constructed,
+  /// matching what a real restart yields). The session table then rebuilds
+  /// lazily from the learned history: the embedded learner resyncs the
+  /// full history from the acceptors (delta chain → MsgResync2b → full
+  /// 2b), the replica replays it into a fresh store, and a client retry of
+  /// an op completed before the crash hits the learned().contains() path
+  /// in handle_request — the deterministic command id shows the command
+  /// was already chosen, so it completes from the store instead of
+  /// re-entering consensus. Exactly-once application survives the restart
+  /// without the frontend persisting a byte.
+  void on_recover() override;
 
   // --- state inspection (run on the hosting node's loop) ---------------------
   const smr::KVStore& store() const { return replica_.store(); }

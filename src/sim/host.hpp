@@ -1,6 +1,7 @@
 #pragma once
 
 #include <any>
+#include <memory>
 
 #include "sim/time.hpp"
 #include "util/metrics.hpp"
@@ -9,6 +10,7 @@
 namespace mcp::sim {
 
 class Process;
+class StableStorage;
 
 /// The world a Process runs in. Protocol code only ever talks to this
 /// interface (via the Process helpers), so the same Process subclasses run
@@ -57,6 +59,19 @@ class Host {
   /// exactly once per process, before any handler runs (defined in
   /// process.cpp, where Process is complete).
   static void bind(Process& process, Host* host, NodeId id);
+
+  /// Replace the process's storage medium (e.g. with a file-backed
+  /// implementation). Must happen at adoption time, before any handler
+  /// runs; the previous medium — and any writes the process's constructor
+  /// made to it — is discarded, but its configured write latency carries
+  /// over. Defined in process.cpp.
+  static void attach_storage(Process& process,
+                             std::unique_ptr<StableStorage> storage);
+
+  /// Restore the crash counter after a real restart: the simulator bumps
+  /// incarnation_ directly on recover(); a live host persists it and hands
+  /// the bumped value back here before running on_recover.
+  static void set_incarnation(Process& process, int incarnation);
 };
 
 }  // namespace mcp::sim

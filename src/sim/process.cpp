@@ -19,6 +19,18 @@ void Host::bind(Process& process, Host* host, NodeId id) {
   process.id_ = id;
 }
 
+void Host::attach_storage(Process& process, std::unique_ptr<StableStorage> storage) {
+  if (!storage) throw std::invalid_argument("attach_storage: null storage");
+  // Constructors tune the medium before adoption (set_write_latency); the
+  // tuning survives the swap, the (empty) contents do not.
+  storage->set_write_latency(process.storage_->write_latency());
+  process.storage_ = std::move(storage);
+}
+
+void Host::set_incarnation(Process& process, int incarnation) {
+  process.incarnation_ = incarnation;
+}
+
 bool Process::wire_encoding_on() const {
   return require_host(host_).encode_messages();
 }

@@ -48,8 +48,8 @@ class Process {
   /// Called when the process recovers after a crash.
   virtual void on_recover() {}
 
-  StableStorage& storage() { return storage_; }
-  const StableStorage& storage() const { return storage_; }
+  StableStorage& storage() { return *storage_; }
+  const StableStorage& storage() const { return *storage_; }
 
   // Interaction helpers are public so that reusable components owned by a
   // process (e.g. the failure detector) can drive them on its behalf.
@@ -135,7 +135,11 @@ class Process {
   int incarnation_ = 0;
   /// Timers scheduled before this epoch are stale (cancelled or pre-crash).
   int timer_epoch_ = 0;
-  StableStorage storage_;
+  /// Owned medium: in-memory by default; a host may swap in a durable
+  /// backend (Host::attach_storage) at adoption time, before any handler
+  /// runs — protocol code must not cache the storage() reference across
+  /// that boundary (constructors only tune it, e.g. set_write_latency).
+  std::unique_ptr<StableStorage> storage_ = std::make_unique<StableStorage>();
   wire::DecoderRegistry decoders_;
 };
 

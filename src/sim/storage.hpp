@@ -15,17 +15,30 @@ namespace mcp::sim {
 /// of the paper reasons about. A synchronous write costs `write_latency`
 /// simulated time, which protocol code must account for before sending any
 /// message that depends on the written state (see Process::send_after_sync).
+///
+/// The base class is the simulator's in-memory medium and the interface
+/// real backends implement: storage::FileStorage overrides `write` (and
+/// `wipe`) to make the contents durable across actual process restarts
+/// while keeping this class's map as its read cache. The contract for
+/// overrides: when write() returns, the data must be as durable as the
+/// medium gets — protocol code sends acknowledgements immediately after,
+/// so a backend that buffers without syncing silently breaks the paper's
+/// write-before-reply invariant.
 class StableStorage {
  public:
   explicit StableStorage(Time write_latency = 0) : write_latency_(write_latency) {}
+  virtual ~StableStorage() = default;
 
-  /// Durably store `value` under `key`. Returns the latency of the write.
-  Time write(const std::string& key, std::string value);
+  /// Durably store `value` under `key`. Returns the latency the *sender*
+  /// must account for before acting on the write: the modelled latency in
+  /// simulation, 0 for real backends (they pay it synchronously inside
+  /// this call).
+  virtual Time write(const std::string& key, std::string value);
 
   /// Durably store an integer.
   Time write_int(const std::string& key, std::int64_t value);
 
-  std::optional<std::string> read(const std::string& key) const;
+  virtual std::optional<std::string> read(const std::string& key) const;
   std::optional<std::int64_t> read_int(const std::string& key) const;
 
   std::int64_t write_count() const { return write_count_; }
@@ -34,7 +47,16 @@ class StableStorage {
 
   /// Model catastrophic loss of the medium (used only by tests that check
   /// the algorithm's assumptions; acceptors never lose their disks).
-  void wipe() { data_.clear(); }
+  virtual void wipe() { data_.clear(); }
+
+ protected:
+  /// Install a recovered key/value without counting it as a new write:
+  /// backends replaying their log at open must not inflate write_count(),
+  /// the §4.4 quantity benches compare across protocols.
+  void preload(const std::string& key, std::string value) {
+    data_[key] = std::move(value);
+  }
+  const std::map<std::string, std::string>& contents() const { return data_; }
 
  private:
   std::map<std::string, std::string> data_;

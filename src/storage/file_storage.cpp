@@ -1,0 +1,268 @@
+#include "storage/file_storage.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "paxos/wire.hpp"
+
+namespace mcp::storage {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FileStorage: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// FNV-1a over the record payload: 4 bytes is plenty to tell a torn or
+/// bit-rotted tail from a clean record (this is tamper-evidence against
+/// crashes, not adversaries).
+std::uint32_t checksum(std::string_view data) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(wire::Reader& r) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(r.get_u8()) << (8 * i);
+  return v;
+}
+
+std::string read_file(const std::string& path, bool* existed) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *existed = false;
+      return {};
+    }
+    fail("open", path);
+  }
+  *existed = true;
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      ::close(fd);
+      fail("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+FileStorage::FileStorage(std::string dir, FileStorageOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (dir_.empty()) throw std::invalid_argument("FileStorage: empty data dir");
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) fail("mkdir", dir_);
+  recover();
+}
+
+FileStorage::~FileStorage() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+std::string FileStorage::log_path() const { return dir_ + "/" + kLogName; }
+std::string FileStorage::snapshot_path() const { return dir_ + "/" + kSnapshotName; }
+
+void FileStorage::sync_fd(int fd) {
+  if (!options_.sync) return;
+  if (::fsync(fd) != 0) fail("fsync", dir_);
+  ++syncs_;
+}
+
+void FileStorage::sync_dir() {
+  if (!options_.sync) return;
+  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail("open dir", dir_);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync dir", dir_);
+  }
+  ::close(fd);
+  ++syncs_;
+}
+
+void FileStorage::recover() {
+  // Snapshot first (the bounded prefix), then the log suffix on top.
+  bool have_snapshot = false;
+  const std::string snap = read_file(snapshot_path(), &have_snapshot);
+  if (have_snapshot) {
+    const std::string_view view(snap);
+    const bool sum_ok =
+        snap.size() >= 4 &&
+        [&] {
+          wire::Reader sr(view.substr(snap.size() - 4));
+          return get_u32(sr) == checksum(view.substr(0, snap.size() - 4));
+        }();
+    if (sum_ok) {
+      try {
+        wire::Reader r(view.substr(0, snap.size() - 4));
+        const std::uint64_t count = r.get_varint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::string key(r.get_bytes());
+          preload(key, std::string(r.get_bytes()));
+        }
+        loaded_snapshot_ = true;
+        recovered_ = true;
+      } catch (const std::invalid_argument&) {
+        wipe_cache_only();
+      }
+    }
+    // A bad snapshot can only mean the medium corrupted under us — the
+    // atomic-rename protocol never exposes a partial file, and the log is
+    // not truncated until the rename reached disk, so replaying the log
+    // from scratch below recovers everything the snapshot would have held.
+  }
+
+  bool have_log = false;
+  const std::string log = read_file(log_path(), &have_log);
+  const std::size_t valid = replay_log(log);
+  if (replayed_records_ > 0) recovered_ = true;
+
+  // Re-open for appending, truncated at the first bad record: bytes past
+  // it were never acknowledged to anyone.
+  log_fd_ = ::open(log_path().c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (log_fd_ < 0) fail("open", log_path());
+  if (::ftruncate(log_fd_, static_cast<off_t>(valid)) != 0) fail("truncate", log_path());
+  if (::lseek(log_fd_, 0, SEEK_END) < 0) fail("seek", log_path());
+  log_records_ = replayed_records_;
+}
+
+void FileStorage::wipe_cache_only() {
+  // Base wipe clears only the in-memory map (used while recovering from a
+  // corrupt snapshot, before the log is replayed).
+  sim::StableStorage::wipe();
+  loaded_snapshot_ = false;
+  recovered_ = false;
+}
+
+std::size_t FileStorage::replay_log(const std::string& data) {
+  std::size_t valid = 0;
+  wire::Reader r(data);
+  while (r.remaining() > 0) {
+    try {
+      const std::string_view payload = r.get_bytes();
+      const std::uint32_t stored = get_u32(r);
+      if (stored != checksum(payload)) break;  // corrupt: cut here
+      wire::Reader pr(payload);
+      const std::string key(pr.get_bytes());
+      preload(key, std::string(pr.get_bytes()));
+    } catch (const std::invalid_argument&) {
+      break;  // torn tail: record frame ran past end of file
+    }
+    ++replayed_records_;
+    valid = data.size() - r.remaining();
+  }
+  return valid;
+}
+
+sim::Time FileStorage::write(const std::string& key, std::string value) {
+  append_record(key, value);
+  // Base write: cache for reads + the §4.4 write counter. The returned
+  // modelled latency is irrelevant here — the fsync above already paid the
+  // real one, so callers' send_after_sync delays stay 0.
+  sim::StableStorage::write(key, std::move(value));
+  if (log_records_ >= options_.snapshot_every) write_snapshot();
+  return 0;
+}
+
+void FileStorage::append_record(const std::string& key, const std::string& value) {
+  wire::Writer pw;
+  pw.put_bytes(key);
+  pw.put_bytes(value);
+  std::string payload = pw.take();
+
+  wire::Writer fw;
+  fw.put_bytes(payload);
+  std::string frame = fw.take();
+  put_u32(frame, checksum(payload));
+
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(log_fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", log_path());
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  sync_fd(log_fd_);
+  ++log_records_;
+  ++appended_records_;
+}
+
+void FileStorage::write_snapshot() {
+  wire::Writer w;
+  w.put_varint(contents().size());
+  for (const auto& [key, value] : contents()) {
+    w.put_bytes(key);
+    w.put_bytes(value);
+  }
+  std::string body = w.take();
+  const std::uint32_t sum = checksum(body);
+  put_u32(body, sum);
+
+  const std::string tmp = dir_ + "/snapshot.tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", tmp);
+  const char* p = body.data();
+  std::size_t left = body.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  sync_fd(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) fail("rename", tmp);
+  sync_dir();
+
+  // Only now may the log shrink: a crash anywhere above replays the old
+  // log over the old (or new — replay is idempotent) snapshot.
+  if (::ftruncate(log_fd_, 0) != 0) fail("truncate", log_path());
+  if (::lseek(log_fd_, 0, SEEK_SET) < 0) fail("seek", log_path());
+  sync_fd(log_fd_);
+  log_records_ = 0;
+  ++snapshots_written_;
+}
+
+void FileStorage::wipe() {
+  sim::StableStorage::wipe();
+  if (log_fd_ >= 0) {
+    if (::ftruncate(log_fd_, 0) != 0) fail("truncate", log_path());
+    if (::lseek(log_fd_, 0, SEEK_SET) < 0) fail("seek", log_path());
+    sync_fd(log_fd_);
+  }
+  ::unlink(snapshot_path().c_str());
+  sync_dir();
+  log_records_ = 0;
+}
+
+}  // namespace mcp::storage

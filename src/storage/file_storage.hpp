@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/storage.hpp"
+
+namespace mcp::storage {
+
+struct FileStorageOptions {
+  /// Take a full snapshot once this many records accumulated in the log
+  /// since the last one, then truncate the log — recovery replay is
+  /// bounded by `snapshot_every` records however long the node ran.
+  std::int64_t snapshot_every = 256;
+  /// fsync every append and snapshot (the durability the paper assumes).
+  /// Off is for tests that deliberately model lost tail writes.
+  bool sync = true;
+};
+
+/// File-backed sim::StableStorage: the durable medium a live node's
+/// acceptor/coordinator state survives real restarts on.
+///
+/// Layout inside the data directory:
+///
+///   wal.log       append-only records, one per write():
+///                   varint(payload len) · payload · 4-byte FNV-1a checksum
+///                 where payload = put_bytes(key) · put_bytes(value)
+///                 (the wire codec's framing, so torn tails are detected
+///                 by length, checksum by corruption)
+///   snapshot.bin  full key→value image: varint(count), then per entry
+///                   put_bytes(key) · put_bytes(value), and the same
+///                 4-byte checksum over the whole body; written to
+///                 snapshot.tmp, fsync'd, then atomically renamed
+///
+/// write() appends + fsyncs before returning and only then updates the
+/// in-memory cache (the base class map, which serves every read), so the
+/// paper's write-before-reply invariant holds: by the time protocol code
+/// can send a message that depends on the write, the record is on disk.
+/// Recovery (the constructor) loads the snapshot, replays the log suffix
+/// on top, and truncates the log at the first torn or corrupt record —
+/// everything before it was fsync'd and must be kept, everything after
+/// was never acknowledged and may be dropped.
+class FileStorage final : public sim::StableStorage {
+ public:
+  /// Opens (creating if needed) the data directory and recovers any prior
+  /// state. Throws std::runtime_error on I/O errors.
+  explicit FileStorage(std::string dir, FileStorageOptions options = {});
+  ~FileStorage() override;
+
+  FileStorage(const FileStorage&) = delete;
+  FileStorage& operator=(const FileStorage&) = delete;
+
+  sim::Time write(const std::string& key, std::string value) override;
+
+  /// Delete both files and the cache (a lost disk).
+  void wipe() override;
+
+  /// True when the constructor found prior state (snapshot or log records)
+  /// — the signal runtime::Node uses to run on_recover instead of on_start.
+  bool recovered() const { return recovered_; }
+
+  // --- recovery/replay accounting (tests + the recovery bench) --------------
+  std::int64_t replayed_records() const { return replayed_records_; }
+  bool loaded_snapshot() const { return loaded_snapshot_; }
+  std::int64_t snapshots_written() const { return snapshots_written_; }
+  std::int64_t appended_records() const { return appended_records_; }
+  std::int64_t syncs() const { return syncs_; }
+  const std::string& dir() const { return dir_; }
+
+  static constexpr const char* kLogName = "wal.log";
+  static constexpr const char* kSnapshotName = "snapshot.bin";
+
+ private:
+  std::string log_path() const;
+  std::string snapshot_path() const;
+  void recover();
+  /// Drop in-memory loads from a snapshot that failed validation.
+  void wipe_cache_only();
+  /// Replay `data` (full log contents); returns the byte offset of the
+  /// first torn/corrupt record (== size when the whole log is clean).
+  std::size_t replay_log(const std::string& data);
+  void append_record(const std::string& key, const std::string& value);
+  void write_snapshot();
+  void sync_fd(int fd);
+  void sync_dir();
+
+  std::string dir_;
+  FileStorageOptions options_;
+  int log_fd_ = -1;
+  bool recovered_ = false;
+  bool loaded_snapshot_ = false;
+  std::int64_t log_records_ = 0;  ///< records in the log since last snapshot
+  std::int64_t replayed_records_ = 0;
+  std::int64_t snapshots_written_ = 0;
+  std::int64_t appended_records_ = 0;
+  std::int64_t syncs_ = 0;
+};
+
+}  // namespace mcp::storage

@@ -18,6 +18,26 @@ ThreadHub::Endpoint* ThreadHub::find(PeerId id) {
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
+Transport& ThreadHub::restart_endpoint(PeerId id) {
+  std::unique_ptr<Endpoint> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = endpoints_.find(id);
+    if (it != endpoints_.end()) {
+      old = std::move(it->second);
+      endpoints_.erase(it);
+    }
+  }
+  // Stop outside the hub lock: the join waits on a delivery whose handler
+  // may be sending (re-entering find() and mu_).
+  if (old) old->stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (old) retired_.push_back(std::move(old));
+  auto& slot = endpoints_[id];
+  slot = std::make_unique<Endpoint>(*this, id, max_queue_);
+  return *slot;
+}
+
 void ThreadHub::stop_all() {
   // Collect first: Endpoint::stop joins a thread that may be delivering a
   // frame whose handler sends (re-entering find() and this mutex).

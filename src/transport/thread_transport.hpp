@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "transport/transport.hpp"
 
@@ -34,6 +35,13 @@ class ThreadHub {
   /// valid for the hub's lifetime.
   Transport& endpoint(PeerId id);
 
+  /// Replace `id`'s endpoint with a fresh, startable one (a stopped
+  /// endpoint refuses start() forever — the mailbox thread is gone). The
+  /// chaos driver's process-restart path. The old endpoint is stopped and
+  /// retired, not destroyed: a concurrent send may still hold its pointer,
+  /// and enqueueing on a stopped endpoint is a well-defined drop.
+  Transport& restart_endpoint(PeerId id);
+
   /// Stop every endpoint (idempotent; also run by the destructor).
   void stop_all();
 
@@ -45,6 +53,7 @@ class ThreadHub {
   std::size_t max_queue_;
   std::mutex mu_;
   std::map<PeerId, std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Endpoint>> retired_;  // keep pointers valid
 };
 
 class ThreadHub::Endpoint final : public Transport {

@@ -1,0 +1,241 @@
+// Torture tests for storage::FileStorage — the crash shapes a real disk
+// can leave behind: torn tails, corrupt records, lost (truncated) fsyncs,
+// snapshot + suffix replay — plus equivalence with the simulator's
+// in-memory medium on identical op sequences.
+
+#include "storage/file_storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/storage.hpp"
+
+namespace mcp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("mcpaxos_fs_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  fs::path log_path() const { return dir_ / storage::FileStorage::kLogName; }
+  fs::path snapshot_path() const {
+    return dir_ / storage::FileStorage::kSnapshotName;
+  }
+
+  /// Overwrite one byte of a file at `offset` from the end.
+  void corrupt_byte_from_end(const fs::path& path, std::size_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    ASSERT_GT(size, offset);
+    f.seekp(static_cast<std::streamoff>(size - 1 - offset));
+    char c = 0;
+    f.seekg(static_cast<std::streamoff>(size - 1 - offset));
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(size - 1 - offset));
+    f.write(&c, 1);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FileStorageTest, RoundTripAndReopen) {
+  {
+    storage::FileStorage st(dir());
+    EXPECT_FALSE(st.recovered());
+    st.write("vrnd", "17");
+    st.write("vval", std::string("\x00\x01payload\xff", 10));
+    st.write_int("rnd_block", 4);
+    EXPECT_EQ(st.write_count(), 3);
+  }
+  storage::FileStorage st(dir());
+  EXPECT_TRUE(st.recovered());
+  EXPECT_EQ(st.replayed_records(), 3);
+  EXPECT_EQ(st.read("vrnd"), "17");
+  EXPECT_EQ(st.read("vval"), std::string("\x00\x01payload\xff", 10));
+  EXPECT_EQ(st.read_int("rnd_block"), 4);
+  // Replay must not count as writes: write_count() is the §4.4 quantity.
+  EXPECT_EQ(st.write_count(), 0);
+}
+
+TEST_F(FileStorageTest, OverwritesKeepLastValue) {
+  {
+    storage::FileStorage st(dir());
+    for (int i = 0; i < 10; ++i) st.write("k", "v" + std::to_string(i));
+  }
+  storage::FileStorage st(dir());
+  EXPECT_EQ(st.read("k"), "v9");
+  EXPECT_EQ(st.replayed_records(), 10);
+}
+
+TEST_F(FileStorageTest, TornTailGarbageIsDroppedAtRecovery) {
+  {
+    storage::FileStorage st(dir());
+    st.write("a", "1");
+    st.write("b", "2");
+  }
+  // A crash mid-append leaves a partial record: model it as trailing junk
+  // that is not even a complete varint-framed record.
+  {
+    std::ofstream f(log_path(), std::ios::app | std::ios::binary);
+    f << "\x1fgarbage-torn-tail";
+  }
+  storage::FileStorage st(dir());
+  EXPECT_TRUE(st.recovered());
+  EXPECT_EQ(st.replayed_records(), 2);
+  EXPECT_EQ(st.read("a"), "1");
+  EXPECT_EQ(st.read("b"), "2");
+  // The torn tail was truncated away: appending must work and survive.
+  st.write("c", "3");
+  storage::FileStorage again(dir());
+  EXPECT_EQ(again.replayed_records(), 3);
+  EXPECT_EQ(again.read("c"), "3");
+}
+
+TEST_F(FileStorageTest, CorruptTailChecksumDropsOnlyThatRecord) {
+  {
+    storage::FileStorage st(dir());
+    st.write("a", "1");
+    st.write("b", "2");
+    st.write("c", "3");
+  }
+  // Flip a bit inside the last record's checksum.
+  corrupt_byte_from_end(log_path(), 1);
+  storage::FileStorage st(dir());
+  EXPECT_EQ(st.replayed_records(), 2);
+  EXPECT_EQ(st.read("a"), "1");
+  EXPECT_EQ(st.read("b"), "2");
+  EXPECT_EQ(st.read("c"), std::nullopt);
+}
+
+TEST_F(FileStorageTest, LostTailWriteViaTruncation) {
+  // The write-then-truncate model of a partial fsync: bytes the kernel
+  // never persisted simply aren't there after the "crash".
+  {
+    storage::FileStorage st(dir());
+    st.write("a", "1");
+    st.write("b", "2");
+    st.write("c", "3");
+  }
+  const auto full = fs::file_size(log_path());
+  fs::resize_file(log_path(), full - 3);
+  storage::FileStorage st(dir());
+  EXPECT_EQ(st.replayed_records(), 2);
+  EXPECT_EQ(st.read("b"), "2");
+  EXPECT_EQ(st.read("c"), std::nullopt);
+  // And the truncated tail was cleaned: new writes recover fine.
+  st.write("d", "4");
+  storage::FileStorage again(dir());
+  EXPECT_EQ(again.read("d"), "4");
+}
+
+TEST_F(FileStorageTest, SnapshotBoundsReplay) {
+  storage::FileStorageOptions options;
+  options.snapshot_every = 8;
+  {
+    storage::FileStorage st(dir(), options);
+    for (int i = 0; i < 30; ++i) {
+      st.write("k" + std::to_string(i % 5), "v" + std::to_string(i));
+    }
+    EXPECT_GE(st.snapshots_written(), 3);
+  }
+  ASSERT_TRUE(fs::exists(snapshot_path()));
+  storage::FileStorage st(dir(), options);
+  EXPECT_TRUE(st.recovered());
+  EXPECT_TRUE(st.loaded_snapshot());
+  // Replay is bounded by the snapshot cadence, not the node's lifetime.
+  EXPECT_LE(st.replayed_records(), options.snapshot_every);
+  for (int i = 25; i < 30; ++i) {
+    EXPECT_EQ(st.read("k" + std::to_string(i % 5)), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(FileStorageTest, CorruptSnapshotKeepsLogSuffix) {
+  storage::FileStorageOptions options;
+  options.snapshot_every = 4;
+  {
+    storage::FileStorage st(dir(), options);
+    for (int i = 0; i < 4; ++i) st.write("snap" + std::to_string(i), "s");
+    // Snapshot taken (log truncated); these live only in the log suffix.
+    st.write("suffix", "x");
+  }
+  corrupt_byte_from_end(snapshot_path(), 0);
+  storage::FileStorage st(dir(), options);
+  // A bad snapshot must not abort recovery or poison the cache: the
+  // fsync'd log suffix is still replayed.
+  EXPECT_FALSE(st.loaded_snapshot());
+  EXPECT_EQ(st.read("suffix"), "x");
+}
+
+TEST_F(FileStorageTest, EquivalentToInMemoryOnSameOpSequence) {
+  // Interleaved puts/overwrites/int-writes applied to both media, with a
+  // crash/reopen in the middle for the file side — every read must agree.
+  storage::FileStorageOptions options;
+  options.snapshot_every = 6;  // force snapshot + suffix on reopen
+  sim::StableStorage mem;
+  std::vector<std::string> keys;
+  auto apply = [&](sim::StableStorage& st, int i) {
+    const std::string key = "key" + std::to_string(i % 7);
+    if (i % 3 == 0) {
+      st.write_int(key, i * 11);
+    } else {
+      st.write(key, "value-" + std::to_string(i));
+    }
+  };
+  {
+    storage::FileStorage file(dir(), options);
+    for (int i = 0; i < 17; ++i) {
+      apply(mem, i);
+      apply(file, i);
+    }
+    EXPECT_EQ(file.write_count(), mem.write_count());
+  }
+  storage::FileStorage file(dir(), options);
+  for (int i = 17; i < 25; ++i) {
+    apply(mem, i);
+    apply(file, i);
+  }
+  for (int i = 0; i < 7; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(file.read(key), mem.read(key)) << key;
+  }
+  EXPECT_EQ(file.read("absent"), mem.read("absent"));
+}
+
+TEST_F(FileStorageTest, WipeDestroysDurableState) {
+  {
+    storage::FileStorage st(dir());
+    st.write("a", "1");
+    st.wipe();
+    EXPECT_EQ(st.read("a"), std::nullopt);
+    st.write("after", "wipe");
+  }
+  storage::FileStorage st(dir());
+  EXPECT_EQ(st.read("a"), std::nullopt);
+  EXPECT_EQ(st.read("after"), "wipe");
+}
+
+TEST_F(FileStorageTest, FreshDirIsNotARecovery) {
+  storage::FileStorage st(dir());
+  EXPECT_FALSE(st.recovered());
+  EXPECT_EQ(st.replayed_records(), 0);
+  EXPECT_FALSE(st.loaded_snapshot());
+}
+
+}  // namespace
+}  // namespace mcp
