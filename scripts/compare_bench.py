@@ -6,8 +6,18 @@ run's `bench_generic_broadcast --json` artifact vs the current build's) and
 fails when a lower-is-better column — bytes, latency, makespan, ticks —
 regresses beyond a threshold.
 
+Two column classes, each with its own (threshold, floor) pair:
+
+  * deterministic columns (bytes / lat / makespan / ticks / writes):
+    simulated clocks and wire bytes, stable across machines — tight gate.
+  * live latency percentiles (p50 / p99): wall-clock measurements from the
+    open-loop benches, noisy on shared runners — generous gate that still
+    catches order-of-magnitude regressions (e.g. a transport that went
+    from event-driven to timeout-driven).
+
 Usage:
     compare_bench.py PREV.json NEW.json [--threshold 0.30] [--min-abs 16]
+                     [--lat-threshold 3.0] [--lat-min-abs 500]
 
 Exit codes: 0 = no regression (or no baseline to compare against, which is
 reported but not fatal so the very first run passes), 1 = regression found,
@@ -21,6 +31,10 @@ import sys
 # Column names (lowercased, substring match) whose values are lower-is-better
 # and stable across machines: wire bytes and simulated-clock durations.
 REGRESSION_COLUMNS = ("bytes", "lat", "makespan", "ticks", "writes")
+# Live latency percentile columns: lower-is-better but wall-clock-noisy.
+# Checked second, so a deterministic name like "lat_p99_ticks" stays in the
+# tight class.
+LATENCY_COLUMNS = ("p50", "p99")
 
 
 def load(path):
@@ -44,7 +58,18 @@ def index_rows(rows):
     return out
 
 
-def compare(prev, new, threshold, min_abs):
+def column_class(name):
+    """'strict', 'latency', or None for unwatched columns."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in REGRESSION_COLUMNS):
+        return "strict"
+    if any(tag in lowered for tag in LATENCY_COLUMNS):
+        return "latency"
+    return None
+
+
+def compare(prev, new, gates):
+    """gates: {class_name: (threshold, min_abs)}."""
     regressions = []
     checked = 0
     skipped = []
@@ -60,8 +85,9 @@ def compare(prev, new, threshold, min_abs):
             skipped.append(table["name"])
             continue
         watched = {
-            i for i, name in enumerate(columns)
-            if any(tag in name.lower() for tag in REGRESSION_COLUMNS)
+            i: column_class(name)
+            for i, name in enumerate(columns)
+            if column_class(name) is not None
         }
         if not watched:
             continue
@@ -79,6 +105,7 @@ def compare(prev, new, threshold, min_abs):
                 if isinstance(old_v, bool) or isinstance(new_v, bool):
                     continue
                 checked += 1
+                threshold, min_abs = gates[watched[i]]
                 # Relative gate with an absolute floor so that noise on tiny
                 # values (a 3-tick latency moving to 4) cannot fail the build.
                 if new_v > old_v * (1 + threshold) and new_v - old_v > min_abs:
@@ -95,9 +122,18 @@ def main():
     parser.add_argument("prev")
     parser.add_argument("new")
     parser.add_argument("--threshold", type=float, default=0.30,
-                        help="allowed relative growth before failing (default 0.30)")
+                        help="allowed relative growth for deterministic "
+                             "columns before failing (default 0.30)")
     parser.add_argument("--min-abs", type=float, default=16.0,
-                        help="ignore absolute growth at or below this (default 16)")
+                        help="ignore deterministic-column absolute growth at "
+                             "or below this (default 16)")
+    parser.add_argument("--lat-threshold", type=float, default=3.0,
+                        help="allowed relative growth for live p50/p99 "
+                             "latency columns (default 3.0 — wall-clock "
+                             "noise on shared runners is real)")
+    parser.add_argument("--lat-min-abs", type=float, default=500.0,
+                        help="ignore latency-column absolute growth at or "
+                             "below this many microseconds (default 500)")
     args = parser.parse_args()
 
     try:
@@ -111,9 +147,14 @@ def main():
         print(f"compare_bench: cannot read the new results: {e}")
         return 2
 
-    checked, regressions, skipped = compare(prev, new, args.threshold, args.min_abs)
+    gates = {
+        "strict": (args.threshold, args.min_abs),
+        "latency": (args.lat_threshold, args.lat_min_abs),
+    }
+    checked, regressions, skipped = compare(prev, new, gates)
     print(f"compare_bench: checked {checked} byte/latency cells "
-          f"(threshold +{100 * args.threshold:.0f}%, floor {args.min_abs:g})")
+          f"(strict +{100 * args.threshold:.0f}%/floor {args.min_abs:g}, "
+          f"latency +{100 * args.lat_threshold:.0f}%/floor {args.lat_min_abs:g})")
     for name in skipped:
         print(f"compare_bench: table '{name}' changed columns; skipped")
     if regressions:

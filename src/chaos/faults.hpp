@@ -115,6 +115,10 @@ class FaultyTransport final : public transport::Transport,
   bool send(transport::PeerId to, std::string_view payload) override;
   void stop() override;
   std::string name() const override;
+  transport::TransportStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopped_ ? transport::TransportStats{} : inner_->stats();
+  }
 
  private:
   void send_delayed(transport::PeerId to, const std::string& payload);

@@ -23,10 +23,26 @@ std::map<std::uint32_t, std::string>& name_table() {
 }  // namespace
 
 std::string Envelope::encode() const {
-  Writer w;
-  w.put_varint(tag);
-  w.put_bytes(body);
-  return w.take();
+  std::string out;
+  encode_into(out);
+  return out;
+}
+
+void Envelope::encode_into(std::string& out) const {
+  out.reserve(out.size() + wire_size());
+  std::uint64_t value = tag;
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+  value = body.size();
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+  out.append(body);
 }
 
 Envelope Envelope::decode(std::string_view data) {

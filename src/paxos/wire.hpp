@@ -115,6 +115,11 @@ struct Envelope {
 
   /// Serialized form: varint tag, then length-prefixed body.
   std::string encode() const;
+  /// Append the encoding to `out` without allocating a fresh buffer —
+  /// the hot path for shipping: callers keep one scratch string per loop
+  /// and reuse its capacity across messages. Byte-for-byte identical to
+  /// encode() (the E11 cross-host byte check pins this).
+  void encode_into(std::string& out) const;
   /// Inverse of encode(); throws std::invalid_argument on truncated or
   /// trailing bytes.
   static Envelope decode(std::string_view data);

@@ -128,6 +128,18 @@ void Node::stop() {
   };
   drain();
   transport_.stop();
+  // Fold the carrier's counters into node metrics so tests and benches
+  // read backpressure/coalescing through the same metrics surface as
+  // every other net.* number. Thread-backend nodes report zeros.
+  const auto tstats = transport_.stats();
+  if (tstats.backpressure_drops > 0) {
+    metrics_.incr("net.backpressure.drops", tstats.backpressure_drops);
+  }
+  if (tstats.flushes > 0) {
+    metrics_.incr("net.flush.batch.flushes", tstats.flushes);
+    metrics_.incr("net.flush.batch.frames", tstats.flushed_frames);
+  }
+  if (tstats.conn_drops > 0) metrics_.incr("net.conn.drops", tstats.conn_drops);
   {
     std::lock_guard<std::mutex> lock(mu_);
     dead_ = true;
@@ -205,14 +217,18 @@ void Node::post_message(sim::NodeId /*from*/, sim::NodeId to, std::any payload,
 }
 
 void Node::ship(sim::NodeId to, const std::shared_ptr<const wire::Envelope>& env) {
-  std::string frame = env->encode();
   if (to == options_.id) {
     // Self-sends skip the transport but still take the decode path, so the
     // process sees exactly what a remote peer would have seen.
-    post([this, frame = std::move(frame)] { deliver(options_.id, frame); });
+    post([this, frame = env->encode()] { deliver(options_.id, frame); });
     return;
   }
-  if (!transport_.send(to, frame)) metrics_.incr("net.lost");
+  // Encode into the loop-owned scratch buffer: its capacity is reused
+  // across every shipped message, so the steady-state encode path does
+  // no heap allocation (the transport copies into its own queue entry).
+  encode_scratch_.clear();
+  env->encode_into(encode_scratch_);
+  if (!transport_.send(to, encode_scratch_)) metrics_.incr("net.lost");
 }
 
 void Node::deliver(transport::PeerId from, const std::string& frame) {

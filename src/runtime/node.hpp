@@ -145,6 +145,10 @@ class Node final : public sim::Host {
 
   NodeOptions options_;
   transport::Transport& transport_;
+  /// Reusable encode buffer for ship() (loop thread only): message bytes
+  /// are built here and handed to the transport by view, so steady-state
+  /// sends allocate nothing.
+  std::string encode_scratch_;
   bool recovered_ = false;
   util::Metrics metrics_;
   util::Rng rng_;

@@ -1,14 +1,19 @@
 #include "transport/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "transport/socket_util.hpp"
@@ -18,6 +23,12 @@ namespace mcp::transport {
 namespace {
 
 constexpr std::size_t kReadChunk = 64u << 10;
+/// recv() calls per readiness event before yielding to other connections
+/// (level-triggered epoll re-arms anything left unread).
+constexpr int kMaxReadsPerEvent = 4;
+/// iovec entries per writev — far below any IOV_MAX, far above the frame
+/// counts a flush window realistically accumulates.
+constexpr std::size_t kMaxIov = 64;
 
 /// Minimal-varint parse of a handshake payload; nullopt on garbage.
 std::optional<std::uint64_t> parse_varint(std::string_view bytes) {
@@ -55,7 +66,7 @@ std::string TcpTransport::handshake_frame(PeerId self) {
 
 std::uint16_t TcpTransport::bind_and_listen() {
   if (listen_fd_ >= 0) return bound_port_;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) throw std::runtime_error("tcp: socket() failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -68,7 +79,7 @@ std::uint16_t TcpTransport::bind_and_listen() {
     throw std::runtime_error("tcp: bad listen host " + config_.listen_host);
   }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 64) != 0) {
+      ::listen(fd, 256) != 0) {
     const int err = errno;
     ::close(fd);
     throw std::runtime_error(std::string("tcp: bind/listen failed: ") +
@@ -83,136 +94,374 @@ std::uint16_t TcpTransport::bind_and_listen() {
 }
 
 void TcpTransport::set_peer(PeerId id, TcpPeer peer) {
-  config_.peers[id] = std::move(peer);
-  // The address changed: drop the cached connection and its dial backoff
-  // so the next send dials the new address immediately.
-  std::shared_ptr<OutConn> conn;
+  std::shared_ptr<OutQueue> old;
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    const auto it = out_.find(id);
-    if (it == out_.end()) return;
-    conn = it->second;
+    std::lock_guard<std::mutex> lock(mu_);
+    config_.peers[id] = std::move(peer);
+    const auto it = peers_.find(id);
+    if (it != peers_.end()) {
+      old = it->second;
+      peers_.erase(it);  // next send builds a fresh queue for the new address
+    }
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (conn->fd >= 0) ::close(conn->fd);
-  conn->fd = -1;
-  conn->next_dial = {};
+  if (old) {
+    // Retire the old queue: senders still holding it get a refusal, and
+    // the reactor's sweep closes its connection.
+    std::lock_guard<std::mutex> lock(old->mu);
+    old->state = OutQueue::State::kDead;
+    old->q.clear();
+    old->q_bytes = 0;
+  }
+  if (reactor_.joinable()) wake();
 }
 
 void TcpTransport::start(FrameHandler handler) {
   bind_and_listen();
   handler_ = std::move(handler);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("tcp: epoll_create1/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the listen socket
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  epoll_event wev{};
+  wev.events = EPOLLIN;
+  wev.data.ptr = const_cast<int*>(&wake_fd_);  // sentinel: the wake eventfd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wev);
+  reactor_ = std::thread([this] { reactor_loop(); });
 }
 
-void TcpTransport::reap_finished_readers() {
-  // Splice finished entries out under the lock, join them outside it (a
-  // finishing reader's last step takes mu_; joining while holding it
-  // would deadlock).
-  std::list<std::unique_ptr<InConn>> finished;
+TransportStats TcpTransport::stats() const {
+  TransportStats s;
+  s.backpressure_drops = backpressure_drops_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.flushed_frames = flushed_frames_.load(std::memory_order_relaxed);
+  s.conn_drops = conn_drops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpTransport::wake() {
+  if (wake_pending_.exchange(true)) return;  // a wakeup is already in flight
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+bool TcpTransport::enqueue(const std::shared_ptr<OutQueue>& out, PeerId to,
+                          std::string_view payload) {
+  const std::size_t framed_size = payload.size() + 10;  // prefix upper bound
+  {
+    std::lock_guard<std::mutex> lock(out->mu);
+    switch (out->state) {
+      case OutQueue::State::kDead:
+        return false;  // connection (or address) gone for good
+      case OutQueue::State::kBackoff:
+        if (std::chrono::steady_clock::now() < out->next_dial) {
+          return false;  // recent failure: drop fast, retransmission heals
+        }
+        out->state = OutQueue::State::kIdle;
+        break;
+      default:
+        break;
+    }
+    if (out->q_bytes + framed_size > config_.max_outbound_bytes) {
+      backpressure_drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // bounded queue: refuse, never block
+    }
+    // Frame straight into the owned queue entry: one allocation per frame,
+    // reserved once (prefix + payload), no intermediate string.
+    std::string entry;
+    entry.reserve(framed_size);
+    std::uint64_t len = payload.size();
+    while (len >= 0x80) {
+      entry.push_back(static_cast<char>((len & 0x7F) | 0x80));
+      len >>= 7;
+    }
+    entry.push_back(static_cast<char>(len));
+    entry.append(payload);
+    out->q_bytes += entry.size();
+    out->q.push_back(std::move(entry));
+    if (out->state == OutQueue::State::kIdle) {
+      out->state = OutQueue::State::kDialing;  // reactor starts the connect
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = in_.begin(); it != in_.end();) {
-      if ((*it)->done) {
-        finished.push_back(std::move(*it));
-        it = in_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    dial_requests_.push_back(to);
   }
-  for (auto& conn : finished) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
+  wake();
+  return true;
 }
 
-void TcpTransport::accept_loop() {
-  while (!stopping_.load()) {
-    reap_finished_readers();
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) return;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (errno == EBADF || errno == EINVAL) return;  // listen socket gone
-      // Transient resource exhaustion (EMFILE, ENFILE, ENOMEM, ...):
-      // inbound connectivity must survive it, so back off and retry
-      // instead of silently ending all future accepts.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
-    }
-    set_nodelay(fd);
-    // Bound reply writes the same way outbound peer writes are bounded: a
-    // client that stops draining its socket costs the replying node at
-    // most the write budget per send, never a wedged loop.
-    set_send_timeout(fd, 4 * config_.dial_timeout);
+bool TcpTransport::send(PeerId to, std::string_view payload) {
+  if (stopping_.load() || !reactor_.joinable()) return false;
+  std::shared_ptr<OutQueue> out;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load()) {
-      ::close(fd);
+    if (is_client_conn(to)) {
+      const auto it = clients_.find(to);
+      if (it == clients_.end()) return false;  // connection already gone
+      out = it->second;
+    } else {
+      auto& slot = peers_[to];
+      if (!slot) {
+        if (config_.peers.find(to) == config_.peers.end()) {
+          peers_.erase(to);
+          return false;  // unknown peer: nothing to dial
+        }
+        slot = std::make_shared<OutQueue>();
+      }
+      out = slot;
+    }
+  }
+  return enqueue(out, to, payload);
+}
+
+// --- reactor thread ----------------------------------------------------------
+
+void TcpTransport::reactor_loop() {
+  std::vector<epoll_event> events(128);
+  std::vector<std::unique_ptr<Conn>> graveyard;
+  while (!stopping_.load()) {
+    const int timeout =
+        static_cast<int>(std::min<std::int64_t>(poll_timeout().count(), 500));
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0 && errno != EINTR) break;  // epoll fd gone: shutting down
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      if (stopping_.load()) break;
+      void* tag = events[static_cast<std::size_t>(i)].data.ptr;
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      if (tag == nullptr) {
+        handle_listen_ready();
+        continue;
+      }
+      if (tag == &wake_fd_) {
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+        wake_pending_.store(false);
+        continue;
+      }
+      auto* conn = static_cast<Conn*>(tag);
+      if (conn->fd < 0) continue;  // closed earlier in this batch
+      if (conn->connecting) {
+        if (ev & (EPOLLOUT | EPOLLERR | EPOLLHUP)) {
+          int err = 0;
+          socklen_t len = sizeof err;
+          ::getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          finish_dial(conn, err == 0 && !(ev & (EPOLLERR | EPOLLHUP)));
+        }
+        continue;
+      }
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        close_conn(conn, /*drop_queue=*/true);
+        continue;
+      }
+      if (ev & EPOLLIN) handle_readable(conn);
+      if (conn->fd >= 0 && (ev & EPOLLOUT)) handle_writable(conn);
+    }
+    start_dials();
+    check_deadlines();
+    // Deferred reclamation: a Conn closed mid-batch may still be named by
+    // a later event of the same batch (its fd is -1, so handlers skip it);
+    // erase the corpses only once the batch is done.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it = (*it)->fd < 0 ? conns_.erase(it) : std::next(it);
+    }
+  }
+  // Reactor exit: every socket closes here, on the thread that owns them.
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conns_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.clear();
+}
+
+void TcpTransport::handle_listen_ready() {
+  for (int i = 0; i < 64; ++i) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      // EAGAIN: drained. Transient exhaustion (EMFILE, ENFILE, ENOMEM,
+      // ECONNABORTED, ...): leave the rest for the next loop iteration —
+      // level-triggered epoll re-reports the listen socket while
+      // connections are pending, so nothing is forgotten.
       return;
     }
-    auto conn = std::make_unique<InConn>();
-    InConn* raw = conn.get();
-    raw->fd = fd;
-    in_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] {
-      reader_loop(raw);
-      // Mark-then-close under mu_: stop() only shuts down fds of entries
-      // not yet done, so a recycled fd number can never be hit. A client
-      // connection is unpublished (done + erased from clients_) *before*
-      // its fd closes, and the close happens under the ClientConn mutex —
-      // a sender that already holds the shared_ptr serializes on that
-      // mutex and then sees fd = -1 instead of a recycled descriptor.
-      std::shared_ptr<ClientConn> client;
-      {
-        std::lock_guard<std::mutex> l(mu_);
-        client = raw->client;
-        if (client) {
-          clients_.erase(raw->client_id);
-          raw->done = true;
-        }
-      }
-      if (client) {
-        std::lock_guard<std::mutex> write_lock(client->mu);
-        ::close(client->fd);
-        client->fd = -1;
-        return;
-      }
-      std::lock_guard<std::mutex> l(mu_);
-      ::close(raw->fd);
-      raw->done = true;
-    });
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>(config_.max_frame);
+    conn->fd = fd;
+    conn->awaiting_first = true;
+    conn->last_write_progress = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::move(conn));
   }
 }
 
-PeerId TcpTransport::adopt_client_conn(InConn* conn) {
-  auto client = std::make_shared<ClientConn>();
-  client->fd = conn->fd;
-  std::lock_guard<std::mutex> lock(mu_);
-  const PeerId id = next_client_id_--;
-  conn->client = client;
-  conn->client_id = id;
-  clients_.emplace(id, std::move(client));
-  return id;
+void TcpTransport::start_dials() {
+  std::vector<PeerId> requests;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests.swap(dial_requests_);
+  }
+  if (requests.empty()) return;
+  std::sort(requests.begin(), requests.end());
+  requests.erase(std::unique(requests.begin(), requests.end()), requests.end());
+  for (const PeerId to : requests) {
+    std::shared_ptr<OutQueue> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto& table = is_client_conn(to) ? clients_ : peers_;
+      const auto it = table.find(to);
+      if (it == table.end()) continue;  // queue retired since the request
+      out = it->second;
+    }
+    Conn* conn = nullptr;
+    bool needs_dial = false;
+    {
+      std::lock_guard<std::mutex> lock(out->mu);
+      conn = out->conn;
+      needs_dial =
+          out->state == OutQueue::State::kDialing && out->conn == nullptr;
+    }
+    if (needs_dial) {
+      start_dial(to, out);
+    } else if (conn != nullptr && conn->fd >= 0 && !conn->connecting) {
+      flush(conn);  // already connected: this wake is a flush request
+    }
+  }
 }
 
-void TcpTransport::reader_loop(InConn* conn) {
-  const int fd = conn->fd;
-  FrameBuffer frames(config_.max_frame);
-  PeerId peer = sim::kNoNode;
-  bool first_frame = true;
+void TcpTransport::start_dial(PeerId to, const std::shared_ptr<OutQueue>& out) {
+  TcpPeer addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = config_.peers.find(to);
+    if (it == config_.peers.end()) {
+      std::lock_guard<std::mutex> qlock(out->mu);
+      out->state = OutQueue::State::kDead;
+      conn_drops_.fetch_add(static_cast<std::int64_t>(out->q.size()),
+                            std::memory_order_relaxed);
+      out->q.clear();
+      out->q_bytes = 0;
+      return;
+    }
+    addr = it->second;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd >= 0 && config_.so_sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                 sizeof config_.so_sndbuf);
+  }
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(addr.port);
+  bool failed = fd < 0 ||
+                ::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr) != 1;
+  bool in_progress = false;
+  if (!failed) {
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&sin), sizeof sin);
+    if (rc != 0) {
+      if (errno == EINPROGRESS) {
+        in_progress = true;
+      } else {
+        failed = true;
+      }
+    }
+  }
+  if (failed) {
+    if (fd >= 0) ::close(fd);
+    std::lock_guard<std::mutex> lock(out->mu);
+    out->state = OutQueue::State::kBackoff;
+    out->next_dial = std::chrono::steady_clock::now() + config_.dial_backoff;
+    conn_drops_.fetch_add(static_cast<std::int64_t>(out->q.size()),
+                          std::memory_order_relaxed);
+    out->q.clear();
+    out->q_bytes = 0;
+    return;
+  }
+  auto conn = std::make_unique<Conn>(config_.max_frame);
+  conn->fd = fd;
+  conn->peer = to;
+  conn->outbound = true;
+  conn->connecting = in_progress;
+  conn->out = out;
+  conn->dial_deadline = std::chrono::steady_clock::now() + config_.dial_timeout;
+  conn->last_write_progress = std::chrono::steady_clock::now();
+  conn->want_write = in_progress;  // must mirror the registered event set
+  epoll_event ev{};
+  ev.events = EPOLLIN | (in_progress ? EPOLLOUT : 0u);
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  Conn* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  {
+    // The handshake frame jumps the queue: it must be the first bytes on
+    // the stream, ahead of whatever senders enqueued during the dial.
+    std::lock_guard<std::mutex> lock(out->mu);
+    out->conn = raw;
+    std::string hs = handshake_frame(config_.self);
+    out->q_bytes += hs.size();
+    out->q.push_front(std::move(hs));
+  }
+  if (!in_progress) finish_dial(raw, true);
+}
+
+void TcpTransport::finish_dial(Conn* conn, bool ok) {
+  conn->connecting = false;
+  conn->dial_deadline = {};
+  if (!ok) {
+    close_conn(conn, /*drop_queue=*/true);
+    return;
+  }
+  set_nodelay(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conn->out->mu);
+    conn->out->state = OutQueue::State::kReady;
+    conn->out->fd = conn->fd;
+  }
+  conn->last_write_progress = std::chrono::steady_clock::now();
+  // Drop the connect-phase EPOLLOUT — a connected socket with an empty
+  // send buffer is *always* writable, and leaving the interest armed
+  // turns the level-triggered loop into a busy spin. flush() re-arms it
+  // for exactly as long as frames remain queued.
+  update_interest(conn, /*want_write=*/false);
+  flush(conn);
+}
+
+void TcpTransport::handle_readable(Conn* conn) {
   char chunk[kReadChunk];
-  while (!stopping_.load()) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n == 0) return;  // orderly EOF
+  for (int round = 0; round < kMaxReadsPerEvent && conn->fd >= 0; ++round) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n == 0) {  // orderly EOF
+      close_conn(conn, /*drop_queue=*/true);
+      return;
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // torn connection (or shutdown() from stop())
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      close_conn(conn, /*drop_queue=*/true);
+      return;
     }
-    frames.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    conn->in.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
     try {
-      while (auto payload = frames.next()) {
-        if (first_frame) {
-          first_frame = false;
+      while (auto payload = conn->in.next()) {
+        if (conn->awaiting_first) {
+          conn->awaiting_first = false;
           // A peer opens with a handshake frame: its PeerId as a single
           // varint. Anything else marks a client connection — no
           // handshake, the stream goes straight into envelopes delivered
@@ -220,144 +469,224 @@ void TcpTransport::reader_loop(InConn* conn) {
           // socket).
           const auto id = parse_varint(*payload);
           if (id) {
-            peer = static_cast<PeerId>(*id);
+            conn->peer = static_cast<PeerId>(*id);
             continue;
           }
-          peer = adopt_client_conn(conn);
+          conn->peer = adopt_client_conn(conn);
           // fall through: the first frame is already client data
         }
-        handler_(peer, std::move(*payload));
+        handler_(conn->peer, std::move(*payload));
       }
     } catch (const FramingError&) {
       // Garbage or oversized length prefix: the stream has no recovery
       // point. Close it; the dialer re-establishes on its next send.
+      close_conn(conn, /*drop_queue=*/true);
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof chunk) return;  // likely drained
+  }
+}
+
+PeerId TcpTransport::adopt_client_conn(Conn* conn) {
+  auto out = std::make_shared<OutQueue>();
+  out->state = OutQueue::State::kReady;
+  out->fd = conn->fd;
+  out->conn = conn;
+  conn->out = out;
+  conn->last_write_progress = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  const PeerId id = next_client_id_--;
+  clients_.emplace(id, std::move(out));
+  return id;
+}
+
+void TcpTransport::handle_writable(Conn* conn) { flush(conn); }
+
+void TcpTransport::flush(Conn* conn) {
+  if (!conn->out || conn->fd < 0 || conn->connecting) return;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out->mu);
+    auto& q = conn->out->q;
+    if (q.empty()) {
+      conn->had_pending = false;
+      update_interest(conn, /*want_write=*/false);
+      return;
+    }
+    if (!conn->had_pending) {
+      // Queue just went non-empty: start the stall clock now, not from
+      // whenever the socket last happened to write.
+      conn->had_pending = true;
+      conn->last_write_progress = std::chrono::steady_clock::now();
+    }
+    // One vectored write per flush: every queued frame (up to kMaxIov)
+    // rides one syscall, which is the whole point of queue-then-flush over
+    // the old one-blocking-send-per-frame path. sendmsg rather than writev
+    // for MSG_NOSIGNAL — a peer that closed mid-flush must surface as EPIPE,
+    // not kill the process.
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    for (const std::string& entry : q) {
+      if (iov_count == kMaxIov) break;
+      const std::size_t skip = iov_count == 0 ? conn->head_off : 0;
+      iov[iov_count].iov_base = const_cast<char*>(entry.data() + skip);
+      iov[iov_count].iov_len = entry.size() - skip;
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        update_interest(conn, /*want_write=*/true);  // retry on readiness
+        return;
+      }
+      failed = true;
+    } else {
+      flushes_.fetch_add(1, std::memory_order_relaxed);
+      conn->last_write_progress = std::chrono::steady_clock::now();
+      std::size_t written = static_cast<std::size_t>(n);
+      conn->out->q_bytes -= written;
+      std::int64_t whole_frames = 0;
+      while (written > 0 && !q.empty()) {
+        const std::size_t remaining = q.front().size() - conn->head_off;
+        if (written >= remaining) {
+          written -= remaining;
+          conn->head_off = 0;
+          q.pop_front();
+          ++whole_frames;
+        } else {
+          conn->head_off += written;
+          written = 0;
+        }
+      }
+      flushed_frames_.fetch_add(whole_frames, std::memory_order_relaxed);
+      conn->had_pending = !q.empty();
+      update_interest(conn, /*want_write=*/!q.empty());
       return;
     }
   }
+  if (failed) close_conn(conn, /*drop_queue=*/true);
 }
 
-int TcpTransport::dial(PeerId to) {
-  const auto it = config_.peers.find(to);
-  if (it == config_.peers.end()) return -1;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(it->second.port);
-  if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1 ||
-      !connect_with_timeout(fd, addr, config_.dial_timeout)) {
-    ::close(fd);
-    return -1;
-  }
-  // Bound writes too: a peer that accepts but never drains would
-  // otherwise block send_all indefinitely.
-  set_send_timeout(fd, 4 * config_.dial_timeout);
-  if (!send_all(fd, handshake_frame(config_.self), write_deadline())) {
-    ::close(fd);
-    return -1;
-  }
-  set_nodelay(fd);
-  return fd;
+void TcpTransport::update_interest(Conn* conn, bool want_write) {
+  if (conn->fd < 0) return;
+  if (want_write == conn->want_write) return;
+  conn->want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.ptr = conn;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
-bool TcpTransport::send_to_client(PeerId to, std::string_view payload) {
-  std::shared_ptr<ClientConn> client;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = clients_.find(to);
-    if (it == clients_.end()) return false;  // connection already gone
-    client = it->second;
-  }
-  std::lock_guard<std::mutex> lock(client->mu);
-  if (client->fd < 0) return false;
-  if (!send_all(client->fd, frame(payload), write_deadline())) {
-    // Broken or wedged client: drop the reply (the client's retry path
-    // re-asks) and let the reader thread notice the dead stream and tear
-    // the connection down.
-    ::shutdown(client->fd, SHUT_RDWR);
-    return false;
-  }
-  return true;
-}
-
-bool TcpTransport::send(PeerId to, std::string_view payload) {
-  if (stopping_.load()) return false;
-  if (is_client_conn(to)) return send_to_client(to, payload);
-  std::shared_ptr<OutConn> conn;
-  {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    auto& slot = out_[to];
-    if (!slot) slot = std::make_shared<OutConn>();
-    conn = slot;
-  }
-  // Per-peer lock only: all I/O below can block (bounded), but only for
-  // senders talking to this same peer.
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (stopping_.load()) return false;
-  if (conn->fd < 0) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now < conn->next_dial) return false;  // recent failure: drop fast
-    conn->fd = dial(to);
-    if (conn->fd < 0) {
-      // Peer down: frame lost, retransmission heals. Gate the next dial so
-      // a dead peer costs one bounded attempt per backoff window.
-      conn->next_dial = now + config_.dial_backoff;
-      return false;
+void TcpTransport::close_conn(Conn* conn, bool drop_queue) {
+  if (conn->fd < 0) return;
+  if (conn->out) {
+    if (is_client_conn(conn->peer)) {
+      // Unpublish before the close: a sender that looks the id up after
+      // this point gets "connection gone", and one already holding the
+      // queue finds it dead — no window where a recycled fd number could
+      // be addressed.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        clients_.erase(conn->peer);
+      }
+      std::lock_guard<std::mutex> lock(conn->out->mu);
+      conn->out->state = OutQueue::State::kDead;
+      conn->out->fd = -1;
+      conn->out->conn = nullptr;
+      conn->out->q.clear();
+      conn->out->q_bytes = 0;
+    } else {
+      std::lock_guard<std::mutex> lock(conn->out->mu);
+      if (conn->out->state != OutQueue::State::kDead) {
+        // Failed dial / torn write / stall: arm the backoff so a dead peer
+        // costs one bounded attempt per backoff window, not per
+        // retransmission.
+        conn->out->state = OutQueue::State::kBackoff;
+        conn->out->next_dial =
+            std::chrono::steady_clock::now() + config_.dial_backoff;
+      }
+      conn->out->fd = -1;
+      conn->out->conn = nullptr;
+      if (drop_queue) {
+        conn_drops_.fetch_add(static_cast<std::int64_t>(conn->out->q.size()),
+                              std::memory_order_relaxed);
+        conn->out->q.clear();
+        conn->out->q_bytes = 0;
+      }
     }
   }
-  if (!send_all(conn->fd, frame(payload), write_deadline())) {
-    ::close(conn->fd);
-    conn->fd = -1;
-    // A wedged peer (accepts, never drains) fails here after SO_SNDTIMEO;
-    // without the backoff each retransmission would immediately re-dial
-    // and stall for the full timeout again, re-wedging the caller's loop
-    // every cycle instead of once per backoff window.
-    conn->next_dial = std::chrono::steady_clock::now() + config_.dial_backoff;
-    return false;
-  }
-  return true;
+  ::close(conn->fd);  // implicitly EPOLL_CTL_DELs
+  conn->fd = -1;      // reaped after the event batch
 }
 
-void TcpTransport::close_all_connections() {
-  std::vector<std::shared_ptr<OutConn>> outs;
-  {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    for (auto& [peer, conn] : out_) outs.push_back(conn);
-    out_.clear();
+std::chrono::milliseconds TcpTransport::poll_timeout() const {
+  auto next = std::chrono::steady_clock::time_point::max();
+  for (const auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    if (conn->connecting) next = std::min(next, conn->dial_deadline);
+    if (conn->out && !conn->connecting && conn->had_pending) {
+      next = std::min(next,
+                      conn->last_write_progress + config_.write_stall_timeout);
+    }
   }
-  for (auto& conn : outs) {
-    // Waits for any in-flight send to that peer (bounded by SO_SNDTIMEO).
-    std::lock_guard<std::mutex> lock(conn->mu);
-    if (conn->fd >= 0) ::close(conn->fd);
-    conn->fd = -1;
+  if (next == std::chrono::steady_clock::time_point::max()) {
+    return std::chrono::milliseconds(500);
   }
-  // Wake blocked readers; they close their own fds on exit.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& conn : in_) {
-    if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
+  const auto now = std::chrono::steady_clock::now();
+  if (next <= now) return std::chrono::milliseconds(0);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(next - now) +
+         std::chrono::milliseconds(1);
+}
+
+void TcpTransport::check_deadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    if (conn->connecting && now >= conn->dial_deadline) {
+      finish_dial(conn.get(), false);
+      continue;
+    }
+    if (!conn->out || conn->connecting) continue;
+    bool queued = false;
+    bool retired = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out->mu);
+      queued = !conn->out->q.empty();
+      retired = conn->out->state == OutQueue::State::kDead &&
+                !is_client_conn(conn->peer);
+    }
+    if (retired) {
+      // set_peer() replaced this queue; the connection serves no one.
+      close_conn(conn.get(), /*drop_queue=*/false);
+      continue;
+    }
+    if (queued && conn->had_pending &&
+        now - conn->last_write_progress >= config_.write_stall_timeout) {
+      // The socket accepted no bytes for the whole stall window while
+      // frames waited: the drainer is effectively dead. Tear down so the
+      // queue memory frees and (for peers) the backoff gates re-dialing.
+      close_conn(conn.get(), /*drop_queue=*/true);
+    }
   }
 }
 
 void TcpTransport::stop() {
   if (stopping_.exchange(true)) return;
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
-  close_all_connections();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept thread is gone, so in_ gains no new entries; join whatever
-  // readers remain (finished ones included — reap just joins + erases).
-  reap_finished_readers();
-  std::list<std::unique_ptr<InConn>> rest;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    rest.swap(in_);
+  if (reactor_.joinable()) {
+    wake_pending_.store(false);  // force the write-through even if set
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+    reactor_.join();
   }
-  for (auto& conn : rest) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-  // Closed only after the accept thread died: closing earlier would let a
-  // concurrent dial() recycle the fd number while accept() still held it.
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  wake_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
 }
 
 }  // namespace mcp::transport

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
@@ -30,37 +31,62 @@ struct TcpConfig {
   std::uint16_t listen_port = 0;
   std::map<PeerId, TcpPeer> peers;
   std::size_t max_frame = FrameBuffer::kDefaultMaxFrame;
-  /// Upper bound on how long one send() may block: dials use a
-  /// non-blocking connect raced against this, writes a SO_SNDTIMEO of
-  /// 4x it. A dead peer costs at most this per dial attempt, and at most
-  /// one attempt per `dial_backoff` (failed dials gate re-dialing), so a
-  /// caller's event loop is slowed, never wedged.
+  /// Upper bound on one non-blocking connect: a dial with no answer by
+  /// this deadline fails, drops its queued frames, and arms the backoff —
+  /// at most one attempt per `dial_backoff`, so a dead peer costs the
+  /// reactor a timer check, never a blocked thread.
   std::chrono::milliseconds dial_timeout{250};
   std::chrono::milliseconds dial_backoff{1000};
+  /// Bound on one connection's outbound queue. A receiver that stops
+  /// draining fills its queue; further frames to it are refused at send()
+  /// (counted as backpressure drops) while every other connection keeps
+  /// flowing — queue bounds are the reactor's replacement for the old
+  /// blocking-write SO_SNDTIMEO.
+  std::size_t max_outbound_bytes = 4u << 20;
+  /// A connection whose queue is non-empty but whose socket accepts no
+  /// bytes for this long is torn down (its frames drop, dial backoff
+  /// arms): bounds how long a dead-but-connected drainer can pin queue
+  /// memory.
+  std::chrono::milliseconds write_stall_timeout{2000};
+  /// When nonzero, SO_SNDBUF for dialed sockets. Setting it disables the
+  /// kernel's send-buffer autotuning, which otherwise absorbs hundreds of
+  /// kilobytes for a stalled receiver — tests that need backpressure to
+  /// surface deterministically pin this small. 0 keeps the kernel default.
+  int so_sndbuf = 0;
 };
 
-/// TCP socket transport with length-prefixed framing.
+/// TCP transport with length-prefixed framing over one epoll reactor.
+///
+/// All socket I/O — accept, connect, read, write — happens on a single
+/// reactor thread driving level-triggered epoll over non-blocking
+/// sockets. There are no per-connection threads: the thread count is
+/// constant in the number of peers and client connections. Senders (any
+/// thread) only append frames to per-connection bounded outbound queues
+/// and wake the reactor through an eventfd; the reactor flushes each
+/// queue with one writev per readiness (many frames per syscall) and
+/// feeds inbound bytes through a per-connection FrameBuffer, so torn
+/// frames reassemble and a stream violating the framing rules (garbage
+/// or oversized prefix) is closed without crashing the node.
 ///
 /// Topology: two unidirectional streams per peer pair. Outbound frames go
 /// over a lazily-dialed connection that opens with a handshake frame
-/// announcing the dialer's PeerId; inbound connections are accepted on the
-/// listen socket, their handshake read, and then drained by a dedicated
-/// reader thread feeding a FrameBuffer — so torn frames and partial reads
-/// reassemble, and a stream violating the framing rules (garbage or
-/// oversized prefix) is closed without crashing the node.
+/// announcing the dialer's PeerId; inbound connections are accepted on
+/// the listen socket and classified by their first frame.
 ///
 /// Client connections: an accepted stream whose first frame is *not* a
-/// pure-varint peer handshake is a service client — it skips the handshake
-/// entirely and just starts sending envelopes. The connection is assigned
-/// a synthetic PeerId (kFirstClientConn counting down; disjoint from every
-/// real node id) under which its frames are delivered, and send() to that
-/// id answers over the same socket, duplex. The id dies with the
-/// connection: a reconnecting client is a new synthetic peer, and the
-/// service layer's sessions — not the transport — carry its identity.
+/// pure-varint peer handshake is a service client — it skips the
+/// handshake entirely and just starts sending envelopes. The connection
+/// is assigned a synthetic PeerId (kFirstClientConn counting down;
+/// disjoint from every real node id) under which its frames are
+/// delivered, and send() to that id answers over the same socket, duplex.
+/// The id dies with the connection: a reconnecting client is a new
+/// synthetic peer, and the service layer's sessions — not the transport —
+/// carry its identity.
 ///
-/// Loss semantics: a failed dial or write drops the frame and the cached
-/// connection; the next send re-dials. Protocol retransmission recovers —
-/// the same contract the simulated lossy network already imposes.
+/// Loss semantics: a failed dial, a write error, a full queue, or a write
+/// stall drops frames and (except the full queue) the connection; the
+/// next send re-dials. Protocol retransmission recovers — the same
+/// contract the simulated lossy network already imposes.
 class TcpTransport final : public Transport {
  public:
   /// Synthetic ids handed to client connections, counting down from here
@@ -79,13 +105,15 @@ class TcpTransport final : public Transport {
   /// caller did not.
   std::uint16_t bind_and_listen();
 
-  /// Add or replace a peer's address (before start()).
+  /// Add or replace a peer's address. The cached connection (and its dial
+  /// backoff) is retired so the next send dials the new address.
   void set_peer(PeerId id, TcpPeer peer);
 
   void start(FrameHandler handler) override;
   bool send(PeerId to, std::string_view payload) override;
   void stop() override;
   std::string name() const override { return "tcp"; }
+  TransportStats stats() const override;
 
   std::uint16_t listen_port() const { return bound_port_; }
 
@@ -94,68 +122,111 @@ class TcpTransport final : public Transport {
   static std::string handshake_frame(PeerId self);
 
  private:
-  /// One outbound connection's state. Per-peer locking: a peer whose dial
-  /// or write blocks (bounded by dial_timeout / SO_SNDTIMEO) delays only
-  /// sends to that peer, never the whole transport.
-  struct OutConn {
+  struct Conn;
+
+  /// One connection's outbound side, shared between sender threads
+  /// (bounded enqueue under `mu`) and the reactor (drain + flush). For
+  /// outbound peer links this object outlives individual connections:
+  /// the dial backoff gate lives here too.
+  struct OutQueue {
     std::mutex mu;
+    std::deque<std::string> q;  // framed bytes, one entry per frame
+    std::size_t q_bytes = 0;
+    /// Reactor-owned fd this queue flushes to; -1 = not connected.
+    /// Senders never touch it — they only observe `state`.
     int fd = -1;
-    /// Failed dials gate re-dialing until this instant (backoff), so a
-    /// down peer costs one bounded dial per backoff window, not per send.
-    std::chrono::steady_clock::time_point next_dial{};
-  };
-  /// Write half of a client connection, shared between the clients_ map
-  /// (senders) and the owning InConn (whose reader closes the fd on exit,
-  /// under `mu` so it never yanks the socket from under a mid-write
-  /// reply).
-  struct ClientConn {
-    std::mutex mu;
-    int fd = -1;
-  };
-  /// One accepted connection: its reader thread reaps itself by setting
-  /// `done` (under mu_) after closing the fd; the accept loop joins and
-  /// erases finished entries, so long-lived nodes with flappy peers do not
-  /// accumulate dead threads.
-  struct InConn {
-    int fd = -1;
-    bool done = false;  // guarded by mu_
-    /// Engaged by the reader when the stream turns out to be a client
-    /// connection (no peer handshake); null for peer streams.
-    std::shared_ptr<ClientConn> client;  // set under mu_
-    PeerId client_id = sim::kNoNode;     // guarded by mu_
-    std::thread thread;
+    enum class State : std::uint8_t {
+      kIdle,       // no connection; first enqueue requests a dial
+      kDialing,    // non-blocking connect in flight
+      kReady,      // connected (or adopted inbound client socket)
+      kBackoff,    // last dial/write failed; drop sends until next_dial
+      kDead,       // client connection gone; refuse sends forever
+    };
+    State state = State::kIdle;  // guarded by mu
+    std::chrono::steady_clock::time_point next_dial{};  // guarded by mu
+    /// Back-pointer to the reactor Conn currently flushing this queue
+    /// (null when none). Written by the reactor under mu; only ever
+    /// dereferenced on the reactor thread.
+    Conn* conn = nullptr;
   };
 
-  /// Budget for one whole frame write: SO_SNDTIMEO bounds each blocking
-  /// send() call, this bounds their sum — a receiver draining a byte per
-  /// timeout window cannot hold a sender past it.
-  std::chrono::steady_clock::time_point write_deadline() const {
-    return std::chrono::steady_clock::now() + 4 * config_.dial_timeout;
-  }
+  /// Reactor-side state of one socket (owned by the reactor thread).
+  struct Conn {
+    int fd = -1;
+    /// Peer id frames from this socket are delivered under: kNoNode until
+    /// the first frame classifies an accepted stream, the handshake id
+    /// for peer streams, a synthetic id for clients. For outbound
+    /// connections, the dialed peer.
+    PeerId peer = sim::kNoNode;
+    bool outbound = false;        // dialed by us (carries our handshake)
+    bool connecting = false;      // non-blocking connect() not yet resolved
+    bool awaiting_first = false;  // accepted, first frame not yet seen
+    FrameBuffer in;
+    /// Outbound queue this socket flushes (outbound peer link or adopted
+    /// client connection); null for pure-inbound peer streams.
+    std::shared_ptr<OutQueue> out;
+    std::size_t head_off = 0;  // bytes of out->q.front() already written
+    bool want_write = false;   // EPOLLOUT currently registered
+    /// Reactor's view of "frames are waiting on this socket" — the stall
+    /// clock runs only while true, and starts when it flips true.
+    bool had_pending = false;
+    std::chrono::steady_clock::time_point dial_deadline{};
+    /// Last instant the socket accepted outbound bytes (stall detection).
+    std::chrono::steady_clock::time_point last_write_progress{};
 
-  void accept_loop();
-  void reap_finished_readers();
-  void reader_loop(InConn* conn);
-  /// Register `conn` as a client connection; returns its synthetic id.
-  PeerId adopt_client_conn(InConn* conn);
-  bool send_to_client(PeerId to, std::string_view payload);
-  /// Dial `to` (bounded by dial_timeout) and shake hands; -1 on failure.
-  int dial(PeerId to);
-  void close_all_connections();
+    explicit Conn(std::size_t max_frame) : in(max_frame) {}
+  };
+
+  void reactor_loop();
+  void wake();
+  /// Sender half of send(): enqueue on `out` (bounded) and wake the
+  /// reactor; false when the queue refused the frame.
+  bool enqueue(const std::shared_ptr<OutQueue>& out, PeerId to,
+               std::string_view payload);
+
+  // Everything below runs on the reactor thread only.
+  void handle_listen_ready();
+  void start_dials();
+  void start_dial(PeerId to, const std::shared_ptr<OutQueue>& out);
+  void finish_dial(Conn* conn, bool ok);
+  void handle_readable(Conn* conn);
+  void handle_writable(Conn* conn);
+  void flush(Conn* conn);
+  void close_conn(Conn* conn, bool drop_queue);
+  void update_interest(Conn* conn, bool want_write);
+  PeerId adopt_client_conn(Conn* conn);
+  std::chrono::milliseconds poll_timeout() const;
+  void check_deadlines();
 
   TcpConfig config_;
   std::atomic<bool> stopping_{false};
   std::uint16_t bound_port_ = 0;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> wake_pending_{false};
   FrameHandler handler_;
 
-  std::mutex out_mu_;  // guards the map shape only, never held across I/O
-  std::map<PeerId, std::shared_ptr<OutConn>> out_;
-  std::mutex mu_;  // guards in_/clients_ bookkeeping
-  std::list<std::unique_ptr<InConn>> in_;
-  std::map<PeerId, std::shared_ptr<ClientConn>> clients_;
-  PeerId next_client_id_ = kFirstClientConn;
-  std::thread accept_thread_;
+  /// Guards peers_/clients_/dial_requests_ map shape; never held across
+  /// I/O or handler calls.
+  mutable std::mutex mu_;
+  std::map<PeerId, std::shared_ptr<OutQueue>> peers_;
+  std::map<PeerId, std::shared_ptr<OutQueue>> clients_;
+  /// Peers whose queues want a connection; senders append, the reactor
+  /// drains (under mu_).
+  std::vector<PeerId> dial_requests_;
+  PeerId next_client_id_ = kFirstClientConn;  // guarded by mu_
+
+  /// Reactor-owned connection list (reactor thread only after start).
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  // Stats (relaxed atomics: written by reactor + senders, read anywhere).
+  std::atomic<std::int64_t> backpressure_drops_{0};
+  std::atomic<std::int64_t> flushes_{0};
+  std::atomic<std::int64_t> flushed_frames_{0};
+  std::atomic<std::int64_t> conn_drops_{0};
+
+  std::thread reactor_;
 };
 
 }  // namespace mcp::transport

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -12,6 +13,25 @@ namespace mcp::transport {
 /// processes use (sim::NodeId), so a runtime::Node can hand Process::send
 /// destinations straight to its transport.
 using PeerId = sim::NodeId;
+
+/// Carrier-level counters a backend may report (all zero by default).
+/// Counter semantics mirror the node-level `net.*` metric names:
+///
+///  - `backpressure_drops` (net.backpressure.drops): frames refused
+///    because a connection's bounded outbound queue was full — the
+///    reactor's replacement for blocking-write timeouts.
+///  - `flushes` / `flushed_frames` (net.flush.batch): writev flushes and
+///    the frames they carried; flushed_frames / flushes is the syscall
+///    coalescing factor.
+///  - `conn_drops`: frames discarded because their connection died
+///    (failed dial, write error, write stall) — ordinary carrier loss,
+///    healed by protocol retransmission.
+struct TransportStats {
+  std::int64_t backpressure_drops = 0;
+  std::int64_t flushes = 0;
+  std::int64_t flushed_frames = 0;
+  std::int64_t conn_drops = 0;
+};
 
 /// A point-to-point frame carrier for one cluster member.
 ///
@@ -47,6 +67,10 @@ class Transport {
 
   /// Backend label for metrics/bench rows ("thread", "tcp").
   virtual std::string name() const = 0;
+
+  /// Carrier counters; backends without queue/flush machinery report
+  /// zeros. Safe to call from any thread, including after stop().
+  virtual TransportStats stats() const { return {}; }
 };
 
 }  // namespace mcp::transport

@@ -1,0 +1,281 @@
+// Reactor-specific TCP transport tests: the properties the epoll rewrite
+// introduced on top of the frame/handshake contract that transport_test.cpp
+// already pins. Three behaviours matter here:
+//
+//  1. Backpressure instead of blocking: a peer that stops draining fills
+//     its bounded outbound queue; further sends to it are refused (and
+//     counted) while every other connection keeps flowing, and the write
+//     stall eventually tears the connection down cleanly.
+//  2. writev coalescing: a burst of small frames rides few syscalls but
+//     arrives intact and in order.
+//  3. Constant thread count: client connections are reactor state, not
+//     threads — 64 concurrent clients add zero threads.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/frame.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace mcp::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+class Sink {
+ public:
+  void operator()(PeerId from, std::string payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    received_.emplace_back(from, std::move(payload));
+    cv_.notify_all();
+  }
+
+  Transport::FrameHandler handler() {
+    return [this](PeerId from, std::string payload) {
+      (*this)(from, std::move(payload));
+    };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::milliseconds timeout = 10s) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return received_.size() >= n; });
+  }
+
+  std::vector<std::pair<PeerId, std::string>> snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<PeerId, std::string>> received_;
+};
+
+/// A listening socket that accepts one connection and drains it only as
+/// told — the "slow consumer" end of the backpressure tests. Small kernel
+/// buffers so the sender hits EAGAIN with kilobytes, not megabytes.
+class SlowDrainer {
+ public:
+  SlowDrainer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    const int tiny = 4096;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~SlowDrainer() {
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  bool accept_one() {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    return conn_fd_ >= 0;
+  }
+
+  /// Drain a single byte (blocking); false on EOF/error.
+  bool drain_byte() {
+    char c;
+    return ::recv(conn_fd_, &c, 1, 0) == 1;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TcpConfig loopback_config(PeerId self) {
+  TcpConfig config;
+  config.self = self;
+  return config;
+}
+
+TEST(TcpReactorTest, SlowDrainerHitsQueueBoundNotOtherConnections) {
+  TcpConfig config = loopback_config(0);
+  config.max_outbound_bytes = 256u << 10;  // small bound: fills fast
+  config.write_stall_timeout = 400ms;
+  config.dial_backoff = 5s;  // wide window so the post-teardown refusal
+                             // cannot race a backoff expiry on a slow runner
+  config.so_sndbuf = 4096;   // pin the kernel buffer: autotuned SNDBUF would
+                             // silently absorb the whole queue and hide the stall
+  TcpTransport a(config);
+  a.bind_and_listen();
+
+  SlowDrainer slow;
+  a.set_peer(1, {"127.0.0.1", slow.port()});
+  TcpTransport b(loopback_config(2));
+  a.set_peer(2, {"127.0.0.1", b.bind_and_listen()});
+
+  Sink sink_a, sink_b;
+  a.start(sink_a.handler());
+  b.start(sink_b.handler());
+
+  // Fill peer 1's queue: 64 KiB frames against a 256 KiB bound and a
+  // drainer that reads one byte per poll. The first send opens the dial
+  // (connections are lazy), then the kernel buffers absorb a few frames
+  // and the bound refuses the rest.
+  const std::string big(64u << 10, 'q');
+  ASSERT_TRUE(a.send(1, big));
+  ASSERT_TRUE(slow.accept_one());
+  bool refused = false;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!refused && std::chrono::steady_clock::now() < deadline) {
+    if (!a.send(1, big)) {
+      refused = true;
+      break;
+    }
+    ASSERT_TRUE(slow.drain_byte());  // one byte per send "poll interval"
+  }
+  ASSERT_TRUE(refused) << "bounded queue never refused a frame";
+  EXPECT_GE(a.stats().backpressure_drops, 1);
+
+  // The reactor is not wedged: a frame to the healthy peer still flows
+  // while peer 1's queue sits full.
+  EXPECT_TRUE(a.send(2, "alive"));
+  ASSERT_TRUE(sink_b.wait_for(1));
+  EXPECT_EQ(sink_b.snapshot()[0].second, "alive");
+
+  // Stop draining entirely: the write stall trips, the connection tears
+  // down, its queued frames are dropped (counted), and the dial backoff
+  // refuses follow-up sends instead of re-queueing onto a dead drainer.
+  const auto stall_deadline = std::chrono::steady_clock::now() + 10s;
+  while (a.stats().conn_drops == 0 &&
+         std::chrono::steady_clock::now() < stall_deadline) {
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_GE(a.stats().conn_drops, 1) << "write stall never tore down the connection";
+  EXPECT_FALSE(a.send(1, "into backoff"));
+
+  // Clean teardown: the rest of the transport still works.
+  EXPECT_TRUE(a.send(2, "still alive"));
+  ASSERT_TRUE(sink_b.wait_for(2));
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpReactorTest, WritevCoalescesBurstIntact) {
+  TcpTransport a(loopback_config(0)), b(loopback_config(1));
+  a.bind_and_listen();
+  a.set_peer(1, {"127.0.0.1", b.bind_and_listen()});
+  Sink sink;
+  a.start([](PeerId, std::string) {});
+  b.start(sink.handler());
+
+  // Burst from the sender thread: the first send opens the (asynchronous)
+  // dial, so the rest of the burst queues behind the handshake and the
+  // first flush carries many frames in one syscall.
+  constexpr int kBurst = 200;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(a.send(1, "burst-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(sink.wait_for(kBurst));
+
+  // Intact and in order (one connection = FIFO).
+  const auto got = sink.snapshot();
+  for (int i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].second,
+              "burst-" + std::to_string(i));
+  }
+
+  // Coalescing happened: strictly more frames than syscalls.
+  const auto stats = a.stats();
+  EXPECT_GE(stats.flushed_frames, kBurst);
+  EXPECT_GT(stats.flushes, 0);
+  EXPECT_GT(stats.flushed_frames, stats.flushes)
+      << "every flush carried exactly one frame — no coalescing";
+  a.stop();
+  b.stop();
+}
+
+/// Threads of this process, from /proc/self/status.
+int thread_count() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int threads = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+  }
+  std::fclose(f);
+  return threads;
+}
+
+TEST(TcpReactorTest, SixtyFourClientsAddNoThreads) {
+  TcpTransport rx(loopback_config(0));
+  const auto port = rx.bind_and_listen();
+  Sink sink;
+  rx.start(sink.handler());
+  const int baseline = thread_count();
+  ASSERT_GT(baseline, 0);
+
+  // 64 concurrent client connections, each sending one frame and waiting
+  // for its echo. Under the old transport this spawned 64 reader threads;
+  // the reactor serves them all from the one thread it already had.
+  constexpr int kClients = 64;
+  std::vector<int> fds;
+  for (int i = 0; i < kClients; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    fds.push_back(fd);
+    const std::string payload = frame("client-" + std::to_string(i));
+    ASSERT_EQ(::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(payload.size()));
+  }
+  ASSERT_TRUE(sink.wait_for(kClients));
+  EXPECT_EQ(thread_count(), baseline) << "client connections grew the thread count";
+
+  // Each synthetic client id answers over its own socket, duplex.
+  for (const auto& [from, payload] : sink.snapshot()) {
+    ASSERT_TRUE(TcpTransport::is_client_conn(from));
+    ASSERT_TRUE(rx.send(from, "echo:" + payload));
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    FrameBuffer buf;
+    std::optional<std::string> reply;
+    char chunk[512];
+    while (!reply.has_value()) {
+      const ssize_t n = ::recv(fds[i], chunk, sizeof chunk, 0);
+      ASSERT_GT(n, 0) << "client " << i << " got no echo";
+      buf.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+      reply = buf.next();
+    }
+    EXPECT_EQ(reply->rfind("echo:client-", 0), 0u) << *reply;
+  }
+  EXPECT_EQ(thread_count(), baseline);
+  for (const int fd : fds) ::close(fd);
+  rx.stop();
+}
+
+}  // namespace
+}  // namespace mcp::transport

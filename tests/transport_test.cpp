@@ -328,11 +328,21 @@ TEST(TcpTransportTest, LargeFrameSurvivesPartialReads) {
 TEST(TcpTransportTest, SendToDownPeerDropsAndRecovers) {
   TcpTransport a(loopback_config(0));
   a.bind_and_listen();
-  // Point at a (very likely) closed port: the dial fails, the frame drops.
+  // Point at a (very likely) closed port. The first send is accepted —
+  // it rides the (asynchronous) dial attempt — and drops when the dial
+  // fails; once the failure lands, the backoff gate refuses sends fast.
   a.set_peer(1, {"127.0.0.1", 1});
   Sink sink;
   a.start(sink.handler());
-  EXPECT_FALSE(a.send(1, "lost"));
+  EXPECT_TRUE(a.send(1, "lost"));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.send(1, "probe")) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "dial to a closed port never failed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(a.send(1, "still backoff"));
+  EXPECT_GE(a.stats().conn_drops, 1);  // the in-flight frames were dropped
 
   // Bring a real peer up at a fresh address and repoint: next send heals.
   TcpTransport b(loopback_config(1));
