@@ -23,8 +23,19 @@
 // up as queueing delay instead of being hidden by a slowed closed loop
 // (coordinated omission).
 //
-//   $ ./bench_kv [--json]
+// Group scaling (the sharding claim): `--groups {1,2,4}` (default: sweep
+// all three) partitions a FIXED total offered load across that many
+// consensus groups, each with its own coordinator, acceptor trio and
+// server pair. The sim rows turn on the deterministic receive-capacity
+// model (NetworkConfig::bytes_per_tick), which makes the single group's
+// acceptor/learner links a genuine serialization bottleneck — so write
+// throughput (cmds_per_ktick) must scale near-linearly with groups, and
+// compare_bench.py gates both the column and the groups=4 : groups=1
+// ratio (>= 2.5x).
+//
+//   $ ./bench_kv [--json] [--groups N]
 //   $ ./bench_kv --rate 500 --duration 5 [--clients 8] [--backend tcp]
+//                [--groups N]
 
 #include <atomic>
 #include <chrono>
@@ -36,9 +47,11 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "runtime/cluster_file.hpp"
 #include "runtime/kv_cluster.hpp"
 #include "service/client.hpp"
 #include "service/frontend.hpp"
+#include "service/partition.hpp"
 #include "service/sim_client.hpp"
 #include "util/metrics.hpp"
 
@@ -51,6 +64,16 @@ constexpr int kSimOps = 100;   // per client
 constexpr int kLiveOps = 80;   // per client
 const std::vector<std::size_t> kBatchSizes{1, 8, 32};
 const std::vector<int> kClientCounts{1, 4};
+
+// Group-scaling runs: the same total load (kScaleClients closed-loop
+// writers, kScaleOps puts each) however many groups carry it.
+constexpr int kScaleClients = 16;
+constexpr int kScaleOps = 60;
+constexpr int kLiveScaleOps = 40;
+/// Receive capacity per destination per tick for the sim scaling rows
+/// (small enough that one group's 2b fan-in serializes under 8 writers).
+constexpr sim::Time kScaleBytesPerTick = 4;
+const std::vector<int> kGroupSweep{1, 2, 4};
 
 struct SimRow {
   sim::Time makespan = 0;
@@ -125,6 +148,112 @@ SimRow run_sim(std::size_t batch_size, int clients) {
   return row;
 }
 
+struct ScaleRow {
+  sim::Time makespan = 0;
+  double cmds_per_ktick = 0;
+  std::vector<std::int64_t> group_bytes;  // g<G>.net.bytes_sent per group
+  bool complete = false;
+};
+
+/// Fixed total load sharded across `groups` consensus groups, each with
+/// its own coordinator, three acceptors and two servers (the scale-out
+/// deployment the cluster-file `group` lines describe: adding a group
+/// adds an acceptor set, which pre-sharding added zero write throughput).
+/// The receive-capacity model is on, so the one-group run genuinely
+/// saturates its six per-group links and the sharded runs split that
+/// byte stream G ways.
+ScaleRow run_sim_groups(int groups) {
+  static const cstruct::KeyConflict kConflicts;
+  sim::NetworkConfig net;
+  net.min_delay = 1;
+  net.max_delay = 4;
+  net.bytes_per_tick = kScaleBytesPerTick;
+  sim::Simulation simulation(/*seed=*/97, net);
+
+  std::vector<std::unique_ptr<paxos::RoundPolicy>> policies;
+  std::vector<std::unique_ptr<genpaxos::Config<cstruct::History>>> configs;
+  std::vector<std::vector<sim::NodeId>> servers(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    // Ids per group: coordinator, acceptors, servers — allocated in the
+    // same order the processes are registered below.
+    const sim::NodeId base = static_cast<sim::NodeId>(g * 6);
+    const sim::NodeId coord = base;
+    const std::vector<sim::NodeId> acceptors{base + 1, base + 2, base + 3};
+    servers[static_cast<std::size_t>(g)] = {base + 4, base + 5};
+
+    auto config = std::make_unique<genpaxos::Config<cstruct::History>>();
+    config->acceptors = acceptors;
+    config->learners = servers[static_cast<std::size_t>(g)];
+    config->proposers = servers[static_cast<std::size_t>(g)];
+    config->f = 1;
+    config->bottom = cstruct::History(&kConflicts);
+    policies.push_back(paxos::PatternPolicy::always_single({coord}));
+    config->policy = policies.back().get();
+    configs.push_back(std::move(config));
+
+    simulation.make_process<genpaxos::GenCoordinator<cstruct::History>>(*configs.back());
+    simulation.assign_group(coord, static_cast<std::uint32_t>(g));
+    for (const sim::NodeId a : acceptors) {
+      simulation.make_process<genpaxos::GenAcceptor<cstruct::History>>(*configs.back());
+      simulation.assign_group(a, static_cast<std::uint32_t>(g));
+    }
+    // Each server is a one-shard sharded frontend: the whole keyspace
+    // routes to group g (clients are pinned to their group's servers).
+    runtime::ClusterGroup whole;
+    whole.id = static_cast<std::uint32_t>(g);
+    whole.mode = "range";
+    whole.lo = "";
+    whole.hi = "+";
+    service::Frontend::Options fopt;
+    fopt.batch_size = 8;
+    fopt.batch_delay = 2;
+    for (const sim::NodeId s : servers[static_cast<std::size_t>(g)]) {
+      simulation.make_process<service::Frontend>(
+          std::vector<service::Frontend::GroupConfig>{
+              {static_cast<std::uint32_t>(g), configs.back().get()}},
+          service::KeyPartition::from_groups({whole}), fopt);
+      simulation.assign_group(s, static_cast<std::uint32_t>(g));
+    }
+  }
+
+  std::vector<service::SimClient*> cs;
+  sim::NodeId next = static_cast<sim::NodeId>(groups * 6);
+  for (int i = 0; i < kScaleClients; ++i) {
+    const int g = i % groups;
+    service::SimClient::Options copt;
+    copt.client_id = static_cast<std::uint64_t>(100 + i);
+    copt.server = servers[static_cast<std::size_t>(g)][(i / groups) % 2];
+    copt.ops = kScaleOps;
+    copt.read_fraction = 0;  // write throughput is the claim under test
+    copt.key_prefix = "g" + std::to_string(g) + ".c" + std::to_string(i) + ".";
+    copt.keys = 4;
+    // Well past the saturated run's p99: a retry storm would measure the
+    // dedup path, not the capacity bottleneck.
+    copt.retry_interval = 20'000;
+    cs.push_back(&simulation.make_process<service::SimClient>(copt));
+    simulation.assign_group(next++, static_cast<std::uint32_t>(g));
+  }
+
+  ScaleRow row;
+  row.complete = simulation.run_until(
+      [&] {
+        for (const auto* c : cs) {
+          if (!c->done()) return false;
+        }
+        return true;
+      },
+      10'000'000);
+  row.makespan = simulation.now();
+  const double total = static_cast<double>(kScaleClients) * kScaleOps;
+  row.cmds_per_ktick =
+      row.makespan > 0 ? total * 1000.0 / static_cast<double>(row.makespan) : 0;
+  for (int g = 0; g < groups; ++g) {
+    row.group_bytes.push_back(
+        simulation.metrics().counter("g" + std::to_string(g) + ".net.bytes_sent"));
+  }
+  return row;
+}
+
 struct LiveRow {
   double wall_ms = 0;
   double ops_per_s = 0;
@@ -188,6 +317,60 @@ LiveRow run_live(runtime::Backend backend, std::size_t batch_size, int clients) 
   return row;
 }
 
+struct LiveScaleRow {
+  double wall_ms = 0;
+  double ops_per_s = 0;
+  int completed = 0;
+  std::vector<std::int64_t> group_bytes;
+};
+
+/// The live twin of run_sim_groups: one KvServiceCluster with
+/// `groups` consensus groups (per-group coordinator nodes, shared
+/// acceptor/server nodes — the one-event-loop-many-processes runtime),
+/// fixed total client load, pure puts over keys that hash across every
+/// group. Wall-clock, so reported but not byte/latency-gated.
+LiveScaleRow run_live_groups(runtime::Backend backend, int groups, int clients) {
+  runtime::KvShape shape;
+  shape.groups = groups;
+  shape.frontend.batch_size = 8;
+  shape.frontend.batch_delay = 2;
+  runtime::ClusterOptions options;
+  options.backend = backend;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+  cluster.start();
+
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  const auto started = steady_clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      service::Client::Options copt;
+      copt.client_id = static_cast<std::uint64_t>(1500 + t);
+      copt.servers = cluster.server_ids();
+      copt.attempt_timeout = std::chrono::milliseconds(500);
+      service::Client client(cluster.make_channel(cluster.client_endpoint_id(t)), copt);
+      for (int i = 0; i < kLiveScaleOps; ++i) {
+        // 32 keys spread the hash partition across every group.
+        const std::string key = "sk" + std::to_string((t * kLiveScaleOps + i) % 32);
+        if (client.put(key, "v").ok) completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LiveScaleRow row;
+  row.wall_ms = duration<double, std::milli>(steady_clock::now() - started).count();
+  row.completed = completed.load();
+  row.ops_per_s = row.completed / (row.wall_ms / 1000.0);
+  for (int g = 0; g < groups; ++g) {
+    row.group_bytes.push_back(
+        cluster.cluster().counter_sum("g" + std::to_string(g) + ".net.bytes_sent"));
+  }
+  cluster.stop();
+  return row;
+}
+
 struct OpenRow {
   double rate_target = 0;
   double rate_achieved = 0;
@@ -197,6 +380,9 @@ struct OpenRow {
   double p99_us = 0;
   double max_us = 0;
   std::int64_t backpressure_drops = 0;
+  /// Per consensus group (client-side key partition): a hot group shows
+  /// its own percentiles instead of averaging away.
+  std::vector<util::Histogram> per_group;
 };
 
 /// Open-loop load over a live cluster: `clients` worker threads share one
@@ -205,8 +391,9 @@ struct OpenRow {
 /// op spends waiting behind a slow predecessor in its worker counts
 /// against the service, exactly as a queueing client would experience it.
 OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
-                      int clients) {
+                      int clients, int groups) {
   runtime::KvShape shape;
+  shape.groups = groups;
   shape.frontend.batch_size = 8;
   shape.frontend.batch_delay = 5;
   runtime::ClusterOptions options;
@@ -215,9 +402,16 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
   runtime::KvServiceCluster cluster(shape, options);
   cluster.start();
 
+  // The same key -> group function the frontends route by, computed
+  // client-side to label each sample with its group.
+  const auto partition =
+      service::KeyPartition::hashed(static_cast<std::uint32_t>(groups));
   std::atomic<int> issued{0};
   std::atomic<int> completed{0};
   std::vector<util::Histogram> lat(static_cast<std::size_t>(clients));
+  std::vector<std::vector<util::Histogram>> glat(
+      static_cast<std::size_t>(clients),
+      std::vector<util::Histogram>(static_cast<std::size_t>(groups)));
   std::vector<std::thread> threads;
   const auto start = steady_clock::now() + milliseconds(50);  // common epoch
   const auto period = duration<double>(1.0 / rate);
@@ -243,6 +437,7 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
         if (!r.ok) continue;
         completed.fetch_add(1);
         lat[static_cast<std::size_t>(t)].add(waited);
+        glat[static_cast<std::size_t>(t)][partition.group_of(key)].add(waited);
       }
     });
   }
@@ -265,6 +460,14 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
   row.max_us = all.max();
   row.backpressure_drops =
       cluster.cluster().counter_sum("net.backpressure.drops");
+  row.per_group.resize(static_cast<std::size_t>(groups));
+  for (const auto& per_thread : glat) {
+    for (int g = 0; g < groups; ++g) {
+      for (const double s : per_thread[static_cast<std::size_t>(g)].samples()) {
+        row.per_group[static_cast<std::size_t>(g)].add(s);
+      }
+    }
+  }
   return row;
 }
 
@@ -284,7 +487,8 @@ std::string flag_text(int argc, char** argv, const char* name,
 }
 
 void open_loop_tables(bench::Report& report, double rate, double duration_s,
-                      int clients, const std::string& backend_filter) {
+                      int clients, int groups,
+                      const std::string& backend_filter) {
   for (const auto backend :
        {runtime::Backend::kThread, runtime::Backend::kTcp}) {
     const std::string bname = runtime::backend_name(backend);
@@ -293,10 +497,20 @@ void open_loop_tables(bench::Report& report, double rate, double duration_s,
         "kv open-loop " + bname + " (batch 8, tick = 200 us)",
         {"rate_target", "rate_achieved", "clients", "issued", "completed",
          "p50_us", "p99_us", "max_us", "queue_refusals"});
-    const OpenRow row = run_open_loop(backend, rate, duration_s, clients);
+    const OpenRow row = run_open_loop(backend, rate, duration_s, clients, groups);
     t.row({row.rate_target, row.rate_achieved, clients, row.issued,
            row.completed, row.p50_us, row.p99_us, row.max_us,
            row.backpressure_drops});
+    // One row per consensus group, so a hot group's percentiles stand on
+    // their own instead of averaging into the cluster-wide row above.
+    auto& gt = report.table("kv open-loop per-group " + bname,
+                            {"group", "completed", "p50_us", "p99_us"});
+    for (std::size_t g = 0; g < row.per_group.size(); ++g) {
+      const util::Histogram& h = row.per_group[g];
+      gt.row({"g" + std::to_string(g),
+              static_cast<std::int64_t>(h.samples().size()), h.percentile(0.5),
+              h.percentile(0.99)});
+    }
   }
 }
 
@@ -315,11 +529,17 @@ int main(int argc, char** argv) {
   const double duration_s = flag_value(argc, argv, "--duration", 2.0);
   const int clients_flag =
       static_cast<int>(flag_value(argc, argv, "--clients", 4));
+  const int groups_flag = static_cast<int>(flag_value(argc, argv, "--groups", 0));
   const std::string backend_filter = flag_text(argc, argv, "--backend", "");
+  // --groups N pins every group-aware table to N; default sweeps {1,2,4}.
+  const std::vector<int> group_sweep =
+      groups_flag > 0 ? std::vector<int>{groups_flag} : kGroupSweep;
+  const int service_groups = groups_flag > 0 ? groups_flag : 1;
   if (rate > 0) {
     // Explicit open-loop run: just the latency tables, at the asked-for
     // rate/duration/client count.
-    open_loop_tables(report, rate, duration_s, clients_flag, backend_filter);
+    open_loop_tables(report, rate, duration_s, clients_flag, service_groups,
+                     backend_filter);
     report.note(
         "open-loop: ops issued on a fixed arrival timeline at rate_target "
         "ops/s; latency is measured from the scheduled arrival (includes "
@@ -340,6 +560,54 @@ int main(int argc, char** argv) {
                      clients * kSimOps, row.makespan, row.lat_mean, row.lat_p99,
                      row.bytes_per_op, row.batches,
                      row.complete ? "yes" : "NO"});
+    }
+  }
+
+  // --- group scaling: fixed load, {1,2,4} consensus groups ------------------
+  // Deterministic (seeded sim + capacity model), so both the throughput
+  // column and the groups=4 : groups=1 ratio are gated in CI.
+  auto& scale_table = report.table(
+      "kv sim group-scaling (fixed load, per-group 1 coord / 3 acc / 2 "
+      "servers, capacity " +
+          std::to_string(kScaleBytesPerTick) + " B/tick)",
+      {"run", "groups", "clients", "ops", "makespan_ticks", "cmds_per_ktick",
+       "complete"});
+  auto& gbytes_table = report.table(
+      "kv sim group bytes (per-group share of the scaling runs)",
+      {"run", "group", "group_bytes_sent"});
+  for (const int groups : group_sweep) {
+    const ScaleRow row = run_sim_groups(groups);
+    const std::string label = "groups=" + std::to_string(groups);
+    scale_table.row({label, groups, kScaleClients, kScaleClients * kScaleOps,
+                     row.makespan, row.cmds_per_ktick,
+                     row.complete ? "yes" : "NO"});
+    for (std::size_t g = 0; g < row.group_bytes.size(); ++g) {
+      gbytes_table.row({label, "g" + std::to_string(g), row.group_bytes[g]});
+    }
+  }
+
+  if (backend_filter.empty() || backend_filter == "tcp") {
+    // The live twin: wall-clock on shared runners, so column names stay
+    // out of the gate's byte/latency classes.
+    auto& lscale_table = report.table(
+        "kv live tcp group-scaling (fixed load, tick = 200 us)",
+        {"run", "groups", "clients", "ops_done", "wall_ms", "ops_per_s",
+         "group_wire_share"});
+    for (const int groups : group_sweep) {
+      const LiveScaleRow row =
+          run_live_groups(runtime::Backend::kTcp, groups, kScaleClients);
+      std::int64_t total_wire = 0;
+      for (const std::int64_t b : row.group_bytes) total_wire += b;
+      std::string share;
+      for (std::size_t g = 0; g < row.group_bytes.size(); ++g) {
+        if (g > 0) share += "/";
+        share += std::to_string(
+            total_wire > 0 ? 100 * row.group_bytes[g] / total_wire : 0);
+        share += "%";
+      }
+      lscale_table.row({"groups=" + std::to_string(groups), groups,
+                        kScaleClients, row.completed, row.wall_ms,
+                        row.ops_per_s, share});
     }
   }
 
@@ -366,7 +634,7 @@ int main(int argc, char** argv) {
   // archives latency percentiles on every run (the gate watches p50/p99
   // under its latency threshold).
   open_loop_tables(report, /*rate=*/300, /*duration_s=*/1.5, /*clients=*/4,
-                   backend_filter);
+                   service_groups, backend_filter);
 
   report.note(
       "sim columns are deterministic and gated by scripts/compare_bench.py; "
@@ -376,6 +644,11 @@ int main(int argc, char** argv) {
       "(bytes/lat/ticks/makespan/writes). Open-loop p50_us/p99_us are "
       "gated, under the gate's separate latency threshold; latency runs "
       "from the scheduled arrival, so queueing delay is counted.");
+  report.note(
+      "group-scaling rows shard the SAME total offered load across N "
+      "consensus groups (per-group coordinator + acceptor trio + server "
+      "pair); cmds_per_ktick is higher-is-better and gated, including the "
+      "groups=4 >= 2.5x groups=1 ratio (compare_bench.py --require-ratio).");
   report.finish();
   return 0;
 }

@@ -7,6 +7,18 @@
 //   node <id> <host> <port> <role>
 //   # role: coordinator|acceptor|learner|proposer|server
 //
+// Optional `group` lines shard the cluster into multiple consensus
+// groups (all-or-nothing: none = the classic single group):
+//
+//   group <gid> hash <node-id>...            # keys hashed across groups
+//   group <gid> range <lo> <hi> <node-id>... # keys in [lo, hi); hi "+" = ∞
+//
+// A group's coordinators/acceptors are the listed members holding that
+// role; servers front every group (one frontend process, one event loop,
+// per-group learner/replica shards) and acceptor nodes host one acceptor
+// process per group they belong to. Grouped mode requires
+// --cstruct history.
+//
 // Run one process per node of the cluster, e.g. for examples/cluster6.txt:
 //
 //   $ ./mcpaxos_node --id 0 --config cluster.txt            # coordinator
@@ -106,6 +118,156 @@ void print_metrics(runtime::Node& node) {
   });
 }
 
+/// Quorum sizing shared by both modes; mirrors bench/harness.hpp: fast
+/// rounds need n > 2e + f, trading crash tolerance (f) for collision
+/// tolerance (e).
+void size_quorums(const std::string& policy, int acceptors, int* f, int* e) {
+  if (policy == "fast") {
+    *f = std::max(1, (acceptors - 1) / 4);
+    *e = *f;
+    if (acceptors <= 2 * *e + *f) *e = 0;
+  } else {
+    *f = (acceptors - 1) / 2;
+    *e = std::max(0, (acceptors - *f - 1) / 2);
+  }
+}
+
+/// Multi-group mode: the cluster file declared `group` lines. One node
+/// hosts one process per group it participates in — per-group coordinator
+/// and acceptor processes multiplexed on the node's single event loop, and
+/// a server hosts ONE sharded frontend serving every group.
+int run_grouped_node(const Options& opt, const runtime::ClusterLayout& layout) {
+  namespace gp = genpaxos;
+  using History = cstruct::History;
+
+  const std::vector<ClusterMember>& members = layout.members;
+  runtime::require_dialable_ports(members);
+  const ClusterMember* self = nullptr;
+  for (const ClusterMember& m : members) {
+    if (m.id == opt.id) self = &m;
+  }
+  if (self == nullptr) {
+    throw std::runtime_error("--id " + std::to_string(opt.id) +
+                             " not present in the cluster file");
+  }
+
+  static const cstruct::KeyConflict kConflicts;
+  struct Group {
+    const runtime::ClusterGroup* decl;
+    runtime::ClusterRoles roles;
+    std::unique_ptr<paxos::RoundPolicy> policy;
+    std::unique_ptr<gp::Config<History>> config;
+  };
+  std::vector<Group> groups;
+  for (const runtime::ClusterGroup& g : layout.groups) {
+    Group group;
+    group.decl = &g;
+    group.roles = runtime::roles_of_group(members, g);
+    if (group.roles.coordinators.empty()) {
+      throw std::runtime_error("group " + std::to_string(g.id) +
+                               " has no coordinator member");
+    }
+    group.policy = make_policy(opt.policy, group.roles.coordinators);
+    group.config = std::make_unique<gp::Config<History>>();
+    group.config->acceptors = group.roles.acceptors;
+    group.config->learners = group.roles.learners;
+    group.config->proposers = group.roles.proposers;
+    group.config->policy = group.policy.get();
+    size_quorums(opt.policy, static_cast<int>(group.roles.acceptors.size()),
+                 &group.config->f, &group.config->e);
+    group.config->bottom = History(&kConflicts);
+    groups.push_back(std::move(group));
+  }
+
+  transport::TcpConfig tcp;
+  tcp.self = opt.id;
+  tcp.listen_host = self->host;
+  tcp.listen_port = self->port;
+  for (const ClusterMember& m : members) {
+    if (m.id != opt.id) tcp.peers[m.id] = {m.host, m.port};
+  }
+  transport::TcpTransport transport(tcp);
+  runtime::NodeOptions node_options;
+  node_options.id = opt.id;
+  node_options.tick = std::chrono::microseconds(opt.tick_us);
+  node_options.data_dir = opt.data_dir;
+  runtime::Node node(node_options, transport);
+
+  auto in_group = [&](const Group& g) {
+    return std::find(g.decl->members.begin(), g.decl->members.end(), opt.id) !=
+           g.decl->members.end();
+  };
+  service::Frontend* frontend = nullptr;
+  int hosted = 0;
+  if (self->role == "coordinator" || self->role == "acceptor") {
+    for (const Group& g : groups) {
+      if (!in_group(g)) continue;
+      if (self->role == "coordinator") {
+        node.make_process_for_group<gp::GenCoordinator<History>>(g.decl->id,
+                                                                 *g.config);
+      } else {
+        node.make_process_for_group<gp::GenAcceptor<History>>(g.decl->id,
+                                                              *g.config);
+      }
+      ++hosted;
+    }
+    if (hosted == 0) {
+      throw std::runtime_error("node " + std::to_string(opt.id) +
+                               " is in no group's member list");
+    }
+  } else if (self->role == "server") {
+    std::vector<service::Frontend::GroupConfig> shard_configs;
+    for (const Group& g : groups) {
+      shard_configs.push_back({g.decl->id, g.config.get()});
+    }
+    service::Frontend::Options fopt;
+    fopt.batch_size = static_cast<std::size_t>(std::max(1L, opt.batch_size));
+    fopt.batch_delay = opt.batch_delay;
+    frontend = &node.make_process_for_group<service::Frontend>(
+        0, shard_configs, service::KeyPartition::from_groups(layout.groups), fopt);
+    for (const Group& g : groups) {
+      if (g.decl->id != 0) node.route_group(g.decl->id, *frontend);
+    }
+    hosted = static_cast<int>(groups.size());
+  } else {
+    throw std::runtime_error("grouped clusters host coordinator, acceptor and "
+                             "server roles only (role '" + self->role + "')");
+  }
+
+  std::printf("node %d (%s) on %s:%u — policy %s, %zu groups, %d process(es)%s\n",
+              opt.id, self->role.c_str(), self->host.c_str(),
+              unsigned{self->port}, opt.policy.c_str(), groups.size(), hosted,
+              frontend != nullptr ? ", serving KV clients for every group" : "");
+  node.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opt.run_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (frontend != nullptr) {
+    node.call([&] {
+      std::printf(
+          "served %llu requests from %zu sessions — %llu replies, %llu "
+          "duplicates dropped, %zu commands applied, %zu keys\n",
+          static_cast<unsigned long long>(frontend->requests_received()),
+          frontend->session_count(),
+          static_cast<unsigned long long>(frontend->replies_sent()),
+          static_cast<unsigned long long>(frontend->duplicates_dropped()),
+          frontend->applied(), frontend->store_data().size());
+      for (const std::uint32_t gid : frontend->group_ids()) {
+        const auto* learned = frontend->learned_for_group(gid);
+        std::printf("  group %u: %zu commands learned\n", unsigned{gid},
+                    learned == nullptr ? std::size_t{0} : learned->size());
+      }
+    });
+  }
+  print_metrics(node);
+  node.stop();
+  return 0;
+}
+
 template <cstruct::CStructT CS>
 int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS bottom) {
   namespace gp = genpaxos;
@@ -130,18 +292,8 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
   }
   auto policy = make_policy(opt.policy, coords);
   config.policy = policy.get();
-  // Quorum sizing mirrors bench/harness.hpp: fast rounds need n > 2e + f,
-  // so they trade crash tolerance (f) for collision tolerance (e); with
-  // e = 0 a single slow acceptor would stall every fast round.
-  const int n = static_cast<int>(config.acceptors.size());
-  if (opt.policy == "fast") {
-    config.f = std::max(1, (n - 1) / 4);
-    config.e = config.f;
-    if (n <= 2 * config.e + config.f) config.e = 0;
-  } else {
-    config.f = (n - 1) / 2;
-    config.e = std::max(0, (n - config.f - 1) / 2);
-  }
+  size_quorums(opt.policy, static_cast<int>(config.acceptors.size()), &config.f,
+               &config.e);
   config.bottom = bottom;
 
   const bool serve = opt.serve || self->role == "server";
@@ -341,8 +493,15 @@ int main(int argc, char** argv) {
                    "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
       return 2;
     }
-    const std::vector<ClusterMember> members =
-        runtime::parse_cluster_file(opt.config_path);
+    const runtime::ClusterLayout layout =
+        runtime::parse_cluster_layout_file(opt.config_path);
+    if (!layout.groups.empty()) {
+      if (opt.cstruct != "history") {
+        throw std::runtime_error("grouped cluster files require --cstruct history");
+      }
+      return run_grouped_node(opt, layout);
+    }
+    const std::vector<ClusterMember>& members = layout.members;
     if (opt.cstruct == "history") {
       static const cstruct::KeyConflict kConflicts;
       return run_node(opt, members, cstruct::History(&kConflicts));

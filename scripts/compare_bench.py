@@ -6,7 +6,7 @@ run's `bench_generic_broadcast --json` artifact vs the current build's) and
 fails when a lower-is-better column — bytes, latency, makespan, ticks —
 regresses beyond a threshold.
 
-Two column classes, each with its own (threshold, floor) pair:
+Three column classes, each with its own (threshold, floor) pair:
 
   * deterministic columns (bytes / lat / makespan / ticks / writes):
     simulated clocks and wire bytes, stable across machines — tight gate.
@@ -14,10 +14,25 @@ Two column classes, each with its own (threshold, floor) pair:
     open-loop benches, noisy on shared runners — generous gate that still
     catches order-of-magnitude regressions (e.g. a transport that went
     from event-driven to timeout-driven).
+  * deterministic throughput (per_ktick): higher-is-better simulated
+    throughput from the group-scaling tables — gated on *drops* instead
+    of growth.
+
+`--require-ratio` additionally asserts an invariant WITHIN the new
+results (no baseline involved): e.g. the sharded KV bench must keep
+groups=4 throughput at >= 2.5x the groups=1 row. Spec format:
+
+    TABLE_SUBSTR|COLUMN|NUM_ROW_LABEL|DEN_ROW_LABEL|MIN_RATIO
+
+where the row labels match any text cell of the row (the bench labels
+scaling rows "groups=1", "groups=4", ...). A missing table, row or
+column fails the gate: silently skipping would let the bench drop the
+very table the ratio protects.
 
 Usage:
     compare_bench.py PREV.json NEW.json [--threshold 0.30] [--min-abs 16]
                      [--lat-threshold 3.0] [--lat-min-abs 500]
+                     [--require-ratio SPEC ...]
 
 Exit codes: 0 = no regression (or no baseline to compare against, which is
 reported but not fatal so the very first run passes), 1 = regression found,
@@ -35,6 +50,9 @@ REGRESSION_COLUMNS = ("bytes", "lat", "makespan", "ticks", "writes")
 # Checked second, so a deterministic name like "lat_p99_ticks" stays in the
 # tight class.
 LATENCY_COLUMNS = ("p50", "p99")
+# Deterministic throughput columns (simulated-clock ops rates from the
+# group-scaling tables): HIGHER-is-better, gated on drops.
+GOODPUT_COLUMNS = ("per_ktick",)
 
 
 def load(path):
@@ -59,10 +77,12 @@ def index_rows(rows):
 
 
 def column_class(name):
-    """'strict', 'latency', or None for unwatched columns."""
+    """'strict', 'goodput', 'latency', or None for unwatched columns."""
     lowered = name.lower()
     if any(tag in lowered for tag in REGRESSION_COLUMNS):
         return "strict"
+    if any(tag in lowered for tag in GOODPUT_COLUMNS):
+        return "goodput"
     if any(tag in lowered for tag in LATENCY_COLUMNS):
         return "latency"
     return None
@@ -108,13 +128,69 @@ def compare(prev, new, gates):
                 threshold, min_abs = gates[watched[i]]
                 # Relative gate with an absolute floor so that noise on tiny
                 # values (a 3-tick latency moving to 4) cannot fail the build.
-                if new_v > old_v * (1 + threshold) and new_v - old_v > min_abs:
+                # Goodput columns regress DOWNWARD; everything else upward.
+                if watched[i] == "goodput":
+                    regressed = (new_v < old_v * (1 - threshold)
+                                 and old_v - new_v > min_abs)
+                else:
+                    regressed = (new_v > old_v * (1 + threshold)
+                                 and new_v - old_v > min_abs)
+                if regressed:
                     regressions.append(
                         f"  {table['name']} | {' / '.join(key) or '(row)'} | "
                         f"{columns[i]}: {old_v:g} -> {new_v:g} "
-                        f"(+{100 * (new_v - old_v) / old_v if old_v else float('inf'):.1f}%)"
+                        f"({100 * (new_v - old_v) / old_v if old_v else float('inf'):+.1f}%)"
                     )
     return checked, regressions, skipped
+
+
+def check_ratios(doc, specs):
+    """Evaluate --require-ratio specs against `doc`; returns failure lines."""
+    failures = []
+    for spec in specs:
+        parts = spec.split("|")
+        if len(parts) != 5:
+            failures.append(f"  bad --require-ratio spec (need 5 '|' fields): {spec}")
+            continue
+        table_substr, column, num_label, den_label, min_ratio = parts
+        try:
+            min_ratio = float(min_ratio)
+        except ValueError:
+            failures.append(f"  bad --require-ratio minimum in: {spec}")
+            continue
+        table = next((t for t in doc.get("tables", [])
+                      if table_substr in t.get("name", "")), None)
+        if table is None:
+            failures.append(f"  no table matching '{table_substr}'")
+            continue
+        columns = table.get("columns", [])
+        if column not in columns:
+            failures.append(f"  table '{table['name']}' has no column '{column}'")
+            continue
+        idx = columns.index(column)
+
+        def cell(label):
+            for row in table.get("rows", []):
+                if any(isinstance(c, str) and c == label for c in row):
+                    v = row[idx] if idx < len(row) else None
+                    return v if isinstance(v, (int, float)) else None
+            return None
+
+        num, den = cell(num_label), cell(den_label)
+        if num is None or den is None or den == 0:
+            failures.append(
+                f"  table '{table['name']}': rows '{num_label}'/'{den_label}' "
+                f"missing a numeric '{column}' cell")
+            continue
+        ratio = num / den
+        status = "ok" if ratio >= min_ratio else "FAIL"
+        print(f"compare_bench: ratio {num_label}:{den_label} on '{column}' = "
+              f"{ratio:.2f} (require >= {min_ratio:g}) {status}")
+        if ratio < min_ratio:
+            failures.append(
+                f"  {table['name']} | {column}: {num_label} ({num:g}) is only "
+                f"{ratio:.2f}x {den_label} ({den:g}), need >= {min_ratio:g}x")
+    return failures
 
 
 def main():
@@ -134,32 +210,47 @@ def main():
     parser.add_argument("--lat-min-abs", type=float, default=500.0,
                         help="ignore latency-column absolute growth at or "
                              "below this many microseconds (default 500)")
+    parser.add_argument("--goodput-min-abs", type=float, default=1.0,
+                        help="ignore throughput-column absolute drops at or "
+                             "below this (default 1)")
+    parser.add_argument("--require-ratio", action="append", default=[],
+                        metavar="TABLE|COLUMN|NUM_ROW|DEN_ROW|MIN",
+                        help="assert NUM_ROW's COLUMN >= MIN * DEN_ROW's in "
+                             "the NEW results (baseline-free invariant)")
     args = parser.parse_args()
 
-    try:
-        prev = load(args.prev)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"compare_bench: no usable baseline ({e}); skipping the gate")
-        return 0
     try:
         new = load(args.new)
     except (OSError, json.JSONDecodeError) as e:
         print(f"compare_bench: cannot read the new results: {e}")
         return 2
 
-    gates = {
-        "strict": (args.threshold, args.min_abs),
-        "latency": (args.lat_threshold, args.lat_min_abs),
-    }
-    checked, regressions, skipped = compare(prev, new, gates)
-    print(f"compare_bench: checked {checked} byte/latency cells "
-          f"(strict +{100 * args.threshold:.0f}%/floor {args.min_abs:g}, "
-          f"latency +{100 * args.lat_threshold:.0f}%/floor {args.lat_min_abs:g})")
-    for name in skipped:
-        print(f"compare_bench: table '{name}' changed columns; skipped")
-    if regressions:
+    # Baseline-free invariants first: these must hold even on the very
+    # first run, when there is no previous artifact to diff against.
+    ratio_failures = check_ratios(new, args.require_ratio)
+
+    try:
+        prev = load(args.prev)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: no usable baseline ({e}); skipping the diff gate")
+        prev = None
+
+    regressions = []
+    if prev is not None:
+        gates = {
+            "strict": (args.threshold, args.min_abs),
+            "goodput": (args.threshold, args.goodput_min_abs),
+            "latency": (args.lat_threshold, args.lat_min_abs),
+        }
+        checked, regressions, skipped = compare(prev, new, gates)
+        print(f"compare_bench: checked {checked} byte/latency/goodput cells "
+              f"(strict +{100 * args.threshold:.0f}%/floor {args.min_abs:g}, "
+              f"latency +{100 * args.lat_threshold:.0f}%/floor {args.lat_min_abs:g})")
+        for name in skipped:
+            print(f"compare_bench: table '{name}' changed columns; skipped")
+    if regressions or ratio_failures:
         print("regressions found:")
-        print("\n".join(regressions))
+        print("\n".join(regressions + ratio_failures))
         return 1
     print("no regressions")
     return 0

@@ -22,25 +22,38 @@ ChaosKvCluster::ChaosKvCluster(ChaosKvOptions options)
   }
 
   const runtime::KvShape& shape = options_.shape;
+  const int groups = shape.groups < 1 ? 1 : shape.groups;
+  // Same id layout as KvServiceCluster: group g's coordinator nodes are
+  // [g*C, (g+1)*C), then the shared acceptor nodes, then the servers.
   sim::NodeId next = 0;
-  for (int i = 0; i < shape.coordinators; ++i) coordinator_ids_.push_back(next++);
-  for (int i = 0; i < shape.acceptors; ++i) config_.acceptors.push_back(next++);
-  for (int i = 0; i < shape.servers; ++i) {
-    server_ids_.push_back(next);
-    config_.learners.push_back(next);
-    config_.proposers.push_back(next);
-    ++next;
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < shape.coordinators; ++i) coordinator_ids_.push_back(next++);
   }
-  policy_ = shape.coordinators > 1
-                ? paxos::PatternPolicy::multi_then_single(coordinator_ids_)
-                : paxos::PatternPolicy::always_single(coordinator_ids_);
-  config_.policy = policy_.get();
-  config_.f = shape.f;
-  config_.e = shape.e;
-  config_.bottom = History(&conflicts_);
-  config_.retry_interval = shape.retry_interval;
-  config_.progress_timeout = shape.progress_timeout;
-  config_.delta_messages = shape.delta_messages;
+  for (int i = 0; i < shape.acceptors; ++i) acceptor_ids_.push_back(next++);
+  for (int i = 0; i < shape.servers; ++i) server_ids_.push_back(next++);
+
+  for (int g = 0; g < groups; ++g) {
+    std::vector<sim::NodeId> coords;
+    for (int i = 0; i < shape.coordinators; ++i) {
+      coords.push_back(coordinator_ids_[static_cast<std::size_t>(
+          g * shape.coordinators + i)]);
+    }
+    policies_.push_back(shape.coordinators > 1
+                            ? paxos::PatternPolicy::multi_then_single(coords)
+                            : paxos::PatternPolicy::always_single(coords));
+    auto config = std::make_unique<genpaxos::Config<History>>();
+    config->acceptors = acceptor_ids_;
+    config->learners = server_ids_;
+    config->proposers = server_ids_;
+    config->policy = policies_.back().get();
+    config->f = shape.f;
+    config->e = shape.e;
+    config->bottom = History(&conflicts_);
+    config->retry_interval = shape.retry_interval;
+    config->progress_timeout = shape.progress_timeout;
+    config->delta_messages = shape.delta_messages;
+    configs_.push_back(std::move(config));
+  }
 
   members_.resize(static_cast<std::size_t>(next));
   for (sim::NodeId id = 0; id < next; ++id) {
@@ -119,13 +132,31 @@ void ChaosKvCluster::build_member(sim::NodeId id) {
   no.snapshot_every = options_.snapshot_every;
   m.node = std::make_unique<runtime::Node>(no, *m.faulty);
 
+  const int groups = group_count();
   if (m.role == "coordinator") {
-    m.node->make_process<genpaxos::GenCoordinator<History>>(config_);
+    const int g = static_cast<int>(id) / options_.shape.coordinators;
+    m.node->make_process_for_group<genpaxos::GenCoordinator<History>>(
+        static_cast<std::uint32_t>(g), *configs_[static_cast<std::size_t>(g)]);
   } else if (m.role == "acceptor") {
-    m.node->make_process<genpaxos::GenAcceptor<History>>(config_);
+    // One acceptor process per group, all on this node's one event loop,
+    // all persisting under per-group subdirs of the same data dir.
+    for (int g = 0; g < groups; ++g) {
+      m.node->make_process_for_group<genpaxos::GenAcceptor<History>>(
+          static_cast<std::uint32_t>(g), *configs_[static_cast<std::size_t>(g)]);
+    }
   } else {
-    m.frontend =
-        &m.node->make_process<service::Frontend>(config_, options_.shape.frontend);
+    std::vector<service::Frontend::GroupConfig> shard_configs;
+    for (int g = 0; g < groups; ++g) {
+      shard_configs.push_back({static_cast<std::uint32_t>(g),
+                               configs_[static_cast<std::size_t>(g)].get()});
+    }
+    m.frontend = &m.node->make_process_for_group<service::Frontend>(
+        0, shard_configs,
+        service::KeyPartition::hashed(static_cast<std::uint32_t>(groups)),
+        options_.shape.frontend);
+    for (int g = 1; g < groups; ++g) {
+      m.node->route_group(static_cast<std::uint32_t>(g), *m.frontend);
+    }
   }
 }
 
@@ -197,7 +228,7 @@ Nemesis::Hooks ChaosKvCluster::hooks() {
 RoleTable ChaosKvCluster::roles() const {
   RoleTable roles;
   roles.coordinators = coordinator_ids_;
-  roles.acceptors = config_.acceptors;
+  roles.acceptors = acceptor_ids_;
   roles.servers = server_ids_;
   return roles;
 }
@@ -230,6 +261,17 @@ smr::KVStore ChaosKvCluster::store_snapshot(sim::NodeId server_id) {
   return m.node->call([f] { return f->store(); });
 }
 
+std::map<std::string, std::string> ChaosKvCluster::store_data_snapshot(
+    sim::NodeId server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(server_id);
+  if (!m.node || !m.frontend) {
+    throw std::logic_error("store_data_snapshot: server is not alive");
+  }
+  service::Frontend* f = m.frontend;
+  return m.node->call([f] { return f->store_data(); });
+}
+
 ChaosKvCluster::History ChaosKvCluster::learned_snapshot(sim::NodeId server_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Member& m = member(server_id);
@@ -238,6 +280,21 @@ ChaosKvCluster::History ChaosKvCluster::learned_snapshot(sim::NodeId server_id) 
   }
   service::Frontend* f = m.frontend;
   return m.node->call([f] { return f->learned(); });
+}
+
+ChaosKvCluster::History ChaosKvCluster::learned_snapshot(sim::NodeId server_id,
+                                                         std::uint32_t gid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Member& m = member(server_id);
+  if (!m.node || !m.frontend) {
+    throw std::logic_error("learned_snapshot: server is not alive");
+  }
+  service::Frontend* f = m.frontend;
+  return m.node->call([f, gid] {
+    const History* h = f->learned_for_group(gid);
+    if (h == nullptr) throw std::logic_error("learned_snapshot: no such group");
+    return *h;
+  });
 }
 
 std::size_t ChaosKvCluster::applied_count(sim::NodeId server_id) {

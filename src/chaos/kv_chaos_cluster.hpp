@@ -1,8 +1,10 @@
 #pragma once
 
 // A restartable live KV service cluster — the chaos twin of
-// runtime::KvServiceCluster. Same id layout (coordinators, acceptors,
-// servers; every server in both learners and proposers), same processes,
+// runtime::KvServiceCluster. Same id layout (per-group coordinator nodes,
+// shared acceptor nodes hosting one acceptor process per group, servers
+// running one multi-group frontend; every server in both learners and
+// proposers), same processes,
 // but: every node's transport is wrapped in a chaos::FaultyTransport
 // consulting one shared LinkFaults table, every node persists to its own
 // FileStorage data dir, and members can be killed and restarted
@@ -12,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -82,13 +85,24 @@ class ChaosKvCluster {
     return static_cast<sim::NodeId>(1000 + i);
   }
   const std::vector<sim::NodeId>& server_ids() const { return server_ids_; }
-  const std::vector<sim::NodeId>& acceptor_ids() const { return config_.acceptors; }
+  const std::vector<sim::NodeId>& acceptor_ids() const { return acceptor_ids_; }
+  const std::vector<sim::NodeId>& coordinator_ids() const { return coordinator_ids_; }
+  int group_count() const { return static_cast<int>(configs_.size()); }
+  /// Node id of group g's i-th coordinator (the kill target of group_kill).
+  sim::NodeId coordinator_node(int g, int i = 0) const {
+    return coordinator_ids_.at(
+        static_cast<std::size_t>(g * options_.shape.coordinators + i));
+  }
 
   // --- inspection ------------------------------------------------------------
   bool alive(sim::NodeId id) const;
   /// These run on the target node's loop; id must name a live server.
+  /// store_snapshot/learned_snapshot read shard 0 (the whole state of an
+  /// unsharded cluster); the merged/per-group forms cover sharded ones.
   smr::KVStore store_snapshot(sim::NodeId server_id);
+  std::map<std::string, std::string> store_data_snapshot(sim::NodeId server_id);
   History learned_snapshot(sim::NodeId server_id);
+  History learned_snapshot(sim::NodeId server_id, std::uint32_t gid);
   std::size_t applied_count(sim::NodeId server_id);
   /// Process::incarnation() of a live member.
   int incarnation(sim::NodeId id);
@@ -104,7 +118,8 @@ class ChaosKvCluster {
   double max_restart_ms() const;
 
   const ChaosKvOptions& options() const { return options_; }
-  const genpaxos::Config<History>& config() const { return config_; }
+  const genpaxos::Config<History>& config() const { return *configs_.front(); }
+  const genpaxos::Config<History>& group_config(int g) const { return *configs_.at(g); }
 
  private:
   struct Member {
@@ -127,9 +142,10 @@ class ChaosKvCluster {
 
   ChaosKvOptions options_;
   cstruct::KeyConflict conflicts_;
-  std::unique_ptr<paxos::RoundPolicy> policy_;
-  genpaxos::Config<History> config_;
+  std::vector<std::unique_ptr<paxos::RoundPolicy>> policies_;
+  std::vector<std::unique_ptr<genpaxos::Config<History>>> configs_;
   std::vector<sim::NodeId> coordinator_ids_;
+  std::vector<sim::NodeId> acceptor_ids_;
   std::vector<sim::NodeId> server_ids_;
 
   LinkFaults faults_;

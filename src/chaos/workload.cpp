@@ -1,5 +1,6 @@
 #include "chaos/workload.hpp"
 
+#include <map>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -116,9 +117,14 @@ WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
   const auto deadline = settle_t0 + options.converge_timeout;
   const auto& servers = cluster.server_ids();
   while (true) {
-    std::vector<smr::KVStore> stores;
+    // Merged across shards: a sharded cluster converges when every group's
+    // replica state agrees on every server, which the union captures
+    // (shards own disjoint key sets).
+    std::vector<std::map<std::string, std::string>> stores;
     stores.reserve(servers.size());
-    for (const sim::NodeId id : servers) stores.push_back(cluster.store_snapshot(id));
+    for (const sim::NodeId id : servers) {
+      stores.push_back(cluster.store_data_snapshot(id));
+    }
 
     bool equal = true;
     for (std::size_t i = 1; i < stores.size(); ++i) {
@@ -130,8 +136,8 @@ WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
     std::int64_t lost = 0;
     if (equal) {
       for (const auto& [key, value] : acked_writes) {
-        const auto it = stores[0].data().find(key);
-        if (it == stores[0].data().end() || it->second != value) ++lost;
+        const auto it = stores[0].find(key);
+        if (it == stores[0].end() || it->second != value) ++lost;
       }
     }
     if (equal && lost == 0) {
@@ -150,17 +156,22 @@ WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
                               std::chrono::steady_clock::now() - settle_t0)
                               .count();
 
-  // Exactly-once: no learned history may carry a command id twice, and no
-  // replica may have applied more commands than its history holds.
+  // Exactly-once: no learned history may carry a command id twice — not
+  // even across groups (the deterministic command id routes to exactly one
+  // shard) — and no replica may have applied more commands than its
+  // histories hold.
   for (const sim::NodeId id : servers) {
-    const auto history = cluster.learned_snapshot(id);
     std::unordered_set<std::uint64_t> ids;
-    ids.reserve(history.size());
-    for (const auto& c : history.sequence()) {
-      if (!ids.insert(c.id).second) ++report.dup_applies;
+    std::int64_t learned = 0;
+    for (int g = 0; g < cluster.group_count(); ++g) {
+      const auto history =
+          cluster.learned_snapshot(id, static_cast<std::uint32_t>(g));
+      learned += static_cast<std::int64_t>(history.size());
+      for (const auto& c : history.sequence()) {
+        if (!ids.insert(c.id).second) ++report.dup_applies;
+      }
     }
     const auto applied = static_cast<std::int64_t>(cluster.applied_count(id));
-    const auto learned = static_cast<std::int64_t>(history.size());
     if (applied > learned) report.dup_applies += applied - learned;
     if (learned > report.learned) report.learned = learned;
   }

@@ -1032,6 +1032,13 @@ class LearnerCore {
     listeners_.push_back(std::move(listener));
   }
 
+  /// Consensus group stamped onto this core's own outbound messages
+  /// (resync requests, acks). Defaults to the owning process's group; a
+  /// process embedding one core per shard (the sharded frontend) sets each
+  /// core's group explicitly so acceptors route the replies back to the
+  /// right stream.
+  void set_wire_group(std::uint32_t group) { wire_group_ = group; }
+
   /// Consume a learner message; false when `m` is not one (the owning
   /// process handles it instead). Votes are only accepted from configured
   /// acceptors: ingest_2b counts *distinct senders* toward quorums, so
@@ -1070,7 +1077,7 @@ class LearnerCore {
         return;
       case DeltaFit::kResync:
         self_.sim().metrics().incr("gen.2b_resync_requests");
-        self_.send(from, MsgResync2b{d.b});
+        self_.send_group(wire_group(), from, MsgResync2b{d.b});
         return;
       case DeltaFit::kApply:
         break;
@@ -1127,7 +1134,7 @@ class LearnerCore {
     for_each_command(learned_, [&](const Command& c) {
       if (acked_.insert(c.id).second) {
         learn_times_[c.id] = self_.now();
-        if (c.proposer >= 0) self_.send(c.proposer, MsgAck{c.id});
+        if (c.proposer >= 0) self_.send_group(wire_group(), c.proposer, MsgAck{c.id});
       }
     });
     for (const auto& listener : listeners_) listener();
@@ -1152,6 +1159,8 @@ class LearnerCore {
     return false;
   }
 
+  std::uint32_t wire_group() const { return wire_group_.value_or(self_.group()); }
+
   sim::Process& self_;
   const Config<CS>& config_;
   paxos::QuorumSystem quorums_;
@@ -1161,6 +1170,7 @@ class LearnerCore {
   std::set<std::uint64_t> acked_;
   std::map<std::uint64_t, sim::Time> learn_times_;
   std::vector<std::function<void()>> listeners_;
+  std::optional<std::uint32_t> wire_group_;
 };
 
 /// The standalone learner process: a LearnerCore and nothing else.

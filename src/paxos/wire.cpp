@@ -29,8 +29,13 @@ std::string Envelope::encode() const {
 }
 
 void Envelope::encode_into(std::string& out) const {
+  if (tag > kMaxTag) {
+    // Tags share the leading varint with the group id (low byte = tag), so
+    // a tag above 0xFF would alias some (group, tag) pair on decode.
+    throw std::logic_error("wire: envelope tag exceeds kMaxTag");
+  }
   out.reserve(out.size() + wire_size());
-  std::uint64_t value = tag;
+  std::uint64_t value = (static_cast<std::uint64_t>(group) << 8) | tag;
   while (value >= 0x80) {
     out.push_back(static_cast<char>((value & 0x7F) | 0x80));
     value >>= 7;
@@ -48,18 +53,23 @@ void Envelope::encode_into(std::string& out) const {
 Envelope Envelope::decode(std::string_view data) {
   Reader r(data);
   Envelope env;
-  const std::uint64_t tag = r.get_varint();
-  if (tag > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::invalid_argument("wire: envelope tag out of range");
+  // Leading varint packs (group << 8) | tag; group 0 frames are identical
+  // to the pre-sharding single-varint-tag format.
+  const std::uint64_t packed = r.get_varint();
+  const std::uint64_t group = packed >> 8;
+  if (group > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("wire: envelope group out of range");
   }
-  env.tag = static_cast<std::uint32_t>(tag);
+  env.tag = static_cast<std::uint32_t>(packed & kMaxTag);
+  env.group = static_cast<std::uint32_t>(group);
   env.body = std::string(r.get_bytes());
   if (!r.at_end()) throw std::invalid_argument("wire: trailing bytes after envelope");
   return env;
 }
 
 std::size_t Envelope::wire_size() const {
-  return varint_size(tag) + varint_size(body.size()) + body.size();
+  return varint_size((static_cast<std::uint64_t>(group) << 8) | tag) +
+         varint_size(body.size()) + body.size();
 }
 
 const std::string& message_name(std::uint32_t tag) {

@@ -105,15 +105,25 @@ class Reader {
 
 // --- typed envelopes ---------------------------------------------------------
 
-/// A message on the simulated wire: a numeric message-type tag plus the
-/// length-prefixed encoded body. What Process::send hands to the network
-/// when message encoding is on; a real transport would ship exactly these
-/// bytes.
+/// A message on the simulated wire: a consensus-group id, a numeric
+/// message-type tag, and the length-prefixed encoded body. What
+/// Process::send hands to the network when message encoding is on; a real
+/// transport ships exactly these bytes.
+///
+/// Group-id encoding: the leading varint packs `(group << 8) | tag`. Every
+/// message tag fits one byte (kMaxTag pins this), so group 0 — the only
+/// group a single-group cluster ever uses — is byte-identical to the
+/// pre-sharding format and old clients interoperate unchanged.
 struct Envelope {
   std::uint32_t tag = 0;
+  std::uint32_t group = 0;
   std::string body;
 
-  /// Serialized form: varint tag, then length-prefixed body.
+  /// Highest representable message tag: tags share the leading varint with
+  /// the group id, taking its low 8 bits.
+  static constexpr std::uint32_t kMaxTag = 0xFF;
+
+  /// Serialized form: varint (group<<8)|tag, then length-prefixed body.
   std::string encode() const;
   /// Append the encoding to `out` without allocating a fresh buffer —
   /// the hot path for shipping: callers keep one scratch string per loop
@@ -146,14 +156,18 @@ const std::string& message_name(std::uint32_t tag);
 /// already bound to a different name (a tag collision between messages).
 void register_message_name(std::uint32_t tag, std::string_view name);
 
-/// Serialize a message into its envelope. Does NOT touch the name table —
-/// names are registered once per process via DecoderRegistry::add, not on
-/// the per-send hot path.
+/// Serialize a message into its envelope, addressed to a consensus group
+/// (0 = the sole group of an unsharded cluster). Does NOT touch the name
+/// table — names are registered once per process via DecoderRegistry::add,
+/// not on the per-send hot path.
 template <SelfEncoding M>
-Envelope make_envelope(const M& msg) {
+Envelope make_envelope(const M& msg, std::uint32_t group = 0) {
+  static_assert(M::kTag <= Envelope::kMaxTag,
+                "wire: message tags must fit the low byte of the envelope "
+                "group/tag varint");
   Writer w;
   msg.encode(w);
-  return Envelope{M::kTag, w.take()};
+  return Envelope{M::kTag, group, w.take()};
 }
 
 /// Tag → decoder table of one process. Each protocol role registers the

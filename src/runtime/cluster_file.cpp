@@ -1,6 +1,7 @@
 #include "runtime/cluster_file.hpp"
 
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -16,10 +17,110 @@ bool known_role(const std::string& role) {
 
 }  // namespace
 
-std::vector<ClusterMember> parse_cluster_text(const std::string& text,
-                                              const std::string& origin) {
+namespace {
+
+ClusterGroup parse_group_line(std::istringstream& ls, const std::string& line,
+                              const std::string& origin) {
+  ClusterGroup g;
+  long long gid = -1;
+  if (!(ls >> gid >> g.mode) || gid < 0 ||
+      gid > static_cast<long long>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::runtime_error(origin + ": bad group line: " + line);
+  }
+  g.id = static_cast<std::uint32_t>(gid);
+  if (g.mode == "range") {
+    if (!(ls >> g.lo >> g.hi)) {
+      throw std::runtime_error(origin + ": group " + std::to_string(g.id) +
+                               " range needs <lo> <hi> bounds: " + line);
+    }
+  } else if (g.mode != "hash") {
+    throw std::runtime_error(origin + ": group " + std::to_string(g.id) +
+                             " has unknown partition mode '" + g.mode +
+                             "' (hash|range)");
+  }
+  sim::NodeId id = 0;
+  while (ls >> id) g.members.push_back(id);
+  if (!ls.eof()) {
+    throw std::runtime_error(origin + ": bad group line: " + line);
+  }
+  if (g.members.empty()) {
+    throw std::runtime_error(origin + ": group " + std::to_string(g.id) +
+                             " lists no member nodes");
+  }
+  return g;
+}
+
+/// The [lo, hi) intervals of two range groups intersect ("+" = unbounded).
+bool ranges_overlap(const ClusterGroup& a, const ClusterGroup& b) {
+  const bool a_unbounded = a.hi == "+";
+  const bool b_unbounded = b.hi == "+";
+  const bool a_below_b = !a_unbounded && a.hi <= b.lo;
+  const bool b_below_a = !b_unbounded && b.hi <= a.lo;
+  return !(a_below_b || b_below_a);
+}
+
+void validate_groups(const std::vector<ClusterMember>& members,
+                     std::vector<ClusterGroup>& groups, const std::string& origin) {
+  std::set<std::uint32_t> gids;
+  std::set<sim::NodeId> node_ids;
+  std::set<sim::NodeId> acceptor_ids;
+  for (const ClusterMember& m : members) {
+    node_ids.insert(m.id);
+    if (m.role == "acceptor") acceptor_ids.insert(m.id);
+  }
+  for (const ClusterGroup& g : groups) {
+    if (!gids.insert(g.id).second) {
+      throw std::runtime_error(origin + ": duplicate group id " +
+                               std::to_string(g.id));
+    }
+    if (g.mode != groups.front().mode) {
+      throw std::runtime_error(origin + ": groups mix hash and range "
+                               "partitioning; pick one mode for the cluster");
+    }
+    bool has_acceptor = false;
+    for (sim::NodeId id : g.members) {
+      if (node_ids.count(id) == 0) {
+        throw std::runtime_error(origin + ": group " + std::to_string(g.id) +
+                                 " references unknown node id " +
+                                 std::to_string(id));
+      }
+      has_acceptor = has_acceptor || acceptor_ids.count(id) != 0;
+    }
+    if (!has_acceptor) {
+      throw std::runtime_error(origin + ": group " + std::to_string(g.id) +
+                               " has an empty acceptor set (no member has the "
+                               "acceptor role)");
+    }
+  }
+  if (groups.front().mode == "hash") {
+    // Hash routing is FNV-1a(key) % group-count, so ids must be dense.
+    for (std::uint32_t want = 0; want < groups.size(); ++want) {
+      if (gids.count(want) == 0) {
+        throw std::runtime_error(origin + ": hash groups need dense ids 0.." +
+                                 std::to_string(groups.size() - 1) +
+                                 " (missing " + std::to_string(want) + ")");
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        if (ranges_overlap(groups[i], groups[j])) {
+          throw std::runtime_error(origin + ": groups " +
+                                   std::to_string(groups[i].id) + " and " +
+                                   std::to_string(groups[j].id) +
+                                   " own overlapping key ranges");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ClusterLayout parse_cluster_layout_text(const std::string& text,
+                                        const std::string& origin) {
   std::istringstream in(text);
-  std::vector<ClusterMember> members;
+  ClusterLayout layout;
   std::set<sim::NodeId> seen;
   std::string line;
   while (std::getline(in, line)) {
@@ -28,6 +129,10 @@ std::vector<ClusterMember> parse_cluster_text(const std::string& text,
     std::istringstream ls(line);
     std::string kind;
     if (!(ls >> kind)) continue;  // blank
+    if (kind == "group") {
+      layout.groups.push_back(parse_group_line(ls, line, origin));
+      continue;
+    }
     if (kind != "node") {
       throw std::runtime_error(origin + ": bad cluster line: " + line);
     }
@@ -45,20 +150,32 @@ std::vector<ClusterMember> parse_cluster_text(const std::string& text,
                                std::to_string(m.id));
     }
     m.port = static_cast<std::uint16_t>(port);
-    members.push_back(std::move(m));
+    layout.members.push_back(std::move(m));
   }
-  if (members.empty()) {
+  if (layout.members.empty()) {
     throw std::runtime_error(origin + ": empty cluster file");
   }
-  return members;
+  if (!layout.groups.empty()) {
+    validate_groups(layout.members, layout.groups, origin);
+  }
+  return layout;
 }
 
-std::vector<ClusterMember> parse_cluster_file(const std::string& path) {
+ClusterLayout parse_cluster_layout_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open cluster file: " + path);
   std::ostringstream text;
   text << in.rdbuf();
-  return parse_cluster_text(text.str(), path);
+  return parse_cluster_layout_text(text.str(), path);
+}
+
+std::vector<ClusterMember> parse_cluster_text(const std::string& text,
+                                              const std::string& origin) {
+  return parse_cluster_layout_text(text, origin).members;
+}
+
+std::vector<ClusterMember> parse_cluster_file(const std::string& path) {
+  return parse_cluster_layout_file(path).members;
 }
 
 std::vector<ClusterMember> members_with_role(const std::vector<ClusterMember>& members,
@@ -68,6 +185,28 @@ std::vector<ClusterMember> members_with_role(const std::vector<ClusterMember>& m
     if (m.role == role) out.push_back(m);
   }
   return out;
+}
+
+ClusterRoles roles_of_group(const std::vector<ClusterMember>& members,
+                            const ClusterGroup& group) {
+  const std::set<sim::NodeId> in_group(group.members.begin(), group.members.end());
+  ClusterRoles roles;
+  for (const ClusterMember& m : members) {
+    if (m.role == "coordinator") {
+      if (in_group.count(m.id) != 0) roles.coordinators.push_back(m.id);
+    } else if (m.role == "acceptor") {
+      if (in_group.count(m.id) != 0) roles.acceptors.push_back(m.id);
+    } else if (m.role == "learner") {
+      roles.learners.push_back(m.id);
+    } else if (m.role == "proposer") {
+      roles.proposers.push_back(m.id);
+    } else {  // "server": fronts every group
+      roles.servers.push_back(m.id);
+      roles.learners.push_back(m.id);
+      roles.proposers.push_back(m.id);
+    }
+  }
+  return roles;
 }
 
 ClusterRoles roles_of(const std::vector<ClusterMember>& members) {

@@ -4,11 +4,21 @@
 // across its nodes (examples/mcpaxos_node, the kv client, and the service
 // acceptance tests all parse the same format).
 //
-//   node <id> <host> <port> <role>   # '#' starts a comment
+//   node <id> <host> <port> <role>            # '#' starts a comment
+//   group <gid> hash <node-id> ...            # optional sharding lines
+//   group <gid> range <lo> <hi> <node-id> ...
 //
 // Roles: coordinator | acceptor | learner | proposer | server. A `server`
 // node hosts a service::Frontend — it is simultaneously a proposer and a
 // learner, so builders must place its id in both lists.
+//
+// Group lines shard the service across consensus groups. Each names the
+// nodes whose coordinator/acceptor processes serve that group; servers
+// (and standalone learners/proposers) are implicitly members of every
+// group. `hash` groups split keys by FNV-1a hash modulo the group count
+// (ids must then be exactly 0..G-1); `range` groups own the lexicographic
+// key interval [lo, hi) — `hi = +` means unbounded above. No group lines
+// at all means the classic single group 0 spanning every node.
 
 #include <cstdint>
 #include <string>
@@ -25,12 +35,42 @@ struct ClusterMember {
   std::string role;
 };
 
-/// Parse cluster-file text. Throws std::runtime_error on malformed lines,
-/// unknown roles, duplicate ids, or an empty membership.
-std::vector<ClusterMember> parse_cluster_text(const std::string& text,
-                                              const std::string& origin = "<text>");
+/// One consensus group declared by a `group` line.
+struct ClusterGroup {
+  std::uint32_t id = 0;
+  /// Key-partition mode: "hash" or "range".
+  std::string mode = "hash";
+  /// Range mode only: the owned key interval [lo, hi); hi == "+" means
+  /// unbounded above.
+  std::string lo;
+  std::string hi;
+  /// Node ids whose protocol processes serve this group (coordinators and
+  /// acceptors; servers join every group implicitly).
+  std::vector<sim::NodeId> members;
+};
+
+/// A parsed cluster file: the membership plus its (possibly empty) group
+/// declarations. Empty `groups` means the implicit single group 0.
+struct ClusterLayout {
+  std::vector<ClusterMember> members;
+  std::vector<ClusterGroup> groups;
+};
+
+/// Parse cluster-file text, including group lines. Throws
+/// std::runtime_error on malformed lines, unknown roles, duplicate node
+/// ids, an empty membership — and on bad sharding: duplicate group ids,
+/// overlapping key ranges, mixed hash/range modes, group members that are
+/// not declared nodes, or a group with no acceptor among its members.
+ClusterLayout parse_cluster_layout_text(const std::string& text,
+                                        const std::string& origin = "<text>");
 
 /// Parse a cluster file from disk (same validation).
+ClusterLayout parse_cluster_layout_file(const std::string& path);
+
+/// Membership-only views of the above (group lines are validated, then
+/// dropped) — what single-group callers parse.
+std::vector<ClusterMember> parse_cluster_text(const std::string& text,
+                                              const std::string& origin = "<text>");
 std::vector<ClusterMember> parse_cluster_file(const std::string& path);
 
 /// The members with the given role.
@@ -50,6 +90,12 @@ struct ClusterRoles {
   std::vector<sim::NodeId> servers;
 };
 ClusterRoles roles_of(const std::vector<ClusterMember>& members);
+
+/// Role lists restricted to one group: coordinators/acceptors are the
+/// group's declared members filtered by role; learners, proposers and
+/// servers are cluster-wide (a server fronts every group).
+ClusterRoles roles_of_group(const std::vector<ClusterMember>& members,
+                            const ClusterGroup& group);
 
 /// Throw std::runtime_error unless every member has a dialable (nonzero)
 /// port. CLI entry points call this; port 0 is a placeholder only the

@@ -8,7 +8,10 @@
 // (E12), and anything else that needs a live cluster answering
 // service::Client traffic in one process.
 
+#include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -23,9 +26,16 @@
 namespace mcp::runtime {
 
 struct KvShape {
+  /// Coordinator NODES per consensus group (each group gets its own
+  /// coordinator nodes, so killing one coordinator touches one group).
   int coordinators = 1;
+  /// Acceptor NODES, shared by every group: each hosts one acceptor
+  /// process per group, multiplexed on its single event loop.
   int acceptors = 3;
   int servers = 2;
+  /// Consensus groups; keys are hash-partitioned across them. 1 = the
+  /// classic unsharded service.
+  int groups = 1;
   int f = 1;
   int e = 0;
   /// Liveness pacing in ticks (see NodeOptions::tick).
@@ -40,44 +50,79 @@ class KvServiceCluster {
   using History = cstruct::History;
 
   KvServiceCluster(const KvShape& shape, ClusterOptions options) : shape_(shape) {
-    sim::NodeId next = 0;
-    std::vector<sim::NodeId> coords;
-    for (int i = 0; i < shape.coordinators; ++i) coords.push_back(next++);
-    for (int i = 0; i < shape.acceptors; ++i) config_.acceptors.push_back(next++);
-    for (int i = 0; i < shape.servers; ++i) {
-      server_ids_.push_back(next);
-      config_.learners.push_back(next);
-      config_.proposers.push_back(next);
-      ++next;
+    const int groups = shape.groups < 1 ? 1 : shape.groups;
+    // Id layout: per-group coordinator nodes (group g owns ids
+    // [g*C, (g+1)*C)), then the shared acceptor nodes, then the servers.
+    sim::NodeId next = static_cast<sim::NodeId>(groups * shape.coordinators);
+    std::vector<sim::NodeId> acceptor_ids;
+    for (int i = 0; i < shape.acceptors; ++i) acceptor_ids.push_back(next++);
+    for (int i = 0; i < shape.servers; ++i) server_ids_.push_back(next++);
+
+    for (int g = 0; g < groups; ++g) {
+      std::vector<sim::NodeId> coords;
+      for (int i = 0; i < shape.coordinators; ++i) {
+        coords.push_back(static_cast<sim::NodeId>(g * shape.coordinators + i));
+      }
+      policies_.push_back(shape.coordinators > 1
+                              ? paxos::PatternPolicy::multi_then_single(coords)
+                              : paxos::PatternPolicy::always_single(coords));
+      auto config = std::make_unique<genpaxos::Config<History>>();
+      config->acceptors = acceptor_ids;
+      config->learners = server_ids_;
+      config->proposers = server_ids_;
+      config->policy = policies_.back().get();
+      config->f = shape.f;
+      config->e = shape.e;
+      config->bottom = History(&conflicts_);
+      config->retry_interval = shape.retry_interval;
+      config->progress_timeout = shape.progress_timeout;
+      config->delta_messages = shape.delta_messages;
+      configs_.push_back(std::move(config));
     }
-    policy_ = shape.coordinators > 1
-                  ? paxos::PatternPolicy::multi_then_single(coords)
-                  : paxos::PatternPolicy::always_single(coords);
-    config_.policy = policy_.get();
-    config_.f = shape.f;
-    config_.e = shape.e;
-    config_.bottom = History(&conflicts_);
-    config_.retry_interval = shape.retry_interval;
-    config_.progress_timeout = shape.progress_timeout;
-    config_.delta_messages = shape.delta_messages;
 
     options.node_count = static_cast<std::size_t>(next);
     cluster_ = std::make_unique<LoopbackCluster>(options);
-    sim::NodeId id = 0;
-    for (int i = 0; i < shape.coordinators; ++i) {
-      cluster_->make_process<genpaxos::GenCoordinator<History>>(id++, config_);
+    for (int g = 0; g < groups; ++g) {
+      for (int i = 0; i < shape.coordinators; ++i) {
+        cluster_->node(g * shape.coordinators + i)
+            .make_process_for_group<genpaxos::GenCoordinator<History>>(
+                static_cast<std::uint32_t>(g), *configs_[g]);
+      }
     }
-    for (int i = 0; i < shape.acceptors; ++i) {
-      cluster_->make_process<genpaxos::GenAcceptor<History>>(id++, config_);
+    for (const sim::NodeId id : acceptor_ids) {
+      // One acceptor process per group, all on this node's one event loop.
+      for (int g = 0; g < groups; ++g) {
+        cluster_->node(id).make_process_for_group<genpaxos::GenAcceptor<History>>(
+            static_cast<std::uint32_t>(g), *configs_[g]);
+      }
     }
-    for (int i = 0; i < shape.servers; ++i) {
-      frontends_.push_back(
-          &cluster_->make_process<service::Frontend>(id++, config_, shape.frontend));
+    std::vector<service::Frontend::GroupConfig> shard_configs;
+    for (int g = 0; g < groups; ++g) {
+      shard_configs.push_back({static_cast<std::uint32_t>(g), configs_[g].get()});
+    }
+    const auto partition =
+        service::KeyPartition::hashed(static_cast<std::uint32_t>(groups));
+    for (const sim::NodeId id : server_ids_) {
+      auto& f = cluster_->node(id).make_process_for_group<service::Frontend>(
+          0, shard_configs, partition, shape.frontend);
+      // The one frontend process serves every group; route the other
+      // groups' learned streams to it.
+      for (int g = 1; g < groups; ++g) {
+        cluster_->node(id).route_group(static_cast<std::uint32_t>(g), f);
+      }
+      frontends_.push_back(&f);
     }
   }
 
   LoopbackCluster& cluster() { return *cluster_; }
-  const genpaxos::Config<History>& config() const { return config_; }
+  const genpaxos::Config<History>& config() const { return *configs_.front(); }
+  /// Group g's protocol config (coordinators differ per group).
+  const genpaxos::Config<History>& group_config(int g) const { return *configs_.at(g); }
+  int group_count() const { return static_cast<int>(configs_.size()); }
+  /// Node id of group g's i-th coordinator.
+  sim::NodeId coordinator_node(int g, int i = 0) const {
+    return static_cast<sim::NodeId>(g * shape_.coordinators + i);
+  }
   const KvShape& shape() const { return shape_; }
   const std::vector<sim::NodeId>& server_ids() const { return server_ids_; }
 
@@ -108,24 +153,39 @@ class KvServiceCluster {
     return static_cast<sim::NodeId>(1000 + i);
   }
 
-  /// Thread-safe snapshots off the node loops.
+  /// Thread-safe snapshots off the node loops. The plain forms read shard
+  /// 0 (the whole state of an unsharded cluster); store_data_snapshot
+  /// merges every shard's store, and learned_snapshot(i, g) reads one
+  /// group's history.
   smr::KVStore store_snapshot(int i) {
     auto* f = frontends_.at(i);
     return server_node(i).call([&] { return f->store(); });
+  }
+  std::map<std::string, std::string> store_data_snapshot(int i) {
+    auto* f = frontends_.at(i);
+    return server_node(i).call([&] { return f->store_data(); });
   }
   History learned_snapshot(int i) {
     auto* f = frontends_.at(i);
     return server_node(i).call([&] { return f->learned(); });
   }
+  History learned_snapshot(int i, std::uint32_t gid) {
+    auto* f = frontends_.at(i);
+    return server_node(i).call([&] {
+      const History* h = f->learned_for_group(gid);
+      if (h == nullptr) throw std::logic_error("learned_snapshot: no such group");
+      return *h;
+    });
+  }
 
  private:
   KvShape shape_;
   cstruct::KeyConflict conflicts_;
-  std::unique_ptr<paxos::RoundPolicy> policy_;
-  genpaxos::Config<History> config_;
+  std::vector<std::unique_ptr<paxos::RoundPolicy>> policies_;
+  std::vector<std::unique_ptr<genpaxos::Config<History>>> configs_;
   std::vector<sim::NodeId> server_ids_;
-  // Declared after config_/policy_: nodes (whose processes reference both)
-  // must be destroyed first.
+  // Declared after configs_/policies_: nodes (whose processes reference
+  // both) must be destroyed first.
   std::unique_ptr<LoopbackCluster> cluster_;
   std::vector<service::Frontend*> frontends_;
 };

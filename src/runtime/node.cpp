@@ -1,5 +1,9 @@
 #include "runtime/node.hpp"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -22,21 +26,40 @@ Node::Node(NodeOptions options, transport::Transport& transport)
 
 Node::~Node() { stop(); }
 
-void Node::adopt(std::unique_ptr<sim::Process> process) {
-  if (process_) throw std::logic_error("runtime::Node hosts exactly one process");
+void Node::adopt(std::unique_ptr<sim::Process> process, std::uint32_t group) {
+  if (running_) throw std::logic_error("runtime::Node: adopt after start");
   if (!process) throw std::invalid_argument("runtime::Node: null process");
+  if (by_group_.count(group) != 0) {
+    throw std::logic_error("runtime::Node: group " + std::to_string(group) +
+                           " already hosts a process");
+  }
   bind(*process, this, options_.id);
+  set_group(*process, group);
+  Hosted hosted;
+  hosted.group = group;
   if (!options_.data_dir.empty()) {
     storage::FileStorageOptions fo;
     fo.snapshot_every = options_.snapshot_every;
-    auto fs = std::make_unique<storage::FileStorage>(options_.data_dir, fo);
-    recovered_ = fs->recovered();
+    // Group 0 keeps the directory root (pre-sharding layout); every other
+    // group recovers independently from its own g<G> subdirectory — whose
+    // parent must exist before FileStorage's one-level mkdir.
+    std::string dir = options_.data_dir;
+    if (group != 0) {
+      if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::runtime_error("runtime::Node: mkdir " + dir + ": " +
+                                 std::strerror(errno));
+      }
+      dir += "/g" + std::to_string(group);
+    }
+    auto fs = std::make_unique<storage::FileStorage>(dir, fo);
+    hosted.recovered = fs->recovered();
+    recovered_ = recovered_ || hosted.recovered;
     attach_storage(*process, std::move(fs));
     // The real medium pays its latency synchronously inside write(), so
     // the modelled post-write send delay must be zero — otherwise every
     // write-before-reply path (send_after_sync) would pay the disk twice.
     process->storage().set_write_latency(0);
-    if (recovered_) {
+    if (hosted.recovered) {
       // §4.4 recovery protocol, host half: a restarted process acts under
       // a strictly higher incarnation, persisted before any handler runs
       // so a crash during recovery still bumps again.
@@ -54,7 +77,24 @@ void Node::adopt(std::unique_ptr<sim::Process> process) {
       process->storage().write_int(kIncarnationKey, 0);
     }
   }
-  process_ = std::move(process);
+  by_group_[group] = process.get();
+  if (!primary_) primary_ = process.get();
+  hosted.process = std::move(process);
+  hosted_.push_back(std::move(hosted));
+}
+
+void Node::route_group(std::uint32_t group, sim::Process& process) {
+  if (running_) throw std::logic_error("runtime::Node: route_group after start");
+  bool owned = false;
+  for (const auto& h : hosted_) owned = owned || h.process.get() == &process;
+  if (!owned) {
+    throw std::invalid_argument("runtime::Node: route_group target not hosted here");
+  }
+  auto [it, inserted] = by_group_.emplace(group, &process);
+  if (!inserted && it->second != &process) {
+    throw std::logic_error("runtime::Node: group " + std::to_string(group) +
+                           " already hosts a process");
+  }
 }
 
 sim::Time Node::now() const {
@@ -65,21 +105,24 @@ sim::Time Node::now() const {
 }
 
 void Node::start() {
-  if (running_ || !process_) return;
+  if (running_ || hosted_.empty()) return;
   started_at_ = std::chrono::steady_clock::now();
   {
-    // Queued before the transport can deliver anything, so on_start (or,
-    // on a restart with durable state, on_recover — whose implementations
-    // read back what they persisted and then run their on_start logic) is
-    // always the first handler to run — as under the simulator.
+    // Queued before the transport can deliver anything, so each process's
+    // on_start (or, on a restart with durable state, on_recover — whose
+    // implementations read back what they persisted and then run their
+    // on_start logic) is always the first handler to run — as under the
+    // simulator. Adoption order, so group bring-up is deterministic.
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
     dead_ = false;
     mailbox_.emplace_back([this] {
-      if (recovered_) {
-        process_->on_recover();
-      } else {
-        process_->on_start();
+      for (auto& h : hosted_) {
+        if (h.recovered) {
+          h.process->on_recover();
+        } else {
+          h.process->on_start();
+        }
       }
     });
   }
@@ -202,6 +245,11 @@ void Node::post_message(sim::NodeId /*from*/, sim::NodeId to, std::any payload,
   const auto bytes = static_cast<std::int64_t>((*env_ptr)->wire_size());
   metrics_.incr("net.bytes_sent", bytes);
   metrics_.incr("net.bytes." + wire::message_name((*env_ptr)->tag), bytes);
+  // Per-consensus-group byte accounting, mirroring the simulator's
+  // g<G>.net.bytes.* namespace.
+  const std::string gp = "g" + std::to_string((*env_ptr)->group);
+  metrics_.incr(gp + ".net.bytes_sent", bytes);
+  metrics_.incr(gp + ".net.bytes." + wire::message_name((*env_ptr)->tag), bytes);
   if (extra_delay > 0) {
     // Disk-latency modelling (send_after_sync): a live node's storage is
     // either in-memory (latency 0 in sane configs) or a FileStorage that
@@ -233,10 +281,23 @@ void Node::ship(sim::NodeId to, const std::shared_ptr<const wire::Envelope>& env
 
 void Node::deliver(transport::PeerId from, const std::string& frame) {
   std::any msg;
+  sim::Process* target = nullptr;
+  std::uint32_t group = 0;
   try {
     const wire::Envelope env = wire::Envelope::decode(frame);
+    group = env.group;
+    // Route to the same-group process. A frame for a group this node does
+    // not serve is dropped, not guessed at: decoding it with another
+    // group's registry would feed one shard's protocol stream into
+    // another's state machine.
+    auto it = by_group_.find(env.group);
+    if (it == by_group_.end()) {
+      metrics_.incr("net.group_unknown");
+      return;
+    }
+    target = it->second;
     if (transport::TcpTransport::is_client_conn(from) &&
-        !process_->decoders().allowed_from_clients(env.tag)) {
+        !target->decoders().allowed_from_clients(env.tag)) {
       // A client connection (synthetic sender id) may only deliver the
       // tags explicitly marked for clients. Anything else is an injection
       // attempt: protocol handlers count distinct sender ids toward
@@ -245,7 +306,7 @@ void Node::deliver(transport::PeerId from, const std::string& frame) {
       metrics_.incr("net.client_rejected");
       return;
     }
-    msg = process_->decoders().decode(env);
+    msg = target->decoders().decode(env);
   } catch (const std::exception&) {
     // Malformed body or unknown tag: a garbage frame must not kill a live
     // node. (Exceptions from on_message itself — engine invariants — are
@@ -254,13 +315,14 @@ void Node::deliver(transport::PeerId from, const std::string& frame) {
     return;
   }
   metrics_.incr("net.delivered");
-  process_->on_message(from, msg);
+  target->on_group_message(group, from, msg);
 }
 
-int Node::post_timer(sim::NodeId /*owner*/, sim::Time delay, int token) {
+int Node::post_timer(sim::Process& owner, sim::Time delay, int token) {
   if (delay < 0) throw std::invalid_argument("post_timer: negative delay");
-  return wheel_.schedule(now() + delay,
-                         [this, token] { process_->on_timer(token); });
+  // Hosted processes live until node destruction, past the last wheel fire.
+  sim::Process* o = &owner;
+  return wheel_.schedule(now() + delay, [o, token] { o->on_timer(token); });
 }
 
 void Node::cancel_timer(int handle) { wheel_.cancel(handle); }

@@ -6,11 +6,13 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "runtime/timer_wheel.hpp"
 #include "sim/host.hpp"
@@ -40,14 +42,20 @@ struct NodeOptions {
   std::int64_t snapshot_every = 256;
 };
 
-/// A live host for one protocol process: the runtime counterpart of
+/// A live host for protocol processes: the runtime counterpart of
 /// sim::Simulation (the other sim::Host implementation).
 ///
-/// The node owns a single-threaded event loop. Every handler of the hosted
-/// process — on_start, on_message, on_timer — runs on that loop thread, so
-/// protocol code keeps the single-threaded world view it was written for;
-/// concurrency lives in the transport, whose receive threads only enqueue
-/// into the node's mailbox.
+/// A node hosts one process per consensus group — the classic single-group
+/// node is just the `groups = {0}` case — all multiplexed over the one
+/// shared transport, one TimerWheel, and one event loop; no extra threads.
+/// Incoming frames are routed to the same-group process by the envelope's
+/// group id; group 0 frames are byte-identical to the pre-sharding format.
+///
+/// The node owns a single-threaded event loop. Every handler of every
+/// hosted process — on_start, on_message, on_timer — runs on that loop
+/// thread, so protocol code keeps the single-threaded world view it was
+/// written for; concurrency lives in the transport, whose receive threads
+/// only enqueue into the node's mailbox.
 ///
 ///  - Process::send serializes into a wire::Envelope (encoding is always
 ///    on under a real transport) and the node ships Envelope::encode() as
@@ -66,23 +74,44 @@ class Node final : public sim::Host {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// Construct and adopt the hosted process (exactly one per node).
+  /// Construct and adopt a hosted process for consensus group 0 (the only
+  /// group of an unsharded node — exactly the pre-sharding behaviour).
   template <typename P, typename... Args>
   P& make_process(Args&&... args) {
+    return make_process_for_group<P>(0, std::forward<Args>(args)...);
+  }
+
+  /// Construct and adopt the hosted process for one consensus group. At
+  /// most one process per group; durable state lives under
+  /// `data_dir/g<G>` for G > 0 (group 0 keeps the directory root, so
+  /// existing single-group data dirs recover unchanged).
+  template <typename P, typename... Args>
+  P& make_process_for_group(std::uint32_t group, Args&&... args) {
     auto owned = std::make_unique<P>(std::forward<Args>(args)...);
     P& ref = *owned;
-    adopt(std::move(owned));
+    adopt(std::move(owned), group);
     return ref;
   }
 
-  sim::Process& process() { return *process_; }
+  /// Route an additional group's frames to an already-hosted process — for
+  /// a process that serves several groups at once (a sharded frontend).
+  /// The process must override on_group_message to demultiplex.
+  void route_group(std::uint32_t group, sim::Process& process);
 
-  /// Start the transport and the loop thread; runs the process's
-  /// on_start() — or on_recover(), when a data_dir held prior state — as
-  /// the first loop task.
+  /// The first-adopted process (the node's only process pre-sharding).
+  sim::Process& process() { return *primary_; }
+  /// The process serving `group`, or nullptr if none is hosted/routed.
+  sim::Process* process_for_group(std::uint32_t group) {
+    auto it = by_group_.find(group);
+    return it == by_group_.end() ? nullptr : it->second;
+  }
+
+  /// Start the transport and the loop thread; runs each hosted process's
+  /// on_start() — or on_recover(), when its data dir held prior state — as
+  /// the first loop task, in adoption order.
   void start();
 
-  /// True when adoption found prior durable state in options().data_dir
+  /// True when adoption found prior durable state for any hosted process
   /// (this run is a restart, not a first boot).
   bool recovered() const { return recovered_; }
   /// Drain no further work and join the loop thread, then stop the
@@ -129,11 +158,18 @@ class Node final : public sim::Host {
   bool encode_messages() const override { return true; }
   void post_message(sim::NodeId from, sim::NodeId to, std::any payload,
                     sim::Time extra_delay) override;
-  int post_timer(sim::NodeId owner, sim::Time delay, int token) override;
+  int post_timer(sim::Process& owner, sim::Time delay, int token) override;
   void cancel_timer(int handle) override;
 
  private:
-  void adopt(std::unique_ptr<sim::Process> process);
+  struct Hosted {
+    std::unique_ptr<sim::Process> process;
+    std::uint32_t group = 0;
+    /// This process's own data dir held prior state at adoption.
+    bool recovered = false;
+  };
+
+  void adopt(std::unique_ptr<sim::Process> process, std::uint32_t group);
   /// Enqueue unless shutdown already passed its final drain (then false:
   /// nothing would ever run the task).
   bool try_post(std::function<void()> fn);
@@ -152,7 +188,10 @@ class Node final : public sim::Host {
   bool recovered_ = false;
   util::Metrics metrics_;
   util::Rng rng_;
-  std::unique_ptr<sim::Process> process_;
+  std::vector<Hosted> hosted_;
+  /// Envelope-group → hosted (or explicitly routed) process.
+  std::map<std::uint32_t, sim::Process*> by_group_;
+  sim::Process* primary_ = nullptr;
   std::chrono::steady_clock::time_point started_at_{};
 
   TimerWheel wheel_;  // loop thread only

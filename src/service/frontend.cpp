@@ -1,5 +1,6 @@
 #include "service/frontend.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace mcp::service {
@@ -8,35 +9,85 @@ Frontend::Frontend(const genpaxos::Config<cstruct::History>& config)
     : Frontend(config, Options()) {}
 
 Frontend::Frontend(const genpaxos::Config<cstruct::History>& config, Options options)
-    : config_(config), options_(options), core_(*this, config), replica_(core_) {
-  genpaxos::register_wire_messages(decoders(), config.bottom);
+    : Frontend(std::vector<GroupConfig>{{0, &config}}, KeyPartition{}, options) {}
+
+Frontend::Frontend(const std::vector<GroupConfig>& groups, KeyPartition partition,
+                   Options options)
+    : options_(options), partition_(std::move(partition)) {
+  if (groups.empty()) throw std::invalid_argument("Frontend: no groups");
+  for (const GroupConfig& g : groups) {
+    if (g.config == nullptr) throw std::invalid_argument("Frontend: null config");
+    auto shard = std::make_unique<Shard>(*this, g.gid, *g.config);
+    // The shard's own messages (resync requests after a lost delta) must
+    // carry its group id, not the frontend process's (group 0), so the
+    // acceptor answers into the right stream.
+    shard->core.set_wire_group(g.gid);
+    shard->replica.set_apply_listener(
+        [this](const cstruct::Command& c, const smr::KVStore::Result& r) {
+          on_applied(c, r);
+        });
+    if (!by_gid_.emplace(g.gid, shard.get()).second) {
+      throw std::invalid_argument("Frontend: duplicate group id " +
+                                  std::to_string(g.gid));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (const std::uint32_t gid : partition_.group_ids()) {
+    if (by_gid_.count(gid) == 0) {
+      throw std::invalid_argument("Frontend: partition routes to group " +
+                                  std::to_string(gid) + " but no such shard");
+    }
+  }
+  genpaxos::register_wire_messages(decoders(), shards_.front()->config->bottom);
   register_client_messages(decoders());
-  replica_.set_apply_listener(
-      [this](const cstruct::Command& c, const smr::KVStore::Result& r) {
-        on_applied(c, r);
-      });
 }
 
 void Frontend::on_recover() {
   sessions_.clear();
   pending_.clear();
-  batch_.clear();
-  flush_timer_ = -1;   // crash cancelled the host-side timer already
   retry_armed_ = false;
-  // Drain anything the (embedded, never-crashed-separately) replica has
-  // not applied yet; on a real restart both are empty and this is a no-op.
-  replica_.poll();
+  for (auto& shard : shards_) {
+    shard->batch.clear();
+    shard->flush_timer = -1;  // crash cancelled the host-side timer already
+    // Drain anything the (embedded, never-crashed-separately) replica has
+    // not applied yet; on a real restart both are empty and this is a no-op.
+    shard->replica.poll();
+  }
 }
 
 void Frontend::on_message(sim::NodeId from, const std::any& m) {
-  // The learner half first: 2b/2b-delta traffic feeds the core, which
-  // applies through the replica and — via on_applied — answers clients.
-  if (core_.handle_message(from, m)) return;
+  // Group-less entry (direct test calls): unambiguous only because the
+  // hosts always dispatch through on_group_message — route to the sole
+  // shard, or treat as group-0 traffic when sharded.
+  on_group_message(shards_.size() == 1 ? shards_.front()->gid : 0, from, m);
+}
+
+void Frontend::on_group_message(std::uint32_t group, sim::NodeId from,
+                                const std::any& m) {
+  // The learner half first: 2b/2b-delta traffic feeds the addressed
+  // shard's core, which applies through its replica and — via on_applied —
+  // answers clients. The group id is the only discriminator: on a live
+  // node every shard's 2b stream arrives from the same acceptor node ids.
+  if (Shard* shard = shard_of_group(group)) {
+    if (shard->core.handle_message(from, m)) return;
+  }
   if (const auto* req = std::any_cast<MsgClientRequest>(&m)) {
+    // Clients are group-unaware (requests ride group 0); routing to a
+    // shard happens by key inside handle_request.
     handle_request(from, *req);
     return;
   }
   // MsgAck and friends: the session table, not acks, tracks completion.
+}
+
+Frontend::Shard& Frontend::shard_of_key(const std::string& key) {
+  // The constructor verified every partition target has a shard.
+  return *by_gid_.at(partition_.group_of(key));
+}
+
+Frontend::Shard* Frontend::shard_of_group(std::uint32_t gid) {
+  const auto it = by_gid_.find(gid);
+  return it == by_gid_.end() ? nullptr : it->second;
 }
 
 void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
@@ -82,10 +133,12 @@ void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
     return;
   }
 
+  Shard& shard = shard_of_key(req.key);
   Pending pending;
   pending.client_id = req.client_id;
   pending.seq = req.seq;
   pending.conn = from;
+  pending.gid = shard.gid;
   pending.command.id = session_command_id(req.client_id, req.seq);
   // Replies flow through the session table, not learner MsgAck traffic.
   pending.command.proposer = sim::kNoNode;
@@ -93,7 +146,7 @@ void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
   pending.command.key = req.key;
   pending.command.value = req.value;
 
-  if (core_.learned().contains(pending.command)) {
+  if (shard.core.learned().contains(pending.command)) {
     // The command is already chosen — a retry after failover or a redirect
     // landed here while another frontend proposed it (the deterministic
     // command id made the two proposals one). The apply-time result is
@@ -101,7 +154,7 @@ void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
     // reply for this op yet, so "applied now" is a valid completion.
     smr::KVStore::Result result{true, pending.command.value};
     if (req.op == cstruct::OpType::kRead) {
-      const auto& data = replica_.store().data();
+      const auto& data = shard.replica.store().data();
       const auto it = data.find(req.key);
       result.found = it != data.end();
       result.value = result.found ? it->second : std::string();
@@ -111,13 +164,19 @@ void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
   }
 
   session.inflight.emplace(req.seq, pending.command.id);
-  batch_.push_back(pending.command.id);
+  shard.batch.push_back(pending.command.id);
   pending_.emplace(pending.command.id, std::move(pending));
 
-  if (batch_.size() >= options_.batch_size || options_.batch_delay <= 0) {
-    flush();
-  } else if (flush_timer_ < 0) {
-    flush_timer_ = set_timer(options_.batch_delay, kFlushToken);
+  if (shard.batch.size() >= options_.batch_size || options_.batch_delay <= 0) {
+    flush(shard);
+  } else if (shard.flush_timer < 0) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].get() == &shard) {
+        shard.flush_timer =
+            set_timer(options_.batch_delay, kFlushTokenBase + static_cast<int>(i));
+        break;
+      }
+    }
   }
 }
 
@@ -146,41 +205,46 @@ Frontend::Session& Frontend::touch_session(std::uint64_t client_id) {
 }
 
 void Frontend::on_timer(int token) {
-  if (token == kFlushToken) {
-    flush_timer_ = -1;
-    flush();
+  if (token >= kFlushTokenBase) {
+    const auto idx = static_cast<std::size_t>(token - kFlushTokenBase);
+    if (idx >= shards_.size()) return;
+    Shard& shard = *shards_[idx];
+    shard.flush_timer = -1;
+    flush(shard);
     return;
   }
   if (token != kRetryToken) return;
   retry_armed_ = false;
   if (pending_.empty()) return;
-  // Liveness: re-propose everything not yet learned, as one batch. The
-  // coordinator treats a fully-contained batch as a retransmission request.
-  std::vector<cstruct::Command> cmds;
-  cmds.reserve(pending_.size());
-  for (const auto& [id, p] : pending_) cmds.push_back(p.command);
-  propose_batch(cmds);
+  // Liveness: re-propose everything not yet learned, one batch per shard.
+  // The coordinator treats a fully-contained batch as a retransmission
+  // request.
+  std::map<std::uint32_t, std::vector<cstruct::Command>> per_shard;
+  for (const auto& [id, p] : pending_) per_shard[p.gid].push_back(p.command);
+  for (const auto& [gid, cmds] : per_shard) {
+    if (Shard* shard = shard_of_group(gid)) propose_batch(*shard, cmds);
+  }
   sim().metrics().incr("svc.retries");
   retry_armed_ = true;
   set_timer(options_.retry_interval, kRetryToken);
 }
 
-void Frontend::flush() {
-  if (flush_timer_ >= 0) {
-    cancel_timer(flush_timer_);
-    flush_timer_ = -1;
+void Frontend::flush(Shard& shard) {
+  if (shard.flush_timer >= 0) {
+    cancel_timer(shard.flush_timer);
+    shard.flush_timer = -1;
   }
-  if (batch_.empty()) return;
+  if (shard.batch.empty()) return;
   std::vector<cstruct::Command> cmds;
-  cmds.reserve(batch_.size());
-  for (const std::uint64_t id : batch_) {
+  cmds.reserve(shard.batch.size());
+  for (const std::uint64_t id : shard.batch) {
     if (const auto it = pending_.find(id); it != pending_.end()) {
       cmds.push_back(it->second.command);
     }
   }
-  batch_.clear();
+  shard.batch.clear();
   if (cmds.empty()) return;
-  propose_batch(cmds);
+  propose_batch(shard, cmds);
   ++batches_flushed_;
   sim().metrics().incr("svc.batches");
   sim().metrics().incr("svc.batched_commands", static_cast<std::int64_t>(cmds.size()));
@@ -190,10 +254,10 @@ void Frontend::flush() {
   }
 }
 
-void Frontend::propose_batch(const std::vector<cstruct::Command>& cmds) {
+void Frontend::propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds) {
   const genpaxos::MsgProposeBatch batch{cmds};
-  multicast(config_.policy->all_coordinators(), batch);
-  multicast(config_.acceptors, batch);  // fast-round path
+  multicast_group(shard.gid, shard.config->policy->all_coordinators(), batch);
+  multicast_group(shard.gid, shard.config->acceptors, batch);  // fast-round path
 }
 
 void Frontend::on_applied(const cstruct::Command& c, const smr::KVStore::Result& result) {
@@ -221,6 +285,38 @@ void Frontend::complete(Pending pending, const smr::KVStore::Result& result) {
   send(pending.conn, reply);
   ++replies_sent_;
   sim().metrics().incr("svc.replies");
+}
+
+const smr::KVStore* Frontend::store_for_group(std::uint32_t gid) const {
+  const auto it = by_gid_.find(gid);
+  return it == by_gid_.end() ? nullptr : &it->second->replica.store();
+}
+
+const cstruct::History* Frontend::learned_for_group(std::uint32_t gid) const {
+  const auto it = by_gid_.find(gid);
+  return it == by_gid_.end() ? nullptr : &it->second->core.learned();
+}
+
+std::map<std::string, std::string> Frontend::store_data() const {
+  std::map<std::string, std::string> out;
+  for (const auto& shard : shards_) {
+    const auto& data = shard->replica.store().data();
+    out.insert(data.begin(), data.end());
+  }
+  return out;
+}
+
+std::size_t Frontend::applied() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->replica.applied();
+  return n;
+}
+
+std::vector<std::uint32_t> Frontend::group_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shards_.size());
+  for (const auto& shard : shards_) ids.push_back(shard->gid);
+  return ids;
 }
 
 }  // namespace mcp::service

@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cstruct/history.hpp"
 #include "genpaxos/engine.hpp"
 #include "service/messages.hpp"
+#include "service/partition.hpp"
 #include "sim/process.hpp"
 #include "smr/replica.hpp"
 
@@ -22,6 +25,14 @@ namespace mcp::service {
 /// the moment the replica applies the command, carrying the read result
 /// observed at the command's place in the learned linearization.
 ///
+/// Sharding: a frontend serves one consensus group per shard — the classic
+/// unsharded server is the one-shard case. Each shard embeds its own
+/// learner core and replica (per-group learned stream, per-group store)
+/// and keeps its own batch window; client commands route to a shard by the
+/// cluster-wide KeyPartition, and every shard's completions merge into the
+/// ONE session/dedup table, so exactly-once holds per client across
+/// groups. Clients stay group-unaware: requests and replies ride group 0.
+///
 /// Sessions give at-most-once semantics on retry: requests are dedup'd by
 /// (client id, seq) — an in-flight duplicate only refreshes the reply
 /// route, a completed duplicate is answered from the cached reply, and the
@@ -29,14 +40,14 @@ namespace mcp::service {
 /// (session_command_id) so even a retry that lands on a *different*
 /// frontend cannot double-apply.
 ///
-/// Batching: requests accumulate for at most `batch_delay` ticks (or until
-/// `batch_size` of them are pending) and are proposed as one
+/// Batching: requests accumulate per shard for at most `batch_delay` ticks
+/// (or until `batch_size` of them are pending) and are proposed as one
 /// MsgProposeBatch, which a classic-round coordinator folds into a single
 /// delta 2a — the flush window amortizes the per-command 2a/2b cost.
 class Frontend final : public sim::Process {
  public:
   struct Options {
-    /// Flush the pending batch once it holds this many commands...
+    /// Flush a shard's pending batch once it holds this many commands...
     std::size_t batch_size = 16;
     /// ...or once the oldest pending command is this many ticks old.
     /// 0 proposes every request immediately (batching off).
@@ -56,16 +67,29 @@ class Frontend final : public sim::Process {
     std::size_t max_sessions = 4096;
   };
 
+  /// One consensus group this frontend serves. The config must outlive the
+  /// frontend (as the single-group constructor always required).
+  struct GroupConfig {
+    std::uint32_t gid = 0;
+    const genpaxos::Config<cstruct::History>* config = nullptr;
+  };
+
   // Two overloads instead of `Options options = {}`: a default argument
   // here may not use Options' member initializers (they are only usable
   // once the enclosing class is complete).
   explicit Frontend(const genpaxos::Config<cstruct::History>& config);
   Frontend(const genpaxos::Config<cstruct::History>& config, Options options);
+  /// Sharded frontend: one embedded learner/replica per declared group,
+  /// commands routed by `partition` (whose group ids must match `groups`).
+  Frontend(const std::vector<GroupConfig>& groups, KeyPartition partition,
+           Options options);
 
   std::string role() const override { return "server"; }
 
   void on_timer(int token) override;
   void on_message(sim::NodeId from, const std::any& m) override;
+  void on_group_message(std::uint32_t group, sim::NodeId from,
+                        const std::any& m) override;
   /// A restarted frontend keeps nothing durable of its own: it drops all
   /// volatile session/batch state (under the simulator, where members
   /// survive the crash, this makes the object look freshly constructed,
@@ -81,9 +105,21 @@ class Frontend final : public sim::Process {
   void on_recover() override;
 
   // --- state inspection (run on the hosting node's loop) ---------------------
-  const smr::KVStore& store() const { return replica_.store(); }
-  const cstruct::History& learned() const { return core_.learned(); }
-  std::size_t applied() const { return replica_.applied(); }
+  /// The first shard's store/learned history — the whole state of an
+  /// unsharded frontend; sharded callers use the per-group accessors.
+  const smr::KVStore& store() const { return shards_.front()->replica.store(); }
+  const cstruct::History& learned() const { return shards_.front()->core.learned(); }
+  /// Per-group views (nullptr for a group this frontend does not serve).
+  const smr::KVStore* store_for_group(std::uint32_t gid) const;
+  const cstruct::History* learned_for_group(std::uint32_t gid) const;
+  /// Union of every shard's store — the full service state. Shards own
+  /// disjoint key sets (the partition routes each key to one group), so
+  /// the merge is conflict-free.
+  std::map<std::string, std::string> store_data() const;
+  std::size_t applied() const;
+  const KeyPartition& partition() const { return partition_; }
+  /// Group ids served, in shard order.
+  std::vector<std::uint32_t> group_ids() const;
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t pending_count() const { return pending_.size(); }
   std::uint64_t requests_received() const { return requests_received_; }
@@ -92,14 +128,30 @@ class Frontend final : public sim::Process {
   std::uint64_t replies_sent() const { return replies_sent_; }
 
  private:
-  static constexpr int kFlushToken = 10;
   static constexpr int kRetryToken = 11;
+  /// Flush tokens are kFlushTokenBase + shard index (one window per shard).
+  static constexpr int kFlushTokenBase = 100;
+
+  /// One consensus group's serving state.
+  struct Shard {
+    Shard(Frontend& self, std::uint32_t gid_,
+          const genpaxos::Config<cstruct::History>& cfg)
+        : gid(gid_), config(&cfg), core(self, cfg), replica(core) {}
+
+    std::uint32_t gid;
+    const genpaxos::Config<cstruct::History>* config;
+    genpaxos::LearnerCore<cstruct::History> core;
+    smr::Replica replica;  // embedded, never hosted: driven purely by core
+    std::vector<std::uint64_t> batch;  // command ids awaiting flush
+    int flush_timer = -1;              // -1 = not armed
+  };
 
   /// One client command between arrival and application.
   struct Pending {
     std::uint64_t client_id = 0;
     std::uint64_t seq = 0;
     sim::NodeId conn = sim::kNoNode;  ///< where the reply goes (latest route)
+    std::uint32_t gid = 0;            ///< shard the command routed to
     cstruct::Command command;
   };
 
@@ -115,23 +167,24 @@ class Frontend final : public sim::Process {
     std::uint64_t last_touched = 0;  ///< LRU stamp for eviction
   };
 
+  Shard& shard_of_key(const std::string& key);
+  Shard* shard_of_group(std::uint32_t gid);
   void handle_request(sim::NodeId from, const MsgClientRequest& req);
   Session& touch_session(std::uint64_t client_id);
-  void flush();
-  void propose_batch(const std::vector<cstruct::Command>& cmds);
+  void flush(Shard& shard);
+  void propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds);
   void on_applied(const cstruct::Command& c, const smr::KVStore::Result& result);
   void complete(Pending pending, const smr::KVStore::Result& result);
 
-  const genpaxos::Config<cstruct::History>& config_;
   Options options_;
-  genpaxos::LearnerCore<cstruct::History> core_;
-  smr::Replica replica_;  // embedded, never hosted: driven purely by core_
+  KeyPartition partition_;
+  /// Stable-address shards (cores/replicas hold references into them).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::uint32_t, Shard*> by_gid_;
 
   std::map<std::uint64_t, Session> sessions_;
   std::uint64_t session_clock_ = 0;  // advances per request, stamps LRU
   std::map<std::uint64_t, Pending> pending_;  // command id -> op
-  std::vector<std::uint64_t> batch_;          // command ids awaiting flush
-  int flush_timer_ = -1;                      // -1 = not armed
   bool retry_armed_ = false;
 
   std::uint64_t requests_received_ = 0;

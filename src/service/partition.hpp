@@ -1,0 +1,92 @@
+#pragma once
+
+// The ONE key → consensus-group mapping, shared by the frontend (routing
+// client commands into shards), the benches (labelling per-group latency)
+// and the acceptance tests (pinning workloads to a group). Every party of
+// a sharded cluster must compute the same answer from the same cluster
+// file, exactly like runtime::roles_of for role membership.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/cluster_file.hpp"
+
+namespace mcp::service {
+
+class KeyPartition {
+ public:
+  /// The trivial partition: everything maps to group 0.
+  KeyPartition() = default;
+
+  /// Hash-partition across groups 0..n-1.
+  static KeyPartition hashed(std::uint32_t groups) {
+    KeyPartition p;
+    p.hash_groups_ = groups == 0 ? 1 : groups;
+    return p;
+  }
+
+  /// Build from validated cluster-file group declarations (empty = the
+  /// implicit single group 0).
+  static KeyPartition from_groups(const std::vector<runtime::ClusterGroup>& groups) {
+    if (groups.empty()) return KeyPartition{};
+    if (groups.front().mode == "hash") {
+      return hashed(static_cast<std::uint32_t>(groups.size()));
+    }
+    KeyPartition p;
+    for (const auto& g : groups) p.ranges_.push_back({g.id, g.lo, g.hi});
+    return p;
+  }
+
+  /// Consensus group owning `key`. Hash mode: FNV-1a(key) % groups. Range
+  /// mode: the group whose [lo, hi) interval contains the key; keys no
+  /// range owns fall back to the first declared group (validation keeps
+  /// ranges disjoint but does not force them to cover the keyspace).
+  std::uint32_t group_of(std::string_view key) const {
+    if (ranges_.empty()) return static_cast<std::uint32_t>(hash(key) % hash_groups_);
+    for (const auto& r : ranges_) {
+      if (key >= r.lo && (r.hi == "+" || key < r.hi)) return r.gid;
+    }
+    return ranges_.front().gid;
+  }
+
+  /// Distinct groups this partition can return.
+  std::uint32_t group_count() const {
+    return ranges_.empty() ? hash_groups_
+                           : static_cast<std::uint32_t>(ranges_.size());
+  }
+
+  /// All group ids, in declaration order (0..n-1 for hash mode).
+  std::vector<std::uint32_t> group_ids() const {
+    std::vector<std::uint32_t> ids;
+    if (ranges_.empty()) {
+      for (std::uint32_t g = 0; g < hash_groups_; ++g) ids.push_back(g);
+    } else {
+      for (const auto& r : ranges_) ids.push_back(r.gid);
+    }
+    return ids;
+  }
+
+  /// FNV-1a over the key bytes — stable across platforms and builds, so a
+  /// cluster whose nodes disagree on std::hash still routes identically.
+  static std::uint64_t hash(std::string_view key) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : key) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  struct Range {
+    std::uint32_t gid;
+    std::string lo;
+    std::string hi;
+  };
+  std::uint32_t hash_groups_ = 1;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace mcp::service

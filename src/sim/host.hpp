@@ -50,8 +50,10 @@ class Host {
   /// Arrange for owner's on_timer(token) after `delay` ticks; returns a
   /// cancellation handle. Two timers due at the same instant fire in the
   /// order they were scheduled; cancellation wins over firing even when
-  /// the cancel happens at the deadline instant itself.
-  virtual int post_timer(NodeId owner, Time delay, int token) = 0;
+  /// the cancel happens at the deadline instant itself. The owner is passed
+  /// by reference (not id) because a host may run several processes — one
+  /// per consensus group — and must fire the right one's on_timer.
+  virtual int post_timer(Process& owner, Time delay, int token) = 0;
   virtual void cancel_timer(int handle) = 0;
 
  protected:
@@ -72,6 +74,11 @@ class Host {
   /// incarnation_ directly on recover(); a live host persists it and hands
   /// the bumped value back here before running on_recover.
   static void set_incarnation(Process& process, int incarnation);
+
+  /// Assign the process's consensus group (default 0). Must happen at
+  /// adoption time, before any handler runs, so every envelope the process
+  /// emits carries the group id. Defined in process.cpp.
+  static void set_group(Process& process, std::uint32_t group);
 };
 
 }  // namespace mcp::sim

@@ -28,6 +28,16 @@ struct NetworkConfig {
   /// escape hatch for perf-sensitive soak runs; protocol outcomes are
   /// identical either way for a fixed seed.
   bool encode_messages = true;
+  /// Receive-side capacity model: when > 0, each destination drains at most
+  /// this many encoded bytes per tick, store-and-forward — a message is
+  /// handed to the process only after every earlier-arriving byte for that
+  /// destination has drained. 0 (default) keeps the classic infinite-
+  /// capacity model. This is what makes a single hot coordinator a genuine
+  /// deterministic bottleneck, so throughput scales when load is sharded
+  /// across consensus groups instead of averaging away in zero-cost links.
+  /// Requires encode_messages (non-envelope payloads have no byte size and
+  /// bypass the queue).
+  Time bytes_per_tick = 0;
 };
 
 class Network {

@@ -31,6 +31,10 @@ void Host::set_incarnation(Process& process, int incarnation) {
   process.incarnation_ = incarnation;
 }
 
+void Host::set_group(Process& process, std::uint32_t group) {
+  process.group_ = group;
+}
+
 bool Process::wire_encoding_on() const {
   return require_host(host_).encode_messages();
 }
@@ -40,7 +44,7 @@ void Process::post_payload(NodeId to, std::any payload, Time extra_delay) {
 }
 
 int Process::set_timer(Time delay, int token) {
-  return require_host(host_).post_timer(id_, delay, token);
+  return require_host(host_).post_timer(*this, delay, token);
 }
 
 void Process::cancel_timer(int handle) { require_host(host_).cancel_timer(handle); }

@@ -31,6 +31,10 @@ class Process {
   virtual ~Process() = default;
 
   NodeId id() const { return id_; }
+  /// Consensus group this process serves (0 in an unsharded cluster). Set
+  /// by the host at adoption; stamped into every outgoing envelope so the
+  /// receiving host can route the frame to its same-group process.
+  std::uint32_t group() const { return group_; }
   bool crashed() const { return crashed_; }
   /// How many times this process has crashed and recovered (the
   /// "incarnation" counter of Section 4.4).
@@ -43,6 +47,16 @@ class Process {
   virtual void on_start() {}
   /// Called for every delivered message.
   virtual void on_message(NodeId from, const std::any& msg) = 0;
+  /// Group-aware delivery hook: hosts dispatch through this, passing the
+  /// envelope's group id. The default drops the group and forwards to
+  /// on_message — correct for every single-group process. A process serving
+  /// several groups at once (e.g. a sharded service frontend) overrides
+  /// this to demultiplex.
+  virtual void on_group_message(std::uint32_t group, NodeId from,
+                                const std::any& msg) {
+    (void)group;
+    on_message(from, msg);
+  }
   /// Called when a timer set via set_timer fires (token identifies it).
   virtual void on_timer(int token) { (void)token; }
   /// Called when the process recovers after a crash.
@@ -64,13 +78,28 @@ class Process {
   /// Send a message; delivery is scheduled through the simulated network.
   template <typename M>
   void send(NodeId to, M msg) {
-    post_payload(to, make_payload(std::move(msg)), 0);
+    post_payload(to, make_payload(std::move(msg), group_), 0);
   }
 
   /// Send the same message to every node in `to` (encoded once).
   template <typename M>
   void multicast(const std::vector<NodeId>& to, const M& msg) {
-    const std::any payload = make_payload(msg);
+    const std::any payload = make_payload(msg, group_);
+    for (NodeId dst : to) post_payload(dst, payload, 0);
+  }
+
+  /// Send addressed to an explicit consensus group (instead of this
+  /// process's own). Used by multi-group processes — e.g. a sharded
+  /// frontend proposing into each shard's coordinator/acceptor set.
+  template <typename M>
+  void send_group(std::uint32_t group, NodeId to, M msg) {
+    post_payload(to, make_payload(std::move(msg), group), 0);
+  }
+
+  template <typename M>
+  void multicast_group(std::uint32_t group, const std::vector<NodeId>& to,
+                       const M& msg) {
+    const std::any payload = make_payload(msg, group);
     for (NodeId dst : to) post_payload(dst, payload, 0);
   }
 
@@ -78,13 +107,13 @@ class Process {
   /// disk-write latency, modelling "write before ack".
   template <typename M>
   void send_after_sync(NodeId to, M msg, Time sync_latency) {
-    post_payload(to, make_payload(std::move(msg)), sync_latency);
+    post_payload(to, make_payload(std::move(msg), group_), sync_latency);
   }
 
   template <typename M>
   void multicast_after_sync(const std::vector<NodeId>& to, const M& msg,
                             Time sync_latency) {
-    const std::any payload = make_payload(msg);
+    const std::any payload = make_payload(msg, group_);
     for (NodeId dst : to) post_payload(dst, payload, sync_latency);
   }
 
@@ -114,10 +143,11 @@ class Process {
   /// std::any copies inside the simulation are refcount bumps, not deep
   /// copies of the body bytes); everything else rides as a plain std::any.
   template <typename M>
-  std::any make_payload(M&& msg) {
+  std::any make_payload(M&& msg, std::uint32_t group) {
     if constexpr (wire::SelfEncoding<std::decay_t<M>>) {
       if (wire_encoding_on()) {
-        return std::make_shared<const wire::Envelope>(wire::make_envelope(msg));
+        return std::make_shared<const wire::Envelope>(
+            wire::make_envelope(msg, group));
       }
     }
     return std::any(std::forward<M>(msg));
@@ -131,6 +161,7 @@ class Process {
 
   Host* host_ = nullptr;
   NodeId id_ = kNoNode;
+  std::uint32_t group_ = 0;
   bool crashed_ = false;
   int incarnation_ = 0;
   /// Timers scheduled before this epoch are stale (cancelled or pre-crash).

@@ -99,26 +99,45 @@ void Simulation::post_message(NodeId from, NodeId to, std::any msg, Time extra_d
     throw std::out_of_range("post_message: unknown destination");
   }
   metrics_.incr("net.sent");
+  std::int64_t bytes = 0;
   if (const auto* env = std::any_cast<std::shared_ptr<const wire::Envelope>>(&msg)) {
-    const auto bytes = static_cast<std::int64_t>((*env)->wire_size());
+    bytes = static_cast<std::int64_t>((*env)->wire_size());
     metrics_.incr("net.bytes_sent", bytes);
     metrics_.incr("net.bytes." + wire::message_name((*env)->tag), bytes);
     metrics_.incr("net." + std::to_string(from) + ".bytes_to." + std::to_string(to),
                   bytes);
+    // Per-consensus-group byte accounting (g<G>.net.bytes.*): the sharded
+    // benches read these to show how load splits across groups.
+    const std::string gp = "g" + std::to_string((*env)->group);
+    metrics_.incr(gp + ".net.bytes_sent", bytes);
+    metrics_.incr(gp + ".net.bytes." + wire::message_name((*env)->tag), bytes);
   }
   const std::vector<Time> copies = network_.plan_delivery(rng_, from, to);
   if (copies.empty()) {
     metrics_.incr("net.lost");
     return;
   }
+  const Time bpt = network_.config().bytes_per_tick;
   for (std::size_t i = 0; i < copies.size(); ++i) {
     if (i > 0) metrics_.incr("net.duplicated");
+    Time deliver_at = now_ + extra_delay + copies[i];
+    if (bpt > 0 && bytes > 0) {
+      // Store-and-forward receive queue: this copy starts draining when it
+      // arrives AND everything queued ahead of it at `to` has drained, then
+      // takes ceil(bytes / bytes_per_tick) ticks of the receiver's link.
+      if (rx_busy_until_.size() < processes_.size()) {
+        rx_busy_until_.resize(processes_.size(), 0);
+      }
+      Time& busy = rx_busy_until_[static_cast<std::size_t>(to)];
+      const Time start = deliver_at > busy ? deliver_at : busy;
+      deliver_at = start + (bytes + bpt - 1) / bpt;
+      busy = deliver_at;
+    }
     // Copy the payload per delivered copy; cheap for shared_ptr payloads.
     std::any payload = msg;
-    queue_.schedule(now_ + extra_delay + copies[i],
-                    [this, from, to, payload = std::move(payload)] {
-                      deliver(from, to, payload);
-                    });
+    queue_.schedule(deliver_at, [this, from, to, payload = std::move(payload)] {
+      deliver(from, to, payload);
+    });
   }
 }
 
@@ -133,21 +152,28 @@ void Simulation::deliver(NodeId from, NodeId to, const std::any& msg) {
   if (const auto* env = std::any_cast<std::shared_ptr<const wire::Envelope>>(&msg)) {
     // Decode at the receiving edge with the destination's registry, so
     // on_message keeps seeing the typed messages it pattern-matches on.
-    p.on_message(from, p.decoders().decode(**env));
+    // Dispatch carries the envelope's group id so multi-group processes
+    // can demultiplex; single-group processes inherit the default
+    // (group-dropping) forward to on_message.
+    p.on_group_message((*env)->group, from, p.decoders().decode(**env));
     return;
   }
-  p.on_message(from, msg);
+  // Non-envelope payloads carry no group id; attribute them to the
+  // sender's group (sim processes have distinct ids per group).
+  const bool known_sender = from >= 0 && static_cast<std::size_t>(from) < processes_.size();
+  p.on_group_message(known_sender ? process(from).group() : 0, from, msg);
 }
 
-int Simulation::post_timer(NodeId owner, Time delay, int token) {
+int Simulation::post_timer(Process& owner, Time delay, int token) {
   if (delay < 0) throw std::invalid_argument("post_timer: negative delay");
   const int handle = next_timer_handle_++;
-  const int epoch = process(owner).timer_epoch_;
-  queue_.schedule(now_ + delay, [this, owner, token, handle, epoch] {
+  const int epoch = owner.timer_epoch_;
+  // Owned by processes_ (stable address for the simulation's lifetime).
+  Process* o = &owner;
+  queue_.schedule(now_ + delay, [this, o, token, handle, epoch] {
     if (cancelled_timers_.erase(handle) > 0) return;
-    Process& p = process(owner);
-    if (p.crashed_ || p.timer_epoch_ != epoch) return;  // stale
-    p.on_timer(token);
+    if (o->crashed_ || o->timer_epoch_ != epoch) return;  // stale
+    o->on_timer(token);
   });
   return handle;
 }

@@ -79,8 +79,15 @@ class Simulation final : public Host {
   void post_message(NodeId from, NodeId to, std::any msg) {
     post_message(from, to, std::move(msg), 0);
   }
-  int post_timer(NodeId owner, Time delay, int token) override;
+  int post_timer(Process& owner, Time delay, int token) override;
   void cancel_timer(int handle) override;
+
+  /// Assign a process to a consensus group (see Process::group()). Sim-side
+  /// processes get distinct ids per group, so this only stamps outgoing
+  /// envelopes / dispatches on_group_message — it does not multiplex.
+  void assign_group(NodeId id, std::uint32_t group) {
+    set_group(process(id), group);
+  }
 
  private:
   void start_pending_processes();
@@ -96,6 +103,10 @@ class Simulation final : public Host {
   std::uint64_t events_processed_ = 0;
   int next_timer_handle_ = 1;
   std::set<int> cancelled_timers_;
+  /// Per-destination receive-queue horizon for the bytes_per_tick capacity
+  /// model: the tick at which everything already bound for that process
+  /// has drained. Unused (empty) when the model is off.
+  std::vector<Time> rx_busy_until_;
 };
 
 }  // namespace mcp::sim

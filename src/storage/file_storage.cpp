@@ -106,32 +106,9 @@ void FileStorage::recover() {
   // Snapshot first (the bounded prefix), then the log suffix on top.
   bool have_snapshot = false;
   const std::string snap = read_file(snapshot_path(), &have_snapshot);
-  if (have_snapshot) {
-    const std::string_view view(snap);
-    const bool sum_ok =
-        snap.size() >= 4 &&
-        [&] {
-          wire::Reader sr(view.substr(snap.size() - 4));
-          return get_u32(sr) == checksum(view.substr(0, snap.size() - 4));
-        }();
-    if (sum_ok) {
-      try {
-        wire::Reader r(view.substr(0, snap.size() - 4));
-        const std::uint64_t count = r.get_varint();
-        for (std::uint64_t i = 0; i < count; ++i) {
-          const std::string key(r.get_bytes());
-          preload(key, std::string(r.get_bytes()));
-        }
-        loaded_snapshot_ = true;
-        recovered_ = true;
-      } catch (const std::invalid_argument&) {
-        wipe_cache_only();
-      }
-    }
-    // A bad snapshot can only mean the medium corrupted under us — the
-    // atomic-rename protocol never exposes a partial file, and the log is
-    // not truncated until the rename reached disk, so replaying the log
-    // from scratch below recovers everything the snapshot would have held.
+  if (have_snapshot && load_snapshot(snap) > 0) {
+    loaded_snapshot_ = true;
+    recovered_ = true;
   }
 
   bool have_log = false;
@@ -148,12 +125,35 @@ void FileStorage::recover() {
   log_records_ = replayed_records_;
 }
 
-void FileStorage::wipe_cache_only() {
-  // Base wipe clears only the in-memory map (used while recovering from a
-  // corrupt snapshot, before the log is replayed).
-  sim::StableStorage::wipe();
-  loaded_snapshot_ = false;
-  recovered_ = false;
+std::size_t FileStorage::load_snapshot(const std::string& snap) {
+  // Every preload below is gated by a per-entry checksum, so corruption —
+  // wherever it lands — discards entries, never poisons the cache. One
+  // flipped byte in an entry costs that entry; a broken frame costs the
+  // entries behind it; either way the log replay (which the snapshot
+  // protocol only truncates after a durable rename) layers the fsync'd
+  // suffix on top of whatever was salvaged.
+  if (snap.size() < 4) return 0;
+  const std::string_view view(snap);
+  std::size_t loaded = 0;
+  try {
+    wire::Reader r(view.substr(0, snap.size() - 4));
+    const std::uint64_t count = r.get_varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string_view payload = r.get_bytes();
+      const std::uint32_t stored = get_u32(r);
+      if (stored != checksum(payload)) {
+        ++snapshot_entries_dropped_;  // this entry rotted; the frame held
+        continue;
+      }
+      wire::Reader pr(payload);
+      const std::string key(pr.get_bytes());
+      preload(key, std::string(pr.get_bytes()));
+      ++loaded;
+    }
+  } catch (const std::invalid_argument&) {
+    ++snapshot_entries_dropped_;  // frame lost: entries past here are gone
+  }
+  return loaded;
 }
 
 std::size_t FileStorage::replay_log(const std::string& data) {
@@ -214,15 +214,23 @@ void FileStorage::append_record(const std::string& key, const std::string& value
 }
 
 void FileStorage::write_snapshot() {
+  // Each entry is framed and checksummed exactly like a log record, so
+  // recovery can salvage around a rotted entry; the trailing whole-body
+  // checksum is an integrity summary for external tooling.
   wire::Writer w;
   w.put_varint(contents().size());
-  for (const auto& [key, value] : contents()) {
-    w.put_bytes(key);
-    w.put_bytes(value);
-  }
   std::string body = w.take();
-  const std::uint32_t sum = checksum(body);
-  put_u32(body, sum);
+  for (const auto& [key, value] : contents()) {
+    wire::Writer ew;
+    ew.put_bytes(key);
+    ew.put_bytes(value);
+    const std::string payload = ew.take();
+    wire::Writer fw;
+    fw.put_bytes(payload);
+    body += fw.take();
+    put_u32(body, checksum(payload));
+  }
+  put_u32(body, checksum(body));
 
   const std::string tmp = dir_ + "/snapshot.tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);

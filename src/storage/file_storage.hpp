@@ -28,9 +28,14 @@ struct FileStorageOptions {
 ///                 (the wire codec's framing, so torn tails are detected
 ///                 by length, checksum by corruption)
 ///   snapshot.bin  full key→value image: varint(count), then per entry
-///                   put_bytes(key) · put_bytes(value), and the same
-///                 4-byte checksum over the whole body; written to
-///                 snapshot.tmp, fsync'd, then atomically renamed
+///                   varint(payload len) · payload · 4-byte FNV-1a checksum
+///                 (payload = put_bytes(key) · put_bytes(value) — the log's
+///                 record frame), and a trailing 4-byte checksum over the
+///                 whole body; written to snapshot.tmp, fsync'd, then
+///                 atomically renamed. The per-entry checksums localize
+///                 media corruption: one flipped byte discards that entry,
+///                 not the whole image — recovery salvages every entry
+///                 whose own checksum still holds.
 ///
 /// write() appends + fsyncs before returning and only then updates the
 /// in-memory cache (the base class map, which serves every read), so the
@@ -62,6 +67,9 @@ class FileStorage final : public sim::StableStorage {
   // --- recovery/replay accounting (tests + the recovery bench) --------------
   std::int64_t replayed_records() const { return replayed_records_; }
   bool loaded_snapshot() const { return loaded_snapshot_; }
+  /// Snapshot entries recovery had to discard (failed per-entry checksum
+  /// or unparseable frame) — corruption localized to single entries.
+  std::int64_t snapshot_entries_dropped() const { return snapshot_entries_dropped_; }
   std::int64_t snapshots_written() const { return snapshots_written_; }
   std::int64_t appended_records() const { return appended_records_; }
   std::int64_t syncs() const { return syncs_; }
@@ -74,8 +82,8 @@ class FileStorage final : public sim::StableStorage {
   std::string log_path() const;
   std::string snapshot_path() const;
   void recover();
-  /// Drop in-memory loads from a snapshot that failed validation.
-  void wipe_cache_only();
+  /// Load a snapshot image, salvaging entry by entry; returns entries kept.
+  std::size_t load_snapshot(const std::string& snap);
   /// Replay `data` (full log contents); returns the byte offset of the
   /// first torn/corrupt record (== size when the whole log is clean).
   std::size_t replay_log(const std::string& data);
@@ -91,6 +99,7 @@ class FileStorage final : public sim::StableStorage {
   bool loaded_snapshot_ = false;
   std::int64_t log_records_ = 0;  ///< records in the log since last snapshot
   std::int64_t replayed_records_ = 0;
+  std::int64_t snapshot_entries_dropped_ = 0;
   std::int64_t snapshots_written_ = 0;
   std::int64_t appended_records_ = 0;
   std::int64_t syncs_ = 0;

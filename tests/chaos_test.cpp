@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "chaos/kv_chaos_cluster.hpp"
@@ -46,7 +49,8 @@ chaos::RoleTable sample_roles() {
 // --- scenario DSL -------------------------------------------------------------
 
 TEST(ChaosScenario, ParsesTheCheckedInScenarioFiles) {
-  for (const char* name : {"smoke", "crash_restart", "partition", "mixed"}) {
+  for (const char* name : {"smoke", "crash_restart", "partition", "mixed",
+                           "group_kill"}) {
     const chaos::Scenario sc = chaos::parse_scenario_file(scenario_path(name));
     EXPECT_EQ(sc.name, name);
     EXPECT_GT(sc.duration_ms, 0);
@@ -212,6 +216,123 @@ TEST(ChaosSmoke, ThreadClusterSurvivesTheSmokeScenario) {
   EXPECT_EQ(report.lost_writes, 0);
   EXPECT_EQ(report.dup_applies, 0);
   EXPECT_EQ(report.stale_reads, 0);
+  fs::remove_all(options.data_root);
+}
+
+// --- multi-group isolation (thread backend; runs under TSan too) --------------
+
+/// Keys owned by `group` under the cluster's hash partition, in generation
+/// order — the per-group pinned workloads below.
+std::vector<std::string> keys_of_group(std::uint32_t group, std::uint32_t groups,
+                                       int count) {
+  const auto partition = service::KeyPartition::hashed(groups);
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < static_cast<std::size_t>(count); ++i) {
+    std::string key = "gk" + std::to_string(i);
+    if (partition.group_of(key) == group) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+/// The group_kill scenario live: group 1's coordinator dies mid-workload.
+/// Group 0 has its own coordinator and its own consensus instance, so a
+/// client pinned to group-0 keys must complete every op on a tight attempt
+/// budget while group 1 stalls; after the restart, everything converges
+/// exactly-once in both groups.
+TEST(ChaosSmoke, GroupKillLeavesOtherGroupUnaffected) {
+  chaos::ChaosKvOptions options;
+  options.backend = runtime::Backend::kThread;
+  options.shape.groups = 2;
+  options.shape.coordinators = 1;  // per group: coordinator.G is group G's
+  options.shape.acceptors = 3;
+  options.shape.servers = 2;
+  options.shape.f = 1;
+  options.data_root = fresh_data_root("group_kill");
+  options.seed = 31;
+  options.snapshot_every = 16;
+
+  chaos::ChaosKvCluster cluster(options);
+  ASSERT_EQ(cluster.group_count(), 2);
+  ASSERT_EQ(cluster.coordinator_node(1), 1);
+  cluster.start();
+
+  const chaos::Scenario sc = chaos::parse_scenario_file(scenario_path("group_kill"));
+  chaos::Nemesis nemesis(chaos::compile(sc, cluster.roles(), options.seed),
+                         cluster.hooks());
+
+  constexpr int kOps = 20;
+  const auto g0_keys = keys_of_group(0, 2, kOps);
+  const auto g1_keys = keys_of_group(1, 2, kOps);
+  const auto op_delay = std::chrono::milliseconds(sc.duration_ms / kOps);
+
+  struct Outcome {
+    int acked = 0;
+    int failed = 0;
+  };
+  auto run_pinned = [&](int index, const std::vector<std::string>& keys,
+                        int max_attempts, Outcome* out) {
+    service::Client::Options co;
+    co.client_id = 0x2000 + static_cast<std::uint64_t>(index);
+    co.servers = cluster.server_ids();
+    co.attempt_timeout = std::chrono::milliseconds(250);
+    co.max_attempts = max_attempts;
+    service::Client client(cluster.make_channel(cluster.client_endpoint_id(index)),
+                           co);
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (j > 0) std::this_thread::sleep_for(op_delay);
+      const auto put = client.put(keys[j], "v" + std::to_string(j));
+      put.ok ? ++out->acked : ++out->failed;
+    }
+  };
+
+  nemesis.start();
+  Outcome g0;
+  Outcome g1;
+  std::thread t0([&] { run_pinned(0, g0_keys, /*max_attempts=*/12, &g0); });
+  // Group 1's writes may stall the whole dead window (~2s); give them the
+  // attempt budget to ride it out.
+  std::thread t1([&] { run_pinned(1, g1_keys, /*max_attempts=*/60, &g1); });
+  t0.join();
+  t1.join();
+  nemesis.join();
+
+  // The isolation claim: the healthy group never noticed.
+  EXPECT_EQ(g0.acked, kOps) << "group 0 throughput was affected by group 1's "
+                               "coordinator dying";
+  EXPECT_EQ(g0.failed, 0);
+  EXPECT_EQ(g1.acked, kOps);
+  EXPECT_GE(cluster.kill_count(), 1);
+  EXPECT_GE(cluster.restart_count(), 1);
+
+  // Settle and check convergence + exactly-once per group.
+  cluster.faults().heal();
+  cluster.revive_all();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const auto servers = cluster.server_ids();
+  bool converged = false;
+  while (!converged && std::chrono::steady_clock::now() < deadline) {
+    converged = true;
+    const auto want = static_cast<std::size_t>(2 * kOps);
+    for (const sim::NodeId id : servers) {
+      if (cluster.applied_count(id) < want) converged = false;
+    }
+    if (!converged) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(converged) << "servers never applied all acked writes";
+  EXPECT_EQ(cluster.store_data_snapshot(servers[0]),
+            cluster.store_data_snapshot(servers[1]));
+  for (const sim::NodeId id : servers) {
+    std::size_t learned = 0;
+    for (std::uint32_t g = 0; g < 2; ++g) {
+      const auto history = cluster.learned_snapshot(id, g);
+      EXPECT_EQ(history.size(), static_cast<std::size_t>(kOps))
+          << "server " << id << " group " << g;
+      learned += history.size();
+    }
+    EXPECT_EQ(cluster.applied_count(id), learned) << "duplicate application";
+  }
+
+  cluster.stop();
   fs::remove_all(options.data_root);
 }
 

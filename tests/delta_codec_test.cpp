@@ -177,7 +177,7 @@ TEST(DeltaCodec, DeltaMessagesRoundTripOnTheWire) {
   // Truncated delta bodies must throw, never half-apply.
   const wire::Envelope whole = wire::Envelope::decode(wire::make_envelope(d2a).encode());
   for (std::size_t len = 0; len < whole.body.size(); ++len) {
-    EXPECT_THROW(reg.decode(wire::Envelope{whole.tag, whole.body.substr(0, len)}),
+    EXPECT_THROW(reg.decode(wire::Envelope{whole.tag, 0, whole.body.substr(0, len)}),
                  std::invalid_argument);
   }
 }

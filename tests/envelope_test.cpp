@@ -62,7 +62,7 @@ void expect_robust_decode(const wire::DecoderRegistry& reg, const M& m) {
   // payload bytes): the registry must reject every strict prefix.
   const wire::Envelope whole = wire::Envelope::decode(bytes);
   for (std::size_t len = 0; len < whole.body.size(); ++len) {
-    wire::Envelope cut{whole.tag, whole.body.substr(0, len)};
+    wire::Envelope cut{whole.tag, 0, whole.body.substr(0, len)};
     EXPECT_THROW(reg.decode(cut), std::invalid_argument)
         << M::kName << " body prefix of " << len << "/" << whole.body.size();
   }

@@ -174,12 +174,75 @@ TEST_F(FileStorageTest, CorruptSnapshotKeepsLogSuffix) {
     // Snapshot taken (log truncated); these live only in the log suffix.
     st.write("suffix", "x");
   }
+  // Flip the last byte: the trailing whole-image checksum. Every entry's
+  // own checksum still holds, so recovery salvages them all — and the
+  // fsync'd log suffix is still replayed on top.
   corrupt_byte_from_end(snapshot_path(), 0);
   storage::FileStorage st(dir(), options);
-  // A bad snapshot must not abort recovery or poison the cache: the
-  // fsync'd log suffix is still replayed.
-  EXPECT_FALSE(st.loaded_snapshot());
+  EXPECT_TRUE(st.loaded_snapshot());
+  EXPECT_EQ(st.snapshot_entries_dropped(), 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(st.read("snap" + std::to_string(i)), "s");
+  }
   EXPECT_EQ(st.read("suffix"), "x");
+}
+
+TEST_F(FileStorageTest, FlippedSnapshotByteDiscardsOneEntryNotTheImage) {
+  storage::FileStorageOptions options;
+  options.snapshot_every = 8;
+  {
+    storage::FileStorage st(dir(), options);
+    for (int i = 0; i < 8; ++i) {
+      st.write("key" + std::to_string(i), "value" + std::to_string(i));
+    }
+    EXPECT_EQ(st.snapshots_written(), 1);
+  }
+  // Flip one byte inside some entry's payload, clear of the image's
+  // trailing checksum and of the last entry's frame bytes: that entry's
+  // checksum now disagrees, every other entry's still holds.
+  corrupt_byte_from_end(snapshot_path(), 40);
+  storage::FileStorage st(dir(), options);
+  EXPECT_TRUE(st.recovered());
+  EXPECT_TRUE(st.loaded_snapshot());
+  EXPECT_EQ(st.snapshot_entries_dropped(), 1);
+  int present = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto got = st.read("key" + std::to_string(i));
+    if (got.has_value()) {
+      EXPECT_EQ(*got, "value" + std::to_string(i));
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, 7) << "exactly the rotted entry is gone";
+}
+
+TEST_F(FileStorageTest, SnapshotSalvageNeverPoisonsTheCache) {
+  // Scribble over a whole region (many entries, frames included): recovery
+  // must keep only entries whose checksums hold — whatever survives must
+  // read back exactly what was written, never garbage.
+  storage::FileStorageOptions options;
+  options.snapshot_every = 16;
+  {
+    storage::FileStorage st(dir(), options);
+    for (int i = 0; i < 16; ++i) {
+      st.write("key" + std::to_string(i), "value" + std::to_string(i));
+    }
+  }
+  {
+    std::fstream f(snapshot_path(), std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(10);
+    const std::string junk(60, '\x5a');
+    f.write(junk.data(), static_cast<std::streamoff>(junk.size()));
+  }
+  storage::FileStorage st(dir(), options);
+  EXPECT_GT(st.snapshot_entries_dropped(), 0);
+  for (int i = 0; i < 16; ++i) {
+    const auto got = st.read("key" + std::to_string(i));
+    if (got.has_value()) {
+      EXPECT_EQ(*got, "value" + std::to_string(i)) << i;
+    }
+  }
 }
 
 TEST_F(FileStorageTest, EquivalentToInMemoryOnSameOpSequence) {

@@ -16,7 +16,9 @@
 #include "cstruct/command.hpp"
 #include "cstruct/history.hpp"
 #include "genpaxos/engine.hpp"
+#include "runtime/cluster_file.hpp"
 #include "runtime/gen_cluster.hpp"
+#include "service/partition.hpp"
 #include "sim/simulation.hpp"
 
 namespace mcp {
@@ -138,6 +140,105 @@ TEST(RuntimeClusterTest, ThreadAndTcpAgree) {
   // Transitively implied by the two tests above, but cheap to state the
   // acceptance criterion directly: both backends learn the same history.
   EXPECT_EQ(run_live(Backend::kThread), run_live(Backend::kTcp));
+}
+
+// --- cluster-file group declarations ------------------------------------------
+
+// The node lines every group test below builds on: two coordinators, three
+// acceptors, one server.
+const char* kGroupNodes =
+    "node 0 127.0.0.1 1900 coordinator\n"
+    "node 1 127.0.0.1 1901 coordinator\n"
+    "node 2 127.0.0.1 1902 acceptor\n"
+    "node 3 127.0.0.1 1903 acceptor\n"
+    "node 4 127.0.0.1 1904 acceptor\n"
+    "node 5 127.0.0.1 1905 server\n";
+
+TEST(RuntimeClusterTest, ClusterFileParsesGroupDeclarations) {
+  const auto layout = runtime::parse_cluster_layout_text(
+      std::string(kGroupNodes) +
+      "group 0 hash 0 2 3 4\n"
+      "group 1 hash 1 2 3 4\n");
+  ASSERT_EQ(layout.groups.size(), 2u);
+  EXPECT_EQ(layout.groups[0].mode, "hash");
+  EXPECT_EQ(layout.groups[1].id, 1u);
+
+  // Per-group role derivation: each group sees only its own coordinators
+  // and acceptors; learners/proposers/servers stay cluster-wide.
+  const auto g1 = runtime::roles_of_group(layout.members, layout.groups[1]);
+  EXPECT_EQ(g1.coordinators, std::vector<sim::NodeId>{1});
+  EXPECT_EQ(g1.acceptors, (std::vector<sim::NodeId>{2, 3, 4}));
+  EXPECT_EQ(g1.servers, std::vector<sim::NodeId>{5});
+  EXPECT_EQ(g1.learners, std::vector<sim::NodeId>{5});
+
+  // The partition every party derives from the same declarations.
+  const auto p = service::KeyPartition::from_groups(layout.groups);
+  EXPECT_EQ(p.group_count(), 2u);
+
+  // A group-less file still parses (the implicit single group 0), and the
+  // membership-only view is unchanged.
+  EXPECT_TRUE(runtime::parse_cluster_layout_text(kGroupNodes).groups.empty());
+  EXPECT_EQ(runtime::parse_cluster_text(kGroupNodes).size(), 6u);
+}
+
+TEST(RuntimeClusterTest, ClusterFileParsesRangeGroups) {
+  const auto layout = runtime::parse_cluster_layout_text(
+      std::string(kGroupNodes) +
+      "group 0 range a m 0 2 3 4\n"
+      "group 1 range m + 1 2 3 4\n");
+  const auto p = service::KeyPartition::from_groups(layout.groups);
+  EXPECT_EQ(p.group_of("apple"), 0u);
+  EXPECT_EQ(p.group_of("zebra"), 1u);  // "+" = unbounded upper bound
+}
+
+TEST(RuntimeClusterTest, ClusterFileRejectsDuplicateGroupIds) {
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) +
+                   "group 0 hash 0 2 3 4\n"
+                   "group 0 hash 1 2 3 4\n"),
+               std::runtime_error);
+}
+
+TEST(RuntimeClusterTest, ClusterFileRejectsOverlappingKeyRanges) {
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) +
+                   "group 0 range a m 0 2 3 4\n"
+                   "group 1 range g + 1 2 3 4\n"),
+               std::runtime_error);
+}
+
+TEST(RuntimeClusterTest, ClusterFileRejectsGroupWithEmptyAcceptorSet) {
+  // Members exist, but none of them carries the acceptor role.
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) + "group 0 hash 0 1 5\n"),
+               std::runtime_error);
+  // And a group listing no members at all is rejected at parse time.
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) + "group 0 hash\n"),
+               std::runtime_error);
+}
+
+TEST(RuntimeClusterTest, ClusterFileRejectsMalformedGroups) {
+  // Unknown node id.
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) + "group 0 hash 9 2 3 4\n"),
+               std::runtime_error);
+  // Unknown partition mode.
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) + "group 0 modulo 0 2 3 4\n"),
+               std::runtime_error);
+  // Hash ids must be dense 0..n-1 (routing is hash % n).
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) +
+                   "group 0 hash 0 2 3 4\n"
+                   "group 2 hash 1 2 3 4\n"),
+               std::runtime_error);
+  // Mixing hash and range groups in one cluster.
+  EXPECT_THROW(runtime::parse_cluster_layout_text(
+                   std::string(kGroupNodes) +
+                   "group 0 hash 0 2 3 4\n"
+                   "group 1 range a + 1 2 3 4\n"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -414,6 +414,80 @@ TEST(KvServiceTcp, DuplicateRetriesApplyExactlyOnce) {
   run_duplicate_retry_dedup(Backend::kTcp);
 }
 
+/// The sharding acceptance criterion, live: a 2-group TCP cluster (each
+/// group its own coordinator node, acceptor nodes hosting one process per
+/// group) serves keys hash-partitioned across the groups through ONE
+/// frontend per server, with induced retries. Replicas of every group
+/// converge and the shared session table keeps application exactly-once.
+TEST(KvServiceTcp, MultiGroupPartitionedKeysConvergeExactlyOnce) {
+  runtime::KvShape shape;
+  shape.groups = 2;
+  shape.frontend.batch_size = 8;
+  shape.frontend.batch_delay = 2;
+  runtime::ClusterOptions options;
+  options.backend = Backend::kTcp;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+  ASSERT_EQ(cluster.group_count(), 2);
+  cluster.start();
+
+  constexpr int kOps = 32;
+  const auto partition = service::KeyPartition::hashed(2);
+  auto* lossy = new LossyChannel(cluster.make_channel(cluster.client_endpoint_id(0)),
+                                 /*drop_nth=*/4);
+  service::Client::Options copt;
+  copt.client_id = 0x6A0;
+  copt.servers = cluster.server_ids();
+  copt.attempt_timeout = std::chrono::milliseconds(400);
+  service::Client client(std::unique_ptr<service::ClientChannel>(lossy), copt);
+
+  // Writes land in whichever group owns the key; the workload must span
+  // both, or the test silently degenerates to the unsharded case.
+  std::size_t per_group[2] = {0, 0};
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "shard" + std::to_string(i);
+    per_group[partition.group_of(key)] += 2;  // the put and the get
+    const auto put = client.put(key, "v" + std::to_string(i));
+    ASSERT_TRUE(put.ok) << "put " << i << " got no reply";
+    const auto got = client.get(key);
+    ASSERT_TRUE(got.ok);
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "v" + std::to_string(i));
+  }
+  ASSERT_GT(per_group[0], 0u) << "workload never touched group 0";
+  ASSERT_GT(per_group[1], 0u) << "workload never touched group 1";
+  EXPECT_GT(lossy->dropped(), 0) << "no replies dropped; retries not induced";
+
+  // Exactly-once across the shards: every op is one command in exactly one
+  // group's history, applied once per replica; retries died at the shared
+  // session table. Both frontends learn both groups' streams over the same
+  // acceptor connections — the envelope group id is the only discriminator.
+  const std::size_t total = 2 * kOps;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t dups = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto& f = cluster.frontend(i);
+    auto& node = cluster.server_node(i);
+    while (node.call([&] { return f.applied(); }) < total &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(node.call([&] { return f.applied(); }), total);
+    for (std::uint32_t g = 0; g < 2; ++g) {
+      EXPECT_EQ(cluster.learned_snapshot(i, g).size(), per_group[g])
+          << "server " << i << " group " << g;
+    }
+    dups += node.call([&] { return f.duplicates_dropped(); });
+  }
+  EXPECT_GT(dups, 0u);
+  // Replicas of every group converge: the merged stores are identical and
+  // hold every written key.
+  const auto data0 = cluster.store_data_snapshot(0);
+  EXPECT_EQ(data0, cluster.store_data_snapshot(1));
+  EXPECT_EQ(data0.size(), static_cast<std::size_t>(kOps));
+  cluster.stop();
+}
+
 TEST(KvServiceThread, ConcurrentClientsConvergeAndBatch) {
   runtime::KvShape shape;
   shape.frontend.batch_size = 32;
