@@ -44,6 +44,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "harness.hpp"
@@ -82,7 +83,17 @@ struct SimRow {
   double bytes_per_op = 0;
   std::int64_t batches = 0;
   bool complete = false;
+  /// Frontend stage histograms (svc.lat.batch_wait/consensus/apply/reply)
+  /// pulled from the simulation's metrics, for the stage-latency table.
+  std::vector<std::pair<std::string, util::Histogram>> stages;
 };
+
+/// The per-stage frontend latency decomposition of one run: where a
+/// command's end-to-end ticks actually go (flush window, consensus,
+/// apply, reply fan-out).
+constexpr const char* kStageMetrics[] = {
+    "svc.lat.batch_wait", "svc.lat.consensus", "svc.lat.apply",
+    "svc.lat.reply"};
 
 /// One simulated service cluster (1 coordinator, 3 acceptors, 2 frontends)
 /// driven by closed-loop SimClients split across the frontends.
@@ -144,6 +155,12 @@ SimRow run_sim(std::size_t batch_size, int clients) {
                      static_cast<double>(total);
   for (const auto* f : frontends) {
     row.batches += static_cast<std::int64_t>(f->batches_flushed());
+  }
+  const auto hists = simulation.metrics().all_histograms();
+  for (const char* stage : kStageMetrics) {
+    for (const auto& [name, h] : hists) {
+      if (name == stage) row.stages.emplace_back(name, h);
+    }
   }
   return row;
 }
@@ -305,9 +322,7 @@ LiveRow run_live(runtime::Backend backend, std::size_t batch_size, int clients) 
   row.completed = completed.load();
   row.ops_per_s = row.completed / (row.wall_ms / 1000.0);
   util::Histogram all;
-  for (const auto& h : lat) {
-    for (const double s : h.samples()) all.add(s);
-  }
+  for (const auto& h : lat) all.merge(h);
   row.us_mean = all.mean();
   row.us_p99 = all.percentile(0.99);
   row.bytes_per_op =
@@ -452,9 +467,7 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
   row.completed = completed.load();
   row.rate_achieved = elapsed > 0 ? row.completed / elapsed : 0;
   util::Histogram all;
-  for (const auto& h : lat) {
-    for (const double s : h.samples()) all.add(s);
-  }
+  for (const auto& h : lat) all.merge(h);
   row.p50_us = all.percentile(0.5);
   row.p99_us = all.percentile(0.99);
   row.max_us = all.max();
@@ -463,9 +476,8 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
   row.per_group.resize(static_cast<std::size_t>(groups));
   for (const auto& per_thread : glat) {
     for (int g = 0; g < groups; ++g) {
-      for (const double s : per_thread[static_cast<std::size_t>(g)].samples()) {
-        row.per_group[static_cast<std::size_t>(g)].add(s);
-      }
+      row.per_group[static_cast<std::size_t>(g)].merge(
+          per_thread[static_cast<std::size_t>(g)]);
     }
   }
   return row;
@@ -507,9 +519,8 @@ void open_loop_tables(bench::Report& report, double rate, double duration_s,
                             {"group", "completed", "p50_us", "p99_us"});
     for (std::size_t g = 0; g < row.per_group.size(); ++g) {
       const util::Histogram& h = row.per_group[g];
-      gt.row({"g" + std::to_string(g),
-              static_cast<std::int64_t>(h.samples().size()), h.percentile(0.5),
-              h.percentile(0.99)});
+      gt.row({"g" + std::to_string(g), static_cast<std::int64_t>(h.count()),
+              h.percentile(0.5), h.percentile(0.99)});
     }
   }
 }
@@ -553,6 +564,7 @@ int main(int argc, char** argv) {
       "kv sim (1 coord / 3 acc / 2 frontends, ticks)",
       {"batch", "clients", "ops", "makespan_ticks", "lat_mean_ticks",
        "lat_p99_ticks", "bytes_per_op", "batches", "complete"});
+  std::vector<std::pair<std::string, util::Histogram>> stage_rows;
   for (const std::size_t batch : kBatchSizes) {
     for (const int clients : kClientCounts) {
       const SimRow row = run_sim(batch, clients);
@@ -560,7 +572,20 @@ int main(int argc, char** argv) {
                      clients * kSimOps, row.makespan, row.lat_mean, row.lat_p99,
                      row.bytes_per_op, row.batches,
                      row.complete ? "yes" : "NO"});
+      if (batch == 8 && clients == 4) stage_rows = row.stages;
     }
+  }
+
+  // Stage decomposition of the middle configuration (batch 8, 4 clients):
+  // deterministic sim ticks, so the lat_* columns sit in the gate's strict
+  // class and a regression in any one pipeline stage fails CI by name.
+  auto& stage_table =
+      report.table("kv sim stage latency (batch 8, 4 clients, ticks)",
+                   {"stage", "count", "lat_mean_ticks", "lat_p95_ticks"});
+  for (const auto& [name, h] : stage_rows) {
+    stage_table.row({name.substr(std::string("svc.lat.").size()),
+                     static_cast<std::int64_t>(h.count()), h.mean(),
+                     h.percentile(0.95)});
   }
 
   // --- group scaling: fixed load, {1,2,4} consensus groups ------------------

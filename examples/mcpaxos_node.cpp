@@ -44,6 +44,13 @@
 // the node durable (fsync'd WAL + snapshots) so a restart over the same
 // directory recovers instead of starting fresh.
 //
+// Observability (docs/ARCHITECTURE.md §8): --admin-port serves /metrics
+// (Prometheus plaintext) and /healthz off the node's socket reactor;
+// --trace-dir samples commands end to end and writes
+// <dir>/trace-node<id>.json (Perfetto-loadable) on exit, --trace-sample
+// sets the every-Nth sampling rate, and --slow-op-us logs commands whose
+// receive->reply latency crosses the threshold.
+//
 // No terminals to spare? `--demo [thread|tcp]` runs a whole loopback
 // cluster (1 coordinator / 3 acceptors / 1 learner / 1 proposer) of real
 // concurrent nodes inside this one process and prints the learned history
@@ -54,6 +61,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,11 +72,13 @@
 #include "cstruct/history.hpp"
 #include "cstruct/single_value.hpp"
 #include "genpaxos/engine.hpp"
+#include "runtime/admin.hpp"
 #include "runtime/cluster_file.hpp"
 #include "runtime/gen_cluster.hpp"
 #include "runtime/node.hpp"
 #include "service/frontend.hpp"
 #include "transport/tcp_transport.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -92,6 +102,20 @@ struct Options {
   /// §4.4 recovery path (replay, incarnation bump, on_recover).
   std::string data_dir;
   std::string demo;  // empty = distributed mode
+  /// >= 0: serve /metrics and /healthz over an admin HTTP port on the
+  /// node's reactor (0 = ephemeral; the bound port is printed).
+  long admin_port = -1;
+  /// Non-empty: enable the trace recorder and write a Perfetto JSON file
+  /// of this node's spans into the directory on exit.
+  std::string trace_dir;
+  /// Sample every Nth accepted request for end-to-end tracing (server
+  /// role). 0 with --trace-dir defaults to 64; 0 without leaves the
+  /// frontend unsampled (the recorder still captures spans of traced
+  /// batches arriving from other nodes).
+  long trace_sample = 0;
+  /// Log commands slower than this (receive -> reply) to the slow-op ring;
+  /// converted to ticks with --tick-us. 0 = off.
+  long slow_op_us = 0;
 };
 
 std::unique_ptr<paxos::RoundPolicy> make_policy(const std::string& name,
@@ -114,6 +138,70 @@ void print_metrics(runtime::Node& node) {
       if (name.rfind("net.", 0) == 0) {
         std::printf("  %-28s %lld\n", name.c_str(), static_cast<long long>(value));
       }
+    }
+  });
+}
+
+/// Observability knobs shared by both distributed modes: the admin
+/// endpoint must attach before the transport starts, the trace recorder
+/// before any span could record.
+void setup_observability(const Options& opt, runtime::Node& node,
+                         transport::TcpTransport& transport) {
+  if (opt.admin_port >= 0) {
+    const std::uint16_t port = runtime::install_admin(
+        node, transport, static_cast<std::uint16_t>(opt.admin_port));
+    std::printf("admin endpoint on port %u (/metrics, /healthz)\n",
+                unsigned{port});
+  }
+  if (!opt.trace_dir.empty() || opt.trace_sample > 0) {
+    node.trace().set_enabled(true);
+  }
+}
+
+/// Frontend-side tracing knobs derived from the flags.
+void apply_trace_options(const Options& opt, service::Frontend::Options* fopt) {
+  if (opt.trace_sample > 0) {
+    fopt->trace_sample_every = static_cast<std::size_t>(opt.trace_sample);
+  } else if (!opt.trace_dir.empty()) {
+    fopt->trace_sample_every = 64;
+  }
+  if (opt.slow_op_us > 0) {
+    fopt->slow_op_threshold =
+        std::max<long>(1, opt.slow_op_us / std::max(1L, opt.tick_us));
+  }
+}
+
+void dump_trace(const Options& opt, runtime::Node& node) {
+  if (opt.trace_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.trace_dir, ec);
+  const std::vector<util::TraceEvent> events = node.trace().snapshot();
+  const std::string path =
+      opt.trace_dir + "/trace-node" + std::to_string(opt.id) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mcpaxos_node: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = util::TraceRecorder::perfetto_json(events);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %zu trace events to %s (load in Perfetto / chrome://tracing)\n",
+              events.size(), path.c_str());
+}
+
+void dump_slow_ops(runtime::Node& node, service::Frontend* frontend) {
+  if (frontend == nullptr) return;
+  node.call([&] {
+    const auto& slow = frontend->slow_ops();
+    if (slow.empty()) return;
+    std::printf("-- slow ops (newest %zu) --\n", slow.size());
+    for (const auto& op : slow) {
+      std::printf("  client=%llu seq=%llu key=%s group=%u total=%lld ticks%s\n",
+                  static_cast<unsigned long long>(op.client_id),
+                  static_cast<unsigned long long>(op.seq), op.key.c_str(),
+                  unsigned{op.gid}, static_cast<long long>(op.total),
+                  op.trace_id != 0 ? " (traced)" : "");
     }
   });
 }
@@ -223,6 +311,7 @@ int run_grouped_node(const Options& opt, const runtime::ClusterLayout& layout) {
     service::Frontend::Options fopt;
     fopt.batch_size = static_cast<std::size_t>(std::max(1L, opt.batch_size));
     fopt.batch_delay = opt.batch_delay;
+    apply_trace_options(opt, &fopt);
     frontend = &node.make_process_for_group<service::Frontend>(
         0, shard_configs, service::KeyPartition::from_groups(layout.groups), fopt);
     for (const Group& g : groups) {
@@ -238,6 +327,7 @@ int run_grouped_node(const Options& opt, const runtime::ClusterLayout& layout) {
               opt.id, self->role.c_str(), self->host.c_str(),
               unsigned{self->port}, opt.policy.c_str(), groups.size(), hosted,
               frontend != nullptr ? ", serving KV clients for every group" : "");
+  setup_observability(opt, node, transport);
   node.start();
 
   const auto deadline =
@@ -264,6 +354,8 @@ int run_grouped_node(const Options& opt, const runtime::ClusterLayout& layout) {
     });
   }
   print_metrics(node);
+  dump_slow_ops(node, frontend);
+  dump_trace(opt, node);
   node.stop();
   return 0;
 }
@@ -335,6 +427,7 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
       service::Frontend::Options fopt;
       fopt.batch_size = static_cast<std::size_t>(std::max(1L, opt.batch_size));
       fopt.batch_delay = opt.batch_delay;
+      apply_trace_options(opt, &fopt);
       frontend = &node.make_process<service::Frontend>(config, fopt);
     }
   } else {
@@ -345,6 +438,7 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
               self->role.c_str(), self->host.c_str(), unsigned{self->port},
               opt.policy.c_str(), opt.cstruct.c_str(),
               frontend != nullptr ? ", serving KV clients" : "");
+  setup_observability(opt, node, transport);
   node.start();
 
   const auto deadline =
@@ -389,6 +483,8 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
     });
   }
   print_metrics(node);
+  dump_slow_ops(node, frontend);
+  dump_trace(opt, node);
   node.stop();
   return 0;
 }
@@ -468,6 +564,14 @@ Options parse_args(int argc, char** argv) {
       opt.batch_delay = std::stol(value());
     } else if (arg == "--data-dir") {
       opt.data_dir = value();
+    } else if (arg == "--admin-port") {
+      opt.admin_port = std::stol(value());
+    } else if (arg == "--trace-dir") {
+      opt.trace_dir = value();
+    } else if (arg == "--trace-sample") {
+      opt.trace_sample = std::stol(value());
+    } else if (arg == "--slow-op-us") {
+      opt.slow_op_us = std::stol(value());
     } else if (arg == "--demo") {
       opt.demo = (i + 1 < argc && argv[i + 1][0] != '-') ? value() : "thread";
     } else {
@@ -490,6 +594,8 @@ int main(int argc, char** argv) {
                    "[--commands N] [--run-ms M] [--tick-us U]\n"
                    "       [--serve] [--batch-size N] [--batch-delay TICKS] "
                    "[--data-dir DIR]\n"
+                   "       [--admin-port P] [--trace-dir DIR] "
+                   "[--trace-sample N] [--slow-op-us U]\n"
                    "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
       return 2;
     }

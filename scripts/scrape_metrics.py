@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scrape a mcpaxos_node admin endpoint and sanity-check the exposition.
+
+Usage:
+    scrape_metrics.py HOST:PORT [--path /metrics] [--require FAMILY ...]
+                      [--out FILE] [--timeout SECONDS]
+
+Fetches the Prometheus-style plaintext the node serves on its --admin-port,
+parses it into metric families, and exits nonzero when a --require'd family
+is missing — the shape CI's smoke job depends on. With --out the raw body
+is also written to a file (artifact upload). Stdlib only.
+"""
+
+import argparse
+import sys
+import urllib.error
+import urllib.request
+
+
+def parse_families(body: str) -> dict:
+    """Map family name -> list of (sample_name, labels_text, value)."""
+    families = {}
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # "name{labels} value" or "name value"
+        head, _, value = line.rpartition(" ")
+        if not head:
+            continue
+        name = head.split("{", 1)[0]
+        labels = head[len(name):]
+        # A family groups the base series with its _sum/_count/_min/_max.
+        family = name
+        for suffix in ("_sum", "_count", "_min", "_max"):
+            if family.endswith(suffix):
+                family = family[: -len(suffix)]
+                break
+        try:
+            parsed = float(value)
+        except ValueError:
+            continue
+        families.setdefault(family, []).append((name, labels, parsed))
+    return families
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("endpoint", help="HOST:PORT of the node's --admin-port")
+    ap.add_argument("--path", default="/metrics")
+    ap.add_argument("--require", nargs="*", default=[],
+                    help="metric families that must be present")
+    ap.add_argument("--out", default=None, help="also write the raw body here")
+    ap.add_argument("--timeout", type=float, default=5.0)
+    args = ap.parse_args()
+
+    url = "http://" + args.endpoint + args.path
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            body = resp.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError) as e:
+        print(f"scrape_metrics: cannot fetch {url}: {e}", file=sys.stderr)
+        return 1
+
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(body)
+
+    families = parse_families(body)
+    print(f"{url}: {len(families)} metric families, "
+          f"{sum(len(v) for v in families.values())} samples")
+    for fam in sorted(families):
+        total = sum(v for (_, _, v) in families[fam])
+        print(f"  {fam}  ({len(families[fam])} samples, sum={total:g})")
+
+    missing = [fam for fam in args.require if fam not in families]
+    if missing:
+        print(f"scrape_metrics: MISSING families: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

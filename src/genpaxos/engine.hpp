@@ -239,11 +239,23 @@ struct MsgNack {
 /// the same commands as individual MsgPropose back to back.
 struct MsgProposeBatch {
   std::vector<Command> commands;
+  /// Sampled trace id following the first traced command of the window
+  /// (0 = untraced). Encoded as an optional trailing varint only when
+  /// set, so untraced batches stay byte-identical to the pre-tracing
+  /// format and the byte-count gates are unperturbed.
+  std::uint64_t trace_id = 0;
 
   static constexpr std::uint32_t kTag = 88;
   static constexpr const char* kName = "gen.propose_batch";
-  void encode(wire::Writer& w) const { wire::put_commands(w, commands); }
-  static MsgProposeBatch decode(wire::Reader& r) { return {wire::get_commands(r)}; }
+  void encode(wire::Writer& w) const {
+    wire::put_commands(w, commands);
+    if (trace_id != 0) w.put_varint(trace_id);
+  }
+  static MsgProposeBatch decode(wire::Reader& r) {
+    MsgProposeBatch m{wire::get_commands(r), 0};
+    if (!r.at_end()) m.trace_id = r.get_varint();
+    return m;
+  }
 };
 /// Learner → proposer: your command is contained in the learned c-struct.
 struct MsgAck {
@@ -376,6 +388,9 @@ class GenCoordinator final : public sim::Process {
   }
 
   std::string role() const override { return "coordinator"; }
+  sim::NodeId leader_hint() const override {
+    return crnd_.is_zero() ? sim::kNoNode : crnd_.coord;
+  }
 
   void on_start() override {
     if (config_.enable_liveness) {
@@ -425,7 +440,7 @@ class GenCoordinator final : public sim::Process {
       return;
     }
     if (const auto* batch = std::any_cast<MsgProposeBatch>(&m)) {
-      handle_propose_batch(batch->commands);
+      handle_propose_batch(*batch);
       return;
     }
     if (const auto* p1b = std::any_cast<Msg1b<CS>>(&m)) {
@@ -541,7 +556,8 @@ class GenCoordinator final : public sim::Process {
 
   /// Batched Phase2aClassic: one 2a for the whole group, so a flush window
   /// of N service commands costs one delta message instead of N.
-  void handle_propose_batch(const std::vector<Command>& cs) {
+  void handle_propose_batch(const MsgProposeBatch& batch) {
+    const std::vector<Command>& cs = batch.commands;
     bool appended = false;
     for (const Command& c : cs) {
       proposals_.emplace(c.id, c);
@@ -556,7 +572,12 @@ class GenCoordinator final : public sim::Process {
     // All already contained: a whole-batch retransmission from a frontend
     // that missed its replies; re-send the (empty-delta) 2a as for a single
     // contained MsgPropose.
-    if (appended || config_.enable_liveness) send_2a();
+    if (appended || config_.enable_liveness) {
+      send_2a();
+      if (batch.trace_id != 0) {
+        trace_point(util::TracePoint::kCoord2a, batch.trace_id, cs.size());
+      }
+    }
   }
 
   void handle_1b(sim::NodeId from, const Msg1b<CS>& p1b) {
@@ -643,6 +664,11 @@ class GenAcceptor final : public sim::Process {
   }
 
   std::string role() const override { return "acceptor"; }
+  /// An acceptor's best leadership guess is whoever owns the highest round
+  /// it has joined.
+  sim::NodeId leader_hint() const override {
+    return rnd_.is_zero() ? sim::kNoNode : rnd_.coord;
+  }
 
   const paxos::Ballot& rnd() const { return rnd_; }
   const paxos::Ballot& vrnd() const { return vrnd_; }
@@ -698,6 +724,7 @@ class GenAcceptor final : public sim::Process {
     twoa_.clear();
     collided_.clear();
     pending_.clear();
+    trace_pending_.clear();
     // The 2b chain cache is volatile: the next 2b after recovery goes out
     // full. (The persisted vval is an extension of everything ever sent,
     // so receivers could follow a delta — but only a cached base proves it.)
@@ -712,6 +739,12 @@ class GenAcceptor final : public sim::Process {
     if (const auto* batch = std::any_cast<MsgProposeBatch>(&m)) {
       // Fast-round path of the batch: every command lands in pending_ and
       // the whole group is absorbed by one vote write / one 2b.
+      if (batch->trace_id != 0 && sim().trace().enabled() &&
+          !batch->commands.empty() && trace_pending_.size() < 64) {
+        // The batch's first command stands in for the traced window: its
+        // vote write is the one the traced command rides.
+        trace_pending_.emplace_back(batch->commands.front(), batch->trace_id);
+      }
       for (const Command& c : batch->commands) pending_.emplace(c.id, c);
       drain_pending_fast();
       return;
@@ -818,6 +851,17 @@ class GenAcceptor final : public sim::Process {
     transmit_2b(vrnd_.is_fast(), lat);
     last_2b_ = vval_;
     last_2b_rnd_ = vrnd_;
+    // Traced batches whose command this vote now covers: mark the
+    // persisted-and-shipped point (arg = the modelled fsync latency).
+    for (auto it = trace_pending_.begin(); it != trace_pending_.end();) {
+      if (vval_.contains(it->first)) {
+        trace_point(util::TracePoint::kAcceptorVote, it->second,
+                    static_cast<std::uint64_t>(lat));
+        it = trace_pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   void handle_1a(sim::NodeId from, const paxos::Ballot& b) {
@@ -994,6 +1038,9 @@ class GenAcceptor final : public sim::Process {
   std::map<std::uint64_t, Command> pending_;
   std::map<paxos::Ballot, std::map<sim::NodeId, TwoA>> twoa_;
   std::set<paxos::Ballot> collided_;
+  /// Traced batches awaiting their covering vote (bounded; only populated
+  /// while tracing is enabled): representative command -> trace id.
+  std::vector<std::pair<Command, std::uint64_t>> trace_pending_;
 };
 
 // --- learner -------------------------------------------------------------------------

@@ -1,0 +1,51 @@
+#include "runtime/admin.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "util/exposition.hpp"
+
+namespace mcp::runtime {
+
+std::string healthz_text(Node& node) {
+  // One call() gathers everything: process state is only coherent on the
+  // loop thread. If the loop is not running (startup/shutdown) call() runs
+  // inline, which is equally safe — nothing else is touching the process.
+  return node.call([&node] {
+    std::ostringstream out;
+    out << "node " << node.options().id
+        << " running=" << (node.running() ? 1 : 0)
+        << " recovered=" << (node.recovered() ? 1 : 0) << "\n";
+    for (const auto& [gid, process] : node.group_table()) {
+      out << "group " << gid << " role=" << process->role()
+          << " incarnation=" << process->incarnation();
+      const sim::NodeId leader = process->leader_hint();
+      out << " leader=";
+      if (leader == sim::kNoNode) {
+        out << "none";
+      } else {
+        out << leader;
+      }
+      out << "\n";
+    }
+    return out.str();
+  });
+}
+
+std::uint16_t install_admin(Node& node, transport::TcpTransport& transport,
+                            std::uint16_t port) {
+  return transport.enable_admin(
+      port, [&node](const std::string& path) -> std::optional<std::string> {
+        if (path == "/metrics") {
+          // Metrics is internally locked; reading it from the reactor
+          // thread while the loop thread writes is the designed use.
+          return util::prometheus_exposition(node.metrics());
+        }
+        if (path == "/healthz" || path == "/health") {
+          return healthz_text(node);
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace mcp::runtime

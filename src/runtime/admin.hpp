@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/node.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace mcp::runtime {
+
+/// Wire a node's observability surface onto its TCP transport's admin
+/// endpoint. Must run before node.start() / transport start. Returns the
+/// bound admin port (useful with port 0).
+///
+/// Paths served:
+///   /metrics  — Prometheus-style plaintext of every counter and histogram
+///               in the node's registry (thread-safe snapshot; handled
+///               entirely on the reactor thread).
+///   /healthz  — one line per hosted group: role, incarnation, leader
+///               hint, plus node id / running / recovered. Gathered via
+///               node.call() so process state is read on the loop thread.
+/// Anything else is a 404.
+std::uint16_t install_admin(Node& node, transport::TcpTransport& transport,
+                            std::uint16_t port);
+
+/// The /healthz body alone (exposed for tests).
+std::string healthz_text(Node& node);
+
+}  // namespace mcp::runtime

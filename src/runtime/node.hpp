@@ -151,8 +151,21 @@ class Node final : public sim::Host {
 
   const NodeOptions& options() const { return options_; }
 
+  /// Groups hosted or routed on this node, for health/introspection
+  /// endpoints. Stable after start() (adoption happens strictly before).
+  const std::map<std::uint32_t, sim::Process*>& group_table() const {
+    return by_group_;
+  }
+
   // --- sim::Host ------------------------------------------------------------
   sim::Time now() const override;
+  /// Real-clock trace timestamps: microseconds since start(), so spans
+  /// recorded by the loop thread and the transport reactor share a clock.
+  std::uint64_t trace_now_us() const override {
+    const auto dt = std::chrono::steady_clock::now() - started_at_;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(dt);
+    return us.count() > 0 ? static_cast<std::uint64_t>(us.count()) : 0;
+  }
   util::Metrics& metrics() override { return metrics_; }
   util::Rng& rng() override { return rng_; }
   bool encode_messages() const override { return true; }

@@ -45,6 +45,7 @@ Frontend::Frontend(const std::vector<GroupConfig>& groups, KeyPartition partitio
 void Frontend::on_recover() {
   sessions_.clear();
   pending_.clear();
+  slow_ops_.clear();
   retry_armed_ = false;
   for (auto& shard : shards_) {
     shard->batch.clear();
@@ -139,12 +140,25 @@ void Frontend::handle_request(sim::NodeId from, const MsgClientRequest& req) {
   pending.seq = req.seq;
   pending.conn = from;
   pending.gid = shard.gid;
+  pending.recv_at = now();
   pending.command.id = session_command_id(req.client_id, req.seq);
   // Replies flow through the session table, not learner MsgAck traffic.
   pending.command.proposer = sim::kNoNode;
   pending.command.type = req.op;
   pending.command.key = req.key;
   pending.command.value = req.value;
+
+  // Every Nth accepted request gets a trace id that follows the command
+  // through the batch, the consensus roles, and back out in its reply.
+  ++accepted_for_trace_;
+  if (options_.trace_sample_every > 0 && sim().trace().enabled() &&
+      (accepted_for_trace_ - 1) % options_.trace_sample_every == 0) {
+    // Deterministic in the session position (and never 0): the same op
+    // retried through another frontend carries the same trace id.
+    pending.trace_id = pending.command.id | 1;
+    trace_point(util::TracePoint::kClientRecv, pending.trace_id, req.seq,
+                shard.gid);
+  }
 
   if (shard.core.learned().contains(pending.command)) {
     // The command is already chosen — a retry after failover or a redirect
@@ -222,7 +236,9 @@ void Frontend::on_timer(int token) {
   std::map<std::uint32_t, std::vector<cstruct::Command>> per_shard;
   for (const auto& [id, p] : pending_) per_shard[p.gid].push_back(p.command);
   for (const auto& [gid, cmds] : per_shard) {
-    if (Shard* shard = shard_of_group(gid)) propose_batch(*shard, cmds);
+    // Retransmissions are not re-traced: the original spans already
+    // cover the command, and a retry batch mixes many windows.
+    if (Shard* shard = shard_of_group(gid)) propose_batch(*shard, cmds, 0);
   }
   sim().metrics().incr("svc.retries");
   retry_armed_ = true;
@@ -237,14 +253,25 @@ void Frontend::flush(Shard& shard) {
   if (shard.batch.empty()) return;
   std::vector<cstruct::Command> cmds;
   cmds.reserve(shard.batch.size());
+  std::uint64_t batch_trace = 0;  // first traced command represents the window
+  const sim::Time flush_now = now();
   for (const std::uint64_t id : shard.batch) {
     if (const auto it = pending_.find(id); it != pending_.end()) {
-      cmds.push_back(it->second.command);
+      Pending& p = it->second;
+      cmds.push_back(p.command);
+      p.flushed_at = flush_now;
+      sim().metrics().sample("svc.lat.batch_wait",
+                             static_cast<double>(flush_now - p.recv_at));
+      if (p.trace_id != 0) {
+        trace_point(util::TracePoint::kBatchFlush, p.trace_id,
+                    shard.batch.size(), shard.gid);
+        if (batch_trace == 0) batch_trace = p.trace_id;
+      }
     }
   }
   shard.batch.clear();
   if (cmds.empty()) return;
-  propose_batch(shard, cmds);
+  propose_batch(shard, cmds, batch_trace);
   ++batches_flushed_;
   sim().metrics().incr("svc.batches");
   sim().metrics().incr("svc.batched_commands", static_cast<std::int64_t>(cmds.size()));
@@ -254,8 +281,9 @@ void Frontend::flush(Shard& shard) {
   }
 }
 
-void Frontend::propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds) {
-  const genpaxos::MsgProposeBatch batch{cmds};
+void Frontend::propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds,
+                             std::uint64_t trace_id) {
+  const genpaxos::MsgProposeBatch batch{cmds, trace_id};
   multicast_group(shard.gid, shard.config->policy->all_coordinators(), batch);
   multicast_group(shard.gid, shard.config->acceptors, batch);  // fast-round path
 }
@@ -265,6 +293,16 @@ void Frontend::on_applied(const cstruct::Command& c, const smr::KVStore::Result&
   if (it == pending_.end()) return;  // another frontend's client, or internal
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  pending.learned_at = now();
+  if (pending.flushed_at >= 0) {
+    const auto consensus = static_cast<double>(pending.learned_at - pending.flushed_at);
+    sim().metrics().sample("svc.lat.consensus", consensus);
+    sim().metrics().sample("g" + std::to_string(pending.gid) + ".svc.lat.consensus",
+                           consensus);
+  }
+  if (pending.trace_id != 0) {
+    trace_point(util::TracePoint::kLearned, pending.trace_id, 0, pending.gid);
+  }
   complete(std::move(pending), result);
 }
 
@@ -272,12 +310,25 @@ void Frontend::complete(Pending pending, const smr::KVStore::Result& result) {
   Session& session = sessions_[pending.client_id];
   session.inflight.erase(pending.seq);
 
+  // Stage attribution: apply = quorum -> state-machine result (zero on
+  // the synchronous path, nonzero once apply is ever deferred); reply =
+  // the client-visible total, receive -> reply.
+  const sim::Time done = now();
+  const sim::Time learned_at = pending.learned_at >= 0 ? pending.learned_at : done;
+  const sim::Time total = done - pending.recv_at;
+  sim().metrics().sample("svc.lat.apply", static_cast<double>(done - learned_at));
+  sim().metrics().sample("svc.lat.reply", static_cast<double>(total));
+  if (pending.trace_id != 0) {
+    trace_point(util::TracePoint::kApplied, pending.trace_id, 0, pending.gid);
+  }
+
   MsgClientReply reply;
   reply.client_id = pending.client_id;
   reply.seq = pending.seq;
   reply.status = ReplyStatus::kOk;
   reply.found = result.found;
   reply.value = result.value;
+  reply.trace_id = pending.trace_id;
   if (pending.seq > session.completed_seq) {
     session.completed_seq = pending.seq;
     session.last_reply = reply;
@@ -285,6 +336,20 @@ void Frontend::complete(Pending pending, const smr::KVStore::Result& result) {
   send(pending.conn, reply);
   ++replies_sent_;
   sim().metrics().incr("svc.replies");
+  if (pending.trace_id != 0) {
+    trace_point(util::TracePoint::kReplySent, pending.trace_id,
+                static_cast<std::uint64_t>(total), pending.gid);
+  }
+
+  if (options_.slow_op_threshold > 0 && total >= options_.slow_op_threshold) {
+    sim().metrics().incr("svc.slow_ops");
+    trace_point(util::TracePoint::kSlowOp, pending.trace_id,
+                static_cast<std::uint64_t>(total), pending.gid);
+    slow_ops_.push_back(SlowOp{pending.client_id, pending.seq,
+                               pending.command.key, pending.gid,
+                               pending.recv_at, total, pending.trace_id});
+    if (slow_ops_.size() > kSlowOpCap) slow_ops_.pop_front();
+  }
 }
 
 const smr::KVStore* Frontend::store_for_group(std::uint32_t gid) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +66,27 @@ class Frontend final : public sim::Process {
     /// deterministic command id, which the learned c-struct already
     /// contains, so it completes from the store instead of re-applying.
     std::size_t max_sessions = 4096;
+    /// Trace every Nth accepted request end to end (0 = tracing off). A
+    /// sampled command gets a trace id that rides MsgProposeBatch through
+    /// the consensus roles and comes back in its MsgClientReply; span
+    /// events land on the host's TraceRecorder. The host's recorder must
+    /// also be enabled (sim().trace().set_enabled) for events to record.
+    std::size_t trace_sample_every = 0;
+    /// Log any command whose receive -> reply latency reaches this many
+    /// ticks into the slow-op ring (0 = off); also counts svc.slow_ops.
+    sim::Time slow_op_threshold = 0;
+  };
+
+  /// One entry of the slow-op log: a completed command whose end-to-end
+  /// latency reached Options::slow_op_threshold.
+  struct SlowOp {
+    std::uint64_t client_id = 0;
+    std::uint64_t seq = 0;
+    std::string key;
+    std::uint32_t gid = 0;
+    sim::Time recv_at = 0;
+    sim::Time total = 0;        ///< receive -> reply, ticks
+    std::uint64_t trace_id = 0; ///< nonzero when the command was sampled
   };
 
   /// One consensus group this frontend serves. The config must outlive the
@@ -126,6 +148,8 @@ class Frontend final : public sim::Process {
   std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   std::uint64_t batches_flushed() const { return batches_flushed_; }
   std::uint64_t replies_sent() const { return replies_sent_; }
+  /// Most recent slow commands (bounded at kSlowOpCap), oldest first.
+  const std::deque<SlowOp>& slow_ops() const { return slow_ops_; }
 
  private:
   static constexpr int kRetryToken = 11;
@@ -153,6 +177,10 @@ class Frontend final : public sim::Process {
     sim::NodeId conn = sim::kNoNode;  ///< where the reply goes (latest route)
     std::uint32_t gid = 0;            ///< shard the command routed to
     cstruct::Command command;
+    sim::Time recv_at = 0;     ///< request accepted (stage clock origin)
+    sim::Time flushed_at = -1; ///< batch shipped; -1 until flushed
+    sim::Time learned_at = -1; ///< quorum reached; -1 until learned
+    std::uint64_t trace_id = 0; ///< nonzero when sampled for tracing
   };
 
   /// Per-client dedup state. `completed_seq` is the highest seq already
@@ -172,7 +200,8 @@ class Frontend final : public sim::Process {
   void handle_request(sim::NodeId from, const MsgClientRequest& req);
   Session& touch_session(std::uint64_t client_id);
   void flush(Shard& shard);
-  void propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds);
+  void propose_batch(Shard& shard, const std::vector<cstruct::Command>& cmds,
+                     std::uint64_t trace_id);
   void on_applied(const cstruct::Command& c, const smr::KVStore::Result& result);
   void complete(Pending pending, const smr::KVStore::Result& result);
 
@@ -191,6 +220,11 @@ class Frontend final : public sim::Process {
   std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t batches_flushed_ = 0;
   std::uint64_t replies_sent_ = 0;
+
+  /// Slow-op ring (Options::slow_op_threshold), newest at the back.
+  static constexpr std::size_t kSlowOpCap = 64;
+  std::deque<SlowOp> slow_ops_;
+  std::uint64_t accepted_for_trace_ = 0;  ///< accepted (non-dup) requests, for sampling
 };
 
 }  // namespace mcp::service

@@ -66,6 +66,11 @@ struct MsgClientReply {
   std::string value;
   /// kRedirect: the server the client should talk to instead.
   sim::NodeId redirect = sim::kNoNode;
+  /// Sampled trace id of the command (0 = untraced); lets a client tie its
+  /// own timing to the server-side spans. Encoded as an optional trailing
+  /// varint only when set — untraced replies stay byte-identical to the
+  /// pre-tracing format.
+  std::uint64_t trace_id = 0;
 
   static constexpr std::uint32_t kTag = 121;
   static constexpr const char* kName = "svc.reply";
@@ -76,6 +81,7 @@ struct MsgClientReply {
     wire::put_flag(w, found);
     w.put_bytes(value);
     w.put_signed(redirect);
+    if (trace_id != 0) w.put_varint(trace_id);
   }
   static MsgClientReply decode(wire::Reader& r) {
     MsgClientReply out;
@@ -87,6 +93,7 @@ struct MsgClientReply {
     out.found = wire::get_flag(r);
     out.value = std::string(r.get_bytes());
     out.redirect = static_cast<sim::NodeId>(r.get_signed());
+    if (!r.at_end()) out.trace_id = r.get_varint();
     return out;
   }
 };

@@ -59,6 +59,7 @@ class SimClient final : public sim::Process {
       return;
     }
     cancel_retry();
+    if (reply->trace_id != 0) ++traced_replies_;
     latencies_.push_back(now() - sent_at_);
     ++completed_;
     if (!done()) send_current();
@@ -68,6 +69,8 @@ class SimClient final : public sim::Process {
   std::size_t completed() const { return completed_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t redirects() const { return redirects_; }
+  /// Replies that carried a sampled trace id (server-side sampling).
+  std::uint64_t traced_replies() const { return traced_replies_; }
   /// Per-op request→reply times, in ticks.
   const std::vector<sim::Time>& latencies() const { return latencies_; }
 
@@ -115,6 +118,7 @@ class SimClient final : public sim::Process {
   std::size_t completed_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t redirects_ = 0;
+  std::uint64_t traced_replies_ = 0;
   std::vector<sim::Time> latencies_;
 };
 

@@ -6,6 +6,7 @@
 #include "sim/time.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace mcp::sim {
 
@@ -35,6 +36,20 @@ class Host {
 
   virtual util::Metrics& metrics() = 0;
   virtual util::Rng& rng() = 0;
+
+  /// Per-host trace ring. Off by default (TraceRecorder::enabled());
+  /// processes record span events through Process::trace_point, external
+  /// tooling snapshots/export via the recorder itself.
+  util::TraceRecorder& trace() { return trace_; }
+  const util::TraceRecorder& trace() const { return trace_; }
+
+  /// Timestamp for trace events: microseconds since start on live hosts;
+  /// simulated hosts default to the tick clock (one tick = one "us" in
+  /// the exported trace, which keeps sim traces loadable and ordered).
+  virtual std::uint64_t trace_now_us() const {
+    const Time t = now();
+    return t > 0 ? static_cast<std::uint64_t>(t) : 0;
+  }
 
   /// Whether Process::send must serialize self-encoding messages into
   /// wire::Envelope payloads. Real transports can only carry bytes, so
@@ -79,6 +94,9 @@ class Host {
   /// adoption time, before any handler runs, so every envelope the process
   /// emits carries the group id. Defined in process.cpp.
   static void set_group(Process& process, std::uint32_t group);
+
+ private:
+  util::TraceRecorder trace_;
 };
 
 }  // namespace mcp::sim

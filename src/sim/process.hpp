@@ -42,6 +42,11 @@ class Process {
 
   /// Short role label used for metrics ("acceptor", "coord", ...).
   virtual std::string role() const { return "process"; }
+  /// Best-effort leadership hint for health endpoints: the node this
+  /// process currently believes coordinates its group, or kNoNode when the
+  /// role has no such notion. Purely informational — never used by the
+  /// protocol itself.
+  virtual NodeId leader_hint() const { return kNoNode; }
 
   /// Called once when the simulation starts.
   virtual void on_start() {}
@@ -134,9 +139,24 @@ class Process {
   Host& sim() { return *host_; }
   const Host& sim() const { return *host_; }
 
+  /// Record a pipeline span event on the host's trace ring. A cheap no-op
+  /// (one relaxed load) unless tracing is enabled. `group` defaults to the
+  /// process's own; multi-group processes (the sharded frontend) pass the
+  /// command's shard explicitly.
+  void trace_point(util::TracePoint point, std::uint64_t trace_id,
+                   std::uint64_t arg = 0, std::uint32_t group = kOwnGroup) {
+    util::TraceRecorder& t = host_->trace();
+    if (!t.enabled()) return;
+    t.record({trace_id, host_->trace_now_us(), static_cast<std::int64_t>(id_),
+              group == kOwnGroup ? group_ : group, point, arg});
+  }
+
  private:
   friend class Host;        // Host::bind adopts the process
   friend class Simulation;  // crash/recovery bookkeeping (sim-only concepts)
+
+  /// Sentinel for trace_point's group parameter: "use this process's own".
+  static constexpr std::uint32_t kOwnGroup = 0xFFFFFFFFu;
 
   /// The encoding boundary: self-encoding messages become a
   /// shared_ptr<const Envelope> (per-destination and per-duplicate

@@ -29,6 +29,10 @@ constexpr int kMaxReadsPerEvent = 4;
 /// iovec entries per writev — far below any IOV_MAX, far above the frame
 /// counts a flush window realistically accumulates.
 constexpr std::size_t kMaxIov = 64;
+/// Bound on one admin connection's buffered request bytes. A GET line plus
+/// a few headers fits in a fraction of this; anything larger is not a
+/// scrape and the connection is dropped.
+constexpr std::size_t kMaxAdminRequest = 8192;
 
 /// Minimal-varint parse of a handshake payload; nullopt on garbage.
 std::optional<std::uint64_t> parse_varint(std::string_view bytes) {
@@ -115,6 +119,39 @@ void TcpTransport::set_peer(PeerId id, TcpPeer peer) {
   if (reactor_.joinable()) wake();
 }
 
+std::uint16_t TcpTransport::enable_admin(std::uint16_t port,
+                                         AdminHandler handler) {
+  if (reactor_.joinable()) {
+    throw std::logic_error("tcp: enable_admin must precede start");
+  }
+  if (admin_listen_fd_ >= 0) return admin_port_;  // idempotent
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw std::runtime_error("tcp: admin socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, config_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp: bad listen host " + config_.listen_host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("tcp: admin bind/listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  admin_port_ = ntohs(bound.sin_port);
+  admin_listen_fd_ = fd;
+  admin_handler_ = std::move(handler);
+  return admin_port_;
+}
+
 void TcpTransport::start(FrameHandler handler) {
   bind_and_listen();
   handler_ = std::move(handler);
@@ -127,6 +164,12 @@ void TcpTransport::start(FrameHandler handler) {
   ev.events = EPOLLIN;
   ev.data.ptr = nullptr;  // nullptr marks the listen socket
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (admin_listen_fd_ >= 0) {
+    epoll_event aev{};
+    aev.events = EPOLLIN;
+    aev.data.ptr = &admin_listen_fd_;  // sentinel: the admin listen socket
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &aev);
+  }
   epoll_event wev{};
   wev.events = EPOLLIN;
   wev.data.ptr = const_cast<int*>(&wake_fd_);  // sentinel: the wake eventfd
@@ -238,6 +281,10 @@ void TcpTransport::reactor_loop() {
         handle_listen_ready();
         continue;
       }
+      if (tag == &admin_listen_fd_) {
+        handle_admin_listen_ready();
+        continue;
+      }
       if (tag == &wake_fd_) {
         std::uint64_t drain;
         while (::read(wake_fd_, &drain, sizeof drain) > 0) {
@@ -305,6 +352,102 @@ void TcpTransport::handle_listen_ready() {
       continue;
     }
     conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::handle_admin_listen_ready() {
+  for (int i = 0; i < 64; ++i) {
+    const int fd = ::accept4(admin_listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN (drained) or transient exhaustion
+    auto conn = std::make_unique<Conn>(config_.max_frame);
+    conn->fd = fd;
+    conn->is_admin = true;
+    conn->last_write_progress = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::handle_admin_readable(Conn* conn) {
+  char chunk[kReadChunk];
+  while (conn->fd >= 0) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n == 0) {  // client gave up before finishing the request
+      close_conn(conn, /*drop_queue=*/true);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // headers pending
+      close_conn(conn, /*drop_queue=*/true);
+      return;
+    }
+    conn->admin_in.append(chunk, static_cast<std::size_t>(n));
+    if (conn->out) return;  // response already built; ignore extra bytes
+    if (conn->admin_in.size() > kMaxAdminRequest) {
+      close_conn(conn, /*drop_queue=*/true);
+      return;
+    }
+    if (conn->admin_in.find("\r\n\r\n") == std::string::npos &&
+        conn->admin_in.find("\n\n") == std::string::npos) {
+      continue;  // request head incomplete
+    }
+    // Request head complete: parse "METHOD SP PATH ..." off the first line.
+    const std::string& req = conn->admin_in;
+    const std::size_t line_end = std::min(req.find('\n'), req.size());
+    const std::string_view line(req.data(), line_end);
+    const std::size_t m_end = line.find(' ');
+    std::string_view method =
+        m_end == std::string_view::npos ? line : line.substr(0, m_end);
+    std::string_view path_part;
+    if (m_end != std::string_view::npos) {
+      const std::size_t p_begin = m_end + 1;
+      const std::size_t p_end = line.find(' ', p_begin);
+      path_part = line.substr(p_begin, p_end == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : p_end - p_begin);
+    }
+    const std::size_t query = path_part.find('?');
+    if (query != std::string_view::npos) path_part = path_part.substr(0, query);
+
+    const char* status = "200 OK";
+    std::string body;
+    if (method != "GET") {
+      status = "405 Method Not Allowed";
+      body = "only GET is served here\n";
+    } else if (auto reply = admin_handler_(std::string(path_part))) {
+      body = std::move(*reply);
+    } else {
+      status = "404 Not Found";
+      body = "unknown path; try /metrics or /healthz\n";
+    }
+    std::string resp;
+    resp.reserve(body.size() + 128);
+    resp.append("HTTP/1.0 ").append(status).append("\r\n");
+    resp.append("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n");
+    resp.append("Content-Length: ").append(std::to_string(body.size()));
+    resp.append("\r\nConnection: close\r\n\r\n");
+    resp.append(body);
+
+    // One response per connection, then close-after-drain: the reply rides
+    // the normal OutQueue/flush machinery (partial writes, EPOLLOUT) with a
+    // queue private to this socket.
+    auto out = std::make_shared<OutQueue>();
+    out->state = OutQueue::State::kReady;
+    out->fd = conn->fd;
+    out->conn = conn;
+    out->q_bytes = resp.size();
+    out->q.push_back(std::move(resp));
+    conn->out = std::move(out);
+    conn->close_after_flush = true;
+    flush(conn);
+    return;
   }
 }
 
@@ -444,6 +587,10 @@ void TcpTransport::finish_dial(Conn* conn, bool ok) {
 }
 
 void TcpTransport::handle_readable(Conn* conn) {
+  if (conn->is_admin) {
+    handle_admin_readable(conn);
+    return;
+  }
   char chunk[kReadChunk];
   for (int round = 0; round < kMaxReadsPerEvent && conn->fd >= 0; ++round) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
@@ -505,69 +652,76 @@ void TcpTransport::handle_writable(Conn* conn) { flush(conn); }
 void TcpTransport::flush(Conn* conn) {
   if (!conn->out || conn->fd < 0 || conn->connecting) return;
   bool failed = false;
+  bool drained = false;
   {
     std::lock_guard<std::mutex> lock(conn->out->mu);
     auto& q = conn->out->q;
     if (q.empty()) {
       conn->had_pending = false;
       update_interest(conn, /*want_write=*/false);
-      return;
-    }
-    if (!conn->had_pending) {
-      // Queue just went non-empty: start the stall clock now, not from
-      // whenever the socket last happened to write.
-      conn->had_pending = true;
-      conn->last_write_progress = std::chrono::steady_clock::now();
-    }
-    // One vectored write per flush: every queued frame (up to kMaxIov)
-    // rides one syscall, which is the whole point of queue-then-flush over
-    // the old one-blocking-send-per-frame path. sendmsg rather than writev
-    // for MSG_NOSIGNAL — a peer that closed mid-flush must surface as EPIPE,
-    // not kill the process.
-    iovec iov[kMaxIov];
-    std::size_t iov_count = 0;
-    for (const std::string& entry : q) {
-      if (iov_count == kMaxIov) break;
-      const std::size_t skip = iov_count == 0 ? conn->head_off : 0;
-      iov[iov_count].iov_base = const_cast<char*>(entry.data() + skip);
-      iov[iov_count].iov_len = entry.size() - skip;
-      ++iov_count;
-    }
-    msghdr msg{};
-    msg.msg_iov = iov;
-    msg.msg_iovlen = iov_count;
-    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-        update_interest(conn, /*want_write=*/true);  // retry on readiness
-        return;
-      }
-      failed = true;
+      drained = true;
     } else {
-      flushes_.fetch_add(1, std::memory_order_relaxed);
-      conn->last_write_progress = std::chrono::steady_clock::now();
-      std::size_t written = static_cast<std::size_t>(n);
-      conn->out->q_bytes -= written;
-      std::int64_t whole_frames = 0;
-      while (written > 0 && !q.empty()) {
-        const std::size_t remaining = q.front().size() - conn->head_off;
-        if (written >= remaining) {
-          written -= remaining;
-          conn->head_off = 0;
-          q.pop_front();
-          ++whole_frames;
-        } else {
-          conn->head_off += written;
-          written = 0;
-        }
+      if (!conn->had_pending) {
+        // Queue just went non-empty: start the stall clock now, not from
+        // whenever the socket last happened to write.
+        conn->had_pending = true;
+        conn->last_write_progress = std::chrono::steady_clock::now();
       }
-      flushed_frames_.fetch_add(whole_frames, std::memory_order_relaxed);
-      conn->had_pending = !q.empty();
-      update_interest(conn, /*want_write=*/!q.empty());
-      return;
+      // One vectored write per flush: every queued frame (up to kMaxIov)
+      // rides one syscall, which is the whole point of queue-then-flush over
+      // the old one-blocking-send-per-frame path. sendmsg rather than writev
+      // for MSG_NOSIGNAL — a peer that closed mid-flush must surface as
+      // EPIPE, not kill the process.
+      iovec iov[kMaxIov];
+      std::size_t iov_count = 0;
+      for (const std::string& entry : q) {
+        if (iov_count == kMaxIov) break;
+        const std::size_t skip = iov_count == 0 ? conn->head_off : 0;
+        iov[iov_count].iov_base = const_cast<char*>(entry.data() + skip);
+        iov[iov_count].iov_len = entry.size() - skip;
+        ++iov_count;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iov_count;
+      const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          update_interest(conn, /*want_write=*/true);  // retry on readiness
+          return;
+        }
+        failed = true;
+      } else {
+        flushes_.fetch_add(1, std::memory_order_relaxed);
+        conn->last_write_progress = std::chrono::steady_clock::now();
+        std::size_t written = static_cast<std::size_t>(n);
+        conn->out->q_bytes -= written;
+        std::int64_t whole_frames = 0;
+        while (written > 0 && !q.empty()) {
+          const std::size_t remaining = q.front().size() - conn->head_off;
+          if (written >= remaining) {
+            written -= remaining;
+            conn->head_off = 0;
+            q.pop_front();
+            ++whole_frames;
+          } else {
+            conn->head_off += written;
+            written = 0;
+          }
+        }
+        flushed_frames_.fetch_add(whole_frames, std::memory_order_relaxed);
+        conn->had_pending = !q.empty();
+        update_interest(conn, /*want_write=*/!q.empty());
+        drained = q.empty();
+      }
     }
   }
-  if (failed) close_conn(conn, /*drop_queue=*/true);
+  // close_conn re-locks out->mu, so both paths run outside the lock.
+  if (failed) {
+    close_conn(conn, /*drop_queue=*/true);
+  } else if (drained && conn->close_after_flush) {
+    close_conn(conn, /*drop_queue=*/false);
+  }
 }
 
 void TcpTransport::update_interest(Conn* conn, bool want_write) {
@@ -683,6 +837,8 @@ void TcpTransport::stop() {
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
+  admin_listen_fd_ = -1;
   if (wake_fd_ >= 0) ::close(wake_fd_);
   wake_fd_ = -1;
   if (epoll_fd_ >= 0) ::close(epoll_fd_);

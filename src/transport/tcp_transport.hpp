@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,6 +119,20 @@ class TcpTransport final : public Transport {
 
   std::uint16_t listen_port() const { return bound_port_; }
 
+  /// Admin request handler: maps a GET path ("/metrics", "/healthz", ...)
+  /// to a plaintext response body, or nullopt for 404. Runs on the
+  /// reactor thread, so it must only touch thread-safe state (the
+  /// node's Metrics registry is).
+  using AdminHandler = std::function<std::optional<std::string>(const std::string&)>;
+
+  /// Serve a plaintext HTTP admin endpoint on its own port over the same
+  /// epoll reactor (no extra thread): minimal GET parsing, one response,
+  /// close. Must be called before start(); port 0 binds an ephemeral
+  /// port. Returns the bound port.
+  std::uint16_t enable_admin(std::uint16_t port, AdminHandler handler);
+  /// Bound admin port (0 when the endpoint is disabled).
+  std::uint16_t admin_port() const { return admin_port_; }
+
   /// The handshake frame a dialer writes first: frame(varint(self)).
   /// Exposed so tests can speak the protocol over a raw socket.
   static std::string handshake_frame(PeerId self);
@@ -161,6 +177,11 @@ class TcpTransport final : public Transport {
     bool outbound = false;        // dialed by us (carries our handshake)
     bool connecting = false;      // non-blocking connect() not yet resolved
     bool awaiting_first = false;  // accepted, first frame not yet seen
+    bool is_admin = false;        // accepted on the admin listen socket
+    /// Close once the outbound queue drains (admin: response written).
+    bool close_after_flush = false;
+    /// Raw request bytes of an admin connection (no framing).
+    std::string admin_in;
     FrameBuffer in;
     /// Outbound queue this socket flushes (outbound peer link or adopted
     /// client connection); null for pure-inbound peer streams.
@@ -186,6 +207,8 @@ class TcpTransport final : public Transport {
 
   // Everything below runs on the reactor thread only.
   void handle_listen_ready();
+  void handle_admin_listen_ready();
+  void handle_admin_readable(Conn* conn);
   void start_dials();
   void start_dial(PeerId to, const std::shared_ptr<OutQueue>& out);
   void finish_dial(Conn* conn, bool ok);
@@ -202,6 +225,9 @@ class TcpTransport final : public Transport {
   std::atomic<bool> stopping_{false};
   std::uint16_t bound_port_ = 0;
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
+  std::uint16_t admin_port_ = 0;
+  AdminHandler admin_handler_;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::atomic<bool> wake_pending_{false};

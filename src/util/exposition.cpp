@@ -1,0 +1,38 @@
+#include "util/exposition.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace mcp::util {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mcp_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) || c == '_' ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_exposition(const Metrics& metrics) {
+  std::ostringstream out;
+  for (const auto& [name, value] : metrics.all_counters()) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, h] : metrics.all_histograms()) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " summary\n";
+    if (h.count() > 0) {
+      for (const double q : {0.5, 0.9, 0.99}) {
+        out << p << "{quantile=\"" << q << "\"} " << h.percentile(q) << "\n";
+      }
+      out << p << "_min " << h.min() << "\n" << p << "_max " << h.max() << "\n";
+    }
+    out << p << "_sum " << h.sum() << "\n" << p << "_count " << h.count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcp::util

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace mcp::util {
+
+/// Map a dotted metric name onto the Prometheus grammar: every character
+/// outside [a-zA-Z0-9_] becomes '_', and the result is prefixed "mcp_"
+/// (which also rescues names starting with a digit, e.g. "g0.net...").
+std::string prometheus_name(std::string_view name);
+
+/// Render a Metrics snapshot as Prometheus plaintext exposition:
+/// counters as counter families, histograms as summaries (quantile
+/// lines from the log-bucket percentiles plus _sum/_count/_min/_max).
+std::string prometheus_exposition(const Metrics& metrics);
+
+}  // namespace mcp::util

@@ -6,53 +6,102 @@
 
 namespace mcp::util {
 
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) exp = kMaxExp;
+  const auto sub = static_cast<std::size_t>((m - 0.5) * 2.0 *
+                                            static_cast<double>(kSubBuckets));
+  return 1 + static_cast<std::size_t>(exp - kMinExp) * kSubBuckets +
+         std::min(sub, kSubBuckets - 1);
+}
+
 void Histogram::add(double sample) {
-  samples_.push_back(sample);
-  sorted_ = false;
+  if (buckets_.empty()) buckets_.resize(kBucketCount);
+  Bucket& b = buckets_[bucket_index(sample)];
+  b.n += 1;
+  b.sum += sample;
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  count_ += 1;
   sum_ += sample;
   sum_sq_ += sample * sample;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].n += other.buckets_[i].n;
+    buckets_[i].sum += other.buckets_[i].sum;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 double Histogram::min() const {
-  if (samples_.empty()) throw std::logic_error("Histogram::min on empty histogram");
-  return *std::min_element(samples_.begin(), samples_.end());
+  if (count_ == 0) throw std::logic_error("Histogram::min on empty histogram");
+  return min_;
 }
 
 double Histogram::max() const {
-  if (samples_.empty()) throw std::logic_error("Histogram::max on empty histogram");
-  return *std::max_element(samples_.begin(), samples_.end());
+  if (count_ == 0) throw std::logic_error("Histogram::max on empty histogram");
+  return max_;
 }
 
 double Histogram::mean() const {
-  if (samples_.empty()) throw std::logic_error("Histogram::mean on empty histogram");
-  return sum_ / static_cast<double>(samples_.size());
+  if (count_ == 0) throw std::logic_error("Histogram::mean on empty histogram");
+  return sum_ / static_cast<double>(count_);
 }
 
 double Histogram::stddev() const {
-  if (samples_.size() < 2) return 0.0;
-  const double n = static_cast<double>(samples_.size());
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
   const double m = sum_ / n;
   const double var = std::max(0.0, sum_sq_ / n - m * m);
   return std::sqrt(var);
 }
 
 double Histogram::percentile(double q) const {
-  if (samples_.empty()) throw std::logic_error("Histogram::percentile on empty histogram");
+  if (count_ == 0) throw std::logic_error("Histogram::percentile on empty histogram");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of [0,1]");
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1) + 0.5);
+  if (rank == 0) return min_;
+  if (rank >= count_ - 1) return max_;
+  std::uint64_t seen = 0;
+  for (const Bucket& b : buckets_) {
+    seen += b.n;
+    if (seen > rank) {
+      const double rep = b.sum / static_cast<double>(b.n);
+      return std::clamp(rep, min_, max_);
+    }
   }
-  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[std::min(rank, samples_.size() - 1)];
+  return max_;  // unreachable: ranks are < count_
 }
 
 std::int64_t Metrics::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::int64_t Metrics::counter_prefix_sum(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::int64_t total = 0;
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -63,6 +112,7 @@ std::int64_t Metrics::counter_prefix_sum(const std::string& prefix) const {
 
 std::vector<std::pair<std::string, std::int64_t>> Metrics::counters_with_prefix(
     const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -71,12 +121,21 @@ std::vector<std::pair<std::string, std::int64_t>> Metrics::counters_with_prefix(
   return out;
 }
 
-const Histogram& Metrics::histogram(const std::string& name) const {
+Histogram Metrics::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     throw std::out_of_range("no histogram named '" + name + "'");
   }
   return it->second;
+}
+
+std::vector<std::pair<std::string, Histogram>> Metrics::all_histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h);
+  return out;
 }
 
 }  // namespace mcp::util

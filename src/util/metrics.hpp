@@ -2,39 +2,80 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mcp::util {
 
-/// Online summary of a stream of samples (latencies, sizes, ...).
+/// Online summary of a stream of samples (latencies, sizes, ...) with a
+/// bounded footprint: samples land in fixed log-spaced buckets (32
+/// sub-buckets per octave) instead of an ever-growing vector, so a
+/// histogram fed by a week-long run costs the same memory as one fed by a
+/// bench loop. Each bucket keeps a count AND a sum, so the percentile
+/// representative is the mean of the samples that actually landed there —
+/// exact when a bucket holds one distinct value (the common case for
+/// tick-valued sim latencies) and within one bucket width (~2.2%)
+/// otherwise. min/max/mean/stddev are tracked exactly as scalars.
 class Histogram {
  public:
   void add(double sample);
+  /// Fold another histogram into this one (bucket-wise; exact scalars).
+  void merge(const Histogram& other);
 
-  std::size_t count() const { return samples_.size(); }
+  std::size_t count() const { return static_cast<std::size_t>(count_); }
   double min() const;
   double max() const;
   double mean() const;
   double stddev() const;
-  /// q in [0, 1]; nearest-rank percentile over the recorded samples.
+  double sum() const { return sum_; }
+  /// q in [0, 1]; nearest-rank percentile. q=0 / q=1 return the exact
+  /// min / max; interior ranks resolve to their bucket's sample mean.
   double percentile(double q) const;
-  const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  // Bucket layout: index 0 catches underflow (zero, negatives, tiny
+  // values below 2^kMinExp); then kSubBuckets linear sub-buckets per
+  // power-of-two exponent in [kMinExp, kMaxExp]. 85 octaves cover
+  // ~1e-6 .. 1e19 — microseconds through wire bytes with room to spare.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 64;
+  static constexpr std::size_t kSubBuckets = 32;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1) * kSubBuckets + 1;
+  static std::size_t bucket_index(double v);
+
+  struct Bucket {
+    std::uint64_t n = 0;
+    double sum = 0.0;
+  };
+  std::vector<Bucket> buckets_;  // sized kBucketCount on first add
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
 };
 
-/// Named counters + histograms shared by a simulation run.
+/// Named counters + histograms shared by a simulation run or a live node.
 ///
 /// Counters use hierarchical dotted names ("acceptor.2.disk_writes") so
-/// benches can aggregate by prefix.
+/// benches can aggregate by prefix. All accessors are safe for concurrent
+/// callers: on a live node the loop thread, the transport reactor, and an
+/// admin scrape all touch the same registry, so both maps sit behind a
+/// mutex. Reads return snapshots (by value), never references into the
+/// guarded maps.
 class Metrics {
  public:
-  void incr(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void incr(const std::string& name, std::int64_t by = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += by;
+  }
   std::int64_t counter(const std::string& name) const;
   /// Sum of all counters whose name starts with `prefix`.
   std::int64_t counter_prefix_sum(const std::string& prefix) const;
@@ -42,20 +83,32 @@ class Metrics {
   std::vector<std::pair<std::string, std::int64_t>> counters_with_prefix(
       const std::string& prefix) const;
 
-  void sample(const std::string& name, double value) { histograms_[name].add(value); }
-  const Histogram& histogram(const std::string& name) const;
+  void sample(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histograms_[name].add(value);
+  }
+  /// Snapshot of the named histogram; throws std::out_of_range when absent.
+  Histogram histogram(const std::string& name) const;
   bool has_histogram(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return histograms_.count(name) != 0;
   }
+  /// Snapshot of every histogram, in name order (for exposition).
+  std::vector<std::pair<std::string, Histogram>> all_histograms() const;
 
   void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     histograms_.clear();
   }
 
-  const std::map<std::string, std::int64_t>& all_counters() const { return counters_; }
+  std::map<std::string, std::int64_t> all_counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, Histogram> histograms_;
 };

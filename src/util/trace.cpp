@@ -1,0 +1,153 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace mcp::util {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Stage name for the slice ENDING at point `p` (the time since the
+/// previous span point is attributed to the work that produced `p`).
+const char* stage_ending_at(TracePoint p) {
+  switch (p) {
+    case TracePoint::kBatchFlush: return "batch_wait";
+    case TracePoint::kCoord2a: return "ship_2a";
+    case TracePoint::kAcceptorVote: return "vote_2b";
+    case TracePoint::kLearned: return "quorum_wait";
+    case TracePoint::kApplied: return "apply";
+    case TracePoint::kReplySent: return "reply";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+const char* trace_point_name(TracePoint p) {
+  switch (p) {
+    case TracePoint::kClientRecv: return "client_recv";
+    case TracePoint::kBatchFlush: return "batch_flush";
+    case TracePoint::kCoord2a: return "coord_2a";
+    case TracePoint::kAcceptorVote: return "acceptor_vote";
+    case TracePoint::kLearned: return "learned";
+    case TracePoint::kApplied: return "applied";
+    case TracePoint::kReplySent: return "reply_sent";
+    case TracePoint::kSlowOp: return "slow_op";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)) {
+  mask_ = slots_.size() - 1;
+}
+
+void TraceRecorder::record(const TraceEvent& e) {
+  if (!enabled()) return;
+  const std::uint64_t claim = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[claim & mask_];
+  // Invalidate first so a reader never pairs the old ticket with new
+  // fields, then publish the new ticket after the fields are in place.
+  s.ticket.store(0, std::memory_order_release);
+  s.trace_id.store(e.trace_id, std::memory_order_relaxed);
+  s.ts_us.store(e.ts_us, std::memory_order_relaxed);
+  const std::uint64_t meta =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.node)) << 32) |
+      (static_cast<std::uint64_t>(e.group & 0xFFFFFFu) << 8) |
+      static_cast<std::uint64_t>(e.point);
+  s.meta.store(meta, std::memory_order_relaxed);
+  s.arg.store(e.arg, std::memory_order_relaxed);
+  s.ticket.store(claim + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t start = head > cap ? head - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(head - start));
+  for (std::uint64_t i = start; i < head; ++i) {
+    const Slot& s = slots_[i & mask_];
+    if (s.ticket.load(std::memory_order_acquire) != i + 1) continue;
+    TraceEvent e;
+    e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    e.ts_us = s.ts_us.load(std::memory_order_relaxed);
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    // A writer may have lapped us mid-copy; the ticket re-check rejects
+    // the (atomically read, but mixed-generation) fields in that case.
+    if (s.ticket.load(std::memory_order_acquire) != i + 1) continue;
+    e.node = static_cast<std::int32_t>(meta >> 32);
+    e.group = static_cast<std::uint32_t>((meta >> 8) & 0xFFFFFFu);
+    e.point = static_cast<TracePoint>(meta & 0xFFu);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::perfetto_json(const std::vector<TraceEvent>& events) {
+  // Each sampled trace gets its own thread track under one "pipeline"
+  // process, so the receive -> reply slices of a command tile one row
+  // with no gaps; node/group ride along as args.
+  std::vector<TraceEvent> sorted = events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return static_cast<int>(a.point) < static_cast<int>(b.point);
+            });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"mcpaxos pipeline\"}}";
+
+  std::map<std::uint64_t, int> tids;  // trace id -> compact thread id
+  auto tid_of = [&](std::uint64_t trace_id) {
+    auto it = tids.find(trace_id);
+    if (it != tids.end()) return it->second;
+    const int tid = static_cast<int>(tids.size()) + 1;
+    tids.emplace(trace_id, tid);
+    char name[64];
+    std::snprintf(name, sizeof(name), "trace %llx",
+                  static_cast<unsigned long long>(trace_id));
+    out << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+    return tid;
+  };
+
+  auto emit_common = [&](const TraceEvent& e, int tid) {
+    out << "\"pid\":1,\"tid\":" << tid << ",\"args\":{\"node\":" << e.node
+        << ",\"group\":" << e.group << ",\"arg\":" << e.arg << "}}";
+  };
+
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    const int tid = e.trace_id == 0 ? 0 : tid_of(e.trace_id);
+    // Slice from the previous span point of the same trace to this one.
+    if (e.trace_id != 0 && i > 0 && sorted[i - 1].trace_id == e.trace_id) {
+      if (const char* stage = stage_ending_at(e.point)) {
+        const TraceEvent& prev = sorted[i - 1];
+        const std::uint64_t dur = e.ts_us >= prev.ts_us ? e.ts_us - prev.ts_us : 0;
+        out << ",\n{\"ph\":\"X\",\"name\":\"" << stage
+            << "\",\"ts\":" << prev.ts_us << ",\"dur\":" << dur << ",";
+        emit_common(e, tid);
+      }
+    }
+    out << ",\n{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << trace_point_name(e.point)
+        << "\",\"ts\":" << e.ts_us << ",";
+    emit_common(e, tid);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace mcp::util

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcp::util {
+
+/// Pipeline span points a traced command passes through, in causal order.
+/// The frontend marks the client-facing edges; the consensus roles mark
+/// the protocol interior. Stage names in the Perfetto export derive from
+/// consecutive pairs of these points.
+enum class TracePoint : std::uint8_t {
+  kClientRecv = 0,   // frontend accepted the client request
+  kBatchFlush = 1,   // frontend shipped the batch (MsgProposeBatch)
+  kCoord2a = 2,      // coordinator folded the batch into a 2a
+  kAcceptorVote = 3, // acceptor persisted + voted 2b covering the command
+  kLearned = 4,      // frontend's learner reached a quorum on the command
+  kApplied = 5,      // replica applied the command to the state machine
+  kReplySent = 6,    // frontend sent MsgClientReply
+  kSlowOp = 7,       // end-to-end latency crossed the slow-op threshold
+};
+
+const char* trace_point_name(TracePoint p);
+
+/// One timestamped event on the trace ring.
+struct TraceEvent {
+  std::uint64_t trace_id = 0;  // nonzero for sampled commands
+  std::uint64_t ts_us = 0;     // host trace clock (us live, ticks in sim)
+  std::int64_t node = 0;       // process id that recorded the event
+  std::uint32_t group = 0;     // consensus group the command belongs to
+  TracePoint point = TracePoint::kClientRecv;
+  std::uint64_t arg = 0;       // point-specific detail (batch size, us, ...)
+};
+
+/// Bounded ring of trace events, written lock-free from any thread.
+///
+/// Writers claim a slot with one fetch_add and publish it with a release
+/// store of the slot's ticket; every field is an atomic, so a reader that
+/// races an overwrite sees a ticket mismatch and skips the slot instead
+/// of reading torn data. Old events are silently overwritten — the ring
+/// holds the most recent `capacity()` events, which is the point: a node
+/// that has been up for a week still answers "what just happened".
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  /// Recording gate, checked (relaxed) before any work: tracing is off by
+  /// default so untraced runs pay one predictable branch per span point.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return slots_.size(); }
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Record an event; no-op when disabled. Safe from any thread.
+  void record(const TraceEvent& e);
+
+  /// Copy the surviving events oldest -> newest. Events being overwritten
+  /// concurrently are skipped, not torn.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Render events as chrome://tracing (Perfetto "JSON Array") text:
+  /// per-trace complete slices between consecutive span points (so a
+  /// sampled command's receive -> reply timeline tiles with no gaps),
+  /// plus instant markers for every point and process-name metadata.
+  static std::string perfetto_json(const std::vector<TraceEvent>& events);
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> ticket{0};  // claim index + 1; 0 = empty
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> meta{0};  // node(32) | group(24) | point(8)
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> head_{0};
+  std::size_t mask_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mcp::util

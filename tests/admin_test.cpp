@@ -1,0 +1,185 @@
+// The admin/metrics endpoint: the Prometheus exposition format itself,
+// and a live TCP service cluster scraped over a real socket — /metrics
+// families, /healthz group/leader lines, 404/405 handling — while client
+// traffic is in flight. Suite named AdminEndpoint so the ThreadSanitizer
+// CI job picks it up next to the transport suites (the scrape races the
+// node loop and the reactor by design).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "runtime/admin.hpp"
+#include "runtime/kv_cluster.hpp"
+#include "runtime/node.hpp"
+#include "service/client.hpp"
+#include "transport/tcp_transport.hpp"
+#include "util/exposition.hpp"
+#include "util/metrics.hpp"
+
+namespace mcp {
+namespace {
+
+TEST(AdminExposition, NamesMapOntoThePrometheusGrammar) {
+  EXPECT_EQ(util::prometheus_name("svc.replies"), "mcp_svc_replies");
+  EXPECT_EQ(util::prometheus_name("g0.svc.lat.consensus"),
+            "mcp_g0_svc_lat_consensus");
+  EXPECT_EQ(util::prometheus_name("net.bytes-sent/total"),
+            "mcp_net_bytes_sent_total");
+}
+
+TEST(AdminExposition, RendersCountersAndSummaries) {
+  util::Metrics metrics;
+  metrics.incr("svc.replies", 42);
+  for (int i = 1; i <= 100; ++i) metrics.sample("svc.lat.reply", i);
+
+  const std::string text = util::prometheus_exposition(metrics);
+  EXPECT_NE(text.find("# TYPE mcp_svc_replies counter"), std::string::npos);
+  EXPECT_NE(text.find("mcp_svc_replies 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mcp_svc_lat_reply summary"), std::string::npos);
+  for (const char* q : {"quantile=\"0.5\"", "quantile=\"0.9\"", "quantile=\"0.99\""}) {
+    EXPECT_NE(text.find(q), std::string::npos) << q;
+  }
+  EXPECT_NE(text.find("mcp_svc_lat_reply_count 100"), std::string::npos);
+  EXPECT_NE(text.find("mcp_svc_lat_reply_sum 5050"), std::string::npos);
+  EXPECT_NE(text.find("mcp_svc_lat_reply_min 1"), std::string::npos);
+  EXPECT_NE(text.find("mcp_svc_lat_reply_max 100"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value" — two tokens.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "exposition must end with a newline";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 1) << line;
+  }
+}
+
+/// Blocking HTTP/1.0 GET against the admin port: send the request, read to
+/// EOF (the server closes after the response — Connection: close).
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to admin port " << port << ": " << std::strerror(errno);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(AdminEndpoint, ScrapesLiveTcpCluster) {
+  runtime::KvShape shape;
+  shape.frontend.batch_size = 8;
+  shape.frontend.batch_delay = 2;
+  runtime::ClusterOptions options;
+  options.backend = runtime::Backend::kTcp;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+
+  // The admin listener must exist before the reactor runs; port 0 asks the
+  // kernel for an ephemeral one.
+  const sim::NodeId server_id = cluster.server_ids().front();
+  const std::uint16_t admin_port = runtime::install_admin(
+      cluster.server_node(0), *cluster.cluster().tcp_transport(server_id), 0);
+  ASSERT_NE(admin_port, 0);
+  cluster.start();
+
+  service::Client::Options copt;
+  copt.client_id = 0x5CA;
+  copt.servers = cluster.server_ids();
+  copt.attempt_timeout = std::chrono::milliseconds(400);
+  service::Client client(cluster.make_channel(cluster.client_endpoint_id(0)), copt);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.put("adm" + std::to_string(i), "v").ok);
+  }
+
+  // /metrics: a Prometheus page with the service + transport families the
+  // CI smoke job requires.
+  const std::string metrics = http_get(admin_port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain"), std::string::npos);
+  for (const char* family :
+       {"# TYPE mcp_svc_replies counter", "mcp_net_bytes_sent",
+        "mcp_svc_lat_reply", "mcp_svc_lat_consensus"}) {
+    EXPECT_NE(metrics.find(family), std::string::npos)
+        << "missing " << family << " in:\n" << metrics;
+  }
+
+  // /healthz: node line + one line per consensus group with a leader hint.
+  const std::string health = http_get(admin_port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("node " + std::to_string(server_id) + " running=1"),
+            std::string::npos)
+      << health;
+  EXPECT_NE(health.find("group 0 role=server"), std::string::npos) << health;
+  EXPECT_NE(health.find("incarnation="), std::string::npos);
+  // A query string is stripped before path dispatch.
+  EXPECT_NE(http_get(admin_port, "/healthz?verbose=1").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+
+  // Unknown path -> 404; non-GET -> 405. Either way the connection closes
+  // cleanly and the next scrape still works.
+  EXPECT_NE(http_get(admin_port, "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_request(admin_port, "POST /metrics HTTP/1.0\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_NE(http_get(admin_port, "/metrics").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+
+  // The scrape path is read-only: the service still serves afterwards.
+  const auto got = client.get("adm0");
+  ASSERT_TRUE(got.ok);
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, "v");
+  cluster.stop();
+}
+
+TEST(AdminEndpoint, EnableAfterStartThrows) {
+  runtime::KvShape shape;
+  shape.servers = 1;
+  runtime::ClusterOptions options;
+  options.backend = runtime::Backend::kTcp;
+  options.tick = std::chrono::microseconds(200);
+  runtime::KvServiceCluster cluster(shape, options);
+  cluster.start();
+  auto* tcp = cluster.cluster().tcp_transport(cluster.server_ids().front());
+  EXPECT_THROW(tcp->enable_admin(0, [](const std::string&) {
+                 return std::optional<std::string>{};
+               }),
+               std::logic_error);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace mcp

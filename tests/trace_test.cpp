@@ -1,0 +1,367 @@
+// End-to-end command tracing: the TraceRecorder ring's overwrite and
+// concurrency contract, the optional trace-id wire fields (byte-compatible
+// with the pre-tracing encodings when unsampled), the Perfetto export, and
+// a simulated pipeline producing receive -> reply spans plus the stage
+// histograms and slow-op log.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <any>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cstruct/history.hpp"
+#include "genpaxos/engine.hpp"
+#include "paxos/round_config.hpp"
+#include "service/frontend.hpp"
+#include "service/messages.hpp"
+#include "service/sim_client.hpp"
+#include "sim/simulation.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace mcp;
+using util::TraceEvent;
+using util::TracePoint;
+using util::TraceRecorder;
+
+TraceEvent event(std::uint64_t trace_id, std::uint64_t ts,
+                 TracePoint p = TracePoint::kClientRecv) {
+  return TraceEvent{trace_id, ts, /*node=*/4, /*group=*/0, p, /*arg=*/0};
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder rec(16);
+  EXPECT_FALSE(rec.enabled());
+  rec.record(event(1, 10));
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(TraceRecorder(1).capacity(), 2u);  // floor of 2
+  EXPECT_EQ(TraceRecorder(12).capacity(), 16u);
+  EXPECT_EQ(TraceRecorder(64).capacity(), 64u);
+}
+
+TEST(TraceRecorder, RingOverwriteKeepsNewest) {
+  TraceRecorder rec(8);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 1; i <= 20; ++i) rec.record(event(i, i));
+  EXPECT_EQ(rec.recorded(), 20u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Exactly the newest 8 survive, oldest -> newest.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].trace_id, 13 + i);
+    EXPECT_EQ(events[i].ts_us, 13 + i);
+  }
+}
+
+TEST(TraceRecorder, EventFieldsSurviveTheRing) {
+  TraceRecorder rec(8);
+  rec.set_enabled(true);
+  rec.record(TraceEvent{0xABCDEF12345ull, 777, /*node=*/42, /*group=*/3,
+                        TracePoint::kAcceptorVote, /*arg=*/99});
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0xABCDEF12345ull);
+  EXPECT_EQ(events[0].ts_us, 777u);
+  EXPECT_EQ(events[0].node, 42);
+  EXPECT_EQ(events[0].group, 3u);
+  EXPECT_EQ(events[0].point, TracePoint::kAcceptorVote);
+  EXPECT_EQ(events[0].arg, 99u);
+}
+
+/// Writers on several threads racing a snapshotting reader: nothing tears
+/// (every surviving event is one that was actually written) and the ring
+/// ends at capacity. Run under TSan in CI.
+TEST(TraceRecorder, ConcurrentWritersAndReaderAreSafe) {
+  TraceRecorder rec(64);
+  rec.set_enabled(true);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const TraceEvent& e : rec.snapshot()) {
+        // trace_id and ts_us were written as (w*kPerWriter + i) and i:
+        // a torn slot would break the relation.
+        ASSERT_EQ(e.trace_id % kPerWriter, e.ts_us);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        rec.record(event(static_cast<std::uint64_t>(w) * kPerWriter + i, i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(rec.recorded(), kWriters * kPerWriter);
+  EXPECT_EQ(rec.snapshot().size(), rec.capacity());
+}
+
+TEST(TraceRecorder, PerfettoJsonHasSlicesAndMetadata) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{5, 10, 4, 0, TracePoint::kClientRecv, 1});
+  events.push_back(TraceEvent{5, 14, 4, 0, TracePoint::kBatchFlush, 8});
+  events.push_back(TraceEvent{5, 30, 4, 0, TracePoint::kReplySent, 20});
+  const std::string json = TraceRecorder::perfetto_json(events);
+  // Structural shape chrome://tracing requires.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete slices
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instants
+  // Stage naming: the slice between consecutive points takes the name of
+  // the stage ENDING at the later point.
+  EXPECT_NE(json.find("\"batch_wait\""), std::string::npos);
+  // The receive -> reply pair with no interior points still tiles.
+  EXPECT_NE(json.find("\"client_recv\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --- wire compatibility -------------------------------------------------------
+
+template <typename M>
+M registry_round_trip(const wire::DecoderRegistry& reg, const M& m) {
+  const wire::Envelope env = wire::make_envelope(m);
+  const wire::Envelope back = wire::Envelope::decode(env.encode());
+  EXPECT_EQ(back.tag, M::kTag);
+  return std::any_cast<M>(reg.decode(back));
+}
+
+/// The message's payload bytes (the part the optional trailing varint
+/// extends); the envelope around it only re-lengths its size prefix.
+template <typename M>
+std::string payload_bytes(const M& m) {
+  wire::Writer w;
+  m.encode(w);
+  return w.take();
+}
+
+/// An unsampled batch must encode byte-identically to the pre-tracing
+/// format (no trailing field at all), and a sampled one must round-trip
+/// through the registry — which rejects trailing bytes, proving the
+/// optional varint is consumed exactly.
+TEST(TraceWire, ProposeBatchTraceIdIsOptionalAndExact) {
+  static const cstruct::KeyConflict kConflicts;
+  wire::DecoderRegistry reg;
+  genpaxos::register_wire_messages(reg, cstruct::History(&kConflicts));
+
+  genpaxos::MsgProposeBatch untraced;
+  untraced.commands.push_back(cstruct::make_write(7, "k", "v"));
+  genpaxos::MsgProposeBatch traced = untraced;
+  traced.trace_id = 0x1D;
+
+  const std::string u = payload_bytes(untraced);
+  const std::string t = payload_bytes(traced);
+  // The only byte difference is the appended one-byte varint: unsampled
+  // traffic is byte-identical to the previous release's encoding.
+  EXPECT_EQ(t.size(), u.size() + 1);
+  EXPECT_EQ(t.substr(0, u.size()), u);
+
+  const auto u2 = registry_round_trip(reg, untraced);
+  EXPECT_EQ(u2.trace_id, 0u);
+  ASSERT_EQ(u2.commands.size(), 1u);
+  EXPECT_EQ(u2.commands[0].id, 7u);
+  const auto t2 = registry_round_trip(reg, traced);
+  EXPECT_EQ(t2.trace_id, 0x1Du);
+}
+
+TEST(TraceWire, ClientReplyTraceIdIsOptionalAndExact) {
+  wire::DecoderRegistry reg;
+  service::register_client_messages(reg);
+
+  service::MsgClientReply untraced;
+  untraced.client_id = 9;
+  untraced.seq = 4;
+  untraced.found = true;
+  untraced.value = "v";
+  service::MsgClientReply traced = untraced;
+  traced.trace_id = 0x77;
+
+  const std::string u = payload_bytes(untraced);
+  const std::string t = payload_bytes(traced);
+  EXPECT_EQ(t.size(), u.size() + 1);
+  EXPECT_EQ(t.substr(0, u.size()), u);
+
+  EXPECT_EQ(registry_round_trip(reg, untraced).trace_id, 0u);
+  const auto t2 = registry_round_trip(reg, traced);
+  EXPECT_EQ(t2.trace_id, 0x77u);
+  EXPECT_EQ(t2.value, "v");
+}
+
+// --- simulated pipeline -------------------------------------------------------
+
+struct TracedSim {
+  static constexpr int kOps = 24;
+  cstruct::KeyConflict conflicts;
+  sim::Simulation sim;
+  std::unique_ptr<paxos::RoundPolicy> policy;
+  genpaxos::Config<cstruct::History> config;
+  service::Frontend* frontend = nullptr;
+  service::SimClient* client = nullptr;
+
+  explicit TracedSim(service::Frontend::Options fopt)
+      : sim(/*seed=*/11, [] {
+          sim::NetworkConfig net;
+          net.min_delay = 1;
+          net.max_delay = 4;
+          return net;
+        }()) {
+    config.acceptors = {1, 2, 3};
+    config.learners = {4};
+    config.proposers = {4};
+    config.f = 1;
+    config.bottom = cstruct::History(&conflicts);
+    policy = paxos::PatternPolicy::always_single({0});
+    config.policy = policy.get();
+    sim.make_process<genpaxos::GenCoordinator<cstruct::History>>(config);
+    for (int i = 0; i < 3; ++i) {
+      sim.make_process<genpaxos::GenAcceptor<cstruct::History>>(config);
+    }
+    frontend = &sim.make_process<service::Frontend>(config, fopt);
+    service::SimClient::Options copt;
+    copt.client_id = 100;
+    copt.server = 4;
+    copt.ops = kOps;
+    client = &sim.make_process<service::SimClient>(copt);
+  }
+
+  bool run() {
+    return sim.run_until([&] { return client->done(); }, 1'000'000);
+  }
+};
+
+/// With every request sampled, a traced command leaves span events at both
+/// client-facing edges and through the consensus interior — receive,
+/// flush, 2a, vote, learned, applied, reply — and the Perfetto export of
+/// the run loads as slices.
+TEST(TracePipeline, SimSpansCoverReceiveToReply) {
+  service::Frontend::Options fopt;
+  fopt.batch_size = 4;
+  fopt.batch_delay = 3;
+  fopt.trace_sample_every = 1;
+  TracedSim s(fopt);
+  s.sim.trace().set_enabled(true);
+  ASSERT_TRUE(s.run());
+
+  const auto events = s.sim.trace().snapshot();
+  ASSERT_FALSE(events.empty());
+  // Pick a trace id that has a kClientRecv event and collect its points.
+  std::set<TracePoint> points;
+  std::uint64_t picked = 0;
+  for (const TraceEvent& e : events) {
+    if (e.point == TracePoint::kClientRecv) picked = e.trace_id;
+  }
+  ASSERT_NE(picked, 0u);
+  std::uint64_t prev_ts = 0;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != picked) continue;
+    points.insert(e.point);
+    EXPECT_GE(e.ts_us, prev_ts) << "span points out of causal order";
+    prev_ts = e.ts_us;
+  }
+  for (const TracePoint p :
+       {TracePoint::kClientRecv, TracePoint::kBatchFlush, TracePoint::kCoord2a,
+        TracePoint::kAcceptorVote, TracePoint::kLearned, TracePoint::kApplied,
+        TracePoint::kReplySent}) {
+    EXPECT_TRUE(points.count(p))
+        << "missing span point " << util::trace_point_name(p);
+  }
+  // The whole run renders: interior stages show up as named slices.
+  const std::string json = TraceRecorder::perfetto_json(events);
+  EXPECT_NE(json.find("\"quorum_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"vote_2b\""), std::string::npos);
+  EXPECT_NE(json.find("\"reply\""), std::string::npos);
+
+  // The traced reply carries the id back to the client.
+  EXPECT_GT(s.client->traced_replies(), 0u);
+}
+
+/// Sampling off (the default): zero trace events, zero trace ids on the
+/// wire — but the stage histograms still populate (they are metrics, not
+/// traces).
+TEST(TracePipeline, UnsampledRunRecordsNoEventsButKeepsStageHistograms) {
+  service::Frontend::Options fopt;
+  fopt.batch_size = 4;
+  fopt.batch_delay = 3;
+  TracedSim s(fopt);
+  ASSERT_TRUE(s.run());
+  EXPECT_EQ(s.sim.trace().recorded(), 0u);
+  EXPECT_EQ(s.client->traced_replies(), 0u);
+
+  const auto hists = s.sim.metrics().all_histograms();
+  for (const char* name : {"svc.lat.batch_wait", "svc.lat.consensus",
+                           "svc.lat.apply", "svc.lat.reply"}) {
+    bool found = false;
+    for (const auto& [n, h] : hists) {
+      if (n == name) {
+        found = true;
+        EXPECT_EQ(h.count(), static_cast<std::size_t>(TracedSim::kOps)) << n;
+      }
+    }
+    EXPECT_TRUE(found) << "missing stage histogram " << name;
+  }
+  // Per-group consensus latency rides its own family.
+  bool per_group = false;
+  for (const auto& [n, h] : hists) per_group |= n == "g0.svc.lat.consensus";
+  EXPECT_TRUE(per_group);
+}
+
+/// A threshold of one tick marks every command slow: the counter, the
+/// bounded log (newest kept), and the trace point all fire.
+TEST(SlowOps, ThresholdTriggersCounterAndBoundedLog) {
+  service::Frontend::Options fopt;
+  fopt.batch_size = 4;
+  fopt.batch_delay = 3;
+  fopt.slow_op_threshold = 1;
+  TracedSim s(fopt);
+  ASSERT_TRUE(s.run());
+
+  const auto& slow = s.frontend->slow_ops();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_LE(slow.size(), 64u);
+  EXPECT_EQ(s.sim.metrics().counter("svc.slow_ops"),
+            static_cast<std::int64_t>(TracedSim::kOps));
+  for (const auto& op : slow) {
+    EXPECT_EQ(op.client_id, 100u);
+    EXPECT_GE(op.total, 1);
+    EXPECT_FALSE(op.key.empty());
+  }
+  // Entries arrive oldest -> newest.
+  for (std::size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i].seq, slow[i - 1].seq);
+  }
+}
+
+TEST(SlowOps, BelowThresholdLogsNothing) {
+  service::Frontend::Options fopt;
+  fopt.batch_size = 1;
+  fopt.batch_delay = 0;
+  fopt.slow_op_threshold = 1'000'000;  // far above any sim latency
+  TracedSim s(fopt);
+  ASSERT_TRUE(s.run());
+  EXPECT_TRUE(s.frontend->slow_ops().empty());
+  EXPECT_EQ(s.sim.metrics().counter("svc.slow_ops"), 0);
+}
+
+}  // namespace

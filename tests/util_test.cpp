@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -133,6 +139,110 @@ TEST(Metrics, HistogramAccess) {
   EXPECT_THROW(m.histogram("nope"), std::out_of_range);
   EXPECT_TRUE(m.has_histogram("lat"));
   EXPECT_FALSE(m.has_histogram("nope"));
+}
+
+TEST(Histogram, BoundedFootprintAtScale) {
+  // The log-bucket design is the point: 200k samples across six decades
+  // land in fixed storage, with exact scalar stats and percentiles within
+  // one bucket width. (The old vector-of-samples design this replaced grew
+  // by 8 bytes per add.)
+  Histogram h;
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    // Log-uniform over [1, 1e6): every octave gets traffic.
+    const double v = std::exp(rng.uniform01() * std::log(1e6));
+    h.add(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), static_cast<std::size_t>(kSamples));
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_GE(h.min(), 1.0);
+  EXPECT_LT(h.max(), 1e6);
+  // Log-uniform percentiles are exp(q * ln(1e6)); 32 sub-buckets per
+  // octave keep the representative within ~2.2%, so 3% relative slack.
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double expected = std::exp(q * std::log(1e6));
+    EXPECT_NEAR(h.percentile(q), expected, expected * 0.03) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedDistribution) {
+  Histogram a, b, combined;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_NEAR(a.stddev(), combined.stddev(), 1e-9);
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.max(), 7.0);
+}
+
+TEST(Histogram, UnderflowBucketCatchesZeroAndNegatives) {
+  Histogram h;
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
+/// Concurrent writers and readers on one registry: the exact contract the
+/// live node relies on (loop thread samples, reactor counts bytes, an
+/// admin scrape snapshots everything). Run under TSan in CI.
+TEST(MetricsThreaded, ConcurrentWritersAndScrapersAreSafe) {
+  Metrics m;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      (void)m.all_counters();
+      for (const auto& [name, hist] : m.all_histograms()) {
+        if (hist.count() > 0) (void)hist.percentile(0.9);
+      }
+      (void)m.counter_prefix_sum("t");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&m, t] {
+      const std::string counter = "t" + std::to_string(t) + ".ops";
+      for (int i = 0; i < kPerThread; ++i) {
+        m.incr(counter);
+        m.incr("shared.ops");
+        m.sample("shared.lat", static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(m.counter("shared.ops"), kThreads * kPerThread);
+  EXPECT_EQ(m.counter_prefix_sum("t"), kThreads * kPerThread);
+  EXPECT_EQ(m.histogram("shared.lat").count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
 }
 
 }  // namespace
