@@ -12,6 +12,12 @@
 //
 //   $ ./bench_chaos [--scenario smoke|<path>] [--backend thread|tcp]
 //                   [--data-dir DIR] [--seed N] [--json]
+//                   [--bundle-dir DIR]
+//
+// --bundle-dir captures a post-mortem bundle (per-node flight-recorder
+// journals + metrics + traces + manifest) there after the run — always,
+// not only on failure — so CI can archive it and gate on
+// `mcpaxos_inspect --json <dir>` reporting zero invariant violations.
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   std::string scenario_arg = "smoke";
   std::string backend_arg = "thread";
   std::string data_dir;
+  std::string bundle_dir;
   std::uint64_t seed = 7;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -60,6 +67,7 @@ int main(int argc, char** argv) {
     if (a == "--scenario") scenario_arg = next();
     else if (a == "--backend") backend_arg = next();
     else if (a == "--data-dir") data_dir = next();
+    else if (a == "--bundle-dir") bundle_dir = next();
     else if (a == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
     // --json is consumed by bench::Report.
   }
@@ -100,8 +108,17 @@ int main(int argc, char** argv) {
   // hit in-flight operations.
   wopt.op_delay =
       std::chrono::milliseconds(scenario.duration_ms / wopt.ops_per_client);
+  wopt.incident_dir = bundle_dir;
+  wopt.scenario_name = scenario.name;
   const chaos::WorkloadReport run =
       chaos::run_chaos_workload(cluster, nemesis, wopt);
+
+  // With --bundle-dir a bundle is captured even on success: CI archives it
+  // and runs mcpaxos_inspect over it as an independent safety gate. (On
+  // failure the workload already captured it, at the moment of failure.)
+  if (!bundle_dir.empty() && run.incident_bundle.empty()) {
+    cluster.capture_incident(bundle_dir, scenario.name);
+  }
 
   // E10-live: per-node recovery accounting while the cluster is still up.
   std::int64_t replayed_max = 0;

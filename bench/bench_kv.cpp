@@ -35,7 +35,7 @@
 //
 //   $ ./bench_kv [--json] [--groups N]
 //   $ ./bench_kv --rate 500 --duration 5 [--clients 8] [--backend tcp]
-//                [--groups N]
+//                [--groups N] [--journal DIR]
 
 #include <atomic>
 #include <chrono>
@@ -405,6 +405,11 @@ struct OpenRow {
 /// t+2C, ...). An op's latency runs from its scheduled arrival, so time an
 /// op spends waiting behind a slow predecessor in its worker counts
 /// against the service, exactly as a queueing client would experience it.
+/// --journal DIR: the open-loop clusters run the protocol flight recorder
+/// under DIR/<backend>/node<id>. Exists to price the recorder: the gated
+/// p50/p99 columns must not move when it is on.
+std::string g_journal_root;
+
 OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
                       int clients, int groups) {
   runtime::KvShape shape;
@@ -414,6 +419,10 @@ OpenRow run_open_loop(runtime::Backend backend, double rate, double duration_s,
   runtime::ClusterOptions options;
   options.backend = backend;
   options.tick = std::chrono::microseconds(200);
+  if (!g_journal_root.empty()) {
+    options.journal_root =
+        g_journal_root + "/" + runtime::backend_name(backend);
+  }
   runtime::KvServiceCluster cluster(shape, options);
   cluster.start();
 
@@ -542,6 +551,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flag_value(argc, argv, "--clients", 4));
   const int groups_flag = static_cast<int>(flag_value(argc, argv, "--groups", 0));
   const std::string backend_filter = flag_text(argc, argv, "--backend", "");
+  g_journal_root = flag_text(argc, argv, "--journal", "");
   // --groups N pins every group-aware table to N; default sweeps {1,2,4}.
   const std::vector<int> group_sweep =
       groups_flag > 0 ? std::vector<int>{groups_flag} : kGroupSweep;

@@ -1,0 +1,93 @@
+// Post-mortem auditor for protocol flight-recorder journals.
+//
+//   mcpaxos_inspect <bundle-or-journal-dir>... [--json] [--f N] [--e N]
+//
+// Each argument is either an incident bundle (a directory tree holding
+// per-node `journal-*.mcj` segments, e.g. what chaos capture or a node's
+// --journal-dir leaves behind) or a single node's journal directory. All
+// journals found are merged into one cluster timeline and replayed through
+// the ballot-array safety invariants (genpaxos::AuditorCore) plus the KV
+// exactly-once / conflicting-order checks.
+//
+// Exit status: 0 when no invariant is violated, 1 otherwise — with --json
+// the report is machine-readable and `"violations"` is the CI gate. A
+// rejected (corrupt) segment is reported but is not itself a violation:
+// the protocol did nothing wrong; the evidence merely has holes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit/inspect.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <bundle-or-journal-dir>... [--json] [--f N] [--e N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool json = false;
+  mcp::audit::InspectOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--f" && i + 1 < argc) {
+      options.f = std::atoi(argv[++i]);
+    } else if (arg == "--e" && i + 1 < argc) {
+      options.e = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // Merge journals across all roots; the first manifest found supplies
+  // quorum tolerances unless --f/--e override.
+  std::vector<std::string> dirs;
+  for (const std::string& root : roots) {
+    const auto manifest = mcp::audit::read_manifest(root);
+    if (options.f < 0) {
+      if (auto it = manifest.find("f"); it != manifest.end()) {
+        options.f = std::stoi(it->second);
+      }
+    }
+    if (options.e < 0) {
+      if (auto it = manifest.find("e"); it != manifest.end()) {
+        options.e = std::stoi(it->second);
+      }
+    }
+    for (std::string& d : mcp::audit::find_journal_dirs(root)) {
+      dirs.push_back(std::move(d));
+    }
+  }
+  if (dirs.empty()) {
+    std::cerr << "no journal-*.mcj segments found under:";
+    for (const std::string& root : roots) std::cerr << " " << root;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const mcp::audit::InspectReport report = mcp::audit::inspect(dirs, options);
+  std::cout << (json ? mcp::audit::render_json(report)
+                     : mcp::audit::render_text(report));
+  return report.ok() ? 0 : 1;
+}

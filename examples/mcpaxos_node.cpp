@@ -44,12 +44,19 @@
 // the node durable (fsync'd WAL + snapshots) so a restart over the same
 // directory recovers instead of starting fresh.
 //
-// Observability (docs/ARCHITECTURE.md §8): --admin-port serves /metrics
-// (Prometheus plaintext) and /healthz off the node's socket reactor;
-// --trace-dir samples commands end to end and writes
+// Observability (docs/ARCHITECTURE.md §8, docs/RUNBOOK.md): --admin-port
+// serves /metrics (Prometheus plaintext), /healthz, /trace (the live trace
+// ring) and /dump (flush the flight recorder) off the node's socket
+// reactor; --trace-dir samples commands end to end and writes
 // <dir>/trace-node<id>.json (Perfetto-loadable) on exit, --trace-sample
 // sets the every-Nth sampling rate, and --slow-op-us logs commands whose
 // receive->reply latency crosses the threshold.
+//
+// Forensics: --journal-dir runs the protocol flight recorder there
+// (defaults to <data-dir>/journal when --data-dir is set); a fatal signal
+// fsyncs the journal before the process dies — and on SIGTERM/SIGINT also
+// drops the trace ring next to it — so `mcpaxos_inspect` can audit what
+// the node did right up to the crash.
 //
 // No terminals to spare? `--demo [thread|tcp]` runs a whole loopback
 // cluster (1 coordinator / 3 acceptors / 1 learner / 1 proposer) of real
@@ -58,6 +65,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -77,6 +85,7 @@
 #include "runtime/gen_cluster.hpp"
 #include "runtime/node.hpp"
 #include "service/frontend.hpp"
+#include "storage/flight_recorder.hpp"
 #include "transport/tcp_transport.hpp"
 #include "util/trace.hpp"
 
@@ -116,7 +125,18 @@ struct Options {
   /// Log commands slower than this (receive -> reply) to the slow-op ring;
   /// converted to ticks with --tick-us. 0 = off.
   long slow_op_us = 0;
+  /// Protocol flight recorder directory. Empty defaults to
+  /// <data-dir>/journal when --data-dir is set; "none" disables even then.
+  std::string journal_dir;
 };
+
+/// Resolved journal directory ("" = journaling off).
+std::string journal_dir_of(const Options& opt) {
+  if (opt.journal_dir == "none") return "";
+  if (!opt.journal_dir.empty()) return opt.journal_dir;
+  if (!opt.data_dir.empty()) return opt.data_dir + "/journal";
+  return "";
+}
 
 std::unique_ptr<paxos::RoundPolicy> make_policy(const std::string& name,
                                                 std::vector<sim::NodeId> coords) {
@@ -142,6 +162,44 @@ void print_metrics(runtime::Node& node) {
   });
 }
 
+void dump_trace_to(const std::string& dir, const Options& opt,
+                   runtime::Node& node);
+
+/// Fatal-signal forensics. The recorder pointer is stable for the node's
+/// lifetime, so the handler can fsync the journal with one async-signal-safe
+/// call; everything else it might want (the trace ring) is NOT safe to
+/// touch under SIGSEGV/SIGABRT, so only the orderly kills (SIGTERM/SIGINT)
+/// also drop the trace ring — best effort, the process was about to exit
+/// anyway. The handler then re-raises with the default disposition so exit
+/// codes and core dumps behave normally.
+storage::FlightRecorder* g_signal_recorder = nullptr;
+runtime::Node* g_signal_node = nullptr;
+const Options* g_signal_options = nullptr;
+
+void fatal_signal_handler(int sig) {
+  if (g_signal_recorder != nullptr) g_signal_recorder->signal_flush();
+  if ((sig == SIGTERM || sig == SIGINT) && g_signal_node != nullptr &&
+      g_signal_options != nullptr) {
+    // Into the trace dir if one was given, else next to the journal — the
+    // incident bundle an operator (or mcpaxos_inspect) collects.
+    const Options& opt = *g_signal_options;
+    dump_trace_to(!opt.trace_dir.empty() ? opt.trace_dir : journal_dir_of(opt),
+                  opt, *g_signal_node);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_fatal_flush(const Options& opt, runtime::Node& node) {
+  if (node.flight_recorder() == nullptr) return;
+  g_signal_recorder = node.flight_recorder();
+  g_signal_node = &node;
+  g_signal_options = &opt;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGTERM, SIGINT}) {
+    std::signal(sig, fatal_signal_handler);
+  }
+}
+
 /// Observability knobs shared by both distributed modes: the admin
 /// endpoint must attach before the transport starts, the trace recorder
 /// before any span could record.
@@ -150,11 +208,15 @@ void setup_observability(const Options& opt, runtime::Node& node,
   if (opt.admin_port >= 0) {
     const std::uint16_t port = runtime::install_admin(
         node, transport, static_cast<std::uint16_t>(opt.admin_port));
-    std::printf("admin endpoint on port %u (/metrics, /healthz)\n",
+    std::printf("admin endpoint on port %u (/metrics, /healthz, /trace, /dump)\n",
                 unsigned{port});
   }
   if (!opt.trace_dir.empty() || opt.trace_sample > 0) {
     node.trace().set_enabled(true);
+  }
+  if (storage::FlightRecorder* recorder = node.flight_recorder()) {
+    std::printf("flight recorder journaling to %s\n", recorder->dir().c_str());
+    install_fatal_flush(opt, node);
   }
 }
 
@@ -171,13 +233,14 @@ void apply_trace_options(const Options& opt, service::Frontend::Options* fopt) {
   }
 }
 
-void dump_trace(const Options& opt, runtime::Node& node) {
-  if (opt.trace_dir.empty()) return;
+void dump_trace_to(const std::string& dir, const Options& opt,
+                   runtime::Node& node) {
+  if (dir.empty()) return;
   std::error_code ec;
-  std::filesystem::create_directories(opt.trace_dir, ec);
+  std::filesystem::create_directories(dir, ec);
   const std::vector<util::TraceEvent> events = node.trace().snapshot();
   const std::string path =
-      opt.trace_dir + "/trace-node" + std::to_string(opt.id) + ".json";
+      dir + "/trace-node" + std::to_string(opt.id) + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "mcpaxos_node: cannot write %s\n", path.c_str());
@@ -188,6 +251,10 @@ void dump_trace(const Options& opt, runtime::Node& node) {
   std::fclose(f);
   std::printf("wrote %zu trace events to %s (load in Perfetto / chrome://tracing)\n",
               events.size(), path.c_str());
+}
+
+void dump_trace(const Options& opt, runtime::Node& node) {
+  dump_trace_to(opt.trace_dir, opt, node);
 }
 
 void dump_slow_ops(runtime::Node& node, service::Frontend* frontend) {
@@ -279,6 +346,7 @@ int run_grouped_node(const Options& opt, const runtime::ClusterLayout& layout) {
   node_options.id = opt.id;
   node_options.tick = std::chrono::microseconds(opt.tick_us);
   node_options.data_dir = opt.data_dir;
+  node_options.journal_dir = journal_dir_of(opt);
   runtime::Node node(node_options, transport);
 
   auto in_group = [&](const Group& g) {
@@ -411,6 +479,7 @@ int run_node(const Options& opt, const std::vector<ClusterMember>& members, CS b
   node_options.id = opt.id;
   node_options.tick = std::chrono::microseconds(opt.tick_us);
   node_options.data_dir = opt.data_dir;
+  node_options.journal_dir = journal_dir_of(opt);
   runtime::Node node(node_options, transport);
 
   gp::GenProposer<CS>* proposer = nullptr;
@@ -566,6 +635,8 @@ Options parse_args(int argc, char** argv) {
       opt.data_dir = value();
     } else if (arg == "--admin-port") {
       opt.admin_port = std::stol(value());
+    } else if (arg == "--journal-dir") {
+      opt.journal_dir = value();
     } else if (arg == "--trace-dir") {
       opt.trace_dir = value();
     } else if (arg == "--trace-sample") {
@@ -595,7 +666,7 @@ int main(int argc, char** argv) {
                    "       [--serve] [--batch-size N] [--batch-delay TICKS] "
                    "[--data-dir DIR]\n"
                    "       [--admin-port P] [--trace-dir DIR] "
-                   "[--trace-sample N] [--slow-op-us U]\n"
+                   "[--trace-sample N] [--slow-op-us U] [--journal-dir DIR|none]\n"
                    "   or: mcpaxos_node --demo [thread|tcp] [--commands N]\n");
       return 2;
     }

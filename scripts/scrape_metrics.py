@@ -1,17 +1,32 @@
 #!/usr/bin/env python3
-"""Scrape a mcpaxos_node admin endpoint and sanity-check the exposition.
+"""Scrape mcpaxos_node admin endpoints and sanity-check the exposition.
 
-Usage:
+Single-node mode (original):
     scrape_metrics.py HOST:PORT [--path /metrics] [--require FAMILY ...]
                       [--out FILE] [--timeout SECONDS]
 
 Fetches the Prometheus-style plaintext the node serves on its --admin-port,
 parses it into metric families, and exits nonzero when a --require'd family
 is missing — the shape CI's smoke job depends on. With --out the raw body
-is also written to a file (artifact upload). Stdlib only.
+is also written to a file (artifact upload).
+
+Cluster mode:
+    scrape_metrics.py --all CLUSTER_FILE [--admin-base PORT]
+                      [--require FAMILY ...] [--out-dir DIR]
+                      [--max-skew N] [--timeout SECONDS]
+
+Reads every `node <id> <host> <port> <role>` line of the cluster file and
+scrapes each node's admin endpoint at <host>:(admin-base + id) — the
+convention the CI smoke job starts nodes with. Merges the metric families
+across nodes (per-family totals plus per-node breakdown), pulls /healthz
+from every node, and cross-checks the per-group consensus progress lines:
+if the learned-prefix length of some group diverges across its replicas by
+more than --max-skew (default: report only), exits nonzero — a stuck
+replica shows up as skew long before it shows up as data loss. Stdlib only.
 """
 
 import argparse
+import os
 import sys
 import urllib.error
 import urllib.request
@@ -44,20 +59,43 @@ def parse_families(body: str) -> dict:
     return families
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("endpoint", help="HOST:PORT of the node's --admin-port")
-    ap.add_argument("--path", default="/metrics")
-    ap.add_argument("--require", nargs="*", default=[],
-                    help="metric families that must be present")
-    ap.add_argument("--out", default=None, help="also write the raw body here")
-    ap.add_argument("--timeout", type=float, default=5.0)
-    args = ap.parse_args()
+def fetch(url: str, timeout: float) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8", "replace")
 
+
+def parse_healthz(body: str) -> dict:
+    """Map group id -> {'learned': N, 'applied': N, 'lag': N} (when present)."""
+    groups = {}
+    for line in body.splitlines():
+        parts = line.split()
+        if len(parts) < 2 or parts[0] != "group":
+            continue
+        entry = {}
+        for token in parts[2:]:
+            key, _, value = token.partition("=")
+            if key in ("learned", "applied", "lag") and value.isdigit():
+                entry[key] = int(value)
+        if entry:
+            groups[int(parts[1])] = entry
+    return groups
+
+
+def parse_cluster_file(path: str) -> list:
+    """[(id, host, port, role)] from `node <id> <host> <port> <role>` lines."""
+    nodes = []
+    with open(path) as f:
+        for line in f:
+            parts = line.split("#", 1)[0].split()
+            if len(parts) >= 5 and parts[0] == "node":
+                nodes.append((int(parts[1]), parts[2], int(parts[3]), parts[4]))
+    return nodes
+
+
+def scrape_one(args) -> int:
     url = "http://" + args.endpoint + args.path
     try:
-        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
-            body = resp.read().decode("utf-8", "replace")
+        body = fetch(url, args.timeout)
     except (urllib.error.URLError, OSError) as e:
         print(f"scrape_metrics: cannot fetch {url}: {e}", file=sys.stderr)
         return 1
@@ -79,6 +117,106 @@ def main() -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def scrape_all(args) -> int:
+    nodes = parse_cluster_file(args.all)
+    if not nodes:
+        print(f"scrape_metrics: no node lines in {args.all}", file=sys.stderr)
+        return 1
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+
+    merged = {}          # family -> {node_id: sum}
+    progress = {}        # group -> {node_id: learned}
+    lag = {}             # group -> {node_id: lag}
+    failures = 0
+    for node_id, host, _port, role in nodes:
+        admin = f"{host}:{args.admin_base + node_id}"
+        try:
+            metrics_body = fetch(f"http://{admin}/metrics", args.timeout)
+            healthz_body = fetch(f"http://{admin}/healthz", args.timeout)
+        except (urllib.error.URLError, OSError) as e:
+            print(f"scrape_metrics: node {node_id} ({role}) at {admin}: {e}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if args.out_dir:
+            with open(f"{args.out_dir}/metrics-node{node_id}.txt", "w") as f:
+                f.write(metrics_body)
+            with open(f"{args.out_dir}/healthz-node{node_id}.txt", "w") as f:
+                f.write(healthz_body)
+
+        families = parse_families(metrics_body)
+        print(f"node {node_id} ({role}) at {admin}: {len(families)} families")
+        for fam, samples in families.items():
+            merged.setdefault(fam, {})[node_id] = sum(v for (_, _, v) in samples)
+
+        for gid, entry in parse_healthz(healthz_body).items():
+            if "learned" in entry:
+                progress.setdefault(gid, {})[node_id] = entry["learned"]
+            if "lag" in entry:
+                lag.setdefault(gid, {})[node_id] = entry["lag"]
+
+    print(f"\nmerged: {len(merged)} metric families across "
+          f"{len(nodes) - failures}/{len(nodes)} nodes")
+    for fam in sorted(merged):
+        per_node = merged[fam]
+        total = sum(per_node.values())
+        print(f"  {fam}  total={total:g}  "
+              + " ".join(f"n{nid}={v:g}" for nid, v in sorted(per_node.items())))
+
+    missing = [fam for fam in args.require if fam not in merged]
+    if missing:
+        print(f"scrape_metrics: MISSING families: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+
+    # Cross-node skew: every replica of a group should be at (about) the
+    # same learned length once traffic settles. Divergence = a stuck or
+    # partitioned replica.
+    skew_failed = False
+    for gid in sorted(progress):
+        lengths = progress[gid]
+        lo, hi = min(lengths.values()), max(lengths.values())
+        lags = lag.get(gid, {})
+        print(f"group {gid}: learned "
+              + " ".join(f"n{nid}={v}" for nid, v in sorted(lengths.items()))
+              + f"  skew={hi - lo}"
+              + (f"  lag.max={max(lags.values())}" if lags else ""))
+        if args.max_skew is not None and hi - lo > args.max_skew:
+            print(f"scrape_metrics: group {gid} learned-length skew {hi - lo} "
+                  f"exceeds --max-skew {args.max_skew}", file=sys.stderr)
+            skew_failed = True
+
+    return 1 if (failures or skew_failed) else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("endpoint", nargs="?", default=None,
+                    help="HOST:PORT of one node's --admin-port")
+    ap.add_argument("--all", metavar="CLUSTER_FILE", default=None,
+                    help="scrape every node of a cluster file instead")
+    ap.add_argument("--admin-base", type=int, default=19600,
+                    help="--all: node <id> serves admin on admin-base + id")
+    ap.add_argument("--path", default="/metrics")
+    ap.add_argument("--require", nargs="*", default=[],
+                    help="metric families that must be present")
+    ap.add_argument("--out", default=None, help="also write the raw body here")
+    ap.add_argument("--out-dir", default=None,
+                    help="--all: write each node's raw bodies here")
+    ap.add_argument("--max-skew", type=int, default=None,
+                    help="--all: fail if a group's learned length diverges "
+                         "across nodes by more than this")
+    ap.add_argument("--timeout", type=float, default=5.0)
+    args = ap.parse_args()
+
+    if args.all:
+        return scrape_all(args)
+    if not args.endpoint:
+        ap.error("either HOST:PORT or --all CLUSTER_FILE is required")
+    return scrape_one(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,489 @@
+#include "audit/inspect.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "cstruct/command.hpp"
+#include "cstruct/serialize.hpp"
+#include "genpaxos/auditor_core.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/quorum.hpp"
+#include "storage/flight_recorder.hpp"
+
+namespace mcp::audit {
+namespace {
+
+namespace fs = std::filesystem;
+
+paxos::Ballot ballot_of(const util::JournalRecord& rec) {
+  paxos::Ballot b;
+  b.count = rec.ballot_count;
+  b.coord = static_cast<sim::NodeId>(rec.ballot_coord);
+  b.coord_inc = static_cast<int>(rec.ballot_inc);
+  b.type = static_cast<paxos::RoundType>(rec.ballot_type);
+  return b;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Everything accumulated for one consensus group during the replay.
+struct GroupState {
+  /// One node *lifetime*: a restart opens a new epoch, because a restarted
+  /// learner legitimately re-learns — and its replica re-applies — the
+  /// whole prefix during recovery. Exactly-once holds within a lifetime;
+  /// across lifetimes only the conflicting-order check applies. Epochs are
+  /// counted from the kMembership record Node::start() journals; a journal
+  /// whose membership record was pruned by rotation lands in epoch 0.
+  using Unit = std::pair<std::int64_t, std::uint32_t>;  // (node, epoch)
+
+  /// An acceptor's reconstructed vote value: full kPhase2b records reset
+  /// it, kPhase2bDelta records extend it. `valid` goes false when the
+  /// chain's base was pruned away with its segment (or a delta fails to
+  /// chain) — deltas are then skipped until the next full record
+  /// re-anchors the chain.
+  struct VoteChain {
+    cstruct::History value;
+    bool valid = false;
+  };
+
+  std::set<sim::NodeId> acceptors;           // distinct 2b senders
+  /// 2b votes in timeline order, each with its reconstructed full value.
+  std::vector<std::pair<const util::JournalRecord*, cstruct::History>> votes;
+  std::map<std::int64_t, VoteChain> chains;  // acceptor → running vote value
+  std::size_t orphan_delta_votes = 0;        // deltas whose base was pruned
+  std::size_t rounds_started = 0;
+  std::map<std::int64_t, std::uint32_t> epoch;  // node → current lifetime
+  /// lifetime → learned commands, in learn order (from kLearn payloads).
+  std::map<Unit, std::vector<cstruct::Command>> learned_seq;
+  std::map<Unit, std::set<std::uint64_t>> learned_ids;
+  std::map<Unit, std::uint64_t> learned_len;  // max kLearn `a`
+  /// lifetime → applied command ids, in apply order (from kApply records).
+  std::map<Unit, std::vector<std::uint64_t>> applied_seq;
+  std::map<Unit, std::set<std::uint64_t>> applied_ids;
+  std::vector<std::string> violations;
+};
+
+std::string unit_label(const GroupState::Unit& u) {
+  std::string s = "node " + std::to_string(u.first);
+  if (u.second > 1) s += " (restart " + std::to_string(u.second - 1) + ")";
+  return s;
+}
+
+void check_kv(std::uint32_t gid, GroupState& g) {
+  const cstruct::KeyConflict conflicts;
+  const std::string tag = "group " + std::to_string(gid) + ": ";
+
+  // Exactly-once learning / application per node lifetime. The engine's
+  // LearnerCore only journals commands as they first enter the learned
+  // prefix, and the replica applies each command once; a duplicate id in
+  // either stream within one lifetime is a real protocol/runtime bug (or a
+  // forged journal — which is the point of the corrupted-stream regression
+  // test). A restart re-learns the prefix, which is why the streams are
+  // keyed per lifetime, not per node.
+  for (const auto& [unit, seq] : g.learned_seq) {
+    std::set<std::uint64_t> seen;
+    for (const cstruct::Command& c : seq) {
+      if (!seen.insert(c.id).second) {
+        g.violations.push_back(tag + unit_label(unit) + " learned command " +
+                               std::to_string(c.id) + " twice");
+      }
+    }
+  }
+  for (const auto& [unit, seq] : g.applied_seq) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t id : seq) {
+      if (!seen.insert(id).second) {
+        g.violations.push_back(tag + unit_label(unit) + " applied command " +
+                               std::to_string(id) +
+                               " twice (exactly-once broken)");
+      }
+    }
+  }
+
+  // applied ⊆ learned, per lifetime that journals both streams. (A journal
+  // truncated by rotation may have applies without the matching learns;
+  // only flag lifetimes whose learn stream is complete, i.e. whose learned
+  // length equals the learn-sequence size.)
+  for (const auto& [unit, applied] : g.applied_ids) {
+    auto lit = g.learned_ids.find(unit);
+    if (lit == g.learned_ids.end()) continue;
+    const auto len_it = g.learned_len.find(unit);
+    const bool complete_learn_stream =
+        len_it != g.learned_len.end() &&
+        len_it->second == g.learned_seq.at(unit).size();
+    if (!complete_learn_stream) continue;
+    for (std::uint64_t id : applied) {
+      if (!lit->second.count(id)) {
+        g.violations.push_back(tag + unit_label(unit) + " applied command " +
+                               std::to_string(id) + " it never learned");
+      }
+    }
+  }
+
+  // Linearizable application across replicas: conflicting commands learned
+  // by two lifetimes must be learned in the same relative order (commuting
+  // commands may legally interleave differently — that is the generalized
+  // consensus win, not a bug). Two lifetimes of the same node count too:
+  // the re-learned prefix must order conflicting pairs like the original.
+  std::vector<std::pair<GroupState::Unit, const std::vector<cstruct::Command>*>>
+      units;
+  for (const auto& [unit, seq] : g.learned_seq) units.emplace_back(unit, &seq);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    std::map<std::uint64_t, std::size_t> pos_i;
+    for (std::size_t k = 0; k < units[i].second->size(); ++k) {
+      pos_i.emplace((*units[i].second)[k].id, k);
+    }
+    for (std::size_t j = i + 1; j < units.size(); ++j) {
+      const auto& seq_j = *units[j].second;
+      // Walk j's order; any conflicting pair also present in i must keep
+      // the same orientation.
+      for (std::size_t a = 0; a < seq_j.size(); ++a) {
+        auto ia = pos_i.find(seq_j[a].id);
+        if (ia == pos_i.end()) continue;
+        for (std::size_t b = a + 1; b < seq_j.size(); ++b) {
+          auto ib = pos_i.find(seq_j[b].id);
+          if (ib == pos_i.end()) continue;
+          if (!conflicts.conflicts(seq_j[a], seq_j[b])) continue;
+          if (ia->second > ib->second) {
+            g.violations.push_back(
+                tag + unit_label(units[i].first) + " and " +
+                unit_label(units[j].first) + " learned conflicting commands " +
+                std::to_string(seq_j[a].id) + " and " +
+                std::to_string(seq_j[b].id) + " in opposite orders");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> find_journal_dirs(const std::string& root) {
+  std::set<std::string> dirs;
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const fs::path& p = it->path();
+      if (p.extension() == ".mcj" &&
+          p.filename().string().rfind("journal-", 0) == 0) {
+        dirs.insert(p.parent_path().string());
+      }
+    }
+  }
+  return {dirs.begin(), dirs.end()};
+}
+
+std::map<std::string, std::string> read_manifest(const std::string& root) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(root + "/manifest.txt");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return out;
+}
+
+InspectReport inspect(const std::vector<std::string>& journal_dirs,
+                      InspectOptions options) {
+  InspectReport report;
+  report.journal_dirs = journal_dirs;
+
+  // 1. Read every segment of every node and merge into one timeline. The
+  // sink stamped wall-clock microseconds, so a stable sort on ts_us gives a
+  // global order that preserves each node's own append order on ties.
+  std::vector<util::JournalRecord> timeline;
+  for (const std::string& dir : journal_dirs) {
+    for (storage::FlightRecorder::SegmentData& seg :
+         storage::FlightRecorder::read_dir(dir)) {
+      ++report.segments;
+      if (seg.torn) ++report.torn_segments;
+      if (seg.rejected) {
+        ++report.rejected_segments;
+        continue;
+      }
+      for (util::JournalRecord& rec : seg.records) {
+        timeline.push_back(std::move(rec));
+      }
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const util::JournalRecord& a, const util::JournalRecord& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  report.events = timeline.size();
+  if (!timeline.empty()) {
+    report.first_ts_us = timeline.front().ts_us;
+    report.last_ts_us = timeline.back().ts_us;
+  }
+
+  // 2. Single pass: per-node summaries and per-group state. 2b vote values
+  // are reconstructed here (delta records chain onto the last full one),
+  // so the replay in pass 3 sees full ballot-array entries.
+  const cstruct::KeyConflict relation;
+  const cstruct::History bottom(&relation);
+  std::map<std::int64_t, NodeSummary> nodes;
+  std::map<std::uint32_t, GroupState> groups;
+  for (const util::JournalRecord& rec : timeline) {
+    NodeSummary& ns = nodes[rec.node];
+    ns.node = rec.node;
+    if (ns.events == 0) ns.first_ts_us = rec.ts_us;
+    ns.last_ts_us = rec.ts_us;
+    ++ns.events;
+
+    GroupState& g = groups[rec.group];
+    switch (rec.kind) {
+      case util::JournalKind::kRoundStart:
+      case util::JournalKind::kJoin:
+        ++g.rounds_started;
+        ns.max_incarnation = std::max(ns.max_incarnation, rec.b);
+        break;
+      case util::JournalKind::kPhase2b:
+      case util::JournalKind::kPhase2bDelta: {
+        g.acceptors.insert(static_cast<sim::NodeId>(rec.node));
+        ns.max_incarnation = std::max(ns.max_incarnation, rec.b);
+        auto& chain = g.chains[rec.node];
+        try {
+          if (rec.kind == util::JournalKind::kPhase2b) {
+            chain.value = cstruct::decode(bottom, rec.payload);
+            chain.valid = true;
+          } else if (chain.valid) {
+            chain.value.apply_suffix(cstruct::decode_commands(rec.payload));
+            if (chain.value.size() != rec.a) {
+              g.violations.push_back(
+                  "group " + std::to_string(rec.group) +
+                  ": 2b delta from node " + std::to_string(rec.node) +
+                  " does not chain (reconstructed " +
+                  std::to_string(chain.value.size()) + " commands, record says " +
+                  std::to_string(rec.a) + ")");
+              chain.valid = false;
+            }
+          } else {
+            // The chain's base rode a segment that rotation pruned: skip
+            // this vote, re-anchor at the acceptor's next full 2b.
+            ++g.orphan_delta_votes;
+            break;
+          }
+        } catch (const std::exception& ex) {
+          g.violations.push_back("group " + std::to_string(rec.group) +
+                                 ": undecodable 2b payload from node " +
+                                 std::to_string(rec.node) + ": " + ex.what());
+          chain.valid = false;
+          break;
+        }
+        if (chain.valid) g.votes.emplace_back(&rec, chain.value);
+        break;
+      }
+      case util::JournalKind::kLearn: {
+        const GroupState::Unit unit{rec.node, g.epoch[rec.node]};
+        auto& seq = g.learned_seq[unit];
+        for (cstruct::Command& c : cstruct::decode_commands(rec.payload)) {
+          g.learned_ids[unit].insert(c.id);
+          seq.push_back(std::move(c));
+        }
+        auto& len = g.learned_len[unit];
+        len = std::max(len, rec.a);
+        break;
+      }
+      case util::JournalKind::kApply: {
+        const GroupState::Unit unit{rec.node, g.epoch[rec.node]};
+        g.applied_seq[unit].push_back(rec.a);
+        g.applied_ids[unit].insert(rec.a);
+        break;
+      }
+      case util::JournalKind::kMembership:
+        // Node::start() journals one membership record per hosted group:
+        // each one opens a new lifetime, under which re-learning the
+        // prefix is recovery, not a duplicate.
+        ++g.epoch[rec.node];
+        ns.roles.push_back(rec.payload + " g" + std::to_string(rec.group));
+        ns.max_incarnation = std::max(ns.max_incarnation, rec.b);
+        break;
+      case util::JournalKind::kIncarnation:
+        ns.max_incarnation = std::max(ns.max_incarnation, rec.b);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 3. Per group: replay the 2b stream through the Appendix-A ballot-array
+  // invariants, then run the KV cross-checks.
+  for (auto& [gid, g] : groups) {
+    GroupReport gr;
+    gr.gid = gid;
+    gr.rounds_started = g.rounds_started;
+    gr.orphan_votes = g.orphan_delta_votes;
+    gr.acceptors_seen = g.acceptors.size();
+    for (const auto& [unit, len] : g.learned_len) {
+      gr.learned_commands = std::max<std::size_t>(gr.learned_commands, len);
+    }
+    for (const auto& [unit, seq] : g.applied_seq) {
+      gr.applied_commands = std::max(gr.applied_commands, seq.size());
+    }
+
+    if (!g.votes.empty()) {
+      const std::size_t n = g.acceptors.size();
+      const int f = options.f >= 0 ? options.f
+                                   : static_cast<int>((n - 1) / 2);
+      // e = 0 is the conservative inference: underestimating E only makes
+      // fast quorums *bigger* in the replay, so fewer values count as
+      // chosen and no false "does not extend chosen" violations appear.
+      const int e = options.e >= 0 ? options.e : 0;
+      paxos::QuorumSystem quorums(
+          std::vector<sim::NodeId>(g.acceptors.begin(), g.acceptors.end()), f, e);
+      genpaxos::AuditorCore<cstruct::History> core(bottom, quorums);
+      for (const auto& [vote, val] : g.votes) {
+        ++gr.votes_replayed;
+        core.record(static_cast<sim::NodeId>(vote->node), ballot_of(*vote), val);
+      }
+      for (const std::string& v : core.violations()) {
+        g.violations.push_back("group " + std::to_string(gid) + ": " + v);
+      }
+    }
+
+    check_kv(gid, g);
+    gr.violations = g.violations;
+    for (const std::string& v : g.violations) report.violations.push_back(v);
+    report.groups.push_back(std::move(gr));
+  }
+
+  for (auto& [node, ns] : nodes) report.nodes.push_back(std::move(ns));
+  return report;
+}
+
+InspectReport inspect_root(const std::string& root, InspectOptions options) {
+  const auto manifest = read_manifest(root);
+  if (options.f < 0) {
+    if (auto it = manifest.find("f"); it != manifest.end()) {
+      options.f = std::stoi(it->second);
+    }
+  }
+  if (options.e < 0) {
+    if (auto it = manifest.find("e"); it != manifest.end()) {
+      options.e = std::stoi(it->second);
+    }
+  }
+  return inspect(find_journal_dirs(root), options);
+}
+
+std::string render_text(const InspectReport& report) {
+  std::ostringstream out;
+  out << "mcpaxos_inspect: " << report.journal_dirs.size() << " journal dir(s), "
+      << report.segments << " segment(s), " << report.events << " event(s)\n";
+  if (report.torn_segments) {
+    out << "  torn segments (truncated tail kept): " << report.torn_segments
+        << "\n";
+  }
+  if (report.rejected_segments) {
+    out << "  REJECTED segments (corrupt, dropped): " << report.rejected_segments
+        << " — the timeline has holes\n";
+  }
+  if (report.events) {
+    out << "  timeline: " << report.first_ts_us << "us .. " << report.last_ts_us
+        << "us (" << (report.last_ts_us - report.first_ts_us) / 1000.0
+        << " ms)\n";
+  }
+  for (const NodeSummary& ns : report.nodes) {
+    out << "node " << ns.node << ": " << ns.events << " event(s)";
+    if (ns.max_incarnation) out << ", incarnation " << ns.max_incarnation;
+    if (!ns.roles.empty()) {
+      out << ", roles:";
+      for (const std::string& r : ns.roles) out << " [" << r << "]";
+    }
+    out << "\n";
+  }
+  for (const GroupReport& gr : report.groups) {
+    out << "group " << gr.gid << ": " << gr.votes_replayed
+        << " 2b vote(s) over " << gr.acceptors_seen << " acceptor(s), "
+        << gr.rounds_started << " round transition(s), learned "
+        << gr.learned_commands << ", applied " << gr.applied_commands << "\n";
+    if (gr.orphan_votes > 0) {
+      out << "  note: " << gr.orphan_votes
+          << " delta 2b vote(s) skipped (chain base pruned with its segment)\n";
+    }
+  }
+  if (report.violations.empty()) {
+    out << "OK: 0 invariant violations\n";
+  } else {
+    out << "FAIL: " << report.violations.size() << " invariant violation(s)\n";
+    for (const std::string& v : report.violations) out << "  VIOLATION: " << v << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const InspectReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"segments\": " << report.segments << ",\n";
+  out << "  \"torn_segments\": " << report.torn_segments << ",\n";
+  out << "  \"rejected_segments\": " << report.rejected_segments << ",\n";
+  out << "  \"events\": " << report.events << ",\n";
+  out << "  \"first_ts_us\": " << report.first_ts_us << ",\n";
+  out << "  \"last_ts_us\": " << report.last_ts_us << ",\n";
+  out << "  \"nodes\": [";
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeSummary& ns = report.nodes[i];
+    out << (i ? ", " : "") << "{\"node\": " << ns.node
+        << ", \"events\": " << ns.events
+        << ", \"max_incarnation\": " << ns.max_incarnation << "}";
+  }
+  out << "],\n";
+  out << "  \"groups\": [";
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const GroupReport& gr = report.groups[i];
+    out << (i ? ", " : "") << "{\"gid\": " << gr.gid
+        << ", \"votes\": " << gr.votes_replayed
+        << ", \"orphan_votes\": " << gr.orphan_votes
+        << ", \"acceptors\": " << gr.acceptors_seen
+        << ", \"rounds\": " << gr.rounds_started
+        << ", \"learned\": " << gr.learned_commands
+        << ", \"applied\": " << gr.applied_commands
+        << ", \"violations\": " << gr.violations.size() << "}";
+  }
+  out << "],\n";
+  out << "  \"violations\": [";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json_escape(report.violations[i]) << "\"";
+  }
+  out << "],\n";
+  out << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mcp::audit

@@ -1,0 +1,97 @@
+#pragma once
+
+// Post-mortem auditor over protocol flight-recorder journals: the library
+// behind `examples/mcpaxos_inspect` (and its regression tests). Merges the
+// per-node journals of a cluster into one wall-clock timeline, replays
+// every 2b vote through the ballot-array invariants of the paper's
+// Appendix A (genpaxos::AuditorCore — the same checks SafetyAuditor runs
+// live in the simulator), and cross-checks the KV command flow for
+// exactly-once, apply⊆learned, and conflicting-order agreement between
+// replicas. The output is a structured report renderable as a
+// human-readable incident summary or JSON for CI gating.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+
+namespace mcp::audit {
+
+struct InspectOptions {
+  /// Quorum tolerances of the recorded cluster. Negative = infer: the
+  /// acceptor set is the distinct 2b senders per group, f = ⌊(n−1)/2⌋,
+  /// e = 0 (the conservative choice — an underestimated e only makes the
+  /// replay *slower* to call values chosen, never wrongly eager). A bundle
+  /// manifest (manifest.txt: `f=..`, `e=..`) overrides inference.
+  int f = -1;
+  int e = -1;
+};
+
+/// Per-node roll-up of the merged timeline.
+struct NodeSummary {
+  std::int64_t node = -1;
+  std::size_t events = 0;
+  std::uint64_t first_ts_us = 0;
+  std::uint64_t last_ts_us = 0;
+  /// role labels from kMembership records, e.g. "coord g0".
+  std::vector<std::string> roles;
+  std::uint64_t max_incarnation = 0;
+};
+
+/// Per-consensus-group audit result.
+struct GroupReport {
+  std::uint32_t gid = 0;
+  std::size_t votes_replayed = 0;   ///< 2b events fed to the auditor core
+  /// Delta 2b votes skipped because their chain base rode a pruned
+  /// segment — incomplete evidence, not a violation.
+  std::size_t orphan_votes = 0;
+  std::size_t acceptors_seen = 0;   ///< distinct 2b senders
+  std::size_t rounds_started = 0;   ///< kRoundStart + kJoin events
+  std::size_t learned_commands = 0; ///< max learned length over nodes
+  std::size_t applied_commands = 0; ///< max applied count over nodes
+  std::vector<std::string> violations;
+};
+
+struct InspectReport {
+  std::vector<std::string> journal_dirs;
+  std::size_t segments = 0;
+  std::size_t torn_segments = 0;
+  /// Segments dropped for checksum/decode corruption. Not an invariant
+  /// violation (the protocol did nothing wrong) but reported prominently:
+  /// the evidence has holes.
+  std::size_t rejected_segments = 0;
+  std::size_t events = 0;
+  std::uint64_t first_ts_us = 0;
+  std::uint64_t last_ts_us = 0;
+  std::vector<NodeSummary> nodes;
+  std::vector<GroupReport> groups;
+  /// Every invariant violation, across groups (group-tagged copies of the
+  /// GroupReport entries plus cross-cutting KV checks).
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Directories under `root` (inclusive) holding journal-*.mcj segments —
+/// one per node in a bundle layout (`bundle/node<id>/journal/`), or just
+/// `root` itself when pointed straight at a node's journal dir.
+std::vector<std::string> find_journal_dirs(const std::string& root);
+
+/// Parse a bundle manifest (`key=value` lines; '#' comments) if present.
+std::map<std::string, std::string> read_manifest(const std::string& root);
+
+/// Audit the given journal directories as one cluster.
+InspectReport inspect(const std::vector<std::string>& journal_dirs,
+                      InspectOptions options = {});
+/// Discover journals under `root` (applying root/manifest.txt overrides)
+/// and audit them.
+InspectReport inspect_root(const std::string& root, InspectOptions options = {});
+
+/// Human-readable incident report.
+std::string render_text(const InspectReport& report);
+/// Machine-readable report; `violations` is the CI gate.
+std::string render_json(const InspectReport& report);
+
+}  // namespace mcp::audit

@@ -4,10 +4,14 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
 #include "storage/file_storage.hpp"
+#include "util/exposition.hpp"
+#include "util/trace.hpp"
 
 namespace mcp::chaos {
 
@@ -130,6 +134,13 @@ void ChaosKvCluster::build_member(sim::NodeId id) {
   no.rng_seed = options_.seed + static_cast<std::uint64_t>(id);
   no.data_dir = m.data_dir;
   no.snapshot_every = options_.snapshot_every;
+  if (options_.journal) {
+    // The journal sits next to (not inside) the FileStorage WAL so a
+    // restart's storage recovery never scans it; a restarted member opens
+    // a fresh segment after the killed incarnation's last one.
+    no.journal_dir = m.data_dir + "/journal";
+    no.journal_segment_bytes = options_.journal_segment_bytes;
+  }
   m.node = std::make_unique<runtime::Node>(no, *m.faulty);
 
   const int groups = group_count();
@@ -324,6 +335,52 @@ std::pair<std::int64_t, bool> ChaosKvCluster::recovery_stats(sim::NodeId id) {
     if (fs == nullptr) return {0, false};
     return {fs->replayed_records(), fs->loaded_snapshot()};
   });
+}
+
+void ChaosKvCluster::capture_incident(const std::string& bundle_dir,
+                                      const std::string& scenario_name) {
+  namespace fs = std::filesystem;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::create_directories(bundle_dir, ec);
+
+  {
+    std::ofstream manifest(bundle_dir + "/manifest.txt");
+    manifest << "# mcpaxos incident bundle\n";
+    if (!scenario_name.empty()) manifest << "scenario=" << scenario_name << "\n";
+    manifest << "f=" << options_.shape.f << "\n";
+    manifest << "e=" << options_.shape.e << "\n";
+    manifest << "groups=" << group_count() << "\n";
+    manifest << "acceptors=";
+    for (std::size_t i = 0; i < acceptor_ids_.size(); ++i) {
+      manifest << (i ? "," : "") << acceptor_ids_[i];
+    }
+    manifest << "\n";
+  }
+
+  for (sim::NodeId id = 0; id < static_cast<sim::NodeId>(members_.size()); ++id) {
+    Member& m = member(id);
+    const std::string node_dir = bundle_dir + "/node" + std::to_string(id);
+    if (m.node) {
+      // Live member: make the journal durable and snapshot the volatile
+      // observability state (metrics, trace ring) while we still can. A
+      // killed member contributes only what its recorder already fsync'd —
+      // which is the realistic crash evidence.
+      m.node->flush_journal();
+      fs::create_directories(node_dir, ec);
+      std::ofstream metrics(node_dir + "/metrics.prom");
+      metrics << util::prometheus_exposition(m.node->metrics());
+      std::ofstream trace(node_dir + "/trace.json");
+      trace << util::TraceRecorder::perfetto_json(m.node->trace().snapshot());
+    }
+    const fs::path journal_src = fs::path(m.data_dir) / "journal";
+    if (fs::is_directory(journal_src, ec)) {
+      fs::create_directories(node_dir, ec);
+      fs::copy(journal_src, fs::path(node_dir) / "journal",
+               fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+               ec);
+    }
+  }
 }
 
 std::int64_t ChaosKvCluster::kill_count() const {

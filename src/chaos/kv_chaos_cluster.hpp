@@ -45,6 +45,12 @@ struct ChaosKvOptions {
   /// runs cross a snapshot boundary and recovery replays snapshot+suffix.
   std::int64_t snapshot_every = 64;
   std::string host = "127.0.0.1";
+  /// Protocol flight recorder per member (under <data_dir>/journal). On by
+  /// default: the journal is the evidence capture_incident() bundles and
+  /// mcpaxos_inspect audits, and chaos runs are exactly where incidents
+  /// happen.
+  bool journal = true;
+  std::uint64_t journal_segment_bytes = 256 * 1024;
 };
 
 class ChaosKvCluster {
@@ -109,6 +115,17 @@ class ChaosKvCluster {
   /// FileStorage replay accounting of a live member (0s if somehow not
   /// file-backed): {replayed_records, loaded_snapshot}.
   std::pair<std::int64_t, bool> recovery_stats(sim::NodeId id);
+
+  /// Capture a post-mortem incident bundle under `bundle_dir`: every
+  /// member's flight-recorder journal (flushed first on live members, and
+  /// copied as-left-on-disk for killed ones), plus per-live-member metrics
+  /// exposition and trace JSON, plus a manifest.txt carrying the quorum
+  /// tolerances so `mcpaxos_inspect <bundle_dir>` replays with the real
+  /// f/e. Called automatically by run_chaos_workload when an acceptance
+  /// invariant fails; safe to call on a healthy cluster too (CI bundles
+  /// every smoke run and gates on inspect reporting 0 violations).
+  void capture_incident(const std::string& bundle_dir,
+                        const std::string& scenario_name = "");
 
   std::int64_t kill_count() const;
   std::int64_t restart_count() const;

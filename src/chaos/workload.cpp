@@ -175,6 +175,16 @@ WorkloadReport run_chaos_workload(ChaosKvCluster& cluster, Nemesis& nemesis,
     if (applied > learned) report.dup_applies += applied - learned;
     if (learned > report.learned) report.learned = learned;
   }
+
+  // Forensics: a failed acceptance check freezes the evidence immediately,
+  // while the cluster (and its volatile metrics/trace state) is still up.
+  const bool failed_acceptance = !report.converged || report.lost_writes != 0 ||
+                                 report.dup_applies != 0 ||
+                                 report.stale_reads != 0;
+  if (failed_acceptance && !options.incident_dir.empty()) {
+    cluster.capture_incident(options.incident_dir, options.scenario_name);
+    report.incident_bundle = options.incident_dir;
+  }
   return report;
 }
 

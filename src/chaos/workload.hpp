@@ -34,6 +34,13 @@ struct WorkloadOptions {
   /// Budget for the post-chaos convergence wait (heal + revive first).
   std::chrono::milliseconds converge_timeout{20000};
   std::chrono::milliseconds converge_poll{50};
+  /// Non-empty: when an acceptance invariant fails (no convergence, lost
+  /// writes, duplicate applies, stale reads), capture a post-mortem bundle
+  /// here via ChaosKvCluster::capture_incident — journals + metrics +
+  /// traces, ready for `mcpaxos_inspect`.
+  std::string incident_dir;
+  /// Scenario label stamped into the bundle manifest.
+  std::string scenario_name;
 };
 
 struct WorkloadReport {
@@ -52,6 +59,8 @@ struct WorkloadReport {
   std::int64_t dup_applies = 0;  ///< duplicate ids in learned sequences, plus
                                  ///< applied-beyond-learned excess per server
   std::int64_t learned = 0;      ///< learned-history size once converged
+  /// A failing run wrote its incident bundle here (empty otherwise).
+  std::string incident_bundle;
 };
 
 /// Runs the schedule and the traffic concurrently, then settles and checks.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "genpaxos/auditor_core.hpp"
 #include "genpaxos/engine.hpp"
 
 namespace mcp::genpaxos {
@@ -12,19 +13,10 @@ namespace mcp::genpaxos {
 /// paper's Appendix A (Definitions 2–5 and the invariants behind
 /// Propositions 1–3). Add its id to Config::learners and it receives the
 /// same 2b stream as real learners, reconstructs the ballot array
-/// bA[acceptor][round], and checks, on every vote:
-///
-///  - **monotonicity**: an acceptor's value at a round only ever extends
-///    (acceptors re-vote growing c-structs within a round);
-///  - **conservative rounds** (Prop. 3): any two values accepted at the
-///    same *classic* round are compatible — acceptors only accept what a
-///    whole coordinator quorum forwarded, and coordinator quorums
-///    intersect;
-///  - **chosen compatibility** (Prop. 1 / Definition 3): the set of values
-///    chosen (accepted by a full quorum) across all rounds is pairwise
-///    compatible;
-///  - **the core Paxos invariant** (from "safe at", Definition 5): if v is
-///    chosen at round k, every value accepted at any round j > k extends v.
+/// bA[acceptor][round], and checks every vote against the invariants — the
+/// checks themselves live in AuditorCore, shared with the offline
+/// flight-recorder auditor (audit::inspect / mcpaxos_inspect), so the
+/// simulator and a post-mortem journal replay apply the identical logic.
 ///
 /// Violations are recorded, not thrown, so tests can assert on them; any
 /// entry here means an engine bug (or a deliberately corrupted stream in
@@ -33,7 +25,7 @@ template <cstruct::CStructT CS>
 class SafetyAuditor final : public sim::Process {
  public:
   explicit SafetyAuditor(const Config<CS>& config)
-      : config_(config), quorums_(config.quorum_system()) {
+      : core_(config.bottom, config.quorum_system()) {
     register_wire_messages(decoders(), config.bottom);
   }
 
@@ -44,12 +36,7 @@ class SafetyAuditor final : public sim::Process {
       // Delta 2b: reconstruct from the last vote recorded for this
       // acceptor at this round (the same base a real learner holds); on a
       // chain gap, resync like a learner would.
-      const CS* base = nullptr;
-      if (const auto bit = ballot_array_.find(d2b->b); bit != ballot_array_.end()) {
-        if (const auto it = bit->second.find(from); it != bit->second.end()) {
-          base = &it->second;
-        }
-      }
+      const CS* base = core_.vote(d2b->b, from);
       const std::size_t cached = base != nullptr ? base->size() : 0;
       switch (delta_fit(base != nullptr ? &cached : nullptr, d2b->delta.base_size)) {
         case DeltaFit::kStaleDuplicate:
@@ -63,119 +50,26 @@ class SafetyAuditor final : public sim::Process {
       }
       CS next = *base;
       next.apply_suffix(d2b->delta.suffix);
-      record(from, d2b->b, next);
+      core_.record(from, d2b->b, next);
       return;
     }
     const auto* p2b = std::any_cast<Msg2b<CS>>(&m);
     if (p2b == nullptr) return;
-    record(from, p2b->b, *p2b->val);
+    core_.record(from, p2b->b, *p2b->val);
   }
 
   /// Also usable without a live simulation (tests feed votes directly).
   void record(sim::NodeId acceptor, const paxos::Ballot& b, const CS& val) {
-    auto& round_votes = ballot_array_[b];
-    auto it = round_votes.find(acceptor);
-    if (it != round_votes.end()) {
-      if (!val.extends(it->second) && !it->second.extends(val)) {
-        report("acceptor " + std::to_string(acceptor) + " vote at " + b.str() +
-               " neither extends nor is extended by its previous vote");
-      }
-      if (it->second.extends(val)) return;  // stale retransmission
-      it->second = val;
-    } else {
-      round_votes.emplace(acceptor, val);
-    }
-
-    if (b.is_classic()) {
-      for (const auto& [other, v] : round_votes) {
-        if (other != acceptor && !v.compatible(val)) {
-          report("classic round " + b.str() + " not conservative: acceptors " +
-                 std::to_string(acceptor) + " and " + std::to_string(other) +
-                 " accepted incompatible values");
-        }
-      }
-    }
-
-    // The new vote must extend everything chosen at lower rounds.
-    for (const auto& [k, chosen] : chosen_) {
-      if (k < b && !val.extends(chosen)) {
-        report("vote at " + b.str() + " by acceptor " + std::to_string(acceptor) +
-               " does not extend the value chosen at " + k.str());
-      }
-    }
-
-    refresh_chosen(b);
+    core_.record(acceptor, b, val);
   }
 
-  bool ok() const { return violations_.empty(); }
-  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return core_.ok(); }
+  const std::vector<std::string>& violations() const { return core_.violations(); }
   /// Largest value known to be chosen at a round (Definition 3).
-  const std::map<paxos::Ballot, CS>& chosen() const { return chosen_; }
+  const std::map<paxos::Ballot, CS>& chosen() const { return core_.chosen(); }
 
  private:
-  void report(std::string message) { violations_.push_back(std::move(message)); }
-
-  /// Recompute what is chosen at round b (Definition 3: some b-quorum all
-  /// accepted an extension of v ⇔ v ⊑ the glb of that quorum's votes).
-  void refresh_chosen(const paxos::Ballot& b) {
-    const auto& round_votes = ballot_array_[b];
-    const std::size_t q = quorums_.quorum_size(b);
-    if (round_votes.size() < q) return;
-    std::vector<CS> vals;
-    vals.reserve(round_votes.size());
-    for (const auto& [a, v] : round_votes) vals.push_back(v);
-    CS chosen_here = config_.bottom;
-    bool first = true;
-    for (const auto& subset : paxos::combinations(vals.size(), q)) {
-      std::vector<CS> quorum_vals;
-      quorum_vals.reserve(q);
-      for (std::size_t idx : subset) quorum_vals.push_back(vals[idx]);
-      const CS m = cstruct::meet_all(quorum_vals);
-      if (first) {
-        chosen_here = m;
-        first = false;
-      } else if (chosen_here.compatible(m)) {
-        chosen_here = chosen_here.join(m);
-      } else {
-        report("two incompatible values chosen within round " + b.str());
-        return;
-      }
-    }
-
-    auto [it, inserted] = chosen_.try_emplace(b, chosen_here);
-    if (!inserted) {
-      if (!it->second.compatible(chosen_here)) {
-        report("chosen value at " + b.str() + " changed incompatibly");
-        return;
-      }
-      it->second = it->second.join(chosen_here);
-    }
-    const CS& v = it->second;
-
-    // Proposition 1: everything chosen anywhere must stay compatible.
-    for (const auto& [k, w] : chosen_) {
-      if (!(k == b) && !w.compatible(v)) {
-        report("chosen values at " + k.str() + " and " + b.str() + " incompatible");
-      }
-    }
-    // Core invariant, backward direction: votes already recorded at rounds
-    // above b must extend what we now know is chosen at b.
-    for (const auto& [j, votes] : ballot_array_) {
-      if (!(b < j)) continue;
-      for (const auto& [a, w] : votes) {
-        if (!w.extends(v)) {
-          report("vote at " + j.str() + " by acceptor " + std::to_string(a) +
-                 " does not extend the value chosen at lower round " + b.str());
-        }
-      }
-    }
-  }
-
-  const Config<CS>& config_;
-  paxos::QuorumSystem quorums_;
-  std::map<paxos::Ballot, std::map<sim::NodeId, CS>> ballot_array_;
-  std::map<paxos::Ballot, CS> chosen_;
-  std::vector<std::string> violations_;
+  AuditorCore<CS> core_;
 };
 
 }  // namespace mcp::genpaxos

@@ -1,0 +1,159 @@
+#pragma once
+
+// The ballot-array invariant machinery of the paper's Appendix A
+// (Definitions 2–5, Propositions 1–3), factored out of SafetyAuditor so it
+// runs in two places: live inside a simulation (SafetyAuditor, a
+// sim::Process fed the real 2b stream) and offline over a flight-recorder
+// journal (audit::inspect, replaying kPhase2b events post mortem). Depends
+// only on paxos + cstruct — no sim::Process, no engine.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cstruct/cstruct.hpp"
+#include "paxos/ballot.hpp"
+#include "paxos/quorum.hpp"
+#include "sim/time.hpp"
+
+namespace mcp::genpaxos {
+
+/// Reconstructs the ballot array bA[acceptor][round] from a stream of 2b
+/// votes and checks, on every vote:
+///
+///  - **monotonicity**: an acceptor's value at a round only ever extends
+///    (acceptors re-vote growing c-structs within a round);
+///  - **conservative rounds** (Prop. 3): any two values accepted at the
+///    same *classic* round are compatible;
+///  - **chosen compatibility** (Prop. 1 / Definition 3): the set of values
+///    chosen (accepted by a full quorum) across all rounds is pairwise
+///    compatible;
+///  - **the core Paxos invariant** (from "safe at", Definition 5): if v is
+///    chosen at round k, every value accepted at any round j > k extends v.
+///
+/// Violations are recorded, not thrown, so callers can assert on them; any
+/// entry means an engine bug or a corrupted journal.
+template <cstruct::CStructT CS>
+class AuditorCore {
+ public:
+  AuditorCore(CS bottom, paxos::QuorumSystem quorums)
+      : bottom_(std::move(bottom)), quorums_(std::move(quorums)) {}
+
+  void record(sim::NodeId acceptor, const paxos::Ballot& b, const CS& val) {
+    auto& round_votes = ballot_array_[b];
+    auto it = round_votes.find(acceptor);
+    if (it != round_votes.end()) {
+      if (!val.extends(it->second) && !it->second.extends(val)) {
+        report("acceptor " + std::to_string(acceptor) + " vote at " + b.str() +
+               " neither extends nor is extended by its previous vote");
+      }
+      if (it->second.extends(val)) return;  // stale retransmission
+      it->second = val;
+    } else {
+      round_votes.emplace(acceptor, val);
+    }
+
+    if (b.is_classic()) {
+      for (const auto& [other, v] : round_votes) {
+        if (other != acceptor && !v.compatible(val)) {
+          report("classic round " + b.str() + " not conservative: acceptors " +
+                 std::to_string(acceptor) + " and " + std::to_string(other) +
+                 " accepted incompatible values");
+        }
+      }
+    }
+
+    // The new vote must extend everything chosen at lower rounds.
+    for (const auto& [k, chosen] : chosen_) {
+      if (k < b && !val.extends(chosen)) {
+        report("vote at " + b.str() + " by acceptor " + std::to_string(acceptor) +
+               " does not extend the value chosen at " + k.str());
+      }
+    }
+
+    refresh_chosen(b);
+  }
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// Largest value known to be chosen at a round (Definition 3).
+  const std::map<paxos::Ballot, CS>& chosen() const { return chosen_; }
+
+  /// The vote a given acceptor last cast at a round, or nullptr — the base
+  /// a delta 2b applies against (SafetyAuditor's delta reconstruction).
+  const CS* vote(const paxos::Ballot& b, sim::NodeId acceptor) const {
+    const auto bit = ballot_array_.find(b);
+    if (bit == ballot_array_.end()) return nullptr;
+    const auto it = bit->second.find(acceptor);
+    return it == bit->second.end() ? nullptr : &it->second;
+  }
+
+ private:
+  void report(std::string message) { violations_.push_back(std::move(message)); }
+
+  /// Recompute what is chosen at round b (Definition 3: some b-quorum all
+  /// accepted an extension of v ⇔ v ⊑ the glb of that quorum's votes).
+  void refresh_chosen(const paxos::Ballot& b) {
+    const auto& round_votes = ballot_array_[b];
+    const std::size_t q = quorums_.quorum_size(b);
+    if (round_votes.size() < q) return;
+    std::vector<CS> vals;
+    vals.reserve(round_votes.size());
+    for (const auto& [a, v] : round_votes) vals.push_back(v);
+    CS chosen_here = bottom_;
+    bool first = true;
+    for (const auto& subset : paxos::combinations(vals.size(), q)) {
+      std::vector<CS> quorum_vals;
+      quorum_vals.reserve(q);
+      for (std::size_t idx : subset) quorum_vals.push_back(vals[idx]);
+      const CS m = cstruct::meet_all(quorum_vals);
+      if (first) {
+        chosen_here = m;
+        first = false;
+      } else if (chosen_here.compatible(m)) {
+        chosen_here = chosen_here.join(m);
+      } else {
+        report("two incompatible values chosen within round " + b.str());
+        return;
+      }
+    }
+
+    auto [it, inserted] = chosen_.try_emplace(b, chosen_here);
+    if (!inserted) {
+      if (!it->second.compatible(chosen_here)) {
+        report("chosen value at " + b.str() + " changed incompatibly");
+        return;
+      }
+      it->second = it->second.join(chosen_here);
+    }
+    const CS& v = it->second;
+
+    // Proposition 1: everything chosen anywhere must stay compatible.
+    for (const auto& [k, w] : chosen_) {
+      if (!(k == b) && !w.compatible(v)) {
+        report("chosen values at " + k.str() + " and " + b.str() + " incompatible");
+      }
+    }
+    // Core invariant, backward direction: votes already recorded at rounds
+    // above b must extend what we now know is chosen at b.
+    for (const auto& [j, votes] : ballot_array_) {
+      if (!(b < j)) continue;
+      for (const auto& [a, w] : votes) {
+        if (!w.extends(v)) {
+          report("vote at " + j.str() + " by acceptor " + std::to_string(a) +
+                 " does not extend the value chosen at lower round " + b.str());
+        }
+      }
+    }
+  }
+
+  CS bottom_;
+  paxos::QuorumSystem quorums_;
+  std::map<paxos::Ballot, std::map<sim::NodeId, CS>> ballot_array_;
+  std::map<paxos::Ballot, CS> chosen_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace mcp::genpaxos

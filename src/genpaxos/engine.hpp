@@ -19,6 +19,7 @@
 #include "paxos/wire.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
+#include "util/journal.hpp"
 
 namespace mcp::genpaxos {
 
@@ -41,6 +42,20 @@ namespace mcp::genpaxos {
 /// recovery).
 
 using cstruct::Command;
+
+/// A flight-recorder record stamped with a round: the ballot travels as raw
+/// fields (util::JournalRecord has no paxos dependency) and is reassembled
+/// by the offline auditor.
+inline util::JournalRecord journal_record(util::JournalKind kind,
+                                          const paxos::Ballot& b) {
+  util::JournalRecord rec;
+  rec.kind = kind;
+  rec.ballot_count = b.count;
+  rec.ballot_coord = b.coord;
+  rec.ballot_inc = b.coord_inc;
+  rec.ballot_type = static_cast<std::uint8_t>(b.type);
+  return rec;
+}
 
 // --- messages -----------------------------------------------------------------
 
@@ -539,6 +554,11 @@ class GenCoordinator final : public sim::Process {
     promises_.clear();
     fast_votes_.clear();
     round_started_at_ = now();
+    if (journaling()) {
+      auto rec = journal_record(util::JournalKind::kRoundStart, b);
+      rec.b = static_cast<std::uint64_t>(incarnation());
+      journal_event(std::move(rec));
+    }
   }
 
   void handle_propose(const Command& c) {
@@ -621,6 +641,12 @@ class GenCoordinator final : public sim::Process {
   /// become empty deltas), as the full value on the first 2a of a round.
   void send_2a() {
     sim().metrics().incr("coord." + std::to_string(id()) + ".2a_sent");
+    if (journaling()) {
+      auto rec = journal_record(util::JournalKind::kPhase2a, crnd_);
+      rec.a = static_cast<std::uint64_t>(cval_->size());
+      rec.b = static_cast<std::uint64_t>(incarnation());
+      journal_event(std::move(rec));
+    }
     if (config_.delta_messages && last_2a_) {
       if (auto suffix = cval_->suffix_after(*last_2a_)) {
         sim().metrics().incr("gen.2a_delta_sent");
@@ -799,6 +825,11 @@ class GenAcceptor final : public sim::Process {
       storage().write("rnd", paxos::encode(rnd_));
       sim().metrics().incr(me() + ".disk_writes");
     }
+    if (journaling()) {
+      auto rec = journal_record(util::JournalKind::kJoin, b);
+      rec.b = static_cast<std::uint64_t>(incarnation());
+      journal_event(std::move(rec));
+    }
   }
 
   void persist_rnd_block(std::int64_t count) {
@@ -848,6 +879,32 @@ class GenAcceptor final : public sim::Process {
 
   void send_2b() {
     const sim::Time lat = persist_vote();
+    if (journaling()) {
+      // The auditable ballot-array entry. The full vval is O(history) per
+      // vote — journaled every time, an acceptor's journal grows
+      // quadratically and the writes (plus segment-rotation fsyncs) land
+      // on the event loop. So mirror transmit_2b: journal the suffix
+      // since the previous 2b of this round when one exists, and a full
+      // value every kJournal2bRefresh votes to re-anchor the chain — a
+      // pruned segment then orphans at most that many deltas.
+      auto rec = journal_record(util::JournalKind::kPhase2b, vrnd_);
+      rec.a = static_cast<std::uint64_t>(vval_.size());
+      rec.b = static_cast<std::uint64_t>(incarnation());
+      if (journal_2b_since_full_ < kJournal2bRefresh && last_2b_ &&
+          last_2b_rnd_ == vrnd_) {
+        if (auto suffix = vval_.suffix_after(*last_2b_)) {
+          rec.kind = util::JournalKind::kPhase2bDelta;
+          rec.payload = cstruct::encode(*suffix);
+        }
+      }
+      if (rec.kind == util::JournalKind::kPhase2bDelta) {
+        ++journal_2b_since_full_;
+      } else {
+        rec.payload = cstruct::encode(vval_);
+        journal_2b_since_full_ = 0;
+      }
+      journal_event(std::move(rec));
+    }
     transmit_2b(vrnd_.is_fast(), lat);
     last_2b_ = vval_;
     last_2b_rnd_ = vrnd_;
@@ -1035,6 +1092,9 @@ class GenAcceptor final : public sim::Process {
   CS vval_;
   std::optional<CS> last_2b_;   ///< value carried by the latest send_2b
   paxos::Ballot last_2b_rnd_;   ///< round last_2b_ was sent at
+  /// Delta 2b journal records since the last full one (see send_2b).
+  static constexpr std::size_t kJournal2bRefresh = 64;
+  std::size_t journal_2b_since_full_ = 0;
   std::map<std::uint64_t, Command> pending_;
   std::map<paxos::Ballot, std::map<sim::NodeId, TwoA>> twoa_;
   std::set<paxos::Ballot> collided_;
@@ -1178,12 +1238,25 @@ class LearnerCore {
     if (n == acked_.size()) return;
     self_.sim().metrics().incr("gen.commands_learned",
                                static_cast<std::int64_t>(n - acked_.size()));
+    const bool journaling = self_.journaling();
+    std::vector<Command> fresh;
     for_each_command(learned_, [&](const Command& c) {
       if (acked_.insert(c.id).second) {
         learn_times_[c.id] = self_.now();
+        if (journaling) fresh.push_back(c);
         if (c.proposer >= 0) self_.send_group(wire_group(), c.proposer, MsgAck{c.id});
       }
     });
+    if (journaling && !fresh.empty()) {
+      // Only the newly learned suffix rides the journal; the offline
+      // auditor concatenates per-node kLearn payloads back into the
+      // learned-prefix sequence.
+      util::JournalRecord rec;
+      rec.kind = util::JournalKind::kLearn;
+      rec.a = static_cast<std::uint64_t>(learned_.size());
+      rec.payload = cstruct::encode(fresh);
+      self_.journal_event(std::move(rec), wire_group());
+    }
     for (const auto& listener : listeners_) listener();
   }
 
@@ -1241,6 +1314,14 @@ class GenLearner final : public sim::Process {
 
   void on_message(sim::NodeId from, const std::any& m) override {
     core_.handle_message(from, m);
+  }
+
+  bool group_progress(std::uint32_t g, std::uint64_t* learned,
+                      std::uint64_t* applied) const override {
+    if (g != group()) return false;
+    *learned = static_cast<std::uint64_t>(core_.learned().size());
+    *applied = *learned;  // a bare learner has no replica to lag
+    return true;
   }
 
  private:

@@ -3,7 +3,9 @@
 #include <optional>
 #include <sstream>
 
+#include "storage/flight_recorder.hpp"
 #include "util/exposition.hpp"
+#include "util/trace.hpp"
 
 namespace mcp::runtime {
 
@@ -26,10 +28,30 @@ std::string healthz_text(Node& node) {
       } else {
         out << leader;
       }
+      // Learner-bearing roles also report consensus progress: learned
+      // prefix length and replica apply lag, so a scraper can tell a
+      // stuck group (learned frozen, or lag growing) from a healthy one.
+      std::uint64_t learned = 0;
+      std::uint64_t applied = 0;
+      if (process->group_progress(gid, &learned, &applied)) {
+        out << " learned=" << learned << " applied=" << applied
+            << " lag=" << (learned >= applied ? learned - applied : 0);
+      }
       out << "\n";
     }
     return out.str();
   });
+}
+
+std::string dump_text(Node& node) {
+  storage::FlightRecorder* recorder = node.flight_recorder();
+  if (recorder == nullptr) return "journal: disabled\n";
+  node.flush_journal();
+  std::ostringstream out;
+  out << "journal: flushed dir=" << recorder->dir()
+      << " events=" << recorder->events() << " bytes=" << recorder->bytes()
+      << " segments=" << recorder->segments_created() << "\n";
+  return out.str();
 }
 
 std::uint16_t install_admin(Node& node, transport::TcpTransport& transport,
@@ -43,6 +65,17 @@ std::uint16_t install_admin(Node& node, transport::TcpTransport& transport,
         }
         if (path == "/healthz" || path == "/health") {
           return healthz_text(node);
+        }
+        if (path == "/trace") {
+          // Live trace export: the recorder is built for concurrent
+          // snapshot-while-recording, so this needs no loop-thread hop —
+          // the ring is readable even if the loop is wedged, which is
+          // exactly when an operator wants it.
+          return util::TraceRecorder::perfetto_json(node.trace().snapshot());
+        }
+        if (path == "/dump") {
+          // Incident trigger: make the flight recorder durable now.
+          return dump_text(node);
         }
         return std::nullopt;
       });

@@ -17,13 +17,27 @@ namespace mcp::runtime {
 ///               in the node's registry (thread-safe snapshot; handled
 ///               entirely on the reactor thread).
 ///   /healthz  — one line per hosted group: role, incarnation, leader
-///               hint, plus node id / running / recovered. Gathered via
-///               node.call() so process state is read on the loop thread.
+///               hint — and, for learner-bearing roles, the learned prefix
+///               length plus replica apply lag — plus node id / running /
+///               recovered. Gathered via node.call() so process state is
+///               read on the loop thread.
+///   /trace    — the current trace ring as Perfetto JSON, without waiting
+///               for process exit (the --trace-dir file only appears on
+///               clean shutdown). Served straight off the ring's
+///               concurrent snapshot, no loop-thread hop.
+///   /dump     — flush the protocol flight recorder to disk and report its
+///               location/size, so an operator can fetch a durable journal
+///               from a live (possibly misbehaving) node before deciding
+///               to restart it. "journal: disabled" when the node runs
+///               without one.
 /// Anything else is a 404.
 std::uint16_t install_admin(Node& node, transport::TcpTransport& transport,
                             std::uint16_t port);
 
 /// The /healthz body alone (exposed for tests).
 std::string healthz_text(Node& node);
+
+/// The /dump body alone (exposed for tests).
+std::string dump_text(Node& node);
 
 }  // namespace mcp::runtime

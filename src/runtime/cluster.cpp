@@ -54,6 +54,10 @@ LoopbackCluster::LoopbackCluster(ClusterOptions options) : options_(options) {
     node_options.id = id;
     node_options.tick = options_.tick;
     node_options.rng_seed = options_.seed + static_cast<std::uint64_t>(id);
+    if (!options_.journal_root.empty()) {
+      node_options.journal_dir =
+          options_.journal_root + "/node" + std::to_string(id);
+    }
     nodes_.push_back(std::make_unique<Node>(
         node_options, *transports[static_cast<std::size_t>(id)]));
   }

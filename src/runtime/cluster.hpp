@@ -25,6 +25,11 @@ struct ClusterOptions {
   std::uint64_t seed = 1;
   /// TCP backend: all nodes listen on this host with ephemeral ports.
   std::string host = "127.0.0.1";
+  /// Non-empty: every node runs a protocol flight recorder under
+  /// <journal_root>/node<id>/ (see NodeOptions::journal_dir) — used by
+  /// bench_kv --journal to price the recorder and by tests that want
+  /// auditable journals out of a loopback cluster.
+  std::string journal_root;
 };
 
 /// N runtime::Nodes with ids 0..N-1, wired all-to-all over one machine:

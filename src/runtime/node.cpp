@@ -4,11 +4,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 
 #include "paxos/wire.hpp"
 #include "storage/file_storage.hpp"
+#include "storage/flight_recorder.hpp"
 #include "transport/tcp_transport.hpp"
 
 namespace mcp::runtime {
@@ -22,9 +24,26 @@ Node::Node(NodeOptions options, transport::Transport& transport)
     : options_(options),
       transport_(transport),
       rng_(options.rng_seed),
-      started_at_(std::chrono::steady_clock::now()) {}
+      started_at_(std::chrono::steady_clock::now()) {
+  if (!options_.journal_dir.empty()) {
+    // The journal usually nests under a data dir that FileStorage has not
+    // created yet (adoption runs later), so create the parents here.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.journal_dir, ec);
+    storage::FlightRecorderOptions jo;
+    jo.segment_bytes = options_.journal_segment_bytes;
+    jo.keep_segments = options_.journal_keep_segments;
+    journal_ = std::make_unique<storage::FlightRecorder>(
+        options_.id, options_.journal_dir, jo);
+    set_journal(journal_.get());
+  }
+}
 
 Node::~Node() { stop(); }
+
+void Node::flush_journal() {
+  if (journal_) journal_->flush();
+}
 
 void Node::adopt(std::unique_ptr<sim::Process> process, std::uint32_t group) {
   if (running_) throw std::logic_error("runtime::Node: adopt after start");
@@ -68,6 +87,14 @@ void Node::adopt(std::unique_ptr<sim::Process> process, std::uint32_t group) {
       process->storage().write_int(kIncarnationKey, inc);
       set_incarnation(*process, inc);
       metrics_.incr("node.recoveries");
+      if (journal_) {
+        util::JournalRecord rec;
+        rec.kind = util::JournalKind::kIncarnation;
+        rec.group = group;
+        rec.b = static_cast<std::uint64_t>(inc);
+        rec.payload = process->role();
+        journal_->append(std::move(rec));
+      }
     } else {
       // First start on this directory: stamp incarnation 0 so the dir is
       // never empty. Without this, a process whose role persists nothing
@@ -118,6 +145,17 @@ void Node::start() {
     dead_ = false;
     mailbox_.emplace_back([this] {
       for (auto& h : hosted_) {
+        if (journal_) {
+          // The membership record anchors an incident bundle: which roles
+          // this node hosted for which groups, under which incarnation.
+          util::JournalRecord rec;
+          rec.kind = util::JournalKind::kMembership;
+          rec.group = h.group;
+          rec.a = hosted_.size();
+          rec.b = static_cast<std::uint64_t>(h.process->incarnation());
+          rec.payload = h.process->role();
+          journal_->append(std::move(rec));
+        }
         if (h.recovered) {
           h.process->on_recover();
         } else {
@@ -188,6 +226,7 @@ void Node::stop() {
     dead_ = true;
   }
   drain();
+  flush_journal();
 }
 
 bool Node::try_post(std::function<void()> fn) {

@@ -19,6 +19,10 @@
 #include "sim/process.hpp"
 #include "transport/transport.hpp"
 
+namespace mcp::storage {
+class FlightRecorder;
+}
+
 namespace mcp::runtime {
 
 struct NodeOptions {
@@ -40,6 +44,17 @@ struct NodeOptions {
   /// FileStorage snapshot cadence (records between snapshots); only read
   /// when data_dir is set.
   std::int64_t snapshot_every = 256;
+  /// Protocol flight recorder: non-empty roots a storage::FlightRecorder
+  /// here (missing parents are created) and every hosted process journals
+  /// its protocol events — round/ballot transitions, 2a/2b votes with full
+  /// c-structs, learn/apply, membership — into rotated, checksummed
+  /// segments. The journal is the evidence `mcpaxos_inspect` audits after
+  /// an incident; empty (the default) records nothing.
+  std::string journal_dir;
+  /// FlightRecorder rotation size / retention; only read when journal_dir
+  /// is set.
+  std::uint64_t journal_segment_bytes = 1u << 20;
+  std::size_t journal_keep_segments = 16;
 };
 
 /// A live host for protocol processes: the runtime counterpart of
@@ -151,6 +166,14 @@ class Node final : public sim::Host {
 
   const NodeOptions& options() const { return options_; }
 
+  /// The node's flight recorder, or nullptr when journaling is off. The
+  /// pointer is stable for the node's lifetime, so a fatal-signal handler
+  /// may cache it and call signal_flush().
+  storage::FlightRecorder* flight_recorder() { return journal_.get(); }
+  /// fsync the journal (admin /dump, clean shutdown). Safe cross-thread;
+  /// no-op when journaling is off.
+  void flush_journal();
+
   /// Groups hosted or routed on this node, for health/introspection
   /// endpoints. Stable after start() (adoption happens strictly before).
   const std::map<std::uint32_t, sim::Process*>& group_table() const {
@@ -194,6 +217,8 @@ class Node final : public sim::Host {
 
   NodeOptions options_;
   transport::Transport& transport_;
+  /// Owned flight recorder (Host::journal() points at it when enabled).
+  std::unique_ptr<storage::FlightRecorder> journal_;
   /// Reusable encode buffer for ship() (loop thread only): message bytes
   /// are built here and handed to the transport by view, so steady-state
   /// sends allocate nothing.

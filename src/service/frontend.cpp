@@ -23,7 +23,13 @@ Frontend::Frontend(const std::vector<GroupConfig>& groups, KeyPartition partitio
     // acceptor answers into the right stream.
     shard->core.set_wire_group(g.gid);
     shard->replica.set_apply_listener(
-        [this](const cstruct::Command& c, const smr::KVStore::Result& r) {
+        [this, gid = g.gid](const cstruct::Command& c, const smr::KVStore::Result& r) {
+          if (journaling()) {
+            util::JournalRecord rec;
+            rec.kind = util::JournalKind::kApply;
+            rec.a = c.id;
+            journal_event(std::move(rec), gid);
+          }
           on_applied(c, r);
         });
     if (!by_gid_.emplace(g.gid, shard.get()).second) {
@@ -272,6 +278,13 @@ void Frontend::flush(Shard& shard) {
   shard.batch.clear();
   if (cmds.empty()) return;
   propose_batch(shard, cmds, batch_trace);
+  if (journaling()) {
+    util::JournalRecord rec;
+    rec.kind = util::JournalKind::kBatch;
+    rec.a = cmds.size();
+    rec.b = cmds.front().id;
+    journal_event(std::move(rec), shard.gid);
+  }
   ++batches_flushed_;
   sim().metrics().incr("svc.batches");
   sim().metrics().incr("svc.batched_commands", static_cast<std::int64_t>(cmds.size()));
@@ -382,6 +395,15 @@ std::vector<std::uint32_t> Frontend::group_ids() const {
   ids.reserve(shards_.size());
   for (const auto& shard : shards_) ids.push_back(shard->gid);
   return ids;
+}
+
+bool Frontend::group_progress(std::uint32_t gid, std::uint64_t* learned,
+                              std::uint64_t* applied) const {
+  const auto it = by_gid_.find(gid);
+  if (it == by_gid_.end()) return false;
+  *learned = static_cast<std::uint64_t>(it->second->core.learned().size());
+  *applied = static_cast<std::uint64_t>(it->second->replica.applied());
+  return true;
 }
 
 }  // namespace mcp::service

@@ -151,6 +151,12 @@ class Frontend final : public sim::Process {
   /// Most recent slow commands (bounded at kSlowOpCap), oldest first.
   const std::deque<SlowOp>& slow_ops() const { return slow_ops_; }
 
+  /// Per-group learned length + replica apply progress for /healthz: a
+  /// scraper spotting learned > applied (or a learned length diverging
+  /// across nodes) has found a stuck group, not just a missing leader.
+  bool group_progress(std::uint32_t gid, std::uint64_t* learned,
+                      std::uint64_t* applied) const override;
+
  private:
   static constexpr int kRetryToken = 11;
   /// Flush tokens are kFlushTokenBase + shard index (one window per shard).

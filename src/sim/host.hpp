@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "sim/time.hpp"
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -42,6 +43,13 @@ class Host {
   /// tooling snapshots/export via the recorder itself.
   util::TraceRecorder& trace() { return trace_; }
   const util::TraceRecorder& trace() const { return trace_; }
+
+  /// Protocol flight recorder, or nullptr when journaling is off (the
+  /// default — simulated hosts never journal; runtime::Node installs a
+  /// storage::FlightRecorder when configured with a journal directory).
+  /// Processes emit through Process::journal_event, which no-ops on null.
+  util::JournalSink* journal() { return journal_; }
+  void set_journal(util::JournalSink* sink) { journal_ = sink; }
 
   /// Timestamp for trace events: microseconds since start on live hosts;
   /// simulated hosts default to the tick clock (one tick = one "us" in
@@ -97,6 +105,7 @@ class Host {
 
  private:
   util::TraceRecorder trace_;
+  util::JournalSink* journal_ = nullptr;
 };
 
 }  // namespace mcp::sim

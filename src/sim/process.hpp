@@ -151,6 +151,32 @@ class Process {
               group == kOwnGroup ? group_ : group, point, arg});
   }
 
+  /// Whether the host carries a flight recorder. Emit sites that build a
+  /// payload (e.g. encoding a c-struct) should gate on this so journaling
+  /// costs nothing when off.
+  bool journaling() const { return host_->journal() != nullptr; }
+
+  /// Append a protocol event to the host's flight recorder (no-op when
+  /// journaling is off). The sink stamps timestamp and node id; the group
+  /// defaults to this process's own.
+  void journal_event(util::JournalRecord rec, std::uint32_t group = kOwnGroup) {
+    if (util::JournalSink* sink = host_->journal()) {
+      rec.group = group == kOwnGroup ? group_ : group;
+      sink->append(std::move(rec));
+    }
+  }
+
+  /// Per-group health snapshot for /healthz: the learned prefix length and
+  /// how much of it this process has applied. Roles with no learner state
+  /// return false; the frontend and learner override.
+  virtual bool group_progress(std::uint32_t group, std::uint64_t* learned,
+                              std::uint64_t* applied) const {
+    (void)group;
+    (void)learned;
+    (void)applied;
+    return false;
+  }
+
  private:
   friend class Host;        // Host::bind adopts the process
   friend class Simulation;  // crash/recovery bookkeeping (sim-only concepts)

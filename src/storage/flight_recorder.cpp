@@ -1,0 +1,272 @@
+#include "storage/flight_recorder.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "paxos/wire.hpp"
+
+namespace mcp::storage {
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "journal-";
+constexpr const char* kSegmentSuffix = ".mcj";
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FlightRecorder: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// Same FNV-1a the FileStorage WAL frames with.
+std::uint32_t checksum(std::string_view data) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(wire::Reader& r) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(r.get_u8()) << (8 * i);
+  return v;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%06llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return buf;
+}
+
+/// journal-000042.mcj -> 42, or 0 for anything else.
+std::uint64_t segment_seq(const std::string& name) {
+  const std::size_t prefix = std::strlen(kSegmentPrefix);
+  const std::size_t suffix = std::strlen(kSegmentSuffix);
+  if (name.size() <= prefix + suffix) return 0;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) return 0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::uint64_t seq = segment_seq(e->d_name);
+    if (seq > 0) out.emplace_back(seq, dir + "/" + e->d_name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t wall_clock_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("open", path);
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      ::close(fd);
+      fail("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::int64_t node, std::string dir,
+                               FlightRecorderOptions options)
+    : node_(node), dir_(std::move(dir)), options_(options) {
+  if (dir_.empty()) throw std::invalid_argument("FlightRecorder: empty dir");
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) fail("mkdir", dir_);
+  const auto existing = list_segments(dir_);
+  const std::uint64_t last = existing.empty() ? 0 : existing.back().first;
+  open_segment(last + 1);
+}
+
+FlightRecorder::~FlightRecorder() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    if (options_.sync) ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void FlightRecorder::open_segment(std::uint64_t seq) {
+  const std::string path = dir_ + "/" + segment_name(seq);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", path);
+  fd_.store(fd, std::memory_order_release);
+  current_seq_ = seq;
+  current_bytes_ = 0;
+  ++segments_created_;
+}
+
+std::string FlightRecorder::encode_record(const util::JournalRecord& rec) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(rec.kind));
+  w.put_varint(rec.ts_us);
+  w.put_signed(rec.node);
+  w.put_varint(rec.group);
+  w.put_signed(rec.ballot_count);
+  w.put_signed(rec.ballot_coord);
+  w.put_signed(rec.ballot_inc);
+  w.put_u8(rec.ballot_type);
+  w.put_varint(rec.a);
+  w.put_varint(rec.b);
+  w.put_bytes(rec.payload);
+  return std::move(w).take();
+}
+
+void FlightRecorder::append(util::JournalRecord rec) {
+  rec.ts_us = wall_clock_us();
+  rec.node = node_;
+  const std::string payload = encode_record(rec);
+  wire::Writer framed;
+  framed.put_bytes(payload);
+  std::string frame = std::move(framed).take();
+  put_u32(frame, checksum(payload));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", dir_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  current_bytes_ += frame.size();
+  events_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (current_bytes_ >= options_.segment_bytes) rotate_locked();
+}
+
+void FlightRecorder::rotate_locked() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    if (options_.sync) ::fsync(fd);
+    // Swap in the next segment's fd before closing, so a concurrent
+    // signal_flush never sees a closed descriptor.
+    open_segment(current_seq_ + 1);
+    ::close(fd);
+  }
+  prune_locked();
+}
+
+void FlightRecorder::prune_locked() {
+  if (options_.keep_segments == 0) return;
+  const auto segments = list_segments(dir_);
+  if (segments.size() <= options_.keep_segments) return;
+  const std::size_t excess = segments.size() - options_.keep_segments;
+  for (std::size_t i = 0; i < excess; ++i) {
+    ::unlink(segments[i].second.c_str());
+  }
+}
+
+void FlightRecorder::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0 && options_.sync) ::fsync(fd);
+}
+
+void FlightRecorder::signal_flush() noexcept {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::fsync(fd);
+}
+
+FlightRecorder::SegmentData FlightRecorder::read_segment_bytes(
+    std::string path, const std::string& data) {
+  SegmentData out;
+  out.path = std::move(path);
+  wire::Reader r(data);
+  try {
+    while (!r.at_end()) {
+      const std::string_view payload = r.get_bytes();
+      const std::uint32_t expect = get_u32(r);
+      if (checksum(payload) != expect) {
+        // A complete frame whose bytes changed after the write: corruption,
+        // not a crash. Everything in this segment is suspect.
+        out.rejected = true;
+        out.records.clear();
+        return out;
+      }
+      wire::Reader pr(payload);
+      util::JournalRecord rec;
+      rec.kind = static_cast<util::JournalKind>(pr.get_u8());
+      rec.ts_us = pr.get_varint();
+      rec.node = pr.get_signed();
+      rec.group = static_cast<std::uint32_t>(pr.get_varint());
+      rec.ballot_count = pr.get_signed();
+      rec.ballot_coord = pr.get_signed();
+      rec.ballot_inc = pr.get_signed();
+      rec.ballot_type = pr.get_u8();
+      rec.a = pr.get_varint();
+      rec.b = pr.get_varint();
+      rec.payload = std::string(pr.get_bytes());
+      out.records.push_back(std::move(rec));
+    }
+  } catch (const std::invalid_argument&) {
+    // The frame ran past end-of-file: the writer died mid-append. The
+    // records before it are intact.
+    out.torn = true;
+  }
+  return out;
+}
+
+FlightRecorder::SegmentData FlightRecorder::read_segment(const std::string& path) {
+  return read_segment_bytes(path, read_file(path));
+}
+
+std::vector<FlightRecorder::SegmentData> FlightRecorder::read_dir(
+    const std::string& dir) {
+  std::vector<SegmentData> out;
+  for (const auto& [seq, path] : list_segments(dir)) {
+    (void)seq;
+    out.push_back(read_segment(path));
+  }
+  return out;
+}
+
+}  // namespace mcp::storage

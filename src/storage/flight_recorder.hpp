@@ -1,0 +1,108 @@
+#pragma once
+
+// Protocol flight recorder: the production util::JournalSink. A bounded,
+// binary, crash-durable journal of protocol events written from the node
+// event loop and rotated in fixed-size segments under the node's data
+// directory:
+//
+//   <dir>/journal-000001.mcj, journal-000002.mcj, ...
+//
+// Each record is framed exactly like a FileStorage WAL entry — varint
+// length-prefixed payload followed by a 4-byte FNV-1a checksum of the
+// payload — so the same torn-tail semantics apply. Records are written
+// (not fsync'd) per event: the page cache makes them durable against a
+// *process* crash, which is the incident class the recorder exists for;
+// flush() fsyncs for machine-crash durability and is called on rotation,
+// clean shutdown, the admin /dump trigger, and (via signal_flush) fatal
+// signals.
+//
+// Reader semantics, per segment:
+//  - an incomplete trailing frame is a torn tail (the writer died
+//    mid-append): the intact prefix is returned, `torn` is set;
+//  - a checksum mismatch on a *complete* frame is corruption: the whole
+//    segment is rejected (`rejected` set, no records returned), and other
+//    segments are unaffected — the payoff of per-segment isolation over
+//    one long log.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+
+namespace mcp::storage {
+
+struct FlightRecorderOptions {
+  /// Rotate to a new segment once the current one crosses this size.
+  std::uint64_t segment_bytes = 1u << 20;
+  /// Oldest segments beyond this count are deleted at rotation; the journal
+  /// is a bounded black box, not an unbounded log. 0 = keep everything.
+  std::size_t keep_segments = 16;
+  /// fsync on rotation/flush (tests turn this off for speed).
+  bool sync = true;
+};
+
+class FlightRecorder final : public util::JournalSink {
+ public:
+  /// Opens `dir` (created if missing; parent must exist) and continues
+  /// after the highest existing segment — a restart never appends into a
+  /// previous incarnation's segment, so recovery cannot tear old records.
+  FlightRecorder(std::int64_t node, std::string dir,
+                 FlightRecorderOptions options = {});
+  ~FlightRecorder() override;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamp (ts_us = wall clock, node) and append one framed record.
+  void append(util::JournalRecord rec) override;
+  /// fsync the current segment. Safe from any thread.
+  void flush() override;
+  /// Async-signal-safe flush for fatal-signal handlers: one ::fsync on the
+  /// current fd, no locks, no allocation.
+  void signal_flush() noexcept;
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t events() const { return events_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  std::uint64_t segments_created() const { return segments_created_; }
+
+  // -- offline reading ------------------------------------------------
+
+  struct SegmentData {
+    std::string path;
+    std::vector<util::JournalRecord> records;
+    bool torn = false;      ///< incomplete trailing frame truncated
+    bool rejected = false;  ///< checksum/decode failure: whole segment dropped
+  };
+
+  /// Decode one segment's bytes (see reader semantics above).
+  static SegmentData read_segment_bytes(std::string path, const std::string& data);
+  /// Read + decode one segment file.
+  static SegmentData read_segment(const std::string& path);
+  /// All `journal-*.mcj` segments in one directory, in segment order.
+  static std::vector<SegmentData> read_dir(const std::string& dir);
+
+  /// Record codec (exposed for tests that craft synthetic journals).
+  static std::string encode_record(const util::JournalRecord& rec);
+
+ private:
+  void open_segment(std::uint64_t seq);
+  void rotate_locked();
+  void prune_locked();
+
+  std::int64_t node_;
+  std::string dir_;
+  FlightRecorderOptions options_;
+  std::mutex mu_;
+  std::atomic<int> fd_{-1};
+  std::uint64_t current_seq_ = 0;
+  std::uint64_t current_bytes_ = 0;
+  std::uint64_t segments_created_ = 0;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace mcp::storage

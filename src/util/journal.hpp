@@ -1,0 +1,104 @@
+#pragma once
+
+// Protocol flight-recorder vocabulary: the event record every node journals
+// and the sink interface the hosts expose. Lives in util (below paxos/sim)
+// so `sim::Host` can hold a sink pointer without a protocol dependency —
+// ballots travel as their raw fields and are reassembled by the offline
+// auditor (audit::inspect).
+
+#include <cstdint>
+#include <string>
+
+namespace mcp::util {
+
+/// What happened. The set mirrors the protocol surface the paper's safety
+/// argument ranges over (ballot/round transitions, 2a/2b, learning,
+/// application) plus the operational context an incident reader needs
+/// (membership, incarnations, client batches).
+enum class JournalKind : std::uint8_t {
+  /// A coordinator started / joined a round (ballot = the new round).
+  kRoundStart = 1,
+  /// An acceptor joined a higher round (ballot = new rnd).
+  kJoin = 2,
+  /// A coordinator sent a phase-2a (ballot = crnd, a = |cval|).
+  kPhase2a = 3,
+  /// An acceptor cast a 2b vote (ballot = vrnd, a = |vval|, payload =
+  /// cstruct::encode(vval)). The payload is the auditable ballot-array
+  /// entry; it re-anchors the delta chain below, so the offline replay
+  /// recovers even when older segments are lost.
+  kPhase2b = 4,
+  /// A learner extended its learned prefix (a = new learned size, payload =
+  /// cstruct::encode of only the newly learned commands).
+  kLearn = 5,
+  /// A replica applied one command to the state machine (a = command id).
+  kApply = 6,
+  /// A frontend flushed a client batch into consensus (a = batch size,
+  /// b = first command id).
+  kBatch = 7,
+  /// A node adopted a process for a group (a = process count, b =
+  /// incarnation; payload = role label).
+  kMembership = 8,
+  /// A process recovered with a bumped incarnation (b = new incarnation).
+  kIncarnation = 9,
+  /// A coordinator's leader hint changed (a = hinted node).
+  kLeaderHint = 10,
+  /// A 2b vote journaled as the suffix since this acceptor's previous 2b
+  /// of the same round (ballot = vrnd, a = |vval| after the suffix,
+  /// payload = encoded suffix commands). vval only grows within a round,
+  /// so journaling the full value per vote would cost O(history) each —
+  /// the auditor re-chains deltas onto the last full kPhase2b instead.
+  kPhase2bDelta = 11,
+};
+
+const char* journal_kind_name(JournalKind kind);
+
+/// One journal entry. `ts_us`/`node` are stamped by the sink (wall-clock
+/// microseconds, so per-node journals merge into one cluster timeline);
+/// everything else is filled at the emit site. Ballot fields are the raw
+/// ⟨count, coord, coord_inc, type⟩ of paxos::Ballot.
+struct JournalRecord {
+  JournalKind kind = JournalKind::kRoundStart;
+  std::uint64_t ts_us = 0;
+  std::int64_t node = -1;
+  std::uint32_t group = 0;
+  std::int64_t ballot_count = 0;
+  std::int64_t ballot_coord = -1;
+  std::int64_t ballot_inc = 0;
+  std::uint8_t ballot_type = 0;
+  /// Kind-specific scalars (see JournalKind comments).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  /// Kind-specific bytes (encoded c-structs, role labels).
+  std::string payload;
+};
+
+/// Where journal records go. The production implementation is
+/// storage::FlightRecorder (rotated, checksummed segment files); tests may
+/// substitute an in-memory sink. append() must be cheap — it runs on the
+/// node event loop — and must stamp ts_us/node.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  virtual void append(JournalRecord rec) = 0;
+  /// Make everything appended so far durable (fsync). Safe cross-thread.
+  virtual void flush() = 0;
+};
+
+inline const char* journal_kind_name(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kRoundStart: return "round_start";
+    case JournalKind::kJoin: return "join";
+    case JournalKind::kPhase2a: return "2a";
+    case JournalKind::kPhase2b: return "2b";
+    case JournalKind::kLearn: return "learn";
+    case JournalKind::kApply: return "apply";
+    case JournalKind::kBatch: return "batch";
+    case JournalKind::kMembership: return "membership";
+    case JournalKind::kIncarnation: return "incarnation";
+    case JournalKind::kLeaderHint: return "leader_hint";
+    case JournalKind::kPhase2bDelta: return "2b_delta";
+  }
+  return "unknown";
+}
+
+}  // namespace mcp::util

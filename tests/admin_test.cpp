@@ -14,9 +14,11 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 
+#include "audit/inspect.hpp"
 #include "runtime/admin.hpp"
 #include "runtime/kv_cluster.hpp"
 #include "runtime/node.hpp"
@@ -106,6 +108,12 @@ TEST(AdminEndpoint, ScrapesLiveTcpCluster) {
   runtime::ClusterOptions options;
   options.backend = runtime::Backend::kTcp;
   options.tick = std::chrono::microseconds(200);
+  // Flight recorders on: /dump has something to flush, and the journals
+  // left behind get audited below.
+  const std::string journal_root =
+      (std::filesystem::temp_directory_path() / "mcpaxos_admin_journal").string();
+  std::filesystem::remove_all(journal_root);
+  options.journal_root = journal_root;
   runtime::KvServiceCluster cluster(shape, options);
 
   // The admin listener must exist before the reactor runs; port 0 asks the
@@ -145,9 +153,26 @@ TEST(AdminEndpoint, ScrapesLiveTcpCluster) {
       << health;
   EXPECT_NE(health.find("group 0 role=server"), std::string::npos) << health;
   EXPECT_NE(health.find("incarnation="), std::string::npos);
+  // The server's group line carries consensus progress: learned prefix
+  // length, replica apply count, and the lag between them.
+  EXPECT_NE(health.find(" learned="), std::string::npos) << health;
+  EXPECT_NE(health.find(" applied="), std::string::npos) << health;
+  EXPECT_NE(health.find(" lag="), std::string::npos) << health;
   // A query string is stripped before path dispatch.
   EXPECT_NE(http_get(admin_port, "/healthz?verbose=1").find("HTTP/1.0 200 OK"),
             std::string::npos);
+
+  // /trace serves the live ring without waiting for process exit — always
+  // valid Perfetto JSON, even with tracing disabled (empty ring).
+  const std::string trace = http_get(admin_port, "/trace");
+  EXPECT_NE(trace.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos) << trace;
+
+  // /dump makes the journal durable and says where it went.
+  const std::string dump = http_get(admin_port, "/dump");
+  EXPECT_NE(dump.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(dump.find("journal: flushed"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("events="), std::string::npos) << dump;
 
   // Unknown path -> 404; non-GET -> 405. Either way the connection closes
   // cleanly and the next scrape still works.
@@ -163,6 +188,13 @@ TEST(AdminEndpoint, ScrapesLiveTcpCluster) {
   EXPECT_TRUE(got.found);
   EXPECT_EQ(got.value, "v");
   cluster.stop();
+
+  // The journals the cluster left behind replay cleanly through the
+  // offline auditor: events were recorded and no invariant tripped.
+  const auto report = audit::inspect(audit::find_journal_dirs(journal_root));
+  EXPECT_GT(report.events, 0u);
+  EXPECT_TRUE(report.ok()) << audit::render_text(report);
+  std::filesystem::remove_all(journal_root);
 }
 
 TEST(AdminEndpoint, EnableAfterStartThrows) {

@@ -1,0 +1,482 @@
+// Crash-durability tests for the protocol flight recorder plus regression
+// tests for the offline auditor: a torn trailing frame truncates to the
+// intact prefix, a flipped byte rejects exactly that segment while earlier
+// ones stay replayable, and a deliberately corrupted 2b stream makes
+// audit::inspect report precisely the injected safety violation.
+
+#include "storage/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "audit/inspect.hpp"
+#include "cstruct/command.hpp"
+#include "cstruct/history.hpp"
+#include "cstruct/serialize.hpp"
+#include "util/journal.hpp"
+
+namespace mcp {
+namespace {
+
+namespace fs = std::filesystem;
+using storage::FlightRecorder;
+using storage::FlightRecorderOptions;
+using util::JournalKind;
+using util::JournalRecord;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("mcpaxos_journal_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  std::vector<fs::path> segments(const std::string& d) const {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(d)) {
+      if (entry.path().extension() == ".mcj") out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static void flip_byte(const fs::path& path, std::size_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    char c = 0;
+    f.seekg(static_cast<std::streamoff>(offset));
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  static JournalRecord record(JournalKind kind, std::uint64_t a,
+                              std::string payload = {}) {
+    JournalRecord rec;
+    rec.kind = kind;
+    rec.group = 3;
+    rec.ballot_count = 7;
+    rec.ballot_coord = 2;
+    rec.ballot_inc = 1;
+    rec.ballot_type = 1;
+    rec.a = a;
+    rec.b = 42;
+    rec.payload = std::move(payload);
+    return rec;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(JournalTest, RoundTripPreservesEveryField) {
+  {
+    FlightRecorderOptions opt;
+    opt.sync = false;
+    FlightRecorder rec(/*node=*/5, dir(), opt);
+    rec.append(record(JournalKind::kPhase2b, 11, "payload-bytes"));
+    rec.append(record(JournalKind::kLearn, 12));
+    EXPECT_EQ(rec.events(), 2u);
+  }
+  const auto segs = FlightRecorder::read_dir(dir());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_FALSE(segs[0].torn);
+  EXPECT_FALSE(segs[0].rejected);
+  ASSERT_EQ(segs[0].records.size(), 2u);
+  const JournalRecord& r = segs[0].records[0];
+  EXPECT_EQ(r.kind, JournalKind::kPhase2b);
+  EXPECT_EQ(r.node, 5);
+  EXPECT_GT(r.ts_us, 0u);
+  EXPECT_EQ(r.group, 3u);
+  EXPECT_EQ(r.ballot_count, 7);
+  EXPECT_EQ(r.ballot_coord, 2);
+  EXPECT_EQ(r.ballot_inc, 1);
+  EXPECT_EQ(r.ballot_type, 1);
+  EXPECT_EQ(r.a, 11u);
+  EXPECT_EQ(r.b, 42u);
+  EXPECT_EQ(r.payload, "payload-bytes");
+  // The sink stamps non-decreasing wall-clock timestamps.
+  EXPECT_LE(r.ts_us, segs[0].records[1].ts_us);
+}
+
+TEST_F(JournalTest, RotatesAndPrunesSegments) {
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  opt.segment_bytes = 256;  // tiny: force many rotations
+  opt.keep_segments = 3;
+  {
+    FlightRecorder rec(0, dir(), opt);
+    for (int i = 0; i < 200; ++i) {
+      rec.append(record(JournalKind::kApply, static_cast<std::uint64_t>(i),
+                        std::string(16, 'x')));
+    }
+    EXPECT_GT(rec.segments_created(), 3u);
+  }
+  EXPECT_LE(segments(dir()).size(), 3u);
+  // The survivors still replay, in order.
+  const auto segs = FlightRecorder::read_dir(dir());
+  std::uint64_t prev = 0;
+  for (const auto& seg : segs) {
+    EXPECT_FALSE(seg.rejected);
+    for (const auto& r : seg.records) {
+      EXPECT_GE(r.a, prev);
+      prev = r.a;
+    }
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+TEST_F(JournalTest, RestartContinuesAfterHighestSegment) {
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  {
+    FlightRecorder rec(0, dir(), opt);
+    rec.append(record(JournalKind::kApply, 1));
+  }
+  {
+    // A restarted node must never append into the previous incarnation's
+    // segment (that could tear records the old process already wrote).
+    FlightRecorder rec(0, dir(), opt);
+    rec.append(record(JournalKind::kApply, 2));
+  }
+  EXPECT_EQ(segments(dir()).size(), 2u);
+  const auto segs = FlightRecorder::read_dir(dir());
+  ASSERT_EQ(segs.size(), 2u);
+  ASSERT_EQ(segs[0].records.size(), 1u);
+  ASSERT_EQ(segs[1].records.size(), 1u);
+  EXPECT_EQ(segs[0].records[0].a, 1u);
+  EXPECT_EQ(segs[1].records[0].a, 2u);
+}
+
+TEST_F(JournalTest, TornTailKeepsIntactPrefix) {
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  {
+    FlightRecorder rec(0, dir(), opt);
+    for (int i = 0; i < 10; ++i) {
+      rec.append(record(JournalKind::kApply, static_cast<std::uint64_t>(i)));
+    }
+  }
+  const auto segs_before = segments(dir());
+  ASSERT_EQ(segs_before.size(), 1u);
+  // Simulate a crash mid-append: drop the last 3 bytes of the file.
+  const auto size = fs::file_size(segs_before[0]);
+  fs::resize_file(segs_before[0], size - 3);
+
+  const auto segs = FlightRecorder::read_dir(dir());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_TRUE(segs[0].torn);
+  EXPECT_FALSE(segs[0].rejected);
+  ASSERT_EQ(segs[0].records.size(), 9u);  // all but the torn final record
+  EXPECT_EQ(segs[0].records.back().a, 8u);
+}
+
+TEST_F(JournalTest, MidSegmentCorruptionRejectsOnlyThatSegment) {
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  opt.segment_bytes = 512;
+  opt.keep_segments = 0;  // keep everything
+  {
+    FlightRecorder rec(0, dir(), opt);
+    for (int i = 0; i < 100; ++i) {
+      rec.append(record(JournalKind::kApply, static_cast<std::uint64_t>(i),
+                        std::string(16, 'x')));
+    }
+  }
+  const auto paths = segments(dir());
+  ASSERT_GE(paths.size(), 3u);
+  // Flip a byte in the MIDDLE of the second segment: a complete frame now
+  // fails its checksum, which is corruption, not a torn tail — the whole
+  // segment is rejected, and both its neighbours are unaffected.
+  flip_byte(paths[1], fs::file_size(paths[1]) / 2);
+
+  const auto segs = FlightRecorder::read_dir(dir());
+  ASSERT_EQ(segs.size(), paths.size());
+  EXPECT_FALSE(segs[0].rejected);
+  EXPECT_FALSE(segs[0].records.empty());
+  EXPECT_TRUE(segs[1].rejected);
+  EXPECT_TRUE(segs[1].records.empty());
+  for (std::size_t i = 2; i < segs.size(); ++i) {
+    EXPECT_FALSE(segs[i].rejected) << "segment " << i;
+    EXPECT_FALSE(segs[i].records.empty()) << "segment " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// audit::inspect over crafted journals.
+
+class InspectTest : public JournalTest {
+ protected:
+  /// A 2b vote record as GenAcceptor journals it: ballot = vrnd, payload =
+  /// the full voted c-struct.
+  static JournalRecord vote(std::int64_t ballot_count, std::uint8_t type,
+                            const cstruct::History& vval) {
+    JournalRecord rec;
+    rec.kind = JournalKind::kPhase2b;
+    rec.group = 0;
+    rec.ballot_count = ballot_count;
+    rec.ballot_coord = 0;
+    rec.ballot_inc = 0;
+    rec.ballot_type = type;
+    rec.a = vval.size();
+    rec.payload = cstruct::encode(vval);
+    return rec;
+  }
+
+  std::string node_journal(int node) {
+    const std::string d = dir() + "/node" + std::to_string(node) + "/journal";
+    fs::create_directories(d);
+    return d;
+  }
+
+  /// A delta 2b record as GenAcceptor journals it: payload = only the
+  /// suffix since this acceptor's previous 2b, `a` = the full size after.
+  static JournalRecord delta_vote(std::int64_t ballot_count, std::uint8_t type,
+                                  std::uint64_t full_size,
+                                  const std::vector<cstruct::Command>& suffix) {
+    JournalRecord rec;
+    rec.kind = JournalKind::kPhase2bDelta;
+    rec.group = 0;
+    rec.ballot_count = ballot_count;
+    rec.ballot_coord = 0;
+    rec.ballot_inc = 0;
+    rec.ballot_type = type;
+    rec.a = full_size;
+    rec.payload = cstruct::encode(suffix);
+    return rec;
+  }
+};
+
+TEST_F(InspectTest, HealthyVoteStreamPasses) {
+  const cstruct::KeyConflict rel;
+  cstruct::History h(&rel);
+  h.append(cstruct::make_write(1, "k", "v1"));
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  // Three acceptors all vote the same growing history at a classic round.
+  for (int acceptor = 0; acceptor < 3; ++acceptor) {
+    FlightRecorder rec(acceptor, node_journal(acceptor), opt);
+    rec.append(vote(1, 0, h));
+    cstruct::History h2 = h;
+    h2.append(cstruct::make_write(2, "k", "v2"));
+    rec.append(vote(1, 0, h2));
+  }
+
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  EXPECT_EQ(report.events, 6u);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0].votes_replayed, 6u);
+  EXPECT_EQ(report.groups[0].acceptors_seen, 3u);
+  EXPECT_TRUE(report.ok()) << audit::render_text(report);
+}
+
+TEST_F(InspectTest, DeltaVoteChainsReconstructFullValues) {
+  const cstruct::KeyConflict rel;
+  cstruct::History h1(&rel);
+  h1.append(cstruct::make_write(1, "k", "v1"));
+  const std::vector<cstruct::Command> tail2{cstruct::make_write(2, "k", "v2")};
+  const std::vector<cstruct::Command> tail3{cstruct::make_write(3, "k", "v3")};
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  // Acceptors 0 and 1: a full vote then two deltas — the normal steady
+  // state. Acceptor 2: a delta with no prior full record, as if its chain
+  // base rode a segment rotation pruned — incomplete evidence, skipped,
+  // NOT a violation.
+  for (int acceptor = 0; acceptor < 2; ++acceptor) {
+    FlightRecorder rec(acceptor, node_journal(acceptor), opt);
+    rec.append(vote(1, 0, h1));
+    rec.append(delta_vote(1, 0, 2, tail2));
+    rec.append(delta_vote(1, 0, 3, tail3));
+  }
+  {
+    FlightRecorder rec(2, node_journal(2), opt);
+    rec.append(delta_vote(1, 0, 3, tail3));
+  }
+
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  EXPECT_TRUE(report.ok()) << audit::render_text(report);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0].votes_replayed, 6u);
+  EXPECT_EQ(report.groups[0].orphan_votes, 1u);
+  EXPECT_EQ(report.groups[0].acceptors_seen, 3u);
+}
+
+TEST_F(InspectTest, DeltaVoteThatDoesNotChainIsAViolation) {
+  const cstruct::KeyConflict rel;
+  cstruct::History h1(&rel);
+  h1.append(cstruct::make_write(1, "k", "v1"));
+  const std::vector<cstruct::Command> tail{cstruct::make_write(2, "k", "v2")};
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  {
+    FlightRecorder rec(0, node_journal(0), opt);
+    rec.append(vote(1, 0, h1));
+    // Claims the full value is 5 commands after a one-command suffix on a
+    // one-command base: a forged or buggy journal.
+    rec.append(delta_vote(1, 0, 5, tail));
+  }
+
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("does not chain") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << audit::render_text(report);
+}
+
+TEST_F(InspectTest, CorruptedVoteStreamReportsInjectedViolation) {
+  const cstruct::KeyConflict rel;
+  cstruct::History chosen_val(&rel);
+  chosen_val.append(cstruct::make_write(1, "k", "v1"));
+  cstruct::History divergent(&rel);
+  divergent.append(cstruct::make_write(2, "k", "OTHER"));
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  // Acceptors 0 and 1 vote `chosen_val` at classic round 1 — a majority of
+  // the 3-acceptor cluster, so round 1 chooses it. Acceptor 2 then votes a
+  // conflicting history at round 2 that does NOT extend the chosen value:
+  // exactly the kind of 2b stream a buggy (or tampered-with) acceptor
+  // would emit, and exactly what the safe-at invariant forbids.
+  {
+    FlightRecorder rec(0, node_journal(0), opt);
+    rec.append(vote(1, 0, chosen_val));
+  }
+  {
+    FlightRecorder rec(1, node_journal(1), opt);
+    rec.append(vote(1, 0, chosen_val));
+  }
+  {
+    FlightRecorder rec(2, node_journal(2), opt);
+    rec.append(vote(2, 0, divergent));
+  }
+
+  audit::InspectOptions iopt;
+  iopt.f = 1;
+  iopt.e = 0;
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()), iopt);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("does not extend the value chosen") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << audit::render_text(report);
+  // And the JSON the CI gate consumes says not-ok.
+  EXPECT_NE(audit::render_json(report).find("\"ok\": false"), std::string::npos);
+}
+
+TEST_F(InspectTest, DuplicateLearnIsAViolation) {
+  const cstruct::KeyConflict rel;
+  cstruct::History h(&rel);
+  h.append(cstruct::make_write(9, "k", "v"));
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  {
+    FlightRecorder rec(0, node_journal(0), opt);
+    JournalRecord learn;
+    learn.kind = JournalKind::kLearn;
+    learn.group = 0;
+    learn.a = 1;
+    learn.payload = cstruct::encode(h.sequence());
+    rec.append(learn);
+    learn.a = 2;
+    rec.append(learn);  // same command id learned "again"
+  }
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("learned command 9 twice"),
+            std::string::npos)
+      << audit::render_text(report);
+}
+
+TEST_F(InspectTest, ConflictingLearnOrderAcrossNodesIsAViolation) {
+  const cstruct::KeyConflict rel;
+  const auto w1 = cstruct::make_write(1, "k", "a");
+  const auto w2 = cstruct::make_write(2, "k", "b");
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  auto write_learns = [&](int node, const cstruct::Command& first,
+                          const cstruct::Command& second) {
+    FlightRecorder rec(node, node_journal(node), opt);
+    cstruct::History h(&rel);
+    h.append(first);
+    JournalRecord learn;
+    learn.kind = JournalKind::kLearn;
+    learn.group = 0;
+    learn.a = 1;
+    learn.payload = cstruct::encode(h.sequence());
+    rec.append(learn);
+    cstruct::History h2(&rel);
+    h2.append(second);
+    learn.a = 2;
+    learn.payload = cstruct::encode(h2.sequence());
+    rec.append(learn);
+  };
+  write_learns(0, w1, w2);  // node 0 learns k:=a then k:=b
+  write_learns(1, w2, w1);  // node 1 learns them in the opposite order
+
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("opposite orders") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << audit::render_text(report);
+}
+
+TEST_F(InspectTest, RejectedSegmentIsReportedButNotAViolation) {
+  const cstruct::KeyConflict rel;
+  cstruct::History h(&rel);
+  h.append(cstruct::make_write(1, "k", "v"));
+
+  FlightRecorderOptions opt;
+  opt.sync = false;
+  opt.segment_bytes = 128;
+  opt.keep_segments = 0;
+  const std::string d = node_journal(0);
+  {
+    FlightRecorder rec(0, d, opt);
+    for (int i = 0; i < 30; ++i) rec.append(vote(1, 0, h));
+  }
+  auto paths = segments(d);
+  ASSERT_GE(paths.size(), 2u);
+  // Flip the last byte: the final frame's checksum. The frame is complete
+  // (nothing torn), its checksum no longer matches — corruption, so the
+  // whole segment is rejected. (A flip inside a length varint would read
+  // as a torn tail instead, which is the other test's territory.)
+  flip_byte(paths[0], fs::file_size(paths[0]) - 1);
+
+  const auto report = audit::inspect(audit::find_journal_dirs(dir()));
+  EXPECT_GE(report.rejected_segments, 1u);
+  EXPECT_TRUE(report.ok()) << audit::render_text(report);
+  EXPECT_GT(report.events, 0u);
+}
+
+TEST_F(InspectTest, ManifestSuppliesQuorumTolerances) {
+  std::ofstream(dir() + "/manifest.txt") << "# bundle\nf=1\ne=0\nscenario=t\n";
+  const auto manifest = audit::read_manifest(dir());
+  EXPECT_EQ(manifest.at("f"), "1");
+  EXPECT_EQ(manifest.at("e"), "0");
+  EXPECT_EQ(manifest.at("scenario"), "t");
+}
+
+}  // namespace
+}  // namespace mcp
